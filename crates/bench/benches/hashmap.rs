@@ -1,0 +1,57 @@
+//! Atomic-hash-map ablation (DESIGN.md §5): insertion throughput vs load
+//! factor (the paper's "twice the number of satellites" sizing rule is the
+//! 2× point), plus MurmurHash3 cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kessler_grid::atomic_map::AtomicMap;
+use kessler_grid::murmur::{fmix64, murmur3_x64_128};
+
+fn bench_load_factor(c: &mut Criterion) {
+    let n = 10_000usize;
+    let keys: Vec<u64> = (0..n as u64).map(|i| i * 2_654_435_761 + 1).collect();
+    let mut group = c.benchmark_group("atomic_map_insert");
+    group.throughput(criterion::Throughput::Elements(n as u64));
+    for factor in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("slots_per_key", factor), |b| {
+            b.iter(|| {
+                let map = AtomicMap::with_capacity(factor * n);
+                for &k in &keys {
+                    black_box(map.insert_or_get(k).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_insert(c: &mut Criterion) {
+    use rayon::prelude::*;
+    let n = 10_000usize;
+    let keys: Vec<u64> = (0..n as u64).map(|i| i * 2_654_435_761 + 1).collect();
+    c.bench_function("atomic_map_insert_parallel_2x", |b| {
+        b.iter(|| {
+            let map = AtomicMap::with_capacity(2 * n);
+            keys.par_iter().for_each(|&k| {
+                map.insert_or_get(k).unwrap();
+            });
+            black_box(map.occupied())
+        })
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    c.bench_function("fmix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(fmix64(x))
+        })
+    });
+    let data = vec![0xABu8; 64];
+    c.bench_function("murmur3_x64_128_64B", |b| {
+        b.iter(|| black_box(murmur3_x64_128(&data, 0)))
+    });
+}
+
+criterion_group!(benches, bench_load_factor, bench_concurrent_insert, bench_hash);
+criterion_main!(benches);

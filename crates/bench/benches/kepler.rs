@@ -1,0 +1,119 @@
+//! Kepler-solver ablation (DESIGN.md §5): Newton vs Danby vs contour on a
+//! realistic sweep of mean anomalies and eccentricities — the paper's
+//! propagation step runs one of these per (satellite, time) tuple.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kessler_orbits::{ContourSolver, DanbySolver, KeplerSolver, MarkleySolver, NewtonSolver};
+
+fn workload() -> Vec<(f64, f64)> {
+    // 4096 (M, e) pairs shaped like the LEO-dominated population: mostly
+    // tiny eccentricities, a tail of HEO ones.
+    (0..4096)
+        .map(|i| {
+            let m = (i as f64 * 0.618_033_988_75) % std::f64::consts::TAU;
+            let e = if i % 16 == 0 { 0.72 } else { 0.002 + 0.01 * ((i % 7) as f64) };
+            (m, e)
+        })
+        .collect()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let work = workload();
+    let mut group = c.benchmark_group("kepler_solver");
+    group.throughput(criterion::Throughput::Elements(work.len() as u64));
+
+    let newton = NewtonSolver::default();
+    let danby = DanbySolver::default();
+    let contour = ContourSolver::default();
+    let contour_unpolished = ContourSolver { points: 16, polish: false };
+    let markley = MarkleySolver;
+
+    group.bench_function(BenchmarkId::new("newton", work.len()), |b| {
+        b.iter(|| {
+            for &(m, e) in &work {
+                black_box(newton.ecc_anomaly(m, e));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("danby", work.len()), |b| {
+        b.iter(|| {
+            for &(m, e) in &work {
+                black_box(danby.ecc_anomaly(m, e));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("contour", work.len()), |b| {
+        b.iter(|| {
+            for &(m, e) in &work {
+                black_box(contour.ecc_anomaly(m, e));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("contour_unpolished", work.len()), |b| {
+        b.iter(|| {
+            for &(m, e) in &work {
+                black_box(contour_unpolished.ecc_anomaly(m, e));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("markley", work.len()), |b| {
+        b.iter(|| {
+            for &(m, e) in &work {
+                black_box(markley.ecc_anomaly(m, e));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_propagation(c: &mut Criterion) {
+    use kessler_orbits::BatchPropagator;
+    let population = kessler_bench::experiment_population(2_000);
+    let propagator = BatchPropagator::new(&population);
+    let mut out = vec![kessler_math::Vec3::ZERO; population.len()];
+    c.bench_function("batch_propagation_2000", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            propagator.positions_into(black_box(t), &mut out);
+        })
+    });
+}
+
+fn bench_sgp4(c: &mut Criterion) {
+    use kessler_orbits::sgp4::{MeanElements, Sgp4};
+    let elements = MeanElements {
+        mean_motion_rev_per_day: 15.5,
+        eccentricity: 0.0012,
+        inclination: 0.9,
+        raan: 1.0,
+        arg_perigee: 2.0,
+        mean_anomaly: 3.0,
+        bstar: 3.8e-5,
+    };
+    c.bench_function("sgp4_init", |b| b.iter(|| black_box(Sgp4::new(&elements).unwrap())));
+    let prop = Sgp4::new(&elements).unwrap();
+    c.bench_function("sgp4_propagate", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.1;
+            black_box(prop.propagate(black_box(t)).unwrap())
+        })
+    });
+    // Head-to-head with the two-body path the screeners default to.
+    use kessler_orbits::propagator::PropagationConstants;
+    use kessler_orbits::{ContourSolver, KeplerElements};
+    let kep = KeplerElements::new(7_000.0, 0.0012, 0.9, 1.0, 2.0, 3.0).unwrap();
+    let pc = PropagationConstants::from_elements(&kep);
+    let solver = ContourSolver::default();
+    c.bench_function("two_body_propagate", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 6.0;
+            black_box(pc.propagate(black_box(t), &solver))
+        })
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_batch_propagation, bench_sgp4);
+criterion_main!(benches);

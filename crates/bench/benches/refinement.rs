@@ -1,0 +1,71 @@
+//! PCA/TCA refinement benchmarks: one Brent search per candidate pair is
+//! the dominant cost of the grid variant's CD phase.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kessler_core::refine::{grid_refine_interval, refine_pair};
+use kessler_math::brent::brent_minimize;
+use kessler_math::Interval;
+use kessler_orbits::propagator::PropagationConstants;
+use kessler_orbits::{ContourSolver, KeplerElements};
+
+fn crossing_pair() -> (PropagationConstants, PropagationConstants) {
+    (
+        PropagationConstants::from_elements(
+            &KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+        ),
+        PropagationConstants::from_elements(
+            &KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ),
+    )
+}
+
+fn bench_brent_core(c: &mut Criterion) {
+    c.bench_function("brent_minimize_parabola", |b| {
+        b.iter(|| {
+            black_box(brent_minimize(
+                |x| (x - 2.5) * (x - 2.5) + 1.0,
+                black_box(0.0),
+                black_box(10.0),
+                1e-10,
+                100,
+            ))
+        })
+    });
+}
+
+fn bench_refine_pair(c: &mut Criterion) {
+    let (a, b_) = crossing_pair();
+    let solver = ContourSolver::default();
+    c.bench_function("refine_pair_hit", |bch| {
+        bch.iter(|| {
+            black_box(refine_pair(
+                &a,
+                &b_,
+                &solver,
+                0,
+                1,
+                Interval::new(-10.0, 10.0),
+                2.0,
+            ))
+        })
+    });
+    c.bench_function("refine_pair_miss", |bch| {
+        bch.iter(|| {
+            black_box(refine_pair(
+                &a,
+                &b_,
+                &solver,
+                0,
+                1,
+                Interval::new(500.0, 520.0),
+                2.0,
+            ))
+        })
+    });
+    c.bench_function("grid_refine_interval", |bch| {
+        bch.iter(|| black_box(grid_refine_interval(&a, &b_, &solver, 100.0, 9.8)))
+    });
+}
+
+criterion_group!(benches, bench_brent_core, bench_refine_pair);
+criterion_main!(benches);

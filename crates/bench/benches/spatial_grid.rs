@@ -1,0 +1,122 @@
+//! Spatial-grid benchmarks: the INS phase (insertion) and the CD
+//! pair-extraction phase, including the full-vs-half neighbourhood
+//! ablation (DESIGN.md §5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kessler_grid::grid::NeighborScan;
+use kessler_grid::pairset::PairSet;
+use kessler_grid::SpatialGrid;
+use kessler_math::Vec3;
+use kessler_orbits::BatchPropagator;
+
+fn positions(n: usize) -> Vec<Vec3> {
+    let population = kessler_bench::experiment_population(n);
+    BatchPropagator::new(&population).positions(0.0)
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_insert");
+    for n in [2_000usize, 8_000] {
+        let pos = positions(n);
+        group.throughput(criterion::Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("insert_all", n), |b| {
+            let grid = SpatialGrid::new(n, 9.8);
+            b.iter(|| {
+                grid.reset();
+                grid.insert_all(black_box(&pos)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_extraction(c: &mut Criterion) {
+    let n = 8_000usize;
+    let pos = positions(n);
+    let mut group = c.benchmark_group("grid_pairs");
+    // Hybrid-sized cells create meaningful occupancy.
+    for (name, scan) in [("half", NeighborScan::Half), ("full", NeighborScan::Full)] {
+        group.bench_function(BenchmarkId::new("scan", name), |b| {
+            let grid = SpatialGrid::new(n, 72.2);
+            grid.insert_all(&pos).unwrap();
+            b.iter(|| {
+                let pairs = PairSet::with_capacity(1 << 16);
+                grid.collect_candidate_pairs(0, scan, &pairs);
+                black_box(pairs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reset(c: &mut Criterion) {
+    let n = 8_000usize;
+    let pos = positions(n);
+    c.bench_function("grid_reset_8000", |b| {
+        let grid = SpatialGrid::new(n, 9.8);
+        grid.insert_all(&pos).unwrap();
+        b.iter(|| grid.reset())
+    });
+}
+
+fn bench_dense_vs_hash(c: &mut Criterion) {
+    // The §IV-A ablation: dense 3-D array vs hash grid on a bounded box.
+    use kessler_grid::DenseGrid;
+    let n = 4_000usize;
+    // Confine positions to a 2000 km box so the dense grid is allocatable.
+    let pos: Vec<Vec3> = positions(n)
+        .into_iter()
+        .map(|p| Vec3::new(
+            p.x.rem_euclid(2_000.0) - 1_000.0,
+            p.y.rem_euclid(2_000.0) - 1_000.0,
+            p.z.rem_euclid(2_000.0) - 1_000.0,
+        ))
+        .collect();
+    let mut group = c.benchmark_group("dense_vs_hash");
+    group.bench_function("dense_insert_reset", |b| {
+        let dense = DenseGrid::new(
+            Vec3::new(-1_000.0, -1_000.0, -1_000.0),
+            Vec3::new(2_000.0, 2_000.0, 2_000.0),
+            10.0,
+            n,
+        )
+        .unwrap();
+        b.iter(|| {
+            dense.reset(); // the paper's erase-per-iteration cost: O(cells)
+            black_box(dense.insert_all(&pos));
+        })
+    });
+    group.bench_function("hash_insert_reset", |b| {
+        let hash = SpatialGrid::new(n, 10.0);
+        b.iter(|| {
+            hash.reset(); // O(2n slots)
+            hash.insert_all(black_box(&pos)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_pairset(c: &mut Criterion) {
+    use kessler_grid::{CandidatePair, PairSet};
+    use rayon::prelude::*;
+    let n = 100_000u32;
+    c.bench_function("pairset_insert_100k", |b| {
+        b.iter(|| {
+            let set = PairSet::with_capacity(1 << 18);
+            (0..n).into_par_iter().for_each(|i| {
+                set.insert(CandidatePair::new(i % 5_000, (i % 5_000) + 1 + i % 37, i % 64));
+            });
+            black_box(set.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insertion,
+    bench_pair_extraction,
+    bench_reset,
+    bench_dense_vs_hash,
+    bench_pairset
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E-RTC — §V-C.1: relative time consumption per phase and variant.
+//!
+//! Paper reference values: hybrid GPU 68 % CD / 21 % INS / 9 % coplanarity;
+//! hybrid CPU 87 % CD / 9 % INS / 3 % coplanarity; grid GPU 72 % CD /
+//! 26 % INS; grid CPU 92 % CD / 7 % INS.
+
+use kessler_bench::runner::run_once;
+use kessler_bench::{experiment_population, maybe_write_json, Args};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BreakdownRow {
+    variant: String,
+    ins_pct: f64,
+    cd_pct: f64,
+    filters_pct: f64,
+    total_s: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.usize_of("--n", 4_000);
+    let span = args.f64_of("--span", 300.0);
+    let threshold = args.f64_of("--threshold", 2.0);
+    let population = experiment_population(n);
+
+    println!("§V-C.1 analogue — relative time consumption ({n} satellites, {span} s span)\n");
+    println!(
+        "{:<15} {:>8} {:>8} {:>12} {:>10}",
+        "variant", "INS %", "CD %", "filters %", "total [s]"
+    );
+
+    let mut rows = Vec::new();
+    for label in ["grid", "hybrid", "grid-gpusim", "hybrid-gpusim"] {
+        let (_, report) = run_once(label, &population, threshold, span, None);
+        let (ins, cd, fil) = report.timings.breakdown();
+        println!(
+            "{:<15} {:>8.1} {:>8.1} {:>12.1} {:>10.3}",
+            report.variant,
+            ins * 100.0,
+            cd * 100.0,
+            fil * 100.0,
+            report.timings.total.as_secs_f64()
+        );
+        rows.push(BreakdownRow {
+            variant: report.variant.clone(),
+            ins_pct: ins * 100.0,
+            cd_pct: cd * 100.0,
+            filters_pct: fil * 100.0,
+            total_s: report.timings.total.as_secs_f64(),
+        });
+        // Kernel-level breakdown for the gpusim variants.
+        if let Some(m) = &report.device_metrics {
+            let total = m.total_kernel_time().as_secs_f64().max(1e-12);
+            for (kernel, time) in &m.kernel_time {
+                println!(
+                    "    kernel {:<22} {:>6.1} % of kernel time",
+                    kernel,
+                    time.as_secs_f64() / total * 100.0
+                );
+            }
+        }
+    }
+
+    println!("\npaper reference: grid CPU 92/7/0, hybrid CPU 87/9/3,");
+    println!("                 grid GPU 72/26/0, hybrid GPU 68/21/9  (CD/INS/coplanar %)");
+    maybe_write_json(&args, &rows);
+}

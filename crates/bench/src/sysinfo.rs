@@ -1,0 +1,65 @@
+//! Host introspection for the Table-I analogue and the §V-C.3 TDP notes.
+
+use serde::Serialize;
+
+/// Description of the benchmark host.
+#[derive(Debug, Clone, Serialize)]
+pub struct SystemInfo {
+    pub os: String,
+    pub cpu_model: String,
+    pub logical_cpus: usize,
+    pub total_memory_gib: f64,
+    pub rustc_like: String,
+}
+
+fn read_first_match(path: &str, key: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().to_string())
+}
+
+impl SystemInfo {
+    pub fn collect() -> SystemInfo {
+        let cpu_model = read_first_match("/proc/cpuinfo", "model name")
+            .unwrap_or_else(|| "unknown".to_string());
+        let mem_kib: f64 = read_first_match("/proc/meminfo", "MemTotal")
+            .and_then(|v| v.split_whitespace().next().map(str::to_string))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.0);
+        let os = std::fs::read_to_string("/etc/os-release")
+            .ok()
+            .and_then(|t| {
+                t.lines()
+                    .find(|l| l.starts_with("PRETTY_NAME="))
+                    .map(|l| l.trim_start_matches("PRETTY_NAME=").trim_matches('"').to_string())
+            })
+            .unwrap_or_else(|| std::env::consts::OS.to_string());
+        SystemInfo {
+            os,
+            cpu_model,
+            logical_cpus: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            total_memory_gib: mem_kib / (1024.0 * 1024.0),
+            rustc_like: format!("rustc (edition 2021), {}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_reports_plausible_values() {
+        let info = SystemInfo::collect();
+        assert!(info.logical_cpus >= 1);
+        assert!(!info.cpu_model.is_empty());
+        // On Linux the memory read must succeed.
+        if cfg!(target_os = "linux") {
+            assert!(info.total_memory_gib > 0.1, "mem = {}", info.total_memory_gib);
+        }
+    }
+}

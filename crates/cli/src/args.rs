@@ -1,0 +1,95 @@
+//! Tiny dependency-free flag parser shared by the subcommands.
+
+/// Parsed `--flag value` / `--switch` arguments after the subcommand.
+pub struct Flags {
+    raw: Vec<String>,
+}
+
+impl Flags {
+    pub fn new(raw: Vec<String>) -> Flags {
+        Flags { raw }
+    }
+
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    pub fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    pub fn usize_of(&self, flag: &str, default: usize) -> Result<usize, String> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+        }
+    }
+
+    pub fn f64_of(&self, flag: &str, default: f64) -> Result<f64, String> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+        }
+    }
+
+    pub fn u64_of(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+        }
+    }
+
+    /// First positional (non-flag) argument.
+    pub fn positional(&self) -> Option<&str> {
+        let mut skip_next = false;
+        for a in &self.raw {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            if let Some(stripped) = a.strip_prefix("--") {
+                // Boolean switches take no value; everything else does.
+                skip_next = !matches!(stripped, "csv" | "stats" | "parallel");
+                continue;
+            }
+            return Some(a);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_values_switches_and_positionals() {
+        let f = flags(&["--n", "100", "--csv", "input.txt", "--span", "60"]);
+        assert_eq!(f.usize_of("--n", 0).unwrap(), 100);
+        assert!(f.has("--csv"));
+        assert_eq!(f.positional(), Some("input.txt"));
+        assert_eq!(f.f64_of("--span", 0.0).unwrap(), 60.0);
+        assert_eq!(f.f64_of("--absent", 7.5).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let f = flags(&["--n", "abc"]);
+        assert!(f.usize_of("--n", 0).is_err());
+    }
+
+    #[test]
+    fn positional_skips_flag_values() {
+        let f = flags(&["--seed", "42", "catalog.txt"]);
+        assert_eq!(f.positional(), Some("catalog.txt"));
+        assert!(flags(&["--seed", "42"]).positional().is_none());
+    }
+}

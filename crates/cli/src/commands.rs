@@ -1,0 +1,246 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use kessler_core::{
+    io, GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener, LegacyScreener,
+    MemoryModel, ScreeningConfig, ScreeningReport, Screener, SieveScreener, Variant,
+};
+use kessler_orbits::KeplerElements;
+use kessler_population::{tle as tle_mod, PopulationConfig, PopulationGenerator};
+
+pub fn print_usage() {
+    println!(
+        "kessler — parallel satellite conjunction screening
+
+USAGE
+  kessler <subcommand> [flags]
+
+SUBCOMMANDS
+  generate   synthesise a population      --n N [--seed S] [--out FILE] [--csv]
+  screen     run a screening variant      --variant V (--pop FILE | --n N)
+             [--threshold KM] [--span S] [--sps S] [--threads T]
+             [--json FILE] [--csv FILE]
+  plan       memory/parallelism plan      --n N [--variant V] [--threshold KM]
+             [--span S] [--sps S] [--memory-gib G]
+  tle        parse a 2LE/3LE catalog      FILE [--stats]
+  compare    accuracy across variants     --n N [--threshold KM] [--span S]
+  info       version and build info
+
+VARIANTS
+  grid | hybrid | legacy | sieve | grid-gpusim | hybrid-gpusim"
+    );
+}
+
+fn load_or_generate(flags: &Flags) -> Result<Vec<KeplerElements>, String> {
+    if let Some(path) = flags.value_of("--pop") {
+        return io::load_population(path).map_err(|e| e.to_string());
+    }
+    let n = flags.usize_of("--n", 0)?;
+    if n == 0 {
+        return Err("provide --pop FILE or --n N".into());
+    }
+    let seed = flags.u64_of("--seed", PopulationConfig::default().seed)?;
+    Ok(PopulationGenerator::new(PopulationConfig { seed, ..Default::default() }).generate(n))
+}
+
+fn build_config(flags: &Flags, variant: &str) -> Result<ScreeningConfig, String> {
+    let threshold = flags.f64_of("--threshold", 2.0)?;
+    let span = flags.f64_of("--span", 3_600.0)?;
+    let mut config = match variant {
+        "hybrid" | "hybrid-gpusim" => ScreeningConfig::hybrid_defaults(threshold, span),
+        "sieve" => SieveScreener::default_config(threshold, span),
+        _ => ScreeningConfig::grid_defaults(threshold, span),
+    };
+    if let Some(sps) = flags.value_of("--sps") {
+        config.seconds_per_sample = sps.parse().map_err(|_| "bad --sps".to_string())?;
+    }
+    if flags.value_of("--threads").is_some() {
+        config.threads = Some(flags.usize_of("--threads", 0)?);
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn screener_for(variant: &str, config: ScreeningConfig) -> Result<Box<dyn Screener>, String> {
+    Ok(match variant {
+        "grid" => Box::new(GridScreener::new(config)),
+        "hybrid" => Box::new(HybridScreener::new(config)),
+        "legacy" => Box::new(LegacyScreener::new(config)),
+        "legacy-parallel" => Box::new(LegacyScreener::new(config).parallel(true)),
+        "sieve" => Box::new(SieveScreener::new(config)),
+        "grid-gpusim" => Box::new(GpuGridScreener::new(config)),
+        "hybrid-gpusim" => Box::new(GpuHybridScreener::new(config)),
+        other => return Err(format!("unknown variant `{other}`")),
+    })
+}
+
+fn print_report_summary(report: &ScreeningReport) {
+    println!(
+        "{}: {} satellites, {} candidate pairs, {} conjunctions / {} colliding pairs in {:.3} s",
+        report.variant,
+        report.n_satellites,
+        report.candidate_pairs,
+        report.conjunction_count(),
+        report.colliding_pairs().len(),
+        report.timings.total.as_secs_f64()
+    );
+}
+
+pub fn generate(flags: &Flags) -> Result<(), String> {
+    let n = flags.usize_of("--n", 0)?;
+    if n == 0 {
+        return Err("--n N is required".into());
+    }
+    let seed = flags.u64_of("--seed", PopulationConfig::default().seed)?;
+    let population =
+        PopulationGenerator::new(PopulationConfig { seed, ..Default::default() }).generate(n);
+    match flags.value_of("--out") {
+        Some(path) if flags.has("--csv") => {
+            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            io::write_population_csv(file, &population).map_err(|e| e.to_string())?;
+            println!("wrote {n} satellites (CSV) to {path}");
+        }
+        Some(path) => {
+            io::save_population(path, &population).map_err(|e| e.to_string())?;
+            println!("wrote {n} satellites (JSON) to {path}");
+        }
+        None => {
+            io::write_population_csv(std::io::stdout(), &population)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+pub fn screen(flags: &Flags) -> Result<(), String> {
+    let variant = flags.value_of("--variant").unwrap_or("grid").to_string();
+    let population = load_or_generate(flags)?;
+    let config = build_config(flags, &variant)?;
+    let screener = screener_for(&variant, config)?;
+    let report = screener.screen(&population);
+    print_report_summary(&report);
+    for c in report.conjunctions.iter().take(10) {
+        println!(
+            "  {:>6} vs {:>6}  TCA {:>10.2} s  PCA {:>8.3} km",
+            c.id_lo, c.id_hi, c.tca, c.pca_km
+        );
+    }
+    if report.conjunction_count() > 10 {
+        println!("  … and {} more", report.conjunction_count() - 10);
+    }
+    if let Some(path) = flags.value_of("--json") {
+        io::save_report(path, &report).map_err(|e| e.to_string())?;
+        println!("report written to {path}");
+    }
+    if let Some(path) = flags.value_of("--csv") {
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        io::write_conjunctions_csv(file, &report.conjunctions).map_err(|e| e.to_string())?;
+        println!("conjunction CSV written to {path}");
+    }
+    Ok(())
+}
+
+pub fn plan(flags: &Flags) -> Result<(), String> {
+    let n = flags.usize_of("--n", 0)?;
+    if n == 0 {
+        return Err("--n N is required".into());
+    }
+    let variant_label = flags.value_of("--variant").unwrap_or("hybrid");
+    let variant = match variant_label {
+        "grid" => Variant::Grid,
+        "hybrid" => Variant::Hybrid,
+        "legacy" => Variant::Legacy,
+        "sieve" => Variant::Sieve,
+        other => return Err(format!("unknown variant `{other}`")),
+    };
+    let mut config = build_config(
+        flags,
+        if matches!(variant, Variant::Hybrid) { "hybrid" } else { "grid" },
+    )?;
+    let memory_gib = flags.f64_of("--memory-gib", 8.0)?;
+    config.memory_budget_bytes = (memory_gib * 1024.0 * 1024.0 * 1024.0) as usize;
+
+    let plan = MemoryModel::new(variant).plan(n, &config);
+    println!("memory / parallelism plan — {} variant, {} satellites", variant.label(), n);
+    println!("  budget                 : {memory_gib:.1} GiB");
+    println!("  seconds per sample     : {}{}", plan.seconds_per_sample,
+             if plan.sps_adjusted { "  (auto-reduced)" } else { "" });
+    println!("  cell size (Eq. 1)      : {:.1} km", plan.cell_size_km);
+    println!("  estimated conjunctions : {:.0} (Extra-P model)", plan.estimated_conjunctions);
+    println!("  conjunction-map slots  : {}", plan.pair_capacity);
+    println!("  satellites (a_s)       : {:.1} MiB", plan.bytes_satellites as f64 / 1048576.0);
+    println!("  Kepler data (a_k)      : {:.1} MiB", plan.bytes_kepler as f64 / 1048576.0);
+    println!("  conjunction map (a_ch) : {:.1} MiB", plan.bytes_conjunction_map as f64 / 1048576.0);
+    println!("  per-grid (a_gh + a_l)  : {:.1} MiB", plan.bytes_per_grid as f64 / 1048576.0);
+    println!("  parallel grids (p)     : {}", plan.parallel_factor);
+    println!("  total samples (o)      : {}", plan.total_steps);
+    println!("  rounds (r_c)           : {}", plan.rounds);
+    Ok(())
+}
+
+pub fn tle(flags: &Flags) -> Result<(), String> {
+    let Some(path) = flags.positional() else {
+        return Err("usage: kessler tle FILE [--stats]".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (records, errors) = tle_mod::parse_catalog(&text);
+    println!("{}: {} records parsed, {} rejected", path, records.len(), errors.len());
+    for (line, err) in errors.iter().take(5) {
+        eprintln!("  near line {line}: {err}");
+    }
+    if flags.has("--stats") && !records.is_empty() {
+        let mut altitudes: Vec<f64> = records
+            .iter()
+            .map(|r| r.elements.semi_major_axis - kessler_orbits::constants::R_EARTH)
+            .collect();
+        altitudes.sort_by(f64::total_cmp);
+        let leo = altitudes.iter().filter(|&&a| a < 2_000.0).count();
+        let geo = altitudes
+            .iter()
+            .filter(|&&a| (35_000.0..37_000.0).contains(&a))
+            .count();
+        println!("  median altitude : {:.0} km", altitudes[altitudes.len() / 2]);
+        println!("  LEO (< 2000 km) : {leo}");
+        println!("  GEO band        : {geo}");
+        let max_e = records
+            .iter()
+            .map(|r| r.elements.eccentricity)
+            .fold(0.0f64, f64::max);
+        println!("  max eccentricity: {max_e:.4}");
+    }
+    Ok(())
+}
+
+pub fn compare(flags: &Flags) -> Result<(), String> {
+    let population = load_or_generate(flags)?;
+    let variants = ["legacy", "sieve", "grid", "hybrid"];
+    let mut reports = Vec::new();
+    for v in variants {
+        let config = build_config(flags, v)?;
+        let report = screener_for(v, config)?.screen(&population);
+        print_report_summary(&report);
+        reports.push(report);
+    }
+    let reference = reports[0].colliding_pairs();
+    for report in &reports[1..] {
+        let pairs = report.colliding_pairs();
+        let missed = reference.difference(&pairs).count();
+        let extra = pairs.difference(&reference).count();
+        println!(
+            "{} vs legacy: {} missed, {} extra colliding pairs",
+            report.variant, missed, extra
+        );
+    }
+    Ok(())
+}
+
+pub fn info() -> Result<(), String> {
+    println!("kessler {} — conjunction screening with lock-free spatial grids", env!("CARGO_PKG_VERSION"));
+    println!("reproduction of Hellwig et al., IPDPS 2023 (see DESIGN.md)");
+    println!("variants: grid, hybrid, legacy, sieve, grid-gpusim, hybrid-gpusim");
+    println!(
+        "host: {} logical CPUs",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    );
+    Ok(())
+}

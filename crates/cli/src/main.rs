@@ -1,0 +1,39 @@
+//! `kessler` — command-line conjunction screening.
+//!
+//! ```text
+//! kessler generate --n 10000 --seed 7 --out population.json
+//! kessler screen --pop population.json --variant hybrid --threshold 2 --span 3600 --csv conj.csv
+//! kessler plan --n 1024000 --variant hybrid --memory-gib 24
+//! kessler tle catalog.txt --stats
+//! kessler compare --n 2000 --span 600 --threshold 10
+//! kessler info
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        commands::print_usage();
+        std::process::exit(2);
+    };
+    let flags = args::Flags::new(argv.collect());
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&flags),
+        "screen" => commands::screen(&flags),
+        "plan" => commands::plan(&flags),
+        "tle" => commands::tle(&flags),
+        "compare" => commands::compare(&flags),
+        "info" => commands::info(),
+        "help" | "--help" | "-h" => {
+            commands::print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try `kessler help`)")),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `kessler` binary.
+
+use std::process::Command;
+
+fn kessler() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kessler"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let output = kessler().args(args).output().expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let output = kessler().output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_is_an_error() {
+    let (ok, _, err) = run(&["warp"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn info_succeeds() {
+    let (ok, out, _) = run(&["info"]);
+    assert!(ok);
+    assert!(out.contains("kessler"));
+    assert!(out.contains("IPDPS 2023"));
+}
+
+#[test]
+fn plan_reports_the_paper_scale_auto_adjustment() {
+    let (ok, out, _) = run(&[
+        "plan",
+        "--n",
+        "1024000",
+        "--variant",
+        "hybrid",
+        "--memory-gib",
+        "24",
+        "--span",
+        "3600",
+    ]);
+    assert!(ok, "plan failed: {out}");
+    assert!(out.contains("auto-reduced"), "expected s_ps auto-reduction:\n{out}");
+    assert!(out.contains("parallel grids"));
+}
+
+#[test]
+fn generate_screen_round_trip() {
+    let dir = std::env::temp_dir();
+    let pop = dir.join("kessler_cli_test_pop.json");
+    let csv = dir.join("kessler_cli_test_conj.csv");
+    let pop_s = pop.to_str().unwrap();
+    let csv_s = csv.to_str().unwrap();
+
+    let (ok, out, err) = run(&["generate", "--n", "300", "--seed", "7", "--out", pop_s]);
+    assert!(ok, "generate failed: {err}");
+    assert!(out.contains("300 satellites"));
+
+    let (ok, out, err) = run(&[
+        "screen", "--pop", pop_s, "--variant", "hybrid", "--threshold", "10",
+        "--span", "600", "--csv", csv_s,
+    ]);
+    assert!(ok, "screen failed: {err}");
+    assert!(out.contains("hybrid:"), "summary missing: {out}");
+
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("id_lo,id_hi,tca_s,pca_km"));
+
+    std::fs::remove_file(&pop).ok();
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn screen_requires_a_population_source() {
+    let (ok, _, err) = run(&["screen", "--variant", "grid"]);
+    assert!(!ok);
+    assert!(err.contains("--pop") || err.contains("--n"));
+}
+
+#[test]
+fn compare_runs_all_variants() {
+    let (ok, out, err) = run(&[
+        "compare", "--n", "150", "--threshold", "10", "--span", "300",
+    ]);
+    assert!(ok, "compare failed: {err}");
+    for v in ["legacy:", "sieve:", "grid:", "hybrid:"] {
+        assert!(out.contains(v), "missing variant {v} in:\n{out}");
+    }
+    assert!(out.contains("vs legacy"));
+}
+
+#[test]
+fn tle_parses_a_catalog_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("kessler_cli_test_tle.txt");
+    std::fs::write(
+        &path,
+        "ISS (ZARYA)\n\
+         1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n\
+         2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537\n",
+    )
+    .unwrap();
+    let (ok, out, err) = run(&["tle", path.to_str().unwrap(), "--stats"]);
+    assert!(ok, "tle failed: {err}");
+    assert!(out.contains("1 records parsed"));
+    assert!(out.contains("median altitude"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_flag_values_fail_cleanly() {
+    let (ok, _, err) = run(&["generate", "--n", "not-a-number"]);
+    assert!(!ok);
+    assert!(err.contains("error:"));
+}

@@ -1,0 +1,429 @@
+//! Conjunction assessment: collision probability at a screened conjunction.
+//!
+//! The paper's screening phase deliberately stops at PCA/TCA: "all
+//! encounters with a minimal distance below this threshold are considered
+//! for further assessment" by the operator (§III). This module implements
+//! that next step — the standard short-encounter collision-probability
+//! computation (Foster & Estes 1992; Akella & Alfriend 2000):
+//!
+//! 1. Build the **encounter plane** at TCA: the plane perpendicular to the
+//!    relative velocity (valid for the fast, linear relative motion of a
+//!    LEO conjunction).
+//! 2. Project the relative position and the combined position covariance
+//!    into that plane.
+//! 3. Integrate the resulting 2-D Gaussian over the combined hard-body
+//!    disk of radius `R` (Foster's 1-D reduction with normal CDFs).
+
+use kessler_math::erf::normal_cdf;
+use kessler_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 symmetric covariance in the encounter plane (km²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Covariance2 {
+    pub xx: f64,
+    pub xy: f64,
+    pub yy: f64,
+}
+
+impl Covariance2 {
+    /// Isotropic covariance with standard deviation `sigma` km.
+    pub fn isotropic(sigma: f64) -> Covariance2 {
+        Covariance2 { xx: sigma * sigma, xy: 0.0, yy: sigma * sigma }
+    }
+
+    /// Eigen-decomposition of the symmetric 2×2 matrix:
+    /// `(λ₁, λ₂, θ)` with λ₁ ≥ λ₂ and θ the angle of the λ₁ eigenvector.
+    pub fn eigen(&self) -> (f64, f64, f64) {
+        let tr = self.xx + self.yy;
+        let det = self.xx * self.yy - self.xy * self.xy;
+        let disc = (tr * tr / 4.0 - det).max(0.0).sqrt();
+        let l1 = tr / 2.0 + disc;
+        let l2 = tr / 2.0 - disc;
+        let theta = if self.xy.abs() < 1e-300 && (self.xx - l1).abs() < 1e-300 {
+            0.0
+        } else {
+            0.5 * (2.0 * self.xy).atan2(self.xx - self.yy)
+        };
+        (l1, l2, theta)
+    }
+
+    /// Positive-definiteness check.
+    pub fn is_valid(&self) -> bool {
+        self.xx > 0.0 && self.yy > 0.0 && self.xx * self.yy - self.xy * self.xy > 0.0
+    }
+}
+
+/// The encounter geometry of one conjunction at its TCA.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EncounterGeometry {
+    /// Miss vector projected into the encounter plane, km (x, y).
+    pub miss: (f64, f64),
+    /// Miss distance, km (equals the screening PCA).
+    pub miss_distance: f64,
+    /// Relative speed at TCA, km/s.
+    pub relative_speed: f64,
+}
+
+/// Build the encounter plane from the relative state at TCA.
+///
+/// Axes: `x̂` along the projected miss vector (so `miss = (d, 0)` exactly),
+/// `ŷ` completing the right-handed triad with the relative-velocity
+/// direction. Returns `None` for degenerate geometry (zero relative
+/// velocity — the short-encounter assumption does not apply).
+pub fn encounter_geometry(rel_position: Vec3, rel_velocity: Vec3) -> Option<EncounterGeometry> {
+    let v_hat = rel_velocity.normalized()?;
+    // Component of the miss vector perpendicular to the relative velocity.
+    let perp = rel_position - v_hat * rel_position.dot(v_hat);
+    let miss_distance = perp.norm();
+    Some(EncounterGeometry {
+        miss: (miss_distance, 0.0),
+        miss_distance,
+        relative_speed: rel_velocity.norm(),
+    })
+}
+
+/// Foster's collision probability: integrate the 2-D Gaussian
+/// `N(miss, cov)` over the disk of radius `hard_body_radius` centred at
+/// the origin.
+///
+/// The x-axis is rotated into the covariance principal frame first, then
+/// the integral reduces to a 1-D quadrature of normal CDFs, evaluated with
+/// Simpson's rule on `steps` panels (default use: 512 — the integrand is
+/// smooth, so this is far below 1e-9 absolute error).
+pub fn collision_probability(
+    miss: (f64, f64),
+    cov: Covariance2,
+    hard_body_radius: f64,
+    steps: usize,
+) -> f64 {
+    assert!(hard_body_radius >= 0.0, "negative hard-body radius");
+    if hard_body_radius == 0.0 {
+        return 0.0;
+    }
+    assert!(cov.is_valid(), "covariance must be positive definite");
+
+    // Principal-axis frame: rotate the miss vector by −θ.
+    let (l1, l2, theta) = cov.eigen();
+    let (s, c) = theta.sin_cos();
+    let mx = c * miss.0 + s * miss.1;
+    let my = -s * miss.0 + c * miss.1;
+    let (sx, sy) = (l1.sqrt(), l2.sqrt());
+
+    let r = hard_body_radius;
+    let n = steps.max(2) + steps % 2; // even panel count for Simpson
+    // Substitute x = R·sin φ: the half-chord becomes R·cos φ and the
+    // integrand is smooth at the disk edges (plain Simpson on x stalls at
+    // O(h^1.5) because of the √(R²−x²) endpoint derivative).
+    let h = std::f64::consts::PI / n as f64; // φ ∈ [−π/2, π/2]
+    let integrand = |phi: f64| -> f64 {
+        let (sp, cp) = phi.sin_cos();
+        let x = r * sp;
+        let half_chord = r * cp;
+        let gx = (-0.5 * ((x - mx) / sx).powi(2)).exp()
+            / (sx * (std::f64::consts::TAU).sqrt());
+        let band = normal_cdf((half_chord - my) / sy) - normal_cdf((-half_chord - my) / sy);
+        gx * band * r * cp // dx = R·cos φ·dφ
+    };
+    let lo = -std::f64::consts::FRAC_PI_2;
+    let mut sum = integrand(lo) + integrand(-lo);
+    for k in 1..n {
+        let phi = lo + k as f64 * h;
+        sum += integrand(phi) * if k % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    (sum * h / 3.0).clamp(0.0, 1.0)
+}
+
+/// A position covariance expressed in a satellite's RIC (radial /
+/// in-track / cross-track) frame, the convention of operational
+/// conjunction data messages. Diagonal form: most CDMs quote the three
+/// standard deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RicCovariance {
+    /// Radial standard deviation, km.
+    pub sigma_r: f64,
+    /// In-track standard deviation, km (usually the largest: along-track
+    /// timing error dominates catalog uncertainty).
+    pub sigma_i: f64,
+    /// Cross-track standard deviation, km.
+    pub sigma_c: f64,
+}
+
+impl RicCovariance {
+    /// Typical radar-catalog uncertainty one day after the last
+    /// observation (order-of-magnitude defaults).
+    pub fn typical_catalog() -> RicCovariance {
+        RicCovariance { sigma_r: 0.1, sigma_i: 0.5, sigma_c: 0.1 }
+    }
+
+    /// RIC axes for a satellite state: radial (position direction),
+    /// cross-track (orbit normal), in-track (completing the triad).
+    /// Returns `None` for degenerate states.
+    pub fn ric_axes(state: &kessler_orbits::CartesianState) -> Option<(Vec3, Vec3, Vec3)> {
+        let r_hat = state.position.normalized()?;
+        let c_hat = state.position.cross(state.velocity).normalized()?;
+        let i_hat = c_hat.cross(r_hat);
+        Some((r_hat, i_hat, c_hat))
+    }
+
+    /// Project this (diagonal RIC) covariance into the encounter plane
+    /// spanned by the orthonormal axes `x_hat`, `y_hat` (ECI vectors).
+    ///
+    /// `Σ_plane[a][b] = Σ_k σ_k² (ê_k · â)(ê_k · b̂)` over the three RIC
+    /// axes of the owning satellite.
+    pub fn project(
+        &self,
+        state: &kessler_orbits::CartesianState,
+        x_hat: Vec3,
+        y_hat: Vec3,
+    ) -> Option<Covariance2> {
+        let (r_hat, i_hat, c_hat) = Self::ric_axes(state)?;
+        let axes = [
+            (self.sigma_r * self.sigma_r, r_hat),
+            (self.sigma_i * self.sigma_i, i_hat),
+            (self.sigma_c * self.sigma_c, c_hat),
+        ];
+        let mut cov = Covariance2 { xx: 0.0, xy: 0.0, yy: 0.0 };
+        for (var, e) in axes {
+            let ex = e.dot(x_hat);
+            let ey = e.dot(y_hat);
+            cov.xx += var * ex * ex;
+            cov.xy += var * ex * ey;
+            cov.yy += var * ey * ey;
+        }
+        Some(cov)
+    }
+}
+
+/// Combined encounter-plane covariance of two satellites with RIC
+/// covariances, plus the encounter geometry, from their states at TCA.
+///
+/// Returns `(geometry, combined_covariance)`; the encounter plane's x-axis
+/// is along the projected miss vector, the y-axis completes the triad with
+/// the relative-velocity direction. `None` for degenerate geometry
+/// (parallel motion or zero miss vector with zero relative speed).
+pub fn encounter_covariance(
+    state_a: &kessler_orbits::CartesianState,
+    cov_a: &RicCovariance,
+    state_b: &kessler_orbits::CartesianState,
+    cov_b: &RicCovariance,
+) -> Option<(EncounterGeometry, Covariance2)> {
+    let rel_p = state_a.position - state_b.position;
+    let rel_v = state_a.velocity - state_b.velocity;
+    let geom = encounter_geometry(rel_p, rel_v)?;
+    let v_hat = rel_v.normalized()?;
+    // Plane axes: x along the projected miss vector (or any perpendicular
+    // if the miss is head-on-zero), y = v̂ × x̂.
+    let perp = rel_p - v_hat * rel_p.dot(v_hat);
+    let x_hat = perp.normalized().or_else(|| {
+        // Zero miss: any direction perpendicular to v̂ serves.
+        let trial = if v_hat.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        (trial - v_hat * trial.dot(v_hat)).normalized()
+    })?;
+    let y_hat = v_hat.cross(x_hat);
+    let ca = cov_a.project(state_a, x_hat, y_hat)?;
+    let cb = cov_b.project(state_b, x_hat, y_hat)?;
+    Some((
+        geom,
+        Covariance2 { xx: ca.xx + cb.xx, xy: ca.xy + cb.xy, yy: ca.yy + cb.yy },
+    ))
+}
+
+/// Convenience: probability for an encounter with isotropic combined
+/// position uncertainty `sigma_km` per axis.
+pub fn collision_probability_isotropic(
+    miss_distance_km: f64,
+    sigma_km: f64,
+    hard_body_radius_km: f64,
+) -> f64 {
+    collision_probability(
+        (miss_distance_km, 0.0),
+        Covariance2::isotropic(sigma_km),
+        hard_body_radius_km,
+        512,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let c = Covariance2 { xx: 4.0, xy: 0.0, yy: 1.0 };
+        let (l1, l2, theta) = c.eigen();
+        assert_eq!((l1, l2), (4.0, 1.0));
+        assert!(theta.abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_of_rotated_matrix() {
+        // 45°-rotated diag(4, 1): xx = yy = 2.5, xy = 1.5.
+        let c = Covariance2 { xx: 2.5, xy: 1.5, yy: 2.5 };
+        let (l1, l2, theta) = c.eigen();
+        assert!((l1 - 4.0).abs() < 1e-12);
+        assert!((l2 - 1.0).abs() < 1e-12);
+        assert!((theta - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_isotropic_matches_rayleigh_closed_form() {
+        // For a centred isotropic Gaussian, Pc = 1 − exp(−R²/2σ²).
+        for (r, sigma) in [(0.5, 1.0), (1.0, 1.0), (2.0, 1.5), (0.01, 0.1)] {
+            let pc = collision_probability((0.0, 0.0), Covariance2::isotropic(sigma), r, 512);
+            let analytic = 1.0 - (-r * r / (2.0 * sigma * sigma)).exp();
+            assert!(
+                (pc - analytic).abs() < 1e-6,
+                "R={r}, σ={sigma}: {pc} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_decreases_with_miss_distance() {
+        let cov = Covariance2::isotropic(1.0);
+        let mut prev = 1.0;
+        for d in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let pc = collision_probability((d, 0.0), cov, 0.1, 512);
+            assert!(pc <= prev + 1e-12, "Pc must fall with miss distance");
+            prev = pc;
+        }
+    }
+
+    #[test]
+    fn tight_covariance_makes_the_outcome_certain() {
+        let cov = Covariance2::isotropic(1e-4);
+        // Miss well inside the hard body: certain collision.
+        assert!(collision_probability((0.01, 0.0), cov, 0.05, 512) > 0.999_99);
+        // Miss well outside: certain miss.
+        assert!(collision_probability((1.0, 0.0), cov, 0.05, 512) < 1e-12);
+    }
+
+    #[test]
+    fn huge_hard_body_captures_everything() {
+        let cov = Covariance2::isotropic(1.0);
+        assert!(collision_probability((0.5, 0.3), cov, 50.0, 512) > 0.999_999);
+    }
+
+    #[test]
+    fn zero_radius_is_zero_probability() {
+        assert_eq!(
+            collision_probability((0.0, 0.0), Covariance2::isotropic(1.0), 0.0, 512),
+            0.0
+        );
+    }
+
+    #[test]
+    fn anisotropic_covariance_prefers_the_long_axis() {
+        // Strongly elongated along x: a miss along x is "inside" the error
+        // ellipse and more probable than the same miss along y.
+        let cov = Covariance2 { xx: 9.0, xy: 0.0, yy: 0.01 };
+        let along_x = collision_probability((2.0, 0.0), cov, 0.1, 1024);
+        let along_y = collision_probability((0.0, 2.0), cov, 0.1, 1024);
+        assert!(
+            along_x > 100.0 * along_y,
+            "along_x = {along_x}, along_y = {along_y}"
+        );
+    }
+
+    #[test]
+    fn rotation_invariance_of_isotropic_case() {
+        let cov = Covariance2::isotropic(0.7);
+        let a = collision_probability((1.0, 0.0), cov, 0.2, 512);
+        let b = collision_probability((0.0, 1.0), cov, 0.2, 512);
+        let c = collision_probability((0.6, 0.8), cov, 0.2, 512);
+        // Differences stem from the erf kernel's ~1e-7 absolute error and
+        // the orientation of the quadrature axis.
+        assert!((a - b).abs() < 1e-6);
+        assert!((a - c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encounter_geometry_projects_out_the_velocity_component() {
+        // Relative position with a component along the velocity: only the
+        // perpendicular part is the miss.
+        let rel_v = Vec3::new(10.0, 0.0, 0.0);
+        let rel_p = Vec3::new(123.0, 3.0, 4.0);
+        let g = encounter_geometry(rel_p, rel_v).unwrap();
+        assert!((g.miss_distance - 5.0).abs() < 1e-12);
+        assert!((g.relative_speed - 10.0).abs() < 1e-12);
+        assert!(encounter_geometry(rel_p, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn ric_axes_are_orthonormal() {
+        use kessler_orbits::CartesianState;
+        let state = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.1, 7.5, 0.2));
+        let (r, i, c) = RicCovariance::ric_axes(&state).unwrap();
+        for v in [r, i, c] {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(r.dot(i).abs() < 1e-12);
+        assert!(r.dot(c).abs() < 1e-12);
+        assert!(i.dot(c).abs() < 1e-12);
+        // Radial axis points along the position.
+        assert!(r.dot(Vec3::X) > 0.999);
+    }
+
+    #[test]
+    fn projection_preserves_total_variance_for_isotropic_ric() {
+        use kessler_orbits::CartesianState;
+        // Isotropic RIC: the projection must be isotropic in any plane.
+        let state = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 7.5, 0.0));
+        let ric = RicCovariance { sigma_r: 0.3, sigma_i: 0.3, sigma_c: 0.3 };
+        let cov = ric.project(&state, Vec3::Y, Vec3::Z).unwrap();
+        assert!((cov.xx - 0.09).abs() < 1e-12);
+        assert!((cov.yy - 0.09).abs() < 1e-12);
+        assert!(cov.xy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_track_dominant_covariance_projects_anisotropically() {
+        use kessler_orbits::CartesianState;
+        // In-track = +Y for this state; the plane axis aligned with Y must
+        // carry the large variance.
+        let state = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 7.5, 0.0));
+        let ric = RicCovariance { sigma_r: 0.05, sigma_i: 1.0, sigma_c: 0.05 };
+        let cov = ric.project(&state, Vec3::Y, Vec3::Z).unwrap();
+        assert!(cov.xx > 0.99 && cov.xx < 1.01, "in-track variance on x: {}", cov.xx);
+        assert!(cov.yy < 0.01, "cross-track variance on y: {}", cov.yy);
+    }
+
+    #[test]
+    fn encounter_covariance_end_to_end() {
+        use kessler_orbits::CartesianState;
+        // Head-on encounter with a 1 km radial miss.
+        let a = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 7.5, 0.0));
+        let b = CartesianState::new(Vec3::new(7_001.0, 0.0, 0.0), Vec3::new(0.0, -7.5, 0.0));
+        let ric = RicCovariance::typical_catalog();
+        let (geom, cov) = encounter_covariance(&a, &ric, &b, &ric).unwrap();
+        assert!((geom.miss_distance - 1.0).abs() < 1e-9);
+        assert!((geom.relative_speed - 15.0).abs() < 1e-9);
+        assert!(cov.is_valid());
+        // The miss is radial; both satellites' radial σ (0.1) add in
+        // quadrature on the x axis: xx = 2·0.01 = 0.02.
+        assert!((cov.xx - 0.02).abs() < 1e-9, "xx = {}", cov.xx);
+        let pc = collision_probability(geom.miss, cov, 0.02, 512);
+        assert!((0.0..1.0).contains(&pc));
+    }
+
+    #[test]
+    fn zero_miss_head_on_still_produces_a_plane() {
+        use kessler_orbits::CartesianState;
+        let a = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 7.5, 0.0));
+        let b = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, -7.5, 0.0));
+        let ric = RicCovariance::typical_catalog();
+        let (geom, cov) = encounter_covariance(&a, &ric, &b, &ric).unwrap();
+        assert_eq!(geom.miss_distance, 0.0);
+        assert!(cov.is_valid());
+        // Dead-centre: Pc is substantial for a 20 m object with 100 m σ.
+        let pc = collision_probability(geom.miss, cov, 0.02, 512);
+        assert!(pc > 1e-3, "pc = {pc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn invalid_covariance_is_rejected() {
+        collision_probability((0.0, 0.0), Covariance2 { xx: 1.0, xy: 2.0, yy: 1.0 }, 0.1, 64);
+    }
+}

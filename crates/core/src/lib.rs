@@ -1,0 +1,58 @@
+//! Conjunction screening with lock-free spatial grids — the core library of
+//! the `kessler` workspace, reproducing the system of
+//! *"Satellite Collision Detection using Spatial Data Structures"*
+//! (Hellwig, Czappa, Michel, Bertrand, Wolf — IPDPS 2023).
+//!
+//! # Quick start
+//!
+//! ```
+//! use kessler_core::{GridScreener, ScreeningConfig, Screener};
+//! use kessler_orbits::KeplerElements;
+//!
+//! // Two satellites on crossing circular orbits that meet near t = 0.
+//! let population = vec![
+//!     KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+//!     KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+//! ];
+//! let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+//! let report = GridScreener::new(config).screen(&population);
+//! assert!(report.conjunction_count() >= 1);
+//! ```
+//!
+//! # Variants
+//!
+//! * [`GridScreener`] — the paper's purely grid-based variant: small cells
+//!   (Eq. 1), small time steps; every grid candidate goes straight to Brent
+//!   PCA/TCA refinement.
+//! * [`HybridScreener`] — the grid as a pre-filter with larger steps and
+//!   cells, followed by the classical orbital filter chain whose time
+//!   windows drive the refinement.
+//! * [`LegacyScreener`] — the all-on-all filter-chain baseline
+//!   (quadratic pair enumeration).
+//! * [`SieveScreener`] — the (smart) sieve comparison variant from the
+//!   paper's related work (§II): per-step Cartesian rejection cascades.
+//! * [`GpuGridScreener`] / [`GpuHybridScreener`] — the same algorithms
+//!   expressed as kernels on the [`kessler_gpusim`] execution simulator
+//!   (CUDA substitution; see DESIGN.md §3).
+
+pub mod assessment;
+pub mod config;
+pub mod conjunction;
+pub mod cube;
+pub mod io;
+pub mod planner;
+pub mod refine;
+pub mod screener;
+pub mod timing;
+
+pub use config::{ScreeningConfig, Variant};
+pub use conjunction::{Conjunction, ScreeningReport};
+pub use planner::{MemoryModel, PlannerReport};
+pub use screener::gpu::{GpuGridScreener, GpuHybridScreener, MultiDeviceGridScreener};
+pub use screener::grid::GridScreener;
+pub use screener::hybrid::HybridScreener;
+pub use screener::legacy::LegacyScreener;
+pub use screener::sgp4_grid::Sgp4GridScreener;
+pub use screener::sieve::SieveScreener;
+pub use screener::Screener;
+pub use timing::PhaseTimings;

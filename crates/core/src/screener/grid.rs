@@ -1,0 +1,209 @@
+//! The purely grid-based screening variant (§III, §IV).
+
+use crate::config::{ScreeningConfig, Variant};
+use crate::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
+use crate::planner::MemoryModel;
+use crate::refine::{grid_refine_interval, refine_pair};
+use crate::screener::grid_phase::run_grid_phase;
+use crate::screener::{run_in_pool, Screener};
+use crate::timing::{PhaseTimer, PhaseTimings};
+use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Grid-based conjunction screener.
+///
+/// Pipeline per §III: allocate once → per step: parallel propagation +
+/// insertion + pair extraction → Brent PCA/TCA refinement of every
+/// candidate (no orbital filters).
+pub struct GridScreener {
+    config: ScreeningConfig,
+    solver: ContourSolver,
+}
+
+impl GridScreener {
+    pub fn new(config: ScreeningConfig) -> GridScreener {
+        config.validate().expect("invalid screening configuration");
+        GridScreener { config, solver: ContourSolver::default() }
+    }
+
+    pub fn config(&self) -> &ScreeningConfig {
+        &self.config
+    }
+}
+
+impl Screener for GridScreener {
+    fn screen(&self, population: &[KeplerElements]) -> ScreeningReport {
+        let config = self.config;
+        let solver = self.solver;
+        run_in_pool(config.threads, move || {
+            let wall = Instant::now();
+            let mut timings = PhaseTimings::default();
+            let planner = MemoryModel::new(Variant::Grid).plan(population.len(), &config);
+
+            // Step 1 (§III): fixed allocations — satellite data and the
+            // precomputed Kepler solver constants.
+            let propagator = BatchPropagator::new(population);
+
+            // Steps 2: propagation, insertion, pair identification.
+            let phase = run_grid_phase(&propagator, &config, &planner, &mut timings);
+            let candidate_entries = phase.entries.len();
+            let candidate_pairs = phase
+                .entries
+                .iter()
+                .map(|e| (e.id_lo, e.id_hi))
+                .collect::<HashSet<_>>()
+                .len();
+
+            // Step 4: PCA/TCA determination, one Brent search per
+            // candidate occurrence, all independent (§IV-C).
+            let mut found: Vec<Conjunction>;
+            {
+                let _timer = PhaseTimer::start(&mut timings.refinement);
+                let constants = propagator.constants();
+                found = phase
+                    .entries
+                    .par_iter()
+                    .filter_map(|entry| {
+                        let a = &constants[entry.id_lo as usize];
+                        let b = &constants[entry.id_hi as usize];
+                        let t = entry.step as f64 * planner.seconds_per_sample;
+                        let interval =
+                            grid_refine_interval(a, b, &solver, t, planner.cell_size_km);
+                        refine_pair(
+                            a,
+                            b,
+                            &solver,
+                            entry.id_lo,
+                            entry.id_hi,
+                            interval,
+                            config.threshold_km,
+                        )
+                    })
+                    .collect();
+            }
+            found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+
+            timings.total = wall.elapsed();
+            ScreeningReport {
+                variant: Variant::Grid.label().to_string(),
+                n_satellites: population.len(),
+                config,
+                conjunctions: found,
+                candidate_entries,
+                candidate_pairs,
+                pair_set_regrows: phase.regrows,
+                timings,
+                planner,
+                filter_stats: None,
+                device_metrics: None,
+            }
+        })
+    }
+
+    fn label(&self) -> &str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crossing_pair_population() -> Vec<KeplerElements> {
+        vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn detects_a_head_on_conjunction() {
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let report = GridScreener::new(config).screen(&crossing_pair_population());
+        assert!(report.conjunction_count() >= 1, "report: {report:?}");
+        let c = &report.conjunctions[0];
+        assert_eq!(c.pair(), (0, 1));
+        assert!(c.tca.abs() < 1.0, "tca = {}", c.tca);
+        assert!(c.pca_km < 1.0, "pca = {}", c.pca_km);
+    }
+
+    #[test]
+    fn distant_satellites_produce_nothing() {
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(9_000.0, 0.0, 1.2, 1.0, 0.0, 2.0).unwrap(),
+        ];
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let report = GridScreener::new(config).screen(&pop);
+        assert_eq!(report.conjunction_count(), 0);
+        assert_eq!(report.candidate_entries, 0);
+    }
+
+    #[test]
+    fn recurring_conjunctions_are_counted_per_encounter() {
+        // Same-period crossing orbits meet at the node every revolution:
+        // screening 2.2 periods must find ≥ 2 distinct conjunctions (the
+        // dedup must NOT collapse different passes).
+        let pop = crossing_pair_population();
+        let period = pop[0].period();
+        let config = ScreeningConfig::grid_defaults(2.0, 2.2 * period);
+        let report = GridScreener::new(config).screen(&pop);
+        assert!(
+            report.conjunction_count() >= 2,
+            "found {} conjunctions",
+            report.conjunction_count()
+        );
+        // All for the same colliding pair.
+        assert_eq!(report.colliding_pairs().len(), 1);
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        let config = ScreeningConfig::grid_defaults(2.0, 60.0);
+        let report = GridScreener::new(config).screen(&[]);
+        assert_eq!(report.conjunction_count(), 0);
+        assert_eq!(report.n_satellites, 0);
+    }
+
+    #[test]
+    fn single_satellite_is_fine() {
+        let config = ScreeningConfig::grid_defaults(2.0, 60.0);
+        let pop = vec![KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap()];
+        let report = GridScreener::new(config).screen(&pop);
+        assert_eq!(report.conjunction_count(), 0);
+    }
+
+    #[test]
+    fn explicit_thread_count_gives_identical_results() {
+        let pop = crossing_pair_population();
+        let mut config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let baseline = GridScreener::new(config).screen(&pop);
+        config.threads = Some(1);
+        let single = GridScreener::new(config).screen(&pop);
+        assert_eq!(baseline.conjunction_count(), single.conjunction_count());
+        for (a, b) in baseline.conjunctions.iter().zip(&single.conjunctions) {
+            assert_eq!(a.pair(), b.pair());
+            assert!((a.tca - b.tca).abs() < 1e-6);
+            assert!((a.pca_km - b.pca_km).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let config = ScreeningConfig::grid_defaults(2.0, 120.0);
+        let report = GridScreener::new(config).screen(&crossing_pair_population());
+        assert!(report.timings.total.as_nanos() > 0);
+        assert!(report.timings.insertion.as_nanos() > 0);
+        assert!(report.timings.total >= report.timings.insertion);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid screening configuration")]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        config.threshold_km = -1.0;
+        GridScreener::new(config);
+    }
+}

@@ -1,0 +1,301 @@
+//! The hybrid screening variant (§III, §IV-C): grid pre-filter with larger
+//! cells and steps, classical orbital filters on the candidates, Brent
+//! refinement inside the filter-derived time windows.
+
+use crate::config::{ScreeningConfig, Variant};
+use crate::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
+use crate::planner::MemoryModel;
+use crate::refine::{grid_refine_interval, refine_pair};
+use crate::screener::grid_phase::run_grid_phase;
+use crate::screener::{run_in_pool, Screener};
+use crate::timing::{PhaseTimer, PhaseTimings};
+use kessler_filters::{FilterChain, FilterConfig, FilterDecision};
+use kessler_math::Interval;
+use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Hybrid conjunction screener.
+pub struct HybridScreener {
+    config: ScreeningConfig,
+    filter_config: FilterConfig,
+    solver: ContourSolver,
+}
+
+/// A unique candidate pair with every sampling step the grid saw it at.
+struct GroupedPair {
+    id_lo: u32,
+    id_hi: u32,
+    steps: Vec<u32>,
+}
+
+impl HybridScreener {
+    pub fn new(config: ScreeningConfig) -> HybridScreener {
+        config.validate().expect("invalid screening configuration");
+        HybridScreener {
+            config,
+            filter_config: FilterConfig::new(config.threshold_km),
+            solver: ContourSolver::default(),
+        }
+    }
+
+    /// Override the filter configuration (padding, coplanarity tolerance).
+    pub fn with_filter_config(mut self, fc: FilterConfig) -> HybridScreener {
+        self.filter_config = fc;
+        self
+    }
+
+    pub fn config(&self) -> &ScreeningConfig {
+        &self.config
+    }
+}
+
+/// Collapse (pair, step) entries into unique pairs with their step lists.
+fn group_pairs(mut entries: Vec<kessler_grid::CandidatePair>) -> Vec<GroupedPair> {
+    entries.sort_unstable();
+    let mut out: Vec<GroupedPair> = Vec::new();
+    for e in entries {
+        match out.last_mut() {
+            Some(g) if g.id_lo == e.id_lo && g.id_hi == e.id_hi => g.steps.push(e.step),
+            _ => out.push(GroupedPair { id_lo: e.id_lo, id_hi: e.id_hi, steps: vec![e.step] }),
+        }
+    }
+    out
+}
+
+impl Screener for HybridScreener {
+    fn screen(&self, population: &[KeplerElements]) -> ScreeningReport {
+        let config = self.config;
+        let filter_config = self.filter_config;
+        let solver = self.solver;
+        run_in_pool(config.threads, move || {
+            let wall = Instant::now();
+            let mut timings = PhaseTimings::default();
+            let planner = MemoryModel::new(Variant::Hybrid).plan(population.len(), &config);
+
+            let propagator = BatchPropagator::new(population);
+
+            // Grid pre-filter at the (possibly reduced) hybrid step size.
+            let phase = run_grid_phase(&propagator, &config, &planner, &mut timings);
+            let candidate_entries = phase.entries.len();
+            let grouped = group_pairs(phase.entries);
+            let candidate_pairs = grouped.len();
+
+            // Step 3 (§III): orbital filters on the unique pairs.
+            let chain = FilterChain::new(filter_config);
+            let span = Interval::new(0.0, config.span_seconds);
+            let decisions: Vec<FilterDecision>;
+            {
+                let _timer = PhaseTimer::start(&mut timings.filters);
+                decisions = grouped
+                    .par_iter()
+                    .map(|g| {
+                        chain.evaluate(
+                            &population[g.id_lo as usize],
+                            &population[g.id_hi as usize],
+                            span,
+                        )
+                    })
+                    .collect();
+            }
+
+            // Step 4: PCA/TCA determination. Non-coplanar survivors search
+            // the filter windows; coplanar pairs fall back to the
+            // grid-style per-step intervals (§IV-C).
+            let mut found: Vec<Conjunction>;
+            {
+                let _timer = PhaseTimer::start(&mut timings.refinement);
+                let constants = propagator.constants();
+                found = grouped
+                    .par_iter()
+                    .zip(decisions.par_iter())
+                    .flat_map_iter(|(g, decision)| {
+                        let a = &constants[g.id_lo as usize];
+                        let b = &constants[g.id_hi as usize];
+                        let mut local: Vec<Conjunction> = Vec::new();
+                        match decision {
+                            FilterDecision::Windows(windows) => {
+                                for w in windows {
+                                    // Pad a little so boundary minima are
+                                    // interior; refine_pair clips escapes.
+                                    let padded = w.padded(1.0);
+                                    if let Some(c) = refine_pair(
+                                        a,
+                                        b,
+                                        &solver,
+                                        g.id_lo,
+                                        g.id_hi,
+                                        padded,
+                                        config.threshold_km,
+                                    ) {
+                                        local.push(c);
+                                    }
+                                }
+                            }
+                            FilterDecision::Coplanar => {
+                                for &step in &g.steps {
+                                    let t = step as f64 * planner.seconds_per_sample;
+                                    let interval = grid_refine_interval(
+                                        a,
+                                        b,
+                                        &solver,
+                                        t,
+                                        planner.cell_size_km,
+                                    );
+                                    if let Some(c) = refine_pair(
+                                        a,
+                                        b,
+                                        &solver,
+                                        g.id_lo,
+                                        g.id_hi,
+                                        interval,
+                                        config.threshold_km,
+                                    ) {
+                                        local.push(c);
+                                    }
+                                }
+                            }
+                            FilterDecision::ExcludedApsis
+                            | FilterDecision::ExcludedPath
+                            | FilterDecision::ExcludedTime => {}
+                        }
+                        local
+                    })
+                    .collect();
+            }
+            found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+            // Conjunctions must lie inside the screened span.
+            found.retain(|c| c.tca >= span.start - 1e-9 && c.tca <= span.end + 1e-9);
+
+            timings.total = wall.elapsed();
+            ScreeningReport {
+                variant: Variant::Hybrid.label().to_string(),
+                n_satellites: population.len(),
+                config,
+                conjunctions: found,
+                candidate_entries,
+                candidate_pairs,
+                pair_set_regrows: phase.regrows,
+                timings,
+                planner,
+                filter_stats: Some(chain.stats.snapshot()),
+                device_metrics: None,
+            }
+        })
+    }
+
+    fn label(&self) -> &str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crossing_pair_population() -> Vec<KeplerElements> {
+        vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn detects_the_head_on_conjunction_via_windows() {
+        let config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        let report = HybridScreener::new(config).screen(&crossing_pair_population());
+        assert!(report.conjunction_count() >= 1, "report: {report:?}");
+        let c = &report.conjunctions[0];
+        assert_eq!(c.pair(), (0, 1));
+        assert!(c.tca.abs() < 1.0, "tca = {}", c.tca);
+        // The filter stats must show the pair went through the chain.
+        let stats = report.filter_stats.unwrap();
+        assert_eq!(stats.tested, 1);
+        assert_eq!(stats.kept, 1);
+    }
+
+    #[test]
+    fn coplanar_candidates_take_the_sampled_path() {
+        // Two coplanar satellites, one trailing the other closely on the
+        // same orbit — within the (huge) hybrid cells but never within the
+        // threshold.
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.001, 0.9, 1.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.001, 0.9, 1.0, 0.0, 0.005).unwrap(),
+        ];
+        let config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        let report = HybridScreener::new(config).screen(&pop);
+        let stats = report.filter_stats.unwrap();
+        assert_eq!(stats.coplanar, 1, "stats: {stats:?}");
+        // Separation ≈ 0.005 rad · 7000 km = 35 km > 2 km: no conjunction.
+        assert_eq!(report.conjunction_count(), 0);
+    }
+
+    #[test]
+    fn coplanar_collision_course_is_detected() {
+        // Two satellites on the same eccentric orbit with a tiny phase
+        // offset stay ~0.7 m apart. Their chord distance oscillates with
+        // the orbital period, so a span covering a full revolution contains
+        // a genuine local minimum (PCA) — which the coplanar sampled path
+        // must find. (Over a short span the distance is monotone and the
+        // strict PCA definition correctly yields nothing.)
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.001, 0.9, 1.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.001, 0.9, 1.0, 0.0, 1e-7).unwrap(),
+        ];
+        let period = pop[0].period();
+        let config = ScreeningConfig::hybrid_defaults(2.0, 1.2 * period);
+        let report = HybridScreener::new(config).screen(&pop);
+        assert!(report.conjunction_count() >= 1, "report: {report:?}");
+        assert_eq!(report.filter_stats.unwrap().coplanar, 1);
+    }
+
+    #[test]
+    fn apsis_separated_candidates_are_filtered_out() {
+        // A LEO pair in the same *cell volume* cannot exist with a GEO
+        // bird, so instead verify the stats path: LEO + slightly higher
+        // LEO in crossing planes whose shells are 100+ km apart: the grid
+        // (72 km cells) may pair them, the chain must drop them.
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_130.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ];
+        let config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        let report = HybridScreener::new(config).screen(&pop);
+        assert_eq!(report.conjunction_count(), 0);
+        if let Some(stats) = report.filter_stats {
+            if stats.tested > 0 {
+                assert_eq!(stats.kept, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_uses_larger_cells_than_grid() {
+        let config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        let report = HybridScreener::new(config).screen(&crossing_pair_population());
+        assert!(report.planner.cell_size_km > 70.0);
+        assert_eq!(report.variant, "hybrid");
+    }
+
+    #[test]
+    fn group_pairs_collapses_steps() {
+        use kessler_grid::CandidatePair;
+        let grouped = group_pairs(vec![
+            CandidatePair::new(1, 2, 5),
+            CandidatePair::new(1, 2, 3),
+            CandidatePair::new(2, 3, 0),
+            CandidatePair::new(1, 2, 9),
+        ]);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].steps, vec![3, 5, 9]);
+        assert_eq!((grouped[1].id_lo, grouped[1].id_hi), (2, 3));
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        let config = ScreeningConfig::hybrid_defaults(2.0, 60.0);
+        let report = HybridScreener::new(config).screen(&[]);
+        assert_eq!(report.conjunction_count(), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Grid screening with SGP4 dynamics — real-catalog screening.
+//!
+//! The paper's evaluation uses two-body propagation, which is exact for its
+//! synthetic elements; real TLE catalogs demand SGP4 (their elements are
+//! SGP4 mean elements, and drag/J2 secular motion shifts LEO positions by
+//! kilometres within hours). This screener runs the identical grid pipeline
+//! — Eq. 1 cells, lock-free insertion, 26-neighbourhood candidate
+//! extraction, Brent PCA/TCA refinement with boundary-escape handling —
+//! on top of the from-scratch [`kessler_orbits::sgp4`] propagator.
+//!
+//! Construction skips (and reports) objects SGP4 cannot handle
+//! (deep-space period, invalid elements) instead of failing the batch, the
+//! behaviour an operational catalog screen needs.
+
+use crate::config::{ScreeningConfig, Variant};
+use crate::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
+use crate::planner::MemoryModel;
+use crate::refine::refine_pair_with;
+use crate::screener::{run_in_pool, Screener};
+use crate::timing::{PhaseTimer, PhaseTimings};
+use kessler_grid::pairset::PairSet;
+use kessler_grid::SpatialGrid;
+use kessler_math::{Interval, Vec3};
+use kessler_orbits::sgp4::{MeanElements, Sgp4, Sgp4Error};
+use kessler_orbits::KeplerElements;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Grid screener over SGP4-propagated TLE mean elements.
+pub struct Sgp4GridScreener {
+    config: ScreeningConfig,
+    propagators: Vec<Sgp4>,
+    /// Indices (into the input slice) of objects SGP4 rejected, with the
+    /// reason — deep-space objects, decayed orbits.
+    skipped: Vec<(usize, Sgp4Error)>,
+}
+
+impl Sgp4GridScreener {
+    /// Initialise from TLE mean elements. Unpropagatable objects are
+    /// recorded in [`Sgp4GridScreener::skipped`] and excluded from the
+    /// screen; their ids never appear in conjunctions.
+    pub fn new(config: ScreeningConfig, elements: &[MeanElements]) -> Sgp4GridScreener {
+        config.validate().expect("invalid screening configuration");
+        let mut propagators = Vec::with_capacity(elements.len());
+        let mut skipped = Vec::new();
+        for (i, el) in elements.iter().enumerate() {
+            match Sgp4::new(el) {
+                Ok(p) => propagators.push(p),
+                Err(e) => {
+                    skipped.push((i, e));
+                    // Keep index alignment with a placeholder that is
+                    // never propagated (masked below).
+                    propagators.push(
+                        Sgp4::new(&MeanElements {
+                            mean_motion_rev_per_day: 14.0,
+                            eccentricity: 0.001,
+                            inclination: 0.9,
+                            raan: 0.0,
+                            arg_perigee: 0.0,
+                            mean_anomaly: 0.0,
+                            bstar: 0.0,
+                        })
+                        .expect("placeholder elements are valid"),
+                    );
+                }
+            }
+        }
+        Sgp4GridScreener { config, propagators, skipped }
+    }
+
+    /// Objects that could not be screened, with reasons.
+    pub fn skipped(&self) -> &[(usize, Sgp4Error)] {
+        &self.skipped
+    }
+
+    fn is_masked(&self, id: usize) -> bool {
+        self.skipped.iter().any(|&(i, _)| i == id)
+    }
+
+    /// Position at `t` seconds past the common epoch (SGP4 works in
+    /// minutes). Objects whose drag model decays mid-span are parked far
+    /// outside the populated volume so they never pair.
+    fn position(&self, id: usize, t_seconds: f64) -> Vec3 {
+        const PARKED: Vec3 = Vec3 { x: 1.0e7, y: 1.0e7, z: 1.0e7 };
+        if self.is_masked(id) {
+            return PARKED + Vec3::new(0.0, 0.0, id as f64 * 1.0e5);
+        }
+        match self.propagators[id].propagate(t_seconds / 60.0) {
+            Ok(state) => state.position,
+            Err(_) => PARKED + Vec3::new(0.0, 0.0, id as f64 * 1.0e5),
+        }
+    }
+
+    fn distance_sq(&self, a: usize, b: usize, t_seconds: f64) -> f64 {
+        self.position(a, t_seconds).dist_sq(self.position(b, t_seconds))
+    }
+}
+
+impl Screener for Sgp4GridScreener {
+    fn screen(&self, _population: &[KeplerElements]) -> ScreeningReport {
+        self.screen_tles()
+    }
+
+    fn label(&self) -> &str {
+        "grid-sgp4"
+    }
+}
+
+impl Sgp4GridScreener {
+    /// Screen the TLE set this screener was constructed with.
+    pub fn screen_tles(&self) -> ScreeningReport {
+        let config = self.config;
+        run_in_pool(config.threads, || {
+            let wall = Instant::now();
+            let mut timings = PhaseTimings::default();
+            let n = self.propagators.len();
+            let planner = MemoryModel::new(Variant::Grid).plan(n, &config);
+
+            let grid = SpatialGrid::new(n, planner.cell_size_km);
+            let pairs = PairSet::with_capacity(planner.pair_capacity);
+            let mut positions = vec![Vec3::ZERO; n];
+
+            for step in 0..planner.total_steps {
+                let t = step as f64 * planner.seconds_per_sample;
+                {
+                    let _timer = PhaseTimer::start(&mut timings.insertion);
+                    positions
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(i, slot)| *slot = self.position(i, t));
+                    if step > 0 {
+                        grid.reset();
+                    }
+                    grid.insert_all(&positions)
+                        .expect("grid sized at 2n slots cannot fill up");
+                }
+                {
+                    let _timer = PhaseTimer::start(&mut timings.pair_extraction);
+                    grid.collect_candidate_pairs(step, config.neighbor_scan, &pairs);
+                    assert_eq!(pairs.overflow_count(), 0, "pair set sized by Eq. 3");
+                }
+            }
+
+            let entries = pairs.drain_to_vec();
+            let candidate_entries = entries.len();
+            let candidate_pairs = {
+                let mut p: Vec<_> = entries.iter().map(|e| (e.id_lo, e.id_hi)).collect();
+                p.sort_unstable();
+                p.dedup();
+                p.len()
+            };
+
+            let mut found: Vec<Conjunction>;
+            {
+                let _timer = PhaseTimer::start(&mut timings.refinement);
+                found = entries
+                    .par_iter()
+                    .filter_map(|e| {
+                        let t = e.step as f64 * planner.seconds_per_sample;
+                        // Interval radius per §IV-C from LEO speeds; SGP4
+                        // velocities hover around the same 7–8 km/s.
+                        let radius = 2.0 * planner.cell_size_km
+                            / kessler_orbits::constants::LEO_SPEED;
+                        refine_pair_with(
+                            |tt| self.distance_sq(e.id_lo as usize, e.id_hi as usize, tt),
+                            e.id_lo,
+                            e.id_hi,
+                            Interval::new(t - radius, t + radius),
+                            config.threshold_km,
+                        )
+                    })
+                    .collect();
+            }
+            found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+            found.retain(|c| c.tca >= -1e-9 && c.tca <= config.span_seconds + 1e-9);
+
+            timings.total = wall.elapsed();
+            ScreeningReport {
+                variant: "grid-sgp4".to_string(),
+                n_satellites: n,
+                config,
+                conjunctions: found,
+                candidate_entries,
+                candidate_pairs,
+                pair_set_regrows: 0,
+                timings,
+                planner,
+                filter_stats: None,
+                device_metrics: None,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(
+        rev_per_day: f64,
+        e: f64,
+        i: f64,
+        raan: f64,
+        argp: f64,
+        m: f64,
+    ) -> MeanElements {
+        MeanElements {
+            mean_motion_rev_per_day: rev_per_day,
+            eccentricity: e,
+            inclination: i,
+            raan,
+            arg_perigee: argp,
+            mean_anomaly: m,
+            bstar: 0.0,
+        }
+    }
+
+    #[test]
+    fn finds_a_co_phased_crossing_conjunction() {
+        // Two equal-period circular orbits crossing at the node with
+        // matched phases (the SGP4 analogue of the two-body test).
+        let els = vec![
+            mean(15.2, 0.0001, 0.4, 0.0, 0.0, 0.0),
+            mean(15.2, 0.0001, 1.2, 0.0, 0.0, 0.0),
+        ];
+        let config = ScreeningConfig::grid_defaults(10.0, 600.0);
+        let screener = Sgp4GridScreener::new(config, &els);
+        assert!(screener.skipped().is_empty());
+        let report = screener.screen_tles();
+        assert!(
+            report.conjunction_count() >= 1,
+            "SGP4 pair must meet near the node: {report:?}"
+        );
+        // With J2 periodics the TCA shifts a bit from the ideal 0, but
+        // stays within the first minute.
+        assert!(report.conjunctions[0].tca.abs() < 60.0);
+    }
+
+    #[test]
+    fn deep_space_objects_are_skipped_not_fatal() {
+        let els = vec![
+            mean(15.2, 0.0001, 0.4, 0.0, 0.0, 0.0),
+            mean(1.0027, 0.0002, 0.01, 1.0, 2.0, 3.0), // GEO → skipped
+            mean(15.2, 0.0001, 1.2, 0.0, 0.0, 0.0),
+        ];
+        let config = ScreeningConfig::grid_defaults(10.0, 300.0);
+        let screener = Sgp4GridScreener::new(config, &els);
+        assert_eq!(screener.skipped().len(), 1);
+        assert_eq!(screener.skipped()[0].0, 1);
+        let report = screener.screen_tles();
+        // The skipped object must never appear in a conjunction.
+        for c in &report.conjunctions {
+            assert_ne!(c.id_lo, 1);
+            assert_ne!(c.id_hi, 1);
+        }
+    }
+
+    #[test]
+    fn agrees_with_two_body_screener_for_undragged_leo() {
+        // With bstar = 0 and a short span, SGP4 differs from two-body only
+        // by J2 — colliding-pair sets on a crossing geometry must agree.
+        use crate::screener::grid::GridScreener;
+        let els_sgp4 = vec![
+            mean(15.2, 0.0001, 0.4, 0.0, 0.0, 0.0),
+            mean(15.2, 0.0001, 1.2, 0.0, 0.0, 0.0),
+        ];
+        // Matching two-body elements: a from the period.
+        let n_rad_s = 15.2 * std::f64::consts::TAU / 86_400.0;
+        let a = (kessler_orbits::constants::MU_EARTH / (n_rad_s * n_rad_s)).cbrt();
+        let pop = vec![
+            KeplerElements::new(a, 0.0001, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(a, 0.0001, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ];
+        let config = ScreeningConfig::grid_defaults(10.0, 600.0);
+        let sgp4_pairs = Sgp4GridScreener::new(config, &els_sgp4)
+            .screen_tles()
+            .colliding_pairs();
+        let kepler_pairs = GridScreener::new(config).screen(&pop).colliding_pairs();
+        assert_eq!(sgp4_pairs, kepler_pairs);
+    }
+}

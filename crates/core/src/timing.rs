@@ -1,0 +1,110 @@
+//! Phase instrumentation (§V-C.1 "Relative Time Consumption").
+//!
+//! The paper reports per-variant breakdowns over four phases:
+//! propagation + grid insertion (INS), candidate-pair extraction +
+//! PCA/TCA computation (CD — §IV-A3 covers both), and, for the hybrid
+//! variant, the coplanarity/filter stage. We time the phases separately
+//! and expose both the raw numbers and the paper's aggregation.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Wall time per screening phase.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Parallel propagation and insertion into the grid (INS).
+    pub insertion: Duration,
+    /// Candidate-pair extraction from the grid.
+    pub pair_extraction: Duration,
+    /// Orbital filters incl. the coplanarity determination (hybrid/legacy).
+    pub filters: Duration,
+    /// PCA/TCA refinement (Brent searches).
+    pub refinement: Duration,
+    /// End-to-end wall time of the screening call.
+    pub total: Duration,
+}
+
+impl PhaseTimings {
+    /// The paper's "CD" bucket: pair extraction + PCA/TCA computation.
+    pub fn cd(&self) -> Duration {
+        self.pair_extraction + self.refinement
+    }
+
+    /// Fraction of total time spent in a duration (0 when total is 0).
+    pub fn fraction(&self, phase: Duration) -> f64 {
+        let total = self.total.as_secs_f64();
+        if total > 0.0 {
+            phase.as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// `(INS, CD, filters)` fractions, the §V-C.1 triple.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        (
+            self.fraction(self.insertion),
+            self.fraction(self.cd()),
+            self.fraction(self.filters),
+        )
+    }
+}
+
+/// Scope timer: measures into a `Duration` accumulator on drop.
+pub struct PhaseTimer<'a> {
+    target: &'a mut Duration,
+    start: Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    pub fn start(target: &'a mut Duration) -> PhaseTimer<'a> {
+        PhaseTimer { target, start: Instant::now() }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        *self.target += self.start.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cd_aggregates_pairs_and_refinement() {
+        let t = PhaseTimings {
+            insertion: Duration::from_millis(10),
+            pair_extraction: Duration::from_millis(20),
+            filters: Duration::from_millis(5),
+            refinement: Duration::from_millis(65),
+            total: Duration::from_millis(100),
+        };
+        assert_eq!(t.cd(), Duration::from_millis(85));
+        let (ins, cd, fil) = t.breakdown();
+        assert!((ins - 0.10).abs() < 1e-9);
+        assert!((cd - 0.85).abs() < 1e-9);
+        assert!((fil - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_yields_zero_fractions() {
+        let t = PhaseTimings::default();
+        assert_eq!(t.breakdown(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn phase_timer_accumulates() {
+        let mut acc = Duration::ZERO;
+        {
+            let _t = PhaseTimer::start(&mut acc);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let _t = PhaseTimer::start(&mut acc);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(acc >= Duration::from_millis(9), "acc = {acc:?}");
+    }
+}

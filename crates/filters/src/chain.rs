@@ -1,0 +1,294 @@
+//! The composed filter chain.
+//!
+//! The legacy baseline pushes **all** n(n−1)/2 pairs through this chain;
+//! the hybrid variant pushes only the grid's candidate pairs (§III). Both
+//! receive the same decision: excluded at some stage, coplanar (search by
+//! sampling), or a set of time windows to search with Brent.
+
+use crate::apsis::apsis_filter;
+use crate::coplanar::{are_coplanar, DEFAULT_COPLANAR_TOLERANCE};
+use crate::path::orbit_path_filter;
+use crate::timefilter::time_filter;
+use kessler_math::interval::Interval;
+use kessler_orbits::KeplerElements;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Filter chain configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Screening threshold `d` in km (the paper evaluates with 2 km).
+    pub threshold_km: f64,
+    /// Extra padding added to the threshold inside the geometric filters to
+    /// absorb the node-approximation error of the orbit-path filter, km.
+    pub padding_km: f64,
+    /// Angular tolerance of the coplanarity check, radians.
+    pub coplanar_tolerance: f64,
+}
+
+impl FilterConfig {
+    pub fn new(threshold_km: f64) -> FilterConfig {
+        FilterConfig {
+            threshold_km,
+            padding_km: 15.0,
+            coplanar_tolerance: DEFAULT_COPLANAR_TOLERANCE,
+        }
+    }
+
+    /// Effective distance used by the exclusion filters.
+    #[inline]
+    pub fn padded_threshold(&self) -> f64 {
+        self.threshold_km + self.padding_km
+    }
+}
+
+/// Decision of the chain for one pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterDecision {
+    /// Excluded by the apogee/perigee filter.
+    ExcludedApsis,
+    /// Excluded by the orbit-path filter.
+    ExcludedPath,
+    /// Excluded by the time filter (no simultaneous windows in the span).
+    ExcludedTime,
+    /// The planes are coplanar; node-based filters don't apply and the
+    /// pair must be searched by time sampling.
+    Coplanar,
+    /// Kept, with the time windows (seconds past epoch) to search.
+    Windows(Vec<Interval>),
+}
+
+/// Per-stage exclusion counters. All atomic so the chain can be shared
+/// across rayon workers without locking.
+#[derive(Debug, Default)]
+pub struct FilterStats {
+    pub tested: AtomicU64,
+    pub excluded_apsis: AtomicU64,
+    pub excluded_path: AtomicU64,
+    pub excluded_time: AtomicU64,
+    pub coplanar: AtomicU64,
+    pub kept: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`FilterStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStatsSnapshot {
+    pub tested: u64,
+    pub excluded_apsis: u64,
+    pub excluded_path: u64,
+    pub excluded_time: u64,
+    pub coplanar: u64,
+    pub kept: u64,
+}
+
+impl FilterStats {
+    pub fn snapshot(&self) -> FilterStatsSnapshot {
+        FilterStatsSnapshot {
+            tested: self.tested.load(Ordering::Relaxed),
+            excluded_apsis: self.excluded_apsis.load(Ordering::Relaxed),
+            excluded_path: self.excluded_path.load(Ordering::Relaxed),
+            excluded_time: self.excluded_time.load(Ordering::Relaxed),
+            coplanar: self.coplanar.load(Ordering::Relaxed),
+            kept: self.kept.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.tested.store(0, Ordering::Relaxed);
+        self.excluded_apsis.store(0, Ordering::Relaxed);
+        self.excluded_path.store(0, Ordering::Relaxed);
+        self.excluded_time.store(0, Ordering::Relaxed);
+        self.coplanar.store(0, Ordering::Relaxed);
+        self.kept.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The classical filter chain.
+pub struct FilterChain {
+    pub config: FilterConfig,
+    pub stats: FilterStats,
+}
+
+impl FilterChain {
+    pub fn new(config: FilterConfig) -> FilterChain {
+        FilterChain { config, stats: FilterStats::default() }
+    }
+
+    /// Run the chain on one pair over the screening `span`
+    /// (seconds past the common epoch).
+    pub fn evaluate(
+        &self,
+        a: &KeplerElements,
+        b: &KeplerElements,
+        span: Interval,
+    ) -> FilterDecision {
+        self.stats.tested.fetch_add(1, Ordering::Relaxed);
+        let padded = self.config.padded_threshold();
+
+        // Stage 1: apogee/perigee.
+        if !apsis_filter(a, b, padded) {
+            self.stats.excluded_apsis.fetch_add(1, Ordering::Relaxed);
+            return FilterDecision::ExcludedApsis;
+        }
+
+        // Stage 2: coplanarity split. Coplanar pairs bypass the node-based
+        // filters (§IV-C: "For the coplanar ones, the procedure is the same
+        // as for the grid-based variant").
+        if are_coplanar(a, b, self.config.coplanar_tolerance) {
+            self.stats.coplanar.fetch_add(1, Ordering::Relaxed);
+            return FilterDecision::Coplanar;
+        }
+
+        // Stage 3: orbit-path filter.
+        if !orbit_path_filter(a, b, padded) {
+            self.stats.excluded_path.fetch_add(1, Ordering::Relaxed);
+            return FilterDecision::ExcludedPath;
+        }
+
+        // Stage 4: time filter. Use the *padded* threshold so the windows
+        // are conservative Brent brackets.
+        match time_filter(a, b, padded, span) {
+            Some(windows) if windows.is_empty() => {
+                self.stats.excluded_time.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::ExcludedTime
+            }
+            Some(windows) => {
+                self.stats.kept.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::Windows(windows)
+            }
+            // Borderline coplanarity slipped past the tolerance check.
+            None => {
+                self.stats.coplanar.fetch_add(1, Ordering::Relaxed);
+                FilterDecision::Coplanar
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn el(a: f64, e: f64, i: f64, raan: f64, argp: f64, m0: f64) -> KeplerElements {
+        KeplerElements::new(a, e, i, raan, argp, m0).unwrap()
+    }
+
+    fn chain() -> FilterChain {
+        FilterChain::new(FilterConfig::new(2.0))
+    }
+
+    #[test]
+    fn leo_vs_geo_is_excluded_by_apsis() {
+        let c = chain();
+        let span = Interval::new(0.0, 6_000.0);
+        let d = c.evaluate(
+            &el(7_000.0, 0.001, 0.9, 0.0, 0.0, 0.0),
+            &el(42_164.0, 0.0, 0.1, 0.0, 0.0, 0.0),
+            span,
+        );
+        assert_eq!(d, FilterDecision::ExcludedApsis);
+        let s = c.stats.snapshot();
+        assert_eq!(s.tested, 1);
+        assert_eq!(s.excluded_apsis, 1);
+    }
+
+    #[test]
+    fn radially_separated_crossing_orbits_are_excluded_by_path() {
+        let c = chain();
+        let span = Interval::new(0.0, 6_000.0);
+        // Shells overlap via padding? No: 7000 vs 7050 circular → gap 50 km
+        // > padded threshold 17 km → apsis already excludes. Use 7000 vs
+        // 7010: gap 10 km < 17 km padded, passes apsis; path filter sees
+        // the true 10 km node distance > … no, 10 < 17 keeps it.
+        // To hit the path stage: eccentric orbit whose shell overlaps but
+        // whose curves stay far apart near the nodes.
+        let a = el(7_000.0, 0.0, 0.2, 0.0, 0.0, 0.0);
+        // Orbit with perigee 6970, apogee 7630 (shells overlap), but node
+        // geometry placing the crossing radius away from 7000:
+        // argp chosen so the node radius is near apogee.
+        let b = el(7_300.0, 0.045, 1.2, 0.0, PI / 2.0, 0.0);
+        let d = c.evaluate(&a, &b, span);
+        // Node line for raan1=raan2=0 planes is the X axis; orbit b crosses
+        // it at f = ±π/2 from perigee → r = p ≈ 7285 km, ~285 km from orbit
+        // a's 7000 km ring. The path filter must exclude.
+        assert_eq!(d, FilterDecision::ExcludedPath);
+    }
+
+    #[test]
+    fn coplanar_pairs_are_classified_coplanar() {
+        let c = chain();
+        let span = Interval::new(0.0, 6_000.0);
+        let d = c.evaluate(
+            &el(7_000.0, 0.001, 0.9, 1.0, 0.0, 0.0),
+            &el(7_005.0, 0.002, 0.9, 1.0, 2.0, 1.0),
+            span,
+        );
+        assert_eq!(d, FilterDecision::Coplanar);
+    }
+
+    #[test]
+    fn anti_phased_pair_is_excluded_by_time_filter() {
+        let c = chain();
+        let a = el(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0);
+        let b = el(7_000.0, 0.0, 1.2, 1.0, 0.0, PI);
+        let span = Interval::new(0.0, 2.0 * a.period());
+        let d = c.evaluate(&a, &b, span);
+        assert_eq!(d, FilterDecision::ExcludedTime);
+    }
+
+    #[test]
+    fn co_phased_crossing_pair_yields_windows() {
+        let c = chain();
+        let a = el(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0);
+        let b = el(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0);
+        let span = Interval::new(0.0, 2.0 * a.period());
+        match c.evaluate(&a, &b, span) {
+            FilterDecision::Windows(w) => {
+                assert!(!w.is_empty());
+                for iv in &w {
+                    assert!(iv.start >= span.start - 1e-9 && iv.end <= span.end + 1e-9);
+                }
+            }
+            other => panic!("expected windows, got {other:?}"),
+        }
+        let s = c.stats.snapshot();
+        assert_eq!(s.kept, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let c = chain();
+        let span = Interval::new(0.0, 6_000.0);
+        let leo = el(7_000.0, 0.001, 0.9, 0.0, 0.0, 0.0);
+        let geo = el(42_164.0, 0.0, 0.1, 0.0, 0.0, 0.0);
+        for _ in 0..5 {
+            c.evaluate(&leo, &geo, span);
+        }
+        assert_eq!(c.stats.snapshot().tested, 5);
+        c.stats.reset();
+        assert_eq!(c.stats.snapshot().tested, 0);
+    }
+
+    #[test]
+    fn chain_is_thread_safe() {
+        let c = chain();
+        let span = Interval::new(0.0, 6_000.0);
+        let leo = el(7_000.0, 0.001, 0.9, 0.0, 0.0, 0.0);
+        let geo = el(42_164.0, 0.0, 0.1, 0.0, 0.0, 0.0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = &c;
+                let leo = &leo;
+                let geo = &geo;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        c.evaluate(leo, geo, span);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats.snapshot().tested, 400);
+        assert_eq!(c.stats.snapshot().excluded_apsis, 400);
+    }
+}

@@ -1,0 +1,244 @@
+//! The (smart) sieve: cheap Cartesian rejection tests on sampled positions
+//! (Healy 1995 \[16\]; Rodríguez, Fadrique & Klinkrad 2002 \[17\] — the
+//! paper's §II related work).
+//!
+//! Where the grid bins positions spatially, the sieve compares each pair's
+//! propagated coordinates directly through a cascade of ever-tighter, ever-
+//! costlier tests. The first tests are single subtractions, so the cascade
+//! is very cheap per pair — but it is applied to *every* pair at *every*
+//! step, which is exactly the O(n²) behaviour the paper's grid removes.
+//! We implement it both as a filter building block and as the
+//! `SieveScreener` comparison variant in `kessler-core`.
+
+use kessler_math::Vec3;
+
+/// Outcome of the sieve cascade for one pair at one sampling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SieveOutcome {
+    /// Rejected by a per-axis test (cheapest exit).
+    RejectedAxis,
+    /// Rejected by the squared-range test.
+    RejectedRange,
+    /// Rejected by the fine minimum-distance test (linear-motion bound).
+    RejectedFine,
+    /// The pair may undercut the threshold near this step — refine it.
+    Candidate,
+}
+
+/// The critical distance of the sieve: the screening threshold inflated by
+/// the largest possible approach during one step,
+/// `D_crit = d + v_rel_max · Δt` (smart-sieve "accelerated threshold").
+#[inline]
+pub fn critical_distance(threshold_km: f64, max_rel_speed_km_s: f64, step_s: f64) -> f64 {
+    threshold_km + max_rel_speed_km_s * step_s
+}
+
+/// Run the sieve cascade on one pair at one step.
+///
+/// * `dr` — relative position at the sample (km);
+/// * `dv` — relative velocity at the sample (km/s);
+/// * `d_crit` — from [`critical_distance`];
+/// * `threshold_km` — the actual screening threshold, used by the fine test.
+#[inline]
+pub fn sieve_pair(dr: Vec3, dv: Vec3, d_crit: f64, threshold_km: f64, step_s: f64) -> SieveOutcome {
+    // 1) Per-axis rejects: |Δx| > D_crit ⇒ |Δr| > D_crit.
+    if dr.x.abs() > d_crit || dr.y.abs() > d_crit || dr.z.abs() > d_crit {
+        return SieveOutcome::RejectedAxis;
+    }
+    // 2) Squared-range test.
+    let r2 = dr.norm_sq();
+    if r2 > d_crit * d_crit {
+        return SieveOutcome::RejectedRange;
+    }
+    // 3) Fine test: minimum distance of the linearised relative motion
+    //    within ±Δt of the sample. The unconstrained linear minimum is
+    //    d² = |Δr|² − (Δr·Δv)²/|Δv|², reached at τ* = −Δr·Δv/|Δv|².
+    let v2 = dv.norm_sq();
+    if v2 > 0.0 {
+        let tau = -dr.dot(dv) / v2;
+        let tau_clamped = tau.clamp(-step_s, step_s);
+        let closest = dr + dv * tau_clamped;
+        // Padding: linearisation error over one step is bounded by the
+        // centripetal sagitta ~ |a|·Δt²/8 with |a| ≲ 9e-3 km/s² in LEO.
+        let sagitta = 1.2e-3 * step_s * step_s;
+        if closest.norm() > threshold_km + sagitta {
+            return SieveOutcome::RejectedFine;
+        }
+    } else if r2.sqrt() > threshold_km {
+        return SieveOutcome::RejectedFine;
+    }
+    SieveOutcome::Candidate
+}
+
+/// Per-stage counters for sieve diagnostics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SieveStats {
+    pub tested: u64,
+    pub rejected_axis: u64,
+    pub rejected_range: u64,
+    pub rejected_fine: u64,
+    pub candidates: u64,
+}
+
+impl SieveStats {
+    pub fn record(&mut self, outcome: SieveOutcome) {
+        self.tested += 1;
+        match outcome {
+            SieveOutcome::RejectedAxis => self.rejected_axis += 1,
+            SieveOutcome::RejectedRange => self.rejected_range += 1,
+            SieveOutcome::RejectedFine => self.rejected_fine += 1,
+            SieveOutcome::Candidate => self.candidates += 1,
+        }
+    }
+
+    pub fn merge(&mut self, other: &SieveStats) {
+        self.tested += other.tested;
+        self.rejected_axis += other.rejected_axis;
+        self.rejected_range += other.rejected_range;
+        self.rejected_fine += other.rejected_fine;
+        self.candidates += other.candidates;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: f64 = 2.0; // km
+    const STEP: f64 = 8.0; // s
+    const VMAX: f64 = 15.6; // km/s head-on LEO
+
+    fn d_crit() -> f64 {
+        critical_distance(D, VMAX, STEP)
+    }
+
+    #[test]
+    fn critical_distance_grows_with_step() {
+        assert_eq!(critical_distance(2.0, 15.6, 0.0), 2.0);
+        assert!(critical_distance(2.0, 15.6, 8.0) > critical_distance(2.0, 15.6, 1.0));
+    }
+
+    #[test]
+    fn distant_pair_exits_at_the_axis_test() {
+        let dr = Vec3::new(500.0, 0.1, 0.1);
+        let dv = Vec3::new(0.0, 0.1, 0.0);
+        assert_eq!(
+            sieve_pair(dr, dv, d_crit(), D, STEP),
+            SieveOutcome::RejectedAxis
+        );
+    }
+
+    #[test]
+    fn diagonal_pair_exits_at_the_range_test() {
+        // Each axis below D_crit (≈ 126.8) but the norm above it.
+        let c = d_crit() * 0.9;
+        let dr = Vec3::new(c, c, c);
+        assert_eq!(
+            sieve_pair(dr, Vec3::ZERO, d_crit(), D, STEP),
+            SieveOutcome::RejectedRange
+        );
+    }
+
+    #[test]
+    fn receding_pair_exits_at_the_fine_test() {
+        // Inside D_crit and slowly receding: the linear minimum lies before
+        // the window (τ* = −16.7 s < −Δt), and at the window edge the
+        // separation is still 26 km — far above the threshold.
+        let dr = Vec3::new(50.0, 0.0, 0.0);
+        let dv = Vec3::new(3.0, 0.0, 0.0); // receding
+        assert_eq!(
+            sieve_pair(dr, dv, d_crit(), D, STEP),
+            SieveOutcome::RejectedFine
+        );
+        // A fast-receding pair whose closest approach τ* = −7.1 s falls
+        // *inside* the ±8 s window is, correctly, still a candidate: the
+        // encounter happened just before this sample.
+        assert_eq!(
+            sieve_pair(dr, Vec3::new(7.0, 0.0, 0.0), d_crit(), D, STEP),
+            SieveOutcome::Candidate
+        );
+    }
+
+    #[test]
+    fn head_on_approach_is_a_candidate() {
+        // 50 km apart, closing at 14 km/s → closest approach ~0 within 8 s.
+        let dr = Vec3::new(50.0, 0.0, 0.0);
+        let dv = Vec3::new(-14.0, 0.0, 0.0);
+        assert_eq!(
+            sieve_pair(dr, dv, d_crit(), D, STEP),
+            SieveOutcome::Candidate
+        );
+    }
+
+    #[test]
+    fn near_miss_beyond_threshold_is_rejected_by_fine_test() {
+        // Passing 20 km abeam: linear minimum 20 km > 2 km threshold.
+        let dr = Vec3::new(50.0, 20.0, 0.0);
+        let dv = Vec3::new(-14.0, 0.0, 0.0);
+        assert_eq!(
+            sieve_pair(dr, dv, d_crit(), D, STEP),
+            SieveOutcome::RejectedFine
+        );
+    }
+
+    #[test]
+    fn already_close_pair_is_a_candidate() {
+        let dr = Vec3::new(0.5, 0.5, 0.0);
+        assert_eq!(
+            sieve_pair(dr, Vec3::ZERO, d_crit(), D, STEP),
+            SieveOutcome::Candidate
+        );
+    }
+
+    #[test]
+    fn minimum_outside_the_step_window_uses_clamped_time() {
+        // Closing slowly from 100 km at 1 km/s: linear minimum (t = 100 s)
+        // is outside ±8 s; at the window edge the distance is still 92 km.
+        let dr = Vec3::new(100.0, 0.0, 0.0);
+        let dv = Vec3::new(-1.0, 0.0, 0.0);
+        assert_eq!(
+            sieve_pair(dr, dv, d_crit(), D, STEP),
+            SieveOutcome::RejectedFine
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_merge() {
+        let mut a = SieveStats::default();
+        a.record(SieveOutcome::RejectedAxis);
+        a.record(SieveOutcome::Candidate);
+        let mut b = SieveStats::default();
+        b.record(SieveOutcome::RejectedRange);
+        b.record(SieveOutcome::RejectedFine);
+        a.merge(&b);
+        assert_eq!(a.tested, 4);
+        assert_eq!(a.rejected_axis, 1);
+        assert_eq!(a.rejected_range, 1);
+        assert_eq!(a.rejected_fine, 1);
+        assert_eq!(a.candidates, 1);
+    }
+
+    /// Soundness: any pair whose true linear-motion minimum within the step
+    /// window is below the threshold must survive the cascade.
+    #[test]
+    fn no_false_rejection_for_true_threats() {
+        for k in 0..200 {
+            let f = k as f64;
+            // Build a closing geometry that bottoms out below the threshold
+            // inside the window.
+            let dv = Vec3::new(-10.0 - (f % 5.0), 0.3 * (f % 3.0), 0.0);
+            let tau_min = (f % 7.0) - 3.0; // in [-3, 3] ⊂ [-8, 8]
+            let offset = Vec3::new(0.0, 0.4, 0.9) * ((f % 4.0) * 0.4); // ≤ ~1.8 km abeam
+            let dr = offset - dv * tau_min;
+            let min_dist = offset.norm();
+            if min_dist <= D {
+                let outcome = sieve_pair(dr, dv, d_crit(), D, STEP);
+                assert_eq!(
+                    outcome,
+                    SieveOutcome::Candidate,
+                    "threat at {min_dist} km rejected: {outcome:?} (dr = {dr:?})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Fixed-size, non-blocking atomic hash map (§IV-A1/2 of the paper).
+//!
+//! Each slot is a pair of an `AtomicU64` key and an `AtomicU32` value.
+//! Insertion claims a slot with a single compare-and-swap on the key word;
+//! linear probing resolves hash collisions; `u64::MAX` marks an empty slot
+//! ("as a memory location can never be truly empty, we use the maximum of a
+//! 64-bit value as a unique value that indicates an empty slot"). There is
+//! no deletion — the paper's grids are bulk-reset between sampling steps
+//! instead, which [`AtomicMap::reset`] implements as a parallel refill.
+//!
+//! # Concurrency contract
+//!
+//! * `insert_or_get` is **lock-free**: a CAS failure means another thread
+//!   made progress (claimed the slot), and probing continues.
+//! * Readers (`lookup`, iteration) are wait-free; they observe a slot as
+//!   occupied only after the key CAS has published it. The *value* word is
+//!   updated by the caller after claiming; value readers must tolerate the
+//!   initial sentinel (`VALUE_EMPTY`), which the grid's list-push protocol
+//!   does by construction (a CAS loop on the value word).
+//!
+//! Capacity is rounded up to a power of two so the hash → slot reduction is
+//! a mask rather than a modulo; with the paper's "twice the number of
+//! satellites" sizing rule the load factor stays ≤ 0.5 and expected probe
+//! chains are O(1).
+
+use crate::cellkey::EMPTY_KEY;
+use crate::murmur::fmix64;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel for "value not yet written" (also used as the empty list head).
+pub const VALUE_EMPTY: u32 = u32::MAX;
+
+/// Outcome of an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was not present; this call claimed the slot.
+    Claimed(usize),
+    /// The key was already present at the slot.
+    Found(usize),
+}
+
+impl InsertOutcome {
+    #[inline]
+    pub fn slot(self) -> usize {
+        match self {
+            InsertOutcome::Claimed(s) | InsertOutcome::Found(s) => s,
+        }
+    }
+}
+
+/// Error raised when the fixed-size table has no free slot on the key's
+/// probe path (the table is full).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapFull;
+
+impl std::fmt::Display for MapFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "atomic hash map is full (fixed-size table exhausted)")
+    }
+}
+
+impl std::error::Error for MapFull {}
+
+/// The fixed-size CAS/linear-probing hash map.
+pub struct AtomicMap {
+    keys: Box<[AtomicU64]>,
+    values: Box<[AtomicU32]>,
+    mask: usize,
+}
+
+impl AtomicMap {
+    /// Create a map with at least `min_capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(min_capacity: usize) -> AtomicMap {
+        let cap = min_capacity.max(2).next_power_of_two();
+        let keys: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(EMPTY_KEY)).collect();
+        let values: Box<[AtomicU32]> = (0..cap).map(|_| AtomicU32::new(VALUE_EMPTY)).collect();
+        AtomicMap { keys, values, mask: cap - 1 }
+    }
+
+    /// Total slot count.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Home slot of a key.
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (fmix64(key) as usize) & self.mask
+    }
+
+    /// Insert `key` or find its existing slot.
+    ///
+    /// Lock-free; returns [`MapFull`] only when every slot on the probe
+    /// path is occupied by other keys, i.e. the table has reached capacity.
+    pub fn insert_or_get(&self, key: u64) -> Result<InsertOutcome, MapFull> {
+        debug_assert_ne!(key, EMPTY_KEY, "the sentinel cannot be used as a key");
+        let mut slot = self.home(key);
+        for _ in 0..=self.mask {
+            let current = self.keys[slot].load(Ordering::Acquire);
+            if current == key {
+                return Ok(InsertOutcome::Found(slot));
+            }
+            if current == EMPTY_KEY {
+                match self.keys[slot].compare_exchange(
+                    EMPTY_KEY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Ok(InsertOutcome::Claimed(slot)),
+                    Err(actual) => {
+                        // Lost the race. The winner may have inserted our
+                        // key — re-check before probing on.
+                        if actual == key {
+                            return Ok(InsertOutcome::Found(slot));
+                        }
+                        // Another key claimed the slot: fall through to
+                        // linear probing (Eq. 2: s_{i+1} = s_i + 1 mod M).
+                    }
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        Err(MapFull)
+    }
+
+    /// Find the slot of `key` without inserting. Wait-free.
+    pub fn lookup(&self, key: u64) -> Option<usize> {
+        let mut slot = self.home(key);
+        for _ in 0..=self.mask {
+            let current = self.keys[slot].load(Ordering::Acquire);
+            if current == key {
+                return Some(slot);
+            }
+            if current == EMPTY_KEY {
+                // Probe chains never skip an empty slot (no deletion), so
+                // an empty slot terminates the search.
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Key stored at `slot`, or `None` for an empty slot.
+    #[inline]
+    pub fn key_at(&self, slot: usize) -> Option<u64> {
+        let k = self.keys[slot].load(Ordering::Acquire);
+        (k != EMPTY_KEY).then_some(k)
+    }
+
+    /// Load the value word at `slot`.
+    #[inline]
+    pub fn value_at(&self, slot: usize) -> u32 {
+        self.values[slot].load(Ordering::Acquire)
+    }
+
+    /// Atomic access to the value word for CAS protocols (list push).
+    #[inline]
+    pub fn value_atomic(&self, slot: usize) -> &AtomicU32 {
+        &self.values[slot]
+    }
+
+    /// Number of occupied slots (linear scan; diagnostics only).
+    pub fn occupied(&self) -> usize {
+        self.keys
+            .iter()
+            .filter(|k| k.load(Ordering::Relaxed) != EMPTY_KEY)
+            .count()
+    }
+
+    /// Bulk-reset every slot to empty (parallel). This is the paper's
+    /// "initialise the entire memory area with the sentinel" step, reused
+    /// between sampling rounds instead of reallocating.
+    pub fn reset(&self) {
+        self.keys
+            .par_iter()
+            .zip(self.values.par_iter())
+            .for_each(|(k, v)| {
+                k.store(EMPTY_KEY, Ordering::Relaxed);
+                v.store(VALUE_EMPTY, Ordering::Relaxed);
+            });
+        // Publish the cleared state to all subsequent readers.
+        std::sync::atomic::fence(Ordering::Release);
+    }
+
+    /// Indices of all occupied slots (parallel collect).
+    pub fn occupied_slots(&self) -> Vec<usize> {
+        (0..self.capacity())
+            .into_par_iter()
+            .filter(|&s| self.keys[s].load(Ordering::Acquire) != EMPTY_KEY)
+            .collect()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity() * (std::mem::size_of::<AtomicU64>() + std::mem::size_of::<AtomicU32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(AtomicMap::with_capacity(0).capacity(), 2);
+        assert_eq!(AtomicMap::with_capacity(3).capacity(), 4);
+        assert_eq!(AtomicMap::with_capacity(1000).capacity(), 1024);
+        assert_eq!(AtomicMap::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let map = AtomicMap::with_capacity(16);
+        let outcome = map.insert_or_get(42).unwrap();
+        assert!(matches!(outcome, InsertOutcome::Claimed(_)));
+        assert_eq!(map.lookup(42), Some(outcome.slot()));
+        assert_eq!(map.lookup(43), None);
+    }
+
+    #[test]
+    fn duplicate_insert_finds_existing_slot() {
+        let map = AtomicMap::with_capacity(16);
+        let first = map.insert_or_get(7).unwrap();
+        let second = map.insert_or_get(7).unwrap();
+        assert!(matches!(second, InsertOutcome::Found(_)));
+        assert_eq!(first.slot(), second.slot());
+        assert_eq!(map.occupied(), 1);
+    }
+
+    #[test]
+    fn linear_probing_resolves_collisions() {
+        // Fill a tiny map completely; all keys must be retrievable even
+        // though most collide after masking.
+        let map = AtomicMap::with_capacity(8);
+        let keys: Vec<u64> = (0..8).map(|i| i * 1_000_003 + 1).collect();
+        let mut slots = Vec::new();
+        for &k in &keys {
+            slots.push(map.insert_or_get(k).unwrap().slot());
+        }
+        // All distinct slots.
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        for (&k, &s) in keys.iter().zip(&slots) {
+            assert_eq!(map.lookup(k), Some(s));
+        }
+    }
+
+    #[test]
+    fn full_map_reports_map_full() {
+        let map = AtomicMap::with_capacity(4);
+        for k in 1..=4u64 {
+            map.insert_or_get(k).unwrap();
+        }
+        assert_eq!(map.insert_or_get(99).unwrap_err(), MapFull);
+        // Existing keys still insertable (found).
+        assert!(matches!(map.insert_or_get(2), Ok(InsertOutcome::Found(_))));
+    }
+
+    #[test]
+    fn reset_empties_the_map() {
+        let map = AtomicMap::with_capacity(32);
+        for k in 1..20u64 {
+            map.insert_or_get(k).unwrap();
+        }
+        assert_eq!(map.occupied(), 19);
+        map.reset();
+        assert_eq!(map.occupied(), 0);
+        assert_eq!(map.lookup(5), None);
+        // Reusable after reset.
+        map.insert_or_get(5).unwrap();
+        assert_eq!(map.occupied(), 1);
+    }
+
+    #[test]
+    fn occupied_slots_match_occupancy() {
+        let map = AtomicMap::with_capacity(64);
+        for k in 1..=10u64 {
+            map.insert_or_get(k * 17).unwrap();
+        }
+        let slots = map.occupied_slots();
+        assert_eq!(slots.len(), 10);
+        for s in slots {
+            assert!(map.key_at(s).is_some());
+        }
+    }
+
+    #[test]
+    fn concurrent_insertion_of_distinct_keys_is_lossless() {
+        // The core lock-freedom claim: N threads hammering the same table
+        // with disjoint key ranges lose nothing and create no duplicates.
+        let map = AtomicMap::with_capacity(4096);
+        let claimed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let map = &map;
+                let claimed = &claimed;
+                scope.spawn(move || {
+                    for i in 0..256u64 {
+                        let key = t * 1_000 + i + 1;
+                        if let InsertOutcome::Claimed(_) = map.insert_or_get(key).unwrap() {
+                            claimed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(claimed.load(Ordering::Relaxed), 8 * 256);
+        assert_eq!(map.occupied(), 8 * 256);
+        for t in 0..8u64 {
+            for i in 0..256u64 {
+                assert!(map.lookup(t * 1_000 + i + 1).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_insertion_of_the_same_key_claims_exactly_once() {
+        // All threads race on an identical key set; each key must be
+        // claimed exactly once in total.
+        let map = AtomicMap::with_capacity(1024);
+        let claims = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let map = &map;
+                let claims = &claims;
+                scope.spawn(move || {
+                    for key in 1..=100u64 {
+                        if let InsertOutcome::Claimed(_) = map.insert_or_get(key).unwrap() {
+                            claims.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), 100);
+        assert_eq!(map.occupied(), 100);
+    }
+
+    #[test]
+    fn value_word_supports_cas_protocols() {
+        let map = AtomicMap::with_capacity(8);
+        let slot = map.insert_or_get(11).unwrap().slot();
+        assert_eq!(map.value_at(slot), VALUE_EMPTY);
+        map.value_atomic(slot)
+            .compare_exchange(VALUE_EMPTY, 5, Ordering::AcqRel, Ordering::Acquire)
+            .unwrap();
+        assert_eq!(map.value_at(slot), 5);
+    }
+
+    proptest! {
+        /// Sequential model check: the atomic map must behave like a
+        /// HashSet for any insertion sequence that fits.
+        #[test]
+        fn behaves_like_a_set(keys in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let map = AtomicMap::with_capacity(1024);
+            let mut model = std::collections::HashSet::new();
+            for &k in &keys {
+                let outcome = map.insert_or_get(k + 1).unwrap();
+                let fresh = model.insert(k + 1);
+                prop_assert_eq!(matches!(outcome, InsertOutcome::Claimed(_)), fresh);
+            }
+            prop_assert_eq!(map.occupied(), model.len());
+            for &k in &model {
+                prop_assert!(map.lookup(k).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Packing of 3-D grid-cell coordinates into a single `u64` key.
+//!
+//! The paper's hash-map slots store "the key from which the slot was
+//! calculated" (§IV-A1) — one word identifying the grid cell. We pack the
+//! three signed cell coordinates into 21 bits each (two's complement with a
+//! bias), leaving the top bit clear so a packed key can never equal the
+//! `u64::MAX` empty-slot sentinel.
+//!
+//! 21 bits span cell indices in `[−2²⁰, 2²⁰)` = ±1 048 576 cells per axis.
+//! With the paper's smallest cells (≈ 2 km for a 2 km threshold at
+//! `s_ps → 0`), that covers ±2·10⁶ km — far beyond the 85 000 km
+//! simulation cube.
+
+use kessler_math::Vec3;
+
+/// Bits per coordinate.
+const BITS: u32 = 21;
+/// Coordinate bias making stored values non-negative.
+const BIAS: i64 = 1 << (BITS - 1);
+/// Mask for one packed coordinate.
+const MASK: u64 = (1 << BITS) - 1;
+
+/// Inclusive coordinate bounds representable by a packed key.
+pub const COORD_MIN: i64 = -BIAS;
+pub const COORD_MAX: i64 = BIAS - 1;
+
+/// A packed grid-cell key. The canonical "key" type of the atomic hash map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey(pub u64);
+
+/// Reserved sentinel: an all-ones word can never be produced by packing
+/// because the top bit of a packed key is always zero (3·21 = 63 bits).
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+impl CellKey {
+    /// Pack signed cell coordinates.
+    ///
+    /// # Panics
+    /// Panics (debug and release) if a coordinate is outside the
+    /// representable range — that would mean the simulation volume was
+    /// exceeded by ~2·10⁶ km and silent wraparound would corrupt
+    /// neighbour lookups.
+    #[inline]
+    pub fn pack(x: i64, y: i64, z: i64) -> CellKey {
+        assert!(
+            (COORD_MIN..=COORD_MAX).contains(&x)
+                && (COORD_MIN..=COORD_MAX).contains(&y)
+                && (COORD_MIN..=COORD_MAX).contains(&z),
+            "cell coordinate out of packable range: ({x}, {y}, {z})"
+        );
+        let xb = (x + BIAS) as u64;
+        let yb = (y + BIAS) as u64;
+        let zb = (z + BIAS) as u64;
+        CellKey((xb << (2 * BITS)) | (yb << BITS) | zb)
+    }
+
+    /// Unpack into signed cell coordinates.
+    #[inline]
+    pub fn unpack(self) -> (i64, i64, i64) {
+        let x = ((self.0 >> (2 * BITS)) & MASK) as i64 - BIAS;
+        let y = ((self.0 >> BITS) & MASK) as i64 - BIAS;
+        let z = (self.0 & MASK) as i64 - BIAS;
+        (x, y, z)
+    }
+
+    /// The key of the cell offset by `(dx, dy, dz)`.
+    ///
+    /// Returns `None` if the neighbour would leave the representable range
+    /// (only possible at the extreme edge of the coordinate space).
+    #[inline]
+    pub fn offset(self, dx: i64, dy: i64, dz: i64) -> Option<CellKey> {
+        let (x, y, z) = self.unpack();
+        let (nx, ny, nz) = (x + dx, y + dy, z + dz);
+        if (COORD_MIN..=COORD_MAX).contains(&nx)
+            && (COORD_MIN..=COORD_MAX).contains(&ny)
+            && (COORD_MIN..=COORD_MAX).contains(&nz)
+        {
+            Some(CellKey::pack(nx, ny, nz))
+        } else {
+            None
+        }
+    }
+}
+
+/// Compute the cell coordinates containing `position` for a given cell size.
+#[inline]
+pub fn cell_coords(position: Vec3, cell_size: f64) -> (i64, i64, i64) {
+    debug_assert!(cell_size > 0.0);
+    (
+        (position.x / cell_size).floor() as i64,
+        (position.y / cell_size).floor() as i64,
+        (position.z / cell_size).floor() as i64,
+    )
+}
+
+/// Compute the packed cell key containing `position`.
+#[inline]
+pub fn cell_key_of(position: Vec3, cell_size: f64) -> CellKey {
+    let (x, y, z) = cell_coords(position, cell_size);
+    CellKey::pack(x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_unpack_round_trip_on_extremes() {
+        for &c in &[
+            (0, 0, 0),
+            (COORD_MIN, COORD_MIN, COORD_MIN),
+            (COORD_MAX, COORD_MAX, COORD_MAX),
+            (-1, 1, 0),
+            (12345, -54321, 777),
+        ] {
+            let key = CellKey::pack(c.0, c.1, c.2);
+            assert_eq!(key.unpack(), c);
+        }
+    }
+
+    #[test]
+    fn packed_key_never_equals_empty_sentinel() {
+        // Top bit is always clear.
+        let max = CellKey::pack(COORD_MAX, COORD_MAX, COORD_MAX);
+        assert!(max.0 < (1 << 63));
+        assert_ne!(max.0, EMPTY_KEY);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of packable range")]
+    fn out_of_range_coordinates_panic() {
+        CellKey::pack(COORD_MAX + 1, 0, 0);
+    }
+
+    #[test]
+    fn distinct_cells_have_distinct_keys() {
+        let a = CellKey::pack(1, 2, 3);
+        let b = CellKey::pack(3, 2, 1);
+        let c = CellKey::pack(1, 2, 4);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn offset_moves_to_neighbor() {
+        let k = CellKey::pack(10, -5, 3);
+        let n = k.offset(-1, 1, 0).unwrap();
+        assert_eq!(n.unpack(), (9, -4, 3));
+    }
+
+    #[test]
+    fn offset_at_boundary_returns_none() {
+        let k = CellKey::pack(COORD_MAX, 0, 0);
+        assert!(k.offset(1, 0, 0).is_none());
+        assert!(k.offset(-1, 0, 0).is_some());
+        let k = CellKey::pack(COORD_MIN, 0, 0);
+        assert!(k.offset(-1, 0, 0).is_none());
+    }
+
+    #[test]
+    fn cell_coords_floor_semantics() {
+        // Points just below a boundary belong to the lower cell.
+        assert_eq!(cell_coords(Vec3::new(9.99, 0.0, 0.0), 10.0), (0, 0, 0));
+        assert_eq!(cell_coords(Vec3::new(10.0, 0.0, 0.0), 10.0), (1, 0, 0));
+        assert_eq!(cell_coords(Vec3::new(-0.01, 0.0, 0.0), 10.0), (-1, 0, 0));
+        assert_eq!(cell_coords(Vec3::new(-10.0, 0.0, 0.0), 10.0), (-1, 0, 0));
+    }
+
+    #[test]
+    fn nearby_points_share_or_neighbor_cells() {
+        let cell = 10.0;
+        let a = Vec3::new(14.9, 20.1, -3.0);
+        let b = Vec3::new(15.1, 19.9, -3.0);
+        let (ax, ay, az) = cell_coords(a, cell);
+        let (bx, by, bz) = cell_coords(b, cell);
+        assert!((ax - bx).abs() <= 1 && (ay - by).abs() <= 1 && (az - bz).abs() <= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_round_trip(
+            x in COORD_MIN..=COORD_MAX,
+            y in COORD_MIN..=COORD_MAX,
+            z in COORD_MIN..=COORD_MAX,
+        ) {
+            prop_assert_eq!(CellKey::pack(x, y, z).unpack(), (x, y, z));
+        }
+
+        #[test]
+        fn packing_is_injective(
+            a in (COORD_MIN..=COORD_MAX, COORD_MIN..=COORD_MAX, COORD_MIN..=COORD_MAX),
+            b in (COORD_MIN..=COORD_MAX, COORD_MIN..=COORD_MAX, COORD_MIN..=COORD_MAX),
+        ) {
+            prop_assume!(a != b);
+            prop_assert_ne!(CellKey::pack(a.0, a.1, a.2), CellKey::pack(b.0, b.1, b.2));
+        }
+
+        /// Two points closer than one cell size can differ by at most one
+        /// cell index per axis — the invariant the 26-neighbour scan of the
+        /// conjunction detector relies on.
+        #[test]
+        fn close_points_are_in_adjacent_cells(
+            px in -40_000.0..40_000.0f64, py in -40_000.0..40_000.0f64,
+            pz in -40_000.0..40_000.0f64,
+            dx in -1.0..1.0f64, dy in -1.0..1.0f64, dz in -1.0..1.0f64,
+            cell in 1.0..100.0f64,
+        ) {
+            let a = Vec3::new(px, py, pz);
+            let b = Vec3::new(px + dx * cell, py + dy * cell, pz + dz * cell);
+            let (ax, ay, az) = cell_coords(a, cell);
+            let (bx, by, bz) = cell_coords(b, cell);
+            prop_assert!((ax - bx).abs() <= 1);
+            prop_assert!((ay - by).abs() <= 1);
+            prop_assert!((az - bz).abs() <= 1);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Dense 3-D array grid — the representation the paper rejects (§IV-A).
+//!
+//! "Simple data structures like a three-dimensional array where each item
+//! corresponds to a grid cell are not practical … such memory-intensive
+//! representations are unsuitable. Furthermore, if we used three-
+//! dimensional arrays, we had to erase the content for every iteration."
+//!
+//! We implement it anyway, for two reasons: (1) it turns that argument
+//! into a measured ablation (`benches/spatial_grid.rs` compares insert +
+//! reset cost and the memory footprint against the hash grid), and
+//! (2) for *small, dense* volumes — a debris cloud right after a breakup —
+//! a dense grid is legitimately faster, and downstream users may want it.
+//!
+//! The dense grid covers an axis-aligned box with `dims` cells per axis;
+//! construction fails loudly when the requested volume would exceed a
+//! memory bound rather than attempting the paper's (85 000 km)³ cube.
+
+use crate::atomic_map::VALUE_EMPTY;
+use crate::pairset::{CandidatePair, PairSet};
+use kessler_math::Vec3;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Construction errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseGridError {
+    /// The cell array would exceed the allowed allocation.
+    TooLarge { cells: u128, max_cells: u128 },
+    /// A box side or the cell size is non-positive.
+    BadGeometry,
+}
+
+impl std::fmt::Display for DenseGridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DenseGridError::TooLarge { cells, max_cells } => write!(
+                f,
+                "dense grid would need {cells} cells (limit {max_cells}); use the hash grid"
+            ),
+            DenseGridError::BadGeometry => write!(f, "invalid dense-grid geometry"),
+        }
+    }
+}
+
+impl std::error::Error for DenseGridError {}
+
+/// A dense 3-D cell array over a bounded box, with the same per-cell
+/// linked-list representation as [`crate::SpatialGrid`].
+pub struct DenseGrid {
+    origin: Vec3,
+    cell_size: f64,
+    dims: [usize; 3],
+    /// Head satellite index per cell (`VALUE_EMPTY` = empty).
+    heads: Box<[AtomicU32]>,
+    /// Next pointers, one per satellite.
+    next: Box<[AtomicU32]>,
+}
+
+impl std::fmt::Debug for DenseGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseGrid")
+            .field("origin", &self.origin)
+            .field("cell_size", &self.cell_size)
+            .field("dims", &self.dims)
+            .field("capacity", &self.next.len())
+            .finish()
+    }
+}
+
+/// Default allocation guard: 2²⁸ cells = 1 GiB of heads.
+pub const DEFAULT_MAX_CELLS: u128 = 1 << 28;
+
+impl DenseGrid {
+    /// Create a dense grid covering `[origin, origin + extent]` with the
+    /// given cell size, for up to `capacity` satellites.
+    pub fn new(
+        origin: Vec3,
+        extent: Vec3,
+        cell_size: f64,
+        capacity: usize,
+    ) -> Result<DenseGrid, DenseGridError> {
+        if cell_size <= 0.0 || extent.x <= 0.0 || extent.y <= 0.0 || extent.z <= 0.0 {
+            return Err(DenseGridError::BadGeometry);
+        }
+        let dims = [
+            (extent.x / cell_size).ceil() as usize,
+            (extent.y / cell_size).ceil() as usize,
+            (extent.z / cell_size).ceil() as usize,
+        ];
+        let cells = dims[0] as u128 * dims[1] as u128 * dims[2] as u128;
+        if cells > DEFAULT_MAX_CELLS {
+            return Err(DenseGridError::TooLarge { cells, max_cells: DEFAULT_MAX_CELLS });
+        }
+        Ok(DenseGrid {
+            origin,
+            cell_size,
+            dims,
+            heads: (0..cells as usize).map(|_| AtomicU32::new(VALUE_EMPTY)).collect(),
+            next: (0..capacity).map(|_| AtomicU32::new(VALUE_EMPTY)).collect(),
+        })
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Resident bytes — what the paper's memory argument is about.
+    pub fn memory_bytes(&self) -> usize {
+        (self.heads.len() + self.next.len()) * std::mem::size_of::<AtomicU32>()
+    }
+
+    #[inline]
+    fn cell_index(&self, p: Vec3) -> Option<usize> {
+        let fx = (p.x - self.origin.x) / self.cell_size;
+        let fy = (p.y - self.origin.y) / self.cell_size;
+        let fz = (p.z - self.origin.z) / self.cell_size;
+        if fx < 0.0 || fy < 0.0 || fz < 0.0 {
+            return None;
+        }
+        let (x, y, z) = (fx as usize, fy as usize, fz as usize);
+        if x >= self.dims[0] || y >= self.dims[1] || z >= self.dims[2] {
+            return None;
+        }
+        Some((x * self.dims[1] + y) * self.dims[2] + z)
+    }
+
+    /// Insert a satellite; returns `false` when the position lies outside
+    /// the covered box (the caller decides whether that is an error).
+    pub fn insert(&self, index: u32, position: Vec3) -> bool {
+        let Some(cell) = self.cell_index(position) else {
+            return false;
+        };
+        let head = &self.heads[cell];
+        let mut current = head.load(Ordering::Acquire);
+        loop {
+            self.next[index as usize].store(current, Ordering::Release);
+            match head.compare_exchange_weak(current, index, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Parallel insertion; returns the number of out-of-box satellites.
+    pub fn insert_all(&self, positions: &[Vec3]) -> usize {
+        assert!(positions.len() <= self.next.len());
+        positions
+            .par_iter()
+            .enumerate()
+            .filter(|&(i, &p)| !self.insert(i as u32, p))
+            .count()
+    }
+
+    /// The paper's erase-per-iteration cost: every cell head must be
+    /// cleared (O(cells), not O(occupied)).
+    pub fn reset(&self) {
+        self.heads
+            .par_iter()
+            .for_each(|h| h.store(VALUE_EMPTY, Ordering::Relaxed));
+        self.next
+            .par_iter()
+            .for_each(|n| n.store(VALUE_EMPTY, Ordering::Relaxed));
+    }
+
+    /// Iterate a cell's members by raw cell index.
+    fn members(&self, cell: usize) -> impl Iterator<Item = u32> + '_ {
+        let mut cursor = self.heads[cell].load(Ordering::Acquire);
+        std::iter::from_fn(move || {
+            if cursor == VALUE_EMPTY {
+                return None;
+            }
+            let id = cursor;
+            cursor = self.next[id as usize].load(Ordering::Acquire);
+            Some(id)
+        })
+    }
+
+    /// Candidate-pair extraction over the 13-offset half neighbourhood,
+    /// matching [`crate::SpatialGrid::collect_candidate_pairs`] semantics.
+    pub fn collect_candidate_pairs(&self, step: u32, pairs: &PairSet) {
+        let (dx, dy, dz) = (self.dims[0] as i64, self.dims[1] as i64, self.dims[2] as i64);
+        (0..self.heads.len()).into_par_iter().for_each(|cell| {
+            if self.heads[cell].load(Ordering::Acquire) == VALUE_EMPTY {
+                return;
+            }
+            let z = (cell % self.dims[2]) as i64;
+            let y = ((cell / self.dims[2]) % self.dims[1]) as i64;
+            let x = (cell / (self.dims[1] * self.dims[2])) as i64;
+
+            let members: Vec<u32> = self.members(cell).collect();
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    pairs.insert(CandidatePair::new(a, b, step));
+                }
+            }
+            for &(ox, oy, oz) in &crate::neighbor::HALF_NEIGHBORHOOD {
+                let (nx, ny, nz) = (x + ox, y + oy, z + oz);
+                if nx < 0 || ny < 0 || nz < 0 || nx >= dx || ny >= dy || nz >= dz {
+                    continue;
+                }
+                let ncell = ((nx * dy + ny) * dz + nz) as usize;
+                if self.heads[ncell].load(Ordering::Acquire) == VALUE_EMPTY {
+                    continue;
+                }
+                for &a in &members {
+                    for b in self.members(ncell) {
+                        pairs.insert(CandidatePair::new(a, b, step));
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{NeighborScan, SpatialGrid};
+    use std::collections::HashSet;
+
+    fn box_grid(capacity: usize) -> DenseGrid {
+        DenseGrid::new(
+            Vec3::new(-100.0, -100.0, -100.0),
+            Vec3::new(200.0, 200.0, 200.0),
+            10.0,
+            capacity,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert_eq!(
+            DenseGrid::new(Vec3::ZERO, Vec3::new(-1.0, 1.0, 1.0), 1.0, 4).unwrap_err(),
+            DenseGridError::BadGeometry
+        );
+        assert_eq!(
+            DenseGrid::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), 0.0, 4).unwrap_err(),
+            DenseGridError::BadGeometry
+        );
+    }
+
+    #[test]
+    fn the_papers_full_cube_is_rejected() {
+        // (85 000 km)³ at 9.8 km cells ≈ 6.5e11 cells — the exact case the
+        // paper's memory argument rules out.
+        let err = DenseGrid::new(
+            Vec3::new(-42_500.0, -42_500.0, -42_500.0),
+            Vec3::new(85_000.0, 85_000.0, 85_000.0),
+            9.8,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DenseGridError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn insert_and_out_of_box_accounting() {
+        let g = box_grid(3);
+        let outside = g.insert_all(&[
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(50.0, 50.0, 50.0),
+            Vec3::new(500.0, 0.0, 0.0), // outside
+        ]);
+        assert_eq!(outside, 1);
+    }
+
+    #[test]
+    fn matches_hash_grid_candidates_inside_the_box() {
+        let mut positions = Vec::new();
+        for i in 0..80u32 {
+            let f = i as f64;
+            positions.push(Vec3::new(
+                (f * 17.3) % 180.0 - 90.0,
+                (f * 31.7) % 180.0 - 90.0,
+                (f * 47.9) % 180.0 - 90.0,
+            ));
+        }
+        let dense = box_grid(positions.len());
+        assert_eq!(dense.insert_all(&positions), 0);
+        let dense_pairs = PairSet::with_capacity(1 << 14);
+        dense.collect_candidate_pairs(0, &dense_pairs);
+
+        let hash = SpatialGrid::new(positions.len(), 10.0);
+        hash.insert_all(&positions).unwrap();
+        let hash_pairs = PairSet::with_capacity(1 << 14);
+        hash.collect_candidate_pairs(0, NeighborScan::Half, &hash_pairs);
+
+        let d: HashSet<_> = dense_pairs.drain_to_vec().into_iter().collect();
+        let h: HashSet<_> = hash_pairs.drain_to_vec().into_iter().collect();
+        // Dense-grid cells are aligned to the box origin (-100), hash-grid
+        // cells to the global origin — both are *valid* griddings, so the
+        // candidate sets may differ on borderline pairs. What must agree:
+        // every truly-close pair (within one cell size) appears in both.
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if positions[i].dist(positions[j]) <= 10.0 {
+                    let pair = CandidatePair::new(i as u32, j as u32, 0);
+                    assert!(d.contains(&pair), "dense missed close pair {pair:?}");
+                    assert!(h.contains(&pair), "hash missed close pair {pair:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_members() {
+        let g = box_grid(2);
+        g.insert_all(&[Vec3::new(1.0, 1.0, 1.0), Vec3::new(2.0, 2.0, 2.0)]);
+        let pairs = PairSet::with_capacity(64);
+        g.collect_candidate_pairs(0, &pairs);
+        assert_eq!(pairs.len(), 1);
+        g.reset();
+        let pairs2 = PairSet::with_capacity(64);
+        g.collect_candidate_pairs(1, &pairs2);
+        assert!(pairs2.is_empty());
+    }
+
+    #[test]
+    fn memory_footprint_is_cells_plus_capacity() {
+        let g = box_grid(100);
+        assert_eq!(g.cells(), 20 * 20 * 20);
+        assert_eq!(g.memory_bytes(), (8000 + 100) * 4);
+    }
+}

@@ -1,0 +1,95 @@
+//! Neighbourhood offsets for the 3-D grid.
+//!
+//! A conjunction candidate may span two adjacent cells, so the detector
+//! inspects the 3³ − 1 = 26 cells around each occupied cell (§III). Scanning
+//! all 26 from every cell visits each unordered cell pair twice; the
+//! *half neighbourhood* — the 13 offsets that are lexicographically positive
+//! — visits each pair exactly once and is the default. The full set is kept
+//! for the ablation benchmark (DESIGN.md §5).
+
+/// All 26 neighbour offsets.
+pub const FULL_NEIGHBORHOOD: [(i64, i64, i64); 26] = build_full();
+
+/// The 13 lexicographically-positive offsets: `(dx, dy, dz) > (0, 0, 0)` in
+/// lexicographic order. For any two adjacent cells A ≠ B, exactly one of
+/// the two offsets connecting them is in this set.
+pub const HALF_NEIGHBORHOOD: [(i64, i64, i64); 13] = build_half();
+
+const fn build_full() -> [(i64, i64, i64); 26] {
+    let mut out = [(0i64, 0i64, 0i64); 26];
+    let mut idx = 0;
+    let mut dx = -1i64;
+    while dx <= 1 {
+        let mut dy = -1i64;
+        while dy <= 1 {
+            let mut dz = -1i64;
+            while dz <= 1 {
+                if !(dx == 0 && dy == 0 && dz == 0) {
+                    out[idx] = (dx, dy, dz);
+                    idx += 1;
+                }
+                dz += 1;
+            }
+            dy += 1;
+        }
+        dx += 1;
+    }
+    out
+}
+
+const fn build_half() -> [(i64, i64, i64); 13] {
+    let mut out = [(0i64, 0i64, 0i64); 13];
+    let mut idx = 0;
+    let mut i = 0;
+    let full = build_full();
+    while i < 26 {
+        let (dx, dy, dz) = full[i];
+        // Lexicographically positive: dx > 0, or dx == 0 && dy > 0,
+        // or dx == 0 && dy == 0 && dz > 0.
+        if dx > 0 || (dx == 0 && (dy > 0 || (dy == 0 && dz > 0))) {
+            out[idx] = (dx, dy, dz);
+            idx += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn full_neighborhood_has_26_distinct_nonzero_offsets() {
+        let set: HashSet<_> = FULL_NEIGHBORHOOD.iter().collect();
+        assert_eq!(set.len(), 26);
+        assert!(!set.contains(&(0, 0, 0)));
+        for &(dx, dy, dz) in &FULL_NEIGHBORHOOD {
+            assert!(dx.abs() <= 1 && dy.abs() <= 1 && dz.abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn half_neighborhood_is_an_exact_half() {
+        assert_eq!(HALF_NEIGHBORHOOD.len(), 13);
+        let half: HashSet<_> = HALF_NEIGHBORHOOD.iter().copied().collect();
+        assert_eq!(half.len(), 13);
+        // For every full offset, exactly one of (o, −o) is in the half set.
+        for &(dx, dy, dz) in &FULL_NEIGHBORHOOD {
+            let fwd = half.contains(&(dx, dy, dz));
+            let bwd = half.contains(&(-dx, -dy, -dz));
+            assert!(fwd ^ bwd, "offset ({dx},{dy},{dz}): fwd={fwd}, bwd={bwd}");
+        }
+    }
+
+    #[test]
+    fn half_neighborhood_offsets_are_lexicographically_positive() {
+        for &(dx, dy, dz) in &HALF_NEIGHBORHOOD {
+            assert!(
+                dx > 0 || (dx == 0 && (dy > 0 || (dy == 0 && dz > 0))),
+                "({dx},{dy},{dz}) is not lexicographically positive"
+            );
+        }
+    }
+}

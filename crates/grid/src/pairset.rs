@@ -1,0 +1,336 @@
+//! The "conjunction hash map" (§IV-A3): an atomic set of candidate pairs.
+//!
+//! Whenever the grid scan finds two satellites in the same or adjacent
+//! cells, the pair is recorded "employing the satellites' ids and the
+//! sampling step. This helps to prevent considering possible conjunctions
+//! twice (from the point of view of both satellites), however, it allows
+//! multiple conjunctions at different sampling steps."
+//!
+//! We pack `(id_lo, id_hi, step)` into one `u64` key — 21 + 21 + 22 bits —
+//! and store keys in a fixed-size CAS/linear-probing table sized by the
+//! paper's Extra-P model (see `kessler-core::planner`). Packing both ids
+//! *sorted* makes `(a, b)` and `(b, a)` the same key, which is exactly the
+//! dedup the paper wants.
+
+use crate::murmur::fmix64;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const ID_BITS: u32 = 21;
+const STEP_BITS: u32 = 22;
+
+/// Maximum representable satellite id (exclusive).
+pub const MAX_ID: u32 = 1 << ID_BITS;
+/// Maximum representable sampling step (exclusive).
+pub const MAX_STEP: u32 = 1 << STEP_BITS;
+
+const EMPTY: u64 = u64::MAX;
+
+/// A deduplicated candidate pair: two satellite ids and the sampling step
+/// at which the grid found them adjacent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CandidatePair {
+    /// Smaller satellite id.
+    pub id_lo: u32,
+    /// Larger satellite id.
+    pub id_hi: u32,
+    /// Sampling step index within the current screening batch.
+    pub step: u32,
+}
+
+impl CandidatePair {
+    /// Normalise and pack. `a` and `b` must be distinct and in range.
+    #[inline]
+    pub fn new(a: u32, b: u32, step: u32) -> CandidatePair {
+        debug_assert_ne!(a, b, "a satellite cannot pair with itself");
+        debug_assert!(a < MAX_ID && b < MAX_ID, "satellite id exceeds 21 bits");
+        debug_assert!(step < MAX_STEP, "sampling step exceeds 22 bits");
+        let (id_lo, id_hi) = if a < b { (a, b) } else { (b, a) };
+        CandidatePair { id_lo, id_hi, step }
+    }
+
+    /// Pack into the set's key format. Because `id_lo < id_hi` strictly,
+    /// the all-ones word (our empty sentinel) is unreachable.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.id_lo as u64) << (ID_BITS + STEP_BITS))
+            | ((self.id_hi as u64) << STEP_BITS)
+            | self.step as u64
+    }
+
+    /// Unpack from the key format.
+    #[inline]
+    pub fn unpack(key: u64) -> CandidatePair {
+        CandidatePair {
+            id_lo: (key >> (ID_BITS + STEP_BITS)) as u32 & (MAX_ID - 1),
+            id_hi: (key >> STEP_BITS) as u32 & (MAX_ID - 1),
+            step: key as u32 & (MAX_STEP - 1),
+        }
+    }
+}
+
+/// Fixed-size concurrent set of candidate pairs.
+pub struct PairSet {
+    slots: Box<[AtomicU64]>,
+    mask: usize,
+    len: AtomicUsize,
+    /// Set when an insertion failed because the table was full; the
+    /// screener surfaces this as a sizing error instead of silently
+    /// dropping conjunctions.
+    overflowed: AtomicUsize,
+}
+
+impl PairSet {
+    /// Create a set with at least `min_capacity` slots (power-of-two
+    /// rounded). The paper doubles the model-estimated size twice; that
+    /// policy lives in the planner — this type just takes a capacity.
+    pub fn with_capacity(min_capacity: usize) -> PairSet {
+        let cap = min_capacity.max(2).next_power_of_two();
+        PairSet {
+            slots: (0..cap).map(|_| AtomicU64::new(EMPTY)).collect(),
+            mask: cap - 1,
+            len: AtomicUsize::new(0),
+            overflowed: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of distinct pairs currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of insertions dropped because the table was full.
+    #[inline]
+    pub fn overflow_count(&self) -> usize {
+        self.overflowed.load(Ordering::Acquire)
+    }
+
+    /// Insert a pair; returns `true` if it was new. Lock-free.
+    ///
+    /// On table overflow the insertion is counted in
+    /// [`PairSet::overflow_count`] and `false` is returned.
+    pub fn insert(&self, pair: CandidatePair) -> bool {
+        let key = pair.pack();
+        let mut slot = (fmix64(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let current = self.slots[slot].load(Ordering::Acquire);
+            if current == key {
+                return false;
+            }
+            if current == EMPTY {
+                match self.slots[slot].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.len.fetch_add(1, Ordering::AcqRel);
+                        return true;
+                    }
+                    Err(actual) if actual == key => return false,
+                    Err(_) => {}
+                }
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        self.overflowed.fetch_add(1, Ordering::AcqRel);
+        false
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pair: CandidatePair) -> bool {
+        let key = pair.pack();
+        let mut slot = (fmix64(key) as usize) & self.mask;
+        for _ in 0..=self.mask {
+            let current = self.slots[slot].load(Ordering::Acquire);
+            if current == key {
+                return true;
+            }
+            if current == EMPTY {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        false
+    }
+
+    /// Snapshot all pairs (unordered). Intended to run after the parallel
+    /// detection phase has completed.
+    pub fn drain_to_vec(&self) -> Vec<CandidatePair> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in self.slots.iter() {
+            let key = s.load(Ordering::Acquire);
+            if key != EMPTY {
+                out.push(CandidatePair::unpack(key));
+            }
+        }
+        out
+    }
+
+    /// Reset to empty for the next batch (parallel refill).
+    pub fn reset(&self) {
+        use rayon::prelude::*;
+        self.slots
+            .par_iter()
+            .for_each(|s| s.store(EMPTY, Ordering::Relaxed));
+        self.len.store(0, Ordering::Release);
+        self.overflowed.store(0, Ordering::Release);
+        std::sync::atomic::fence(Ordering::Release);
+    }
+
+    /// Resident size in bytes (the paper's `g_ch = c · 16 B` accounting
+    /// counts key + auxiliary word; ours is a packed 8 B key per slot).
+    pub fn memory_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let p = CandidatePair::new(12, 99_999, 1234);
+        assert_eq!(CandidatePair::unpack(p.pack()), p);
+        let extreme = CandidatePair::new(MAX_ID - 2, MAX_ID - 1, MAX_STEP - 1);
+        assert_eq!(CandidatePair::unpack(extreme.pack()), extreme);
+    }
+
+    #[test]
+    fn pair_order_is_normalised() {
+        assert_eq!(CandidatePair::new(5, 3, 0), CandidatePair::new(3, 5, 0));
+        assert_eq!(
+            CandidatePair::new(5, 3, 7).pack(),
+            CandidatePair::new(3, 5, 7).pack()
+        );
+    }
+
+    #[test]
+    fn packed_key_never_hits_sentinel() {
+        // The all-ones key would need id_lo == id_hi == MAX-1, which the
+        // strict ordering forbids.
+        let worst = CandidatePair::new(MAX_ID - 2, MAX_ID - 1, MAX_STEP - 1);
+        assert_ne!(worst.pack(), u64::MAX);
+    }
+
+    #[test]
+    fn insert_deduplicates_both_orientations() {
+        let set = PairSet::with_capacity(64);
+        assert!(set.insert(CandidatePair::new(1, 2, 0)));
+        assert!(!set.insert(CandidatePair::new(2, 1, 0)));
+        assert_eq!(set.len(), 1);
+        // A different step is a different entry (the paper allows multiple
+        // conjunctions of the same pair at different steps).
+        assert!(set.insert(CandidatePair::new(1, 2, 1)));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn contains_and_drain_agree() {
+        let set = PairSet::with_capacity(128);
+        let pairs = [
+            CandidatePair::new(1, 2, 0),
+            CandidatePair::new(3, 4, 2),
+            CandidatePair::new(1, 4, 9),
+        ];
+        for &p in &pairs {
+            set.insert(p);
+        }
+        for &p in &pairs {
+            assert!(set.contains(p));
+        }
+        assert!(!set.contains(CandidatePair::new(9, 10, 0)));
+        let drained: HashSet<_> = set.drain_to_vec().into_iter().collect();
+        assert_eq!(drained, pairs.iter().copied().collect());
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let set = PairSet::with_capacity(4);
+        let mut inserted = 0;
+        for i in 0..16u32 {
+            if set.insert(CandidatePair::new(i, i + 100, 0)) {
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, 4);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.overflow_count(), 12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let set = PairSet::with_capacity(32);
+        set.insert(CandidatePair::new(1, 2, 0));
+        set.reset();
+        assert_eq!(set.len(), 0);
+        assert!(set.drain_to_vec().is_empty());
+        assert_eq!(set.overflow_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts_count_exactly_once_per_distinct_pair() {
+        let set = PairSet::with_capacity(4096);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let set = &set;
+                scope.spawn(move || {
+                    // Every thread inserts the same 500 pairs, in both
+                    // orientations.
+                    for i in 0..500u32 {
+                        set.insert(CandidatePair::new(i, i + 1, 3));
+                        set.insert(CandidatePair::new(i + 1, i, 3));
+                    }
+                });
+            }
+        });
+        assert_eq!(set.len(), 500);
+        assert_eq!(set.drain_to_vec().len(), 500);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_hashset_model(
+            raw in proptest::collection::vec((0u32..500, 0u32..500, 0u32..16), 1..300)
+        ) {
+            let set = PairSet::with_capacity(1024);
+            let mut model = HashSet::new();
+            for (a, b, step) in raw {
+                if a == b { continue; }
+                let p = CandidatePair::new(a, b, step);
+                let fresh = set.insert(p);
+                prop_assert_eq!(fresh, model.insert(p));
+            }
+            prop_assert_eq!(set.len(), model.len());
+            let drained: HashSet<_> = set.drain_to_vec().into_iter().collect();
+            prop_assert_eq!(drained, model);
+        }
+
+        #[test]
+        fn pack_is_injective(
+            a in (0u32..MAX_ID - 1, 0u32..MAX_ID - 1, 0u32..MAX_STEP),
+            b in (0u32..MAX_ID - 1, 0u32..MAX_ID - 1, 0u32..MAX_STEP),
+        ) {
+            prop_assume!(a.0 != a.1 && b.0 != b.1);
+            let pa = CandidatePair::new(a.0, a.1, a.2);
+            let pb = CandidatePair::new(b.0, b.1, b.2);
+            if pa != pb {
+                prop_assert_ne!(pa.pack(), pb.pack());
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error function and normal CDF.
+//!
+//! Needed by the collision-probability integrator (`kessler-core`'s
+//! conjunction assessment): the 2-D Gaussian integral over the combined
+//! hard-body disk reduces to nested normal CDFs.
+//!
+//! `erf` uses the rational Chebyshev approximation of W. J. Cody (1969)
+//! as popularised by Numerical Recipes' `erfc` kernel — absolute error
+//! below 1.2·10⁻⁷, far tighter than the 1e-4-level accuracy collision
+//! probabilities are quoted at.
+
+/// Error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Chebyshev fit for erfc, valid for all z ≥ 0.
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal cumulative distribution function.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Abramowitz & Stegun table values.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_878),
+            (1.0, 0.842_700_793),
+            (1.5, 0.966_105_146),
+            (2.0, 0.995_322_265),
+            (3.0, 0.999_977_910),
+        ];
+        for (x, expect) in cases {
+            assert!((erf(x) - expect).abs() < 2e-7, "erf({x}) = {}", erf(x));
+            assert!((erf(-x) + expect).abs() < 2e-7, "erf(−{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-3.0, -1.0, -0.1, 0.0, 0.3, 1.7, 4.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        // The Chebyshev kernel's absolute error is ~1.2e-7 everywhere,
+        // including at zero.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 2e-7);
+        assert!((normal_cdf(-1.96) - 0.024_997_895).abs() < 2e-7);
+        assert!(normal_cdf(8.0) > 0.999_999_999);
+        assert!(normal_cdf(-8.0) < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn erf_is_odd_and_bounded(x in -6.0..6.0f64) {
+            prop_assert!((erf(x) + erf(-x)).abs() < 1e-10);
+            prop_assert!(erf(x).abs() <= 1.0);
+        }
+
+        #[test]
+        fn erf_is_monotone(a in -5.0..5.0f64, d in 0.001..1.0f64) {
+            prop_assert!(erf(a + d) >= erf(a));
+        }
+
+        #[test]
+        fn normal_cdf_symmetry(x in -6.0..6.0f64) {
+            prop_assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-10);
+        }
+    }
+}

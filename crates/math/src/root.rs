@@ -1,0 +1,266 @@
+//! Scalar root finding.
+//!
+//! Used by the orbital filters (locating true-anomaly window edges) and as
+//! the reference Newton backend for Kepler's equation against which the
+//! contour solver is validated.
+
+/// Outcome of a root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootResult {
+    pub root: f64,
+    /// Residual `f(root)`.
+    pub residual: f64,
+    pub iterations: u32,
+}
+
+/// Error cases for bracketing root finders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign, so no root is bracketed.
+    NotBracketed,
+    /// The iteration budget was exhausted before reaching the tolerance.
+    MaxIterations,
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NotBracketed => write!(f, "root is not bracketed by the interval"),
+            RootError::MaxIterations => write!(f, "root finder exhausted its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Newton–Raphson iteration with a fallback bisection safeguard.
+///
+/// `f` returns `(value, derivative)`. Starting from `x0`, iterates until
+/// `|f(x)| <= tol` or `max_iter` is reached. If the Newton step leaves the
+/// optional `bounds`, the step is replaced by bisection toward the violated
+/// bound, which keeps the iteration from diverging on poor initial guesses.
+pub fn newton<F: FnMut(f64) -> (f64, f64)>(
+    mut f: F,
+    x0: f64,
+    tol: f64,
+    max_iter: u32,
+    bounds: Option<(f64, f64)>,
+) -> RootResult {
+    let mut x = x0;
+    let mut value = 0.0;
+    for i in 0..max_iter {
+        let (v, dv) = f(x);
+        value = v;
+        if v.abs() <= tol {
+            return RootResult { root: x, residual: v, iterations: i };
+        }
+        let mut step = if dv != 0.0 { v / dv } else { v.signum() * 0.5 };
+        if !step.is_finite() {
+            step = v.signum() * 0.5;
+        }
+        let mut next = x - step;
+        if let Some((lo, hi)) = bounds {
+            if next < lo {
+                next = 0.5 * (x + lo);
+            } else if next > hi {
+                next = 0.5 * (x + hi);
+            }
+        }
+        x = next;
+    }
+    RootResult { root: x, residual: value, iterations: max_iter }
+}
+
+/// Bisection on a sign-changing interval. Robust but linear convergence.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<RootResult, RootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    for i in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm.abs() <= tol || 0.5 * (b - a).abs() <= tol {
+            return Ok(RootResult { root: mid, residual: fm, iterations: i + 1 });
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+/// Brent's root finder (inverse quadratic interpolation + secant + bisection).
+///
+/// This is the root-finding sibling of [`crate::brent::brent_minimize`]:
+/// superlinear on smooth functions, never slower than bisection.
+pub fn brent_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<RootResult, RootError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+    }
+    if fb == 0.0 {
+        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed);
+    }
+    // Ensure |f(b)| <= |f(a)| so b is the best guess.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0f64;
+
+    for i in 0..max_iter {
+        if fb.abs() <= tol || (b - a).abs() <= tol {
+            return Ok(RootResult { root: b, residual: fb, iterations: i });
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let cond_outside = !((lo.min(b) < s) && (s < lo.max(b)));
+        let cond_mflag = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond_dflag = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond_btol = mflag && (b - c).abs() < tol;
+        let cond_dtol = !mflag && (c - d).abs() < tol;
+        if cond_outside || cond_mflag || cond_dflag || cond_btol || cond_dtol {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn newton_solves_square_root() {
+        let r = newton(|x| (x * x - 2.0, 2.0 * x), 1.0, 1e-14, 50, None);
+        assert!((r.root - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_with_bounds_survives_bad_derivative() {
+        // f(x) = x³ - x has f'(0) regions that throw plain Newton around;
+        // bounded Newton must stay inside [0.5, 2] and find the root at 1.
+        let r = newton(
+            |x| (x * x * x - x, 3.0 * x * x - 1.0),
+            0.6,
+            1e-13,
+            100,
+            Some((0.5, 2.0)),
+        );
+        assert!((r.root - 1.0).abs() < 1e-10, "root = {}", r.root);
+    }
+
+    #[test]
+    fn bisect_finds_sign_change() {
+        let r = bisect(|x| x.cos(), 0.0, 3.0, 1e-12, 100).unwrap();
+        assert!((r.root - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_unbracketed_interval() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).unwrap_err(),
+            RootError::NotBracketed
+        );
+    }
+
+    #[test]
+    fn brent_root_matches_known_root() {
+        // x³ − 2x − 5 = 0 has root ≈ 2.0945514815423265 (Brent's own example).
+        let r = brent_root(|x| x * x * x - 2.0 * x - 5.0, 2.0, 3.0, 1e-14, 100).unwrap();
+        assert!((r.root - 2.094_551_481_542_326_5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_root_handles_exact_endpoint_root() {
+        let r = brent_root(|x| x - 1.0, 1.0, 2.0, 1e-14, 100).unwrap();
+        assert_eq!(r.root, 1.0);
+    }
+
+    #[test]
+    fn brent_root_rejects_unbracketed() {
+        assert_eq!(
+            brent_root(|x| x * x + 1.0, 0.0, 1.0, 1e-12, 50).unwrap_err(),
+            RootError::NotBracketed
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn brent_root_finds_linear_roots(root in -1e3..1e3f64, slope in 0.01..1e3f64) {
+            let r = brent_root(|x| slope * (x - root), root - 10.0, root + 17.0, 1e-12, 200)
+                .unwrap();
+            prop_assert!((r.root - root).abs() < 1e-6);
+        }
+
+        #[test]
+        fn newton_converges_on_cubics(root in -10.0..10.0f64) {
+            let f = move |x: f64| {
+                let v = (x - root) * (x * x + 1.0);
+                let dv = (x * x + 1.0) + (x - root) * 2.0 * x;
+                (v, dv)
+            };
+            let r = newton(f, root + 0.5, 1e-12, 200, Some((root - 5.0, root + 5.0)));
+            prop_assert!((r.root - root).abs() < 1e-6, "root {} vs {}", r.root, root);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Conversions between mean, eccentric and true anomaly.
+//!
+//! Kepler's equation `M = E − e·sin E` links mean and eccentric anomaly;
+//! solving it is the computationally expensive direction and is delegated to
+//! the pluggable solvers in [`crate::kepler`]. The remaining conversions are
+//! closed-form and live here.
+
+use kessler_math::angles::wrap_tau;
+
+/// Kepler's function `f(E) = E − e·sin E − M` and derivatives, the common
+/// ground all solvers iterate on.
+#[inline]
+pub fn kepler_residual(ecc_anomaly: f64, e: f64, mean_anomaly: f64) -> f64 {
+    ecc_anomaly - e * ecc_anomaly.sin() - mean_anomaly
+}
+
+/// Eccentric → mean anomaly (the easy direction of Kepler's equation).
+#[inline]
+pub fn ecc_to_mean(ecc_anomaly: f64, e: f64) -> f64 {
+    wrap_tau(ecc_anomaly - e * ecc_anomaly.sin())
+}
+
+/// Eccentric → true anomaly.
+///
+/// Uses the half-angle form `tan(f/2) = √((1+e)/(1−e)) · tan(E/2)` expressed
+/// through `atan2` so all quadrants resolve correctly.
+#[inline]
+pub fn ecc_to_true(ecc_anomaly: f64, e: f64) -> f64 {
+    let beta = ((1.0 + e) / (1.0 - e)).sqrt();
+    let half = ecc_anomaly * 0.5;
+    wrap_tau(2.0 * (beta * half.sin()).atan2(half.cos()))
+}
+
+/// True → eccentric anomaly (inverse of [`ecc_to_true`]).
+#[inline]
+pub fn true_to_ecc(true_anomaly: f64, e: f64) -> f64 {
+    let beta = ((1.0 - e) / (1.0 + e)).sqrt();
+    let half = true_anomaly * 0.5;
+    wrap_tau(2.0 * (beta * half.sin()).atan2(half.cos()))
+}
+
+/// True → mean anomaly (composition; closed form, no iteration).
+#[inline]
+pub fn true_to_mean(true_anomaly: f64, e: f64) -> f64 {
+    ecc_to_mean(true_to_ecc(true_anomaly, e), e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn circular_orbit_anomalies_coincide() {
+        for a in [0.0, 0.5, PI, 4.0, TAU - 0.01] {
+            assert!((ecc_to_true(a, 0.0) - a).abs() < 1e-12);
+            assert!((ecc_to_mean(a, 0.0) - a).abs() < 1e-12);
+            assert!((true_to_ecc(a, 0.0) - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apsides_are_fixed_points() {
+        for e in [0.0, 0.1, 0.5, 0.9] {
+            assert!(ecc_to_true(0.0, e).abs() < 1e-12, "perigee, e = {e}");
+            assert!((ecc_to_true(PI, e) - PI).abs() < 1e-12, "apogee, e = {e}");
+            assert!(true_to_mean(0.0, e).abs() < 1e-12);
+            assert!((true_to_mean(PI, e) - PI).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn true_anomaly_leads_eccentric_before_apogee() {
+        // For 0 < E < π the satellite is past perigee; true anomaly runs
+        // ahead of eccentric anomaly on an eccentric orbit.
+        let e = 0.4;
+        for ecc_anom in [0.3, 1.0, 2.0, 3.0] {
+            assert!(ecc_to_true(ecc_anom, e) > ecc_anom);
+        }
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Vallado example: e = 0.4, E = 0.5 rad →
+        // f = 2·atan(√(1.4/0.6)·tan(0.25)).
+        let f = ecc_to_true(0.5, 0.4);
+        let expect = 2.0 * ((1.4f64 / 0.6).sqrt() * 0.25f64.tan()).atan();
+        assert!((f - expect).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn ecc_true_round_trip(ecc_anom in 0.0..TAU, e in 0.0..0.99f64) {
+            let f = ecc_to_true(ecc_anom, e);
+            let back = true_to_ecc(f, e);
+            prop_assert!(
+                kessler_math::angles::separation(back, ecc_anom) < 1e-9,
+                "E = {}, back = {}", ecc_anom, back
+            );
+        }
+
+        #[test]
+        fn mean_anomaly_is_monotone_in_ecc_anomaly(e in 0.0..0.99f64) {
+            // M(E) = E − e sin E is strictly increasing (dM/dE = 1 − e cos E > 0),
+            // which is what guarantees Kepler's equation has a unique root.
+            let mut prev = ecc_to_mean(0.0, e);
+            for k in 1..=64 {
+                let ecc_anom = k as f64 * (TAU - 1e-9) / 64.0;
+                let m = ecc_to_mean(ecc_anom, e);
+                // ecc_to_mean wraps; unwrap by comparing raw values instead.
+                let raw = ecc_anom - e * ecc_anom.sin();
+                let raw_prev = (k - 1) as f64 * (TAU - 1e-9) / 64.0;
+                let raw_prev = raw_prev - e * raw_prev.sin();
+                prop_assert!(raw > raw_prev);
+                let _ = (m, prev);
+                prev = m;
+            }
+        }
+
+        #[test]
+        fn residual_vanishes_on_consistent_pair(ecc_anom in 0.0..TAU, e in 0.0..0.99f64) {
+            let m = ecc_anom - e * ecc_anom.sin();
+            prop_assert!(kepler_residual(ecc_anom, e, m).abs() < 1e-12);
+        }
+    }
+}

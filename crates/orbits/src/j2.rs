@@ -1,0 +1,227 @@
+//! Secular J2-perturbed propagation.
+//!
+//! The paper's evaluation uses pure two-body (Kepler) propagation; its
+//! future-work section suggests "exchanging parts of the algorithm, like …
+//! other propagators" (§VI). This module implements the first-order secular
+//! J2 model — the dominant perturbation for the LEO populations the paper
+//! screens — as a drop-in alternative: the node, the argument of perigee
+//! and the mean anomaly drift linearly at the classical rates
+//! (Vallado §9.4):
+//!
+//! ```text
+//!   Ω̇  = −(3/2)·J₂·n·(R_E/p)²·cos i
+//!   ω̇  =  (3/4)·J₂·n·(R_E/p)²·(5·cos²i − 1)
+//!   ΔṀ =  (3/4)·J₂·n·(R_E/p)²·√(1−e²)·(3·cos²i − 1)
+//! ```
+//!
+//! Because the orbital *plane* now rotates, the perifocal → ECI rotation
+//! can no longer be precomputed once; [`J2Propagator`] therefore trades a
+//! per-sample `sin_cos` triple for physical fidelity. The screeners keep
+//! the paper's two-body model; this propagator is exercised by its own
+//! tests, the solver benchmarks and the `j2_drift` example.
+
+use crate::constants::{MU_EARTH, R_EARTH};
+use crate::elements::KeplerElements;
+use crate::kepler::KeplerSolver;
+use crate::propagator::perifocal_to_eci;
+use crate::state::CartesianState;
+use kessler_math::angles::wrap_tau;
+
+/// Earth's second zonal harmonic (WGS-84).
+pub const J2: f64 = 1.082_626_68e-3;
+
+/// Per-satellite J2 propagation record: epoch elements plus the secular
+/// drift rates.
+#[derive(Debug, Clone, Copy)]
+pub struct J2Propagator {
+    elements: KeplerElements,
+    /// Mean motion including the secular mean-anomaly correction (rad/s).
+    pub mean_motion_j2: f64,
+    /// Nodal regression rate Ω̇ (rad/s).
+    pub raan_rate: f64,
+    /// Apsidal rotation rate ω̇ (rad/s).
+    pub argp_rate: f64,
+}
+
+impl J2Propagator {
+    /// Build from epoch elements.
+    pub fn new(elements: KeplerElements) -> J2Propagator {
+        let n = elements.mean_motion();
+        let p = elements.semi_latus_rectum();
+        let cos_i = elements.inclination.cos();
+        let factor = 1.5 * J2 * n * (R_EARTH / p).powi(2);
+        let raan_rate = -factor * cos_i;
+        let argp_rate = 0.5 * factor * (5.0 * cos_i * cos_i - 1.0);
+        let m_rate_correction = 0.5
+            * factor
+            * (1.0 - elements.eccentricity * elements.eccentricity).sqrt()
+            * (3.0 * cos_i * cos_i - 1.0);
+        J2Propagator {
+            elements,
+            mean_motion_j2: n + m_rate_correction,
+            raan_rate,
+            argp_rate,
+        }
+    }
+
+    /// Epoch elements.
+    pub fn elements(&self) -> &KeplerElements {
+        &self.elements
+    }
+
+    /// Osculating-style elements at `dt` seconds past epoch (secular drift
+    /// applied to Ω, ω, M; shape elements a/e/i are constant to first
+    /// order).
+    pub fn elements_at(&self, dt: f64) -> KeplerElements {
+        let el = &self.elements;
+        KeplerElements {
+            semi_major_axis: el.semi_major_axis,
+            eccentricity: el.eccentricity,
+            inclination: el.inclination,
+            raan: wrap_tau(el.raan + self.raan_rate * dt),
+            arg_perigee: wrap_tau(el.arg_perigee + self.argp_rate * dt),
+            mean_anomaly: wrap_tau(el.mean_anomaly + self.mean_motion_j2 * dt),
+        }
+    }
+
+    /// Propagate to a Cartesian state at `dt` seconds past epoch.
+    pub fn propagate<S: KeplerSolver + ?Sized>(&self, dt: f64, solver: &S) -> CartesianState {
+        let el = self.elements_at(dt);
+        let ecc_anom = solver.ecc_anomaly(el.mean_anomaly, el.eccentricity);
+        let (s, c) = ecc_anom.sin_cos();
+        let sqrt_1me2 = (1.0 - el.eccentricity * el.eccentricity).sqrt();
+        let xp = el.semi_major_axis * (c - el.eccentricity);
+        let yp = el.semi_major_axis * sqrt_1me2 * s;
+        let r = el.semi_major_axis * (1.0 - el.eccentricity * c);
+        let n = (MU_EARTH / el.semi_major_axis.powi(3)).sqrt();
+        let k = n * el.semi_major_axis * el.semi_major_axis / r;
+        let rot = perifocal_to_eci(el.raan, el.inclination, el.arg_perigee);
+        CartesianState {
+            position: rot.col(0) * xp + rot.col(1) * yp,
+            velocity: rot.col(0) * (-k * s) + rot.col(1) * (k * sqrt_1me2 * c),
+        }
+    }
+
+    /// The inclination at which Ω̇ matches the Sun's apparent mean motion
+    /// (≈ 0.9856°/day eastward) for a given near-circular orbit — the
+    /// Sun-synchronous condition. Returns `None` when no such inclination
+    /// exists (orbit too high).
+    pub fn sun_synchronous_inclination(semi_major_axis: f64, eccentricity: f64) -> Option<f64> {
+        // Required Ω̇: 360° per tropical year.
+        let target = 2.0 * std::f64::consts::PI / (365.242_2 * 86_400.0);
+        let n = (MU_EARTH / semi_major_axis.powi(3)).sqrt();
+        let p = semi_major_axis * (1.0 - eccentricity * eccentricity);
+        let factor = -1.5 * J2 * n * (R_EARTH / p).powi(2);
+        let cos_i = target / factor;
+        if cos_i.abs() <= 1.0 {
+            Some(cos_i.acos())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kepler::ContourSolver;
+
+    fn el(a: f64, e: f64, i_deg: f64) -> KeplerElements {
+        KeplerElements::new(a, e, i_deg.to_radians(), 1.0, 0.5, 0.2).unwrap()
+    }
+
+    #[test]
+    fn polar_orbit_has_no_nodal_regression() {
+        let j2 = J2Propagator::new(el(7_000.0, 0.001, 90.0));
+        assert!(j2.raan_rate.abs() < 1e-15);
+    }
+
+    #[test]
+    fn prograde_leo_regresses_westward_at_textbook_rate() {
+        // ISS-like: a = 6 780 km, i = 51.6° → Ω̇ ≈ −5.0°/day (Vallado).
+        let j2 = J2Propagator::new(el(6_780.0, 0.001, 51.6));
+        let deg_per_day = j2.raan_rate.to_degrees() * 86_400.0;
+        assert!(
+            (-5.4..=-4.6).contains(&deg_per_day),
+            "Ω̇ = {deg_per_day} °/day"
+        );
+    }
+
+    #[test]
+    fn sun_synchronous_inclination_matches_convention() {
+        // 700 km circular SSO: i ≈ 98.2° (textbook value).
+        let i = J2Propagator::sun_synchronous_inclination(R_EARTH + 700.0, 0.001).unwrap();
+        assert!(
+            (97.5..99.0).contains(&i.to_degrees()),
+            "i = {} deg",
+            i.to_degrees()
+        );
+        // No SSO solution far out (GEO).
+        assert!(J2Propagator::sun_synchronous_inclination(42_164.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn sun_synchronous_orbit_regresses_at_solar_rate() {
+        let a = R_EARTH + 700.0;
+        let i = J2Propagator::sun_synchronous_inclination(a, 0.001).unwrap();
+        let elements = KeplerElements::new(a, 0.001, i, 0.0, 0.0, 0.0).unwrap();
+        let j2 = J2Propagator::new(elements);
+        let deg_per_day = j2.raan_rate.to_degrees() * 86_400.0;
+        assert!((deg_per_day - 0.9856).abs() < 1e-3, "Ω̇ = {deg_per_day} °/day");
+    }
+
+    #[test]
+    fn critical_inclination_freezes_the_apsides() {
+        // ω̇ ∝ (5 cos²i − 1) vanishes at i ≈ 63.43° (Molniya design).
+        let i_crit = (1.0f64 / 5.0).sqrt().acos().to_degrees();
+        let j2 = J2Propagator::new(el(26_600.0, 0.7, i_crit));
+        assert!(j2.argp_rate.abs() < 1e-12, "ω̇ = {}", j2.argp_rate);
+    }
+
+    #[test]
+    fn j2_reduces_to_two_body_at_short_times() {
+        use crate::propagator::PropagationConstants;
+        let elements = el(7_000.0, 0.01, 60.0);
+        let solver = ContourSolver::default();
+        let j2 = J2Propagator::new(elements);
+        let kepler = PropagationConstants::from_elements(&elements);
+        // At dt = 1 s the J2 angular drifts (~1.5e-6 rad/s at LEO) displace
+        // the position by ~10 m at most.
+        let d = j2
+            .propagate(1.0, &solver)
+            .position
+            .dist(kepler.position(1.0, &solver));
+        assert!(d < 0.02, "d = {d} km after 1 s");
+        // After a day, the planes have visibly separated.
+        let d_day = j2
+            .propagate(86_400.0, &solver)
+            .position
+            .dist(kepler.position(86_400.0, &solver));
+        assert!(d_day > 50.0, "d = {d_day} km after 1 day");
+    }
+
+    #[test]
+    fn drifted_elements_remain_valid() {
+        let j2 = J2Propagator::new(el(7_000.0, 0.01, 60.0));
+        for dt in [0.0, 3_600.0, 86_400.0, 30.0 * 86_400.0] {
+            let e = j2.elements_at(dt);
+            assert!((0.0..std::f64::consts::TAU).contains(&e.raan));
+            assert!((0.0..std::f64::consts::TAU).contains(&e.arg_perigee));
+            assert!((0.0..std::f64::consts::TAU).contains(&e.mean_anomaly));
+            assert_eq!(e.semi_major_axis, 7_000.0);
+        }
+    }
+
+    #[test]
+    fn energy_is_conserved_along_the_j2_trajectory() {
+        // The secular model keeps a constant, so the two-body energy at the
+        // propagated state must stay fixed.
+        let j2 = J2Propagator::new(el(7_200.0, 0.05, 45.0));
+        let solver = ContourSolver::default();
+        let e0 = j2.propagate(0.0, &solver).specific_energy(MU_EARTH);
+        for dt in [600.0, 7_200.0, 86_400.0] {
+            let e = j2.propagate(dt, &solver).specific_energy(MU_EARTH);
+            assert!((e - e0).abs() < 1e-9 * e0.abs());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Contour-integration solver for Kepler's equation
+//! ("Kepler's Goat Herd", Philcox, Goodman & Slepian 2021).
+//!
+//! The paper's propagator is "a modified version of the high-performance
+//! Contour Kepler solver" (§IV-B). The method exploits that the unique root
+//! `E*` of Kepler's function `f(E) = E − e·sin E − M` inside a closed
+//! contour `C` can be written as a ratio of contour integrals:
+//!
+//! ```text
+//!   E* − c = ∮_C (E − c)/f(E) dE  /  ∮_C 1/f(E) dE
+//! ```
+//!
+//! (both integrals pick up the simple pole of `1/f` at `E*` with residue
+//! `1/f'(E*)`, which cancels in the ratio). Parameterising `C` as the
+//! circle `E(θ) = c + r·e^{iθ}` around the centre of the bracketing
+//! interval and discretising with the N-point trapezoid rule — which
+//! converges *geometrically* for periodic integrands — gives
+//!
+//! ```text
+//!   E* ≈ c + r · Σ_j e^{2iθ_j}/f(E(θ_j))  /  Σ_j e^{iθ_j}/f(E(θ_j))
+//! ```
+//!
+//! The sum is a fixed-length, branch-free loop: no convergence test, no
+//! data-dependent iteration count. That property is why the paper selected
+//! it for GPU execution — every CUDA thread runs the identical instruction
+//! sequence. Our [`crate::propagator::BatchPropagator`] and the GPU
+//! execution simulator use it the same way.
+
+use super::{reduce_to_half_period, unreduce, KeplerSolver};
+use kessler_math::Complex;
+
+/// Contour solver with a configurable number of sample points.
+#[derive(Debug, Clone, Copy)]
+pub struct ContourSolver {
+    /// Trapezoid points on the contour. Philcox et al. report double
+    /// precision with N = 10 for e ≤ 0.5 and N = 16 covering high
+    /// eccentricities; we default to 16.
+    pub points: u32,
+    /// Apply one Newton polishing step after the contour evaluation. Costs
+    /// one extra `sin_cos` and removes the residual discretisation error at
+    /// extreme eccentricities.
+    pub polish: bool,
+}
+
+impl Default for ContourSolver {
+    fn default() -> Self {
+        ContourSolver { points: 16, polish: true }
+    }
+}
+
+impl ContourSolver {
+    /// Evaluate the discretised contour ratio for mean anomaly `m ∈ (0, π)`.
+    #[inline]
+    fn contour_estimate(&self, m: f64, e: f64) -> f64 {
+        // Root bracket on the reduced half period: E ∈ [M, M + e], and the
+        // root never exceeds π for M ≤ π because f(π) = π − M ≥ 0.
+        let lo = m;
+        let hi = (m + e).min(std::f64::consts::PI);
+        let c = 0.5 * (lo + hi);
+        // Slightly inflate the radius so the contour cannot pass through a
+        // root sitting exactly on the bracket edge.
+        let r = 0.5 * (hi - lo) * (1.0 + 1e-9) + 1e-12;
+
+        let n = self.points.max(4);
+        let mut num = Complex::ZERO;
+        let mut den = Complex::ZERO;
+        for j in 0..n {
+            let theta = std::f64::consts::TAU * j as f64 / n as f64;
+            let eit = Complex::cis(theta);
+            let ecc_anom = Complex::real(c) + eit * r;
+            // f(E) = E − e·sin(E) − M evaluated on the contour.
+            let f = ecc_anom - ecc_anom.sin() * e - Complex::real(m);
+            let inv = Complex::ONE / f;
+            den = den + eit * inv;
+            num = num + eit * eit * inv;
+        }
+        // For real-coefficient f and a contour symmetric about the real
+        // axis, the imaginary parts cancel; take the real part of the ratio.
+        c + r * (num / den).re
+    }
+}
+
+impl KeplerSolver for ContourSolver {
+    fn ecc_anomaly(&self, mean_anomaly: f64, e: f64) -> f64 {
+        let (m, mirrored) = match reduce_to_half_period(mean_anomaly, e) {
+            Ok(done) => return done,
+            Err(pair) => pair,
+        };
+
+        let mut ecc_anom = self.contour_estimate(m, e);
+
+        if self.polish {
+            // A short Danby-style polishing loop. One plain Newton step is
+            // enough for e ≲ 0.9, but near-parabolic orbits close to perigee
+            // (e → 1, M → 0) leave the contour estimate a few 1e-8 off and
+            // f' ≈ 1 − e there, so quadratic convergence needs 2–3 steps.
+            for _ in 0..3 {
+                let (s, c) = ecc_anom.sin_cos();
+                let f = ecc_anom - e * s - m;
+                if f.abs() < 1e-14 {
+                    break;
+                }
+                let f1 = 1.0 - e * c;
+                let d1 = -f / f1;
+                let d2 = -f / (f1 + 0.5 * d1 * e * s);
+                ecc_anom += d2;
+            }
+        }
+        // Clamp any last-ulp excursions back into the physical bracket.
+        ecc_anom = ecc_anom.clamp(0.0, std::f64::consts::PI);
+
+        unreduce(ecc_anom, mirrored)
+    }
+
+    fn name(&self) -> &'static str {
+        "contour"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::ecc_to_mean;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn matches_inverse_to_machine_precision() {
+        let s = ContourSolver::default();
+        for k in 1..100 {
+            let ecc_anom_true = k as f64 * TAU / 100.0;
+            for e in [0.0012, 0.05, 0.2, 0.5, 0.8, 0.95] {
+                let m = ecc_to_mean(ecc_anom_true, e);
+                let got = s.ecc_anomaly(m, e);
+                assert!(
+                    kessler_math::angles::separation(got, ecc_anom_true) < 1e-10,
+                    "E={ecc_anom_true}, e={e}, got={got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpolished_contour_is_already_accurate_at_moderate_e() {
+        let s = ContourSolver { points: 16, polish: false };
+        for k in 1..50 {
+            let ecc_anom_true = k as f64 * TAU / 50.0;
+            let e = 0.3;
+            let m = ecc_to_mean(ecc_anom_true, e);
+            let got = s.ecc_anomaly(m, e);
+            assert!(
+                kessler_math::angles::separation(got, ecc_anom_true) < 1e-8,
+                "E={ecc_anom_true}, got={got}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_points_means_more_accuracy() {
+        // Geometric convergence of the trapezoid rule: error with N=32 must
+        // not exceed error with N=6 anywhere on a sweep (unpolished).
+        let coarse = ContourSolver { points: 6, polish: false };
+        let fine = ContourSolver { points: 32, polish: false };
+        let e = 0.7;
+        let mut worst_coarse = 0.0f64;
+        let mut worst_fine = 0.0f64;
+        for k in 1..60 {
+            let ecc_anom_true = k as f64 * TAU / 60.0;
+            let m = ecc_to_mean(ecc_anom_true, e);
+            worst_coarse = worst_coarse
+                .max(kessler_math::angles::separation(coarse.ecc_anomaly(m, e), ecc_anom_true));
+            worst_fine = worst_fine
+                .max(kessler_math::angles::separation(fine.ecc_anomaly(m, e), ecc_anom_true));
+        }
+        assert!(
+            worst_fine <= worst_coarse,
+            "fine {worst_fine} vs coarse {worst_coarse}"
+        );
+        assert!(worst_fine < 1e-9, "fine contour should be near-exact");
+    }
+
+    #[test]
+    fn branch_free_core_has_fixed_cost() {
+        // The contour core performs exactly `points` complex evaluations
+        // regardless of (M, e) — verify indirectly by checking the solver
+        // gives identical results when called repeatedly (pure function).
+        let s = ContourSolver::default();
+        let a = s.ecc_anomaly(2.345, 0.67);
+        let b = s.ecc_anomaly(2.345, 0.67);
+        assert_eq!(a, b);
+    }
+}

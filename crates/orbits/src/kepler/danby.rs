@@ -1,0 +1,102 @@
+//! Danby's quartic-convergence solver for Kepler's equation.
+//!
+//! Danby (1987) accelerates Newton's method with third- and fourth-order
+//! correction terms built from the higher derivatives of Kepler's function,
+//! reaching machine precision in 2–3 iterations for almost all (M, e).
+
+use super::{reduce_to_half_period, unreduce, KeplerSolver};
+
+/// Danby's method with the classic `M + 0.85·e` starting guess.
+#[derive(Debug, Clone, Copy)]
+pub struct DanbySolver {
+    /// Absolute residual tolerance.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: u32,
+}
+
+impl Default for DanbySolver {
+    fn default() -> Self {
+        DanbySolver { tolerance: 1e-13, max_iterations: 16 }
+    }
+}
+
+impl KeplerSolver for DanbySolver {
+    fn ecc_anomaly(&self, mean_anomaly: f64, e: f64) -> f64 {
+        let (m, mirrored) = match reduce_to_half_period(mean_anomaly, e) {
+            Ok(done) => return done,
+            Err(pair) => pair,
+        };
+
+        let (lo, hi) = (m, (m + e).min(std::f64::consts::PI));
+        // Danby's recommended starter: on [0, π], sin M >= 0 so the sign
+        // term of the general form collapses to +0.85·e.
+        let mut ecc_anom = (m + 0.85 * e).clamp(lo, hi);
+
+        for _ in 0..self.max_iterations {
+            let (s, c) = ecc_anom.sin_cos();
+            let f = ecc_anom - e * s - m;
+            if f.abs() <= self.tolerance {
+                break;
+            }
+            let f1 = 1.0 - e * c; // f'
+            let f2 = e * s; // f''
+            let f3 = e * c; // f'''
+            let d1 = -f / f1;
+            let d2 = -f / (f1 + 0.5 * d1 * f2);
+            let d3 = -f / (f1 + 0.5 * d2 * f2 + d2 * d2 * f3 / 6.0);
+            let mut next = ecc_anom + d3;
+            if !(lo..=hi).contains(&next) || !next.is_finite() {
+                next = if f > 0.0 {
+                    0.5 * (ecc_anom + lo)
+                } else {
+                    0.5 * (ecc_anom + hi)
+                };
+            }
+            ecc_anom = next;
+        }
+
+        unreduce(ecc_anom, mirrored)
+    }
+
+    fn name(&self) -> &'static str {
+        "danby"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::ecc_to_mean;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn quartic_convergence_needs_few_iterations() {
+        // Instrument by shrinking the cap: 4 iterations must already reach
+        // 1e-12 residuals over a representative sweep.
+        let s = DanbySolver { tolerance: 1e-13, max_iterations: 4 };
+        for k in 1..50 {
+            let ecc_anom_true = k as f64 * TAU / 50.0;
+            for e in [0.05, 0.3, 0.7] {
+                let m = ecc_to_mean(ecc_anom_true, e);
+                let got = s.ecc_anomaly(m, e);
+                assert!(
+                    kessler_math::angles::separation(got, ecc_anom_true) < 1e-11,
+                    "E={ecc_anom_true}, e={e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survives_high_eccentricity_near_perigee() {
+        let s = DanbySolver::default();
+        for m in [1e-8, 1e-5, 1e-3, 0.05] {
+            for e in [0.9, 0.97, 0.995] {
+                let ecc_anom = s.ecc_anomaly(m, e);
+                let back = ecc_to_mean(ecc_anom, e);
+                assert!((back - m).abs() < 1e-9, "M={m}, e={e}, back={back}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Markley's non-iterative solver for Kepler's equation (Markley 1995,
+//! "Kepler equation solver", Celestial Mechanics 63).
+//!
+//! A cubic Padé starter followed by a single fifth-order Householder
+//! correction reaches ~1e-15 residuals over the whole (M, e) plane with a
+//! *fixed* instruction count — the same property that makes the contour
+//! solver attractive for wide data-parallel hardware. Included as a second
+//! branch-free backend and as a benchmark comparator (the paper's future
+//! work suggests "exchanging parts of the algorithm, like … other
+//! propagators", §VI).
+
+use super::{reduce_to_half_period, unreduce, KeplerSolver};
+use std::f64::consts::PI;
+
+/// Markley (1995) solver: cubic starter + one 5th-order correction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarkleySolver;
+
+impl KeplerSolver for MarkleySolver {
+    fn ecc_anomaly(&self, mean_anomaly: f64, e: f64) -> f64 {
+        let (m, mirrored) = match reduce_to_half_period(mean_anomaly, e) {
+            Ok(done) => return done,
+            Err(pair) => pair,
+        };
+
+        // --- Cubic starter (Markley eqs. 15–21), valid for M ∈ [0, π]. ---
+        let pi2 = PI * PI;
+        let alpha = (3.0 * pi2 + 1.6 * PI * (PI - m) / (1.0 + e)) / (pi2 - 6.0);
+        let d = 3.0 * (1.0 - e) + alpha * e;
+        let q = 2.0 * alpha * d * (1.0 - e) - m * m;
+        let r = 3.0 * alpha * d * (d - 1.0 + e) * m + m * m * m;
+        let w = (r.abs() + (q * q * q + r * r).sqrt()).powf(2.0 / 3.0);
+        let mut ecc_anom = (2.0 * r * w / (w * w + w * q + q * q) + m) / d;
+
+        // --- One 5th-order Householder correction (eqs. 24–27). ---
+        let (s, c) = ecc_anom.sin_cos();
+        let f0 = ecc_anom - e * s - m;
+        let f1 = 1.0 - e * c;
+        let f2 = e * s;
+        let f3 = e * c;
+        let f4 = -f2;
+        let d3 = -f0 / (f1 - 0.5 * f0 * f2 / f1);
+        let d4 = -f0 / (f1 + 0.5 * d3 * f2 + d3 * d3 * f3 / 6.0);
+        let d5 = -f0
+            / (f1 + 0.5 * d4 * f2 + d4 * d4 * f3 / 6.0 + d4 * d4 * d4 * f4 / 24.0);
+        ecc_anom += d5;
+
+        // Guard the last ulp against leaving the physical range.
+        ecc_anom = ecc_anom.clamp(0.0, PI);
+        unreduce(ecc_anom, mirrored)
+    }
+
+    fn name(&self) -> &'static str {
+        "markley"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::ecc_to_mean;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn inverts_keplers_equation_over_a_dense_grid() {
+        let s = MarkleySolver;
+        for k in 1..200 {
+            let ecc_anom_true = k as f64 * TAU / 200.0;
+            for e in [0.001, 0.01, 0.1, 0.3, 0.6, 0.9, 0.97] {
+                let m = ecc_to_mean(ecc_anom_true, e);
+                let got = s.ecc_anomaly(m, e);
+                assert!(
+                    kessler_math::angles::separation(got, ecc_anom_true) < 1e-9,
+                    "E = {ecc_anom_true}, e = {e}, got = {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_newton_reference() {
+        use crate::kepler::NewtonSolver;
+        let markley = MarkleySolver;
+        let newton = NewtonSolver::default();
+        for i in 0..500 {
+            let m = i as f64 * TAU / 500.0;
+            let e = 0.002 + 0.95 * ((i * 13) % 500) as f64 / 500.0;
+            let a = markley.ecc_anomaly(m, e);
+            let b = newton.ecc_anomaly(m, e);
+            assert!(
+                kessler_math::angles::separation(a, b) < 1e-9,
+                "M = {m}, e = {e}: markley {a} vs newton {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_fixed_points_and_wrapping() {
+        let s = MarkleySolver;
+        assert!(s.ecc_anomaly(0.0, 0.7).abs() < 1e-12);
+        assert!((s.ecc_anomaly(std::f64::consts::PI, 0.7) - std::f64::consts::PI).abs() < 1e-12);
+        let a = s.ecc_anomaly(1.0, 0.3);
+        let b = s.ecc_anomaly(1.0 + TAU, 0.3);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_eccentricity_near_perigee() {
+        let s = MarkleySolver;
+        for m in [1e-6, 1e-4, 1e-2] {
+            let ecc_anom = s.ecc_anomaly(m, 0.99);
+            let back = ecc_to_mean(ecc_anom, 0.99);
+            assert!((back - m).abs() < 1e-9, "M = {m}, back = {back}");
+        }
+    }
+}

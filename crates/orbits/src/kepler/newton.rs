@@ -1,0 +1,113 @@
+//! Guarded Newton–Raphson solver for Kepler's equation.
+
+use super::{reduce_to_half_period, unreduce, KeplerSolver};
+
+/// Newton–Raphson with a bisection safeguard.
+///
+/// Convergence is quadratic; the safeguard (clamping iterates into the
+/// bracket `[M, M+e]` valid on the reduced half period) keeps the iteration
+/// stable even for near-parabolic eccentricities where the naive method can
+/// overshoot badly near perigee.
+#[derive(Debug, Clone, Copy)]
+pub struct NewtonSolver {
+    /// Absolute residual tolerance on `E − e·sin E − M`.
+    pub tolerance: f64,
+    /// Iteration cap; the solver returns its best iterate when exhausted.
+    pub max_iterations: u32,
+}
+
+impl Default for NewtonSolver {
+    fn default() -> Self {
+        NewtonSolver { tolerance: 1e-13, max_iterations: 32 }
+    }
+}
+
+impl KeplerSolver for NewtonSolver {
+    fn ecc_anomaly(&self, mean_anomaly: f64, e: f64) -> f64 {
+        let (m, mirrored) = match reduce_to_half_period(mean_anomaly, e) {
+            Ok(done) => return done,
+            Err(pair) => pair,
+        };
+
+        // On [0, π] the root satisfies M <= E <= M + e.
+        let (lo, hi) = (m, (m + e).min(std::f64::consts::PI));
+
+        // Starting guess: the classic e-weighted interpolation
+        // E₀ = M + e·sin M / (1 − sin(M+e) + sin M) (Smith 1979), which is
+        // accurate across the whole (M, e) plane.
+        let denom = 1.0 - (m + e).sin() + m.sin();
+        let mut ecc_anom = if denom.abs() > 1e-12 {
+            (m + e * m.sin() / denom).clamp(lo, hi)
+        } else {
+            0.5 * (lo + hi)
+        };
+
+        for _ in 0..self.max_iterations {
+            let (s, c) = ecc_anom.sin_cos();
+            let f = ecc_anom - e * s - m;
+            if f.abs() <= self.tolerance {
+                break;
+            }
+            let fp = 1.0 - e * c;
+            let mut next = ecc_anom - f / fp;
+            if !(lo..=hi).contains(&next) || !next.is_finite() {
+                // Bisect toward the violated side.
+                next = if f > 0.0 {
+                    0.5 * (ecc_anom + lo)
+                } else {
+                    0.5 * (ecc_anom + hi)
+                };
+            }
+            ecc_anom = next;
+        }
+
+        unreduce(ecc_anom, mirrored)
+    }
+
+    fn name(&self) -> &'static str {
+        "newton"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::ecc_to_mean;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn converges_to_tight_residual() {
+        let s = NewtonSolver::default();
+        for e in [0.1, 0.5, 0.9, 0.99] {
+            for k in 1..20 {
+                let m = k as f64 * TAU / 20.0;
+                let ecc_anom = s.ecc_anomaly(m, e);
+                let resid = crate::anomaly::kepler_residual(ecc_anom, e, m).abs();
+                let resid = resid.min((resid - TAU).abs());
+                assert!(resid < 1e-12, "M={m}, e={e}, resid={resid}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_eccentricity_near_perigee() {
+        // Hardest region for Newton: high e, small M. The guarded iteration
+        // must still converge.
+        let s = NewtonSolver::default();
+        for m in [1e-6, 1e-4, 1e-2] {
+            let ecc_anom = s.ecc_anomaly(m, 0.99);
+            let back = ecc_to_mean(ecc_anom, 0.99);
+            assert!((back - m).abs() < 1e-10, "M = {m}, back = {back}");
+        }
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let s = NewtonSolver { tolerance: 0.0, max_iterations: 3 };
+        // With a zero tolerance we always hit the cap; result is still finite
+        // and in range.
+        let ecc_anom = s.ecc_anomaly(2.0, 0.8);
+        assert!(ecc_anom.is_finite());
+        assert!((0.0..TAU).contains(&ecc_anom));
+    }
+}

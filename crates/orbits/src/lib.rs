@@ -1,0 +1,37 @@
+//! Astrodynamics substrate for the `kessler` conjunction-screening workspace.
+//!
+//! The paper's screeners need exactly one physical capability: given a
+//! satellite's Kepler elements at epoch, compute its Cartesian position and
+//! velocity at arbitrary later times, cheaply and for millions of
+//! (satellite, time) tuples in parallel. This crate provides that, plus the
+//! orbit-geometry primitives the classical filter chain is built from:
+//!
+//! * [`elements::KeplerElements`] — the six classical elements (Table II of
+//!   the paper), validation, and derived quantities (period, apsides).
+//! * [`anomaly`] — mean ↔ eccentric ↔ true anomaly conversions.
+//! * [`kepler`] — three interchangeable Kepler-equation solvers: a guarded
+//!   Newton iteration, Danby's quartic method, and the contour-integration
+//!   solver ("Kepler's Goat Herd", Philcox et al. 2021) that the paper's
+//!   GPU propagator uses.
+//! * [`propagator`] — two-body propagation with per-satellite precomputed
+//!   constants (the paper's "Kepler solver data" `a_k`), including batched
+//!   parallel propagation via rayon.
+//! * [`geometry`] — orbit normals, relative inclination, mutual nodes and
+//!   per-anomaly radii, used by the apogee/perigee, coplanarity, orbit-path
+//!   and time filters.
+
+pub mod anomaly;
+pub mod constants;
+pub mod elements;
+pub mod geometry;
+pub mod j2;
+pub mod kepler;
+pub mod propagator;
+pub mod sgp4;
+pub mod state;
+
+pub use elements::KeplerElements;
+pub use j2::J2Propagator;
+pub use kepler::{ContourSolver, DanbySolver, KeplerSolver, MarkleySolver, NewtonSolver};
+pub use propagator::{BatchPropagator, PropagationConstants};
+pub use state::CartesianState;

@@ -1,0 +1,112 @@
+//! Embedded anchor catalog of (semi-major axis, eccentricity) pairs.
+//!
+//! The paper derives its KDE "from the database of real operational
+//! satellites in early 2021" (Celestrak active.txt, ref. \[46\]). That
+//! snapshot is not redistributable here, so we embed a synthetic anchor set
+//! built from the *documented* composition of the 2021 active population
+//! (ESA environment report \[2\], McDowell \[3\]):
+//!
+//! * ~55 % LEO broadband constellation shells (Starlink at ~6 920 km,
+//!   OneWeb at ~7 580 km), near-circular — this is the strong concentration
+//!   at a ≈ 7 000 km, e ≈ 0.0025 that dominates Fig. 9;
+//! * ~25 % general LEO (Earth observation, CubeSats) between 6 700 and
+//!   7 400 km with e up to ~0.02;
+//! * ~7 % Sun-synchronous-like orbits around 7 080–7 280 km;
+//! * ~6 % GEO at 42 164 km, e ≈ 0;
+//! * ~4 % MEO navigation (GPS/GLONASS/Galileo, 25 500–29 600 km);
+//! * ~3 % HEO/Molniya/GTO with large eccentricities (0.55–0.74).
+//!
+//! The KDE sees only the point cloud, so reproducing the regime mix
+//! reproduces the paper's sampling distribution to the accuracy that
+//! matters for screening workloads.
+
+/// One anchor: (semi-major axis km, eccentricity).
+pub type Anchor = (f64, f64);
+
+/// Deterministically generated anchor set (size ~300).
+pub fn anchors() -> Vec<Anchor> {
+    let mut out = Vec::with_capacity(300);
+
+    // A tiny deterministic LCG so the anchor set is reproducible without
+    // pulling rand into the const path.
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+
+    // 55 %: broadband LEO shells.
+    for _ in 0..110 {
+        // Starlink-like: 540–570 km altitude.
+        out.push((6_918.0 + 30.0 * next(), 0.0005 + 0.004 * next()));
+    }
+    for _ in 0..55 {
+        // OneWeb-like: ~1 200 km altitude.
+        out.push((7_578.0 + 8.0 * next(), 0.001 + 0.002 * next()));
+    }
+    // 25 %: general LEO.
+    for _ in 0..75 {
+        out.push((6_700.0 + 700.0 * next(), 0.0005 + 0.02 * next()));
+    }
+    // 7 %: SSO band.
+    for _ in 0..21 {
+        out.push((7_080.0 + 200.0 * next(), 0.001 + 0.003 * next()));
+    }
+    // 6 %: GEO.
+    for _ in 0..18 {
+        out.push((42_164.0 + 20.0 * (next() - 0.5), 0.0002 + 0.0008 * next()));
+    }
+    // 4 %: MEO navigation.
+    for _ in 0..12 {
+        out.push((25_500.0 + 4_100.0 * next(), 0.001 + 0.01 * next()));
+    }
+    // 3 %: HEO / Molniya-class (perigee kept above ~1 200 km).
+    for _ in 0..9 {
+        out.push((25_500.0 + 1_300.0 * next(), 0.55 + 0.15 * next()));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kessler_orbits::constants::R_EARTH;
+
+    #[test]
+    fn anchor_set_is_deterministic() {
+        assert_eq!(anchors(), anchors());
+    }
+
+    #[test]
+    fn anchor_set_has_documented_size_and_mix() {
+        let a = anchors();
+        assert_eq!(a.len(), 300);
+        // Majority in the LEO concentration around 7000 km / e ≈ 0.0025
+        // (the Fig. 9 hotspot).
+        let leo_hotspot = a
+            .iter()
+            .filter(|&&(sma, e)| (6_700.0..7_700.0).contains(&sma) && e < 0.03)
+            .count();
+        assert!(
+            leo_hotspot as f64 > 0.8 * a.len() as f64,
+            "LEO fraction = {leo_hotspot}/300"
+        );
+        // Some GEO presence.
+        assert!(a.iter().any(|&(sma, _)| sma > 42_000.0));
+        // Some high-eccentricity presence.
+        assert!(a.iter().any(|&(_, e)| e > 0.5));
+    }
+
+    #[test]
+    fn all_anchors_are_physical() {
+        for (sma, e) in anchors() {
+            assert!(sma > R_EARTH, "a = {sma}");
+            assert!((0.0..1.0).contains(&e), "e = {e}");
+            // Perigee above dense atmosphere (≥ ~180 km) for active sats.
+            assert!(sma * (1.0 - e) > R_EARTH + 150.0, "perigee too low: a={sma}, e={e}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Walker-delta constellation generator.
+//!
+//! The paper's introduction motivates the screening problem with
+//! mega-constellations (Starlink, OneWeb); the examples use this generator
+//! to build realistic shells: `total` satellites in `planes` orbital
+//! planes at a common altitude and inclination, with the Walker phasing
+//! parameter distributing in-plane offsets between planes.
+
+use kessler_orbits::constants::R_EARTH;
+use kessler_orbits::KeplerElements;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// A Walker-delta shell `i : total / planes / phasing`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WalkerShell {
+    /// Shell altitude above the mean Earth radius, km.
+    pub altitude_km: f64,
+    /// Inclination, radians.
+    pub inclination: f64,
+    /// Total satellite count.
+    pub total: usize,
+    /// Number of equally-spaced orbital planes (must divide `total`).
+    pub planes: usize,
+    /// Walker phasing parameter `F` in `0..planes`.
+    pub phasing: usize,
+}
+
+impl WalkerShell {
+    /// Starlink-like shell: 550 km, 53°.
+    pub fn starlink_like(total: usize, planes: usize) -> WalkerShell {
+        WalkerShell {
+            altitude_km: 550.0,
+            inclination: 53f64.to_radians(),
+            total,
+            planes,
+            phasing: 1,
+        }
+    }
+
+    /// Generate the element set.
+    ///
+    /// # Panics
+    /// Panics if `planes` is zero or does not divide `total`.
+    pub fn generate(&self) -> Vec<KeplerElements> {
+        assert!(self.planes > 0, "a shell needs at least one plane");
+        assert!(
+            self.total.is_multiple_of(self.planes),
+            "planes ({}) must divide total ({})",
+            self.planes,
+            self.total
+        );
+        let per_plane = self.total / self.planes;
+        let a = R_EARTH + self.altitude_km;
+        let mut out = Vec::with_capacity(self.total);
+        for plane in 0..self.planes {
+            let raan = TAU * plane as f64 / self.planes as f64;
+            // Walker phasing: plane p's satellites are offset in anomaly by
+            // p·F·2π/total.
+            let phase_offset = TAU * (plane * self.phasing) as f64 / self.total as f64;
+            for slot in 0..per_plane {
+                let mean_anomaly = TAU * slot as f64 / per_plane as f64 + phase_offset;
+                out.push(
+                    KeplerElements::new(a, 0.0001, self.inclination, raan, 0.0, mean_anomaly)
+                        .expect("walker elements are valid"),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_total_satellites() {
+        let shell = WalkerShell::starlink_like(60, 6);
+        assert_eq!(shell.generate().len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_indivisible_plane_count() {
+        WalkerShell::starlink_like(61, 6).generate();
+    }
+
+    #[test]
+    fn planes_are_equally_spaced_in_raan() {
+        let shell = WalkerShell::starlink_like(40, 8);
+        let els = shell.generate();
+        let mut raans: Vec<f64> = els.iter().map(|e| e.raan).collect();
+        raans.sort_by(f64::total_cmp);
+        raans.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert_eq!(raans.len(), 8);
+        for (k, r) in raans.iter().enumerate() {
+            assert!((r - TAU * k as f64 / 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn in_plane_satellites_are_equally_phased() {
+        let shell = WalkerShell::starlink_like(20, 2);
+        let els = shell.generate();
+        let plane0: Vec<_> = els.iter().filter(|e| e.raan < 1e-9).collect();
+        assert_eq!(plane0.len(), 10);
+        let mut anomalies: Vec<f64> = plane0.iter().map(|e| e.mean_anomaly).collect();
+        anomalies.sort_by(f64::total_cmp);
+        for w in anomalies.windows(2) {
+            assert!((w[1] - w[0] - TAU / 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_satellites_share_the_shell_geometry() {
+        let shell = WalkerShell::starlink_like(30, 3);
+        for el in shell.generate() {
+            assert!((el.semi_major_axis - (R_EARTH + 550.0)).abs() < 1e-9);
+            assert!((el.inclination - 53f64.to_radians()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Fragmentation-event (breakup) cloud generator.
+//!
+//! §III-B of the paper discusses the catastrophic-fragmentation scenario:
+//! debris starts at one point in space with spread velocities and rapidly
+//! disperses along the parent orbit. This generator produces such a cloud —
+//! the parent state perturbed by isotropic Δv kicks — which the
+//! `fragmentation_event` example uses to demonstrate screening against a
+//! debris field.
+
+use kessler_math::kde::gaussian_pair;
+use kessler_math::kde::rand_like::UniformSource;
+use kessler_math::Vec3;
+use kessler_orbits::constants::MU_EARTH;
+use kessler_orbits::{CartesianState, KeplerElements};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+struct RngSource<'a, R: Rng>(&'a mut R);
+
+impl<R: Rng> UniformSource for RngSource<'_, R> {
+    fn next_uniform(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+}
+
+/// Breakup configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fragmentation {
+    /// Number of debris fragments to generate.
+    pub fragments: usize,
+    /// Standard deviation of the isotropic velocity kick, km/s.
+    /// NASA standard-breakup-model Δv magnitudes for catastrophic events
+    /// cluster in the 0.01–0.3 km/s range for trackable sizes.
+    pub delta_v_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fragmentation {
+    fn default() -> Self {
+        Fragmentation { fragments: 1_000, delta_v_sigma: 0.05, seed: 0xDEB1 }
+    }
+}
+
+impl Fragmentation {
+    /// Generate the debris cloud from a parent Cartesian state.
+    ///
+    /// Fragments whose kicked state is no longer a bound ellipse with
+    /// perigee above the surface are re-kicked (loop bounded internally).
+    pub fn generate_from_state(&self, parent: CartesianState) -> Vec<KeplerElements> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.fragments);
+        let mut attempts = 0usize;
+        let max_attempts = self.fragments * 1_000;
+        while out.len() < self.fragments && attempts < max_attempts {
+            attempts += 1;
+            let (gx, gy) = gaussian_pair(&mut RngSource(&mut rng));
+            let (gz, _) = gaussian_pair(&mut RngSource(&mut rng));
+            let kick = Vec3::new(gx, gy, gz) * self.delta_v_sigma;
+            let state = CartesianState::new(parent.position, parent.velocity + kick);
+            if let Some(el) = elements_from_state(&state) {
+                if el.perigee_radius() > kessler_orbits::constants::R_EARTH + 120.0 {
+                    out.push(el);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convert a Cartesian state to classical elements (two-body inverse).
+///
+/// Returns `None` for unbound (e ≥ 1) or degenerate states.
+pub fn elements_from_state(state: &CartesianState) -> Option<KeplerElements> {
+    let r = state.position;
+    let v = state.velocity;
+    let r_norm = r.norm();
+    if r_norm <= 0.0 {
+        return None;
+    }
+    let h = r.cross(v);
+    let h_norm = h.norm();
+    if h_norm <= 1e-9 {
+        return None;
+    }
+
+    // Eccentricity vector.
+    let e_vec = v.cross(h) / MU_EARTH - r / r_norm;
+    let ecc = e_vec.norm();
+    if ecc >= 1.0 {
+        return None;
+    }
+
+    // Semi-major axis from the energy.
+    let energy = 0.5 * v.norm_sq() - MU_EARTH / r_norm;
+    if energy >= 0.0 {
+        return None;
+    }
+    let a = -MU_EARTH / (2.0 * energy);
+
+    // Inclination.
+    let inclination = (h.z / h_norm).clamp(-1.0, 1.0).acos();
+
+    // Node vector.
+    let n_vec = Vec3::Z.cross(h);
+    let n_norm = n_vec.norm();
+
+    let two_pi = std::f64::consts::TAU;
+    let (raan, arg_perigee) = if n_norm > 1e-9 {
+        let mut raan = (n_vec.x / n_norm).clamp(-1.0, 1.0).acos();
+        if n_vec.y < 0.0 {
+            raan = two_pi - raan;
+        }
+        let arg = if ecc > 1e-11 {
+            let mut w = (n_vec.dot(e_vec) / (n_norm * ecc)).clamp(-1.0, 1.0).acos();
+            if e_vec.z < 0.0 {
+                w = two_pi - w;
+            }
+            w
+        } else {
+            0.0
+        };
+        (raan, arg)
+    } else {
+        // Equatorial orbit: node undefined; fold into argument of perigee.
+        let arg = if ecc > 1e-11 {
+            let mut w = (e_vec.x / ecc).clamp(-1.0, 1.0).acos();
+            if e_vec.y < 0.0 {
+                w = two_pi - w;
+            }
+            w
+        } else {
+            0.0
+        };
+        (0.0, arg)
+    };
+
+    // True anomaly.
+    let true_anomaly = if ecc > 1e-11 {
+        let mut f = (e_vec.dot(r) / (ecc * r_norm)).clamp(-1.0, 1.0).acos();
+        if r.dot(v) < 0.0 {
+            f = two_pi - f;
+        }
+        f
+    } else if n_norm > 1e-9 {
+        // Circular inclined: argument of latitude.
+        let mut u = (n_vec.dot(r) / (n_norm * r_norm)).clamp(-1.0, 1.0).acos();
+        if r.z < 0.0 {
+            u = two_pi - u;
+        }
+        u
+    } else {
+        // Circular equatorial: true longitude.
+        let mut l = (r.x / r_norm).clamp(-1.0, 1.0).acos();
+        if r.y < 0.0 {
+            l = two_pi - l;
+        }
+        l
+    };
+
+    let mean_anomaly = kessler_orbits::anomaly::true_to_mean(true_anomaly, ecc);
+    KeplerElements::new(a, ecc, inclination, raan, arg_perigee, mean_anomaly).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kessler_orbits::propagator::PropagationConstants;
+    use kessler_orbits::ContourSolver;
+    use std::f64::consts::TAU;
+
+    fn parent_state() -> CartesianState {
+        // Circular 800 km orbit in a 60°-inclined plane.
+        let el =
+            KeplerElements::new(7_178.0, 0.0005, 1.05, 0.7, 1.3, 2.0).unwrap();
+        PropagationConstants::from_elements(&el).propagate(0.0, &ContourSolver::default())
+    }
+
+    #[test]
+    fn round_trip_elements_to_state_to_elements() {
+        for (a, e, i, raan, argp, m0) in [
+            (7_000.0, 0.001, 0.9, 1.0, 2.0, 3.0),
+            (26_560.0, 0.01, 0.96, 4.0, 0.3, 0.5),
+            (42_164.0, 0.0003, 0.01, 2.0, 1.0, 5.0),
+            (26_600.0, 0.7, 1.1, 3.2, 4.9, 0.1),
+        ] {
+            let el = KeplerElements::new(a, e, i, raan, argp, m0).unwrap();
+            let state = PropagationConstants::from_elements(&el)
+                .propagate(0.0, &ContourSolver::default());
+            let back = elements_from_state(&state).unwrap();
+            assert!((back.semi_major_axis - a).abs() < 1e-5 * a, "a: {}", back.semi_major_axis);
+            assert!((back.eccentricity - e).abs() < 1e-7, "e: {}", back.eccentricity);
+            assert!((back.inclination - i).abs() < 1e-9, "i: {}", back.inclination);
+            assert!(
+                kessler_math::angles::separation(back.raan, raan) < 1e-8,
+                "raan: {}",
+                back.raan
+            );
+            assert!(
+                kessler_math::angles::separation(back.arg_perigee, argp) < 1e-6,
+                "argp: {}",
+                back.arg_perigee
+            );
+            assert!(
+                kessler_math::angles::separation(back.mean_anomaly, m0) < 1e-6,
+                "m: {}",
+                back.mean_anomaly
+            );
+        }
+    }
+
+    #[test]
+    fn unbound_state_is_rejected() {
+        let s = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 12.0, 0.0));
+        // v = 12 km/s at 7000 km exceeds escape velocity (~10.7 km/s).
+        assert!(elements_from_state(&s).is_none());
+    }
+
+    #[test]
+    fn degenerate_radial_trajectory_is_rejected() {
+        let s = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(elements_from_state(&s).is_none());
+    }
+
+    #[test]
+    fn cloud_has_requested_size_and_similar_orbits() {
+        let f = Fragmentation { fragments: 500, delta_v_sigma: 0.05, seed: 1 };
+        let parent = parent_state();
+        let cloud = f.generate_from_state(parent);
+        assert_eq!(cloud.len(), 500);
+        // Small kicks → semi-major axes stay near the parent's.
+        for el in &cloud {
+            assert!((el.semi_major_axis - 7_178.0).abs() < 600.0, "a = {}", el.semi_major_axis);
+        }
+    }
+
+    #[test]
+    fn cloud_positions_start_at_the_breakup_point() {
+        let f = Fragmentation { fragments: 100, delta_v_sigma: 0.03, seed: 2 };
+        let parent = parent_state();
+        let cloud = f.generate_from_state(parent);
+        let solver = ContourSolver::default();
+        for el in &cloud {
+            let p = PropagationConstants::from_elements(el).position(0.0, &solver);
+            assert!(
+                p.dist(parent.position) < 1.0,
+                "fragment starts {} km from the breakup point",
+                p.dist(parent.position)
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_disperses_over_time() {
+        let f = Fragmentation { fragments: 200, delta_v_sigma: 0.05, seed: 3 };
+        let parent = parent_state();
+        let cloud = f.generate_from_state(parent);
+        let solver = ContourSolver::default();
+        let spread_at = |t: f64| -> f64 {
+            let positions: Vec<Vec3> = cloud
+                .iter()
+                .map(|el| PropagationConstants::from_elements(el).position(t, &solver))
+                .collect();
+            let centroid = positions.iter().fold(Vec3::ZERO, |acc, &p| acc + p)
+                / positions.len() as f64;
+            positions.iter().map(|p| p.dist(centroid)).sum::<f64>() / positions.len() as f64
+        };
+        let early = spread_at(60.0);
+        let late = spread_at(3_000.0);
+        assert!(
+            late > 5.0 * early,
+            "cloud failed to disperse: early {early} km, late {late} km"
+        );
+    }
+
+    #[test]
+    fn cloud_is_deterministic_per_seed() {
+        let parent = parent_state();
+        let a = Fragmentation { fragments: 50, delta_v_sigma: 0.05, seed: 9 }
+            .generate_from_state(parent);
+        let b = Fragmentation { fragments: 50, delta_v_sigma: 0.05, seed: 9 }
+            .generate_from_state(parent);
+        assert_eq!(a, b);
+        let _ = TAU;
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic satellite population generation (§V-A of the paper).
+//!
+//! The paper benchmarks on synthetically-generated populations whose
+//! (semi-major axis, eccentricity) pairs are drawn from a bivariate kernel
+//! density estimate of the real early-2021 satellite catalog, with all
+//! remaining elements uniform (Table II). We reproduce that pipeline:
+//!
+//! * [`catalog`] — an embedded anchor catalog of (a, e) points modelled on
+//!   the documented orbit regimes of the 2021 active-satellite population
+//!   (substitution for the Celestrak snapshot; see DESIGN.md §3).
+//! * [`generator`] — the KDE-backed population generator implementing
+//!   Table II exactly (inclination uniform in [0, π], node/perigee/mean
+//!   anomaly uniform in [0, 2π), true anomaly derived from mean anomaly).
+//! * [`constellation`] — Walker-delta constellation generator
+//!   (Starlink-style shells), used by the examples.
+//! * [`fragmentation`] — debris-cloud generator for a breakup event (the
+//!   scenario §III-B argues about).
+//! * [`tle`] — a two-line-element parser so real catalogs can be used in
+//!   place of the synthetic model.
+
+pub mod catalog;
+pub mod constellation;
+pub mod fragmentation;
+pub mod generator;
+pub mod tle;
+
+pub use generator::{PopulationConfig, PopulationGenerator};

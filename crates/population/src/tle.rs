@@ -1,0 +1,360 @@
+//! Minimal two-line-element (TLE) parser.
+//!
+//! The paper's population model is derived from the Celestrak active-
+//! satellite TLE catalog \[46\]. This parser lets users feed a real catalog
+//! into the screeners or into [`crate::PopulationGenerator::from_anchors`].
+//! Only the mean elements needed for two-body screening are extracted; the
+//! SGP4-specific terms (drag, derivatives) are parsed but unused.
+
+use kessler_orbits::constants::MU_EARTH;
+use kessler_orbits::KeplerElements;
+use serde::{Deserialize, Serialize};
+
+/// A parsed TLE record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TleRecord {
+    /// Optional satellite name (line 0 of a 3LE).
+    pub name: Option<String>,
+    /// NORAD catalog number.
+    pub catalog_number: u32,
+    /// Epoch year (four digits).
+    pub epoch_year: u16,
+    /// Epoch day of year with fraction.
+    pub epoch_day: f64,
+    /// Derived classical elements.
+    pub elements: KeplerElements,
+    /// Mean motion, revolutions per day (as given on line 2).
+    pub mean_motion_rev_per_day: f64,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TleError {
+    /// A line was shorter than the 69-character TLE format.
+    LineTooShort { line: usize },
+    /// A line did not start with the expected line number.
+    BadLineNumber { line: usize },
+    /// The mod-10 checksum failed.
+    ChecksumMismatch { line: usize },
+    /// A numeric field failed to parse.
+    BadField { line: usize, field: &'static str },
+    /// The derived elements were unphysical.
+    BadElements,
+}
+
+impl std::fmt::Display for TleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TleError::LineTooShort { line } => write!(f, "TLE line {line} is too short"),
+            TleError::BadLineNumber { line } => write!(f, "TLE line {line} has a bad line number"),
+            TleError::ChecksumMismatch { line } => write!(f, "TLE line {line} checksum mismatch"),
+            TleError::BadField { line, field } => {
+                write!(f, "TLE line {line}: cannot parse field `{field}`")
+            }
+            TleError::BadElements => write!(f, "TLE produced unphysical orbital elements"),
+        }
+    }
+}
+
+impl std::error::Error for TleError {}
+
+/// Mod-10 TLE checksum: digits count as themselves, `-` as 1, all else 0.
+pub fn checksum(line: &str) -> u32 {
+    line.chars()
+        .take(68)
+        .map(|c| match c {
+            '0'..='9' => c as u32 - '0' as u32,
+            '-' => 1,
+            _ => 0,
+        })
+        .sum::<u32>()
+        % 10
+}
+
+fn field(line: &str, range: std::ops::Range<usize>) -> &str {
+    line.get(range).unwrap_or("").trim()
+}
+
+fn parse_f64(line: &str, range: std::ops::Range<usize>, lineno: usize, name: &'static str)
+    -> Result<f64, TleError>
+{
+    field(line, range)
+        .parse::<f64>()
+        .map_err(|_| TleError::BadField { line: lineno, field: name })
+}
+
+/// Parse one TLE from its two lines (optionally preceded by a name line).
+pub fn parse_tle(name: Option<&str>, line1: &str, line2: &str) -> Result<TleRecord, TleError> {
+    for (idx, line, expect) in [(1usize, line1, '1'), (2, line2, '2')] {
+        if line.len() < 69 {
+            return Err(TleError::LineTooShort { line: idx });
+        }
+        if !line.starts_with(expect) {
+            return Err(TleError::BadLineNumber { line: idx });
+        }
+        let given: u32 = line
+            .chars()
+            .nth(68)
+            .and_then(|c| c.to_digit(10))
+            .ok_or(TleError::ChecksumMismatch { line: idx })?;
+        if checksum(line) != given {
+            return Err(TleError::ChecksumMismatch { line: idx });
+        }
+    }
+
+    let catalog_number = field(line1, 2..7)
+        .parse::<u32>()
+        .map_err(|_| TleError::BadField { line: 1, field: "catalog number" })?;
+    let epoch_yy = field(line1, 18..20)
+        .parse::<u16>()
+        .map_err(|_| TleError::BadField { line: 1, field: "epoch year" })?;
+    // TLE convention: 57–99 → 1957–1999, 00–56 → 2000–2056.
+    let epoch_year = if epoch_yy >= 57 { 1900 + epoch_yy } else { 2000 + epoch_yy };
+    let epoch_day = parse_f64(line1, 20..32, 1, "epoch day")?;
+
+    let inclination_deg = parse_f64(line2, 8..16, 2, "inclination")?;
+    let raan_deg = parse_f64(line2, 17..25, 2, "raan")?;
+    let ecc_str = field(line2, 26..33);
+    let eccentricity = format!("0.{ecc_str}")
+        .parse::<f64>()
+        .map_err(|_| TleError::BadField { line: 2, field: "eccentricity" })?;
+    let argp_deg = parse_f64(line2, 34..42, 2, "argument of perigee")?;
+    let mean_anomaly_deg = parse_f64(line2, 43..51, 2, "mean anomaly")?;
+    let mean_motion_rev_per_day = parse_f64(line2, 52..63, 2, "mean motion")?;
+
+    // Semi-major axis from mean motion: n = √(μ/a³).
+    let n_rad_per_sec = mean_motion_rev_per_day * std::f64::consts::TAU / 86_400.0;
+    if n_rad_per_sec <= 0.0 {
+        return Err(TleError::BadField { line: 2, field: "mean motion" });
+    }
+    let semi_major_axis = (MU_EARTH / (n_rad_per_sec * n_rad_per_sec)).cbrt();
+
+    let elements = KeplerElements::new(
+        semi_major_axis,
+        eccentricity,
+        inclination_deg.to_radians(),
+        raan_deg.to_radians(),
+        argp_deg.to_radians(),
+        mean_anomaly_deg.to_radians(),
+    )
+    .map_err(|_| TleError::BadElements)?;
+
+    Ok(TleRecord {
+        name: name.map(|n| n.trim().to_string()).filter(|n| !n.is_empty()),
+        catalog_number,
+        epoch_year,
+        epoch_day,
+        elements,
+        mean_motion_rev_per_day,
+    })
+}
+
+/// Convert a TLE record's SGP4 mean elements into **osculating** Kepler
+/// elements at the TLE epoch, by running our from-scratch SGP4 for zero
+/// minutes and inverting the Cartesian state.
+///
+/// This is the correct way to feed real TLEs into the two-body screeners:
+/// SGP4 mean elements differ from osculating elements by the J2 periodics
+/// (up to ~10 km in position if interpreted naively). Deep-space objects
+/// (period ≥ 225 min) fall back to interpreting the mean elements
+/// directly — the screening spans of interest are short relative to GEO
+/// periodics.
+pub fn osculating_elements(record: &TleRecord) -> KeplerElements {
+    let mean = kessler_orbits::sgp4::MeanElements {
+        mean_motion_rev_per_day: record.mean_motion_rev_per_day,
+        eccentricity: record.elements.eccentricity,
+        inclination: record.elements.inclination,
+        raan: record.elements.raan,
+        arg_perigee: record.elements.arg_perigee,
+        mean_anomaly: record.elements.mean_anomaly,
+        bstar: 0.0,
+    };
+    match kessler_orbits::sgp4::Sgp4::new(&mean)
+        .and_then(|prop| prop.propagate(0.0))
+    {
+        Ok(state) => {
+            crate::fragmentation::elements_from_state(&state).unwrap_or(record.elements)
+        }
+        Err(_) => record.elements,
+    }
+}
+
+/// Parse a whole catalog in 2LE or 3LE format, skipping blank lines.
+/// Returns records plus per-record errors (a bad record does not abort the
+/// rest of the catalog).
+pub fn parse_catalog(text: &str) -> (Vec<TleRecord>, Vec<(usize, TleError)>) {
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (name, l1_idx) = if !lines[i].starts_with('1') && i + 2 < lines.len() + 1 {
+            // Name line (3LE).
+            if i + 1 < lines.len() && lines[i + 1].starts_with('1') {
+                (Some(lines[i]), i + 1)
+            } else {
+                errors.push((i, TleError::BadLineNumber { line: 1 }));
+                i += 1;
+                continue;
+            }
+        } else {
+            (None, i)
+        };
+        if l1_idx + 1 >= lines.len() {
+            errors.push((l1_idx, TleError::LineTooShort { line: 2 }));
+            break;
+        }
+        match parse_tle(name, lines[l1_idx], lines[l1_idx + 1]) {
+            Ok(rec) => records.push(rec),
+            Err(e) => errors.push((l1_idx, e)),
+        }
+        i = l1_idx + 2;
+    }
+    (records, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The canonical ISS TLE example (from the NORAD format spec).
+    const ISS_L1: &str =
+        "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+    const ISS_L2: &str =
+        "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+    #[test]
+    fn checksum_of_reference_lines() {
+        assert_eq!(checksum(ISS_L1), 7);
+        assert_eq!(checksum(ISS_L2), 7);
+    }
+
+    #[test]
+    fn parses_the_iss_tle() {
+        let rec = parse_tle(Some("ISS (ZARYA)"), ISS_L1, ISS_L2).unwrap();
+        assert_eq!(rec.catalog_number, 25544);
+        assert_eq!(rec.epoch_year, 2008);
+        assert!((rec.epoch_day - 264.51782528).abs() < 1e-8);
+        assert_eq!(rec.name.as_deref(), Some("ISS (ZARYA)"));
+        let el = rec.elements;
+        assert!((el.inclination.to_degrees() - 51.6416).abs() < 1e-4);
+        assert!((el.raan.to_degrees() - 247.4627).abs() < 1e-4);
+        assert!((el.eccentricity - 0.0006703).abs() < 1e-9);
+        assert!((el.arg_perigee.to_degrees() - 130.5360).abs() < 1e-4);
+        assert!((el.mean_anomaly.to_degrees() - 325.0288).abs() < 1e-4);
+        // 15.72 rev/day → a ≈ 6723 km (ISS altitude ~350 km in 2008).
+        assert!(
+            (el.semi_major_axis - 6_723.0).abs() < 10.0,
+            "a = {}",
+            el.semi_major_axis
+        );
+    }
+
+    #[test]
+    fn rejects_corrupted_checksum() {
+        let mut bad = ISS_L1.to_string();
+        bad.replace_range(10..11, "9");
+        assert_eq!(
+            parse_tle(None, &bad, ISS_L2).unwrap_err(),
+            TleError::ChecksumMismatch { line: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        assert_eq!(
+            parse_tle(None, "1 25544U", ISS_L2).unwrap_err(),
+            TleError::LineTooShort { line: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_swapped_lines() {
+        assert_eq!(
+            parse_tle(None, ISS_L2, ISS_L1).unwrap_err(),
+            TleError::BadLineNumber { line: 1 }
+        );
+    }
+
+    #[test]
+    fn parses_a_3le_catalog() {
+        let text = format!("ISS (ZARYA)\n{ISS_L1}\n{ISS_L2}\n");
+        let (recs, errs) = parse_catalog(&text);
+        assert_eq!(recs.len(), 1);
+        assert!(errs.is_empty());
+        assert_eq!(recs[0].name.as_deref(), Some("ISS (ZARYA)"));
+    }
+
+    #[test]
+    fn parses_a_2le_catalog_with_multiple_records() {
+        let text = format!("{ISS_L1}\n{ISS_L2}\n{ISS_L1}\n{ISS_L2}\n");
+        let (recs, errs) = parse_catalog(&text);
+        assert_eq!(recs.len(), 2);
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn catalog_survives_a_bad_record() {
+        let mut bad_l1 = ISS_L1.to_string();
+        bad_l1.replace_range(10..11, "9"); // checksum break
+        let text = format!("{bad_l1}\n{ISS_L2}\n{ISS_L1}\n{ISS_L2}\n");
+        let (recs, errs) = parse_catalog(&text);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn osculating_conversion_shifts_the_iss_elements() {
+        let rec = parse_tle(None, ISS_L1, ISS_L2).unwrap();
+        let osc = osculating_elements(&rec);
+        // The J2 short-period difference between mean and osculating
+        // semi-major axis is kilometres-scale for the ISS.
+        let da = (osc.semi_major_axis - rec.elements.semi_major_axis).abs();
+        assert!(da > 0.5 && da < 30.0, "Δa = {da} km");
+        // The osculating state reproduces the SGP4 epoch position.
+        use kessler_orbits::propagator::PropagationConstants;
+        use kessler_orbits::ContourSolver;
+        let mean = kessler_orbits::sgp4::MeanElements {
+            mean_motion_rev_per_day: rec.mean_motion_rev_per_day,
+            eccentricity: rec.elements.eccentricity,
+            inclination: rec.elements.inclination,
+            raan: rec.elements.raan,
+            arg_perigee: rec.elements.arg_perigee,
+            mean_anomaly: rec.elements.mean_anomaly,
+            bstar: 0.0,
+        };
+        let sgp4_state = kessler_orbits::sgp4::Sgp4::new(&mean)
+            .unwrap()
+            .propagate(0.0)
+            .unwrap();
+        let two_body = PropagationConstants::from_elements(&osc)
+            .propagate(0.0, &ContourSolver::default());
+        assert!(
+            two_body.position.dist(sgp4_state.position) < 1e-6,
+            "osculating elements must reproduce the SGP4 epoch state"
+        );
+    }
+
+    #[test]
+    fn deep_space_records_fall_back_to_mean_elements() {
+        // Fabricate a GEO-period record: conversion must not panic and
+        // must return the original elements.
+        let rec = parse_tle(None, ISS_L1, ISS_L2).unwrap();
+        let mut geo = rec.clone();
+        geo.mean_motion_rev_per_day = 1.0027;
+        geo.elements = KeplerElements::new(42_164.0, 0.0002, 0.01, 1.0, 2.0, 3.0).unwrap();
+        let osc = osculating_elements(&geo);
+        assert_eq!(osc, geo.elements);
+    }
+
+    #[test]
+    fn epoch_year_window() {
+        // 98 → 1998 (per the 57-boundary convention); 08 → 2008.
+        let rec = parse_tle(None, ISS_L1, ISS_L2).unwrap();
+        assert_eq!(rec.epoch_year, 2008);
+    }
+}

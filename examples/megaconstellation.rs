@@ -1,0 +1,109 @@
+//! Mega-constellation screening: the scenario the paper's introduction
+//! motivates. Builds Starlink-like Walker shells plus a background
+//! population, screens them with the hybrid variant, and reports the
+//! conjunction picture (intra-shell vs background).
+//!
+//! ```text
+//! cargo run --release --example megaconstellation [-- <shell_sats> <background>]
+//! ```
+
+use kessler::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let shell_sats: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(720);
+    let background: usize = args.next().map(|a| a.parse().unwrap()).unwrap_or(500);
+
+    // Two Walker shells at slightly different altitudes (Starlink- and
+    // OneWeb-style) plus a KDE background of legacy satellites/debris.
+    let shell_a = WalkerShell {
+        altitude_km: 550.0,
+        inclination: 53f64.to_radians(),
+        total: shell_sats,
+        planes: 24.min(shell_sats).max(1),
+        phasing: 1,
+    };
+    let shell_b = WalkerShell {
+        altitude_km: 1_200.0,
+        inclination: 87.9f64.to_radians(),
+        total: shell_sats / 2,
+        planes: 12.min(shell_sats / 2).max(1),
+        phasing: 1,
+    };
+
+    let mut population = shell_a.generate();
+    let first_shell_end = population.len();
+    population.extend(shell_b.generate());
+    let second_shell_end = population.len();
+    population.extend(PopulationGenerator::new(PopulationConfig::default()).generate(background));
+
+    println!(
+        "megaconstellation: {} shell-A + {} shell-B + {} background = {} objects",
+        first_shell_end,
+        second_shell_end - first_shell_end,
+        background,
+        population.len()
+    );
+
+    let config = ScreeningConfig::hybrid_defaults(2.0, 1_800.0);
+    let report = HybridScreener::new(config).screen(&population);
+
+    let classify = |id: u32| -> &'static str {
+        let id = id as usize;
+        if id < first_shell_end {
+            "shell-A"
+        } else if id < second_shell_end {
+            "shell-B"
+        } else {
+            "background"
+        }
+    };
+
+    let mut intra_shell = 0usize;
+    let mut shell_vs_background = 0usize;
+    let mut background_only = 0usize;
+    for c in &report.conjunctions {
+        match (classify(c.id_lo), classify(c.id_hi)) {
+            ("background", "background") => background_only += 1,
+            (a, b) if a == b => intra_shell += 1,
+            (a, b) if a == "background" || b == "background" => shell_vs_background += 1,
+            _ => intra_shell += 1, // shell-A vs shell-B: constellation traffic
+        }
+    }
+
+    println!(
+        "screened {} candidate pairs in {:.1} ms",
+        report.candidate_pairs,
+        report.timings.total.as_secs_f64() * 1e3
+    );
+    println!("conjunctions: {}", report.conjunction_count());
+    println!("  constellation-internal : {intra_shell}");
+    println!("  shell vs background    : {shell_vs_background}");
+    println!("  background vs background: {background_only}");
+
+    if let Some(stats) = &report.filter_stats {
+        println!(
+            "filter chain: {} tested → {} apsis-excluded, {} path-excluded, {} time-excluded, {} coplanar, {} kept",
+            stats.tested,
+            stats.excluded_apsis,
+            stats.excluded_path,
+            stats.excluded_time,
+            stats.coplanar,
+            stats.kept
+        );
+    }
+
+    // Walker shells are phased precisely so that same-shell satellites
+    // never collide; a well-designed shell should show ~0 same-plane
+    // conjunctions unless the background intrudes.
+    let worst = report
+        .conjunctions
+        .iter()
+        .min_by(|a, b| a.pca_km.total_cmp(&b.pca_km));
+    if let Some(w) = worst {
+        println!(
+            "closest approach: {} vs {} at t = {:.1} s, {:.3} km",
+            w.id_lo, w.id_hi, w.tca, w.pca_km
+        );
+    }
+}

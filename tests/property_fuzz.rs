@@ -1,0 +1,97 @@
+//! Property-based cross-variant fuzzing: on small random populations the
+//! grid variant must agree with the brute-force legacy baseline, and the
+//! library must uphold its report invariants on arbitrary (valid) inputs.
+
+use kessler::prelude::*;
+use proptest::prelude::*;
+use std::f64::consts::{PI, TAU};
+
+/// A random but physically valid LEO-ish element set.
+fn arb_elements() -> impl Strategy<Value = KeplerElements> {
+    (
+        6_800.0..9_000.0f64, // semi-major axis
+        0.0..0.02f64,        // eccentricity (near-circular, keeps perigee up)
+        0.0..PI,             // inclination
+        0.0..TAU,            // raan
+        0.0..TAU,            // argp
+        0.0..TAU,            // mean anomaly
+    )
+        .prop_map(|(a, e, i, raan, argp, m)| {
+            KeplerElements::new(a, e, i, raan, argp, m).expect("valid by construction")
+        })
+}
+
+fn arb_population(max: usize) -> impl Strategy<Value = Vec<KeplerElements>> {
+    proptest::collection::vec(arb_elements(), 2..max)
+}
+
+proptest! {
+    // Each case runs three screeners; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The central correctness property of the paper: the spatial-grid
+    /// shortcut must find the same colliding pairs as brute force.
+    #[test]
+    fn grid_matches_legacy_on_random_populations(pop in arb_population(24)) {
+        let config = ScreeningConfig::grid_defaults(25.0, 400.0);
+        let grid = GridScreener::new(config).screen(&pop);
+        let legacy = LegacyScreener::new(config).screen(&pop);
+        prop_assert_eq!(
+            grid.colliding_pairs(),
+            legacy.colliding_pairs(),
+            "population: {:?}",
+            pop
+        );
+    }
+
+    /// The gpusim port is bit-identical to the CPU grid screener.
+    #[test]
+    fn gpusim_is_identical_to_cpu(pop in arb_population(16)) {
+        let config = ScreeningConfig::grid_defaults(25.0, 300.0);
+        let cpu = GridScreener::new(config).screen(&pop);
+        let gpu = GpuGridScreener::new(config).screen(&pop);
+        prop_assert_eq!(cpu.conjunction_count(), gpu.conjunction_count());
+        for (a, b) in cpu.conjunctions.iter().zip(&gpu.conjunctions) {
+            prop_assert_eq!(a.pair(), b.pair());
+            prop_assert!((a.tca - b.tca).abs() < 1e-9);
+        }
+    }
+
+    /// Report invariants hold on arbitrary populations: conjunctions are
+    /// sorted/deduplicated, within span and threshold, ids in range.
+    #[test]
+    fn report_invariants(pop in arb_population(20)) {
+        let span = 350.0;
+        let threshold = 30.0;
+        let config = ScreeningConfig::grid_defaults(threshold, span);
+        let report = GridScreener::new(config).screen(&pop);
+        let n = pop.len() as u32;
+        for c in &report.conjunctions {
+            prop_assert!(c.id_lo < c.id_hi, "ids must be ordered");
+            prop_assert!(c.id_hi < n, "ids must be in range");
+            prop_assert!(c.pca_km <= threshold + 1e-9);
+            prop_assert!(c.pca_km >= 0.0);
+            prop_assert!(c.tca >= -1e-9 && c.tca <= span + 1e-9);
+        }
+        // Sorted by pair, then TCA; no duplicate minima inside the dedup
+        // tolerance.
+        for w in report.conjunctions.windows(2) {
+            let key = |c: &Conjunction| (c.id_lo, c.id_hi);
+            prop_assert!(key(&w[0]) <= key(&w[1]));
+            if key(&w[0]) == key(&w[1]) {
+                prop_assert!(w[1].tca - w[0].tca > config.tca_dedup_tolerance_s);
+            }
+        }
+    }
+
+    /// The multi-grid round scheduler must not change screening results.
+    #[test]
+    fn parallel_steps_do_not_change_results(pop in arb_population(16)) {
+        let mut config = ScreeningConfig::grid_defaults(25.0, 200.0);
+        let sequential = GridScreener::new(config).screen(&pop);
+        config.parallel_steps = Some(4);
+        let rounds = GridScreener::new(config).screen(&pop);
+        prop_assert_eq!(sequential.colliding_pairs(), rounds.colliding_pairs());
+        prop_assert_eq!(sequential.conjunction_count(), rounds.conjunction_count());
+    }
+}
