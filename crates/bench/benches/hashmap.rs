@@ -53,5 +53,10 @@ fn bench_hash(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_load_factor, bench_concurrent_insert, bench_hash);
+criterion_group!(
+    benches,
+    bench_load_factor,
+    bench_concurrent_insert,
+    bench_hash
+);
 criterion_main!(benches);

@@ -11,7 +11,11 @@ fn workload() -> Vec<(f64, f64)> {
     (0..4096)
         .map(|i| {
             let m = (i as f64 * 0.618_033_988_75) % std::f64::consts::TAU;
-            let e = if i % 16 == 0 { 0.72 } else { 0.002 + 0.01 * ((i % 7) as f64) };
+            let e = if i % 16 == 0 {
+                0.72
+            } else {
+                0.002 + 0.01 * ((i % 7) as f64)
+            };
             (m, e)
         })
         .collect()
@@ -25,7 +29,10 @@ fn bench_solvers(c: &mut Criterion) {
     let newton = NewtonSolver::default();
     let danby = DanbySolver::default();
     let contour = ContourSolver::default();
-    let contour_unpolished = ContourSolver { points: 16, polish: false };
+    let contour_unpolished = ContourSolver {
+        points: 16,
+        polish: false,
+    };
     let markley = MarkleySolver;
 
     group.bench_function(BenchmarkId::new("newton", work.len()), |b| {
@@ -91,7 +98,9 @@ fn bench_sgp4(c: &mut Criterion) {
         mean_anomaly: 3.0,
         bstar: 3.8e-5,
     };
-    c.bench_function("sgp4_init", |b| b.iter(|| black_box(Sgp4::new(&elements).unwrap())));
+    c.bench_function("sgp4_init", |b| {
+        b.iter(|| black_box(Sgp4::new(&elements).unwrap()))
+    });
     let prop = Sgp4::new(&elements).unwrap();
     c.bench_function("sgp4_propagate", |b| {
         let mut t = 0.0;

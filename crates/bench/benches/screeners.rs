@@ -6,8 +6,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kessler_bench::experiment_population;
 use kessler_core::{
-    GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener, LegacyScreener,
-    ScreeningConfig, Screener,
+    GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener, LegacyScreener, Screener,
+    ScreeningConfig,
 };
 
 fn bench_variants(c: &mut Criterion) {

@@ -66,11 +66,13 @@ fn bench_dense_vs_hash(c: &mut Criterion) {
     // Confine positions to a 2000 km box so the dense grid is allocatable.
     let pos: Vec<Vec3> = positions(n)
         .into_iter()
-        .map(|p| Vec3::new(
-            p.x.rem_euclid(2_000.0) - 1_000.0,
-            p.y.rem_euclid(2_000.0) - 1_000.0,
-            p.z.rem_euclid(2_000.0) - 1_000.0,
-        ))
+        .map(|p| {
+            Vec3::new(
+                p.x.rem_euclid(2_000.0) - 1_000.0,
+                p.y.rem_euclid(2_000.0) - 1_000.0,
+                p.z.rem_euclid(2_000.0) - 1_000.0,
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("dense_vs_hash");
     group.bench_function("dense_insert_reset", |b| {
@@ -104,7 +106,11 @@ fn bench_pairset(c: &mut Criterion) {
         b.iter(|| {
             let set = PairSet::with_capacity(1 << 18);
             (0..n).into_par_iter().for_each(|i| {
-                set.insert(CandidatePair::new(i % 5_000, (i % 5_000) + 1 + i % 37, i % 64));
+                set.insert(CandidatePair::new(
+                    i % 5_000,
+                    (i % 5_000) + 1 + i % 37,
+                    i % 64,
+                ));
             });
             black_box(set.len())
         })

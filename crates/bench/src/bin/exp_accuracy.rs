@@ -72,8 +72,16 @@ fn main() {
     let hybrid_missed = sorted(lp.difference(&hp).copied().collect());
     let hybrid_extra = sorted(hp.difference(&lp).copied().collect());
 
-    println!("\nvs legacy: grid misses {} pairs, finds {} extra", grid_missed.len(), grid_extra.len());
-    println!("           hybrid misses {} pairs, finds {} extra", hybrid_missed.len(), hybrid_extra.len());
+    println!(
+        "\nvs legacy: grid misses {} pairs, finds {} extra",
+        grid_missed.len(),
+        grid_extra.len()
+    );
+    println!(
+        "           hybrid misses {} pairs, finds {} extra",
+        hybrid_missed.len(),
+        hybrid_extra.len()
+    );
     if !grid_missed.is_empty() {
         println!("  grid missed: {grid_missed:?}");
     }
@@ -90,7 +98,11 @@ fn main() {
         grid_gpu.conjunction_count(),
         hybrid.conjunction_count(),
         hybrid_gpu.conjunction_count(),
-        if gpusim_matches_cpu { "match" } else { "MISMATCH" }
+        if gpusim_matches_cpu {
+            "match"
+        } else {
+            "MISMATCH"
+        }
     );
 
     println!("\npaper reference @64k: legacy 17 184 / grid 17 264 / hybrid 17 242 conjunctions;");

@@ -12,7 +12,7 @@
 //! and runtime versus population size.
 
 use kessler_bench::{maybe_write_json, Args};
-use kessler_core::{GridScreener, ScreeningConfig, Screener};
+use kessler_core::{GridScreener, Screener, ScreeningConfig};
 use kessler_orbits::KeplerElements;
 use serde::Serialize;
 use std::f64::consts::TAU;
@@ -92,12 +92,14 @@ fn main() {
         let mut prev: Option<(usize, usize)> = None;
         for &n in &sizes {
             let pop = make(n);
-            let report =
-                GridScreener::new(ScreeningConfig::grid_defaults(2.0, span)).screen(&pop);
+            let report = GridScreener::new(ScreeningConfig::grid_defaults(2.0, span)).screen(&pop);
             let growth = match prev {
                 Some((pn, pe)) if pe > 0 => {
-                    format!("×{:.2} for ×{:.1} n", report.candidate_entries as f64 / pe as f64,
-                            n as f64 / pn as f64)
+                    format!(
+                        "×{:.2} for ×{:.1} n",
+                        report.candidate_entries as f64 / pe as f64,
+                        n as f64 / pn as f64
+                    )
                 }
                 _ => "—".to_string(),
             };

@@ -79,9 +79,7 @@ fn main() {
 
     println!("full series:");
     print_rows(&rows);
-    println!(
-        "\npaper shape to compare against: legacy grows super-linearly (O(n²) pairs);"
-    );
+    println!("\npaper shape to compare against: legacy grows super-linearly (O(n²) pairs);");
     println!("grid/hybrid grow near-linearly until refinement dominates; hybrid beats grid");
     println!("when memory admits the larger cells; the crossover vs legacy sits at a few");
     println!("thousand objects (≈4000 in the paper's Fig. 10a).");

@@ -79,10 +79,7 @@ fn main() {
         .map(|c| if c % 4 == 0 { '|' } else { ' ' })
         .collect();
     println!("{:>11}{}", "", col_label);
-    println!(
-        "{:>11}a = {:.0} … {:.0} km",
-        "", sma_lo, sma_hi
-    );
+    println!("{:>11}a = {:.0} … {:.0} km", "", sma_lo, sma_hi);
 
     println!();
     println!("mode of the density: a ≈ {mode_sma:.0} km, e ≈ {mode_ecc:.4}");
@@ -98,7 +95,9 @@ fn main() {
         sma_edges: (0..=cols)
             .map(|c| sma_lo + c as f64 / cols as f64 * (sma_hi - sma_lo))
             .collect(),
-        ecc_edges: (0..=rows).map(|r| r as f64 / rows as f64 * ecc_hi).collect(),
+        ecc_edges: (0..=rows)
+            .map(|r| r as f64 / rows as f64 * ecc_hi)
+            .collect(),
         counts,
         hotspot_fraction,
         mode_sma_km: mode_sma,

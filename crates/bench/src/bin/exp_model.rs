@@ -7,7 +7,7 @@
 //!        hybrid `c' = 2.14e-9 · n² · s^(5/3) · t · d` (Eq. 4).
 
 use kessler_bench::{experiment_population, maybe_write_json, Args};
-use kessler_core::{GridScreener, HybridScreener, ScreeningConfig, Screener};
+use kessler_core::{GridScreener, HybridScreener, Screener, ScreeningConfig};
 use kessler_math::stats::fit_power_law;
 use serde::Serialize;
 

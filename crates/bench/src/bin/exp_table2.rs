@@ -21,10 +21,11 @@ fn main() {
     let pop = experiment_population(n);
 
     let minmax = |f: &dyn Fn(&kessler_orbits::KeplerElements) -> f64| -> (f64, f64) {
-        pop.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), el| {
-            let v = f(el);
-            (lo.min(v), hi.max(v))
-        })
+        pop.iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), el| {
+                let v = f(el);
+                (lo.min(v), hi.max(v))
+            })
     };
 
     let (a_lo, a_hi) = minmax(&|e| e.semi_major_axis);

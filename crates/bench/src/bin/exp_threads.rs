@@ -25,7 +25,9 @@ fn main() {
     let threshold = args.f64_of("--threshold", 2.0);
     let max_threads = args.usize_of(
         "--max-threads",
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1),
     );
     let population = experiment_population(n);
 

@@ -40,7 +40,9 @@ pub struct Args {
 
 impl Args {
     pub fn from_env() -> Args {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     pub fn value_of(&self, flag: &str) -> Option<&str> {
@@ -71,7 +73,11 @@ impl Args {
         self.value_of(flag)
             .map(|v| {
                 v.split(',')
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad list for {flag}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad list for {flag}"))
+                    })
                     .collect()
             })
             .unwrap_or_else(|| default.to_vec())

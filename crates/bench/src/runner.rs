@@ -1,15 +1,21 @@
 //! Variant runner: maps variant labels to screeners and collects rows.
 
 use kessler_core::{
-    GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener, LegacyScreener,
-    ScreeningConfig, ScreeningReport, Screener, SieveScreener,
+    GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener, LegacyScreener, Screener,
+    ScreeningConfig, ScreeningReport, SieveScreener,
 };
 use kessler_orbits::KeplerElements;
 use serde::Serialize;
 
 /// All variant labels in the paper's Fig. 10 ordering.
-pub const ALL_VARIANTS: [&str; 6] =
-    ["legacy", "sieve", "grid", "hybrid", "grid-gpusim", "hybrid-gpusim"];
+pub const ALL_VARIANTS: [&str; 6] = [
+    "legacy",
+    "sieve",
+    "grid",
+    "hybrid",
+    "grid-gpusim",
+    "hybrid-gpusim",
+];
 
 /// Build the screener for a label.
 pub fn screener_for(

@@ -31,9 +31,11 @@ impl SystemInfo {
         let os = std::fs::read_to_string("/etc/os-release")
             .ok()
             .and_then(|t| {
-                t.lines()
-                    .find(|l| l.starts_with("PRETTY_NAME="))
-                    .map(|l| l.trim_start_matches("PRETTY_NAME=").trim_matches('"').to_string())
+                t.lines().find(|l| l.starts_with("PRETTY_NAME=")).map(|l| {
+                    l.trim_start_matches("PRETTY_NAME=")
+                        .trim_matches('"')
+                        .to_string()
+                })
             })
             .unwrap_or_else(|| std::env::consts::OS.to_string());
         SystemInfo {
@@ -59,7 +61,11 @@ mod tests {
         assert!(!info.cpu_model.is_empty());
         // On Linux the memory read must succeed.
         if cfg!(target_os = "linux") {
-            assert!(info.total_memory_gib > 0.1, "mem = {}", info.total_memory_gib);
+            assert!(
+                info.total_memory_gib > 0.1,
+                "mem = {}",
+                info.total_memory_gib
+            );
         }
     }
 }

@@ -25,21 +25,27 @@ impl Flags {
     pub fn usize_of(&self, flag: &str, default: usize) -> Result<usize, String> {
         match self.value_of(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: `{v}`")),
         }
     }
 
     pub fn f64_of(&self, flag: &str, default: f64) -> Result<f64, String> {
         match self.value_of(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: `{v}`")),
         }
     }
 
     pub fn u64_of(&self, flag: &str, default: u64) -> Result<u64, String> {
         match self.value_of(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for {flag}: `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for {flag}: `{v}`")),
         }
     }
 

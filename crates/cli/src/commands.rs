@@ -3,7 +3,7 @@
 use crate::args::Flags;
 use kessler_core::{
     io, GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener, LegacyScreener,
-    MemoryModel, ScreeningConfig, ScreeningReport, Screener, SieveScreener, Variant,
+    MemoryModel, Screener, ScreeningConfig, ScreeningReport, SieveScreener, Variant,
 };
 use kessler_orbits::KeplerElements;
 use kessler_population::{tle as tle_mod, PopulationConfig, PopulationGenerator};
@@ -24,6 +24,13 @@ SUBCOMMANDS
              [--span S] [--sps S] [--memory-gib G]
   tle        parse a 2LE/3LE catalog      FILE [--stats]
   compare    accuracy across variants     --n N [--threshold KM] [--span S]
+  serve      run the screening daemon     [--addr HOST:PORT] [--pop FILE | --n N]
+             [--threshold KM] [--span S] [--sps S] [--threads T]
+  submit     send one daemon command      ACTION [--addr HOST:PORT] [--id I]
+             [--a KM --e E --incl R --raan R --argp R --m R] [--dt S]
+             [--json REQUEST]
+             ACTION: add | update | remove | screen | delta | advance
+                     | status | shutdown
   info       version and build info
 
 VARIANTS
@@ -40,7 +47,11 @@ fn load_or_generate(flags: &Flags) -> Result<Vec<KeplerElements>, String> {
         return Err("provide --pop FILE or --n N".into());
     }
     let seed = flags.u64_of("--seed", PopulationConfig::default().seed)?;
-    Ok(PopulationGenerator::new(PopulationConfig { seed, ..Default::default() }).generate(n))
+    Ok(PopulationGenerator::new(PopulationConfig {
+        seed,
+        ..Default::default()
+    })
+    .generate(n))
 }
 
 fn build_config(flags: &Flags, variant: &str) -> Result<ScreeningConfig, String> {
@@ -92,8 +103,11 @@ pub fn generate(flags: &Flags) -> Result<(), String> {
         return Err("--n N is required".into());
     }
     let seed = flags.u64_of("--seed", PopulationConfig::default().seed)?;
-    let population =
-        PopulationGenerator::new(PopulationConfig { seed, ..Default::default() }).generate(n);
+    let population = PopulationGenerator::new(PopulationConfig {
+        seed,
+        ..Default::default()
+    })
+    .generate(n);
     match flags.value_of("--out") {
         Some(path) if flags.has("--csv") => {
             let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
@@ -105,8 +119,7 @@ pub fn generate(flags: &Flags) -> Result<(), String> {
             println!("wrote {n} satellites (JSON) to {path}");
         }
         None => {
-            io::write_population_csv(std::io::stdout(), &population)
-                .map_err(|e| e.to_string())?;
+            io::write_population_csv(std::io::stdout(), &population).map_err(|e| e.to_string())?;
         }
     }
     Ok(())
@@ -155,23 +168,53 @@ pub fn plan(flags: &Flags) -> Result<(), String> {
     };
     let mut config = build_config(
         flags,
-        if matches!(variant, Variant::Hybrid) { "hybrid" } else { "grid" },
+        if matches!(variant, Variant::Hybrid) {
+            "hybrid"
+        } else {
+            "grid"
+        },
     )?;
     let memory_gib = flags.f64_of("--memory-gib", 8.0)?;
     config.memory_budget_bytes = (memory_gib * 1024.0 * 1024.0 * 1024.0) as usize;
 
     let plan = MemoryModel::new(variant).plan(n, &config);
-    println!("memory / parallelism plan — {} variant, {} satellites", variant.label(), n);
+    println!(
+        "memory / parallelism plan — {} variant, {} satellites",
+        variant.label(),
+        n
+    );
     println!("  budget                 : {memory_gib:.1} GiB");
-    println!("  seconds per sample     : {}{}", plan.seconds_per_sample,
-             if plan.sps_adjusted { "  (auto-reduced)" } else { "" });
+    println!(
+        "  seconds per sample     : {}{}",
+        plan.seconds_per_sample,
+        if plan.sps_adjusted {
+            "  (auto-reduced)"
+        } else {
+            ""
+        }
+    );
     println!("  cell size (Eq. 1)      : {:.1} km", plan.cell_size_km);
-    println!("  estimated conjunctions : {:.0} (Extra-P model)", plan.estimated_conjunctions);
+    println!(
+        "  estimated conjunctions : {:.0} (Extra-P model)",
+        plan.estimated_conjunctions
+    );
     println!("  conjunction-map slots  : {}", plan.pair_capacity);
-    println!("  satellites (a_s)       : {:.1} MiB", plan.bytes_satellites as f64 / 1048576.0);
-    println!("  Kepler data (a_k)      : {:.1} MiB", plan.bytes_kepler as f64 / 1048576.0);
-    println!("  conjunction map (a_ch) : {:.1} MiB", plan.bytes_conjunction_map as f64 / 1048576.0);
-    println!("  per-grid (a_gh + a_l)  : {:.1} MiB", plan.bytes_per_grid as f64 / 1048576.0);
+    println!(
+        "  satellites (a_s)       : {:.1} MiB",
+        plan.bytes_satellites as f64 / 1048576.0
+    );
+    println!(
+        "  Kepler data (a_k)      : {:.1} MiB",
+        plan.bytes_kepler as f64 / 1048576.0
+    );
+    println!(
+        "  conjunction map (a_ch) : {:.1} MiB",
+        plan.bytes_conjunction_map as f64 / 1048576.0
+    );
+    println!(
+        "  per-grid (a_gh + a_l)  : {:.1} MiB",
+        plan.bytes_per_grid as f64 / 1048576.0
+    );
     println!("  parallel grids (p)     : {}", plan.parallel_factor);
     println!("  total samples (o)      : {}", plan.total_steps);
     println!("  rounds (r_c)           : {}", plan.rounds);
@@ -184,7 +227,12 @@ pub fn tle(flags: &Flags) -> Result<(), String> {
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let (records, errors) = tle_mod::parse_catalog(&text);
-    println!("{}: {} records parsed, {} rejected", path, records.len(), errors.len());
+    println!(
+        "{}: {} records parsed, {} rejected",
+        path,
+        records.len(),
+        errors.len()
+    );
     for (line, err) in errors.iter().take(5) {
         eprintln!("  near line {line}: {err}");
     }
@@ -199,7 +247,10 @@ pub fn tle(flags: &Flags) -> Result<(), String> {
             .iter()
             .filter(|&&a| (35_000.0..37_000.0).contains(&a))
             .count();
-        println!("  median altitude : {:.0} km", altitudes[altitudes.len() / 2]);
+        println!(
+            "  median altitude : {:.0} km",
+            altitudes[altitudes.len() / 2]
+        );
         println!("  LEO (< 2000 km) : {leo}");
         println!("  GEO band        : {geo}");
         let max_e = records
@@ -234,13 +285,90 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+pub fn serve(flags: &Flags) -> Result<(), String> {
+    let addr = flags.value_of("--addr").unwrap_or("127.0.0.1:7878");
+    let config = build_config(flags, "grid")?;
+    let server = kessler_service::Server::bind(addr, config)?;
+    if flags.value_of("--pop").is_some() || flags.usize_of("--n", 0)? > 0 {
+        let population = load_or_generate(flags)?;
+        let n = server.preload(&population)?;
+        println!("preloaded {n} satellites (external ids 0..{n})");
+    }
+    println!(
+        "kessler-service listening on {} — JSON lines: \
+         ADD UPDATE REMOVE SCREEN DELTA ADVANCE STATUS SHUTDOWN",
+        server.local_addr()
+    );
+    server.run();
+    println!("kessler-service stopped");
+    Ok(())
+}
+
+fn submit_elements(flags: &Flags) -> Result<kessler_service::ElementsSpec, String> {
+    Ok(kessler_service::ElementsSpec {
+        a: flags.f64_of("--a", 7_000.0)?,
+        e: flags.f64_of("--e", 0.0)?,
+        incl: flags.f64_of("--incl", 0.0)?,
+        raan: flags.f64_of("--raan", 0.0)?,
+        argp: flags.f64_of("--argp", 0.0)?,
+        mean_anomaly: flags.f64_of("--m", 0.0)?,
+    })
+}
+
+pub fn submit(flags: &Flags) -> Result<(), String> {
+    use kessler_service::Request;
+    let addr = flags.value_of("--addr").unwrap_or("127.0.0.1:7878");
+    let request = if let Some(raw) = flags.value_of("--json") {
+        serde_json::from_str::<Request>(raw).map_err(|e| format!("bad --json request: {e}"))?
+    } else {
+        let Some(action) = flags.positional() else {
+            return Err("usage: kessler submit ACTION [flags] — see `kessler help`".into());
+        };
+        match action {
+            "add" => Request::Add {
+                id: flags.u64_of("--id", 0)?,
+                elements: submit_elements(flags)?,
+            },
+            "update" => Request::Update {
+                id: flags.u64_of("--id", 0)?,
+                elements: submit_elements(flags)?,
+            },
+            "remove" => Request::Remove {
+                id: flags.u64_of("--id", 0)?,
+            },
+            "screen" => Request::Screen,
+            "delta" => Request::Delta,
+            "advance" => Request::Advance {
+                dt: flags.f64_of("--dt", 60.0)?,
+            },
+            "status" => Request::Status,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown submit action `{other}`")),
+        }
+    };
+    let response = kessler_service::request(addr, &request)
+        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let pretty = serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?;
+    println!("{pretty}");
+    if response.ok {
+        Ok(())
+    } else {
+        Err(response.error.unwrap_or_else(|| "request failed".into()))
+    }
+}
+
 pub fn info() -> Result<(), String> {
-    println!("kessler {} — conjunction screening with lock-free spatial grids", env!("CARGO_PKG_VERSION"));
+    println!(
+        "kessler {} — conjunction screening with lock-free spatial grids",
+        env!("CARGO_PKG_VERSION")
+    );
     println!("reproduction of Hellwig et al., IPDPS 2023 (see DESIGN.md)");
     println!("variants: grid, hybrid, legacy, sieve, grid-gpusim, hybrid-gpusim");
     println!(
         "host: {} logical CPUs",
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
     );
     Ok(())
 }

@@ -6,6 +6,8 @@
 //! kessler plan --n 1024000 --variant hybrid --memory-gib 24
 //! kessler tle catalog.txt --stats
 //! kessler compare --n 2000 --span 600 --threshold 10
+//! kessler serve --addr 127.0.0.1:7878 --n 5000 --threshold 5 --span 600
+//! kessler submit status --addr 127.0.0.1:7878
 //! kessler info
 //! ```
 
@@ -25,6 +27,8 @@ fn main() {
         "plan" => commands::plan(&flags),
         "tle" => commands::tle(&flags),
         "compare" => commands::compare(&flags),
+        "serve" => commands::serve(&flags),
+        "submit" => commands::submit(&flags),
         "info" => commands::info(),
         "help" | "--help" | "-h" => {
             commands::print_usage();

@@ -51,7 +51,10 @@ fn plan_reports_the_paper_scale_auto_adjustment() {
         "3600",
     ]);
     assert!(ok, "plan failed: {out}");
-    assert!(out.contains("auto-reduced"), "expected s_ps auto-reduction:\n{out}");
+    assert!(
+        out.contains("auto-reduced"),
+        "expected s_ps auto-reduction:\n{out}"
+    );
     assert!(out.contains("parallel grids"));
 }
 
@@ -68,8 +71,17 @@ fn generate_screen_round_trip() {
     assert!(out.contains("300 satellites"));
 
     let (ok, out, err) = run(&[
-        "screen", "--pop", pop_s, "--variant", "hybrid", "--threshold", "10",
-        "--span", "600", "--csv", csv_s,
+        "screen",
+        "--pop",
+        pop_s,
+        "--variant",
+        "hybrid",
+        "--threshold",
+        "10",
+        "--span",
+        "600",
+        "--csv",
+        csv_s,
     ]);
     assert!(ok, "screen failed: {err}");
     assert!(out.contains("hybrid:"), "summary missing: {out}");
@@ -91,7 +103,13 @@ fn screen_requires_a_population_source() {
 #[test]
 fn compare_runs_all_variants() {
     let (ok, out, err) = run(&[
-        "compare", "--n", "150", "--threshold", "10", "--span", "300",
+        "compare",
+        "--n",
+        "150",
+        "--threshold",
+        "10",
+        "--span",
+        "300",
     ]);
     assert!(ok, "compare failed: {err}");
     for v in ["legacy:", "sieve:", "grid:", "hybrid:"] {

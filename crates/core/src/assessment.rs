@@ -29,7 +29,11 @@ pub struct Covariance2 {
 impl Covariance2 {
     /// Isotropic covariance with standard deviation `sigma` km.
     pub fn isotropic(sigma: f64) -> Covariance2 {
-        Covariance2 { xx: sigma * sigma, xy: 0.0, yy: sigma * sigma }
+        Covariance2 {
+            xx: sigma * sigma,
+            xy: 0.0,
+            yy: sigma * sigma,
+        }
     }
 
     /// Eigen-decomposition of the symmetric 2×2 matrix:
@@ -112,16 +116,15 @@ pub fn collision_probability(
 
     let r = hard_body_radius;
     let n = steps.max(2) + steps % 2; // even panel count for Simpson
-    // Substitute x = R·sin φ: the half-chord becomes R·cos φ and the
-    // integrand is smooth at the disk edges (plain Simpson on x stalls at
-    // O(h^1.5) because of the √(R²−x²) endpoint derivative).
+                                      // Substitute x = R·sin φ: the half-chord becomes R·cos φ and the
+                                      // integrand is smooth at the disk edges (plain Simpson on x stalls at
+                                      // O(h^1.5) because of the √(R²−x²) endpoint derivative).
     let h = std::f64::consts::PI / n as f64; // φ ∈ [−π/2, π/2]
     let integrand = |phi: f64| -> f64 {
         let (sp, cp) = phi.sin_cos();
         let x = r * sp;
         let half_chord = r * cp;
-        let gx = (-0.5 * ((x - mx) / sx).powi(2)).exp()
-            / (sx * (std::f64::consts::TAU).sqrt());
+        let gx = (-0.5 * ((x - mx) / sx).powi(2)).exp() / (sx * (std::f64::consts::TAU).sqrt());
         let band = normal_cdf((half_chord - my) / sy) - normal_cdf((-half_chord - my) / sy);
         gx * band * r * cp // dx = R·cos φ·dφ
     };
@@ -153,7 +156,11 @@ impl RicCovariance {
     /// Typical radar-catalog uncertainty one day after the last
     /// observation (order-of-magnitude defaults).
     pub fn typical_catalog() -> RicCovariance {
-        RicCovariance { sigma_r: 0.1, sigma_i: 0.5, sigma_c: 0.1 }
+        RicCovariance {
+            sigma_r: 0.1,
+            sigma_i: 0.5,
+            sigma_c: 0.1,
+        }
     }
 
     /// RIC axes for a satellite state: radial (position direction),
@@ -183,7 +190,11 @@ impl RicCovariance {
             (self.sigma_i * self.sigma_i, i_hat),
             (self.sigma_c * self.sigma_c, c_hat),
         ];
-        let mut cov = Covariance2 { xx: 0.0, xy: 0.0, yy: 0.0 };
+        let mut cov = Covariance2 {
+            xx: 0.0,
+            xy: 0.0,
+            yy: 0.0,
+        };
         for (var, e) in axes {
             let ex = e.dot(x_hat);
             let ey = e.dot(y_hat);
@@ -217,7 +228,11 @@ pub fn encounter_covariance(
     let perp = rel_p - v_hat * rel_p.dot(v_hat);
     let x_hat = perp.normalized().or_else(|| {
         // Zero miss: any direction perpendicular to v̂ serves.
-        let trial = if v_hat.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        let trial = if v_hat.x.abs() < 0.9 {
+            Vec3::X
+        } else {
+            Vec3::Y
+        };
         (trial - v_hat * trial.dot(v_hat)).normalized()
     })?;
     let y_hat = v_hat.cross(x_hat);
@@ -225,7 +240,11 @@ pub fn encounter_covariance(
     let cb = cov_b.project(state_b, x_hat, y_hat)?;
     Some((
         geom,
-        Covariance2 { xx: ca.xx + cb.xx, xy: ca.xy + cb.xy, yy: ca.yy + cb.yy },
+        Covariance2 {
+            xx: ca.xx + cb.xx,
+            xy: ca.xy + cb.xy,
+            yy: ca.yy + cb.yy,
+        },
     ))
 }
 
@@ -250,7 +269,11 @@ mod tests {
 
     #[test]
     fn eigen_of_diagonal_matrix() {
-        let c = Covariance2 { xx: 4.0, xy: 0.0, yy: 1.0 };
+        let c = Covariance2 {
+            xx: 4.0,
+            xy: 0.0,
+            yy: 1.0,
+        };
         let (l1, l2, theta) = c.eigen();
         assert_eq!((l1, l2), (4.0, 1.0));
         assert!(theta.abs() < 1e-12);
@@ -259,7 +282,11 @@ mod tests {
     #[test]
     fn eigen_of_rotated_matrix() {
         // 45°-rotated diag(4, 1): xx = yy = 2.5, xy = 1.5.
-        let c = Covariance2 { xx: 2.5, xy: 1.5, yy: 2.5 };
+        let c = Covariance2 {
+            xx: 2.5,
+            xy: 1.5,
+            yy: 2.5,
+        };
         let (l1, l2, theta) = c.eigen();
         assert!((l1 - 4.0).abs() < 1e-12);
         assert!((l2 - 1.0).abs() < 1e-12);
@@ -317,7 +344,11 @@ mod tests {
     fn anisotropic_covariance_prefers_the_long_axis() {
         // Strongly elongated along x: a miss along x is "inside" the error
         // ellipse and more probable than the same miss along y.
-        let cov = Covariance2 { xx: 9.0, xy: 0.0, yy: 0.01 };
+        let cov = Covariance2 {
+            xx: 9.0,
+            xy: 0.0,
+            yy: 0.01,
+        };
         let along_x = collision_probability((2.0, 0.0), cov, 0.1, 1024);
         let along_y = collision_probability((0.0, 2.0), cov, 0.1, 1024);
         assert!(
@@ -370,7 +401,11 @@ mod tests {
         use kessler_orbits::CartesianState;
         // Isotropic RIC: the projection must be isotropic in any plane.
         let state = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 7.5, 0.0));
-        let ric = RicCovariance { sigma_r: 0.3, sigma_i: 0.3, sigma_c: 0.3 };
+        let ric = RicCovariance {
+            sigma_r: 0.3,
+            sigma_i: 0.3,
+            sigma_c: 0.3,
+        };
         let cov = ric.project(&state, Vec3::Y, Vec3::Z).unwrap();
         assert!((cov.xx - 0.09).abs() < 1e-12);
         assert!((cov.yy - 0.09).abs() < 1e-12);
@@ -383,9 +418,17 @@ mod tests {
         // In-track = +Y for this state; the plane axis aligned with Y must
         // carry the large variance.
         let state = CartesianState::new(Vec3::new(7_000.0, 0.0, 0.0), Vec3::new(0.0, 7.5, 0.0));
-        let ric = RicCovariance { sigma_r: 0.05, sigma_i: 1.0, sigma_c: 0.05 };
+        let ric = RicCovariance {
+            sigma_r: 0.05,
+            sigma_i: 1.0,
+            sigma_c: 0.05,
+        };
         let cov = ric.project(&state, Vec3::Y, Vec3::Z).unwrap();
-        assert!(cov.xx > 0.99 && cov.xx < 1.01, "in-track variance on x: {}", cov.xx);
+        assert!(
+            cov.xx > 0.99 && cov.xx < 1.01,
+            "in-track variance on x: {}",
+            cov.xx
+        );
         assert!(cov.yy < 0.01, "cross-track variance on y: {}", cov.yy);
     }
 
@@ -424,6 +467,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive definite")]
     fn invalid_covariance_is_rejected() {
-        collision_probability((0.0, 0.0), Covariance2 { xx: 1.0, xy: 2.0, yy: 1.0 }, 0.1, 64);
+        collision_probability(
+            (0.0, 0.0),
+            Covariance2 {
+                xx: 1.0,
+                xy: 2.0,
+                yy: 1.0,
+            },
+            0.1,
+            64,
+        );
     }
 }

@@ -166,7 +166,10 @@ mod tests {
         let mut bad = ok;
         bad.seconds_per_sample = 1e-4;
         bad.span_seconds = 1e6;
-        assert!(bad.validate().is_err(), "step-count overflow must be caught");
+        assert!(
+            bad.validate().is_err(),
+            "step-count overflow must be caught"
+        );
     }
 
     #[test]

@@ -45,9 +45,7 @@ pub fn dedup_conjunctions(mut found: Vec<Conjunction>, tca_tol: f64) -> Vec<Conj
     let mut out: Vec<Conjunction> = Vec::with_capacity(found.len());
     for c in found {
         match out.last_mut() {
-            Some(last)
-                if last.pair() == c.pair() && (c.tca - last.tca).abs() <= tca_tol =>
-            {
+            Some(last) if last.pair() == c.pair() && (c.tca - last.tca).abs() <= tca_tol => {
                 // Same physical minimum; keep the deeper refinement.
                 if c.pca_km < last.pca_km {
                     *last = c;
@@ -115,7 +113,12 @@ mod tests {
     use super::*;
 
     fn c(lo: u32, hi: u32, tca: f64, pca: f64) -> Conjunction {
-        Conjunction { id_lo: lo, id_hi: hi, tca, pca_km: pca }
+        Conjunction {
+            id_lo: lo,
+            id_hi: hi,
+            tca,
+            pca_km: pca,
+        }
     }
 
     #[test]
@@ -136,7 +139,11 @@ mod tests {
     #[test]
     fn dedup_keeps_different_pairs_apart() {
         let deduped = dedup_conjunctions(
-            vec![c(1, 2, 100.0, 1.0), c(1, 3, 100.0, 1.0), c(2, 3, 100.0, 1.0)],
+            vec![
+                c(1, 2, 100.0, 1.0),
+                c(1, 3, 100.0, 1.0),
+                c(2, 3, 100.0, 1.0),
+            ],
             0.05,
         );
         assert_eq!(deduped.len(), 3);
@@ -146,7 +153,11 @@ mod tests {
     fn dedup_chain_of_close_tcas_collapses() {
         // 100.00, 100.04, 100.08 — each within tol of its neighbour.
         let deduped = dedup_conjunctions(
-            vec![c(1, 2, 100.0, 1.0), c(1, 2, 100.04, 0.8), c(1, 2, 100.08, 0.9)],
+            vec![
+                c(1, 2, 100.0, 1.0),
+                c(1, 2, 100.04, 0.8),
+                c(1, 2, 100.08, 0.9),
+            ],
             0.05,
         );
         assert_eq!(deduped.len(), 1);

@@ -109,15 +109,12 @@ pub fn cube_estimate(population: &[KeplerElements], config: &CubeConfig) -> Cube
         for a in anomalies.iter_mut() {
             *a = rng.next_uniform() * std::f64::consts::TAU;
         }
-        positions
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(i, slot)| {
-                let mut el = population[i];
-                el.mean_anomaly = anomalies[i];
-                let pc = kessler_orbits::PropagationConstants::from_elements(&el);
-                *slot = pc.position(0.0, &solver);
-            });
+        positions.par_iter_mut().enumerate().for_each(|(i, slot)| {
+            let mut el = population[i];
+            el.mean_anomaly = anomalies[i];
+            let pc = kessler_orbits::PropagationConstants::from_elements(&el);
+            *slot = pc.position(0.0, &solver);
+        });
         if sample > 0 {
             grid.reset();
         }
@@ -203,7 +200,13 @@ mod tests {
             KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
             KeplerElements::new(12_000.0, 0.0, 1.2, 1.0, 0.0, 2.0).unwrap(),
         ];
-        let report = cube_estimate(&pop, &CubeConfig { samples: 100, ..Default::default() });
+        let report = cube_estimate(
+            &pop,
+            &CubeConfig {
+                samples: 100,
+                ..Default::default()
+            },
+        );
         assert_eq!(report.total_rate_per_s, 0.0);
         assert!(report.pair_rates.is_empty());
     }
@@ -215,7 +218,11 @@ mod tests {
         // astronomically rare at n = 60; test with coarse 150 km cubes.
         let report = cube_estimate(
             &pop,
-            &CubeConfig { cube_size_km: 150.0, samples: 500, ..Default::default() },
+            &CubeConfig {
+                cube_size_km: 150.0,
+                samples: 500,
+                ..Default::default()
+            },
         );
         assert!(
             report.total_rate_per_s > 0.0,
@@ -231,7 +238,11 @@ mod tests {
     #[test]
     fn rate_is_deterministic_per_seed() {
         let pop = crossing_shell(30);
-        let cfg = CubeConfig { cube_size_km: 200.0, samples: 150, ..Default::default() };
+        let cfg = CubeConfig {
+            cube_size_km: 200.0,
+            samples: 150,
+            ..Default::default()
+        };
         let a = cube_estimate(&pop, &cfg);
         let b = cube_estimate(&pop, &cfg);
         assert_eq!(a.total_rate_per_s, b.total_rate_per_s);
@@ -243,11 +254,18 @@ mod tests {
     fn rate_scales_with_cross_section() {
         // σ ∝ r²: doubling the radius quadruples every contribution.
         let pop = crossing_shell(40);
-        let base = CubeConfig { cube_size_km: 200.0, samples: 200, ..Default::default() };
+        let base = CubeConfig {
+            cube_size_km: 200.0,
+            samples: 200,
+            ..Default::default()
+        };
         let small = cube_estimate(&pop, &base);
         let big = cube_estimate(
             &pop,
-            &CubeConfig { cross_section_radius_km: 4.0, ..base },
+            &CubeConfig {
+                cross_section_radius_km: 4.0,
+                ..base
+            },
         );
         assert!(small.total_rate_per_s > 0.0);
         let ratio = big.total_rate_per_s / small.total_rate_per_s;
@@ -259,7 +277,11 @@ mod tests {
         let pop = crossing_shell(40);
         let report = cube_estimate(
             &pop,
-            &CubeConfig { cube_size_km: 200.0, samples: 200, ..Default::default() },
+            &CubeConfig {
+                cube_size_km: 200.0,
+                samples: 200,
+                ..Default::default()
+            },
         );
         let one_day = report.expected_events(86_400.0);
         let two_days = report.expected_events(2.0 * 86_400.0);

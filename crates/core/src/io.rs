@@ -44,7 +44,10 @@ impl From<serde_json::Error> for IoError {
 }
 
 /// Write conjunctions as CSV (`id_lo,id_hi,tca_s,pca_km`).
-pub fn write_conjunctions_csv<W: Write>(out: W, conjunctions: &[Conjunction]) -> Result<(), IoError> {
+pub fn write_conjunctions_csv<W: Write>(
+    out: W,
+    conjunctions: &[Conjunction],
+) -> Result<(), IoError> {
     let mut w = BufWriter::new(out);
     writeln!(w, "id_lo,id_hi,tca_s,pca_km")?;
     for c in conjunctions {
@@ -87,7 +90,10 @@ pub fn read_conjunctions_csv<R: Read>(input: R) -> Result<Vec<Conjunction>, IoEr
 }
 
 /// Save a population (element set) as JSON.
-pub fn save_population<P: AsRef<Path>>(path: P, population: &[KeplerElements]) -> Result<(), IoError> {
+pub fn save_population<P: AsRef<Path>>(
+    path: P,
+    population: &[KeplerElements],
+) -> Result<(), IoError> {
     let file = std::fs::File::create(path)?;
     serde_json::to_writer(BufWriter::new(file), population)?;
     Ok(())
@@ -108,14 +114,21 @@ pub fn save_report<P: AsRef<Path>>(path: P, report: &ScreeningReport) -> Result<
 
 /// Write an element set as CSV
 /// (`a_km,e,i_rad,raan_rad,argp_rad,mean_anomaly_rad`).
-pub fn write_population_csv<W: Write>(out: W, population: &[KeplerElements]) -> Result<(), IoError> {
+pub fn write_population_csv<W: Write>(
+    out: W,
+    population: &[KeplerElements],
+) -> Result<(), IoError> {
     let mut w = BufWriter::new(out);
     writeln!(w, "a_km,e,i_rad,raan_rad,argp_rad,mean_anomaly_rad")?;
     for el in population {
         writeln!(
             w,
             "{:.6},{:.9},{:.9},{:.9},{:.9},{:.9}",
-            el.semi_major_axis, el.eccentricity, el.inclination, el.raan, el.arg_perigee,
+            el.semi_major_axis,
+            el.eccentricity,
+            el.inclination,
+            el.raan,
+            el.arg_perigee,
             el.mean_anomaly
         )?;
     }
@@ -132,8 +145,18 @@ mod tests {
 
     fn sample_conjunctions() -> Vec<Conjunction> {
         vec![
-            Conjunction { id_lo: 1, id_hi: 2, tca: 123.456, pca_km: 0.789 },
-            Conjunction { id_lo: 3, id_hi: 40, tca: 9_876.5, pca_km: 1.999 },
+            Conjunction {
+                id_lo: 1,
+                id_hi: 2,
+                tca: 123.456,
+                pca_km: 0.789,
+            },
+            Conjunction {
+                id_lo: 3,
+                id_hi: 40,
+                tca: 9_876.5,
+                pca_km: 1.999,
+            },
         ]
     }
 
@@ -194,8 +217,7 @@ mod tests {
             KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
             KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
         ];
-        let report =
-            GridScreener::new(ScreeningConfig::grid_defaults(2.0, 120.0)).screen(&pop);
+        let report = GridScreener::new(ScreeningConfig::grid_defaults(2.0, 120.0)).screen(&pop);
         let path = std::env::temp_dir().join("kessler_test_report.json");
         save_report(&path, &report).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

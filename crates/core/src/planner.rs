@@ -102,12 +102,7 @@ impl MemoryModel {
                     * threshold_km.powf(7.0 / 4.0)
             }
             Variant::Hybrid | Variant::Legacy | Variant::Sieve => {
-                2.14e-9
-                    * n
-                    * n
-                    * seconds_per_sample.powf(5.0 / 3.0)
-                    * span_seconds
-                    * threshold_km
+                2.14e-9 * n * n * seconds_per_sample.powf(5.0 / 3.0) * span_seconds * threshold_km
             }
         }
     }
@@ -151,14 +146,16 @@ impl MemoryModel {
 
         let fixed = bytes_satellites + bytes_kepler + bytes_conjunction_map;
         let free = config.memory_budget_bytes.saturating_sub(fixed);
-        let parallel_factor = free
-            .checked_div(bytes_per_grid)
-            .unwrap_or(1)
-            .max(1);
+        let parallel_factor = free.checked_div(bytes_per_grid).unwrap_or(1).max(1);
 
-        let adjusted = ScreeningConfig { seconds_per_sample: sps, ..*config };
+        let adjusted = ScreeningConfig {
+            seconds_per_sample: sps,
+            ..*config
+        };
         let total_steps = adjusted.total_steps();
-        let rounds = total_steps.div_ceil(parallel_factor.min(u32::MAX as usize) as u32).max(1);
+        let rounds = total_steps
+            .div_ceil(parallel_factor.min(u32::MAX as usize) as u32)
+            .max(1);
 
         PlannerReport {
             variant: self.variant,
@@ -221,10 +218,16 @@ mod tests {
         let p = m.plan(10_000, &grid_cfg());
         assert_eq!(p.bytes_satellites, 10_000 * SATELLITE_BYTES);
         assert_eq!(p.bytes_kepler, 10_000 * KEPLER_DATA_BYTES);
-        assert_eq!(p.bytes_per_grid, 2 * 10_000 * GRID_SLOT_BYTES + 10_000 * LIST_ENTRY_BYTES);
+        assert_eq!(
+            p.bytes_per_grid,
+            2 * 10_000 * GRID_SLOT_BYTES + 10_000 * LIST_ENTRY_BYTES
+        );
         assert!(p.parallel_factor >= 1);
         assert_eq!(p.total_steps, 3_600);
-        assert_eq!(p.rounds, p.total_steps.div_ceil(p.parallel_factor as u32).max(1));
+        assert_eq!(
+            p.rounds,
+            p.total_steps.div_ceil(p.parallel_factor as u32).max(1)
+        );
     }
 
     #[test]

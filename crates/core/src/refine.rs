@@ -85,15 +85,18 @@ pub fn refine_pair_with<D: Fn(f64) -> f64>(
         if d2(interval.start - probe) < result.fmin {
             return None;
         }
-    } else if interval.end - result.xmin <= edge_eps
-        && d2(interval.end + probe) < result.fmin
-    {
+    } else if interval.end - result.xmin <= edge_eps && d2(interval.end + probe) < result.fmin {
         return None;
     }
 
     let pca_km = result.fmin.max(0.0).sqrt();
     if pca_km <= threshold_km {
-        Some(Conjunction { id_lo, id_hi, tca: result.xmin, pca_km })
+        Some(Conjunction {
+            id_lo,
+            id_hi,
+            tca: result.xmin,
+            pca_km,
+        })
     } else {
         None
     }
@@ -165,9 +168,7 @@ mod tests {
     use kessler_orbits::KeplerElements;
 
     fn pc(a: f64, e: f64, i: f64, raan: f64, argp: f64, m0: f64) -> PropagationConstants {
-        PropagationConstants::from_elements(
-            &KeplerElements::new(a, e, i, raan, argp, m0).unwrap(),
-        )
+        PropagationConstants::from_elements(&KeplerElements::new(a, e, i, raan, argp, m0).unwrap())
     }
 
     /// Two circular orbits of equal radius crossing at RAAN 0 with both
@@ -236,7 +237,10 @@ mod tests {
         let iv = grid_refine_interval(&a, &b, &solver, 100.0, 9.8);
         // Circular LEO speed ≈ 7.546 km/s → radius ≈ 2·9.8/7.546 ≈ 2.6 s.
         let radius = iv.length() / 2.0;
-        assert!((radius - 2.0 * 9.8 / 7.546).abs() < 0.05, "radius = {radius}");
+        assert!(
+            (radius - 2.0 * 9.8 / 7.546).abs() < 0.05,
+            "radius = {radius}"
+        );
         assert!((iv.center() - 100.0).abs() < 1e-9);
     }
 
@@ -261,14 +265,14 @@ mod tests {
     fn sampled_search_handles_degenerate_inputs() {
         let (a, b) = crossing_pair();
         let solver = ContourSolver::default();
-        assert!(sampled_minima_search(
-            &a, &b, &solver, 0, 1, Interval::new(5.0, 1.0), 1.0, 2.0
-        )
-        .is_empty());
-        assert!(sampled_minima_search(
-            &a, &b, &solver, 0, 1, Interval::new(0.0, 10.0), 0.0, 2.0
-        )
-        .is_empty());
+        assert!(
+            sampled_minima_search(&a, &b, &solver, 0, 1, Interval::new(5.0, 1.0), 1.0, 2.0)
+                .is_empty()
+        );
+        assert!(
+            sampled_minima_search(&a, &b, &solver, 0, 1, Interval::new(0.0, 10.0), 0.0, 2.0)
+                .is_empty()
+        );
     }
 
     #[test]
@@ -289,8 +293,18 @@ mod tests {
                 }
                 t += 0.001;
             }
-            assert!((c.tca - best.0).abs() < 0.01, "tca {} vs sampled {}", c.tca, best.0);
-            assert!((c.pca_km - best.1).abs() < 0.01, "pca {} vs sampled {}", c.pca_km, best.1);
+            assert!(
+                (c.tca - best.0).abs() < 0.01,
+                "tca {} vs sampled {}",
+                c.tca,
+                best.0
+            );
+            assert!(
+                (c.pca_km - best.1).abs() < 0.01,
+                "pca {} vs sampled {}",
+                c.pca_km,
+                best.1
+            );
         }
     }
 }

@@ -24,10 +24,10 @@ use crate::refine::{grid_refine_interval, refine_pair};
 use crate::screener::{run_in_pool, Screener};
 use crate::timing::{PhaseTimer, PhaseTimings};
 use kessler_filters::{FilterChain, FilterConfig, FilterDecision};
+use kessler_gpusim::{Device, DeviceBuffer, LaunchConfig};
 use kessler_grid::grid::NeighborScan;
 use kessler_grid::pairset::{CandidatePair, PairSet};
 use kessler_grid::SpatialGrid;
-use kessler_gpusim::{Device, DeviceBuffer, LaunchConfig};
 use kessler_math::Interval;
 use kessler_orbits::propagator::PropagationConstants;
 use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
@@ -108,7 +108,11 @@ impl GpuGridScreener {
 
     pub fn on_device(config: ScreeningConfig, device: Device) -> GpuGridScreener {
         config.validate().expect("invalid screening configuration");
-        GpuGridScreener { config, device, solver: ContourSolver::default() }
+        GpuGridScreener {
+            config,
+            device,
+            solver: ContourSolver::default(),
+        }
     }
 }
 
@@ -120,15 +124,13 @@ impl Screener for GpuGridScreener {
             let mut timings = PhaseTimings::default();
             let mut planner_config = config;
             planner_config.memory_budget_bytes = self.device.memory_budget();
-            let planner =
-                MemoryModel::new(Variant::Grid).plan(population.len(), &planner_config);
+            let planner = MemoryModel::new(Variant::Grid).plan(population.len(), &planner_config);
 
             self.device.reset_metrics();
             // H→D: satellite constants (the a_k upload).
             let host_propagator = BatchPropagator::new(population);
-            let constants =
-                DeviceBuffer::from_host(&self.device, host_propagator.constants())
-                    .expect("device memory exhausted by satellite data");
+            let constants = DeviceBuffer::from_host(&self.device, host_propagator.constants())
+                .expect("device memory exhausted by satellite data");
 
             let entries = device_grid_phase(
                 &self.device,
@@ -230,14 +232,12 @@ impl Screener for GpuHybridScreener {
             let mut timings = PhaseTimings::default();
             let mut planner_config = config;
             planner_config.memory_budget_bytes = self.device.memory_budget();
-            let planner =
-                MemoryModel::new(Variant::Hybrid).plan(population.len(), &planner_config);
+            let planner = MemoryModel::new(Variant::Hybrid).plan(population.len(), &planner_config);
 
             self.device.reset_metrics();
             let host_propagator = BatchPropagator::new(population);
-            let constants =
-                DeviceBuffer::from_host(&self.device, host_propagator.constants())
-                    .expect("device memory exhausted by satellite data");
+            let constants = DeviceBuffer::from_host(&self.device, host_propagator.constants())
+                .expect("device memory exhausted by satellite data");
 
             let mut entries = device_grid_phase(
                 &self.device,
@@ -256,9 +256,7 @@ impl Screener for GpuHybridScreener {
             let mut unique: Vec<(u32, u32, Vec<u32>)> = Vec::new();
             for e in entries {
                 match unique.last_mut() {
-                    Some((lo, hi, steps)) if *lo == e.id_lo && *hi == e.id_hi => {
-                        steps.push(e.step)
-                    }
+                    Some((lo, hi, steps)) if *lo == e.id_lo && *hi == e.id_hi => steps.push(e.step),
                     _ => unique.push((e.id_lo, e.id_hi, vec![e.step])),
                 }
             }
@@ -275,11 +273,7 @@ impl Screener for GpuHybridScreener {
                     LaunchConfig::for_elements(unique.len()),
                     |tid| {
                         let (lo, hi, _) = &unique[tid.global];
-                        chain.evaluate(
-                            &population[*lo as usize],
-                            &population[*hi as usize],
-                            span,
-                        )
+                        chain.evaluate(&population[*lo as usize], &population[*hi as usize], span)
                     },
                 );
             }
@@ -322,8 +316,7 @@ impl Screener for GpuHybridScreener {
                                 FilterDecision::Coplanar => {
                                     for &step in steps {
                                         let t = step as f64 * sps;
-                                        let interval =
-                                            grid_refine_interval(a, b, &solver, t, cell);
+                                        let interval = grid_refine_interval(a, b, &solver, t, cell);
                                         if let Some(c) = refine_pair(
                                             a, b, &solver, *lo, *hi, interval, threshold,
                                         ) {
@@ -382,7 +375,11 @@ impl MultiDeviceGridScreener {
     pub fn new(config: ScreeningConfig, devices: Vec<Device>) -> MultiDeviceGridScreener {
         config.validate().expect("invalid screening configuration");
         assert!(!devices.is_empty(), "at least one device is required");
-        MultiDeviceGridScreener { config, devices, solver: ContourSolver::default() }
+        MultiDeviceGridScreener {
+            config,
+            devices,
+            solver: ContourSolver::default(),
+        }
     }
 
     pub fn device_count(&self) -> usize {
@@ -405,8 +402,7 @@ impl Screener for MultiDeviceGridScreener {
                 .map(Device::memory_budget)
                 .min()
                 .expect("non-empty device list");
-            let planner =
-                MemoryModel::new(Variant::Grid).plan(population.len(), &planner_config);
+            let planner = MemoryModel::new(Variant::Grid).plan(population.len(), &planner_config);
             for d in &self.devices {
                 d.reset_metrics();
             }
@@ -430,9 +426,8 @@ impl Screener for MultiDeviceGridScreener {
                 .zip(ranges.par_iter())
                 .map(|(device, range)| {
                     let mut local_timings = PhaseTimings::default();
-                    let constants =
-                        DeviceBuffer::from_host(device, host_propagator.constants())
-                            .expect("device memory exhausted by satellite data");
+                    let constants = DeviceBuffer::from_host(device, host_propagator.constants())
+                        .expect("device memory exhausted by satellite data");
                     let entries = device_grid_phase(
                         device,
                         &constants,
@@ -569,7 +564,11 @@ mod tests {
         let single = GpuGridScreener::new(config).screen(&pop);
         let multi = MultiDeviceGridScreener::new(
             config,
-            vec![Device::rtx3090_like(), Device::rtx3090_like(), Device::rtx3090_like()],
+            vec![
+                Device::rtx3090_like(),
+                Device::rtx3090_like(),
+                Device::rtx3090_like(),
+            ],
         )
         .screen(&pop);
         assert_eq!(single.conjunction_count(), multi.conjunction_count());

@@ -25,7 +25,10 @@ pub struct GridScreener {
 impl GridScreener {
     pub fn new(config: ScreeningConfig) -> GridScreener {
         config.validate().expect("invalid screening configuration");
-        GridScreener { config, solver: ContourSolver::default() }
+        GridScreener {
+            config,
+            solver: ContourSolver::default(),
+        }
     }
 
     pub fn config(&self) -> &ScreeningConfig {
@@ -69,8 +72,7 @@ impl Screener for GridScreener {
                         let a = &constants[entry.id_lo as usize];
                         let b = &constants[entry.id_hi as usize];
                         let t = entry.step as f64 * planner.seconds_per_sample;
-                        let interval =
-                            grid_refine_interval(a, b, &solver, t, planner.cell_size_km);
+                        let interval = grid_refine_interval(a, b, &solver, t, planner.cell_size_km);
                         refine_pair(
                             a,
                             b,

@@ -84,7 +84,10 @@ pub(crate) fn run_grid_phase(
         }
     }
 
-    GridPhaseOutput { entries: pairs.drain_to_vec(), regrows }
+    GridPhaseOutput {
+        entries: pairs.drain_to_vec(),
+        regrows,
+    }
 }
 
 /// One grid + its positions buffer, the unit the round scheduler hands to
@@ -173,7 +176,10 @@ fn run_grid_phase_rounds(
         }
     }
 
-    GridPhaseOutput { entries: pairs.drain_to_vec(), regrows }
+    GridPhaseOutput {
+        entries: pairs.drain_to_vec(),
+        regrows,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +207,10 @@ mod tests {
         let mut timings = PhaseTimings::default();
         let out = run_grid_phase(&propagator, &config, &planner, &mut timings);
         assert_eq!(out.regrows, 0);
-        assert!(!out.entries.is_empty(), "the co-phased crossing pair must appear");
+        assert!(
+            !out.entries.is_empty(),
+            "the co-phased crossing pair must appear"
+        );
         for e in &out.entries {
             assert_eq!((e.id_lo, e.id_hi), (0, 1), "only the LEO pair may appear");
         }
@@ -244,8 +253,7 @@ mod tests {
     fn round_scheduler_survives_pair_set_overflow() {
         let pop: Vec<KeplerElements> = (0..32)
             .map(|i| {
-                KeplerElements::new(7_000.0 + 0.001 * i as f64, 0.0, 0.9, 0.0, 0.0, 0.0)
-                    .unwrap()
+                KeplerElements::new(7_000.0 + 0.001 * i as f64, 0.0, 0.9, 0.0, 0.0, 0.0).unwrap()
             })
             .collect();
         let mut config = ScreeningConfig::grid_defaults(2.0, 3.0);

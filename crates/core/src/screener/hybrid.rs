@@ -57,7 +57,11 @@ fn group_pairs(mut entries: Vec<kessler_grid::CandidatePair>) -> Vec<GroupedPair
     for e in entries {
         match out.last_mut() {
             Some(g) if g.id_lo == e.id_lo && g.id_hi == e.id_hi => g.steps.push(e.step),
-            _ => out.push(GroupedPair { id_lo: e.id_lo, id_hi: e.id_hi, steps: vec![e.step] }),
+            _ => out.push(GroupedPair {
+                id_lo: e.id_lo,
+                id_hi: e.id_hi,
+                steps: vec![e.step],
+            }),
         }
     }
     out

@@ -61,7 +61,15 @@ impl LegacyScreener {
             FilterDecision::Windows(windows) => windows
                 .iter()
                 .filter_map(|w| {
-                    refine_pair(a, b, &self.solver, i, j, w.padded(1.0), self.config.threshold_km)
+                    refine_pair(
+                        a,
+                        b,
+                        &self.solver,
+                        i,
+                        j,
+                        w.padded(1.0),
+                        self.config.threshold_km,
+                    )
                 })
                 .collect(),
             FilterDecision::Coplanar => sampled_minima_search(
@@ -81,7 +89,11 @@ impl LegacyScreener {
 
 impl Screener for LegacyScreener {
     fn screen(&self, population: &[KeplerElements]) -> ScreeningReport {
-        let threads = if self.parallel { self.config.threads } else { Some(1) };
+        let threads = if self.parallel {
+            self.config.threads
+        } else {
+            Some(1)
+        };
         run_in_pool(threads, || {
             let wall = Instant::now();
             let mut timings = PhaseTimings::default();
@@ -107,9 +119,7 @@ impl Screener for LegacyScreener {
             } else {
                 pairs
                     .iter()
-                    .flat_map(|&(i, j)| {
-                        self.screen_pair(&chain, population, constants, span, i, j)
-                    })
+                    .flat_map(|&(i, j)| self.screen_pair(&chain, population, constants, span, i, j))
                     .collect()
             };
             // The chain and refinement interleave per pair; attribute the
@@ -218,8 +228,14 @@ mod tests {
     #[test]
     fn empty_and_singleton_populations() {
         let config = ScreeningConfig::grid_defaults(2.0, 60.0);
-        assert_eq!(LegacyScreener::new(config).screen(&[]).conjunction_count(), 0);
+        assert_eq!(
+            LegacyScreener::new(config).screen(&[]).conjunction_count(),
+            0
+        );
         let one = vec![KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap()];
-        assert_eq!(LegacyScreener::new(config).screen(&one).conjunction_count(), 0);
+        assert_eq!(
+            LegacyScreener::new(config).screen(&one).conjunction_count(),
+            0
+        );
     }
 }

@@ -29,13 +29,23 @@ pub trait Screener {
 /// Run `f` on a dedicated rayon pool of `threads` workers when requested,
 /// or on the global pool otherwise. This is how the thread-scaling
 /// experiment (§V-C.2) sweeps worker counts.
+///
+/// Pool construction can fail (thread-spawn limits, exhausted resources).
+/// A long-running service must not crash on that, so the failure degrades
+/// to the global pool — the screen still runs, just not on the requested
+/// worker count.
 pub(crate) fn run_in_pool<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
     match threads {
-        Some(t) => rayon::ThreadPoolBuilder::new()
-            .num_threads(t)
-            .build()
-            .expect("failed to build rayon pool")
-            .install(f),
+        Some(t) => match rayon::ThreadPoolBuilder::new().num_threads(t).build() {
+            Ok(pool) => pool.install(f),
+            Err(err) => {
+                eprintln!(
+                    "kessler: could not build a {t}-thread rayon pool ({err}); \
+                     falling back to the global pool"
+                );
+                f()
+            }
+        },
         None => f(),
     }
 }

@@ -65,7 +65,11 @@ impl Sgp4GridScreener {
                 }
             }
         }
-        Sgp4GridScreener { config, propagators, skipped }
+        Sgp4GridScreener {
+            config,
+            propagators,
+            skipped,
+        }
     }
 
     /// Objects that could not be screened, with reasons.
@@ -81,7 +85,11 @@ impl Sgp4GridScreener {
     /// minutes). Objects whose drag model decays mid-span are parked far
     /// outside the populated volume so they never pair.
     fn position(&self, id: usize, t_seconds: f64) -> Vec3 {
-        const PARKED: Vec3 = Vec3 { x: 1.0e7, y: 1.0e7, z: 1.0e7 };
+        const PARKED: Vec3 = Vec3 {
+            x: 1.0e7,
+            y: 1.0e7,
+            z: 1.0e7,
+        };
         if self.is_masked(id) {
             return PARKED + Vec3::new(0.0, 0.0, id as f64 * 1.0e5);
         }
@@ -92,7 +100,8 @@ impl Sgp4GridScreener {
     }
 
     fn distance_sq(&self, a: usize, b: usize, t_seconds: f64) -> f64 {
-        self.position(a, t_seconds).dist_sq(self.position(b, t_seconds))
+        self.position(a, t_seconds)
+            .dist_sq(self.position(b, t_seconds))
     }
 }
 
@@ -159,8 +168,8 @@ impl Sgp4GridScreener {
                         let t = e.step as f64 * planner.seconds_per_sample;
                         // Interval radius per §IV-C from LEO speeds; SGP4
                         // velocities hover around the same 7–8 km/s.
-                        let radius = 2.0 * planner.cell_size_km
-                            / kessler_orbits::constants::LEO_SPEED;
+                        let radius =
+                            2.0 * planner.cell_size_km / kessler_orbits::constants::LEO_SPEED;
                         refine_pair_with(
                             |tt| self.distance_sq(e.id_lo as usize, e.id_hi as usize, tt),
                             e.id_lo,
@@ -196,14 +205,7 @@ impl Sgp4GridScreener {
 mod tests {
     use super::*;
 
-    fn mean(
-        rev_per_day: f64,
-        e: f64,
-        i: f64,
-        raan: f64,
-        argp: f64,
-        m: f64,
-    ) -> MeanElements {
+    fn mean(rev_per_day: f64, e: f64, i: f64, raan: f64, argp: f64, m: f64) -> MeanElements {
         MeanElements {
             mean_motion_rev_per_day: rev_per_day,
             eccentricity: e,

@@ -37,7 +37,10 @@ impl SieveScreener {
     /// `seconds_per_sample` is used as-is (callers typically pass 8 s).
     pub fn new(config: ScreeningConfig) -> SieveScreener {
         config.validate().expect("invalid screening configuration");
-        SieveScreener { config, solver: ContourSolver::default() }
+        SieveScreener {
+            config,
+            solver: ContourSolver::default(),
+        }
     }
 
     /// A config preset with the conventional 8 s sieve step.
@@ -72,8 +75,7 @@ impl Screener for SieveScreener {
                     .flat_map_iter(|i| {
                         let a = &population[i as usize];
                         ((i + 1)..n).filter_map(move |j| {
-                            apsis_filter(a, &population[j as usize], d_crit)
-                                .then_some((i, j))
+                            apsis_filter(a, &population[j as usize], d_crit).then_some((i, j))
                         })
                     })
                     .collect();
@@ -217,13 +219,14 @@ mod tests {
     fn matches_grid_screener_on_a_synthetic_population() {
         use crate::screener::grid::GridScreener;
         use kessler_population::{PopulationConfig, PopulationGenerator};
-        let pop = PopulationGenerator::new(PopulationConfig { seed: 5150, ..Default::default() })
-            .generate(300);
+        let pop = PopulationGenerator::new(PopulationConfig {
+            seed: 5150,
+            ..Default::default()
+        })
+        .generate(300);
         let span = 900.0;
-        let sieve =
-            SieveScreener::new(SieveScreener::default_config(5.0, span)).screen(&pop);
-        let grid =
-            GridScreener::new(ScreeningConfig::grid_defaults(5.0, span)).screen(&pop);
+        let sieve = SieveScreener::new(SieveScreener::default_config(5.0, span)).screen(&pop);
+        let grid = GridScreener::new(ScreeningConfig::grid_defaults(5.0, span)).screen(&pop);
         assert_eq!(
             sieve.colliding_pairs(),
             grid.colliding_pairs(),

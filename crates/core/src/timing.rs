@@ -10,18 +10,48 @@ use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Wall time per screening phase.
+///
+/// Serialises each phase as fractional **milliseconds** (`duration_ms`),
+/// so the JSON reports written by `core::io` and the service `STATUS`
+/// responses are directly consumable by dashboards instead of exposing
+/// `Duration`'s internal `{secs, nanos}` pair.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PhaseTimings {
     /// Parallel propagation and insertion into the grid (INS).
+    #[serde(with = "duration_ms")]
     pub insertion: Duration,
     /// Candidate-pair extraction from the grid.
+    #[serde(with = "duration_ms")]
     pub pair_extraction: Duration,
     /// Orbital filters incl. the coplanarity determination (hybrid/legacy).
+    #[serde(with = "duration_ms")]
     pub filters: Duration,
     /// PCA/TCA refinement (Brent searches).
+    #[serde(with = "duration_ms")]
     pub refinement: Duration,
     /// End-to-end wall time of the screening call.
+    #[serde(with = "duration_ms")]
     pub total: Duration,
+}
+
+/// Serde adapter mapping `Duration` to fractional milliseconds on the wire.
+pub mod duration_ms {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_secs_f64() * 1e3).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let ms = f64::deserialize(d)?;
+        if !ms.is_finite() || ms < 0.0 {
+            return Err(serde::de::Error::custom(
+                "duration milliseconds must be finite and non-negative",
+            ));
+        }
+        Ok(Duration::from_secs_f64(ms / 1e3))
+    }
 }
 
 impl PhaseTimings {
@@ -58,7 +88,10 @@ pub struct PhaseTimer<'a> {
 
 impl<'a> PhaseTimer<'a> {
     pub fn start(target: &'a mut Duration) -> PhaseTimer<'a> {
-        PhaseTimer { target, start: Instant::now() }
+        PhaseTimer {
+            target,
+            start: Instant::now(),
+        }
     }
 }
 
@@ -92,6 +125,31 @@ mod tests {
     fn zero_total_yields_zero_fractions() {
         let t = PhaseTimings::default();
         assert_eq!(t.breakdown(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn timings_serialize_as_milliseconds() {
+        let t = PhaseTimings {
+            insertion: Duration::from_micros(1_500),
+            pair_extraction: Duration::from_millis(20),
+            filters: Duration::ZERO,
+            refinement: Duration::from_millis(65),
+            total: Duration::from_millis(100),
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"insertion\":1.5"), "json: {json}");
+        assert!(json.contains("\"total\":100.0"), "json: {json}");
+        let back: PhaseTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.insertion, t.insertion);
+        assert_eq!(back.total, t.total);
+    }
+
+    #[test]
+    fn negative_or_non_finite_millis_are_rejected() {
+        assert!(serde_json::from_str::<PhaseTimings>(
+            r#"{"insertion":-1.0,"pair_extraction":0.0,"filters":0.0,"refinement":0.0,"total":0.0}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub struct FilterChain {
 
 impl FilterChain {
     pub fn new(config: FilterConfig) -> FilterChain {
-        FilterChain { config, stats: FilterStats::default() }
+        FilterChain {
+            config,
+            stats: FilterStats::default(),
+        }
     }
 
     /// Run the chain on one pair over the screening `span`

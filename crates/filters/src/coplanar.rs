@@ -34,7 +34,11 @@ mod tests {
 
     #[test]
     fn same_plane_is_coplanar() {
-        assert!(are_coplanar(&el(0.9, 1.0), &el(0.9, 1.0), DEFAULT_COPLANAR_TOLERANCE));
+        assert!(are_coplanar(
+            &el(0.9, 1.0),
+            &el(0.9, 1.0),
+            DEFAULT_COPLANAR_TOLERANCE
+        ));
     }
 
     #[test]
@@ -58,7 +62,11 @@ mod tests {
     #[test]
     fn retrograde_same_plane_is_coplanar() {
         // i = 0 and i = π describe the same plane with opposite traversal.
-        assert!(are_coplanar(&el(0.0, 0.0), &el(PI, 0.0), DEFAULT_COPLANAR_TOLERANCE));
+        assert!(are_coplanar(
+            &el(0.0, 0.0),
+            &el(PI, 0.0),
+            DEFAULT_COPLANAR_TOLERANCE
+        ));
     }
 
     #[test]

@@ -36,14 +36,66 @@ pub fn orbit_path_distance(a: &KeplerElements, b: &KeplerElements) -> Option<f64
     Some(best)
 }
 
+/// Resolution of the coarse global (f₁, f₂) scan used as a fallback when
+/// the node-local estimate would exclude a pair. 16×16 keeps the fallback
+/// cheap; each coarse local minimum is then refined, and the ±0.6 rad
+/// refinement window comfortably covers the τ/16 ≈ 0.39 rad grid spacing.
+const GLOBAL_SCAN_SAMPLES: usize = 16;
+
 /// `true` if the pair is kept (the orbits come within `threshold` km near
 /// a node), `false` if excluded.
+///
+/// Exclusion is the dangerous direction (a falsely excluded pair is never
+/// refined), so before excluding, a coarse global scan over both anomalies
+/// double-checks geometries where the true curve-to-curve minimum sits far
+/// from the mutual node line — nearly-coplanar retrograde pairs and
+/// high-eccentricity orbits, where the node-local refinement window can
+/// miss the real minimum.
 pub fn orbit_path_filter(a: &KeplerElements, b: &KeplerElements, threshold: f64) -> bool {
     match orbit_path_distance(a, b) {
-        Some(d) => d <= threshold,
+        Some(d) if d <= threshold => true,
+        Some(_) => global_minimum_distance(a, b) <= threshold,
         // Coplanar: the node-based bound does not apply; keep the pair.
         None => true,
     }
+}
+
+/// Global curve-to-curve minimum: coarse scan of the (f₁, f₂) torus, then
+/// coordinate-descent refinement of every coarse local minimum. Only used
+/// on the exclusion path, where spending a few hundred evaluations beats
+/// dropping a real conjunction.
+fn global_minimum_distance(a: &KeplerElements, b: &KeplerElements) -> f64 {
+    const N: usize = GLOBAL_SCAN_SAMPLES;
+    let step = std::f64::consts::TAU / N as f64;
+    let mut grid = [[0.0f64; N]; N];
+    let positions_b: Vec<Vec3> = (0..N)
+        .map(|l| position_at_true_anomaly(b, l as f64 * step))
+        .collect();
+    for (k, row) in grid.iter_mut().enumerate() {
+        let pa = position_at_true_anomaly(a, k as f64 * step);
+        for (l, cell) in row.iter_mut().enumerate() {
+            *cell = pa.dist_sq(positions_b[l]);
+        }
+    }
+    // Refine every 2-D local minimum (torus topology): the basin holding
+    // the true global minimum contains one of them.
+    let mut best = f64::INFINITY;
+    for k in 0..N {
+        for l in 0..N {
+            let v = grid[k][l];
+            let is_local_min = (-1i64..=1).all(|dk| {
+                (-1i64..=1).all(|dl| {
+                    let nk = (k as i64 + dk).rem_euclid(N as i64) as usize;
+                    let nl = (l as i64 + dl).rem_euclid(N as i64) as usize;
+                    grid[nk][nl] >= v
+                })
+            });
+            if is_local_min {
+                best = best.min(refine_minimum(a, b, k as f64 * step, l as f64 * step));
+            }
+        }
+    }
+    best
 }
 
 /// Local minimisation of `‖p_a(f₁) − p_b(f₂)‖` by alternating Brent passes
@@ -158,6 +210,53 @@ mod tests {
         let b = el(8_000.0, 0.0, FRAC_PI_2, 0.0, 0.0);
         let d = orbit_path_distance(&a, &b).unwrap();
         assert!((d - 1_000.0).abs() < 0.5, "d = {d}");
+    }
+
+    #[test]
+    fn global_scan_matches_known_minima() {
+        // Radially separated circular orbits: true global minimum is the
+        // 100 km shell gap, attained on the node line.
+        let a = el(7_000.0, 0.0, 0.3, 0.0, 0.0);
+        let b = el(7_100.0, 0.0, 1.2, 1.0, 0.0);
+        let g = global_minimum_distance(&a, &b);
+        assert!((g - 100.0).abs() < 0.5, "g = {g}");
+        // Perpendicular rings of radii 7000/8000: minimum 1000 km.
+        let a = el(7_000.0, 0.0, 0.0, 0.0, 0.0);
+        let b = el(8_000.0, 0.0, FRAC_PI_2, 0.0, 0.0);
+        let g = global_minimum_distance(&a, &b);
+        assert!((g - 1_000.0).abs() < 1.0, "g = {g}");
+    }
+
+    #[test]
+    fn fallback_does_not_resurrect_truly_distant_pairs() {
+        // 100 km apart everywhere: the exclusion at a 2 km threshold must
+        // survive the global-scan double-check.
+        let a = el(7_000.0, 0.0, 0.3, 0.0, 0.0);
+        let b = el(7_100.0, 0.0, 1.2, 1.0, 0.0);
+        assert!(!orbit_path_filter(&a, &b, 2.0));
+    }
+
+    #[test]
+    fn regression_case_is_decided_consistently() {
+        // The checked-in proptest regression (path.txt): a high-eccentricity
+        // near-retrograde pair. Whatever the filter decides, the decision
+        // must be consistent with the refined global minimum.
+        let o1 = KeplerElements::new(18_288.843174009147, 0.0, 0.1, 4.639404799736325, 0.7, 0.0)
+            .unwrap();
+        let o2 = KeplerElements::new(
+            18_898.632857579538,
+            0.3923351625189953,
+            2.9220304467817857,
+            3.1320998609571724,
+            2.1,
+            0.0,
+        )
+        .unwrap();
+        let threshold = 40.0;
+        let global = global_minimum_distance(&o1, &o2);
+        if global <= threshold {
+            assert!(orbit_path_filter(&o1, &o2, threshold));
+        }
     }
 
     proptest! {

@@ -38,7 +38,11 @@ pub struct NodeWindows {
 /// window can only be wider than necessary, never narrower. Returns `None`
 /// when the bound exceeds 1, meaning the whole orbit stays within `d` of
 /// the plane and no exclusion is possible.
-pub fn anomaly_half_width(el: &KeplerElements, rel_inclination: f64, threshold: f64) -> Option<f64> {
+pub fn anomaly_half_width(
+    el: &KeplerElements,
+    rel_inclination: f64,
+    threshold: f64,
+) -> Option<f64> {
     let sin_ir = rel_inclination.sin();
     if sin_ir <= 0.0 {
         return None;

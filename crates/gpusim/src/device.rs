@@ -259,7 +259,10 @@ mod tests {
         let mut buf = DeviceBuffer::<u8>::alloc(&dev, 10).unwrap();
         assert!(matches!(
             buf.copy_from_host(&[0u8; 5]),
-            Err(DeviceError::LengthMismatch { host: 5, device: 10 })
+            Err(DeviceError::LengthMismatch {
+                host: 5,
+                device: 10
+            })
         ));
         let mut too_big = vec![0u8; 20];
         assert!(buf.copy_to_host(&mut too_big).is_err());
@@ -288,6 +291,9 @@ mod tests {
 
     #[test]
     fn rtx3090_preset_has_24_gib() {
-        assert_eq!(Device::rtx3090_like().memory_budget(), 24 * 1024 * 1024 * 1024);
+        assert_eq!(
+            Device::rtx3090_like().memory_budget(),
+            24 * 1024 * 1024 * 1024
+        );
     }
 }

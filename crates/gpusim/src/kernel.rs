@@ -19,7 +19,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// One thread per element with the paper's 512-thread blocks.
     pub fn for_elements(n: usize) -> LaunchConfig {
-        LaunchConfig { threads: n, block_size: 512 }
+        LaunchConfig {
+            threads: n,
+            block_size: 512,
+        }
     }
 
     /// Number of blocks in the launch grid.
@@ -115,11 +118,21 @@ mod tests {
 
     #[test]
     fn launch_config_geometry() {
-        let c = LaunchConfig { threads: 1000, block_size: 512 };
+        let c = LaunchConfig {
+            threads: 1000,
+            block_size: 512,
+        };
         assert_eq!(c.blocks(), 2);
         assert_eq!(LaunchConfig::for_elements(512).blocks(), 1);
         assert_eq!(LaunchConfig::for_elements(513).blocks(), 2);
-        assert_eq!(LaunchConfig { threads: 0, block_size: 512 }.blocks(), 0);
+        assert_eq!(
+            LaunchConfig {
+                threads: 0,
+                block_size: 512
+            }
+            .blocks(),
+            0
+        );
     }
 
     #[test]
@@ -139,7 +152,10 @@ mod tests {
     fn thread_ids_are_consistent() {
         let dev = Device::with_memory(1 << 20);
         let bad = AtomicUsize::new(0);
-        let cfg = LaunchConfig { threads: 1_537, block_size: 256 };
+        let cfg = LaunchConfig {
+            threads: 1_537,
+            block_size: 256,
+        };
         dev.launch("ids", cfg, |tid| {
             if tid.global != tid.block_idx * 256 + tid.thread_idx || tid.thread_idx >= 256 {
                 bad.fetch_add(1, Ordering::Relaxed);
@@ -179,7 +195,10 @@ mod tests {
         let dev = Device::with_memory(1 << 20);
         let out = dev.launch_map(
             "map",
-            LaunchConfig { threads: 1_000, block_size: 64 },
+            LaunchConfig {
+                threads: 1_000,
+                block_size: 64,
+            },
             |tid| tid.global * 3,
         );
         assert_eq!(out.len(), 1_000);

@@ -76,7 +76,11 @@ impl AtomicMap {
         let cap = min_capacity.max(2).next_power_of_two();
         let keys: Box<[AtomicU64]> = (0..cap).map(|_| AtomicU64::new(EMPTY_KEY)).collect();
         let values: Box<[AtomicU32]> = (0..cap).map(|_| AtomicU32::new(VALUE_EMPTY)).collect();
-        AtomicMap { keys, values, mask: cap - 1 }
+        AtomicMap {
+            keys,
+            values,
+            mask: cap - 1,
+        }
     }
 
     /// Total slot count.

@@ -89,13 +89,18 @@ impl DenseGrid {
         ];
         let cells = dims[0] as u128 * dims[1] as u128 * dims[2] as u128;
         if cells > DEFAULT_MAX_CELLS {
-            return Err(DenseGridError::TooLarge { cells, max_cells: DEFAULT_MAX_CELLS });
+            return Err(DenseGridError::TooLarge {
+                cells,
+                max_cells: DEFAULT_MAX_CELLS,
+            });
         }
         Ok(DenseGrid {
             origin,
             cell_size,
             dims,
-            heads: (0..cells as usize).map(|_| AtomicU32::new(VALUE_EMPTY)).collect(),
+            heads: (0..cells as usize)
+                .map(|_| AtomicU32::new(VALUE_EMPTY))
+                .collect(),
             next: (0..capacity).map(|_| AtomicU32::new(VALUE_EMPTY)).collect(),
         })
     }
@@ -135,8 +140,7 @@ impl DenseGrid {
         let mut current = head.load(Ordering::Acquire);
         loop {
             self.next[index as usize].store(current, Ordering::Release);
-            match head.compare_exchange_weak(current, index, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match head.compare_exchange_weak(current, index, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return true,
                 Err(actual) => current = actual,
             }
@@ -180,7 +184,11 @@ impl DenseGrid {
     /// Candidate-pair extraction over the 13-offset half neighbourhood,
     /// matching [`crate::SpatialGrid::collect_candidate_pairs`] semantics.
     pub fn collect_candidate_pairs(&self, step: u32, pairs: &PairSet) {
-        let (dx, dy, dz) = (self.dims[0] as i64, self.dims[1] as i64, self.dims[2] as i64);
+        let (dx, dy, dz) = (
+            self.dims[0] as i64,
+            self.dims[1] as i64,
+            self.dims[2] as i64,
+        );
         (0..self.heads.len()).into_par_iter().for_each(|cell| {
             if self.heads[cell].load(Ordering::Acquire) == VALUE_EMPTY {
                 return;

@@ -50,7 +50,10 @@ impl SpatialGrid {
     /// ("we use twice the number of satellites as slots to mitigate the
     /// number of hash collisions and break up long clusters").
     pub fn new(capacity: usize, cell_size: f64) -> SpatialGrid {
-        assert!(cell_size > 0.0 && cell_size.is_finite(), "invalid cell size");
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "invalid cell size"
+        );
         SpatialGrid {
             map: AtomicMap::with_capacity(2 * capacity.max(1)),
             next: (0..capacity).map(|_| AtomicU32::new(VALUE_EMPTY)).collect(),
@@ -97,8 +100,7 @@ impl SpatialGrid {
         let mut current = head.load(Ordering::Acquire);
         loop {
             self.next[index as usize].store(current, Ordering::Release);
-            match head.compare_exchange_weak(current, index, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match head.compare_exchange_weak(current, index, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return Ok(()),
                 Err(actual) => current = actual,
             }
@@ -161,7 +163,13 @@ impl SpatialGrid {
     /// style executors (the GPU simulator) can parallelise over slots
     /// themselves; [`SpatialGrid::collect_candidate_pairs`] is the rayon
     /// driver over all occupied slots.
-    pub fn collect_pairs_for_slot(&self, slot: usize, step: u32, scan: NeighborScan, pairs: &PairSet) {
+    pub fn collect_pairs_for_slot(
+        &self,
+        slot: usize,
+        step: u32,
+        scan: NeighborScan,
+        pairs: &PairSet,
+    ) {
         let Some(key) = self.cell_key_at(slot) else {
             return;
         };

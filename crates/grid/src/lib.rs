@@ -32,7 +32,7 @@ pub mod neighbor;
 pub mod pairset;
 
 pub use atomic_map::AtomicMap;
-pub use dense::DenseGrid;
 pub use cellkey::CellKey;
+pub use dense::DenseGrid;
 pub use grid::SpatialGrid;
 pub use pairset::{CandidatePair, PairSet};

@@ -40,7 +40,10 @@ pub fn brent_minimize<F: FnMut(f64) -> f64>(
     rel_tol: f64,
     max_iter: u32,
 ) -> BrentResult {
-    assert!(a.is_finite() && b.is_finite(), "brent_minimize: non-finite bounds");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "brent_minimize: non-finite bounds"
+    );
     let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
     // Clamp the tolerance to what f64 can resolve.
     let tol = rel_tol.max(f64::EPSILON.sqrt());
@@ -133,7 +136,11 @@ pub fn brent_minimize<F: FnMut(f64) -> f64>(
         }
     }
 
-    BrentResult { xmin: x, fmin: fx, evaluations }
+    BrentResult {
+        xmin: x,
+        fmin: fx,
+        evaluations,
+    }
 }
 
 #[cfg(test)]

@@ -86,10 +86,8 @@ impl Interval {
         let k0 = ((span.start - self.end) / period).floor() as i64;
         let k1 = ((span.end - self.start) / period).ceil() as i64;
         for k in k0..=k1 {
-            let shifted = Interval::new(
-                self.start + k as f64 * period,
-                self.end + k as f64 * period,
-            );
+            let shifted =
+                Interval::new(self.start + k as f64 * period, self.end + k as f64 * period);
             let clipped = shifted.intersect(span);
             if !clipped.is_empty() {
                 out.push(clipped);
@@ -202,25 +200,22 @@ mod tests {
             ],
             0.0,
         );
-        assert_eq!(merged, vec![Interval::new(0.0, 3.0), Interval::new(5.0, 6.0)]);
+        assert_eq!(
+            merged,
+            vec![Interval::new(0.0, 3.0), Interval::new(5.0, 6.0)]
+        );
     }
 
     #[test]
     fn merge_with_join_tolerance() {
-        let merged = merge_intervals(
-            vec![Interval::new(0.0, 1.0), Interval::new(1.05, 2.0)],
-            0.1,
-        );
+        let merged = merge_intervals(vec![Interval::new(0.0, 1.0), Interval::new(1.05, 2.0)], 0.1);
         assert_eq!(merged, vec![Interval::new(0.0, 2.0)]);
     }
 
     #[test]
     fn intersect_sets_two_pointer() {
         let a = vec![Interval::new(0.0, 5.0), Interval::new(10.0, 15.0)];
-        let b = vec![
-            Interval::new(3.0, 11.0),
-            Interval::new(14.0, 20.0),
-        ];
+        let b = vec![Interval::new(3.0, 11.0), Interval::new(14.0, 20.0)];
         let i = intersect_sets(&a, &b);
         assert_eq!(
             i,

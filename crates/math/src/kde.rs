@@ -56,7 +56,10 @@ impl Kde2d {
         if anchors.is_empty() || hx <= 0.0 || hy <= 0.0 {
             return None;
         }
-        Some(Kde2d { anchors, bandwidth: (hx, hy) })
+        Some(Kde2d {
+            anchors,
+            bandwidth: (hx, hy),
+        })
     }
 
     pub fn bandwidth(&self) -> (f64, f64) {
@@ -86,8 +89,8 @@ impl Kde2d {
     /// Draw one sample: pick an anchor uniformly, then add Gaussian kernel
     /// noise (Box–Muller from two uniforms).
     pub fn sample<R: UniformSource>(&self, rng: &mut R) -> (f64, f64) {
-        let idx = ((rng.next_uniform() * self.anchors.len() as f64) as usize)
-            .min(self.anchors.len() - 1);
+        let idx =
+            ((rng.next_uniform() * self.anchors.len() as f64) as usize).min(self.anchors.len() - 1);
         let (ax, ay) = self.anchors[idx];
         let (gx, gy) = gaussian_pair(rng);
         (ax + self.bandwidth.0 * gx, ay + self.bandwidth.1 * gy)
@@ -197,7 +200,10 @@ mod tests {
                 near += 1;
             }
         }
-        assert!(near > total * 9 / 10, "only {near}/{total} samples near clusters");
+        assert!(
+            near > total * 9 / 10,
+            "only {near}/{total} samples near clusters"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub fn newton<F: FnMut(f64) -> (f64, f64)>(
         let (v, dv) = f(x);
         value = v;
         if v.abs() <= tol {
-            return RootResult { root: x, residual: v, iterations: i };
+            return RootResult {
+                root: x,
+                residual: v,
+                iterations: i,
+            };
         }
         let mut step = if dv != 0.0 { v / dv } else { v.signum() * 0.5 };
         if !step.is_finite() {
@@ -68,7 +72,11 @@ pub fn newton<F: FnMut(f64) -> (f64, f64)>(
         }
         x = next;
     }
-    RootResult { root: x, residual: value, iterations: max_iter }
+    RootResult {
+        root: x,
+        residual: value,
+        iterations: max_iter,
+    }
 }
 
 /// Bisection on a sign-changing interval. Robust but linear convergence.
@@ -82,10 +90,18 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     let mut fa = f(a);
     let fb = f(b);
     if fa == 0.0 {
-        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: a,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: b,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(RootError::NotBracketed);
@@ -94,7 +110,11 @@ pub fn bisect<F: FnMut(f64) -> f64>(
         let mid = 0.5 * (a + b);
         let fm = f(mid);
         if fm.abs() <= tol || 0.5 * (b - a).abs() <= tol {
-            return Ok(RootResult { root: mid, residual: fm, iterations: i + 1 });
+            return Ok(RootResult {
+                root: mid,
+                residual: fm,
+                iterations: i + 1,
+            });
         }
         if fm.signum() == fa.signum() {
             a = mid;
@@ -120,10 +140,18 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
     let mut fa = f(a);
     let mut fb = f(b);
     if fa == 0.0 {
-        return Ok(RootResult { root: a, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: a,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fb == 0.0 {
-        return Ok(RootResult { root: b, residual: 0.0, iterations: 0 });
+        return Ok(RootResult {
+            root: b,
+            residual: 0.0,
+            iterations: 0,
+        });
     }
     if fa.signum() == fb.signum() {
         return Err(RootError::NotBracketed);
@@ -140,7 +168,11 @@ pub fn brent_root<F: FnMut(f64) -> f64>(
 
     for i in 0..max_iter {
         if fb.abs() <= tol || (b - a).abs() <= tol {
-            return Ok(RootResult { root: b, residual: fb, iterations: i });
+            return Ok(RootResult {
+                root: b,
+                residual: fb,
+                iterations: i,
+            });
         }
         let mut s = if fa != fc && fb != fc {
             // Inverse quadratic interpolation.

@@ -57,7 +57,12 @@ pub struct Histogram {
 impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
         assert!(bins > 0 && hi > lo, "invalid histogram bounds");
-        Histogram { lo, hi, counts: vec![0; bins], outliers: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
     }
 
     pub fn add(&mut self, x: f64) {
@@ -156,7 +161,11 @@ pub fn fit_power_law(rows: &[Vec<f64>], ys: &[f64]) -> Option<PowerLawFit> {
         ss_tot += (ly - mean_ly) * (ly - mean_ly);
         ss_res += (ly - pred) * (ly - pred);
     }
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
 
     Some(PowerLawFit {
         coefficient: beta[0].exp(),

@@ -17,10 +17,26 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     #[inline]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -220,7 +236,11 @@ mod tests {
 
     #[test]
     fn angle_between_axes_is_right_angle() {
-        assert_close(Vec3::X.angle_to(Vec3::Y), std::f64::consts::FRAC_PI_2, 1e-15);
+        assert_close(
+            Vec3::X.angle_to(Vec3::Y),
+            std::f64::consts::FRAC_PI_2,
+            1e-15,
+        );
         assert_close(Vec3::X.angle_to(-Vec3::X), std::f64::consts::PI, 1e-15);
         assert_close(Vec3::X.angle_to(Vec3::X), 0.0, 1e-15);
     }

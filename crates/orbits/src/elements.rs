@@ -200,9 +200,7 @@ mod tests {
         let e = leo();
         assert!(e.perigee_radius() < e.semi_major_axis);
         assert!(e.apogee_radius() > e.semi_major_axis);
-        assert!(
-            (e.perigee_radius() + e.apogee_radius() - 2.0 * e.semi_major_axis).abs() < 1e-9
-        );
+        assert!((e.perigee_radius() + e.apogee_radius() - 2.0 * e.semi_major_axis).abs() < 1e-9);
     }
 
     #[test]

@@ -167,7 +167,10 @@ mod tests {
         let elements = KeplerElements::new(a, 0.001, i, 0.0, 0.0, 0.0).unwrap();
         let j2 = J2Propagator::new(elements);
         let deg_per_day = j2.raan_rate.to_degrees() * 86_400.0;
-        assert!((deg_per_day - 0.9856).abs() < 1e-3, "Ω̇ = {deg_per_day} °/day");
+        assert!(
+            (deg_per_day - 0.9856).abs() < 1e-3,
+            "Ω̇ = {deg_per_day} °/day"
+        );
     }
 
     #[test]

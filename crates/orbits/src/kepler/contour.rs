@@ -44,7 +44,10 @@ pub struct ContourSolver {
 
 impl Default for ContourSolver {
     fn default() -> Self {
-        ContourSolver { points: 16, polish: true }
+        ContourSolver {
+            points: 16,
+            polish: true,
+        }
     }
 }
 
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn unpolished_contour_is_already_accurate_at_moderate_e() {
-        let s = ContourSolver { points: 16, polish: false };
+        let s = ContourSolver {
+            points: 16,
+            polish: false,
+        };
         for k in 1..50 {
             let ecc_anom_true = k as f64 * TAU / 50.0;
             let e = 0.3;
@@ -158,18 +164,28 @@ mod tests {
     fn more_points_means_more_accuracy() {
         // Geometric convergence of the trapezoid rule: error with N=32 must
         // not exceed error with N=6 anywhere on a sweep (unpolished).
-        let coarse = ContourSolver { points: 6, polish: false };
-        let fine = ContourSolver { points: 32, polish: false };
+        let coarse = ContourSolver {
+            points: 6,
+            polish: false,
+        };
+        let fine = ContourSolver {
+            points: 32,
+            polish: false,
+        };
         let e = 0.7;
         let mut worst_coarse = 0.0f64;
         let mut worst_fine = 0.0f64;
         for k in 1..60 {
             let ecc_anom_true = k as f64 * TAU / 60.0;
             let m = ecc_to_mean(ecc_anom_true, e);
-            worst_coarse = worst_coarse
-                .max(kessler_math::angles::separation(coarse.ecc_anomaly(m, e), ecc_anom_true));
-            worst_fine = worst_fine
-                .max(kessler_math::angles::separation(fine.ecc_anomaly(m, e), ecc_anom_true));
+            worst_coarse = worst_coarse.max(kessler_math::angles::separation(
+                coarse.ecc_anomaly(m, e),
+                ecc_anom_true,
+            ));
+            worst_fine = worst_fine.max(kessler_math::angles::separation(
+                fine.ecc_anomaly(m, e),
+                ecc_anom_true,
+            ));
         }
         assert!(
             worst_fine <= worst_coarse,

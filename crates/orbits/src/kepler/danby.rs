@@ -17,7 +17,10 @@ pub struct DanbySolver {
 
 impl Default for DanbySolver {
     fn default() -> Self {
-        DanbySolver { tolerance: 1e-13, max_iterations: 16 }
+        DanbySolver {
+            tolerance: 1e-13,
+            max_iterations: 16,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ mod tests {
     fn quartic_convergence_needs_few_iterations() {
         // Instrument by shrinking the cap: 4 iterations must already reach
         // 1e-12 residuals over a representative sweep.
-        let s = DanbySolver { tolerance: 1e-13, max_iterations: 4 };
+        let s = DanbySolver {
+            tolerance: 1e-13,
+            max_iterations: 4,
+        };
         for k in 1..50 {
             let ecc_anom_true = k as f64 * TAU / 50.0;
             for e in [0.05, 0.3, 0.7] {

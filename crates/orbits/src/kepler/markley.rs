@@ -41,8 +41,7 @@ impl KeplerSolver for MarkleySolver {
         let f4 = -f2;
         let d3 = -f0 / (f1 - 0.5 * f0 * f2 / f1);
         let d4 = -f0 / (f1 + 0.5 * d3 * f2 + d3 * d3 * f3 / 6.0);
-        let d5 = -f0
-            / (f1 + 0.5 * d4 * f2 + d4 * d4 * f3 / 6.0 + d4 * d4 * d4 * f4 / 24.0);
+        let d5 = -f0 / (f1 + 0.5 * d4 * f2 + d4 * d4 * f3 / 6.0 + d4 * d4 * d4 * f4 / 24.0);
         ecc_anom += d5;
 
         // Guard the last ulp against leaving the physical range.

@@ -96,7 +96,11 @@ mod tests {
     fn all_solvers_handle_fixed_points() {
         for s in solvers() {
             for e in [0.0, 0.2, 0.7, 0.95] {
-                assert!(s.ecc_anomaly(0.0, e).abs() < 1e-12, "{} M=0 e={e}", s.name());
+                assert!(
+                    s.ecc_anomaly(0.0, e).abs() < 1e-12,
+                    "{} M=0 e={e}",
+                    s.name()
+                );
                 assert!(
                     (s.ecc_anomaly(PI, e) - PI).abs() < 1e-12,
                     "{} M=π e={e}",

@@ -18,7 +18,10 @@ pub struct NewtonSolver {
 
 impl Default for NewtonSolver {
     fn default() -> Self {
-        NewtonSolver { tolerance: 1e-13, max_iterations: 32 }
+        NewtonSolver {
+            tolerance: 1e-13,
+            max_iterations: 32,
+        }
     }
 }
 
@@ -103,7 +106,10 @@ mod tests {
 
     #[test]
     fn respects_iteration_cap() {
-        let s = NewtonSolver { tolerance: 0.0, max_iterations: 3 };
+        let s = NewtonSolver {
+            tolerance: 0.0,
+            max_iterations: 3,
+        };
         // With a zero tolerance we always hit the cap; result is still finite
         // and in range.
         let ecc_anom = s.ecc_anomaly(2.0, 0.8);

@@ -9,7 +9,6 @@
 //! [`BatchPropagator`] is the data-parallel propagation step that consumes
 //! it: one logical thread per (satellite, time) tuple (§V-E).
 
-
 use crate::elements::KeplerElements;
 use crate::kepler::{ContourSolver, KeplerSolver};
 use crate::state::CartesianState;
@@ -117,7 +116,10 @@ impl BatchPropagator {
     /// Precompute constants for every satellite (the `a_k` allocation).
     pub fn new(elements: &[KeplerElements]) -> BatchPropagator {
         BatchPropagator {
-            constants: elements.iter().map(PropagationConstants::from_elements).collect(),
+            constants: elements
+                .iter()
+                .map(PropagationConstants::from_elements)
+                .collect(),
             solver: ContourSolver::default(),
         }
     }
@@ -262,7 +264,8 @@ mod tests {
             let t = k as f64 * el.period() / 7.0;
             let s = pc.propagate(t, &solver);
             assert!(
-                (s.specific_energy(MU_EARTH) - expected_energy).abs() < 1e-8 * expected_energy.abs(),
+                (s.specific_energy(MU_EARTH) - expected_energy).abs()
+                    < 1e-8 * expected_energy.abs(),
                 "energy drift at t = {t}"
             );
             assert!(
@@ -313,8 +316,9 @@ mod tests {
 
     #[test]
     fn memory_accounting_is_linear() {
-        let els: Vec<KeplerElements> =
-            (0..10).map(|_| elements(7e3, 0.0, 0.0, 0.0, 0.0, 0.0)).collect();
+        let els: Vec<KeplerElements> = (0..10)
+            .map(|_| elements(7e3, 0.0, 0.0, 0.0, 0.0, 0.0))
+            .collect();
         let batch = BatchPropagator::new(&els);
         assert_eq!(batch.len(), 10);
         assert_eq!(

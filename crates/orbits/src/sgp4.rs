@@ -17,8 +17,8 @@
 //! Validation: the test suite cross-checks positions and velocities
 //! against the field-tested `sgp4` crate (test-only oracle, DESIGN.md §6).
 
-use kessler_math::Vec3;
 use crate::state::CartesianState;
+use kessler_math::Vec3;
 
 // WGS-72 constants (the SGP4 standard set).
 /// Earth radius, km.
@@ -184,7 +184,11 @@ impl Sgp4 {
         // Perigee-dependent atmosphere boundary.
         let perigee_km = (aodp * (1.0 - e0) - 1.0) * XKMPER;
         let (s4, qoms24) = if perigee_km < 156.0 {
-            let s4 = if perigee_km < 98.0 { 20.0 } else { perigee_km - 78.0 };
+            let s4 = if perigee_km < 98.0 {
+                20.0
+            } else {
+                perigee_km - 78.0
+            };
             let qoms24 = ((120.0 - s4) / XKMPER).powi(4);
             (s4 / XKMPER + 1.0, qoms24)
         } else {
@@ -202,9 +206,7 @@ impl Sgp4 {
         let c2 = coef1
             * xnodp
             * (aodp * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq))
-                + 0.75 * CK2 * tsi / psisq
-                    * x3thm1
-                    * (8.0 + 3.0 * etasq * (8.0 + etasq)));
+                + 0.75 * CK2 * tsi / psisq * x3thm1 * (8.0 + 3.0 * etasq * (8.0 + etasq)));
         let c1 = el.bstar * c2;
         let a3ovk2 = -J3 / CK2;
         let c3 = if e0 > 1.0e-4 {
@@ -240,8 +242,7 @@ impl Sgp4 {
             + temp3 * (3.0 - 36.0 * theta2 + 49.0 * theta4);
         let xhdot1 = -temp1 * cosio;
         let xnodot = xhdot1
-            + (0.5 * temp2 * (4.0 - 19.0 * theta2) + 2.0 * temp3 * (3.0 - 7.0 * theta2))
-                * cosio;
+            + (0.5 * temp2 * (4.0 - 19.0 * theta2) + 2.0 * temp3 * (3.0 - 7.0 * theta2)) * cosio;
         let omgcof = el.bstar * c3 * el.arg_perigee.cos();
         let xmcof = if e0 > 1.0e-4 {
             -2.0 / 3.0 * coef * el.bstar / eeta
@@ -268,11 +269,8 @@ impl Sgp4 {
             let d4 = 0.5 * temp * aodp * tsi * (221.0 * aodp + 31.0 * s4) * c1;
             let t3cof = d2 + 2.0 * c1sq;
             let t4cof = 0.25 * (3.0 * d3 + c1 * (12.0 * d2 + 10.0 * c1sq));
-            let t5cof = 0.2
-                * (3.0 * d4
-                    + 12.0 * c1 * d3
-                    + 6.0 * d2 * d2
-                    + 15.0 * c1sq * (2.0 * d2 + c1sq));
+            let t5cof =
+                0.2 * (3.0 * d4 + 12.0 * c1 * d3 + 6.0 * d2 * d2 + 15.0 * c1sq * (2.0 * d2 + c1sq));
             (d2, d3, d4, t3cof, t4cof, t5cof)
         };
 
@@ -413,8 +411,7 @@ impl Sgp4 {
         let temp2 = temp1 * temp;
 
         // --- Short-period periodics. ---
-        let rk = r * (1.0 - 1.5 * temp2 * betal * self.x3thm1)
-            + 0.5 * temp1 * self.x1mth2 * cos2u;
+        let rk = r * (1.0 - 1.5 * temp2 * betal * self.x3thm1) + 0.5 * temp1 * self.x1mth2 * cos2u;
         let uk = u - 0.25 * temp2 * self.x7thm1 * sin2u;
         let xnodek = xnode + 1.5 * temp2 * self.cosio * sin2u;
         let xinck = self.i0 + 1.5 * temp2 * self.cosio * self.sinio * cos2u;
@@ -469,19 +466,15 @@ mod tests {
 
     /// Oracle comparison: our SGP4 vs the field-tested `sgp4` crate.
     fn compare_with_oracle(name: &str, line1: &str, line2: &str, times_min: &[f64], tol_km: f64) {
-        let oracle_elements = sgp4::Elements::from_tle(
-            Some(name.to_string()),
-            line1.as_bytes(),
-            line2.as_bytes(),
-        )
-        .expect("oracle parses the TLE");
+        let oracle_elements =
+            sgp4::Elements::from_tle(Some(name.to_string()), line1.as_bytes(), line2.as_bytes())
+                .expect("oracle parses the TLE");
         // AFSPC-compatibility mode: the operational constant set our
         // implementation (and the official SGP4 verification baseline)
         // uses; the crate's default mode applies Vallado's "improved"
         // tweaks, which differ by tens of metres.
-        let oracle =
-            sgp4::Constants::from_elements_afspc_compatibility_mode(&oracle_elements)
-                .expect("oracle initialises");
+        let oracle = sgp4::Constants::from_elements_afspc_compatibility_mode(&oracle_elements)
+            .expect("oracle initialises");
 
         let mean = parse_tle_for_tests(line1, line2);
         let ours = Sgp4::new(&mean).expect("our SGP4 initialises");
@@ -515,16 +508,12 @@ mod tests {
         }
     }
 
-    const ISS_L1: &str =
-        "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
-    const ISS_L2: &str =
-        "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+    const ISS_L1: &str = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+    const ISS_L2: &str = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
 
     // A Starlink-class TLE (synthetic but format-valid; checksum computed).
-    const SL_L1: &str =
-        "1 44238U 19029D   21060.50000000  .00001000  00000-0  70000-4 0  9998";
-    const SL_L2: &str =
-        "2 44238  52.9970 150.0000 0001500  90.0000 270.0000 15.05600000100003";
+    const SL_L1: &str = "1 44238U 19029D   21060.50000000  .00001000  00000-0  70000-4 0  9998";
+    const SL_L2: &str = "2 44238  52.9970 150.0000 0001500  90.0000 270.0000 15.05600000100003";
 
     #[test]
     fn matches_the_oracle_on_the_iss() {
@@ -571,10 +560,7 @@ mod tests {
             mean_anomaly: 3.0,
             bstar: 0.0,
         };
-        assert!(matches!(
-            Sgp4::new(&mean),
-            Err(Sgp4Error::DeepSpace { .. })
-        ));
+        assert!(matches!(Sgp4::new(&mean), Err(Sgp4Error::DeepSpace { .. })));
     }
 
     #[test]

@@ -106,7 +106,10 @@ mod tests {
             assert!(sma > R_EARTH, "a = {sma}");
             assert!((0.0..1.0).contains(&e), "e = {e}");
             // Perigee above dense atmosphere (≥ ~180 km) for active sats.
-            assert!(sma * (1.0 - e) > R_EARTH + 150.0, "perigee too low: a={sma}, e={e}");
+            assert!(
+                sma * (1.0 - e) > R_EARTH + 150.0,
+                "perigee too low: a={sma}, e={e}"
+            );
         }
     }
 }

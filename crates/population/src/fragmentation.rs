@@ -39,7 +39,11 @@ pub struct Fragmentation {
 
 impl Default for Fragmentation {
     fn default() -> Self {
-        Fragmentation { fragments: 1_000, delta_v_sigma: 0.05, seed: 0xDEB1 }
+        Fragmentation {
+            fragments: 1_000,
+            delta_v_sigma: 0.05,
+            seed: 0xDEB1,
+        }
     }
 }
 
@@ -172,8 +176,7 @@ mod tests {
 
     fn parent_state() -> CartesianState {
         // Circular 800 km orbit in a 60°-inclined plane.
-        let el =
-            KeplerElements::new(7_178.0, 0.0005, 1.05, 0.7, 1.3, 2.0).unwrap();
+        let el = KeplerElements::new(7_178.0, 0.0005, 1.05, 0.7, 1.3, 2.0).unwrap();
         PropagationConstants::from_elements(&el).propagate(0.0, &ContourSolver::default())
     }
 
@@ -186,12 +189,24 @@ mod tests {
             (26_600.0, 0.7, 1.1, 3.2, 4.9, 0.1),
         ] {
             let el = KeplerElements::new(a, e, i, raan, argp, m0).unwrap();
-            let state = PropagationConstants::from_elements(&el)
-                .propagate(0.0, &ContourSolver::default());
+            let state =
+                PropagationConstants::from_elements(&el).propagate(0.0, &ContourSolver::default());
             let back = elements_from_state(&state).unwrap();
-            assert!((back.semi_major_axis - a).abs() < 1e-5 * a, "a: {}", back.semi_major_axis);
-            assert!((back.eccentricity - e).abs() < 1e-7, "e: {}", back.eccentricity);
-            assert!((back.inclination - i).abs() < 1e-9, "i: {}", back.inclination);
+            assert!(
+                (back.semi_major_axis - a).abs() < 1e-5 * a,
+                "a: {}",
+                back.semi_major_axis
+            );
+            assert!(
+                (back.eccentricity - e).abs() < 1e-7,
+                "e: {}",
+                back.eccentricity
+            );
+            assert!(
+                (back.inclination - i).abs() < 1e-9,
+                "i: {}",
+                back.inclination
+            );
             assert!(
                 kessler_math::angles::separation(back.raan, raan) < 1e-8,
                 "raan: {}",
@@ -225,19 +240,31 @@ mod tests {
 
     #[test]
     fn cloud_has_requested_size_and_similar_orbits() {
-        let f = Fragmentation { fragments: 500, delta_v_sigma: 0.05, seed: 1 };
+        let f = Fragmentation {
+            fragments: 500,
+            delta_v_sigma: 0.05,
+            seed: 1,
+        };
         let parent = parent_state();
         let cloud = f.generate_from_state(parent);
         assert_eq!(cloud.len(), 500);
         // Small kicks → semi-major axes stay near the parent's.
         for el in &cloud {
-            assert!((el.semi_major_axis - 7_178.0).abs() < 600.0, "a = {}", el.semi_major_axis);
+            assert!(
+                (el.semi_major_axis - 7_178.0).abs() < 600.0,
+                "a = {}",
+                el.semi_major_axis
+            );
         }
     }
 
     #[test]
     fn cloud_positions_start_at_the_breakup_point() {
-        let f = Fragmentation { fragments: 100, delta_v_sigma: 0.03, seed: 2 };
+        let f = Fragmentation {
+            fragments: 100,
+            delta_v_sigma: 0.03,
+            seed: 2,
+        };
         let parent = parent_state();
         let cloud = f.generate_from_state(parent);
         let solver = ContourSolver::default();
@@ -253,7 +280,11 @@ mod tests {
 
     #[test]
     fn cloud_disperses_over_time() {
-        let f = Fragmentation { fragments: 200, delta_v_sigma: 0.05, seed: 3 };
+        let f = Fragmentation {
+            fragments: 200,
+            delta_v_sigma: 0.05,
+            seed: 3,
+        };
         let parent = parent_state();
         let cloud = f.generate_from_state(parent);
         let solver = ContourSolver::default();
@@ -262,8 +293,8 @@ mod tests {
                 .iter()
                 .map(|el| PropagationConstants::from_elements(el).position(t, &solver))
                 .collect();
-            let centroid = positions.iter().fold(Vec3::ZERO, |acc, &p| acc + p)
-                / positions.len() as f64;
+            let centroid =
+                positions.iter().fold(Vec3::ZERO, |acc, &p| acc + p) / positions.len() as f64;
             positions.iter().map(|p| p.dist(centroid)).sum::<f64>() / positions.len() as f64
         };
         let early = spread_at(60.0);
@@ -277,10 +308,18 @@ mod tests {
     #[test]
     fn cloud_is_deterministic_per_seed() {
         let parent = parent_state();
-        let a = Fragmentation { fragments: 50, delta_v_sigma: 0.05, seed: 9 }
-            .generate_from_state(parent);
-        let b = Fragmentation { fragments: 50, delta_v_sigma: 0.05, seed: 9 }
-            .generate_from_state(parent);
+        let a = Fragmentation {
+            fragments: 50,
+            delta_v_sigma: 0.05,
+            seed: 9,
+        }
+        .generate_from_state(parent);
+        let b = Fragmentation {
+            fragments: 50,
+            delta_v_sigma: 0.05,
+            seed: 9,
+        }
+        .generate_from_state(parent);
         assert_eq!(a, b);
         let _ = TAU;
     }

@@ -47,7 +47,10 @@ pub struct PopulationConfig {
 
 impl Default for PopulationConfig {
     fn default() -> Self {
-        PopulationConfig { seed: 0x5EED_CAFE, min_perigee_altitude_km: 180.0 }
+        PopulationConfig {
+            seed: 0x5EED_CAFE,
+            min_perigee_altitude_km: 180.0,
+        }
     }
 }
 
@@ -81,7 +84,10 @@ impl PopulationGenerator {
         anchors: Vec<(f64, f64)>,
         config: PopulationConfig,
     ) -> Option<PopulationGenerator> {
-        Some(PopulationGenerator { kde: Kde2d::from_anchors(anchors)?, config })
+        Some(PopulationGenerator {
+            kde: Kde2d::from_anchors(anchors)?,
+            config,
+        })
     }
 
     /// Density of the underlying KDE (used by the Fig. 9 experiment).
@@ -130,7 +136,11 @@ mod tests {
     use super::*;
 
     fn gen(n: usize, seed: u64) -> Vec<KeplerElements> {
-        PopulationGenerator::new(PopulationConfig { seed, ..Default::default() }).generate(n)
+        PopulationGenerator::new(PopulationConfig {
+            seed,
+            ..Default::default()
+        })
+        .generate(n)
     }
 
     #[test]
@@ -163,7 +173,10 @@ mod tests {
 
     #[test]
     fn perigee_floor_is_enforced() {
-        let config = PopulationConfig { seed: 3, min_perigee_altitude_km: 300.0 };
+        let config = PopulationConfig {
+            seed: 3,
+            min_perigee_altitude_km: 300.0,
+        };
         for el in PopulationGenerator::new(config).generate(1_000) {
             assert!(
                 el.perigee_radius() >= R_EARTH + 300.0 - 1e-9,
@@ -180,9 +193,7 @@ mod tests {
         let pop = gen(5_000, 11);
         let hotspot = pop
             .iter()
-            .filter(|el| {
-                (6_600.0..7_800.0).contains(&el.semi_major_axis) && el.eccentricity < 0.05
-            })
+            .filter(|el| (6_600.0..7_800.0).contains(&el.semi_major_axis) && el.eccentricity < 0.05)
             .count();
         assert!(
             hotspot as f64 > 0.7 * pop.len() as f64,
@@ -207,10 +218,7 @@ mod tests {
             bins[((el.raan / TAU) * 8.0) as usize % 8] += 1;
         }
         for (i, &b) in bins.iter().enumerate() {
-            assert!(
-                (800..1_200).contains(&b),
-                "raan bin {i} holds {b} of 8000"
-            );
+            assert!((800..1_200).contains(&b), "raan bin {i} holds {b} of 8000");
         }
     }
 

@@ -75,12 +75,18 @@ fn field(line: &str, range: std::ops::Range<usize>) -> &str {
     line.get(range).unwrap_or("").trim()
 }
 
-fn parse_f64(line: &str, range: std::ops::Range<usize>, lineno: usize, name: &'static str)
-    -> Result<f64, TleError>
-{
+fn parse_f64(
+    line: &str,
+    range: std::ops::Range<usize>,
+    lineno: usize,
+    name: &'static str,
+) -> Result<f64, TleError> {
     field(line, range)
         .parse::<f64>()
-        .map_err(|_| TleError::BadField { line: lineno, field: name })
+        .map_err(|_| TleError::BadField {
+            line: lineno,
+            field: name,
+        })
 }
 
 /// Parse one TLE from its two lines (optionally preceded by a name line).
@@ -104,12 +110,22 @@ pub fn parse_tle(name: Option<&str>, line1: &str, line2: &str) -> Result<TleReco
 
     let catalog_number = field(line1, 2..7)
         .parse::<u32>()
-        .map_err(|_| TleError::BadField { line: 1, field: "catalog number" })?;
+        .map_err(|_| TleError::BadField {
+            line: 1,
+            field: "catalog number",
+        })?;
     let epoch_yy = field(line1, 18..20)
         .parse::<u16>()
-        .map_err(|_| TleError::BadField { line: 1, field: "epoch year" })?;
+        .map_err(|_| TleError::BadField {
+            line: 1,
+            field: "epoch year",
+        })?;
     // TLE convention: 57–99 → 1957–1999, 00–56 → 2000–2056.
-    let epoch_year = if epoch_yy >= 57 { 1900 + epoch_yy } else { 2000 + epoch_yy };
+    let epoch_year = if epoch_yy >= 57 {
+        1900 + epoch_yy
+    } else {
+        2000 + epoch_yy
+    };
     let epoch_day = parse_f64(line1, 20..32, 1, "epoch day")?;
 
     let inclination_deg = parse_f64(line2, 8..16, 2, "inclination")?;
@@ -117,7 +133,10 @@ pub fn parse_tle(name: Option<&str>, line1: &str, line2: &str) -> Result<TleReco
     let ecc_str = field(line2, 26..33);
     let eccentricity = format!("0.{ecc_str}")
         .parse::<f64>()
-        .map_err(|_| TleError::BadField { line: 2, field: "eccentricity" })?;
+        .map_err(|_| TleError::BadField {
+            line: 2,
+            field: "eccentricity",
+        })?;
     let argp_deg = parse_f64(line2, 34..42, 2, "argument of perigee")?;
     let mean_anomaly_deg = parse_f64(line2, 43..51, 2, "mean anomaly")?;
     let mean_motion_rev_per_day = parse_f64(line2, 52..63, 2, "mean motion")?;
@@ -125,7 +144,10 @@ pub fn parse_tle(name: Option<&str>, line1: &str, line2: &str) -> Result<TleReco
     // Semi-major axis from mean motion: n = √(μ/a³).
     let n_rad_per_sec = mean_motion_rev_per_day * std::f64::consts::TAU / 86_400.0;
     if n_rad_per_sec <= 0.0 {
-        return Err(TleError::BadField { line: 2, field: "mean motion" });
+        return Err(TleError::BadField {
+            line: 2,
+            field: "mean motion",
+        });
     }
     let semi_major_axis = (MU_EARTH / (n_rad_per_sec * n_rad_per_sec)).cbrt();
 
@@ -169,12 +191,8 @@ pub fn osculating_elements(record: &TleRecord) -> KeplerElements {
         mean_anomaly: record.elements.mean_anomaly,
         bstar: 0.0,
     };
-    match kessler_orbits::sgp4::Sgp4::new(&mean)
-        .and_then(|prop| prop.propagate(0.0))
-    {
-        Ok(state) => {
-            crate::fragmentation::elements_from_state(&state).unwrap_or(record.elements)
-        }
+    match kessler_orbits::sgp4::Sgp4::new(&mean).and_then(|prop| prop.propagate(0.0)) {
+        Ok(state) => crate::fragmentation::elements_from_state(&state).unwrap_or(record.elements),
         Err(_) => record.elements,
     }
 }
@@ -222,10 +240,8 @@ mod tests {
     use super::*;
 
     // The canonical ISS TLE example (from the NORAD format spec).
-    const ISS_L1: &str =
-        "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
-    const ISS_L2: &str =
-        "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+    const ISS_L1: &str = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+    const ISS_L2: &str = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
 
     #[test]
     fn checksum_of_reference_lines() {
@@ -331,8 +347,8 @@ mod tests {
             .unwrap()
             .propagate(0.0)
             .unwrap();
-        let two_body = PropagationConstants::from_elements(&osc)
-            .propagate(0.0, &ContourSolver::default());
+        let two_body =
+            PropagationConstants::from_elements(&osc).propagate(0.0, &ContourSolver::default());
         assert!(
             two_body.position.dist(sgp4_state.position) < 1e-6,
             "osculating elements must reproduce the SGP4 epoch state"

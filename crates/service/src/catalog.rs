@@ -1,0 +1,284 @@
+//! Epoch-versioned incremental catalog.
+//!
+//! The screeners operate on a dense `&[KeplerElements]` slice whose indices
+//! double as satellite ids. An operational catalog instead speaks stable
+//! external ids (NORAD numbers, mission ids) and changes continuously. This
+//! store bridges the two: external ids map to dense indices, removals use
+//! `swap_remove` to keep the slice dense, and every mutation bumps a
+//! monotonic epoch recorded per satellite — which is what delta screening
+//! uses to know how stale its maintained conjunction set is.
+
+use kessler_math::angles::wrap_tau;
+use kessler_orbits::KeplerElements;
+use std::collections::HashMap;
+
+/// Catalog mutation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogError {
+    /// `add` of an external id that is already present.
+    DuplicateId(u64),
+    /// `update`/`remove` of an external id that is not present.
+    UnknownId(u64),
+    /// The dense index space is exhausted (the candidate-pair keys pack
+    /// satellite ids into 21 bits).
+    Full,
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::DuplicateId(id) => write!(f, "satellite id {id} already exists"),
+            CatalogError::UnknownId(id) => write!(f, "no satellite with id {id}"),
+            CatalogError::Full => write!(f, "catalog is full (21-bit dense index space)"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// What a `remove` did. `swap_remove` moves the last satellite into the
+/// vacated dense slot; delta screening must invalidate pairs of both the
+/// removed and the moved satellite and re-screen the mover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Removal {
+    /// Dense index the removed satellite occupied (now holding the moved
+    /// satellite, unless it was the last slot).
+    pub removed_index: u32,
+    /// Former dense index of the satellite moved into `removed_index`
+    /// (`None` when the removed satellite was the last slot).
+    pub moved_from: Option<u32>,
+}
+
+/// Incremental satellite catalog: stable ids ↔ dense indices, per-satellite
+/// generation counters, monotonic epoch.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    epoch: u64,
+    ids: Vec<u64>,
+    elements: Vec<KeplerElements>,
+    generations: Vec<u64>,
+    index_of: HashMap<u64, u32>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Number of satellites.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Monotonic mutation counter; bumps on every add/update/remove and on
+    /// `advance_all`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The dense element slice the screeners consume. Indices are dense
+    /// ids; conjunction records refer to them.
+    pub fn elements(&self) -> &[KeplerElements] {
+        &self.elements
+    }
+
+    /// External ids by dense index.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.index_of.contains_key(&id)
+    }
+
+    /// Dense index of an external id.
+    pub fn index_of(&self, id: u64) -> Option<u32> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// External id at a dense index.
+    pub fn id_at(&self, index: u32) -> Option<u64> {
+        self.ids.get(index as usize).copied()
+    }
+
+    pub fn elements_at(&self, index: u32) -> Option<&KeplerElements> {
+        self.elements.get(index as usize)
+    }
+
+    /// Epoch at which the satellite at `index` last changed.
+    pub fn generation_at(&self, index: u32) -> Option<u64> {
+        self.generations.get(index as usize).copied()
+    }
+
+    /// Insert a new satellite; returns its dense index.
+    pub fn add(&mut self, id: u64, elements: KeplerElements) -> Result<u32, CatalogError> {
+        if self.index_of.contains_key(&id) {
+            return Err(CatalogError::DuplicateId(id));
+        }
+        if self.ids.len() as u32 >= kessler_grid::pairset::MAX_ID {
+            return Err(CatalogError::Full);
+        }
+        let index = self.ids.len() as u32;
+        self.epoch += 1;
+        self.ids.push(id);
+        self.elements.push(elements);
+        self.generations.push(self.epoch);
+        self.index_of.insert(id, index);
+        Ok(index)
+    }
+
+    /// Replace the elements of an existing satellite; returns its dense
+    /// index.
+    pub fn update(&mut self, id: u64, elements: KeplerElements) -> Result<u32, CatalogError> {
+        let index = *self.index_of.get(&id).ok_or(CatalogError::UnknownId(id))?;
+        self.epoch += 1;
+        self.elements[index as usize] = elements;
+        self.generations[index as usize] = self.epoch;
+        Ok(index)
+    }
+
+    /// Add or update, whichever applies; returns the dense index.
+    pub fn upsert(&mut self, id: u64, elements: KeplerElements) -> Result<u32, CatalogError> {
+        if self.contains(id) {
+            self.update(id, elements)
+        } else {
+            self.add(id, elements)
+        }
+    }
+
+    /// Remove a satellite with `swap_remove` semantics.
+    pub fn remove(&mut self, id: u64) -> Result<Removal, CatalogError> {
+        let index = *self.index_of.get(&id).ok_or(CatalogError::UnknownId(id))?;
+        let last = (self.ids.len() - 1) as u32;
+        self.epoch += 1;
+        self.index_of.remove(&id);
+        self.ids.swap_remove(index as usize);
+        self.elements.swap_remove(index as usize);
+        self.generations.swap_remove(index as usize);
+        if index != last {
+            let moved_id = self.ids[index as usize];
+            self.index_of.insert(moved_id, index);
+            self.generations[index as usize] = self.epoch;
+            Ok(Removal {
+                removed_index: index,
+                moved_from: Some(last),
+            })
+        } else {
+            Ok(Removal {
+                removed_index: index,
+                moved_from: None,
+            })
+        }
+    }
+
+    /// Shift every satellite's epoch forward by `dt` seconds: mean anomaly
+    /// advances by `n·dt` (exact under two-body propagation), all other
+    /// elements are unchanged. Used by the sliding-window scheduler; this
+    /// is a uniform re-epoching, so per-satellite generations stay put.
+    pub fn advance_all(&mut self, dt: f64) {
+        self.epoch += 1;
+        for el in &mut self.elements {
+            el.mean_anomaly = wrap_tau(el.mean_anomaly_at(dt));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(a: f64) -> KeplerElements {
+        KeplerElements::new(a, 0.001, 0.5, 1.0, 0.3, 0.2).unwrap()
+    }
+
+    #[test]
+    fn add_update_lookup_roundtrip() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        let i0 = cat.add(100, el(7_000.0)).unwrap();
+        let i1 = cat.add(200, el(7_100.0)).unwrap();
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.index_of(200), Some(1));
+        assert_eq!(cat.id_at(1), Some(200));
+        assert_eq!(cat.elements()[0].semi_major_axis, 7_000.0);
+
+        let g_before = cat.generation_at(0).unwrap();
+        cat.update(100, el(7_050.0)).unwrap();
+        assert_eq!(cat.elements()[0].semi_major_axis, 7_050.0);
+        assert!(cat.generation_at(0).unwrap() > g_before);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_error() {
+        let mut cat = Catalog::new();
+        cat.add(1, el(7_000.0)).unwrap();
+        assert_eq!(cat.add(1, el(7_000.0)), Err(CatalogError::DuplicateId(1)));
+        assert_eq!(cat.update(2, el(7_000.0)), Err(CatalogError::UnknownId(2)));
+        assert_eq!(cat.remove(2), Err(CatalogError::UnknownId(2)));
+    }
+
+    #[test]
+    fn remove_swaps_last_into_hole() {
+        let mut cat = Catalog::new();
+        for (i, id) in [10u64, 20, 30, 40].iter().enumerate() {
+            cat.add(*id, el(7_000.0 + i as f64)).unwrap();
+        }
+        let removal = cat.remove(20).unwrap();
+        assert_eq!(removal.removed_index, 1);
+        assert_eq!(removal.moved_from, Some(3));
+        assert_eq!(cat.len(), 3);
+        // 40 moved into slot 1.
+        assert_eq!(cat.id_at(1), Some(40));
+        assert_eq!(cat.index_of(40), Some(1));
+        assert_eq!(cat.elements()[1].semi_major_axis, 7_003.0);
+        assert!(!cat.contains(20));
+
+        // Removing the last slot moves nothing.
+        let removal = cat.remove(30).unwrap();
+        assert_eq!(removal.removed_index, 2);
+        assert_eq!(removal.moved_from, None);
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let mut cat = Catalog::new();
+        let mut last = cat.epoch();
+        cat.add(1, el(7_000.0)).unwrap();
+        assert!(cat.epoch() > last);
+        last = cat.epoch();
+        cat.update(1, el(7_001.0)).unwrap();
+        assert!(cat.epoch() > last);
+        last = cat.epoch();
+        cat.remove(1).unwrap();
+        assert!(cat.epoch() > last);
+    }
+
+    #[test]
+    fn upsert_adds_then_updates() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.upsert(5, el(7_000.0)).unwrap(), 0);
+        assert_eq!(cat.upsert(5, el(7_010.0)).unwrap(), 0);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.elements()[0].semi_major_axis, 7_010.0);
+    }
+
+    #[test]
+    fn advance_all_shifts_mean_anomaly_only() {
+        let mut cat = Catalog::new();
+        cat.add(1, el(7_000.0)).unwrap();
+        let before = cat.elements()[0];
+        let dt = 100.0;
+        cat.advance_all(dt);
+        let after = cat.elements()[0];
+        assert_eq!(after.semi_major_axis, before.semi_major_axis);
+        assert_eq!(after.raan, before.raan);
+        let expected = wrap_tau(before.mean_anomaly + before.mean_motion() * dt);
+        assert!((after.mean_anomaly - expected).abs() < 1e-12);
+    }
+}

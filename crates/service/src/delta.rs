@@ -1,0 +1,528 @@
+//! Delta re-screening over grid neighbourhoods.
+//!
+//! A full grid screen visits every occupied cell. But when only `k` of `n`
+//! satellites changed since the last screen, the candidate pairs that can
+//! have changed are exactly those involving a changed satellite — and the
+//! spatial grid answers "who is near satellite `c` at step `s`?" with one
+//! cell lookup plus its 26 neighbours (§III-A). The engine therefore keeps
+//! the maintained conjunction set warm and, per delta, rebuilds the grid
+//! per step (O(n) inserts, the same cost the full screen pays) but extracts
+//! candidates only from the changed satellites' neighbourhoods — O(k ·
+//! occupancy) instead of O(occupied cells · occupancy), and refines only
+//! pairs involving changed satellites.
+//!
+//! Correctness invariant (checked by `tests/delta_correctness.rs`): a delta
+//! screen after `k` element updates produces *exactly* the conjunction set
+//! of a cold full re-screen. This holds because (1) adjacency is symmetric
+//! — a pair's candidate entries exist iff the two satellites share a cell
+//! or neighbouring cells, which only depends on their own positions; (2)
+//! pairs with neither satellite changed keep identical entries and
+//! therefore identical refined conjunctions; (3) refinement and TCA dedup
+//! are deterministic functions of (pair, steps, config).
+
+use crate::catalog::Removal;
+use kessler_core::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
+use kessler_core::refine::{grid_refine_interval, refine_pair};
+use kessler_core::timing::{PhaseTimer, PhaseTimings};
+use kessler_core::{GridScreener, MemoryModel, Screener, ScreeningConfig, Variant};
+use kessler_grid::cellkey::cell_key_of;
+use kessler_grid::neighbor::FULL_NEIGHBORHOOD;
+use kessler_grid::pairset::CandidatePair;
+use kessler_grid::SpatialGrid;
+use kessler_math::Vec3;
+use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
+use rayon::prelude::*;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
+
+/// Variant label delta reports carry.
+pub const DELTA_VARIANT: &str = "grid-delta";
+
+/// Result of a sliding-window advance (see [`DeltaEngine::advance_window`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceOutcome {
+    /// Conjunctions whose TCA slid out of the window.
+    pub retired: usize,
+    /// New conjunctions discovered in the freshly exposed tail.
+    pub discovered: usize,
+}
+
+/// A conjunction-screening engine that stays warm between requests.
+pub struct DeltaEngine {
+    config: ScreeningConfig,
+    solver: ContourSolver,
+    /// Maintained conjunction set, grouped by satellite pair. TCAs are
+    /// seconds past the *current* element epoch (window-relative).
+    pairs: HashMap<(u32, u32), Vec<Conjunction>>,
+    /// Population size of the last adopted screen; `None` while cold.
+    screened_n: Option<usize>,
+    full_screens: u64,
+    delta_screens: u64,
+    last_timings: PhaseTimings,
+}
+
+impl DeltaEngine {
+    pub fn new(config: ScreeningConfig) -> Result<DeltaEngine, String> {
+        config.validate()?;
+        Ok(DeltaEngine {
+            config,
+            solver: ContourSolver::default(),
+            pairs: HashMap::new(),
+            screened_n: None,
+            full_screens: 0,
+            delta_screens: 0,
+            last_timings: PhaseTimings::default(),
+        })
+    }
+
+    pub fn config(&self) -> &ScreeningConfig {
+        &self.config
+    }
+
+    /// `true` once a full screen has populated the maintained set.
+    pub fn is_warm(&self) -> bool {
+        self.screened_n.is_some()
+    }
+
+    pub fn full_screens(&self) -> u64 {
+        self.full_screens
+    }
+
+    pub fn delta_screens(&self) -> u64 {
+        self.delta_screens
+    }
+
+    /// Timings of the most recent screen (full or delta).
+    pub fn last_timings(&self) -> &PhaseTimings {
+        &self.last_timings
+    }
+
+    /// Number of maintained conjunctions.
+    pub fn conjunction_count(&self) -> usize {
+        self.pairs.values().map(Vec::len).sum()
+    }
+
+    /// The maintained conjunction set, sorted by pair then TCA.
+    pub fn conjunctions(&self) -> Vec<Conjunction> {
+        let mut all: Vec<Conjunction> = self.pairs.values().flatten().copied().collect();
+        all.sort_by(|a, b| a.pair().cmp(&b.pair()).then(a.tca.total_cmp(&b.tca)));
+        all
+    }
+
+    /// Cold full screen; adopts the result as the maintained set.
+    pub fn full_screen(&mut self, population: &[KeplerElements]) -> ScreeningReport {
+        let report = GridScreener::new(self.config).screen(population);
+        self.pairs.clear();
+        for c in &report.conjunctions {
+            self.pairs.entry(c.pair()).or_default().push(*c);
+        }
+        self.screened_n = Some(report.n_satellites);
+        self.full_screens += 1;
+        self.last_timings = report.timings;
+        report
+    }
+
+    /// Drop every maintained conjunction involving dense index `index`.
+    pub fn invalidate_index(&mut self, index: u32) {
+        self.pairs.retain(|&(lo, hi), _| lo != index && hi != index);
+    }
+
+    /// Account for a catalog `swap_remove`: pairs of the removed satellite
+    /// are gone, pairs keyed under the mover's old index are stale, and the
+    /// caller must mark `removal.removed_index` as changed when a satellite
+    /// actually moved into the hole.
+    pub fn apply_removal(&mut self, removal: Removal, new_len: usize) {
+        self.invalidate_index(removal.removed_index);
+        if let Some(moved_from) = removal.moved_from {
+            self.invalidate_index(moved_from);
+        }
+        // Defensive: nothing may reference indices at or past the new end.
+        self.pairs.retain(|&(_, hi), _| (hi as usize) < new_len);
+        if self.screened_n.is_some() {
+            self.screened_n = Some(new_len);
+        }
+    }
+
+    /// Re-screen only the neighbourhoods of `changed` satellites and merge
+    /// into the maintained set. `population` is the complete current
+    /// element slice; `changed` lists every dense index whose elements
+    /// differ from the last adopted screen (including newly added
+    /// satellites). Falls back to a full screen while cold.
+    ///
+    /// The returned report's `conjunctions` is the full maintained set —
+    /// directly comparable with a cold full re-screen — while
+    /// `candidate_entries`/`candidate_pairs` count only the delta work.
+    pub fn delta_screen(
+        &mut self,
+        population: &[KeplerElements],
+        changed: &[u32],
+    ) -> ScreeningReport {
+        if self.screened_n.is_none() {
+            return self.full_screen(population);
+        }
+
+        let wall = Instant::now();
+        let mut timings = PhaseTimings::default();
+        let n = population.len();
+        let config = self.config;
+        let planner = MemoryModel::new(Variant::Grid).plan(n, &config);
+
+        // Stale-pair invalidation: every pair involving a changed satellite
+        // is recomputed from scratch below; pairs past the population end
+        // cannot exist.
+        let changed_set: BTreeSet<u32> = changed
+            .iter()
+            .copied()
+            .filter(|&c| (c as usize) < n)
+            .collect();
+        self.pairs.retain(|&(lo, hi), _| {
+            (hi as usize) < n && !changed_set.contains(&lo) && !changed_set.contains(&hi)
+        });
+
+        // Candidate extraction: rebuild the grid per step (same O(n)
+        // insert cost as the full screen) but query only the changed
+        // satellites' 27-cell neighbourhoods.
+        let propagator = BatchPropagator::new(population);
+        let mut entries: HashSet<CandidatePair> = HashSet::new();
+        {
+            let grid = SpatialGrid::new(n, planner.cell_size_km);
+            let mut positions: Vec<Vec3> = vec![Vec3::ZERO; n];
+            for step in 0..planner.total_steps {
+                let t = step as f64 * planner.seconds_per_sample;
+                {
+                    let _timer = PhaseTimer::start(&mut timings.insertion);
+                    propagator.positions_into(t, &mut positions);
+                    if step > 0 {
+                        grid.reset();
+                    }
+                    grid.insert_all(&positions)
+                        .expect("grid sized at 2n slots cannot fill up");
+                }
+                let _timer = PhaseTimer::start(&mut timings.pair_extraction);
+                for &c in &changed_set {
+                    let key = cell_key_of(positions[c as usize], planner.cell_size_km);
+                    if let Some(slot) = grid.lookup_cell(key) {
+                        for m in grid.cell_members(slot) {
+                            if m != c {
+                                entries.insert(CandidatePair::new(c, m, step));
+                            }
+                        }
+                    }
+                    for &(dx, dy, dz) in FULL_NEIGHBORHOOD.iter() {
+                        let Some(neighbor) = key.offset(dx, dy, dz) else {
+                            continue;
+                        };
+                        if let Some(slot) = grid.lookup_cell(neighbor) {
+                            for m in grid.cell_members(slot) {
+                                entries.insert(CandidatePair::new(c, m, step));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Refinement: identical parameters to `GridScreener::screen`, so a
+        // changed pair refines to bit-identical conjunctions.
+        let solver = self.solver;
+        let mut found: Vec<Conjunction>;
+        {
+            let _timer = PhaseTimer::start(&mut timings.refinement);
+            let constants = propagator.constants();
+            let entry_list: Vec<CandidatePair> = entries.iter().copied().collect();
+            found = entry_list
+                .par_iter()
+                .filter_map(|entry| {
+                    let a = &constants[entry.id_lo as usize];
+                    let b = &constants[entry.id_hi as usize];
+                    let t = entry.step as f64 * planner.seconds_per_sample;
+                    let interval = grid_refine_interval(a, b, &solver, t, planner.cell_size_km);
+                    refine_pair(
+                        a,
+                        b,
+                        &solver,
+                        entry.id_lo,
+                        entry.id_hi,
+                        interval,
+                        config.threshold_km,
+                    )
+                })
+                .collect();
+        }
+        found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+        for c in found {
+            self.pairs.entry(c.pair()).or_default().push(c);
+        }
+
+        let candidate_pairs = entries
+            .iter()
+            .map(|e| (e.id_lo, e.id_hi))
+            .collect::<HashSet<_>>()
+            .len();
+        let candidate_entries = entries.len();
+        timings.total = wall.elapsed();
+        self.last_timings = timings;
+        self.delta_screens += 1;
+        self.screened_n = Some(n);
+
+        ScreeningReport {
+            variant: DELTA_VARIANT.to_string(),
+            n_satellites: n,
+            config,
+            conjunctions: self.conjunctions(),
+            candidate_entries,
+            candidate_pairs,
+            pair_set_regrows: 0,
+            timings,
+            planner,
+            filter_stats: None,
+            device_metrics: None,
+        }
+    }
+
+    /// Slide the window forward by `dt` seconds: retire conjunctions whose
+    /// TCA dropped before the new window start, shift the surviving TCAs to
+    /// the new epoch, and screen the freshly exposed tail. `population`
+    /// must already be advanced to the new epoch (`Catalog::advance_all`).
+    pub fn advance_window(
+        &mut self,
+        population: &[KeplerElements],
+        dt: f64,
+    ) -> Result<AdvanceOutcome, String> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(format!("advance dt must be positive and finite, got {dt}"));
+        }
+        if self.screened_n.is_none() {
+            self.full_screen(population);
+            return Ok(AdvanceOutcome {
+                retired: 0,
+                discovered: self.conjunction_count(),
+            });
+        }
+
+        let span = self.config.span_seconds;
+        let overlap = self.config.seconds_per_sample;
+
+        // Retire + shift: TCAs are relative to the element epoch, which
+        // just moved forward by dt.
+        let mut retired = 0usize;
+        for list in self.pairs.values_mut() {
+            let before = list.len();
+            list.retain_mut(|c| {
+                c.tca -= dt;
+                c.tca >= 0.0
+            });
+            retired += before - list.len();
+        }
+        self.pairs.retain(|_, list| !list.is_empty());
+
+        // Screen the newly exposed tail [span − dt − overlap, span]; the
+        // one-sample overlap re-covers the seam so a minimum straddling the
+        // old window end is not lost. Merging dedups re-found seam minima.
+        let tail_offset = (span - dt - overlap).max(0.0);
+        let tail_span = span - tail_offset;
+        let tail_elements: Vec<KeplerElements> = population
+            .iter()
+            .map(|el| {
+                let mut advanced = *el;
+                advanced.mean_anomaly = el.mean_anomaly_at(tail_offset);
+                advanced
+            })
+            .collect();
+        let mut tail_config = self.config;
+        tail_config.span_seconds = tail_span;
+        let report = GridScreener::new(tail_config).screen(&tail_elements);
+
+        let merge_tol = self.config.tca_dedup_tolerance_s.max(overlap);
+        let mut discovered = 0usize;
+        for c in &report.conjunctions {
+            let mut shifted = *c;
+            shifted.tca += tail_offset;
+            let list = self.pairs.entry(shifted.pair()).or_default();
+            match list
+                .iter_mut()
+                .find(|e| (e.tca - shifted.tca).abs() <= merge_tol)
+            {
+                Some(existing) => {
+                    if shifted.pca_km < existing.pca_km {
+                        *existing = shifted;
+                    }
+                }
+                None => {
+                    list.push(shifted);
+                    discovered += 1;
+                }
+            }
+        }
+        self.last_timings = report.timings;
+        Ok(AdvanceOutcome {
+            retired,
+            discovered,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use kessler_population::{PopulationConfig, PopulationGenerator};
+
+    fn population(n: usize, seed: u64) -> Vec<KeplerElements> {
+        PopulationGenerator::new(PopulationConfig {
+            seed,
+            ..Default::default()
+        })
+        .generate(n)
+    }
+
+    fn perturb(el: &KeplerElements, bump: f64) -> KeplerElements {
+        KeplerElements::new(
+            el.semi_major_axis + bump,
+            el.eccentricity,
+            el.inclination,
+            el.raan + 0.01,
+            el.arg_perigee,
+            el.mean_anomaly + 0.2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cold_delta_falls_back_to_full_screen() {
+        let pop = population(50, 7);
+        let config = ScreeningConfig::grid_defaults(5.0, 60.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        assert!(!engine.is_warm());
+        let report = engine.delta_screen(&pop, &[]);
+        assert_eq!(report.variant, "grid");
+        assert!(engine.is_warm());
+        assert_eq!(engine.full_screens(), 1);
+        assert_eq!(engine.delta_screens(), 0);
+    }
+
+    #[test]
+    fn delta_after_updates_matches_cold_screen() {
+        let pop = population(400, 42);
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        engine.full_screen(&pop);
+
+        let mut updated = pop.clone();
+        let changed: Vec<u32> = (0..8).map(|j| j * 41).collect();
+        for &idx in &changed {
+            updated[idx as usize] = perturb(&updated[idx as usize], 1.0);
+        }
+        let delta = engine.delta_screen(&updated, &changed);
+        assert_eq!(delta.variant, DELTA_VARIANT);
+        let cold = GridScreener::new(config).screen(&updated);
+        assert_eq!(delta.pairs_missing_from(&cold), Vec::<(u32, u32)>::new());
+        assert_eq!(cold.pairs_missing_from(&delta), Vec::<(u32, u32)>::new());
+        assert_eq!(delta.conjunction_count(), cold.conjunction_count());
+        for (d, c) in delta.conjunctions.iter().zip(&cold.conjunctions) {
+            assert_eq!(d.pair(), c.pair());
+            assert!((d.tca - c.tca).abs() < 1e-9, "tca {} vs {}", d.tca, c.tca);
+            assert!((d.pca_km - c.pca_km).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_detects_a_newly_created_conjunction() {
+        // Two crossing orbits plus a far bystander; start with the pair
+        // separated in phase, then move satellite 1 into a head-on crossing.
+        let mut pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 3.0).unwrap(),
+            KeplerElements::new(42_164.0, 0.0, 0.1, 1.0, 0.0, 0.0).unwrap(),
+        ];
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        let report = engine.full_screen(&pop);
+        assert_eq!(report.conjunction_count(), 0);
+
+        pop[1] = KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap();
+        let report = engine.delta_screen(&pop, &[1]);
+        assert!(report.conjunction_count() >= 1);
+        assert_eq!(report.conjunctions[0].pair(), (0, 1));
+    }
+
+    #[test]
+    fn delta_invalidates_a_dissolved_conjunction() {
+        let mut pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ];
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        assert!(engine.full_screen(&pop).conjunction_count() >= 1);
+
+        // Phase satellite 1 away from the crossing.
+        pop[1] = KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 3.0).unwrap();
+        let report = engine.delta_screen(&pop, &[1]);
+        assert_eq!(report.conjunction_count(), 0);
+    }
+
+    #[test]
+    fn removal_matches_cold_screen_after_delta() {
+        let pop = population(300, 9);
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut catalog = Catalog::new();
+        for (i, el) in pop.iter().enumerate() {
+            catalog.add(i as u64, *el).unwrap();
+        }
+        let mut engine = DeltaEngine::new(config).unwrap();
+        engine.full_screen(catalog.elements());
+
+        // Remove a satellite from the middle: the last one swaps into its
+        // slot and must be re-screened under its new index.
+        let removal = catalog.remove(17).unwrap();
+        engine.apply_removal(removal, catalog.len());
+        let mut changed = Vec::new();
+        if removal.moved_from.is_some() {
+            changed.push(removal.removed_index);
+        }
+        let delta = engine.delta_screen(catalog.elements(), &changed);
+        let cold = GridScreener::new(config).screen(catalog.elements());
+        assert_eq!(delta.pairs_missing_from(&cold), Vec::<(u32, u32)>::new());
+        assert_eq!(cold.pairs_missing_from(&delta), Vec::<(u32, u32)>::new());
+        assert_eq!(delta.conjunction_count(), cold.conjunction_count());
+    }
+
+    #[test]
+    fn advance_window_retires_and_discovers() {
+        // Crossing pair: conjunctions at every half period (t = 0, T/2, T…).
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ];
+        let period = pop[0].period();
+        let config = ScreeningConfig::grid_defaults(2.0, 0.3 * period);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        let report = engine.full_screen(&pop);
+        assert!(report.conjunction_count() >= 1, "t = 0 crossing in window");
+
+        // Advance past the t = 0 encounter but not yet to T/2.
+        let mut catalog = Catalog::new();
+        catalog.add(0, pop[0]).unwrap();
+        catalog.add(1, pop[1]).unwrap();
+        let dt = 0.4 * period;
+        catalog.advance_all(dt);
+        let outcome = engine.advance_window(catalog.elements(), dt).unwrap();
+        assert!(outcome.retired >= 1, "the t = 0 conjunction must retire");
+        // Window now covers [0.4 T, 0.7 T]: the T/2 encounter is inside.
+        let live = engine.conjunctions();
+        assert!(
+            live.iter()
+                .any(|c| { c.pair() == (0, 1) && (c.tca - (0.5 * period - dt)).abs() < 2.0 }),
+            "T/2 encounter expected in {live:?}"
+        );
+    }
+
+    #[test]
+    fn advance_rejects_bad_dt() {
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        assert!(engine.advance_window(&[], -1.0).is_err());
+        assert!(engine.advance_window(&[], f64::NAN).is_err());
+    }
+}

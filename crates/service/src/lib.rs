@@ -1,0 +1,35 @@
+//! # kessler-service
+//!
+//! A long-running conjunction-screening daemon on top of the batch
+//! screeners in `kessler-core`. Where the core crates answer "screen these
+//! n satellites over `[0, span]` once", this crate answers the operational
+//! question: keep a *changing* catalog screened *continuously*.
+//!
+//! Layers, bottom to top:
+//!
+//! - [`catalog`] — epoch-versioned incremental store: stable external ids
+//!   mapped to the dense indices the screeners consume, `swap_remove`
+//!   removals, per-satellite generation counters.
+//! - [`delta`] — the [`DeltaEngine`]: maintains a warm conjunction set and,
+//!   when k of n satellites change, re-screens only pairs involving changed
+//!   satellites via grid neighbourhood queries — provably equal to a cold
+//!   full re-screen, at a fraction of the cost when k ≪ n.
+//! - [`scheduler`] — [`SlidingWindow`]: slides the screening horizon
+//!   forward, retiring expired conjunctions, carrying live ones, screening
+//!   only the freshly exposed tail.
+//! - [`proto`] / [`server`] — a JSON-lines-over-TCP protocol
+//!   (ADD/UPDATE/REMOVE/SCREEN/DELTA/ADVANCE/STATUS/SHUTDOWN) and a
+//!   thread-per-connection server with a single serialized screening
+//!   worker. Std networking only; `nc` is a valid client.
+
+pub mod catalog;
+pub mod delta;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+
+pub use catalog::{Catalog, CatalogError, Removal};
+pub use delta::{AdvanceOutcome, DeltaEngine, DELTA_VARIANT};
+pub use proto::{ElementsSpec, Request, Response};
+pub use scheduler::SlidingWindow;
+pub use server::{request, Client, Server, ServerHandle, ServiceState};

@@ -1,0 +1,325 @@
+//! JSON-lines wire protocol.
+//!
+//! One JSON object per line in each direction. Requests carry a `"cmd"`
+//! tag; responses always carry `"ok"` plus a command-specific payload
+//! field. Everything rides on `serde_json` and std TCP — no framing
+//! library, no async runtime — so `nc` is a perfectly good client:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7878
+//! {"cmd":"ADD","id":42,"elements":{"a":7000.0,"e":0.001,"incl":0.9,"raan":1.0,"argp":0.3,"mean_anomaly":0.2}}
+//! {"ok":true,"catalog":{"id":42,"index":0,"n_satellites":1,"epoch":1}}
+//! {"cmd":"SCREEN"}
+//! {"ok":true,"screen":{"variant":"grid","n_satellites":1,...}}
+//! ```
+
+use kessler_core::timing::PhaseTimings;
+use kessler_core::{Conjunction, ScreeningReport};
+use kessler_orbits::KeplerElements;
+use serde::{Deserialize, Serialize};
+
+/// How many worst-case (smallest-PCA) conjunctions a screen response
+/// carries inline; the full set stays server-side.
+pub const TOP_CONJUNCTIONS: usize = 16;
+
+/// Orbital elements as they appear on the wire: km and radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElementsSpec {
+    /// Semi-major axis, km.
+    pub a: f64,
+    /// Eccentricity.
+    pub e: f64,
+    /// Inclination, rad.
+    pub incl: f64,
+    /// Right ascension of the ascending node, rad.
+    pub raan: f64,
+    /// Argument of perigee, rad.
+    pub argp: f64,
+    /// Mean anomaly at epoch, rad.
+    pub mean_anomaly: f64,
+}
+
+impl ElementsSpec {
+    /// Validate into proper elements (the server never stores unvalidated
+    /// client input).
+    pub fn into_elements(self) -> Result<KeplerElements, String> {
+        KeplerElements::new(
+            self.a,
+            self.e,
+            self.incl,
+            self.raan,
+            self.argp,
+            self.mean_anomaly,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    pub fn from_elements(el: &KeplerElements) -> ElementsSpec {
+        ElementsSpec {
+            a: el.semi_major_axis,
+            e: el.eccentricity,
+            incl: el.inclination,
+            raan: el.raan,
+            argp: el.arg_perigee,
+            mean_anomaly: el.mean_anomaly,
+        }
+    }
+}
+
+/// Client → server commands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "cmd")]
+pub enum Request {
+    /// Insert a new satellite under a stable external id.
+    #[serde(rename = "ADD")]
+    Add { id: u64, elements: ElementsSpec },
+    /// Replace the elements of an existing satellite.
+    #[serde(rename = "UPDATE")]
+    Update { id: u64, elements: ElementsSpec },
+    /// Remove a satellite.
+    #[serde(rename = "REMOVE")]
+    Remove { id: u64 },
+    /// Cold full screen of the current catalog.
+    #[serde(rename = "SCREEN")]
+    Screen,
+    /// Delta re-screen of satellites changed since the last screen.
+    #[serde(rename = "DELTA")]
+    Delta,
+    /// Slide the screening window forward by `dt` seconds.
+    #[serde(rename = "ADVANCE")]
+    Advance { dt: f64 },
+    /// Service status and last-screen timings.
+    #[serde(rename = "STATUS")]
+    Status,
+    /// Stop the server.
+    #[serde(rename = "SHUTDOWN")]
+    Shutdown,
+}
+
+/// Server → client reply.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Response {
+    pub ok: bool,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub catalog: Option<CatalogAck>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub screen: Option<ScreenSummary>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub advance: Option<AdvanceAck>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub status: Option<StatusInfo>,
+}
+
+impl Response {
+    pub fn ack() -> Response {
+        Response {
+            ok: true,
+            ..Response::default()
+        }
+    }
+
+    pub fn error(message: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            error: Some(message.into()),
+            ..Response::default()
+        }
+    }
+
+    pub fn with_catalog(ack: CatalogAck) -> Response {
+        Response {
+            ok: true,
+            catalog: Some(ack),
+            ..Response::default()
+        }
+    }
+
+    pub fn with_screen(summary: ScreenSummary) -> Response {
+        Response {
+            ok: true,
+            screen: Some(summary),
+            ..Response::default()
+        }
+    }
+
+    pub fn with_advance(ack: AdvanceAck) -> Response {
+        Response {
+            ok: true,
+            advance: Some(ack),
+            ..Response::default()
+        }
+    }
+
+    pub fn with_status(status: StatusInfo) -> Response {
+        Response {
+            ok: true,
+            status: Some(status),
+            ..Response::default()
+        }
+    }
+}
+
+/// Acknowledgement of a catalog mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogAck {
+    /// External id the command addressed.
+    pub id: u64,
+    /// Dense index the satellite occupies (for REMOVE: occupied).
+    pub index: u32,
+    /// Catalog size after the mutation.
+    pub n_satellites: usize,
+    /// Catalog epoch after the mutation.
+    pub epoch: u64,
+}
+
+/// Summary of a SCREEN/DELTA run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScreenSummary {
+    pub variant: String,
+    pub n_satellites: usize,
+    pub candidate_pairs: usize,
+    pub conjunctions: usize,
+    pub colliding_pairs: usize,
+    /// Per-phase wall times, fractional milliseconds on the wire.
+    pub timings: PhaseTimings,
+    /// The up-to-[`TOP_CONJUNCTIONS`] smallest-PCA conjunctions.
+    pub top: Vec<Conjunction>,
+}
+
+impl ScreenSummary {
+    pub fn from_report(report: &ScreeningReport) -> ScreenSummary {
+        let mut top: Vec<Conjunction> = report.conjunctions.clone();
+        top.sort_by(|a, b| a.pca_km.total_cmp(&b.pca_km));
+        top.truncate(TOP_CONJUNCTIONS);
+        ScreenSummary {
+            variant: report.variant.clone(),
+            n_satellites: report.n_satellites,
+            candidate_pairs: report.candidate_pairs,
+            conjunctions: report.conjunction_count(),
+            colliding_pairs: report.colliding_pairs().len(),
+            timings: report.timings,
+            top,
+        }
+    }
+}
+
+/// Acknowledgement of an ADVANCE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdvanceAck {
+    /// Conjunctions that slid out of the window.
+    pub retired: usize,
+    /// New conjunctions discovered in the exposed tail.
+    pub discovered: usize,
+    /// Absolute `(start, end)` of the window after the advance, s.
+    pub window: (f64, f64),
+}
+
+/// STATUS payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusInfo {
+    pub n_satellites: usize,
+    /// Catalog mutation epoch.
+    pub epoch: u64,
+    /// Satellites changed since the last screen (what DELTA would process).
+    pub pending_changes: usize,
+    /// Conjunctions in the maintained set.
+    pub live_conjunctions: usize,
+    pub full_screens: u64,
+    pub delta_screens: u64,
+    /// Requests served since startup (all commands).
+    pub requests_served: u64,
+    pub uptime_ms: f64,
+    /// Absolute `(start, end)` of the current screening window, s.
+    pub window: (f64, f64),
+    /// Variant and per-phase timings of the most recent screen, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub last_screen: Option<LastScreen>,
+}
+
+/// Per-request observability hook: what the previous screen cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LastScreen {
+    pub variant: String,
+    pub timings: PhaseTimings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let spec = ElementsSpec {
+            a: 7_000.0,
+            e: 0.001,
+            incl: 0.9,
+            raan: 1.0,
+            argp: 0.3,
+            mean_anomaly: 0.2,
+        };
+        let requests = vec![
+            Request::Add {
+                id: 42,
+                elements: spec,
+            },
+            Request::Update {
+                id: 42,
+                elements: spec,
+            },
+            Request::Remove { id: 42 },
+            Request::Screen,
+            Request::Delta,
+            Request::Advance { dt: 60.0 },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req, "json: {json}");
+        }
+    }
+
+    #[test]
+    fn request_tag_is_the_command_word() {
+        let json = serde_json::to_string(&Request::Screen).unwrap();
+        assert_eq!(json, r#"{"cmd":"SCREEN"}"#);
+        let req: Request = serde_json::from_str(r#"{"cmd":"ADVANCE","dt":30.0}"#).unwrap();
+        assert_eq!(req, Request::Advance { dt: 30.0 });
+    }
+
+    #[test]
+    fn responses_omit_empty_payloads() {
+        let json = serde_json::to_string(&Response::ack()).unwrap();
+        assert_eq!(json, r#"{"ok":true}"#);
+        let json = serde_json::to_string(&Response::error("nope")).unwrap();
+        assert_eq!(json, r#"{"ok":false,"error":"nope"}"#);
+        let back: Response = serde_json::from_str(r#"{"ok":true}"#).unwrap();
+        assert!(back.ok && back.error.is_none() && back.screen.is_none());
+    }
+
+    #[test]
+    fn elements_spec_validates() {
+        let bad = ElementsSpec {
+            a: -1.0,
+            e: 0.0,
+            incl: 0.0,
+            raan: 0.0,
+            argp: 0.0,
+            mean_anomaly: 0.0,
+        };
+        assert!(bad.into_elements().is_err());
+        let good = ElementsSpec {
+            a: 7_000.0,
+            e: 0.0,
+            incl: 0.0,
+            raan: 0.0,
+            argp: 0.0,
+            mean_anomaly: 0.0,
+        };
+        let el = good.into_elements().unwrap();
+        assert_eq!(ElementsSpec::from_elements(&el), good);
+    }
+}

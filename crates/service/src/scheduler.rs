@@ -1,0 +1,159 @@
+//! Sliding-window screening loop.
+//!
+//! A service does not screen one fixed `[0, span]` interval: operationally
+//! the horizon slides forward with wall time. [`SlidingWindow`] keeps a
+//! [`DeltaEngine`] warm over a window of fixed length, and on each advance
+//! retires conjunctions that slid out of the window, carries live ones
+//! forward, and screens only the freshly exposed tail — O(tail) work
+//! instead of a full-window re-screen.
+//!
+//! Elements are kept at the *original* epoch and re-propagated to each new
+//! window start through the exact two-body mean-anomaly advance, so
+//! repeated advances accumulate no numerical drift.
+
+use crate::delta::{AdvanceOutcome, DeltaEngine};
+use kessler_core::{Conjunction, ScreeningConfig};
+use kessler_orbits::KeplerElements;
+
+/// A screening window of fixed length sliding over absolute time.
+pub struct SlidingWindow {
+    engine: DeltaEngine,
+    /// Elements at absolute epoch 0.
+    epoch0: Vec<KeplerElements>,
+    /// Absolute window start, seconds past epoch 0.
+    start: f64,
+    advances: u64,
+}
+
+impl SlidingWindow {
+    /// Screen the initial window `[0, config.span_seconds]`.
+    pub fn new(
+        config: ScreeningConfig,
+        population: &[KeplerElements],
+    ) -> Result<SlidingWindow, String> {
+        let mut engine = DeltaEngine::new(config)?;
+        engine.full_screen(population);
+        Ok(SlidingWindow {
+            engine,
+            epoch0: population.to_vec(),
+            start: 0.0,
+            advances: 0,
+        })
+    }
+
+    /// `(start, end)` of the current window in absolute seconds.
+    pub fn window(&self) -> (f64, f64) {
+        (self.start, self.start + self.engine.config().span_seconds)
+    }
+
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// Live conjunctions with **absolute** TCAs, sorted by pair then TCA.
+    pub fn live(&self) -> Vec<Conjunction> {
+        let mut all = self.engine.conjunctions();
+        for c in &mut all {
+            c.tca += self.start;
+        }
+        all
+    }
+
+    /// Slide the window forward by `dt > 0` seconds.
+    pub fn advance(&mut self, dt: f64) -> Result<AdvanceOutcome, String> {
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(format!("advance dt must be positive and finite, got {dt}"));
+        }
+        let new_start = self.start + dt;
+        let advanced: Vec<KeplerElements> = self
+            .epoch0
+            .iter()
+            .map(|el| {
+                let mut moved = *el;
+                moved.mean_anomaly = el.mean_anomaly_at(new_start);
+                moved
+            })
+            .collect();
+        let outcome = self.engine.advance_window(&advanced, dt)?;
+        self.start = new_start;
+        self.advances += 1;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crossing_pair() -> Vec<KeplerElements> {
+        vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn window_slides_and_tracks_recurring_encounters() {
+        // Same-period crossing orbits meet every half period: encounters at
+        // t ≈ 0, T/2, T, …
+        let pop = crossing_pair();
+        let period = pop[0].period();
+        let config = ScreeningConfig::grid_defaults(2.0, 0.3 * period);
+        let mut window = SlidingWindow::new(config, &pop).unwrap();
+        assert_eq!(window.window().0, 0.0);
+        let live = window.live();
+        assert!(
+            live.iter().any(|c| c.tca.abs() < 2.0),
+            "t = 0 encounter expected in {live:?}"
+        );
+
+        // [0.4 T, 0.7 T]: t = 0 retired, T/2 discovered; TCAs are absolute.
+        let outcome = window.advance(0.4 * period).unwrap();
+        assert!(outcome.retired >= 1);
+        let live = window.live();
+        assert!(
+            live.iter().any(|c| (c.tca - 0.5 * period).abs() < 2.0),
+            "T/2 encounter expected in {live:?}"
+        );
+        assert!(live.iter().all(|c| c.tca >= window.window().0 - 1e-9));
+
+        // [0.9 T, 1.2 T]: T/2 retired, T discovered.
+        let outcome = window.advance(0.5 * period).unwrap();
+        assert!(outcome.retired >= 1);
+        let live = window.live();
+        assert!(
+            live.iter().any(|c| (c.tca - period).abs() < 2.0),
+            "T encounter expected in {live:?}"
+        );
+        assert_eq!(window.advances(), 2);
+    }
+
+    #[test]
+    fn quiet_window_stays_empty() {
+        // Distant orbits: no encounters, ever.
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(9_000.0, 0.0, 1.2, 1.0, 0.0, 2.0).unwrap(),
+        ];
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let mut window = SlidingWindow::new(config, &pop).unwrap();
+        assert!(window.live().is_empty());
+        let outcome = window.advance(300.0).unwrap();
+        assert_eq!(
+            outcome,
+            AdvanceOutcome {
+                retired: 0,
+                discovered: 0
+            }
+        );
+        assert_eq!(window.window(), (300.0, 900.0));
+    }
+
+    #[test]
+    fn bad_dt_is_rejected() {
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let mut window = SlidingWindow::new(config, &crossing_pair()).unwrap();
+        assert!(window.advance(0.0).is_err());
+        assert!(window.advance(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,557 @@
+//! JSON-lines-over-TCP conjunction-screening daemon.
+//!
+//! Architecture: a thread per connection parses requests; cheap catalog
+//! mutations and STATUS execute inline under the state mutex, while
+//! screening commands (SCREEN / DELTA / ADVANCE) are funnelled through a
+//! single worker thread via a crossbeam channel, so concurrent clients
+//! cannot stampede the rayon pool with overlapping screens. Shared state is
+//! a [`ServiceState`] behind a `parking_lot::Mutex`.
+//!
+//! Everything is std networking plus the workspace's existing concurrency
+//! crates — no async runtime, no protocol framework.
+
+use crate::catalog::Catalog;
+use crate::delta::DeltaEngine;
+use crate::proto::{
+    AdvanceAck, CatalogAck, LastScreen, Request, Response, ScreenSummary, StatusInfo,
+};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use kessler_core::ScreeningConfig;
+use kessler_orbits::KeplerElements;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// The daemon's mutable heart: catalog + warm delta engine + change set.
+pub struct ServiceState {
+    catalog: Catalog,
+    engine: DeltaEngine,
+    /// Dense indices changed since the last screen.
+    changed: BTreeSet<u32>,
+    /// Absolute start of the screening window (advanced by ADVANCE).
+    window_start: f64,
+    requests: u64,
+    started: Instant,
+}
+
+impl ServiceState {
+    pub fn new(config: ScreeningConfig) -> Result<ServiceState, String> {
+        Ok(ServiceState {
+            catalog: Catalog::new(),
+            engine: DeltaEngine::new(config)?,
+            changed: BTreeSet::new(),
+            window_start: 0.0,
+            requests: 0,
+            started: Instant::now(),
+        })
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn engine(&self) -> &DeltaEngine {
+        &self.engine
+    }
+
+    fn note_request(&mut self) {
+        self.requests += 1;
+    }
+
+    /// Execute one request against the state. Pure request→response; all
+    /// I/O lives in the connection handler.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        self.note_request();
+        match request {
+            Request::Add { id, elements } => {
+                let el = match elements.into_elements() {
+                    Ok(el) => el,
+                    Err(e) => return Response::error(e),
+                };
+                match self.catalog.add(*id, el) {
+                    Ok(index) => {
+                        self.changed.insert(index);
+                        Response::with_catalog(self.catalog_ack(*id, index))
+                    }
+                    Err(e) => Response::error(e.to_string()),
+                }
+            }
+            Request::Update { id, elements } => {
+                let el = match elements.into_elements() {
+                    Ok(el) => el,
+                    Err(e) => return Response::error(e),
+                };
+                match self.catalog.update(*id, el) {
+                    Ok(index) => {
+                        self.changed.insert(index);
+                        Response::with_catalog(self.catalog_ack(*id, index))
+                    }
+                    Err(e) => Response::error(e.to_string()),
+                }
+            }
+            Request::Remove { id } => match self.catalog.remove(*id) {
+                Ok(removal) => {
+                    let new_len = self.catalog.len();
+                    self.engine.apply_removal(removal, new_len);
+                    // The old last index no longer exists; if a satellite
+                    // moved into the hole it now needs re-screening.
+                    if let Some(last) = removal.moved_from {
+                        self.changed.remove(&last);
+                        self.changed.insert(removal.removed_index);
+                    } else {
+                        self.changed.remove(&removal.removed_index);
+                    }
+                    self.changed.retain(|&i| (i as usize) < new_len);
+                    Response::with_catalog(self.catalog_ack(*id, removal.removed_index))
+                }
+                Err(e) => Response::error(e.to_string()),
+            },
+            Request::Screen => {
+                let report = self.engine.full_screen(self.catalog.elements());
+                self.changed.clear();
+                Response::with_screen(ScreenSummary::from_report(&report))
+            }
+            Request::Delta => {
+                let changed: Vec<u32> = self.changed.iter().copied().collect();
+                let report = self.engine.delta_screen(self.catalog.elements(), &changed);
+                self.changed.clear();
+                Response::with_screen(ScreenSummary::from_report(&report))
+            }
+            Request::Advance { dt } => {
+                if !dt.is_finite() || *dt <= 0.0 {
+                    return Response::error(format!(
+                        "advance dt must be positive and finite, got {dt}"
+                    ));
+                }
+                if !self.engine.is_warm() {
+                    self.engine.full_screen(self.catalog.elements());
+                    self.changed.clear();
+                } else if !self.changed.is_empty() {
+                    // Fold pending mutations in first so the carried-forward
+                    // conjunction set reflects the current catalog.
+                    let changed: Vec<u32> = self.changed.iter().copied().collect();
+                    self.engine.delta_screen(self.catalog.elements(), &changed);
+                    self.changed.clear();
+                }
+                self.catalog.advance_all(*dt);
+                match self.engine.advance_window(self.catalog.elements(), *dt) {
+                    Ok(outcome) => {
+                        self.window_start += dt;
+                        Response::with_advance(AdvanceAck {
+                            retired: outcome.retired,
+                            discovered: outcome.discovered,
+                            window: self.window(),
+                        })
+                    }
+                    Err(e) => Response::error(e),
+                }
+            }
+            Request::Status => Response::with_status(self.status()),
+            Request::Shutdown => Response::ack(),
+        }
+    }
+
+    fn catalog_ack(&self, id: u64, index: u32) -> CatalogAck {
+        CatalogAck {
+            id,
+            index,
+            n_satellites: self.catalog.len(),
+            epoch: self.catalog.epoch(),
+        }
+    }
+
+    fn window(&self) -> (f64, f64) {
+        (
+            self.window_start,
+            self.window_start + self.engine.config().span_seconds,
+        )
+    }
+
+    pub fn status(&self) -> StatusInfo {
+        let last_screen = self.engine.is_warm().then(|| LastScreen {
+            variant: if self.engine.delta_screens() > 0 {
+                crate::delta::DELTA_VARIANT.to_string()
+            } else {
+                "grid".to_string()
+            },
+            timings: *self.engine.last_timings(),
+        });
+        StatusInfo {
+            n_satellites: self.catalog.len(),
+            epoch: self.catalog.epoch(),
+            pending_changes: self.changed.len(),
+            live_conjunctions: self.engine.conjunction_count(),
+            full_screens: self.engine.full_screens(),
+            delta_screens: self.engine.delta_screens(),
+            requests_served: self.requests,
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            window: self.window(),
+            last_screen,
+        }
+    }
+}
+
+/// Work the connection threads hand to the single screening worker.
+enum Job {
+    Heavy {
+        request: Request,
+        reply: Sender<Response>,
+    },
+    Stop,
+}
+
+struct Shared {
+    state: Mutex<ServiceState>,
+    shutdown: AtomicBool,
+    jobs: Sender<Job>,
+    addr: SocketAddr,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for ephemeral).
+    pub fn bind(addr: &str, config: ScreeningConfig) -> Result<Server, String> {
+        let state = ServiceState::new(config)?;
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("could not bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("no local addr: {e}"))?;
+        let (jobs_tx, jobs_rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            shutdown: AtomicBool::new(false),
+            jobs: jobs_tx,
+            addr: local,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("kessler-screen".into())
+            .spawn(move || {
+                while let Ok(job) = jobs_rx.recv() {
+                    match job {
+                        Job::Heavy { request, reply } => {
+                            let response = worker_shared.state.lock().handle(&request);
+                            let _ = reply.send(response);
+                        }
+                        Job::Stop => break,
+                    }
+                }
+            })
+            .map_err(|e| format!("could not spawn screening worker: {e}"))?;
+        Ok(Server {
+            listener,
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Seed the catalog before serving, using dense indices as external ids.
+    pub fn preload(&self, population: &[KeplerElements]) -> Result<usize, String> {
+        let mut state = self.shared.state.lock();
+        for (i, el) in population.iter().enumerate() {
+            let index = state
+                .catalog
+                .add(i as u64, *el)
+                .map_err(|e| e.to_string())?;
+            state.changed.insert(index);
+        }
+        Ok(population.len())
+    }
+
+    /// Accept connections until a SHUTDOWN request arrives. Blocks.
+    pub fn run(mut self) {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&self.shared);
+            let _ = thread::Builder::new()
+                .name("kessler-conn".into())
+                .spawn(move || handle_connection(stream, shared));
+        }
+        let _ = self.shared.jobs.send(Job::Stop);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+
+    /// Run on a background thread; returns a handle for tests and the CLI.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let join = thread::Builder::new()
+            .name("kessler-serve".into())
+            .spawn(move || self.run())
+            .expect("could not spawn server thread");
+        ServerHandle { addr, join }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop and wait for it to exit.
+    pub fn shutdown(self) {
+        let _ = request(self.addr, &Request::Shutdown);
+        let _ = self.join.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: Result<Request, _> = serde_json::from_str(&line);
+        let is_shutdown = matches!(parsed, Ok(Request::Shutdown));
+        let response = match parsed {
+            Err(e) => Response::error(format!("bad request: {e}")),
+            Ok(req @ (Request::Screen | Request::Delta | Request::Advance { .. })) => {
+                // Screening is serialized through the worker so overlapping
+                // clients don't contend inside rayon.
+                let (reply_tx, reply_rx) = bounded(1);
+                let job = Job::Heavy {
+                    request: req,
+                    reply: reply_tx,
+                };
+                if shared.jobs.send(job).is_err() {
+                    Response::error("server is shutting down")
+                } else {
+                    reply_rx
+                        .recv()
+                        .unwrap_or_else(|_| Response::error("screening worker unavailable"))
+                }
+            }
+            Ok(req) => {
+                if is_shutdown {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                }
+                shared.state.lock().handle(&req)
+            }
+        };
+        let mut payload = match serde_json::to_string(&response) {
+            Ok(p) => p,
+            Err(_) => r#"{"ok":false,"error":"response serialization failed"}"#.to_string(),
+        };
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if is_shutdown {
+            // Poke the accept loop so it observes the shutdown flag.
+            let _ = TcpStream::connect(shared.addr);
+            break;
+        }
+    }
+}
+
+/// One-shot request/response over a fresh connection.
+pub fn request<A: ToSocketAddrs>(addr: A, req: &Request) -> io::Result<Response> {
+    let mut client = Client::connect(addr)?;
+    client.send(req)
+}
+
+/// A persistent JSON-lines client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send a request and block for its response.
+    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        let line = serde_json::to_string(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        self.send_line(&line)
+    }
+
+    /// Send a raw line (not necessarily valid JSON) and read one response.
+    pub fn send_line(&mut self, line: &str) -> io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ElementsSpec;
+
+    fn spec(a: f64, incl: f64, m: f64) -> ElementsSpec {
+        ElementsSpec {
+            a,
+            e: 0.001,
+            incl,
+            raan: 0.2,
+            argp: 0.1,
+            mean_anomaly: m,
+        }
+    }
+
+    #[test]
+    fn state_handles_catalog_lifecycle() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+
+        let r = state.handle(&Request::Add {
+            id: 7,
+            elements: spec(7_000.0, 0.5, 0.0),
+        });
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.catalog.unwrap().index, 0);
+
+        let r = state.handle(&Request::Add {
+            id: 7,
+            elements: spec(7_000.0, 0.5, 0.0),
+        });
+        assert!(!r.ok, "duplicate add must fail");
+
+        let r = state.handle(&Request::Update {
+            id: 7,
+            elements: spec(7_050.0, 0.6, 0.3),
+        });
+        assert!(r.ok);
+
+        let r = state.handle(&Request::Status);
+        let status = r.status.unwrap();
+        assert_eq!(status.n_satellites, 1);
+        assert_eq!(status.pending_changes, 1);
+        assert_eq!(status.requests_served, 4);
+
+        let r = state.handle(&Request::Remove { id: 7 });
+        assert!(r.ok);
+        let r = state.handle(&Request::Remove { id: 7 });
+        assert!(!r.ok, "double remove must fail");
+    }
+
+    #[test]
+    fn state_screens_and_clears_pending() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..12u64 {
+            let r = state.handle(&Request::Add {
+                id: i,
+                elements: spec(
+                    7_000.0 + i as f64 * 3.0,
+                    0.4 + (i % 5) as f64 * 0.3,
+                    i as f64 * 0.37,
+                ),
+            });
+            assert!(r.ok);
+        }
+        let r = state.handle(&Request::Screen);
+        let screen = r.screen.unwrap();
+        assert_eq!(screen.n_satellites, 12);
+        assert_eq!(screen.variant, "grid");
+
+        let r = state.handle(&Request::Status);
+        assert_eq!(r.status.unwrap().pending_changes, 0);
+
+        // A delta after one update agrees with the maintained set size.
+        state.handle(&Request::Update {
+            id: 3,
+            elements: spec(7_009.5, 1.6, 2.0),
+        });
+        let r = state.handle(&Request::Delta);
+        let delta = r.screen.unwrap();
+        assert_eq!(delta.variant, crate::delta::DELTA_VARIANT);
+        let r = state.handle(&Request::Status);
+        let status = r.status.unwrap();
+        assert_eq!(status.pending_changes, 0);
+        assert_eq!(status.full_screens, 1);
+        assert_eq!(status.delta_screens, 1);
+        assert!(status.last_screen.is_some());
+    }
+
+    #[test]
+    fn state_rejects_invalid_elements() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        let r = state.handle(&Request::Add {
+            id: 1,
+            elements: ElementsSpec {
+                a: -5.0,
+                e: 0.0,
+                incl: 0.0,
+                raan: 0.0,
+                argp: 0.0,
+                mean_anomaly: 0.0,
+            },
+        });
+        assert!(!r.ok);
+        assert!(r.error.is_some());
+    }
+
+    #[test]
+    fn state_advances_window() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..6u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(7_000.0 + i as f64 * 5.0, 0.4 + i as f64 * 0.2, i as f64),
+            });
+        }
+        let r = state.handle(&Request::Advance { dt: 60.0 });
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.advance.unwrap().window, (60.0, 180.0));
+        let r = state.handle(&Request::Advance { dt: -1.0 });
+        assert!(!r.ok, "negative dt must fail");
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end test: real TCP server on an ephemeral port, four concurrent
+//! clients populating the catalog, then screening, delta re-screening,
+//! removal, and shutdown over the wire.
+
+use kessler_core::ScreeningConfig;
+use kessler_service::proto::ElementsSpec;
+use kessler_service::{request, Client, Request, Server, DELTA_VARIANT};
+use std::thread;
+
+fn spec_for(id: u64) -> ElementsSpec {
+    ElementsSpec {
+        a: 7_000.0 + id as f64 * 3.0,
+        e: 0.001,
+        incl: 0.4 + (id % 7) as f64 * 0.3,
+        raan: id as f64 * 0.2,
+        argp: 0.1,
+        mean_anomaly: id as f64 * 0.37,
+    }
+}
+
+#[test]
+fn four_concurrent_clients_drive_the_daemon() {
+    let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    // Four clients, each adding eight satellites over its own connection.
+    let adders: Vec<_> = (0..4u64)
+        .map(|k| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for j in 0..8u64 {
+                    let id = k * 8 + j;
+                    let response = client
+                        .send(&Request::Add {
+                            id,
+                            elements: spec_for(id),
+                        })
+                        .expect("ADD");
+                    assert!(response.ok, "ADD {id} failed: {:?}", response.error);
+                    assert_eq!(response.catalog.as_ref().unwrap().id, id);
+                }
+                let response = client.send(&Request::Status).expect("STATUS");
+                assert!(response.ok);
+                response.status.unwrap().n_satellites
+            })
+        })
+        .collect();
+    for t in adders {
+        // Each client saw at least its own 8 satellites at STATUS time.
+        assert!(t.join().expect("client thread") >= 8);
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    let status = client
+        .send(&Request::Status)
+        .expect("STATUS")
+        .status
+        .unwrap();
+    assert_eq!(status.n_satellites, 32);
+    assert_eq!(status.pending_changes, 32);
+
+    // Cold screen.
+    let screen = client
+        .send(&Request::Screen)
+        .expect("SCREEN")
+        .screen
+        .unwrap();
+    assert_eq!(screen.n_satellites, 32);
+    assert_eq!(screen.variant, "grid");
+    assert!(screen.top.len() <= kessler_service::proto::TOP_CONJUNCTIONS);
+
+    // One update, then DELTA must agree with a fresh full SCREEN.
+    let response = client
+        .send(&Request::Update {
+            id: 0,
+            elements: spec_for(40),
+        })
+        .expect("UPDATE");
+    assert!(response.ok);
+    let delta = client.send(&Request::Delta).expect("DELTA").screen.unwrap();
+    assert_eq!(delta.variant, DELTA_VARIANT);
+    let full = client
+        .send(&Request::Screen)
+        .expect("SCREEN")
+        .screen
+        .unwrap();
+    assert_eq!(delta.conjunctions, full.conjunctions);
+    assert_eq!(delta.colliding_pairs, full.colliding_pairs);
+
+    // STATUS surfaces per-request screen timing (observability-lite).
+    let status = client
+        .send(&Request::Status)
+        .expect("STATUS")
+        .status
+        .unwrap();
+    assert!(status.full_screens >= 2);
+    assert!(status.delta_screens >= 1);
+    let last = status.last_screen.expect("last_screen after screening");
+    assert!(last.timings.total.as_secs_f64() >= 0.0);
+
+    // Malformed input gets an error response, not a dropped connection.
+    let response = client.send_line("this is not json").expect("raw line");
+    assert!(!response.ok);
+    assert!(response.error.unwrap().starts_with("bad request"));
+
+    // Removal shrinks the catalog.
+    let response = client.send(&Request::Remove { id: 17 }).expect("REMOVE");
+    assert!(response.ok);
+    assert_eq!(response.catalog.unwrap().n_satellites, 31);
+
+    // Advance slides the window.
+    let response = client
+        .send(&Request::Advance { dt: 30.0 })
+        .expect("ADVANCE");
+    assert!(response.ok, "{:?}", response.error);
+    assert_eq!(response.advance.unwrap().window, (30.0, 150.0));
+
+    // Shutdown via the one-shot helper, then join the server thread.
+    let response = request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    assert!(response.ok);
+    handle.shutdown();
+}

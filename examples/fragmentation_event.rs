@@ -18,10 +18,9 @@ fn main() {
         .unwrap_or(2_000);
 
     // The victim: a satellite in a 780 km orbit (Iridium-like altitude).
-    let parent =
-        KeplerElements::new(7_158.0, 0.0008, 86.4f64.to_radians(), 0.6, 1.0, 2.5).unwrap();
-    let parent_state = PropagationConstants::from_elements(&parent)
-        .propagate(0.0, &ContourSolver::default());
+    let parent = KeplerElements::new(7_158.0, 0.0008, 86.4f64.to_radians(), 0.6, 1.0, 2.5).unwrap();
+    let parent_state =
+        PropagationConstants::from_elements(&parent).propagate(0.0, &ContourSolver::default());
 
     // The breakup cloud.
     let cloud = Fragmentation {

@@ -19,8 +19,7 @@ fn main() {
     let solver = ContourSolver::default();
 
     // 1) Divergence of the two models over time, ISS-like orbit.
-    let iss = KeplerElements::new(6_780.0, 0.0008, 51.6f64.to_radians(), 1.0, 0.5, 0.0)
-        .unwrap();
+    let iss = KeplerElements::new(6_780.0, 0.0008, 51.6f64.to_radians(), 1.0, 0.5, 0.0).unwrap();
     let two_body = PropagationConstants::from_elements(&iss);
     let j2 = J2Propagator::new(iss);
 

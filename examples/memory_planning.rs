@@ -29,8 +29,7 @@ fn main() {
                     Variant::Hybrid => ScreeningConfig::hybrid_defaults(threshold, span),
                     _ => ScreeningConfig::grid_defaults(threshold, span),
                 };
-                config.memory_budget_bytes =
-                    (memory_gib * 1024.0 * 1024.0 * 1024.0) as usize;
+                config.memory_budget_bytes = (memory_gib * 1024.0 * 1024.0 * 1024.0) as usize;
                 let plan = MemoryModel::new(variant).plan(n, &config);
                 println!(
                     "{:>10} {:<8} {:>7}{} {:>10.1} {:>12.1} {:>12.1} {:>8} {:>8}",

@@ -45,10 +45,7 @@ fn main() {
             let b = PropagationConstants::from_elements(&population[c.id_hi as usize]);
             let sa = a.propagate(c.tca, &solver);
             let sb = b.propagate(c.tca, &solver);
-            let geom = encounter_geometry(
-                sa.position - sb.position,
-                sa.velocity - sb.velocity,
-            )?;
+            let geom = encounter_geometry(sa.position - sb.position, sa.velocity - sb.velocity)?;
             let pc = collision_probability(geom.miss, cov, hard_body_km, 512);
             Some((pc, c, geom.relative_speed))
         })

@@ -21,8 +21,9 @@ ISS (ZARYA)
 fn main() {
     let mut args = std::env::args().skip(1);
     let text = match args.next() {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => {
             println!("(no catalog given — using the embedded demo TLE set)");
             DEMO.to_string()
@@ -46,8 +47,7 @@ fn main() {
 
     // Convert SGP4 mean elements to osculating elements at epoch via the
     // built-in SGP4 (naive interpretation is off by kilometres).
-    let population: Vec<KeplerElements> =
-        records.iter().map(tle::osculating_elements).collect();
+    let population: Vec<KeplerElements> = records.iter().map(tle::osculating_elements).collect();
 
     // With a real catalog the population is large enough for the grid
     // variant; with the demo set this simply demonstrates the plumbing.

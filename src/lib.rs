@@ -17,6 +17,7 @@
 //! | [`population`] | synthetic populations, constellations, debris clouds, TLE |
 //! | [`gpusim`] | the GPU execution-model simulator |
 //! | [`math`] | Brent optimisation, root finding, intervals, KDE, statistics |
+//! | [`service`] | long-running screening daemon: incremental catalog, delta re-screening, TCP server |
 //!
 //! ## Example
 //!
@@ -34,20 +35,23 @@
 
 pub use kessler_core as core;
 pub use kessler_filters as filters;
-pub use kessler_grid as grid;
 pub use kessler_gpusim as gpusim;
+pub use kessler_grid as grid;
 pub use kessler_math as math;
 pub use kessler_orbits as orbits;
 pub use kessler_population as population;
+pub use kessler_service as service;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use kessler_core::{
         Conjunction, GpuGridScreener, GpuHybridScreener, GridScreener, HybridScreener,
-        LegacyScreener, SieveScreener, MemoryModel, ScreeningConfig, ScreeningReport, Screener, Variant,
+        LegacyScreener, MemoryModel, Screener, ScreeningConfig, ScreeningReport, SieveScreener,
+        Variant,
     };
     pub use kessler_orbits::{CartesianState, KeplerElements};
     pub use kessler_population::constellation::WalkerShell;
     pub use kessler_population::fragmentation::Fragmentation;
     pub use kessler_population::{PopulationConfig, PopulationGenerator};
+    pub use kessler_service::{Catalog, DeltaEngine, SlidingWindow};
 }

@@ -127,8 +127,7 @@ fn grid_screener_uses_equation_one_sizing() {
     for phase in 0..5 {
         let t_conj = 60.0 + phase as f64 / 5.0;
         let pop = head_on_pair(7_000.0, t_conj);
-        let report =
-            GridScreener::new(ScreeningConfig::grid_defaults(2.0, 120.0)).screen(&pop);
+        let report = GridScreener::new(ScreeningConfig::grid_defaults(2.0, 120.0)).screen(&pop);
         assert!(
             report.conjunction_count() >= 1,
             "GridScreener missed the worst case at t = {t_conj}"

@@ -1,0 +1,88 @@
+//! Delta re-screening correctness at scale: after k = 64 element updates on
+//! an n = 8000 population, a warm delta re-screen must produce *exactly* the
+//! conjunction set a cold full re-screen of the mutated population produces —
+//! same pairs in both directions, same TCAs and PCAs.
+
+use kessler::prelude::*;
+use kessler::service::DeltaEngine;
+
+const N: usize = 8_000;
+const K: usize = 64;
+
+#[test]
+fn delta_rescreen_equals_cold_rescreen_after_64_updates() {
+    let population = PopulationGenerator::new(PopulationConfig {
+        seed: 0xDE17A,
+        ..Default::default()
+    })
+    .generate(N);
+    let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+
+    // Warm the engine on the original population.
+    let mut engine = DeltaEngine::new(config).unwrap();
+    engine.full_screen(&population);
+
+    // Perturb 64 distinct satellites (127 is coprime with 8000, so the
+    // indices j·127 mod 8000 never repeat).
+    let mut mutated = population.clone();
+    let mut changed: Vec<u32> = Vec::with_capacity(K);
+    for j in 0..K {
+        let idx = (j * 127) % N;
+        let el = &mutated[idx];
+        mutated[idx] = KeplerElements::new(
+            el.semi_major_axis + 0.5,
+            el.eccentricity,
+            el.inclination,
+            el.raan + 0.01,
+            el.arg_perigee,
+            el.mean_anomaly + 0.3,
+        )
+        .unwrap();
+        changed.push(idx as u32);
+    }
+
+    let delta_report = engine.delta_screen(&mutated, &changed);
+    let cold_report = GridScreener::new(config).screen(&mutated);
+
+    assert_eq!(
+        delta_report.pairs_missing_from(&cold_report),
+        Vec::<(u32, u32)>::new(),
+        "delta found pairs the cold screen did not"
+    );
+    assert_eq!(
+        cold_report.pairs_missing_from(&delta_report),
+        Vec::<(u32, u32)>::new(),
+        "cold screen found pairs the delta missed"
+    );
+    assert_eq!(
+        delta_report.conjunction_count(),
+        cold_report.conjunction_count(),
+        "per-pair conjunction multiplicities differ"
+    );
+
+    // Identical pair sets and counts: compare the records one-to-one.
+    let mut delta_conjunctions = delta_report.conjunctions.clone();
+    let mut cold_conjunctions = cold_report.conjunctions.clone();
+    let sort_key = |c: &Conjunction| (c.id_lo, c.id_hi, c.tca);
+    delta_conjunctions.sort_by(|a, b| sort_key(a).partial_cmp(&sort_key(b)).unwrap());
+    cold_conjunctions.sort_by(|a, b| sort_key(a).partial_cmp(&sort_key(b)).unwrap());
+    for (d, c) in delta_conjunctions.iter().zip(&cold_conjunctions) {
+        assert_eq!((d.id_lo, d.id_hi), (c.id_lo, c.id_hi));
+        assert!(
+            (d.tca - c.tca).abs() < 1e-9,
+            "TCA drift on ({}, {}): {} vs {}",
+            d.id_lo,
+            d.id_hi,
+            d.tca,
+            c.tca
+        );
+        assert!(
+            (d.pca_km - c.pca_km).abs() < 1e-9,
+            "PCA drift on ({}, {}): {} vs {}",
+            d.id_lo,
+            d.id_hi,
+            d.pca_km,
+            c.pca_km
+        );
+    }
+}

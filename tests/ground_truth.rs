@@ -56,7 +56,10 @@ fn build_population() -> (Vec<KeplerElements>, Vec<Expected>) {
     {
         let base = population.len() as u32;
         population.extend(engineered_pair(radius, t_conj, inc_a, inc_b));
-        expected.push(Expected { pair: (base, base + 1), tca: t_conj });
+        expected.push(Expected {
+            pair: (base, base + 1),
+            tca: t_conj,
+        });
         let _ = k;
     }
     population.extend(noise(60));
@@ -111,11 +114,10 @@ fn legacy_variant_finds_engineered_conjunctions() {
 #[test]
 fn gpusim_variants_find_engineered_conjunctions() {
     let (population, expected) = build_population();
-    let grid = GpuGridScreener::new(ScreeningConfig::grid_defaults(2.0, 400.0))
-        .screen(&population);
+    let grid = GpuGridScreener::new(ScreeningConfig::grid_defaults(2.0, 400.0)).screen(&population);
     assert_finds_engineered(&grid, &expected);
-    let hybrid = GpuHybridScreener::new(ScreeningConfig::hybrid_defaults(2.0, 400.0))
-        .screen(&population);
+    let hybrid =
+        GpuHybridScreener::new(ScreeningConfig::hybrid_defaults(2.0, 400.0)).screen(&population);
     assert_finds_engineered(&hybrid, &expected);
 }
 

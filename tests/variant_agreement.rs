@@ -8,7 +8,11 @@ use kessler::prelude::*;
 use std::collections::HashSet;
 
 fn population(n: usize, seed: u64) -> Vec<KeplerElements> {
-    PopulationGenerator::new(PopulationConfig { seed, ..Default::default() }).generate(n)
+    PopulationGenerator::new(PopulationConfig {
+        seed,
+        ..Default::default()
+    })
+    .generate(n)
 }
 
 /// Jaccard-style agreement of two pair sets.
@@ -40,8 +44,7 @@ fn grid_and_legacy_find_nearly_the_same_pairs() {
 #[test]
 fn hybrid_and_legacy_find_nearly_the_same_pairs() {
     let pop = population(400, 1234);
-    let hybrid =
-        HybridScreener::new(ScreeningConfig::hybrid_defaults(2.0, 1_200.0)).screen(&pop);
+    let hybrid = HybridScreener::new(ScreeningConfig::hybrid_defaults(2.0, 1_200.0)).screen(&pop);
     let legacy = LegacyScreener::new(ScreeningConfig::grid_defaults(2.0, 1_200.0)).screen(&pop);
     let ha = hybrid.colliding_pairs();
     let la = legacy.colliding_pairs();
@@ -112,8 +115,12 @@ fn every_reported_conjunction_is_physically_real() {
         );
         assert!(c.pca_km <= 2.0, "conjunction above threshold: {}", c.pca_km);
         // Verify it is a local minimum: distance grows on both sides.
-        let before = a.position(c.tca - 0.5, &solver).dist(b.position(c.tca - 0.5, &solver));
-        let after = a.position(c.tca + 0.5, &solver).dist(b.position(c.tca + 0.5, &solver));
+        let before = a
+            .position(c.tca - 0.5, &solver)
+            .dist(b.position(c.tca - 0.5, &solver));
+        let after = a
+            .position(c.tca + 0.5, &solver)
+            .dist(b.position(c.tca + 0.5, &solver));
         assert!(before >= c.pca_km - 1e-9 && after >= c.pca_km - 1e-9);
     }
 }
