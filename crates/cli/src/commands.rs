@@ -26,9 +26,13 @@ SUBCOMMANDS
   compare    accuracy across variants     --n N [--threshold KM] [--span S]
   serve      run the screening daemon     [--addr HOST:PORT] [--pop FILE | --n N]
              [--threshold KM] [--span S] [--sps S] [--threads T]
+             [--state-dir DIR] [--snapshot-every N] [--queue-depth N]
+             [--read-timeout SECS (0 = none)]
+             with --state-dir, mutations are WAL-logged and state is
+             recovered on restart (preload is skipped if state recovers)
   submit     send one daemon command      ACTION [--addr HOST:PORT] [--id I]
              [--a KM --e E --incl R --raan R --argp R --m R] [--dt S]
-             [--json REQUEST]
+             [--json REQUEST] [--timeout SECS (0 = none, default 10)]
              ACTION: add | update | remove | screen | delta | advance
                      | status | shutdown
   info       version and build info
@@ -288,11 +292,58 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
 pub fn serve(flags: &Flags) -> Result<(), String> {
     let addr = flags.value_of("--addr").unwrap_or("127.0.0.1:7878");
     let config = build_config(flags, "grid")?;
-    let server = kessler_service::Server::bind(addr, config)?;
+
+    let persist = match flags.value_of("--state-dir") {
+        Some(dir) => {
+            let mut persist = kessler_service::PersistOptions::new(dir);
+            persist.snapshot_every = flags.u64_of("--snapshot-every", persist.snapshot_every)?;
+            Some(persist)
+        }
+        None => None,
+    };
+    let defaults = kessler_service::ServerOptions::default();
+    let read_timeout_s = flags.u64_of("--read-timeout", 120)?;
+    let options = kessler_service::ServerOptions {
+        persist,
+        queue_depth: flags.usize_of("--queue-depth", defaults.queue_depth)?,
+        read_timeout: (read_timeout_s > 0).then(|| std::time::Duration::from_secs(read_timeout_s)),
+        ..defaults
+    };
+
+    let server =
+        kessler_service::Server::bind_with(addr, config, options).map_err(|e| e.to_string())?;
+    if let Some(recovery) = server.recovery() {
+        let snapshot = match recovery.snapshot_seq {
+            Some(seq) => format!("snapshot at wal seq {seq}"),
+            None => "no snapshot".to_string(),
+        };
+        println!(
+            "recovered {} satellites: {snapshot}, {} wal records replayed{}{}",
+            server.catalog_len(),
+            recovery.replayed,
+            if recovery.torn_tail {
+                ", torn wal tail dropped"
+            } else {
+                ""
+            },
+            if recovery.corrupt_snapshots > 0 {
+                ", corrupt snapshot(s) skipped"
+            } else {
+                ""
+            },
+        );
+    }
     if flags.value_of("--pop").is_some() || flags.usize_of("--n", 0)? > 0 {
-        let population = load_or_generate(flags)?;
-        let n = server.preload(&population)?;
-        println!("preloaded {n} satellites (external ids 0..{n})");
+        if server.catalog_len() > 0 {
+            println!(
+                "catalog recovered non-empty ({} satellites); skipping preload",
+                server.catalog_len()
+            );
+        } else {
+            let population = load_or_generate(flags)?;
+            let n = server.preload(&population).map_err(|e| e.to_string())?;
+            println!("preloaded {n} satellites (external ids 0..{n})");
+        }
     }
     println!(
         "kessler-service listening on {} — JSON lines: \
@@ -346,8 +397,17 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
             other => return Err(format!("unknown submit action `{other}`")),
         }
     };
-    let response = kessler_service::request(addr, &request)
-        .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let timeout_s = flags.f64_of("--timeout", 10.0)?;
+    let response = if timeout_s > 0.0 {
+        kessler_service::request_with_timeout(
+            addr,
+            &request,
+            std::time::Duration::from_secs_f64(timeout_s),
+        )
+    } else {
+        kessler_service::request(addr, &request)
+    }
+    .map_err(|e| format!("request to {addr} failed: {e}"))?;
     let pretty = serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?;
     println!("{pretty}");
     if response.ok {

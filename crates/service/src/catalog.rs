@@ -114,6 +114,57 @@ impl Catalog {
         self.generations.get(index as usize).copied()
     }
 
+    /// Per-satellite generation counters by dense index.
+    pub fn generations(&self) -> &[u64] {
+        &self.generations
+    }
+
+    /// Rebuild a catalog from snapshotted state (see the service's
+    /// persistence layer). Validates the arrays are consistent before
+    /// reconstructing the id → index map.
+    pub fn restore(
+        epoch: u64,
+        ids: Vec<u64>,
+        elements: Vec<KeplerElements>,
+        generations: Vec<u64>,
+    ) -> Result<Catalog, String> {
+        if ids.len() != elements.len() || ids.len() != generations.len() {
+            return Err(format!(
+                "inconsistent catalog arrays: {} ids, {} element sets, {} generations",
+                ids.len(),
+                elements.len(),
+                generations.len()
+            ));
+        }
+        if ids.len() as u64 > kessler_grid::pairset::MAX_ID as u64 {
+            return Err(format!(
+                "catalog of {} satellites exceeds the {}-slot dense index space",
+                ids.len(),
+                kessler_grid::pairset::MAX_ID
+            ));
+        }
+        let mut index_of = HashMap::with_capacity(ids.len());
+        for (index, &id) in ids.iter().enumerate() {
+            if index_of.insert(id, index as u32).is_some() {
+                return Err(format!("duplicate satellite id {id}"));
+            }
+        }
+        for (&id, &generation) in ids.iter().zip(&generations) {
+            if generation > epoch {
+                return Err(format!(
+                    "satellite {id} has generation {generation} past epoch {epoch}"
+                ));
+            }
+        }
+        Ok(Catalog {
+            epoch,
+            ids,
+            elements,
+            generations,
+            index_of,
+        })
+    }
+
     /// Insert a new satellite; returns its dense index.
     pub fn add(&mut self, id: u64, elements: KeplerElements) -> Result<u32, CatalogError> {
         if self.index_of.contains_key(&id) {
@@ -266,6 +317,38 @@ mod tests {
         assert_eq!(cat.upsert(5, el(7_010.0)).unwrap(), 0);
         assert_eq!(cat.len(), 1);
         assert_eq!(cat.elements()[0].semi_major_axis, 7_010.0);
+    }
+
+    #[test]
+    fn restore_rebuilds_the_index_and_validates() {
+        let mut cat = Catalog::new();
+        cat.add(10, el(7_000.0)).unwrap();
+        cat.add(20, el(7_100.0)).unwrap();
+        cat.update(10, el(7_050.0)).unwrap();
+
+        let back = Catalog::restore(
+            cat.epoch(),
+            cat.ids().to_vec(),
+            cat.elements().to_vec(),
+            cat.generations().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.epoch(), cat.epoch());
+        assert_eq!(back.index_of(20), Some(1));
+        assert_eq!(back.elements()[0].semi_major_axis, 7_050.0);
+        assert_eq!(back.generation_at(0), cat.generation_at(0));
+
+        // Mismatched arrays, duplicate ids, and generations past the
+        // epoch are all rejected.
+        assert!(Catalog::restore(1, vec![1, 2], vec![el(7_000.0)], vec![1, 1]).is_err());
+        assert!(Catalog::restore(
+            2,
+            vec![1, 1],
+            vec![el(7_000.0), el(7_100.0)],
+            vec![1, 2]
+        )
+        .is_err());
+        assert!(Catalog::restore(1, vec![1], vec![el(7_000.0)], vec![5]).is_err());
     }
 
     #[test]

@@ -75,6 +75,40 @@ impl DeltaEngine {
         })
     }
 
+    /// Rebuild a warm engine from snapshotted state (see the service's
+    /// persistence layer): screen counters plus the maintained conjunction
+    /// set, regrouped by pair.
+    pub fn restore(
+        config: ScreeningConfig,
+        screened_n: Option<usize>,
+        full_screens: u64,
+        delta_screens: u64,
+        conjunctions: &[Conjunction],
+    ) -> Result<DeltaEngine, String> {
+        let mut engine = DeltaEngine::new(config)?;
+        if screened_n.is_none() && !conjunctions.is_empty() {
+            return Err(format!(
+                "cold engine cannot hold {} conjunctions",
+                conjunctions.len()
+            ));
+        }
+        if let Some(n) = screened_n {
+            if let Some(c) = conjunctions.iter().find(|c| c.pair().1 as usize >= n) {
+                return Err(format!(
+                    "conjunction references index {} past population of {n}",
+                    c.pair().1
+                ));
+            }
+        }
+        for c in conjunctions {
+            engine.pairs.entry(c.pair()).or_default().push(*c);
+        }
+        engine.screened_n = screened_n;
+        engine.full_screens = full_screens;
+        engine.delta_screens = delta_screens;
+        Ok(engine)
+    }
+
     pub fn config(&self) -> &ScreeningConfig {
         &self.config
     }
@@ -82,6 +116,11 @@ impl DeltaEngine {
     /// `true` once a full screen has populated the maintained set.
     pub fn is_warm(&self) -> bool {
         self.screened_n.is_some()
+    }
+
+    /// Population size of the last adopted screen; `None` while cold.
+    pub fn screened_n(&self) -> Option<usize> {
+        self.screened_n
     }
 
     pub fn full_screens(&self) -> u64 {
@@ -516,6 +555,39 @@ mod tests {
                 .any(|c| { c.pair() == (0, 1) && (c.tca - (0.5 * period - dt)).abs() < 2.0 }),
             "T/2 encounter expected in {live:?}"
         );
+    }
+
+    #[test]
+    fn restore_rebuilds_a_warm_engine_that_deltas_correctly() {
+        let pop = population(300, 11);
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        engine.full_screen(&pop);
+        let saved = engine.conjunctions();
+
+        let mut back = DeltaEngine::restore(
+            config,
+            engine.screened_n(),
+            engine.full_screens(),
+            engine.delta_screens(),
+            &saved,
+        )
+        .unwrap();
+        assert!(back.is_warm());
+        assert_eq!(back.conjunctions(), saved);
+        assert_eq!(back.full_screens(), 1);
+
+        // A delta on the restored engine matches a cold screen, i.e. the
+        // warm set really carried over.
+        let mut updated = pop.clone();
+        updated[5] = perturb(&updated[5], 1.0);
+        let delta = back.delta_screen(&updated, &[5]);
+        let cold = GridScreener::new(config).screen(&updated);
+        assert_eq!(delta.pairs_missing_from(&cold), Vec::<(u32, u32)>::new());
+        assert_eq!(cold.pairs_missing_from(&delta), Vec::<(u32, u32)>::new());
+
+        // Inconsistent snapshots are rejected.
+        assert!(DeltaEngine::restore(config, None, 1, 0, &saved).is_err() || saved.is_empty());
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Typed service errors.
+//!
+//! The daemon's startup path (`Server::bind`, `Server::spawn`, recovery)
+//! used to surface bare `String`s and `.expect(...)` on thread-spawn
+//! failure. These hand-rolled enums replace both: every startup-path
+//! failure is a value the caller can match on, and nothing on that path
+//! aborts the process.
+
+use std::fmt;
+use std::io;
+
+/// Failures of the durability layer (WAL + snapshots).
+#[derive(Debug)]
+pub enum PersistError {
+    /// An I/O operation on the state directory failed.
+    Io {
+        /// What the persister was doing (e.g. "append wal record").
+        context: String,
+        source: io::Error,
+    },
+    /// A WAL record or snapshot failed checksum/length/JSON validation.
+    Corrupt {
+        /// Which artefact was damaged (file name or record position).
+        context: String,
+        detail: String,
+    },
+}
+
+impl PersistError {
+    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> PersistError {
+        PersistError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(context: impl Into<String>, detail: impl Into<String>) -> PersistError {
+        PersistError::Corrupt {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { context, source } => write!(f, "{context}: {source}"),
+            PersistError::Corrupt { context, detail } => {
+                write!(f, "{context} is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Corrupt { .. } => None,
+        }
+    }
+}
+
+/// Everything that can go wrong bringing a [`crate::Server`] up (or
+/// recovering its state).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Invalid screening configuration.
+    Config(String),
+    /// Could not bind the listening socket.
+    Bind { addr: String, source: io::Error },
+    /// Could not spawn a required thread.
+    Spawn {
+        what: &'static str,
+        source: io::Error,
+    },
+    /// The durability layer failed.
+    Persist(PersistError),
+    /// Recovered state failed validation or replay.
+    Recovery(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ServiceError::Bind { addr, source } => write!(f, "could not bind {addr}: {source}"),
+            ServiceError::Spawn { what, source } => {
+                write!(f, "could not spawn {what} thread: {source}")
+            }
+            ServiceError::Persist(err) => write!(f, "persistence failure: {err}"),
+            ServiceError::Recovery(msg) => write!(f, "state recovery failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Bind { source, .. } | ServiceError::Spawn { source, .. } => Some(source),
+            ServiceError::Persist(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for ServiceError {
+    fn from(err: PersistError) -> ServiceError {
+        ServiceError::Persist(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ServiceError::Bind {
+            addr: "127.0.0.1:7878".into(),
+            source: io::Error::new(io::ErrorKind::AddrInUse, "in use"),
+        };
+        let text = err.to_string();
+        assert!(text.contains("127.0.0.1:7878"), "{text}");
+        assert!(text.contains("in use"), "{text}");
+
+        let err = ServiceError::from(PersistError::corrupt("snapshot-3", "bad checksum"));
+        let text = err.to_string();
+        assert!(text.contains("snapshot-3"), "{text}");
+        assert!(text.contains("bad checksum"), "{text}");
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let err = ServiceError::Persist(PersistError::io(
+            "append wal record",
+            io::Error::other("disk gone"),
+        ));
+        let persist = err.source().expect("persist source");
+        assert!(persist.source().is_some(), "io source below persist");
+    }
+}

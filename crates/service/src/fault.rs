@@ -1,0 +1,93 @@
+//! Deterministic fault injection for the crash-safety test harness.
+//!
+//! A [`FaultPlan`] is a set of one-shot counters the daemon consults at
+//! well-defined points: just before screening work (panic injection), at
+//! the top of the worker loop (worker kill), and inside the WAL writer
+//! (torn append). Production code never arms a plan — the default is
+//! inert and every check is a single relaxed-ish atomic load — but the
+//! fault-injection suite (`tests/faults.rs`) arms them to prove the
+//! daemon degrades gracefully instead of crashing or corrupting state.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// One-shot fault counters shared between a test and a running server.
+///
+/// Each `arm_*` call schedules exactly one future fault; arming twice
+/// schedules two. All methods are thread-safe.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Panic *inside* the worker's `catch_unwind` guard while screening:
+    /// the request must get an ERROR response and the worker must survive.
+    panic_screen: AtomicU32,
+    /// Panic *outside* the guard: the worker thread dies and the
+    /// supervisor must respawn it.
+    kill_worker: AtomicU32,
+    /// Tear the next WAL append: write only a prefix of the record (as a
+    /// crash mid-`write` would) while still reporting success.
+    torn_wal: AtomicU32,
+}
+
+fn take(counter: &AtomicU32) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok()
+}
+
+impl FaultPlan {
+    /// An inert plan (what [`crate::server::ServerOptions::default`] uses).
+    pub fn inert() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// Panic inside the screening guard on the next heavy request.
+    pub fn arm_panic_screen(&self) {
+        self.panic_screen.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Kill the worker thread on the next heavy request.
+    pub fn arm_kill_worker(&self) {
+        self.kill_worker.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Tear the next WAL append mid-record.
+    pub fn arm_torn_wal(&self) {
+        self.torn_wal.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn take_panic_screen(&self) -> bool {
+        take(&self.panic_screen)
+    }
+
+    pub(crate) fn take_kill_worker(&self) -> bool {
+        take(&self.kill_worker)
+    }
+
+    pub(crate) fn take_torn_wal(&self) -> bool {
+        take(&self.torn_wal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_exactly_once_per_arm() {
+        let plan = FaultPlan::default();
+        assert!(!plan.take_panic_screen());
+        plan.arm_panic_screen();
+        assert!(plan.take_panic_screen());
+        assert!(!plan.take_panic_screen());
+
+        plan.arm_torn_wal();
+        plan.arm_torn_wal();
+        assert!(plan.take_torn_wal());
+        assert!(plan.take_torn_wal());
+        assert!(!plan.take_torn_wal());
+
+        assert!(!plan.take_kill_worker());
+        plan.arm_kill_worker();
+        assert!(plan.take_kill_worker());
+    }
+}

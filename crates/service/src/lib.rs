@@ -21,15 +21,31 @@
 //!   (ADD/UPDATE/REMOVE/SCREEN/DELTA/ADVANCE/STATUS/SHUTDOWN) and a
 //!   thread-per-connection server with a single serialized screening
 //!   worker. Std networking only; `nc` is a valid client.
+//! - [`wal`] / [`persist`] — crash safety: a checksummed write-ahead log
+//!   of acknowledged mutations plus periodic atomic snapshots, so a
+//!   restarted daemon recovers the exact catalog, window, and warm
+//!   conjunction set it had when it died.
+//! - [`error`] / [`fault`] — typed startup/persistence errors and the
+//!   deterministic fault-injection hooks the crash-safety tests use.
 
 pub mod catalog;
 pub mod delta;
+pub mod error;
+pub mod fault;
+pub mod persist;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
+pub mod wal;
 
 pub use catalog::{Catalog, CatalogError, Removal};
 pub use delta::{AdvanceOutcome, DeltaEngine, DELTA_VARIANT};
+pub use error::{PersistError, ServiceError};
+pub use fault::FaultPlan;
+pub use persist::{PersistOptions, Snapshot};
 pub use proto::{ElementsSpec, Request, Response};
 pub use scheduler::SlidingWindow;
-pub use server::{request, Client, Server, ServerHandle, ServiceState};
+pub use server::{
+    request, request_with_timeout, Client, RecoverySummary, Server, ServerHandle, ServerOptions,
+    ServiceState, MAX_LINE_BYTES,
+};

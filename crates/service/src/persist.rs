@@ -1,0 +1,508 @@
+//! Snapshot + WAL durability layer.
+//!
+//! State directory layout:
+//!
+//! ```text
+//! <state-dir>/
+//!   wal.log                        append-only mutation log (see `wal`)
+//!   snapshot-00000000000000000042.json   full state at WAL seq 42
+//!   snapshot-00000000000000000038.json   previous snapshot (fallback)
+//! ```
+//!
+//! A snapshot is one checksummed frame line holding the entire daemon
+//! state (catalog, pending-change set, window, warm conjunction set,
+//! screen counters) as of a WAL sequence number. Snapshots are written to
+//! a `.tmp` file, fsynced, then atomically renamed into place, so a crash
+//! mid-snapshot leaves the previous one intact.
+//!
+//! Recovery loads the *newest valid* snapshot — a corrupt newest snapshot
+//! falls back to the one before it — then replays WAL records with
+//! `seq > snapshot.wal_seq`. To keep that fallback sound, WAL compaction
+//! after a snapshot retains every record newer than the *oldest kept*
+//! snapshot, not just the newest one.
+
+use crate::error::PersistError;
+use crate::fault::FaultPlan;
+use crate::proto::{ElementsSpec, Request};
+use crate::wal::{self, WalWriter};
+use kessler_core::Conjunction;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Bump when the snapshot schema changes incompatibly.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// WAL file name inside the state directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Where and how often to persist.
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// State directory (created if missing).
+    pub dir: PathBuf,
+    /// Mutations between snapshots (and WAL compactions).
+    pub snapshot_every: u64,
+    /// Snapshots retained on disk; at least 2 so a corrupt newest
+    /// snapshot has a fallback.
+    pub keep_snapshots: usize,
+}
+
+impl PersistOptions {
+    pub fn new(dir: impl Into<PathBuf>) -> PersistOptions {
+        PersistOptions {
+            dir: dir.into(),
+            snapshot_every: 256,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// Complete daemon state at one WAL sequence number.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub version: u32,
+    /// WAL records up to and including this sequence number are folded in.
+    pub wal_seq: u64,
+    /// Catalog epoch.
+    pub epoch: u64,
+    /// External ids by dense index.
+    pub ids: Vec<u64>,
+    /// Elements by dense index (wire representation: km / rad).
+    pub elements: Vec<ElementsSpec>,
+    /// Per-satellite generation counters by dense index.
+    pub generations: Vec<u64>,
+    /// Dense indices changed since the last screen.
+    pub changed: Vec<u32>,
+    /// Absolute start of the screening window, s.
+    pub window_start: f64,
+    /// Population size of the engine's last adopted screen.
+    pub screened_n: Option<usize>,
+    pub full_screens: u64,
+    pub delta_screens: u64,
+    /// The warm conjunction set (window-relative TCAs).
+    pub conjunctions: Vec<Conjunction>,
+}
+
+impl Snapshot {
+    fn validate(&self) -> Result<(), String> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} (this build reads {SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
+        if self.ids.len() != self.elements.len() || self.ids.len() != self.generations.len() {
+            return Err(format!(
+                "inconsistent catalog arrays: {} ids, {} element sets, {} generations",
+                self.ids.len(),
+                self.elements.len(),
+                self.generations.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What [`Persister::open`] recovered from the state directory.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Newest snapshot that passed validation, if any.
+    pub snapshot: Option<Snapshot>,
+    /// WAL records newer than the snapshot, in order.
+    pub tail: Vec<Request>,
+    /// `Some(detail)` when the WAL ended in a damaged record (tolerated).
+    pub torn_tail: Option<String>,
+    /// Snapshot files that failed validation and were skipped.
+    pub corrupt_snapshots: usize,
+}
+
+/// Owns the state directory: appends WAL records, writes snapshots,
+/// rotates and compacts.
+#[derive(Debug)]
+pub struct Persister {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Last assigned WAL sequence number.
+    seq: u64,
+    snapshot_every: u64,
+    keep_snapshots: usize,
+    since_snapshot: u64,
+    /// Sequence numbers of snapshot files on disk, ascending.
+    snapshots: Vec<u64>,
+    faults: Arc<FaultPlan>,
+}
+
+impl Persister {
+    /// Open (or initialise) a state directory and recover its contents.
+    pub fn open(
+        options: &PersistOptions,
+        faults: Arc<FaultPlan>,
+    ) -> Result<(Persister, Recovery), PersistError> {
+        let dir = options.dir.clone();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| PersistError::io(format!("create state dir {}", dir.display()), e))?;
+
+        let mut listed = list_snapshots(&dir)?;
+        let mut recovery = Recovery::default();
+        for (seq, path) in listed.iter().rev() {
+            match load_snapshot(path) {
+                Ok(snapshot) => {
+                    debug_assert_eq!(snapshot.wal_seq, *seq);
+                    recovery.snapshot = Some(snapshot);
+                    break;
+                }
+                Err(err) => {
+                    eprintln!("kessler-service: skipping corrupt snapshot: {err}");
+                    recovery.corrupt_snapshots += 1;
+                }
+            }
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let replay = wal::read_wal(&wal_path)?;
+        let base_seq = recovery.snapshot.as_ref().map_or(0, |s| s.wal_seq);
+        let mut last_seq = base_seq;
+        for (seq, request) in replay.records {
+            last_seq = last_seq.max(seq);
+            if seq > base_seq {
+                recovery.tail.push(request);
+            }
+        }
+        recovery.torn_tail = replay.torn;
+
+        let mut persister = Persister {
+            dir,
+            wal: WalWriter::open_append(&wal_path)?,
+            seq: last_seq,
+            snapshot_every: options.snapshot_every.max(1),
+            keep_snapshots: options.keep_snapshots.max(2),
+            since_snapshot: recovery.tail.len() as u64,
+            snapshots: {
+                listed.sort_by_key(|(seq, _)| *seq);
+                listed.into_iter().map(|(seq, _)| seq).collect()
+            },
+            faults,
+        };
+        if recovery.torn_tail.is_some() {
+            // Drop the damaged tail bytes now: appending after a partial
+            // record would glue new frames onto the torn line and lose
+            // them too.
+            let keep_after = persister.snapshots.first().copied().unwrap_or(0);
+            persister.compact_wal(keep_after)?;
+        }
+        Ok((persister, recovery))
+    }
+
+    /// Last assigned WAL sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Durably append one acknowledged mutation.
+    pub fn append(&mut self, request: &Request) -> Result<(), PersistError> {
+        self.seq += 1;
+        if self.faults.take_torn_wal() {
+            self.wal.append_torn(self.seq, request)?;
+        } else {
+            self.wal.append(self.seq, request)?;
+        }
+        self.since_snapshot += 1;
+        Ok(())
+    }
+
+    /// `true` once enough mutations accumulated to warrant a snapshot.
+    pub fn should_snapshot(&self) -> bool {
+        self.since_snapshot >= self.snapshot_every
+    }
+
+    /// Write a snapshot atomically, rotate old ones, compact the WAL.
+    pub fn write_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), PersistError> {
+        snapshot
+            .validate()
+            .map_err(|e| PersistError::corrupt("snapshot", e))?;
+        let seq = snapshot.wal_seq;
+        let body = serde_json::to_string(snapshot)
+            .map_err(|e| PersistError::corrupt("snapshot", format!("unserializable: {e}")))?;
+        let mut line = wal::encode_frame(seq, &body);
+        line.push('\n');
+
+        let final_path = self.snapshot_path(seq);
+        let tmp_path = self.dir.join(format!("snapshot-{seq:020}.json.tmp"));
+        {
+            let mut file = File::create(&tmp_path)
+                .map_err(|e| PersistError::io(format!("create {}", tmp_path.display()), e))?;
+            file.write_all(line.as_bytes())
+                .map_err(|e| PersistError::io(format!("write {}", tmp_path.display()), e))?;
+            file.sync_all()
+                .map_err(|e| PersistError::io(format!("sync {}", tmp_path.display()), e))?;
+        }
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+            PersistError::io(
+                format!("rename {} into place", tmp_path.display()),
+                e,
+            )
+        })?;
+        sync_dir(&self.dir);
+
+        if !self.snapshots.contains(&seq) {
+            self.snapshots.push(seq);
+            self.snapshots.sort_unstable();
+        }
+        while self.snapshots.len() > self.keep_snapshots {
+            let old = self.snapshots.remove(0);
+            let _ = std::fs::remove_file(self.snapshot_path(old));
+        }
+
+        // Keep every WAL record the *oldest kept* snapshot does not cover,
+        // so falling back past a corrupt newest snapshot still replays to
+        // the present.
+        let keep_after = self.snapshots.first().copied().unwrap_or(0);
+        self.compact_wal(keep_after)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    fn snapshot_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("snapshot-{seq:020}.json"))
+    }
+
+    /// Rewrite the WAL keeping only valid records with `seq > keep_after`,
+    /// via tmp-file + atomic rename, then reopen the append handle.
+    fn compact_wal(&mut self, keep_after: u64) -> Result<(), PersistError> {
+        let wal_path = self.dir.join(WAL_FILE);
+        let replay = wal::read_wal(&wal_path)?;
+        let tmp_path = self.dir.join("wal.log.tmp");
+        {
+            let mut file = File::create(&tmp_path)
+                .map_err(|e| PersistError::io(format!("create {}", tmp_path.display()), e))?;
+            for (seq, request) in &replay.records {
+                if *seq <= keep_after {
+                    continue;
+                }
+                let body = serde_json::to_string(request).map_err(|e| {
+                    PersistError::corrupt("wal record", format!("unserializable: {e}"))
+                })?;
+                let mut line = wal::encode_frame(*seq, &body);
+                line.push('\n');
+                file.write_all(line.as_bytes())
+                    .map_err(|e| PersistError::io(format!("write {}", tmp_path.display()), e))?;
+            }
+            file.sync_all()
+                .map_err(|e| PersistError::io(format!("sync {}", tmp_path.display()), e))?;
+        }
+        std::fs::rename(&tmp_path, &wal_path)
+            .map_err(|e| PersistError::io("rename compacted wal into place".to_string(), e))?;
+        sync_dir(&self.dir);
+        self.wal = WalWriter::open_append(&wal_path)?;
+        Ok(())
+    }
+}
+
+fn sync_dir(dir: &Path) {
+    // Directory fsync is best-effort (not all platforms support it).
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| PersistError::io(format!("list state dir {}", dir.display()), e))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| PersistError::io(format!("list state dir {}", dir.display()), e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix("snapshot-")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(seq) = stem.parse::<u64>() else { continue };
+        found.push((seq, entry.path()));
+    }
+    found.sort_by_key(|(seq, _)| *seq);
+    Ok(found)
+}
+
+fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| PersistError::io(format!("read {}", path.display()), e))?;
+    let line = text
+        .lines()
+        .find(|l| !l.is_empty())
+        .ok_or_else(|| PersistError::corrupt(path.display().to_string(), "empty file"))?;
+    let (_, body) = wal::decode_frame(line)
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e))?;
+    let snapshot: Snapshot = serde_json::from_str(&body)
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
+    snapshot
+        .validate()
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e))?;
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!(
+            "kessler-persist-{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(id: u64) -> ElementsSpec {
+        ElementsSpec {
+            a: 7_000.0 + id as f64,
+            e: 0.001,
+            incl: 0.9,
+            raan: 1.0,
+            argp: 0.3,
+            mean_anomaly: 0.2,
+        }
+    }
+
+    fn add(id: u64) -> Request {
+        Request::Add {
+            id,
+            elements: spec(id),
+        }
+    }
+
+    fn snapshot_at(wal_seq: u64, n: u64) -> Snapshot {
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            wal_seq,
+            epoch: n,
+            ids: (0..n).collect(),
+            elements: (0..n).map(spec).collect(),
+            generations: (1..=n).collect(),
+            changed: (0..n as u32).collect(),
+            window_start: 0.0,
+            screened_n: None,
+            full_screens: 0,
+            delta_screens: 0,
+            conjunctions: Vec::new(),
+        }
+    }
+
+    fn options(dir: &Path) -> PersistOptions {
+        PersistOptions {
+            dir: dir.to_path_buf(),
+            snapshot_every: 1_000_000, // tests snapshot explicitly
+            keep_snapshots: 2,
+        }
+    }
+
+    #[test]
+    fn fresh_dir_recovers_nothing_and_replays_appends() {
+        let dir = temp_dir("fresh");
+        let (mut persister, recovery) =
+            Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert!(recovery.snapshot.is_none());
+        assert!(recovery.tail.is_empty());
+
+        for id in 0..5 {
+            persister.append(&add(id)).unwrap();
+        }
+        assert_eq!(persister.last_seq(), 5);
+        drop(persister);
+
+        let (persister, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert!(recovery.snapshot.is_none());
+        assert_eq!(recovery.tail.len(), 5);
+        assert_eq!(recovery.tail[3], add(3));
+        assert_eq!(persister.last_seq(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_covers_wal_and_rotation_keeps_two() {
+        let dir = temp_dir("rotate");
+        let (mut persister, _) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        for round in 0..4u64 {
+            for j in 0..3u64 {
+                persister.append(&add(round * 3 + j)).unwrap();
+            }
+            persister
+                .write_snapshot(&snapshot_at(persister.last_seq(), (round + 1) * 3))
+                .unwrap();
+        }
+        let listed = list_snapshots(&dir).unwrap();
+        assert_eq!(listed.len(), 2, "rotation keeps two snapshots");
+        assert_eq!(listed[0].0, 9);
+        assert_eq!(listed[1].0, 12);
+
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        let snapshot = recovery.snapshot.expect("newest snapshot");
+        assert_eq!(snapshot.wal_seq, 12);
+        assert_eq!(snapshot.ids.len(), 12);
+        assert!(recovery.tail.is_empty(), "snapshot covers the whole wal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_with_full_tail() {
+        let dir = temp_dir("fallback");
+        let (mut persister, _) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        // Snapshot at seq 2, then at seq 4; then two more appends.
+        persister.append(&add(0)).unwrap();
+        persister.append(&add(1)).unwrap();
+        persister.write_snapshot(&snapshot_at(2, 2)).unwrap();
+        persister.append(&add(2)).unwrap();
+        persister.append(&add(3)).unwrap();
+        persister.write_snapshot(&snapshot_at(4, 4)).unwrap();
+        persister.append(&add(4)).unwrap();
+        drop(persister);
+
+        // Vandalise the newest snapshot.
+        let newest = dir.join(format!("snapshot-{:020}.json", 4));
+        std::fs::write(&newest, "XXXX not a snapshot XXXX").unwrap();
+
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.corrupt_snapshots, 1);
+        let snapshot = recovery.snapshot.expect("fallback snapshot");
+        assert_eq!(snapshot.wal_seq, 2);
+        // Records 3, 4, 5 must still be in the WAL (fallback-safe
+        // compaction), so state reaches the present.
+        assert_eq!(recovery.tail, vec![add(2), add(3), add(4)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_wal_repaired() {
+        let dir = temp_dir("torn");
+        let faults = Arc::new(FaultPlan::default());
+        let (mut persister, _) = Persister::open(&options(&dir), Arc::clone(&faults)).unwrap();
+        persister.append(&add(0)).unwrap();
+        persister.append(&add(1)).unwrap();
+        faults.arm_torn_wal();
+        persister.append(&add(2)).unwrap(); // torn on disk
+        drop(persister);
+
+        let (mut persister, recovery) =
+            Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.tail, vec![add(0), add(1)]);
+        assert!(recovery.torn_tail.is_some());
+
+        // The repaired WAL accepts and replays new appends.
+        persister.append(&add(3)).unwrap();
+        drop(persister);
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert!(recovery.torn_tail.is_none());
+        assert_eq!(recovery.tail, vec![add(0), add(1), add(3)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

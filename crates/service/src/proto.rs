@@ -96,6 +96,16 @@ pub enum Request {
     Shutdown,
 }
 
+impl Request {
+    /// `true` for commands that mutate daemon state and therefore must be
+    /// written to the WAL before they are acknowledged. SCREEN/DELTA/
+    /// ADVANCE count: they move the engine's warm set and counters, which
+    /// replay must reproduce.
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, Request::Status | Request::Shutdown)
+    }
+}
+
 /// Server → client reply.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Response {
@@ -298,6 +308,119 @@ mod tests {
         assert_eq!(json, r#"{"ok":false,"error":"nope"}"#);
         let back: Response = serde_json::from_str(r#"{"ok":true}"#).unwrap();
         assert!(back.ok && back.error.is_none() && back.screen.is_none());
+    }
+
+    #[test]
+    fn every_response_payload_roundtrips() {
+        let conj = Conjunction {
+            id_lo: 1,
+            id_hi: 2,
+            tca: 120.5,
+            pca_km: 3.25,
+        };
+        let payloads = vec![
+            Response::with_catalog(CatalogAck {
+                id: 42,
+                index: 0,
+                n_satellites: 1,
+                epoch: 1,
+            }),
+            Response::with_screen(ScreenSummary {
+                variant: "grid".to_string(),
+                n_satellites: 100,
+                candidate_pairs: 12,
+                conjunctions: 3,
+                colliding_pairs: 2,
+                timings: PhaseTimings::default(),
+                top: vec![conj],
+            }),
+            Response::with_advance(AdvanceAck {
+                retired: 2,
+                discovered: 1,
+                window: (60.0, 660.0),
+            }),
+            Response::with_status(StatusInfo {
+                n_satellites: 100,
+                epoch: 7,
+                pending_changes: 3,
+                live_conjunctions: 5,
+                full_screens: 1,
+                delta_screens: 4,
+                requests_served: 9,
+                uptime_ms: 1234.5,
+                window: (0.0, 600.0),
+                last_screen: Some(LastScreen {
+                    variant: "grid-delta".to_string(),
+                    timings: PhaseTimings::default(),
+                }),
+            }),
+        ];
+        for response in payloads {
+            let json = serde_json::to_string(&response).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.ok, response.ok);
+            assert_eq!(back.catalog, response.catalog, "json: {json}");
+            assert_eq!(
+                back.screen.as_ref().map(|s| (&s.variant, s.conjunctions, s.top.clone())),
+                response
+                    .screen
+                    .as_ref()
+                    .map(|s| (&s.variant, s.conjunctions, s.top.clone())),
+                "json: {json}"
+            );
+            assert_eq!(back.advance, response.advance, "json: {json}");
+            assert_eq!(
+                back.status.as_ref().map(|s| (s.n_satellites, s.epoch, s.window)),
+                response
+                    .status
+                    .as_ref()
+                    .map(|s| (s.n_satellites, s.epoch, s.window)),
+                "json: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        // Not JSON at all.
+        assert!(serde_json::from_str::<Request>("nonsense {{{").is_err());
+        // Valid JSON, no cmd tag.
+        assert!(serde_json::from_str::<Request>(r#"{"id":1}"#).is_err());
+        // Unknown command word.
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"NOPE"}"#).is_err());
+        // Known command, missing required field.
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"ADD","id":1}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"ADVANCE"}"#).is_err());
+        // Wrong field type.
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"REMOVE","id":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn mutations_are_exactly_the_wal_worthy_commands() {
+        let spec = ElementsSpec {
+            a: 7_000.0,
+            e: 0.0,
+            incl: 0.0,
+            raan: 0.0,
+            argp: 0.0,
+            mean_anomaly: 0.0,
+        };
+        assert!(Request::Add {
+            id: 1,
+            elements: spec
+        }
+        .is_mutation());
+        assert!(Request::Update {
+            id: 1,
+            elements: spec
+        }
+        .is_mutation());
+        assert!(Request::Remove { id: 1 }.is_mutation());
+        assert!(Request::Screen.is_mutation());
+        assert!(Request::Delta.is_mutation());
+        assert!(Request::Advance { dt: 1.0 }.is_mutation());
+        assert!(!Request::Status.is_mutation());
+        assert!(!Request::Shutdown.is_mutation());
     }
 
     #[test]

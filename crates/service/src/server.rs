@@ -3,29 +3,96 @@
 //! Architecture: a thread per connection parses requests; cheap catalog
 //! mutations and STATUS execute inline under the state mutex, while
 //! screening commands (SCREEN / DELTA / ADVANCE) are funnelled through a
-//! single worker thread via a crossbeam channel, so concurrent clients
-//! cannot stampede the rayon pool with overlapping screens. Shared state is
-//! a [`ServiceState`] behind a `parking_lot::Mutex`.
+//! single worker thread via a *bounded* crossbeam channel, so concurrent
+//! clients cannot stampede the rayon pool — and when the queue is full,
+//! clients get an explicit "server busy" error instead of unbounded
+//! buffering. Shared state is a [`ServiceState`] behind a
+//! `parking_lot::Mutex`.
+//!
+//! Crash safety: with [`ServerOptions::persist`] set, every acknowledged
+//! mutation is appended to a write-ahead log *before* the response goes
+//! out, and the full state is snapshotted every `snapshot_every`
+//! mutations (see [`crate::persist`]). Restart recovery loads the newest
+//! valid snapshot and replays the WAL tail through the same
+//! [`ServiceState::handle`] path that produced it, which the delta
+//! correctness invariant makes deterministic — a recovered daemon answers
+//! STATUS/DELTA exactly as an uninterrupted one would.
+//!
+//! Panic isolation: screening runs inside `catch_unwind`, so a panic
+//! mid-screen becomes an ERROR response instead of a dead worker; if the
+//! worker thread dies anyway, a supervisor thread respawns it.
 //!
 //! Everything is std networking plus the workspace's existing concurrency
 //! crates — no async runtime, no protocol framework.
 
 use crate::catalog::Catalog;
 use crate::delta::DeltaEngine;
+use crate::error::ServiceError;
+use crate::fault::FaultPlan;
+use crate::persist::{PersistOptions, Persister, Snapshot, SNAPSHOT_VERSION};
 use crate::proto::{
-    AdvanceAck, CatalogAck, LastScreen, Request, Response, ScreenSummary, StatusInfo,
+    AdvanceAck, CatalogAck, ElementsSpec, LastScreen, Request, Response, ScreenSummary, StatusInfo,
 };
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use kessler_core::ScreeningConfig;
 use kessler_orbits::KeplerElements;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Hard cap on one request/response line, server- and client-side. A JSON
+/// request is a few hundred bytes; anything near this is garbage or abuse.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Tunables for [`Server::bind_with`]. `Default` matches production use:
+/// no persistence, bounded queue, generous-but-finite socket timeouts.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Enable the WAL + snapshot durability layer.
+    pub persist: Option<PersistOptions>,
+    /// Screening requests queued before clients get "server busy".
+    pub queue_depth: usize,
+    /// Per-connection read timeout (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+    /// Per-line byte cap; oversized lines get an error response.
+    pub max_line_bytes: usize,
+    /// Fault-injection hooks; inert outside the crash-safety tests.
+    pub faults: Arc<FaultPlan>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            persist: None,
+            queue_depth: 32,
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_line_bytes: MAX_LINE_BYTES,
+            faults: FaultPlan::inert(),
+        }
+    }
+}
+
+/// What startup recovery found in the state directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverySummary {
+    /// WAL seq of the snapshot the state was restored from.
+    pub snapshot_seq: Option<u64>,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// The WAL ended in a torn record (dropped; expected after a crash).
+    pub torn_tail: bool,
+    /// Snapshot files skipped as corrupt.
+    pub corrupt_snapshots: usize,
+}
 
 /// The daemon's mutable heart: catalog + warm delta engine + change set.
 pub struct ServiceState {
@@ -57,6 +124,73 @@ impl ServiceState {
 
     pub fn engine(&self) -> &DeltaEngine {
         &self.engine
+    }
+
+    /// Capture the complete state as a snapshot covering WAL records up to
+    /// `wal_seq`.
+    pub fn snapshot(&self, wal_seq: u64) -> Snapshot {
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            wal_seq,
+            epoch: self.catalog.epoch(),
+            ids: self.catalog.ids().to_vec(),
+            elements: self
+                .catalog
+                .elements()
+                .iter()
+                .map(ElementsSpec::from_elements)
+                .collect(),
+            generations: self.catalog.generations().to_vec(),
+            changed: self.changed.iter().copied().collect(),
+            window_start: self.window_start,
+            screened_n: self.engine.screened_n(),
+            full_screens: self.engine.full_screens(),
+            delta_screens: self.engine.delta_screens(),
+            conjunctions: self.engine.conjunctions(),
+        }
+    }
+
+    /// Rebuild the state a [`ServiceState::snapshot`] captured.
+    pub fn restore_from(
+        config: ScreeningConfig,
+        snapshot: &Snapshot,
+    ) -> Result<ServiceState, ServiceError> {
+        let mut elements = Vec::with_capacity(snapshot.elements.len());
+        for spec in &snapshot.elements {
+            elements.push(
+                spec.into_elements()
+                    .map_err(|e| ServiceError::Recovery(format!("snapshot elements: {e}")))?,
+            );
+        }
+        let catalog = Catalog::restore(
+            snapshot.epoch,
+            snapshot.ids.clone(),
+            elements,
+            snapshot.generations.clone(),
+        )
+        .map_err(ServiceError::Recovery)?;
+        let engine = DeltaEngine::restore(
+            config,
+            snapshot.screened_n,
+            snapshot.full_screens,
+            snapshot.delta_screens,
+            &snapshot.conjunctions,
+        )
+        .map_err(ServiceError::Recovery)?;
+        let changed: BTreeSet<u32> = snapshot
+            .changed
+            .iter()
+            .copied()
+            .filter(|&i| (i as usize) < catalog.len())
+            .collect();
+        Ok(ServiceState {
+            catalog,
+            engine,
+            changed,
+            window_start: snapshot.window_start,
+            requests: 0,
+            started: Instant::now(),
+        })
     }
 
     fn note_request(&mut self) {
@@ -207,53 +341,203 @@ enum Job {
 
 struct Shared {
     state: Mutex<ServiceState>,
+    persist: Option<Mutex<Persister>>,
     shutdown: AtomicBool,
     jobs: Sender<Job>,
     addr: SocketAddr,
+    faults: Arc<FaultPlan>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    max_line_bytes: usize,
+}
+
+/// Execute a request and, if it mutated state, write it to the WAL before
+/// the response escapes — the single choke point both the inline path and
+/// the screening worker go through. A WAL append failure turns the
+/// response into an error (the mutation is applied in memory but the
+/// client must not treat it as durable); a snapshot failure only logs,
+/// since the WAL still covers every acknowledged record.
+fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
+    let state = &mut *shared.state.lock();
+    let response = state.handle(request);
+    if response.ok && request.is_mutation() {
+        if let Some(persist) = &shared.persist {
+            let mut persister = persist.lock();
+            if let Err(err) = persister.append(request) {
+                return Response::error(format!("applied but not persisted: {err}"));
+            }
+            if persister.should_snapshot() {
+                let snapshot = state.snapshot(persister.last_seq());
+                if let Err(err) = persister.write_snapshot(&snapshot) {
+                    eprintln!("kessler-service: snapshot failed (wal still intact): {err}");
+                }
+            }
+        }
+    }
+    response
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// The screening worker: drains jobs, isolating each screen inside
+/// `catch_unwind` so a panic answers that one request with an ERROR
+/// instead of killing the thread.
+fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Heavy { request, reply } => {
+                if shared.faults.take_kill_worker() {
+                    // Outside the guard: the thread dies and the
+                    // supervisor must respawn it.
+                    panic!("fault injection: kill worker");
+                }
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    if shared.faults.take_panic_screen() {
+                        panic!("fault injection: screening panic");
+                    }
+                    handle_and_persist(shared, &request)
+                }));
+                let response = outcome.unwrap_or_else(|payload| {
+                    Response::error(format!("screening panicked: {}", panic_message(&*payload)))
+                });
+                let _ = reply.send(response);
+            }
+            Job::Stop => break,
+        }
+    }
+}
+
+/// Spawn the worker under a supervisor that respawns it if it ever dies
+/// from an un-caught panic (graceful `Job::Stop` exits both).
+fn spawn_supervised_worker(
+    shared: Arc<Shared>,
+    jobs: Receiver<Job>,
+) -> Result<JoinHandle<()>, ServiceError> {
+    thread::Builder::new()
+        .name("kessler-screen-supervisor".into())
+        .spawn(move || loop {
+            let worker_shared = Arc::clone(&shared);
+            let worker_jobs = jobs.clone();
+            let worker = match thread::Builder::new()
+                .name("kessler-screen".into())
+                .spawn(move || worker_loop(&worker_shared, &worker_jobs))
+            {
+                Ok(handle) => handle,
+                Err(err) => {
+                    eprintln!("kessler-service: could not respawn screening worker: {err}");
+                    return;
+                }
+            };
+            match worker.join() {
+                Ok(()) => return,
+                Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+                Err(_) => {
+                    eprintln!("kessler-service: screening worker died; respawning");
+                }
+            }
+        })
+        .map_err(|e| ServiceError::Spawn {
+            what: "screening supervisor",
+            source: e,
+        })
 }
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    recovery: Option<RecoverySummary>,
 }
 
 impl Server {
-    /// Bind to `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for ephemeral).
-    pub fn bind(addr: &str, config: ScreeningConfig) -> Result<Server, String> {
-        let state = ServiceState::new(config)?;
-        let listener =
-            TcpListener::bind(addr).map_err(|e| format!("could not bind {addr}: {e}"))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| format!("no local addr: {e}"))?;
-        let (jobs_tx, jobs_rx) = unbounded::<Job>();
+    /// Bind to `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for ephemeral)
+    /// with default options (no persistence).
+    pub fn bind(addr: &str, config: ScreeningConfig) -> Result<Server, ServiceError> {
+        Server::bind_with(addr, config, ServerOptions::default())
+    }
+
+    /// Bind with explicit options. With [`ServerOptions::persist`] set,
+    /// recovers state from the directory before accepting connections:
+    /// newest valid snapshot, then WAL tail replayed through the normal
+    /// request path, then a fresh snapshot folding the replay in.
+    pub fn bind_with(
+        addr: &str,
+        config: ScreeningConfig,
+        options: ServerOptions,
+    ) -> Result<Server, ServiceError> {
+        let mut persister = None;
+        let mut recovery_summary = None;
+        let mut state = match &options.persist {
+            Some(persist_options) => {
+                let (mut p, recovery) =
+                    Persister::open(persist_options, Arc::clone(&options.faults))?;
+                let mut state = match &recovery.snapshot {
+                    Some(snapshot) => ServiceState::restore_from(config, snapshot)?,
+                    None => ServiceState::new(config).map_err(ServiceError::Config)?,
+                };
+                for request in &recovery.tail {
+                    let response = state.handle(request);
+                    if !response.ok {
+                        return Err(ServiceError::Recovery(format!(
+                            "replaying wal record {request:?}: {}",
+                            response.error.unwrap_or_default()
+                        )));
+                    }
+                }
+                if !recovery.tail.is_empty() {
+                    // Fold the replay into a fresh snapshot so the next
+                    // restart starts from here.
+                    let snapshot = state.snapshot(p.last_seq());
+                    p.write_snapshot(&snapshot)?;
+                }
+                recovery_summary = Some(RecoverySummary {
+                    snapshot_seq: recovery.snapshot.as_ref().map(|s| s.wal_seq),
+                    replayed: recovery.tail.len(),
+                    torn_tail: recovery.torn_tail.is_some(),
+                    corrupt_snapshots: recovery.corrupt_snapshots,
+                });
+                persister = Some(p);
+                state
+            }
+            None => ServiceState::new(config).map_err(ServiceError::Config)?,
+        };
+        state.requests = 0;
+
+        let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {
+            addr: addr.to_string(),
+            source: e,
+        })?;
+        let local = listener.local_addr().map_err(|e| ServiceError::Bind {
+            addr: addr.to_string(),
+            source: e,
+        })?;
+        let (jobs_tx, jobs_rx) = bounded::<Job>(options.queue_depth.max(1));
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
+            persist: persister.map(Mutex::new),
             shutdown: AtomicBool::new(false),
             jobs: jobs_tx,
             addr: local,
+            faults: options.faults,
+            read_timeout: options.read_timeout,
+            write_timeout: options.write_timeout,
+            max_line_bytes: options.max_line_bytes.max(1024),
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = thread::Builder::new()
-            .name("kessler-screen".into())
-            .spawn(move || {
-                while let Ok(job) = jobs_rx.recv() {
-                    match job {
-                        Job::Heavy { request, reply } => {
-                            let response = worker_shared.state.lock().handle(&request);
-                            let _ = reply.send(response);
-                        }
-                        Job::Stop => break,
-                    }
-                }
-            })
-            .map_err(|e| format!("could not spawn screening worker: {e}"))?;
+        let supervisor = spawn_supervised_worker(Arc::clone(&shared), jobs_rx)?;
         Ok(Server {
             listener,
             shared,
-            worker: Some(worker),
+            supervisor: Some(supervisor),
+            recovery: recovery_summary,
         })
     }
 
@@ -262,15 +546,32 @@ impl Server {
         self.shared.addr
     }
 
-    /// Seed the catalog before serving, using dense indices as external ids.
-    pub fn preload(&self, population: &[KeplerElements]) -> Result<usize, String> {
-        let mut state = self.shared.state.lock();
+    /// What startup recovery found (`None` without persistence).
+    pub fn recovery(&self) -> Option<&RecoverySummary> {
+        self.recovery.as_ref()
+    }
+
+    /// Current catalog size (used by the CLI to skip preloading over a
+    /// recovered catalog).
+    pub fn catalog_len(&self) -> usize {
+        self.shared.state.lock().catalog.len()
+    }
+
+    /// Seed the catalog before serving, using dense indices as external
+    /// ids. Goes through the normal request path so the WAL covers it.
+    pub fn preload(&self, population: &[KeplerElements]) -> Result<usize, ServiceError> {
         for (i, el) in population.iter().enumerate() {
-            let index = state
-                .catalog
-                .add(i as u64, *el)
-                .map_err(|e| e.to_string())?;
-            state.changed.insert(index);
+            let request = Request::Add {
+                id: i as u64,
+                elements: ElementsSpec::from_elements(el),
+            };
+            let response = handle_and_persist(&self.shared, &request);
+            if !response.ok {
+                return Err(ServiceError::Recovery(format!(
+                    "preload of satellite {i} failed: {}",
+                    response.error.unwrap_or_default()
+                )));
+            }
         }
         Ok(population.len())
     }
@@ -291,19 +592,22 @@ impl Server {
                 .spawn(move || handle_connection(stream, shared));
         }
         let _ = self.shared.jobs.send(Job::Stop);
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 
     /// Run on a background thread; returns a handle for tests and the CLI.
-    pub fn spawn(self) -> ServerHandle {
+    pub fn spawn(self) -> Result<ServerHandle, ServiceError> {
         let addr = self.local_addr();
         let join = thread::Builder::new()
             .name("kessler-serve".into())
             .spawn(move || self.run())
-            .expect("could not spawn server thread");
-        ServerHandle { addr, join }
+            .map_err(|e| ServiceError::Spawn {
+                what: "server accept loop",
+                source: e,
+            })?;
+        Ok(ServerHandle { addr, join })
     }
 }
 
@@ -325,45 +629,118 @@ impl ServerHandle {
     }
 }
 
+enum LineOutcome {
+    /// A complete line is in the buffer (newline included if present).
+    Line,
+    /// The line blew past the cap; the remainder was drained.
+    Oversized,
+    Eof,
+}
+
+/// Read one newline-terminated line of at most `max` bytes. An oversized
+/// line is drained to its newline so the connection can resync, and
+/// reported as [`LineOutcome::Oversized`] rather than an error — the
+/// client gets a protocol-level ERROR and keeps its connection.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<LineOutcome> {
+    buf.clear();
+    // UFCS so `take` borrows the reader (via `impl Read for &mut R`)
+    // instead of consuming it — the caller reuses it across lines.
+    let n = Read::take(&mut *reader, max as u64 + 1).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineOutcome::Eof);
+    }
+    if buf.len() > max && !buf.ends_with(b"\n") {
+        drain_line(reader)?;
+        return Ok(LineOutcome::Oversized);
+    }
+    Ok(LineOutcome::Line)
+}
+
+/// Consume input up to and including the next newline (or EOF).
+fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let reader = match stream.try_clone() {
+    let _ = stream.set_read_timeout(shared.read_timeout);
+    let _ = stream.set_write_timeout(shared.write_timeout);
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let outcome = match read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
+            Ok(outcome) => outcome,
+            // Covers read timeouts (idle connections get reaped) and
+            // resets; nothing to answer on a broken socket.
             Err(_) => break,
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let parsed: Result<Request, _> = serde_json::from_str(&line);
-        let is_shutdown = matches!(parsed, Ok(Request::Shutdown));
-        let response = match parsed {
-            Err(e) => Response::error(format!("bad request: {e}")),
-            Ok(req @ (Request::Screen | Request::Delta | Request::Advance { .. })) => {
-                // Screening is serialized through the worker so overlapping
-                // clients don't contend inside rayon.
-                let (reply_tx, reply_rx) = bounded(1);
-                let job = Job::Heavy {
-                    request: req,
-                    reply: reply_tx,
-                };
-                if shared.jobs.send(job).is_err() {
-                    Response::error("server is shutting down")
-                } else {
-                    reply_rx
-                        .recv()
-                        .unwrap_or_else(|_| Response::error("screening worker unavailable"))
+        let mut is_shutdown = false;
+        let response = match outcome {
+            LineOutcome::Eof => break,
+            LineOutcome::Oversized => Response::error(format!(
+                "request line exceeds the {}-byte cap",
+                shared.max_line_bytes
+            )),
+            LineOutcome::Line => {
+                let text = String::from_utf8_lossy(&buf);
+                let line = text.trim();
+                if line.is_empty() {
+                    continue;
                 }
-            }
-            Ok(req) => {
-                if is_shutdown {
-                    shared.shutdown.store(true, Ordering::SeqCst);
+                let parsed: Result<Request, _> = serde_json::from_str(line);
+                is_shutdown = matches!(parsed, Ok(Request::Shutdown));
+                match parsed {
+                    Err(e) => Response::error(format!("bad request: {e}")),
+                    Ok(req @ (Request::Screen | Request::Delta | Request::Advance { .. })) => {
+                        // Screening is serialized through the worker so
+                        // overlapping clients don't contend inside rayon;
+                        // the bounded queue sheds load explicitly.
+                        let (reply_tx, reply_rx) = bounded(1);
+                        let job = Job::Heavy {
+                            request: req,
+                            reply: reply_tx,
+                        };
+                        match shared.jobs.try_send(job) {
+                            Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
+                                Response::error("screening worker unavailable, retry")
+                            }),
+                            Err(TrySendError::Full(_)) => Response::error(
+                                "server busy: screening queue is full, retry later",
+                            ),
+                            Err(TrySendError::Disconnected(_)) => {
+                                Response::error("server is shutting down")
+                            }
+                        }
+                    }
+                    Ok(req) => {
+                        if is_shutdown {
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                        }
+                        handle_and_persist(&shared, &req)
+                    }
                 }
-                shared.state.lock().handle(&req)
             }
         };
         let mut payload = match serde_json::to_string(&response) {
@@ -388,6 +765,31 @@ pub fn request<A: ToSocketAddrs>(addr: A, req: &Request) -> io::Result<Response>
     client.send(req)
 }
 
+/// One-shot request/response with a deadline on connect, write, and read.
+pub fn request_with_timeout<A: ToSocketAddrs>(
+    addr: A,
+    req: &Request,
+    timeout: Duration,
+) -> io::Result<Response> {
+    let mut last_err = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                let reader = BufReader::new(stream.try_clone()?);
+                let mut client = Client {
+                    reader,
+                    writer: stream,
+                };
+                return client.send(req);
+            }
+            Err(err) => last_err = Some(err),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no addresses to connect to")))
+}
+
 /// A persistent JSON-lines client connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -404,6 +806,16 @@ impl Client {
         })
     }
 
+    /// Apply read/write deadlines to the connection (`None` = blocking).
+    pub fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.writer.set_read_timeout(read)?;
+        self.writer.set_write_timeout(write)
+    }
+
     /// Send a request and block for its response.
     pub fn send(&mut self, req: &Request) -> io::Result<Response> {
         let line = serde_json::to_string(req)
@@ -412,7 +824,18 @@ impl Client {
     }
 
     /// Send a raw line (not necessarily valid JSON) and read one response.
+    /// Lines over [`MAX_LINE_BYTES`] are refused locally — the server
+    /// would reject them anyway.
     pub fn send_line(&mut self, line: &str) -> io::Result<Response> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte protocol cap",
+                    line.len()
+                ),
+            ));
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -553,5 +976,92 @@ mod tests {
         assert_eq!(r.advance.unwrap().window, (60.0, 180.0));
         let r = state.handle(&Request::Advance { dt: -1.0 });
         assert!(!r.ok, "negative dt must fail");
+    }
+
+    #[test]
+    fn state_snapshot_roundtrips() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..10u64 {
+            state.handle(&Request::Add {
+                id: i * 10,
+                elements: spec(
+                    7_000.0 + i as f64 * 3.0,
+                    0.4 + (i % 5) as f64 * 0.3,
+                    i as f64 * 0.37,
+                ),
+            });
+        }
+        state.handle(&Request::Screen);
+        state.handle(&Request::Update {
+            id: 30,
+            elements: spec(7_009.5, 1.6, 2.0),
+        });
+        state.handle(&Request::Advance { dt: 30.0 });
+        state.handle(&Request::Update {
+            id: 50,
+            elements: spec(7_020.0, 0.8, 1.0),
+        });
+
+        let snapshot = state.snapshot(17);
+        assert_eq!(snapshot.wal_seq, 17);
+        let restored = ServiceState::restore_from(config, &snapshot).unwrap();
+
+        let a = state.status();
+        let b = restored.status();
+        assert_eq!(b.n_satellites, a.n_satellites);
+        assert_eq!(b.epoch, a.epoch);
+        assert_eq!(b.pending_changes, a.pending_changes);
+        assert_eq!(b.live_conjunctions, a.live_conjunctions);
+        assert_eq!(b.full_screens, a.full_screens);
+        assert_eq!(b.delta_screens, a.delta_screens);
+        assert_eq!(b.window, a.window);
+        assert_eq!(restored.engine().conjunctions(), state.engine().conjunctions());
+        assert_eq!(restored.catalog().ids(), state.catalog().ids());
+
+        // A corrupted snapshot is rejected, not silently accepted.
+        let mut bad = snapshot.clone();
+        bad.generations.pop();
+        assert!(ServiceState::restore_from(config, &bad).is_err());
+    }
+
+    #[test]
+    fn bounded_line_reader_enforces_the_cap() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+
+        let mut ok = Cursor::new(b"{\"cmd\":\"STATUS\"}\nrest\n".to_vec());
+        assert!(matches!(
+            read_bounded_line(&mut ok, &mut buf, 64).unwrap(),
+            LineOutcome::Line
+        ));
+        assert_eq!(buf, b"{\"cmd\":\"STATUS\"}\n");
+
+        // An oversized line is drained; the next line still parses.
+        let mut big = Vec::new();
+        big.extend(std::iter::repeat_n(b'x', 100));
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        let mut oversized = Cursor::new(big);
+        assert!(matches!(
+            read_bounded_line(&mut oversized, &mut buf, 64).unwrap(),
+            LineOutcome::Oversized
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut oversized, &mut buf, 64).unwrap(),
+            LineOutcome::Line
+        ));
+        assert_eq!(buf, b"after\n");
+        assert!(matches!(
+            read_bounded_line(&mut oversized, &mut buf, 64).unwrap(),
+            LineOutcome::Eof
+        ));
+
+        // Exactly at the cap (plus newline) is still fine.
+        let mut exact = Cursor::new([vec![b'y'; 64], vec![b'\n']].concat());
+        assert!(matches!(
+            read_bounded_line(&mut exact, &mut buf, 64).unwrap(),
+            LineOutcome::Line
+        ));
     }
 }

@@ -1,0 +1,307 @@
+//! Append-only write-ahead log of catalog/engine mutations.
+//!
+//! Every state-mutating request the daemon acknowledges (ADD / UPDATE /
+//! REMOVE / SCREEN / DELTA / ADVANCE) is first appended here as one
+//! JSON line, flushed and fsynced, so a crash after the acknowledgement
+//! cannot lose it. Each line is a self-validating frame:
+//!
+//! ```text
+//! {"seq":12,"len":34,"sum":9837134134,"body":"{\"cmd\":\"ADD\",...}"}
+//! ```
+//!
+//! `seq` is a strictly increasing record number, `len` the byte length of
+//! `body`, and `sum` a MurmurHash3 checksum of the body bytes. Replay
+//! ([`read_wal`]) accepts the longest valid prefix: the first frame that
+//! fails length/checksum/JSON validation — or breaks the sequence order —
+//! ends the replay, which is exactly the torn-tail semantics an
+//! append-only log needs (a crash mid-`write` damages only the tail).
+
+use crate::error::PersistError;
+use crate::proto::Request;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Checksum seed: any fixed value works, it only has to match on replay.
+const CHECKSUM_SEED: u32 = 0x5eed_cafe;
+
+/// MurmurHash3-based content checksum used by WAL frames and snapshots.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    kessler_grid::murmur::murmur3_x64_128(bytes, CHECKSUM_SEED).0
+}
+
+/// One framed line: a checksummed, length-tagged payload.
+#[derive(Debug, Serialize, Deserialize)]
+struct Frame {
+    seq: u64,
+    len: usize,
+    sum: u64,
+    body: String,
+}
+
+/// Encode `body` into one frame line (no trailing newline).
+pub fn encode_frame(seq: u64, body: &str) -> String {
+    let frame = Frame {
+        seq,
+        len: body.len(),
+        sum: checksum(body.as_bytes()),
+        body: body.to_string(),
+    };
+    serde_json::to_string(&frame).expect("frame of valid strings always serializes")
+}
+
+/// Decode one frame line, validating length and checksum.
+pub fn decode_frame(line: &str) -> Result<(u64, String), String> {
+    let frame: Frame = serde_json::from_str(line).map_err(|e| format!("unparseable frame: {e}"))?;
+    if frame.body.len() != frame.len {
+        return Err(format!(
+            "length mismatch: frame says {} bytes, body has {}",
+            frame.len,
+            frame.body.len()
+        ));
+    }
+    let sum = checksum(frame.body.as_bytes());
+    if sum != frame.sum {
+        return Err(format!(
+            "checksum mismatch: frame says {:#x}, body hashes to {sum:#x}",
+            frame.sum
+        ));
+    }
+    Ok((frame.seq, frame.body))
+}
+
+/// What [`read_wal`] recovered.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Valid records in order: `(seq, request)`.
+    pub records: Vec<(u64, Request)>,
+    /// `Some(detail)` when replay stopped before the end of the file
+    /// (torn tail, corrupt record, or sequence regression).
+    pub torn: Option<String>,
+}
+
+/// Read a WAL file, tolerating a damaged tail. A missing file is an
+/// empty log; any I/O error other than NotFound is surfaced.
+pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReplay::default())
+        }
+        Err(err) => return Err(PersistError::io(format!("read {}", path.display()), err)),
+    };
+    let mut replay = WalReplay::default();
+    let mut last_seq = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (seq, body) = match decode_frame(line) {
+            Ok(decoded) => decoded,
+            Err(detail) => {
+                replay.torn = Some(format!("record {}: {detail}", lineno + 1));
+                break;
+            }
+        };
+        if seq <= last_seq {
+            replay.torn = Some(format!(
+                "record {}: sequence went backwards ({seq} after {last_seq})",
+                lineno + 1
+            ));
+            break;
+        }
+        let request: Request = match serde_json::from_str(&body) {
+            Ok(request) => request,
+            Err(err) => {
+                replay.torn = Some(format!("record {}: bad request body: {err}", lineno + 1));
+                break;
+            }
+        };
+        last_seq = seq;
+        replay.records.push((seq, request));
+    }
+    Ok(replay)
+}
+
+/// Append handle on a WAL file. Every append is flushed and fsynced
+/// before it returns, so an acknowledged record survives a crash.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    pub fn open_append(path: &Path) -> Result<WalWriter, PersistError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| PersistError::io(format!("open {} for append", path.display()), e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record durably.
+    pub fn append(&mut self, seq: u64, request: &Request) -> Result<(), PersistError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| PersistError::corrupt("wal record", format!("unserializable: {e}")))?;
+        let mut line = encode_frame(seq, &body);
+        line.push('\n');
+        self.write_bytes(line.as_bytes())
+    }
+
+    /// Fault injection: append only the first half of the record's bytes
+    /// (no newline), as a crash mid-`write` would leave the file, while
+    /// still reporting success to the caller.
+    pub fn append_torn(&mut self, seq: u64, request: &Request) -> Result<(), PersistError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| PersistError::corrupt("wal record", format!("unserializable: {e}")))?;
+        let line = encode_frame(seq, &body);
+        let half = line.len() / 2;
+        self.write_bytes(&line.as_bytes()[..half])
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let context = || format!("append to {}", self.path.display());
+        self.file
+            .write_all(bytes)
+            .map_err(|e| PersistError::io(context(), e))?;
+        self.file
+            .flush()
+            .map_err(|e| PersistError::io(context(), e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::io(context(), e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ElementsSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "kessler-wal-{tag}-{}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    fn spec() -> ElementsSpec {
+        ElementsSpec {
+            a: 7_000.0,
+            e: 0.001,
+            incl: 0.9,
+            raan: 1.0,
+            argp: 0.3,
+            mean_anomaly: 0.2,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_corruption() {
+        let body = r#"{"cmd":"SCREEN"}"#;
+        let line = encode_frame(7, body);
+        let (seq, back) = decode_frame(&line).expect("valid frame");
+        assert_eq!(seq, 7);
+        assert_eq!(back, body);
+
+        // Flip one payload byte: the checksum must catch it.
+        let tampered = line.replace("SCREEN", "SCREEM");
+        assert!(decode_frame(&tampered).is_err());
+        // Truncate: unparseable.
+        assert!(decode_frame(&line[..line.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn wal_roundtrips_records_in_order() {
+        let path = temp_wal("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open_append(&path).unwrap();
+        let records = vec![
+            Request::Add {
+                id: 1,
+                elements: spec(),
+            },
+            Request::Screen,
+            Request::Advance { dt: 60.0 },
+        ];
+        for (i, r) in records.iter().enumerate() {
+            writer.append(i as u64 + 1, r).unwrap();
+        }
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn.is_none(), "{:?}", replay.torn);
+        assert_eq!(replay.records.len(), 3);
+        for (i, (seq, r)) in replay.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert_eq!(r, &records[i]);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_valid_prefix() {
+        let path = temp_wal("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open_append(&path).unwrap();
+        writer
+            .append(
+                1,
+                &Request::Add {
+                    id: 1,
+                    elements: spec(),
+                },
+            )
+            .unwrap();
+        writer.append(2, &Request::Screen).unwrap();
+        writer
+            .append_torn(3, &Request::Remove { id: 1 })
+            .unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert!(replay.torn.is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_mid_file_stops_replay_there() {
+        let path = temp_wal("midcorrupt");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open_append(&path).unwrap();
+        for seq in 1..=4u64 {
+            writer.append(seq, &Request::Screen).unwrap();
+        }
+        drop(writer);
+        // Damage record 2 in place.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = lines[1].replace("SCREEN", "SCREAM");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let replay = read_wal(&path).unwrap();
+        assert_eq!(replay.records.len(), 1, "only the prefix before the damage");
+        assert!(replay.torn.is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let path = temp_wal("missing");
+        let _ = std::fs::remove_file(&path);
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(replay.torn.is_none());
+    }
+}

@@ -23,7 +23,7 @@ fn four_concurrent_clients_drive_the_daemon() {
     let config = ScreeningConfig::grid_defaults(5.0, 120.0);
     let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
     let addr = server.local_addr();
-    let handle = server.spawn();
+    let handle = server.spawn().expect("spawn server thread");
 
     // Four clients, each adding eight satellites over its own connection.
     let adders: Vec<_> = (0..4u64)

@@ -1,0 +1,263 @@
+//! Crash-recovery end-to-end tests: a daemon killed and restarted from
+//! its state directory must answer STATUS and DELTA exactly like a daemon
+//! that never died. Both rest on the delta-correctness invariant — WAL
+//! replay re-drives the same requests through the same deterministic
+//! request path.
+
+use kessler_core::ScreeningConfig;
+use kessler_service::proto::{ElementsSpec, StatusInfo};
+use kessler_service::{
+    request, PersistOptions, Request, Response, Server, ServerHandle, ServerOptions,
+};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "kessler-recovery-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec_for(id: u64) -> ElementsSpec {
+    ElementsSpec {
+        a: 7_000.0 + id as f64 * 3.0,
+        e: 0.001,
+        incl: 0.4 + (id % 7) as f64 * 0.3,
+        raan: id as f64 * 0.2,
+        argp: 0.1,
+        mean_anomaly: id as f64 * 0.37,
+    }
+}
+
+fn config() -> ScreeningConfig {
+    ScreeningConfig::grid_defaults(5.0, 120.0)
+}
+
+fn serve_persistent(dir: &Path, snapshot_every: u64) -> ServerHandle {
+    let options = ServerOptions {
+        persist: Some(PersistOptions {
+            dir: dir.to_path_buf(),
+            snapshot_every,
+            keep_snapshots: 2,
+        }),
+        ..ServerOptions::default()
+    };
+    Server::bind_with("127.0.0.1:0", config(), options)
+        .expect("bind persistent server")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+fn serve_ephemeral() -> ServerHandle {
+    Server::bind("127.0.0.1:0", config())
+        .expect("bind ephemeral server")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+fn drive(addr: SocketAddr, requests: &[Request]) -> Vec<Response> {
+    let mut client = kessler_service::Client::connect(addr).expect("connect");
+    requests
+        .iter()
+        .map(|req| {
+            let response = client.send(req).expect("request");
+            assert!(response.ok, "{req:?} failed: {:?}", response.error);
+            response
+        })
+        .collect()
+}
+
+fn status_of(addr: SocketAddr) -> StatusInfo {
+    request(addr, &Request::Status)
+        .expect("STATUS")
+        .status
+        .expect("status payload")
+}
+
+/// The parts of STATUS that must survive a restart bit-for-bit. Wall-clock
+/// fields (uptime, timings) and the request counter are process-local.
+fn durable_key(s: &StatusInfo) -> (usize, u64, usize, usize, u64, u64, (f64, f64)) {
+    (
+        s.n_satellites,
+        s.epoch,
+        s.pending_changes,
+        s.live_conjunctions,
+        s.full_screens,
+        s.delta_screens,
+        s.window,
+    )
+}
+
+#[test]
+fn restart_resumes_warm_and_matches_uninterrupted() {
+    let dir = temp_dir("restart");
+
+    // A script exercising every mutation: populate, screen, update, delta,
+    // slide the window, add more (leaving pending changes un-screened).
+    let mut script: Vec<Request> = (0..24u64)
+        .map(|id| Request::Add {
+            id,
+            elements: spec_for(id),
+        })
+        .collect();
+    script.push(Request::Screen);
+    script.push(Request::Update {
+        id: 3,
+        elements: spec_for(40),
+    });
+    script.push(Request::Delta);
+    script.push(Request::Advance { dt: 30.0 });
+    script.push(Request::Add {
+        id: 24,
+        elements: spec_for(24),
+    });
+    script.push(Request::Add {
+        id: 25,
+        elements: spec_for(25),
+    });
+
+    // Daemon A: run the script with snapshots every 4 mutations, then die
+    // (shutdown without any special flushing — every ack is already
+    // durable).
+    let daemon_a = serve_persistent(&dir, 4);
+    drive(daemon_a.addr(), &script);
+    let final_a = status_of(daemon_a.addr());
+    daemon_a.shutdown();
+
+    // Daemon B: restart from the state directory. No script — everything
+    // must come back from snapshot + WAL replay.
+    let daemon_b = serve_persistent(&dir, 4);
+    // Daemon C: a control that never died, driven with the identical
+    // script on a fresh in-memory server.
+    let daemon_c = serve_ephemeral();
+    drive(daemon_c.addr(), &script);
+
+    let status_b = status_of(daemon_b.addr());
+    let status_c = status_of(daemon_c.addr());
+    assert_eq!(
+        durable_key(&status_b),
+        durable_key(&final_a),
+        "restarted daemon differs from its pre-crash state"
+    );
+    assert_eq!(
+        durable_key(&status_b),
+        durable_key(&status_c),
+        "restarted daemon differs from an uninterrupted control"
+    );
+    // The warm engine carried over: the same UPDATE + DELTA on both
+    // daemons produces identical summaries, including the top set.
+    let post: Vec<Request> = vec![
+        Request::Update {
+            id: 5,
+            elements: spec_for(41),
+        },
+        Request::Delta,
+    ];
+    let from_b = drive(daemon_b.addr(), &post);
+    let from_c = drive(daemon_c.addr(), &post);
+    let delta_b = from_b[1].screen.as_ref().expect("DELTA summary");
+    let delta_c = from_c[1].screen.as_ref().expect("DELTA summary");
+    assert_eq!(delta_b.n_satellites, delta_c.n_satellites);
+    assert_eq!(delta_b.conjunctions, delta_c.conjunctions);
+    assert_eq!(delta_b.colliding_pairs, delta_c.colliding_pairs);
+    assert_eq!(delta_b.top, delta_c.top, "warm sets diverged");
+
+    daemon_b.shutdown();
+    daemon_c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_wal_tail_is_tolerated() {
+    let dir = temp_dir("truncate");
+
+    // No snapshots (huge cadence): state lives entirely in the WAL.
+    let script: Vec<Request> = (0..6u64)
+        .map(|id| Request::Add {
+            id,
+            elements: spec_for(id),
+        })
+        .collect();
+    let daemon_a = serve_persistent(&dir, 1_000_000);
+    drive(daemon_a.addr(), &script);
+    let screened = drive(daemon_a.addr(), &[Request::Screen]);
+    assert!(screened[0].screen.is_some());
+    daemon_a.shutdown();
+
+    // Simulate a crash mid-write: chop bytes off the WAL tail, damaging
+    // the final record (the SCREEN) but nothing before it.
+    let wal = dir.join("wal.log");
+    let len = std::fs::metadata(&wal).expect("wal exists").len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal)
+        .expect("open wal");
+    file.set_len(len - 20).expect("truncate wal");
+    drop(file);
+
+    // Restart: the six ADDs recover, the torn SCREEN is dropped.
+    let daemon_b = serve_persistent(&dir, 1_000_000);
+    // Control: the same six ADDs, never screened.
+    let daemon_c = serve_ephemeral();
+    drive(daemon_c.addr(), &script);
+
+    let status_b = status_of(daemon_b.addr());
+    let status_c = status_of(daemon_c.addr());
+    assert_eq!(durable_key(&status_b), durable_key(&status_c));
+    assert_eq!(status_b.n_satellites, 6);
+    assert_eq!(status_b.full_screens, 0, "torn SCREEN must not replay");
+    assert_eq!(status_b.pending_changes, 6);
+
+    // Screening both from here still agrees.
+    let screen_b = drive(daemon_b.addr(), &[Request::Screen])[0]
+        .screen
+        .clone()
+        .expect("SCREEN summary");
+    let screen_c = drive(daemon_c.addr(), &[Request::Screen])[0]
+        .screen
+        .clone()
+        .expect("SCREEN summary");
+    assert_eq!(screen_b.conjunctions, screen_c.conjunctions);
+    assert_eq!(screen_b.top, screen_c.top);
+
+    daemon_b.shutdown();
+    daemon_c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_after_restart_is_stable() {
+    // Two consecutive restarts (snapshot + compaction after the first
+    // replay) must not drift: a third daemon sees the same state.
+    let dir = temp_dir("twice");
+    let script: Vec<Request> = (0..9u64)
+        .map(|id| Request::Add {
+            id,
+            elements: spec_for(id),
+        })
+        .chain([Request::Screen])
+        .collect();
+
+    let daemon = serve_persistent(&dir, 4);
+    drive(daemon.addr(), &script);
+    let first = status_of(daemon.addr());
+    daemon.shutdown();
+
+    let daemon = serve_persistent(&dir, 4);
+    let second = status_of(daemon.addr());
+    daemon.shutdown();
+
+    let daemon = serve_persistent(&dir, 4);
+    let third = status_of(daemon.addr());
+    daemon.shutdown();
+
+    assert_eq!(durable_key(&first), durable_key(&second));
+    assert_eq!(durable_key(&second), durable_key(&third));
+    let _ = std::fs::remove_dir_all(&dir);
+}

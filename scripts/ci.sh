@@ -9,6 +9,9 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -p kessler-service (crash-safety suite, backtraces on)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
