@@ -28,13 +28,14 @@ SUBCOMMANDS
              [--threshold KM] [--span S] [--sps S] [--threads T]
              [--state-dir DIR] [--snapshot-every N] [--queue-depth N]
              [--read-timeout SECS (0 = none)]
+             [--metrics-every SECS (0 = off)] log a metrics digest to stderr
              with --state-dir, mutations are WAL-logged and state is
              recovered on restart (preload is skipped if state recovers)
   submit     send one daemon command      ACTION [--addr HOST:PORT] [--id I]
              [--a KM --e E --incl R --raan R --argp R --m R] [--dt S]
              [--json REQUEST] [--timeout SECS (0 = none, default 10)]
              ACTION: add | update | remove | screen | delta | advance
-                     | status | shutdown
+                     | status | metrics | shutdown
   info       version and build info
 
 VARIANTS
@@ -303,10 +304,13 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     };
     let defaults = kessler_service::ServerOptions::default();
     let read_timeout_s = flags.u64_of("--read-timeout", 120)?;
+    let metrics_every_s = flags.u64_of("--metrics-every", 0)?;
     let options = kessler_service::ServerOptions {
         persist,
         queue_depth: flags.usize_of("--queue-depth", defaults.queue_depth)?,
         read_timeout: (read_timeout_s > 0).then(|| std::time::Duration::from_secs(read_timeout_s)),
+        metrics_every: (metrics_every_s > 0)
+            .then(|| std::time::Duration::from_secs(metrics_every_s)),
         ..defaults
     };
 
@@ -347,7 +351,7 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     }
     println!(
         "kessler-service listening on {} — JSON lines: \
-         ADD UPDATE REMOVE SCREEN DELTA ADVANCE STATUS SHUTDOWN",
+         ADD UPDATE REMOVE SCREEN DELTA ADVANCE STATUS METRICS SHUTDOWN",
         server.local_addr()
     );
     server.run();
@@ -393,6 +397,7 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
                 dt: flags.f64_of("--dt", 60.0)?,
             },
             "status" => Request::Status,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown submit action `{other}`")),
         }
@@ -408,13 +413,87 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
         kessler_service::request(addr, &request)
     }
     .map_err(|e| format!("request to {addr} failed: {e}"))?;
-    let pretty = serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?;
-    println!("{pretty}");
+    if let Some(metrics) = &response.metrics {
+        print_metrics(metrics);
+    } else {
+        let pretty = serde_json::to_string_pretty(&response).map_err(|e| e.to_string())?;
+        println!("{pretty}");
+    }
     if response.ok {
         Ok(())
     } else {
         Err(response.error.unwrap_or_else(|| "request failed".into()))
     }
+}
+
+fn print_quantile_row(label: &str, digest: &kessler_core::HistogramSummary, unit: &str) {
+    println!(
+        "  {label:<16} {:>7}  {:>9.3} {:>9.3} {:>9.3} {:>9.3} {unit}",
+        digest.count, digest.p50, digest.p90, digest.p99, digest.max
+    );
+}
+
+fn print_phase_block(title: &str, phases: &kessler_core::PhaseSummaries) {
+    println!("{title} — {} screens", phases.screens);
+    println!(
+        "  {:<16} {:>7}  {:>9} {:>9} {:>9} {:>9}",
+        "phase", "count", "p50", "p90", "p99", "max"
+    );
+    print_quantile_row("insertion", &phases.insertion, "ms");
+    print_quantile_row("pair extraction", &phases.pair_extraction, "ms");
+    print_quantile_row("filters", &phases.filters, "ms");
+    print_quantile_row("refinement", &phases.refinement, "ms");
+    print_quantile_row("total", &phases.total, "ms");
+}
+
+/// Render a METRICS payload as aligned tables instead of raw JSON.
+fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
+    let mut any = false;
+    for (title, phases) in [
+        ("full screens", &metrics.full_screens),
+        ("delta screens", &metrics.delta_screens),
+        ("advance tail screens", &metrics.advance_tails),
+    ] {
+        if let Some(phases) = phases {
+            print_phase_block(title, phases);
+            any = true;
+        }
+    }
+    if !any {
+        println!("no screens recorded yet");
+    }
+    if metrics.wal_fsync_ms.is_some()
+        || metrics.snapshot_write_ms.is_some()
+        || metrics.snapshot_bytes.is_some()
+    {
+        println!("durability");
+        println!(
+            "  {:<16} {:>7}  {:>9} {:>9} {:>9} {:>9}",
+            "", "count", "p50", "p90", "p99", "max"
+        );
+        if let Some(d) = &metrics.wal_fsync_ms {
+            print_quantile_row("wal fsync", d, "ms");
+        }
+        if let Some(d) = &metrics.snapshot_write_ms {
+            print_quantile_row("snapshot write", d, "ms");
+        }
+        if let Some(d) = &metrics.snapshot_bytes {
+            print_quantile_row("snapshot size", d, "B");
+        }
+    }
+    if !metrics.requests.is_empty() {
+        println!("requests");
+        for (kind, counter) in &metrics.requests {
+            println!(
+                "  {kind:<10} ok {:>8}   errors {:>6}",
+                counter.ok, counter.errors
+            );
+        }
+    }
+    println!(
+        "queue high-water {}, worker respawns {}",
+        metrics.queue_highwater, metrics.worker_respawns
+    );
 }
 
 pub fn info() -> Result<(), String> {

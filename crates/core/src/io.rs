@@ -7,6 +7,8 @@
 //! interchange.
 
 use crate::conjunction::{Conjunction, ScreeningReport};
+use crate::metrics::{PhaseSeries, PhaseSummaries};
+use crate::timing::PhaseTimings;
 use kessler_orbits::KeplerElements;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -112,6 +114,28 @@ pub fn save_report<P: AsRef<Path>>(path: P, report: &ScreeningReport) -> Result<
     Ok(())
 }
 
+/// Aggregate repeated screens into per-phase quantile digests
+/// (milliseconds) — the distribution companion to a single
+/// [`PhaseTimings`] breakdown.
+pub fn phase_summaries(timings: &[PhaseTimings]) -> PhaseSummaries {
+    let mut series = PhaseSeries::new();
+    for t in timings {
+        series.record(t);
+    }
+    series.summaries()
+}
+
+/// Save per-phase quantile digests as pretty JSON, so `results_*.json`
+/// trajectories carry p50/p90/p99 across repeats, not just means.
+pub fn save_phase_summaries<P: AsRef<Path>>(
+    path: P,
+    summaries: &PhaseSummaries,
+) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(BufWriter::new(file), summaries)?;
+    Ok(())
+}
+
 /// Write an element set as CSV
 /// (`a_km,e,i_rad,raan_rad,argp_rad,mean_anomaly_rad`).
 pub fn write_population_csv<W: Write>(
@@ -209,6 +233,30 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.lines().nth(1).unwrap().starts_with("7000.000000,"));
+    }
+
+    #[test]
+    fn phase_summaries_aggregate_and_round_trip() {
+        use std::time::Duration;
+        let runs: Vec<PhaseTimings> = (1..=5u64)
+            .map(|i| PhaseTimings {
+                insertion: Duration::from_millis(i),
+                pair_extraction: Duration::from_millis(2 * i),
+                filters: Duration::ZERO,
+                refinement: Duration::from_millis(i),
+                total: Duration::from_millis(4 * i),
+            })
+            .collect();
+        let s = phase_summaries(&runs);
+        assert_eq!(s.screens, 5);
+        assert!(s.total.p50 >= s.total.min && s.total.p99 <= s.total.max + 1e-9);
+        let path = std::env::temp_dir().join("kessler_test_phases.json");
+        save_phase_summaries(&path, &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: PhaseSummaries = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.screens, 5);
+        assert!((back.total.p99 - s.total.p99).abs() < 1e-9);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod config;
 pub mod conjunction;
 pub mod cube;
 pub mod io;
+pub mod metrics;
 pub mod planner;
 pub mod refine;
 pub mod screener;
@@ -47,6 +48,7 @@ pub mod timing;
 
 pub use config::{ScreeningConfig, Variant};
 pub use conjunction::{Conjunction, ScreeningReport};
+pub use metrics::{Histogram, HistogramSummary, PhaseSeries, PhaseSummaries};
 pub use planner::{MemoryModel, PlannerReport};
 pub use screener::gpu::{GpuGridScreener, GpuHybridScreener, MultiDeviceGridScreener};
 pub use screener::grid::GridScreener;

@@ -50,7 +50,10 @@ pub mod duration_ms {
                 "duration milliseconds must be finite and non-negative",
             ));
         }
-        Ok(Duration::from_secs_f64(ms / 1e3))
+        // Huge-but-finite values (e.g. 1e300) pass the check above but
+        // overflow Duration; try_from keeps corrupt input an Err, not a panic.
+        Duration::try_from_secs_f64(ms / 1e3)
+            .map_err(|e| serde::de::Error::custom(format!("duration out of range: {e}")))
     }
 }
 
@@ -148,6 +151,20 @@ mod tests {
     fn negative_or_non_finite_millis_are_rejected() {
         assert!(serde_json::from_str::<PhaseTimings>(
             r#"{"insertion":-1.0,"pair_extraction":0.0,"filters":0.0,"refinement":0.0,"total":0.0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn huge_but_finite_millis_error_instead_of_panicking() {
+        // 1e300 ms is finite and non-negative but overflows Duration;
+        // from_secs_f64 would panic here — the adapter must return Err.
+        let err = serde_json::from_str::<PhaseTimings>(
+            r#"{"insertion":0.0,"pair_extraction":0.0,"filters":0.0,"refinement":0.0,"total":1e300}"#,
+        );
+        assert!(err.is_err(), "1e300 ms must be a deserialization error");
+        assert!(serde_json::from_str::<PhaseTimings>(
+            r#"{"insertion":1.7976931348623157e308,"pair_extraction":0.0,"filters":0.0,"refinement":0.0,"total":0.0}"#
         )
         .is_err());
     }

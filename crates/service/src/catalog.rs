@@ -7,8 +7,15 @@
 //! `swap_remove` to keep the slice dense, and every mutation bumps a
 //! monotonic epoch recorded per satellite — which is what delta screening
 //! uses to know how stale its maintained conjunction set is.
+//!
+//! Time advances are *absolute*, not cumulative: the catalog stores each
+//! satellite's epoch-0 elements alongside the propagated ones and
+//! re-propagates from epoch 0 on every [`Catalog::advance_all`]. Repeatedly
+//! adding `n·dt` to an already-wrapped mean anomaly accumulates one float
+//! rounding per step, so a daemon advancing every few seconds for weeks
+//! drifts measurably; `M(t) = M₀ + n·t` from the stored base is one rounding
+//! total, the same scheme the sliding-window scheduler uses.
 
-use kessler_math::angles::wrap_tau;
 use kessler_orbits::KeplerElements;
 use std::collections::HashMap;
 
@@ -58,6 +65,11 @@ pub struct Catalog {
     elements: Vec<KeplerElements>,
     generations: Vec<u64>,
     index_of: HashMap<u64, u32>,
+    /// Seconds the catalog has been advanced past its base epoch.
+    time: f64,
+    /// Epoch-0 elements per satellite; `elements[i]` is always
+    /// `base_elements[i]` propagated by `time`.
+    base_elements: Vec<KeplerElements>,
 }
 
 impl Catalog {
@@ -119,14 +131,29 @@ impl Catalog {
         &self.generations
     }
 
+    /// Seconds the catalog has been advanced past its base epoch.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Epoch-0 elements by dense index (what `advance_all` re-propagates
+    /// from).
+    pub fn base_elements(&self) -> &[KeplerElements] {
+        &self.base_elements
+    }
+
     /// Rebuild a catalog from snapshotted state (see the service's
     /// persistence layer). Validates the arrays are consistent before
-    /// reconstructing the id → index map.
+    /// reconstructing the id → index map. `base_elements` may be empty
+    /// (snapshots written before absolute-time propagation): the base is
+    /// then derived by de-propagating `elements` by `-time`.
     pub fn restore(
         epoch: u64,
         ids: Vec<u64>,
         elements: Vec<KeplerElements>,
         generations: Vec<u64>,
+        time: f64,
+        base_elements: Vec<KeplerElements>,
     ) -> Result<Catalog, String> {
         if ids.len() != elements.len() || ids.len() != generations.len() {
             return Err(format!(
@@ -134,6 +161,16 @@ impl Catalog {
                 ids.len(),
                 elements.len(),
                 generations.len()
+            ));
+        }
+        if !time.is_finite() {
+            return Err(format!("non-finite catalog time {time}"));
+        }
+        if !base_elements.is_empty() && base_elements.len() != ids.len() {
+            return Err(format!(
+                "inconsistent catalog arrays: {} ids, {} base element sets",
+                ids.len(),
+                base_elements.len()
             ));
         }
         if ids.len() as u64 > kessler_grid::pairset::MAX_ID as u64 {
@@ -156,12 +193,26 @@ impl Catalog {
                 ));
             }
         }
+        let base_elements = if base_elements.is_empty() {
+            elements
+                .iter()
+                .map(|el| {
+                    let mut base = *el;
+                    base.mean_anomaly = el.mean_anomaly_at(-time);
+                    base
+                })
+                .collect()
+        } else {
+            base_elements
+        };
         Ok(Catalog {
             epoch,
             ids,
             elements,
             generations,
             index_of,
+            time,
+            base_elements,
         })
     }
 
@@ -177,6 +228,7 @@ impl Catalog {
         self.epoch += 1;
         self.ids.push(id);
         self.elements.push(elements);
+        self.base_elements.push(self.rebase(&elements));
         self.generations.push(self.epoch);
         self.index_of.insert(id, index);
         Ok(index)
@@ -188,6 +240,7 @@ impl Catalog {
         let index = *self.index_of.get(&id).ok_or(CatalogError::UnknownId(id))?;
         self.epoch += 1;
         self.elements[index as usize] = elements;
+        self.base_elements[index as usize] = self.rebase(&elements);
         self.generations[index as usize] = self.epoch;
         Ok(index)
     }
@@ -209,6 +262,7 @@ impl Catalog {
         self.index_of.remove(&id);
         self.ids.swap_remove(index as usize);
         self.elements.swap_remove(index as usize);
+        self.base_elements.swap_remove(index as usize);
         self.generations.swap_remove(index as usize);
         if index != last {
             let moved_id = self.ids[index as usize];
@@ -230,20 +284,40 @@ impl Catalog {
     /// advances by `n·dt` (exact under two-body propagation), all other
     /// elements are unchanged. Used by the sliding-window scheduler; this
     /// is a uniform re-epoching, so per-satellite generations stay put.
+    ///
+    /// Propagation is absolute — `M(t) = M₀ + n·t` from the stored epoch-0
+    /// elements — so N small advances land within float rounding of one
+    /// big advance instead of accumulating a wrap/rounding error per call.
     pub fn advance_all(&mut self, dt: f64) {
         self.epoch += 1;
-        for el in &mut self.elements {
-            el.mean_anomaly = wrap_tau(el.mean_anomaly_at(dt));
+        self.time += dt;
+        for (el, base) in self.elements.iter_mut().zip(&self.base_elements) {
+            el.mean_anomaly = base.mean_anomaly_at(self.time);
         }
+    }
+
+    /// De-propagate elements received *now* (at `self.time`) back to the
+    /// catalog's base epoch, so later advances re-propagate them exactly.
+    fn rebase(&self, elements: &KeplerElements) -> KeplerElements {
+        let mut base = *elements;
+        base.mean_anomaly = elements.mean_anomaly_at(-self.time);
+        base
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kessler_math::angles::wrap_tau;
 
     fn el(a: f64) -> KeplerElements {
         KeplerElements::new(a, 0.001, 0.5, 1.0, 0.3, 0.2).unwrap()
+    }
+
+    /// Shortest angular distance between two wrapped angles.
+    fn angle_diff(a: f64, b: f64) -> f64 {
+        let d = (a - b).abs() % std::f64::consts::TAU;
+        d.min(std::f64::consts::TAU - d)
     }
 
     #[test]
@@ -331,6 +405,8 @@ mod tests {
             cat.ids().to_vec(),
             cat.elements().to_vec(),
             cat.generations().to_vec(),
+            cat.time(),
+            cat.base_elements().to_vec(),
         )
         .unwrap();
         assert_eq!(back.epoch(), cat.epoch());
@@ -338,17 +414,58 @@ mod tests {
         assert_eq!(back.elements()[0].semi_major_axis, 7_050.0);
         assert_eq!(back.generation_at(0), cat.generation_at(0));
 
-        // Mismatched arrays, duplicate ids, and generations past the
-        // epoch are all rejected.
-        assert!(Catalog::restore(1, vec![1, 2], vec![el(7_000.0)], vec![1, 1]).is_err());
+        // Mismatched arrays, duplicate ids, generations past the epoch,
+        // and inconsistent or non-finite time state are all rejected.
+        assert!(
+            Catalog::restore(1, vec![1, 2], vec![el(7_000.0)], vec![1, 1], 0.0, vec![]).is_err()
+        );
         assert!(Catalog::restore(
             2,
             vec![1, 1],
             vec![el(7_000.0), el(7_100.0)],
-            vec![1, 2]
+            vec![1, 2],
+            0.0,
+            vec![]
         )
         .is_err());
-        assert!(Catalog::restore(1, vec![1], vec![el(7_000.0)], vec![5]).is_err());
+        assert!(Catalog::restore(1, vec![1], vec![el(7_000.0)], vec![5], 0.0, vec![]).is_err());
+        assert!(Catalog::restore(
+            1,
+            vec![1],
+            vec![el(7_000.0)],
+            vec![1],
+            0.0,
+            vec![el(7_000.0), el(7_100.0)]
+        )
+        .is_err());
+        assert!(
+            Catalog::restore(1, vec![1], vec![el(7_000.0)], vec![1], f64::NAN, vec![]).is_err()
+        );
+    }
+
+    #[test]
+    fn restore_without_base_derives_it_from_current_time() {
+        let mut cat = Catalog::new();
+        cat.add(1, el(7_000.0)).unwrap();
+        cat.add(2, el(7_200.0)).unwrap();
+        cat.advance_all(500.0);
+
+        // A pre-absolute-time snapshot carries no base; restore must
+        // de-propagate so further advances match the original catalog.
+        let mut back = Catalog::restore(
+            cat.epoch(),
+            cat.ids().to_vec(),
+            cat.elements().to_vec(),
+            cat.generations().to_vec(),
+            cat.time(),
+            vec![],
+        )
+        .unwrap();
+        cat.advance_all(250.0);
+        back.advance_all(250.0);
+        for (a, b) in cat.elements().iter().zip(back.elements()) {
+            assert!(angle_diff(a.mean_anomaly, b.mean_anomaly) < 1e-9);
+        }
     }
 
     #[test]
@@ -363,5 +480,49 @@ mod tests {
         assert_eq!(after.raan, before.raan);
         let expected = wrap_tau(before.mean_anomaly + before.mean_motion() * dt);
         assert!((after.mean_anomaly - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_small_advances_match_one_big_advance() {
+        // The regression this guards: cumulative in-place propagation
+        // accumulates one rounding error per step, which a daemon calling
+        // ADVANCE every few seconds turns into real drift.
+        let mut stepped = Catalog::new();
+        for (i, id) in (0..8u64).enumerate() {
+            let a = 6_900.0 + 137.0 * i as f64;
+            let e = KeplerElements::new(a, 0.002, 0.3 + 0.1 * i as f64, 1.0, 0.4, 0.1 * i as f64)
+                .unwrap();
+            stepped.add(id, e).unwrap();
+        }
+        let mut jumped = stepped.clone();
+
+        let dt = 0.25;
+        let steps = 1_000u32;
+        for _ in 0..steps {
+            stepped.advance_all(dt);
+        }
+        jumped.advance_all(dt * steps as f64);
+
+        assert!((stepped.time() - jumped.time()).abs() < 1e-9);
+        for (s, j) in stepped.elements().iter().zip(jumped.elements()) {
+            let d = angle_diff(s.mean_anomaly, j.mean_anomaly);
+            assert!(d <= 1e-9, "drift {d} rad after {steps} steps");
+        }
+    }
+
+    #[test]
+    fn mutations_mid_flight_rebase_onto_catalog_time() {
+        let mut cat = Catalog::new();
+        cat.add(1, el(7_000.0)).unwrap();
+        cat.advance_all(100.0);
+
+        // Elements delivered at t=100 describe the satellite *now*; after
+        // another advance they must be propagated from t=100, not t=0.
+        let fresh = el(7_300.0);
+        cat.update(1, fresh).unwrap();
+        assert!((cat.elements()[0].mean_anomaly - fresh.mean_anomaly).abs() < 1e-12);
+        cat.advance_all(50.0);
+        let expected = fresh.mean_anomaly_at(50.0);
+        assert!(angle_diff(cat.elements()[0].mean_anomaly, expected) < 1e-9);
     }
 }

@@ -136,6 +136,13 @@ impl DeltaEngine {
         &self.last_timings
     }
 
+    /// Adopt snapshotted last-screen timings after [`DeltaEngine::restore`]
+    /// (which otherwise leaves them zeroed), so a recovered daemon's STATUS
+    /// keeps reporting the pre-crash screen cost.
+    pub fn restore_last_timings(&mut self, timings: PhaseTimings) {
+        self.last_timings = timings;
+    }
+
     /// Number of maintained conjunctions.
     pub fn conjunction_count(&self) -> usize {
         self.pairs.values().map(Vec::len).sum()

@@ -25,6 +25,10 @@
 //!   of acknowledged mutations plus periodic atomic snapshots, so a
 //!   restarted daemon recovers the exact catalog, window, and warm
 //!   conjunction set it had when it died.
+//! - [`metrics`] — rolling observability: per-phase screening histograms
+//!   (full vs delta), WAL-fsync and snapshot-write latency distributions,
+//!   request/error counters, queue high-water mark — served by the
+//!   `METRICS` verb and summarized in STATUS.
 //! - [`error`] / [`fault`] — typed startup/persistence errors and the
 //!   deterministic fault-injection hooks the crash-safety tests use.
 
@@ -32,6 +36,7 @@ pub mod catalog;
 pub mod delta;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod persist;
 pub mod proto;
 pub mod scheduler;
@@ -42,6 +47,7 @@ pub use catalog::{Catalog, CatalogError, Removal};
 pub use delta::{AdvanceOutcome, DeltaEngine, DELTA_VARIANT};
 pub use error::{PersistError, ServiceError};
 pub use fault::FaultPlan;
+pub use metrics::{MetricsRegistry, MetricsSnapshot, RequestCounter};
 pub use persist::{PersistOptions, Snapshot};
 pub use proto::{ElementsSpec, Request, Response};
 pub use scheduler::SlidingWindow;

@@ -1,0 +1,266 @@
+//! Rolling service metrics: per-phase screening histograms, durability
+//! latencies, request/error counters, queue pressure.
+//!
+//! The daemon previously surfaced only the *last* screen's
+//! [`PhaseTimings`] via STATUS; this registry keeps the full distribution
+//! (p50/p90/p99 over every screen since startup) per phase, tracked
+//! separately for full and delta screens — the operational counterpart of
+//! the paper's §V-C.1 per-phase breakdowns. It also times every WAL fsync
+//! and snapshot write, counts requests and errors per command, and records
+//! screening-queue pressure and worker respawns. A [`MetricsSnapshot`] is
+//! served verbatim by the `METRICS` protocol verb.
+
+use kessler_core::metrics::{Histogram, HistogramSummary, PhaseSeries, PhaseSummaries};
+use kessler_core::timing::PhaseTimings;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Microseconds (histogram unit) to milliseconds (wire unit).
+const US_TO_MS: f64 = 1e-3;
+
+/// Ok/error counts for one request kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestCounter {
+    pub ok: u64,
+    pub errors: u64,
+}
+
+/// In-memory rolling metrics; lives behind the server's metrics mutex.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Phase distributions over cold full screens (SCREEN and cold DELTA).
+    full: PhaseSeries,
+    /// Phase distributions over warm delta screens.
+    delta: PhaseSeries,
+    /// Tail-screen distributions from ADVANCE window slides.
+    advance: PhaseSeries,
+    /// WAL append (write + flush + fsync) latency, µs.
+    wal_fsync: Histogram,
+    /// Snapshot write + rotate + WAL-compaction duration, µs.
+    snapshot_write: Histogram,
+    /// Snapshot sizes on disk, bytes.
+    snapshot_bytes: Histogram,
+    /// Per-command ok/error counts.
+    requests: BTreeMap<String, RequestCounter>,
+    /// Deepest the screening queue has been.
+    queue_highwater: usize,
+    /// Times the supervisor respawned a dead screening worker.
+    worker_respawns: u64,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Record one screen's phase breakdown under its report variant
+    /// (`"grid-delta"` → delta series, anything else → full series).
+    pub fn record_screen(&mut self, variant: &str, timings: &PhaseTimings) {
+        if variant == crate::delta::DELTA_VARIANT {
+            self.delta.record(timings);
+        } else {
+            self.full.record(timings);
+        }
+    }
+
+    /// Record the tail screen an ADVANCE ran while sliding the window.
+    pub fn record_advance_tail(&mut self, timings: &PhaseTimings) {
+        self.advance.record(timings);
+    }
+
+    pub fn record_wal_fsync(&mut self, elapsed: Duration) {
+        self.wal_fsync.record_duration(elapsed);
+    }
+
+    pub fn record_snapshot(&mut self, elapsed: Duration, bytes: u64) {
+        self.snapshot_write.record_duration(elapsed);
+        self.snapshot_bytes.record(bytes);
+    }
+
+    /// Count one request by command word.
+    pub fn count_request(&mut self, kind: &str, ok: bool) {
+        let counter = self.requests.entry(kind.to_string()).or_default();
+        if ok {
+            counter.ok += 1;
+        } else {
+            counter.errors += 1;
+        }
+    }
+
+    /// Note the screening-queue depth observed after an enqueue.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.queue_highwater = self.queue_highwater.max(depth);
+    }
+
+    pub fn note_respawn(&mut self) {
+        self.worker_respawns += 1;
+    }
+
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns
+    }
+
+    /// Point-in-time JSON-ready digest (the METRICS payload).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            full_screens: (!self.full.is_empty()).then(|| self.full.summaries()),
+            delta_screens: (!self.delta.is_empty()).then(|| self.delta.summaries()),
+            advance_tails: (!self.advance.is_empty()).then(|| self.advance.summaries()),
+            wal_fsync_ms: (!self.wal_fsync.is_empty()).then(|| self.wal_fsync.summary(US_TO_MS)),
+            snapshot_write_ms: (!self.snapshot_write.is_empty())
+                .then(|| self.snapshot_write.summary(US_TO_MS)),
+            snapshot_bytes: (!self.snapshot_bytes.is_empty())
+                .then(|| self.snapshot_bytes.summary(1.0)),
+            requests: self.requests.clone(),
+            queue_highwater: self.queue_highwater,
+            worker_respawns: self.worker_respawns,
+        }
+    }
+
+    /// One-line digest for STATUS and the periodic `--metrics-every` log.
+    pub fn one_line(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !self.full.is_empty() {
+            parts.push(format!(
+                "full p50/p99 {:.1}/{:.1}ms ×{}",
+                self.full.total.p50() as f64 * US_TO_MS,
+                self.full.total.p99() as f64 * US_TO_MS,
+                self.full.count()
+            ));
+        }
+        if !self.delta.is_empty() {
+            parts.push(format!(
+                "delta p50/p99 {:.1}/{:.1}ms ×{}",
+                self.delta.total.p50() as f64 * US_TO_MS,
+                self.delta.total.p99() as f64 * US_TO_MS,
+                self.delta.count()
+            ));
+        }
+        if !self.wal_fsync.is_empty() {
+            parts.push(format!(
+                "wal fsync p99 {:.2}ms",
+                self.wal_fsync.p99() as f64 * US_TO_MS
+            ));
+        }
+        if parts.is_empty() {
+            parts.push("no screens yet".to_string());
+        }
+        let errors: u64 = self.requests.values().map(|c| c.errors).sum();
+        parts.push(format!(
+            "queue hw {}, respawns {}, errors {}",
+            self.queue_highwater, self.worker_respawns, errors
+        ));
+        parts.join("; ")
+    }
+}
+
+/// Serialized METRICS payload: quantile digests (milliseconds for times)
+/// plus counters. Empty histograms are omitted rather than zero-filled.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-phase quantiles over full screens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub full_screens: Option<PhaseSummaries>,
+    /// Per-phase quantiles over delta screens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub delta_screens: Option<PhaseSummaries>,
+    /// Per-phase quantiles over ADVANCE tail screens.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub advance_tails: Option<PhaseSummaries>,
+    /// WAL append (fsync) latency quantiles, ms.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wal_fsync_ms: Option<HistogramSummary>,
+    /// Snapshot write duration quantiles, ms.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot_write_ms: Option<HistogramSummary>,
+    /// Snapshot size quantiles, bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot_bytes: Option<HistogramSummary>,
+    /// Ok/error counts per command word.
+    #[serde(default)]
+    pub requests: BTreeMap<String, RequestCounter>,
+    /// Screening-queue depth high-water mark.
+    #[serde(default)]
+    pub queue_highwater: usize,
+    /// Screening workers respawned after dying.
+    #[serde(default)]
+    pub worker_respawns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DELTA_VARIANT;
+
+    fn timings(ms: u64) -> PhaseTimings {
+        PhaseTimings {
+            insertion: Duration::from_millis(ms),
+            pair_extraction: Duration::from_millis(ms),
+            filters: Duration::ZERO,
+            refinement: Duration::from_millis(ms),
+            total: Duration::from_millis(3 * ms),
+        }
+    }
+
+    #[test]
+    fn screens_split_by_variant() {
+        let mut m = MetricsRegistry::new();
+        m.record_screen("grid", &timings(10));
+        m.record_screen("grid", &timings(20));
+        m.record_screen(DELTA_VARIANT, &timings(2));
+        let snap = m.snapshot();
+        assert_eq!(snap.full_screens.unwrap().screens, 2);
+        assert_eq!(snap.delta_screens.unwrap().screens, 1);
+        assert!(snap.advance_tails.is_none());
+        assert!(snap.wal_fsync_ms.is_none());
+    }
+
+    #[test]
+    fn counters_and_highwater_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.count_request("ADD", true);
+        m.count_request("ADD", true);
+        m.count_request("ADD", false);
+        m.note_queue_depth(1);
+        m.note_queue_depth(5);
+        m.note_queue_depth(2);
+        m.note_respawn();
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.requests.get("ADD"),
+            Some(&RequestCounter { ok: 2, errors: 1 })
+        );
+        assert_eq!(snap.queue_highwater, 5);
+        assert_eq!(snap.worker_respawns, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut m = MetricsRegistry::new();
+        m.record_screen("grid", &timings(10));
+        m.record_wal_fsync(Duration::from_micros(800));
+        m.record_snapshot(Duration::from_millis(4), 12_345);
+        m.count_request("SCREEN", true);
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.full_screens.unwrap().screens, 1);
+        let fsync = back.wal_fsync_ms.unwrap();
+        assert_eq!(fsync.count, 1);
+        assert!((fsync.min - 0.8).abs() < 1e-9, "{fsync:?}");
+        assert_eq!(back.snapshot_bytes.unwrap().max, 12_345.0);
+    }
+
+    #[test]
+    fn one_line_mentions_what_exists() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.one_line().contains("no screens yet"));
+        m.record_screen("grid", &timings(10));
+        m.record_screen(DELTA_VARIANT, &timings(1));
+        let line = m.one_line();
+        assert!(line.contains("full"), "{line}");
+        assert!(line.contains("delta"), "{line}");
+        assert!(line.contains("queue hw 0"), "{line}");
+    }
+}

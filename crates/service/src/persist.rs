@@ -23,7 +23,7 @@
 
 use crate::error::PersistError;
 use crate::fault::FaultPlan;
-use crate::proto::{ElementsSpec, Request};
+use crate::proto::{ElementsSpec, LastScreen, Request};
 use crate::wal::{self, WalWriter};
 use kessler_core::Conjunction;
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,21 @@ pub struct Snapshot {
     pub delta_screens: u64,
     /// The warm conjunction set (window-relative TCAs).
     pub conjunctions: Vec<Conjunction>,
+    /// Requests served when the snapshot was written, so a recovered
+    /// daemon's STATUS does not restart the counter at the replayed tail.
+    /// Defaults keep pre-metrics snapshots readable (version stays 1).
+    #[serde(default)]
+    pub requests_served: u64,
+    /// Seconds the catalog has been advanced past its base epoch.
+    #[serde(default)]
+    pub time: f64,
+    /// Epoch-0 elements by dense index; empty in old snapshots (the
+    /// catalog then derives them by de-propagating `elements` by `-time`).
+    #[serde(default)]
+    pub base_elements: Vec<ElementsSpec>,
+    /// Variant and timings of the most recent screen, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub last_screen: Option<LastScreen>,
 }
 
 impl Snapshot {
@@ -101,6 +116,16 @@ impl Snapshot {
                 self.elements.len(),
                 self.generations.len()
             ));
+        }
+        if !self.base_elements.is_empty() && self.base_elements.len() != self.ids.len() {
+            return Err(format!(
+                "inconsistent catalog arrays: {} ids, {} base element sets",
+                self.ids.len(),
+                self.base_elements.len()
+            ));
+        }
+        if !self.time.is_finite() {
+            return Err(format!("non-finite catalog time {}", self.time));
         }
         Ok(())
     }
@@ -219,7 +244,8 @@ impl Persister {
     }
 
     /// Write a snapshot atomically, rotate old ones, compact the WAL.
-    pub fn write_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), PersistError> {
+    /// Returns the snapshot's size on disk in bytes (for metrics).
+    pub fn write_snapshot(&mut self, snapshot: &Snapshot) -> Result<u64, PersistError> {
         snapshot
             .validate()
             .map_err(|e| PersistError::corrupt("snapshot", e))?;
@@ -240,10 +266,7 @@ impl Persister {
                 .map_err(|e| PersistError::io(format!("sync {}", tmp_path.display()), e))?;
         }
         std::fs::rename(&tmp_path, &final_path).map_err(|e| {
-            PersistError::io(
-                format!("rename {} into place", tmp_path.display()),
-                e,
-            )
+            PersistError::io(format!("rename {} into place", tmp_path.display()), e)
         })?;
         sync_dir(&self.dir);
 
@@ -262,7 +285,7 @@ impl Persister {
         let keep_after = self.snapshots.first().copied().unwrap_or(0);
         self.compact_wal(keep_after)?;
         self.since_snapshot = 0;
-        Ok(())
+        Ok(line.len() as u64)
     }
 
     fn snapshot_path(&self, seq: u64) -> PathBuf {
@@ -323,7 +346,9 @@ fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
         else {
             continue;
         };
-        let Ok(seq) = stem.parse::<u64>() else { continue };
+        let Ok(seq) = stem.parse::<u64>() else {
+            continue;
+        };
         found.push((seq, entry.path()));
     }
     found.sort_by_key(|(seq, _)| *seq);
@@ -355,10 +380,8 @@ mod tests {
     fn temp_dir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::SeqCst);
-        let dir = std::env::temp_dir().join(format!(
-            "kessler-persist-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("kessler-persist-{tag}-{}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -395,6 +418,10 @@ mod tests {
             full_screens: 0,
             delta_screens: 0,
             conjunctions: Vec::new(),
+            requests_served: n,
+            time: 0.0,
+            base_elements: (0..n).map(spec).collect(),
+            last_screen: None,
         }
     }
 
@@ -503,6 +530,70 @@ mod tests {
         let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
         assert!(recovery.torn_tail.is_none());
         assert_eq!(recovery.tail, vec![add(0), add(1), add(3)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_with_absurd_millis_is_corrupt_not_a_crash() {
+        let dir = temp_dir("hugems");
+        let (mut persister, _) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        persister.append(&add(0)).unwrap();
+        persister.append(&add(1)).unwrap();
+        persister.write_snapshot(&snapshot_at(2, 2)).unwrap();
+        persister.append(&add(2)).unwrap();
+        drop(persister);
+
+        // Forge a newer snapshot whose last-screen total is 1e300 ms:
+        // finite, non-negative, checksummed — but past what Duration can
+        // hold. Recovery must reject the body (not panic in serde) and
+        // fall back to the snapshot at seq 2.
+        let mut forged = snapshot_at(3, 2);
+        forged.last_screen = Some(LastScreen {
+            variant: "grid".to_string(),
+            timings: Default::default(),
+        });
+        let body = serde_json::to_string(&forged)
+            .unwrap()
+            .replace("\"total\":0.0", "\"total\":1e300");
+        assert!(body.contains("1e300"), "forgery target moved: {body}");
+        let mut line = wal::encode_frame(3, &body);
+        line.push('\n');
+        std::fs::write(dir.join(format!("snapshot-{:020}.json", 3)), line).unwrap();
+
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.corrupt_snapshots, 1);
+        let snapshot = recovery.snapshot.expect("fallback snapshot");
+        assert_eq!(snapshot.wal_seq, 2);
+        assert_eq!(recovery.tail, vec![add(2)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_metrics_snapshots_read_with_defaulted_fields() {
+        // A body without requests_served/time/base_elements/last_screen —
+        // what every snapshot before this schema extension looks like.
+        let old_body = format!(
+            r#"{{"version":{SNAPSHOT_VERSION},"wal_seq":1,"epoch":1,"ids":[7],"elements":[{}],"generations":[1],"changed":[],"window_start":0.0,"screened_n":null,"full_screens":0,"delta_screens":0,"conjunctions":[]}}"#,
+            serde_json::to_string(&spec(7)).unwrap()
+        );
+        let snapshot: Snapshot = serde_json::from_str(&old_body).unwrap();
+        assert_eq!(snapshot.requests_served, 0);
+        assert_eq!(snapshot.time, 0.0);
+        assert!(snapshot.base_elements.is_empty());
+        assert!(snapshot.last_screen.is_none());
+        assert!(snapshot.validate().is_ok());
+    }
+
+    #[test]
+    fn write_snapshot_reports_its_size_on_disk() {
+        let dir = temp_dir("size");
+        let (mut persister, _) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        persister.append(&add(0)).unwrap();
+        let bytes = persister.write_snapshot(&snapshot_at(1, 1)).unwrap();
+        let on_disk = std::fs::metadata(dir.join(format!("snapshot-{:020}.json", 1)))
+            .unwrap()
+            .len();
+        assert_eq!(bytes, on_disk);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -91,6 +91,10 @@ pub enum Request {
     /// Service status and last-screen timings.
     #[serde(rename = "STATUS")]
     Status,
+    /// Rolling metrics: per-phase quantiles, durability latencies,
+    /// request counters.
+    #[serde(rename = "METRICS")]
+    Metrics,
     /// Stop the server.
     #[serde(rename = "SHUTDOWN")]
     Shutdown,
@@ -102,7 +106,22 @@ impl Request {
     /// ADVANCE count: they move the engine's warm set and counters, which
     /// replay must reproduce.
     pub fn is_mutation(&self) -> bool {
-        !matches!(self, Request::Status | Request::Shutdown)
+        !matches!(self, Request::Status | Request::Metrics | Request::Shutdown)
+    }
+
+    /// The wire command word, for per-command metrics counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Add { .. } => "ADD",
+            Request::Update { .. } => "UPDATE",
+            Request::Remove { .. } => "REMOVE",
+            Request::Screen => "SCREEN",
+            Request::Delta => "DELTA",
+            Request::Advance { .. } => "ADVANCE",
+            Request::Status => "STATUS",
+            Request::Metrics => "METRICS",
+            Request::Shutdown => "SHUTDOWN",
+        }
     }
 }
 
@@ -120,6 +139,8 @@ pub struct Response {
     pub advance: Option<AdvanceAck>,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub status: Option<StatusInfo>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<crate::metrics::MetricsSnapshot>,
 }
 
 impl Response {
@@ -166,6 +187,14 @@ impl Response {
         Response {
             ok: true,
             status: Some(status),
+            ..Response::default()
+        }
+    }
+
+    pub fn with_metrics(metrics: crate::metrics::MetricsSnapshot) -> Response {
+        Response {
+            ok: true,
+            metrics: Some(metrics),
             ..Response::default()
         }
     }
@@ -246,6 +275,13 @@ pub struct StatusInfo {
     /// Variant and per-phase timings of the most recent screen, if any.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub last_screen: Option<LastScreen>,
+    /// `true` when this process restored catalog state from a snapshot
+    /// and/or WAL tail rather than starting empty.
+    #[serde(default)]
+    pub recovered: bool,
+    /// One-line metrics digest (full METRICS payload via the METRICS verb).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<String>,
 }
 
 /// Per-request observability hook: what the previous screen cost.
@@ -283,6 +319,7 @@ mod tests {
             Request::Delta,
             Request::Advance { dt: 60.0 },
             Request::Status,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for req in requests {
@@ -353,7 +390,10 @@ mod tests {
                     variant: "grid-delta".to_string(),
                     timings: PhaseTimings::default(),
                 }),
+                recovered: true,
+                metrics: Some("no screens yet; queue hw 0".to_string()),
             }),
+            Response::with_metrics(crate::metrics::MetricsSnapshot::default()),
         ];
         for response in payloads {
             let json = serde_json::to_string(&response).unwrap();
@@ -361,7 +401,9 @@ mod tests {
             assert_eq!(back.ok, response.ok);
             assert_eq!(back.catalog, response.catalog, "json: {json}");
             assert_eq!(
-                back.screen.as_ref().map(|s| (&s.variant, s.conjunctions, s.top.clone())),
+                back.screen
+                    .as_ref()
+                    .map(|s| (&s.variant, s.conjunctions, s.top.clone())),
                 response
                     .screen
                     .as_ref()
@@ -370,7 +412,9 @@ mod tests {
             );
             assert_eq!(back.advance, response.advance, "json: {json}");
             assert_eq!(
-                back.status.as_ref().map(|s| (s.n_satellites, s.epoch, s.window)),
+                back.status
+                    .as_ref()
+                    .map(|s| (s.n_satellites, s.epoch, s.window)),
                 response
                     .status
                     .as_ref()
@@ -420,7 +464,20 @@ mod tests {
         assert!(Request::Delta.is_mutation());
         assert!(Request::Advance { dt: 1.0 }.is_mutation());
         assert!(!Request::Status.is_mutation());
+        assert!(!Request::Metrics.is_mutation());
         assert!(!Request::Shutdown.is_mutation());
+    }
+
+    #[test]
+    fn kind_matches_the_wire_tag() {
+        for req in [Request::Screen, Request::Metrics, Request::Shutdown] {
+            let json = serde_json::to_string(&req).unwrap();
+            assert!(
+                json.contains(&format!(r#""cmd":"{}""#, req.kind())),
+                "json: {json}"
+            );
+        }
+        assert_eq!(Request::Advance { dt: 1.0 }.kind(), "ADVANCE");
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! Elements are kept at the *original* epoch and re-propagated to each new
 //! window start through the exact two-body mean-anomaly advance, so
 //! repeated advances accumulate no numerical drift.
+//!
+//! The daemon's [`crate::catalog::Catalog`] uses the same epoch-0
+//! re-propagation scheme for its `advance_all` (with per-satellite bases
+//! that rebase on UPDATE, since a mutable catalog — unlike this fixed
+//! population — receives elements mid-flight). This type remains the
+//! standalone, fixed-population driver for batch window studies; the
+//! daemon composes catalog + [`DeltaEngine`] directly.
 
 use crate::delta::{AdvanceOutcome, DeltaEngine};
 use kessler_core::{Conjunction, ScreeningConfig};

@@ -29,6 +29,7 @@ use crate::catalog::Catalog;
 use crate::delta::DeltaEngine;
 use crate::error::ServiceError;
 use crate::fault::FaultPlan;
+use crate::metrics::MetricsRegistry;
 use crate::persist::{PersistOptions, Persister, Snapshot, SNAPSHOT_VERSION};
 use crate::proto::{
     AdvanceAck, CatalogAck, ElementsSpec, LastScreen, Request, Response, ScreenSummary, StatusInfo,
@@ -66,6 +67,8 @@ pub struct ServerOptions {
     pub max_line_bytes: usize,
     /// Fault-injection hooks; inert outside the crash-safety tests.
     pub faults: Arc<FaultPlan>,
+    /// Log a one-line metrics digest to stderr this often (`None` = off).
+    pub metrics_every: Option<Duration>,
 }
 
 impl Default for ServerOptions {
@@ -77,6 +80,7 @@ impl Default for ServerOptions {
             write_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: MAX_LINE_BYTES,
             faults: FaultPlan::inert(),
+            metrics_every: None,
         }
     }
 }
@@ -104,6 +108,8 @@ pub struct ServiceState {
     window_start: f64,
     requests: u64,
     started: Instant,
+    /// `true` when this state came out of snapshot/WAL recovery.
+    recovered: bool,
 }
 
 impl ServiceState {
@@ -115,6 +121,7 @@ impl ServiceState {
             window_start: 0.0,
             requests: 0,
             started: Instant::now(),
+            recovered: false,
         })
     }
 
@@ -147,6 +154,15 @@ impl ServiceState {
             full_screens: self.engine.full_screens(),
             delta_screens: self.engine.delta_screens(),
             conjunctions: self.engine.conjunctions(),
+            requests_served: self.requests,
+            time: self.catalog.time(),
+            base_elements: self
+                .catalog
+                .base_elements()
+                .iter()
+                .map(ElementsSpec::from_elements)
+                .collect(),
+            last_screen: self.last_screen_info(),
         }
     }
 
@@ -162,14 +178,23 @@ impl ServiceState {
                     .map_err(|e| ServiceError::Recovery(format!("snapshot elements: {e}")))?,
             );
         }
+        let mut base_elements = Vec::with_capacity(snapshot.base_elements.len());
+        for spec in &snapshot.base_elements {
+            base_elements.push(
+                spec.into_elements()
+                    .map_err(|e| ServiceError::Recovery(format!("snapshot base elements: {e}")))?,
+            );
+        }
         let catalog = Catalog::restore(
             snapshot.epoch,
             snapshot.ids.clone(),
             elements,
             snapshot.generations.clone(),
+            snapshot.time,
+            base_elements,
         )
         .map_err(ServiceError::Recovery)?;
-        let engine = DeltaEngine::restore(
+        let mut engine = DeltaEngine::restore(
             config,
             snapshot.screened_n,
             snapshot.full_screens,
@@ -177,6 +202,9 @@ impl ServiceState {
             &snapshot.conjunctions,
         )
         .map_err(ServiceError::Recovery)?;
+        if let Some(last) = &snapshot.last_screen {
+            engine.restore_last_timings(last.timings);
+        }
         let changed: BTreeSet<u32> = snapshot
             .changed
             .iter()
@@ -188,8 +216,9 @@ impl ServiceState {
             engine,
             changed,
             window_start: snapshot.window_start,
-            requests: 0,
+            requests: snapshot.requests_served,
             started: Instant::now(),
+            recovered: true,
         })
     }
 
@@ -286,6 +315,11 @@ impl ServiceState {
                 }
             }
             Request::Status => Response::with_status(self.status()),
+            // Metrics live with the daemon (`Shared`), not the state: the
+            // registry spans WAL/queue/worker concerns the state never
+            // sees, and the verb must not cost the state lock. Reaching
+            // this arm means a caller bypassed `handle_and_persist`.
+            Request::Metrics => Response::error("METRICS is served by the daemon layer"),
             Request::Shutdown => Response::ack(),
         }
     }
@@ -306,15 +340,20 @@ impl ServiceState {
         )
     }
 
-    pub fn status(&self) -> StatusInfo {
-        let last_screen = self.engine.is_warm().then(|| LastScreen {
+    /// Variant + timings of the most recent screen (STATUS and snapshots).
+    fn last_screen_info(&self) -> Option<LastScreen> {
+        self.engine.is_warm().then(|| LastScreen {
             variant: if self.engine.delta_screens() > 0 {
                 crate::delta::DELTA_VARIANT.to_string()
             } else {
                 "grid".to_string()
             },
             timings: *self.engine.last_timings(),
-        });
+        })
+    }
+
+    pub fn status(&self) -> StatusInfo {
+        let last_screen = self.last_screen_info();
         StatusInfo {
             n_satellites: self.catalog.len(),
             epoch: self.catalog.epoch(),
@@ -326,6 +365,8 @@ impl ServiceState {
             uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
             window: self.window(),
             last_screen,
+            recovered: self.recovered,
+            metrics: None, // the daemon layer fills this in
         }
     }
 }
@@ -342,6 +383,9 @@ enum Job {
 struct Shared {
     state: Mutex<ServiceState>,
     persist: Option<Mutex<Persister>>,
+    /// Rolling observability counters/histograms. Lock order: always after
+    /// `state` (and `persist`) — the METRICS fast path takes only this.
+    metrics: Mutex<MetricsRegistry>,
     shutdown: AtomicBool,
     jobs: Sender<Job>,
     addr: SocketAddr,
@@ -358,21 +402,56 @@ struct Shared {
 /// client must not treat it as durable); a snapshot failure only logs,
 /// since the WAL still covers every acknowledged record.
 fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
+    if matches!(request, Request::Metrics) {
+        // Served entirely at this layer: never touches the state lock,
+        // never enters the WAL.
+        let mut metrics = shared.metrics.lock();
+        metrics.count_request(request.kind(), true);
+        return Response::with_metrics(metrics.snapshot());
+    }
     let state = &mut *shared.state.lock();
-    let response = state.handle(request);
+    let mut response = state.handle(request);
     if response.ok && request.is_mutation() {
         if let Some(persist) = &shared.persist {
             let mut persister = persist.lock();
+            let append_started = Instant::now();
             if let Err(err) = persister.append(request) {
+                shared.metrics.lock().count_request(request.kind(), false);
                 return Response::error(format!("applied but not persisted: {err}"));
             }
+            shared
+                .metrics
+                .lock()
+                .record_wal_fsync(append_started.elapsed());
             if persister.should_snapshot() {
                 let snapshot = state.snapshot(persister.last_seq());
-                if let Err(err) = persister.write_snapshot(&snapshot) {
-                    eprintln!("kessler-service: snapshot failed (wal still intact): {err}");
+                let snapshot_started = Instant::now();
+                match persister.write_snapshot(&snapshot) {
+                    Ok(bytes) => shared
+                        .metrics
+                        .lock()
+                        .record_snapshot(snapshot_started.elapsed(), bytes),
+                    Err(err) => {
+                        eprintln!("kessler-service: snapshot failed (wal still intact): {err}");
+                    }
                 }
             }
         }
+    }
+    let mut metrics = shared.metrics.lock();
+    metrics.count_request(request.kind(), response.ok);
+    if response.ok {
+        if let Some(screen) = &response.screen {
+            metrics.record_screen(&screen.variant, &screen.timings);
+        }
+        if response.advance.is_some() {
+            // ADVANCE's reply has no timings; the tail screen it ran left
+            // them on the engine.
+            metrics.record_advance_tail(state.engine.last_timings());
+        }
+    }
+    if let Some(status) = &mut response.status {
+        status.metrics = Some(metrics.one_line());
     }
     response
 }
@@ -440,6 +519,7 @@ fn spawn_supervised_worker(
                 Ok(()) => return,
                 Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
                 Err(_) => {
+                    shared.metrics.lock().note_respawn();
                     eprintln!("kessler-service: screening worker died; respawning");
                 }
             }
@@ -448,6 +528,35 @@ fn spawn_supervised_worker(
             what: "screening supervisor",
             source: e,
         })
+}
+
+/// Periodically log the one-line metrics digest to stderr. Sleeps in
+/// short steps so the thread notices shutdown within ~250 ms instead of
+/// lingering a full interval; failure to spawn just disables the log.
+fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) {
+    let spawned = thread::Builder::new()
+        .name("kessler-metrics".into())
+        .spawn(move || {
+            let step = Duration::from_millis(250).min(every);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                thread::sleep(step);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                elapsed += step;
+                if elapsed >= every {
+                    elapsed = Duration::ZERO;
+                    eprintln!(
+                        "kessler-service metrics: {}",
+                        shared.metrics.lock().one_line()
+                    );
+                }
+            }
+        });
+    if let Err(err) = spawned {
+        eprintln!("kessler-service: could not spawn metrics reporter: {err}");
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -476,7 +585,7 @@ impl Server {
     ) -> Result<Server, ServiceError> {
         let mut persister = None;
         let mut recovery_summary = None;
-        let mut state = match &options.persist {
+        let state = match &options.persist {
             Some(persist_options) => {
                 let (mut p, recovery) =
                     Persister::open(persist_options, Arc::clone(&options.faults))?;
@@ -494,6 +603,7 @@ impl Server {
                     }
                 }
                 if !recovery.tail.is_empty() {
+                    state.recovered = true;
                     // Fold the replay into a fresh snapshot so the next
                     // restart starts from here.
                     let snapshot = state.snapshot(p.last_seq());
@@ -510,7 +620,6 @@ impl Server {
             }
             None => ServiceState::new(config).map_err(ServiceError::Config)?,
         };
-        state.requests = 0;
 
         let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {
             addr: addr.to_string(),
@@ -524,6 +633,7 @@ impl Server {
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             persist: persister.map(Mutex::new),
+            metrics: Mutex::new(MetricsRegistry::new()),
             shutdown: AtomicBool::new(false),
             jobs: jobs_tx,
             addr: local,
@@ -533,6 +643,9 @@ impl Server {
             max_line_bytes: options.max_line_bytes.max(1024),
         });
         let supervisor = spawn_supervised_worker(Arc::clone(&shared), jobs_rx)?;
+        if let Some(every) = options.metrics_every {
+            spawn_metrics_reporter(Arc::clone(&shared), every);
+        }
         Ok(Server {
             listener,
             shared,
@@ -723,12 +836,20 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                             reply: reply_tx,
                         };
                         match shared.jobs.try_send(job) {
-                            Ok(()) => reply_rx.recv().unwrap_or_else(|_| {
-                                Response::error("screening worker unavailable, retry")
-                            }),
-                            Err(TrySendError::Full(_)) => Response::error(
-                                "server busy: screening queue is full, retry later",
-                            ),
+                            Ok(()) => {
+                                // The enqueue itself proves a depth of ≥ 1
+                                // even if the worker drains it instantly.
+                                shared
+                                    .metrics
+                                    .lock()
+                                    .note_queue_depth(shared.jobs.len().max(1));
+                                reply_rx.recv().unwrap_or_else(|_| {
+                                    Response::error("screening worker unavailable, retry")
+                                })
+                            }
+                            Err(TrySendError::Full(_)) => {
+                                Response::error("server busy: screening queue is full, retry later")
+                            }
                             Err(TrySendError::Disconnected(_)) => {
                                 Response::error("server is shutting down")
                             }
@@ -807,11 +928,7 @@ impl Client {
     }
 
     /// Apply read/write deadlines to the connection (`None` = blocking).
-    pub fn set_timeouts(
-        &self,
-        read: Option<Duration>,
-        write: Option<Duration>,
-    ) -> io::Result<()> {
+    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
         self.writer.set_read_timeout(read)?;
         self.writer.set_write_timeout(write)
     }
@@ -943,6 +1060,59 @@ mod tests {
     }
 
     #[test]
+    fn state_refuses_metrics_requests() {
+        // METRICS is answered by the daemon layer without the state lock;
+        // the state itself treating it as an error keeps it out of the WAL
+        // (only ok mutations are appended).
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        let r = state.handle(&Request::Metrics);
+        assert!(!r.ok);
+        assert!(!Request::Metrics.is_mutation());
+    }
+
+    #[test]
+    fn repeated_advances_do_not_drift_from_one_big_advance() {
+        // Daemon-level version of the catalog drift regression: N small
+        // ADVANCEs and one big ADVANCE must leave identical catalogs.
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut stepped = ServiceState::new(config).unwrap();
+        let mut jumped = ServiceState::new(config).unwrap();
+        for i in 0..6u64 {
+            let s = spec(7_000.0 + i as f64 * 5.0, 0.4 + i as f64 * 0.2, i as f64);
+            assert!(stepped.handle(&Request::Add { id: i, elements: s }).ok);
+            assert!(jumped.handle(&Request::Add { id: i, elements: s }).ok);
+        }
+        let dt = 0.5;
+        let steps = 1_000u32;
+        for _ in 0..steps {
+            assert!(stepped.handle(&Request::Advance { dt }).ok);
+        }
+        assert!(
+            jumped
+                .handle(&Request::Advance {
+                    dt: dt * steps as f64
+                })
+                .ok
+        );
+        for (s, j) in stepped
+            .catalog()
+            .elements()
+            .iter()
+            .zip(jumped.catalog().elements())
+        {
+            let d = (s.mean_anomaly - j.mean_anomaly).abs() % std::f64::consts::TAU;
+            let d = d.min(std::f64::consts::TAU - d);
+            assert!(d <= 1e-9, "mean anomaly drifted {d} rad");
+        }
+        assert_eq!(
+            stepped.status().window,
+            jumped.status().window,
+            "window bookkeeping must agree too"
+        );
+    }
+
+    #[test]
     fn state_rejects_invalid_elements() {
         let config = ScreeningConfig::grid_defaults(5.0, 120.0);
         let mut state = ServiceState::new(config).unwrap();
@@ -1016,8 +1186,24 @@ mod tests {
         assert_eq!(b.full_screens, a.full_screens);
         assert_eq!(b.delta_screens, a.delta_screens);
         assert_eq!(b.window, a.window);
-        assert_eq!(restored.engine().conjunctions(), state.engine().conjunctions());
+        assert_eq!(
+            restored.engine().conjunctions(),
+            state.engine().conjunctions()
+        );
         assert_eq!(restored.catalog().ids(), state.catalog().ids());
+
+        // The request counter survives the round-trip instead of resetting,
+        // recovery is flagged, and the catalog's absolute time (and thus
+        // future ADVANCE propagation) is preserved.
+        assert_eq!(b.requests_served, a.requests_served);
+        assert!(a.requests_served > 0);
+        assert!(!a.recovered);
+        assert!(b.recovered);
+        assert_eq!(restored.catalog().time(), state.catalog().time());
+        assert_eq!(
+            b.last_screen.as_ref().map(|l| l.variant.clone()),
+            a.last_screen.as_ref().map(|l| l.variant.clone())
+        );
 
         // A corrupted snapshot is rejected, not silently accepted.
         let mut bad = snapshot.clone();

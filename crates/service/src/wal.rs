@@ -20,7 +20,7 @@ use crate::error::PersistError;
 use crate::proto::Request;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 /// Checksum seed: any fixed value works, it only has to match on replay.
@@ -83,20 +83,30 @@ pub struct WalReplay {
 
 /// Read a WAL file, tolerating a damaged tail. A missing file is an
 /// empty log; any I/O error other than NotFound is surfaced.
+///
+/// Lines are streamed through a [`BufReader`] rather than slurped into
+/// one string — replay memory stays one record, not the whole log, no
+/// matter how long the daemon ran since the last compaction.
 pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(WalReplay::default())
-        }
-        Err(err) => return Err(PersistError::io(format!("read {}", path.display()), err)),
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(err) => return Err(PersistError::io(format!("open {}", path.display()), err)),
     };
     let mut replay = WalReplay::default();
     let mut last_seq = 0u64;
-    for (lineno, line) in text.lines().enumerate() {
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            // A read error mid-file is indistinguishable from tail damage
+            // for replay purposes, but it is an I/O failure, not a torn
+            // write — surface it rather than silently truncating history.
+            Err(err) => return Err(PersistError::io(format!("read {}", path.display()), err)),
+        };
         if line.is_empty() {
             continue;
         }
+        let line = line.as_str();
         let (seq, body) = match decode_frame(line) {
             Ok(decoded) => decoded,
             Err(detail) => {
@@ -193,10 +203,7 @@ mod tests {
     fn temp_wal(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::SeqCst);
-        std::env::temp_dir().join(format!(
-            "kessler-wal-{tag}-{}-{n}.log",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("kessler-wal-{tag}-{}-{n}.log", std::process::id()))
     }
 
     fn spec() -> ElementsSpec {
@@ -266,9 +273,7 @@ mod tests {
             )
             .unwrap();
         writer.append(2, &Request::Screen).unwrap();
-        writer
-            .append_torn(3, &Request::Remove { id: 1 })
-            .unwrap();
+        writer.append_torn(3, &Request::Remove { id: 1 }).unwrap();
         let replay = read_wal(&path).unwrap();
         assert_eq!(replay.records.len(), 2);
         assert!(replay.torn.is_some());

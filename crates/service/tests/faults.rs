@@ -20,10 +20,7 @@ use std::sync::Arc;
 fn temp_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::SeqCst);
-    let dir = std::env::temp_dir().join(format!(
-        "kessler-faults-{tag}-{}-{n}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("kessler-faults-{tag}-{}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -104,7 +101,11 @@ fn dead_worker_is_respawned_by_the_supervisor() {
     let response = client.send(&Request::Screen).expect("SCREEN survives");
     assert!(!response.ok);
     assert!(
-        response.error.as_deref().unwrap_or("").contains("unavailable"),
+        response
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unavailable"),
         "{:?}",
         response.error
     );
@@ -113,6 +114,16 @@ fn dead_worker_is_respawned_by_the_supervisor() {
     let response = client.send(&Request::Screen).expect("SCREEN after respawn");
     assert!(response.ok, "{:?}", response.error);
     assert_eq!(response.screen.unwrap().n_satellites, 8);
+
+    // The respawn is visible in METRICS.
+    let response = request(handle.addr(), &Request::Metrics).expect("METRICS");
+    assert!(response.ok, "{:?}", response.error);
+    let metrics = response.metrics.expect("metrics payload");
+    assert!(
+        metrics.worker_respawns >= 1,
+        "supervisor respawn not counted: {}",
+        metrics.worker_respawns
+    );
     handle.shutdown();
 }
 
@@ -231,7 +242,9 @@ fn garbage_and_oversized_lines_get_errors_without_collateral() {
 
     // Garbage: error response, connection stays up.
     let mut client = Client::connect(handle.addr()).expect("connect");
-    let response = client.send_line("complete garbage {{{").expect("garbage line");
+    let response = client
+        .send_line("complete garbage {{{")
+        .expect("garbage line");
     assert!(!response.ok);
     assert!(response.error.unwrap().starts_with("bad request"));
 

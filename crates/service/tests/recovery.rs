@@ -16,10 +16,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 fn temp_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::SeqCst);
-    let dir = std::env::temp_dir().join(format!(
-        "kessler-recovery-{tag}-{}-{n}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("kessler-recovery-{tag}-{}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -150,6 +148,18 @@ fn restart_resumes_warm_and_matches_uninterrupted() {
         durable_key(&status_c),
         "restarted daemon differs from an uninterrupted control"
     );
+    // STATUS is honest about recovery, and the request counter picks up
+    // from the persisted count instead of restarting at the replay size
+    // (the script alone was 30 requests; a fresh counter would be far
+    // below that at this point).
+    assert!(status_b.recovered, "daemon B restored from disk");
+    assert!(!final_a.recovered, "daemon A started fresh");
+    assert!(!status_c.recovered, "daemon C started fresh");
+    assert!(
+        status_b.requests_served >= 30,
+        "request counter reset on recovery: {}",
+        status_b.requests_served
+    );
     // The warm engine carried over: the same UPDATE + DELTA on both
     // daemons produces identical summaries, including the top set.
     let post: Vec<Request> = vec![
@@ -259,5 +269,7 @@ fn restart_after_restart_is_stable() {
 
     assert_eq!(durable_key(&first), durable_key(&second));
     assert_eq!(durable_key(&second), durable_key(&third));
+    assert!(!first.recovered);
+    assert!(second.recovered && third.recovered);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -12,6 +12,12 @@ cargo test -q --workspace
 echo "==> cargo test -p kessler-service (crash-safety suite, backtraces on)"
 RUST_BACKTRACE=1 cargo test -p kessler-service -q
 
+echo "==> cargo test -p kessler-service --test metrics (observability e2e)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q --test metrics
+
+echo "==> cargo test -p kessler-core metrics (histogram unit + property tests)"
+cargo test -p kessler-core -q metrics
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
