@@ -49,8 +49,9 @@ impl Flags {
         }
     }
 
-    /// First positional (non-flag) argument.
-    pub fn positional(&self) -> Option<&str> {
+    /// All positional (non-flag) arguments, in order.
+    pub fn positionals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
         let mut skip_next = false;
         for a in &self.raw {
             if skip_next {
@@ -62,9 +63,20 @@ impl Flags {
                 skip_next = !matches!(stripped, "csv" | "stats" | "parallel");
                 continue;
             }
-            return Some(a);
+            out.push(a.as_str());
         }
-        None
+        out
+    }
+
+    /// First positional (non-flag) argument.
+    pub fn positional(&self) -> Option<&str> {
+        self.positional_at(0)
+    }
+
+    /// The n-th positional argument (0-based), e.g. the FILE after an
+    /// action word like `submit tle FILE`.
+    pub fn positional_at(&self, n: usize) -> Option<&str> {
+        self.positionals().get(n).copied()
     }
 }
 
@@ -97,5 +109,14 @@ mod tests {
         let f = flags(&["--seed", "42", "catalog.txt"]);
         assert_eq!(f.positional(), Some("catalog.txt"));
         assert!(flags(&["--seed", "42"]).positional().is_none());
+    }
+
+    #[test]
+    fn positionals_keep_order_around_flags() {
+        let f = flags(&["tle", "--addr", "127.0.0.1:7878", "catalog.txt", "--stats"]);
+        assert_eq!(f.positionals(), vec!["tle", "catalog.txt"]);
+        assert_eq!(f.positional_at(0), Some("tle"));
+        assert_eq!(f.positional_at(1), Some("catalog.txt"));
+        assert_eq!(f.positional_at(2), None);
     }
 }

@@ -26,6 +26,7 @@ SUBCOMMANDS
   compare    accuracy across variants     --n N [--threshold KM] [--span S]
   serve      run the screening daemon     [--addr HOST:PORT] [--pop FILE | --n N]
              [--threshold KM] [--span S] [--sps S] [--threads T]
+             [--workers N (0 = auto)] screening worker pool size
              [--state-dir DIR] [--snapshot-every N] [--queue-depth N]
              [--read-timeout SECS (0 = none)]
              [--metrics-every SECS (0 = off)] log a metrics digest to stderr
@@ -33,9 +34,12 @@ SUBCOMMANDS
              recovered on restart (preload is skipped if state recovers)
   submit     send one daemon command      ACTION [--addr HOST:PORT] [--id I]
              [--a KM --e E --incl R --raan R --argp R --m R] [--dt S]
+             [--req-id ID] tag the request (the CANCEL handle)
              [--json REQUEST] [--timeout SECS (0 = none, default 10)]
              ACTION: add | update | remove | screen | delta | advance
-                     | status | metrics | shutdown
+                     | cancel ID | tle FILE | status | metrics | shutdown
+             `cancel ID` aborts the queued/in-flight job tagged ID;
+             `tle FILE` streams a 2LE/3LE catalog into the daemon
   info       version and build info
 
 VARIANTS
@@ -308,6 +312,7 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     let options = kessler_service::ServerOptions {
         persist,
         queue_depth: flags.usize_of("--queue-depth", defaults.queue_depth)?,
+        workers: flags.usize_of("--workers", defaults.workers)?,
         read_timeout: (read_timeout_s > 0).then(|| std::time::Duration::from_secs(read_timeout_s)),
         metrics_every: (metrics_every_s > 0)
             .then(|| std::time::Duration::from_secs(metrics_every_s)),
@@ -350,9 +355,10 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
         }
     }
     println!(
-        "kessler-service listening on {} — JSON lines: \
-         ADD UPDATE REMOVE SCREEN DELTA ADVANCE STATUS METRICS SHUTDOWN",
-        server.local_addr()
+        "kessler-service listening on {} ({} screening workers) — JSON lines: \
+         ADD UPDATE REMOVE SCREEN DELTA ADVANCE CANCEL STATUS METRICS SHUTDOWN",
+        server.local_addr(),
+        server.workers()
     );
     server.run();
     println!("kessler-service stopped");
@@ -373,6 +379,7 @@ fn submit_elements(flags: &Flags) -> Result<kessler_service::ElementsSpec, Strin
 pub fn submit(flags: &Flags) -> Result<(), String> {
     use kessler_service::Request;
     let addr = flags.value_of("--addr").unwrap_or("127.0.0.1:7878");
+    let timeout_s = flags.f64_of("--timeout", 10.0)?;
     let request = if let Some(raw) = flags.value_of("--json") {
         serde_json::from_str::<Request>(raw).map_err(|e| format!("bad --json request: {e}"))?
     } else {
@@ -396,23 +403,21 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
             "advance" => Request::Advance {
                 dt: flags.f64_of("--dt", 60.0)?,
             },
+            "cancel" => Request::Cancel {
+                id: flags
+                    .positional_at(1)
+                    .or_else(|| flags.value_of("--req-id"))
+                    .ok_or("usage: kessler submit cancel REQ_ID")?
+                    .to_string(),
+            },
+            "tle" => return submit_tle(flags, addr, timeout_s),
             "status" => Request::Status,
             "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown submit action `{other}`")),
         }
     };
-    let timeout_s = flags.f64_of("--timeout", 10.0)?;
-    let response = if timeout_s > 0.0 {
-        kessler_service::request_with_timeout(
-            addr,
-            &request,
-            std::time::Duration::from_secs_f64(timeout_s),
-        )
-    } else {
-        kessler_service::request(addr, &request)
-    }
-    .map_err(|e| format!("request to {addr} failed: {e}"))?;
+    let response = send_request(addr, &request, flags.value_of("--req-id"), timeout_s)?;
     if let Some(metrics) = &response.metrics {
         print_metrics(metrics);
     } else {
@@ -424,6 +429,91 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
     } else {
         Err(response.error.unwrap_or_else(|| "request failed".into()))
     }
+}
+
+/// One request/response exchange, optionally tagged with a `req_id` so a
+/// concurrent `kessler submit cancel ID` can abort it.
+fn send_request(
+    addr: &str,
+    request: &kessler_service::Request,
+    req_id: Option<&str>,
+    timeout_s: f64,
+) -> Result<kessler_service::Response, String> {
+    let timeout = (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s));
+    match req_id {
+        None => match timeout {
+            Some(t) => kessler_service::request_with_timeout(addr, request, t),
+            None => kessler_service::request(addr, request),
+        },
+        Some(id) => (|| {
+            let mut client = kessler_service::Client::connect(addr)?;
+            client.set_timeouts(timeout, timeout)?;
+            client.send_tagged(request, id)
+        })(),
+    }
+    .map_err(|e| format!("request to {addr} failed: {e}"))
+}
+
+/// `kessler submit tle FILE` — stream a 2LE/3LE catalog into the daemon:
+/// each parsed record becomes ADD (keyed by NORAD catalog number), falling
+/// back to UPDATE when the id already exists, all over one connection.
+fn submit_tle(flags: &Flags, addr: &str, timeout_s: f64) -> Result<(), String> {
+    use kessler_service::Request;
+    let Some(path) = flags.positional_at(1) else {
+        return Err("usage: kessler submit tle FILE [--addr HOST:PORT]".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (records, errors) = tle_mod::parse_catalog(&text);
+    for (line, err) in errors.iter().take(5) {
+        eprintln!("  near line {line}: {err}");
+    }
+    let mut client = kessler_service::Client::connect(addr)
+        .map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let timeout = (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s));
+    client
+        .set_timeouts(timeout, timeout)
+        .map_err(|e| e.to_string())?;
+    let (mut added, mut updated) = (0usize, 0usize);
+    let mut rejected = errors.len();
+    for record in &records {
+        let id = u64::from(record.catalog_number);
+        let response = client
+            .send(&Request::Add {
+                id,
+                elements: kessler_service::ElementsSpec::from_elements(&record.elements),
+            })
+            .map_err(|e| format!("ADD {id} failed: {e}"))?;
+        if response.ok {
+            added += 1;
+            continue;
+        }
+        let duplicate = response
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("already exists"));
+        if duplicate {
+            let response = client
+                .send(&Request::Update {
+                    id,
+                    elements: kessler_service::ElementsSpec::from_elements(&record.elements),
+                })
+                .map_err(|e| format!("UPDATE {id} failed: {e}"))?;
+            if response.ok {
+                updated += 1;
+                continue;
+            }
+            rejected += 1;
+            eprintln!("  satellite {id}: {}", response.error.unwrap_or_default());
+        } else {
+            rejected += 1;
+            eprintln!("  satellite {id}: {}", response.error.unwrap_or_default());
+        }
+    }
+    println!(
+        "ingested {} records ({added} added, {updated} updated, {rejected} rejected)",
+        added + updated
+    );
+    Ok(())
 }
 
 fn print_quantile_row(label: &str, digest: &kessler_core::HistogramSummary, unit: &str) {
@@ -481,6 +571,19 @@ fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
             print_quantile_row("snapshot size", d, "B");
         }
     }
+    if metrics.snapshot_build_ms.is_some() || !metrics.worker_screen_ms.is_empty() {
+        println!("execution");
+        println!(
+            "  {:<16} {:>7}  {:>9} {:>9} {:>9} {:>9}",
+            "", "count", "p50", "p90", "p99", "max"
+        );
+        if let Some(d) = &metrics.snapshot_build_ms {
+            print_quantile_row("snapshot build", d, "ms");
+        }
+        for (worker, d) in &metrics.worker_screen_ms {
+            print_quantile_row(worker, d, "ms");
+        }
+    }
     if !metrics.requests.is_empty() {
         println!("requests");
         for (kind, counter) in &metrics.requests {
@@ -491,8 +594,8 @@ fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
         }
     }
     println!(
-        "queue high-water {}, worker respawns {}",
-        metrics.queue_highwater, metrics.worker_respawns
+        "queue high-water {}, worker respawns {}, jobs cancelled {}",
+        metrics.queue_highwater, metrics.worker_respawns, metrics.jobs_cancelled
     );
 }
 

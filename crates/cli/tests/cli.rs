@@ -142,3 +142,65 @@ fn bad_flag_values_fail_cleanly() {
     assert!(!ok);
     assert!(err.contains("error:"));
 }
+
+/// `kessler submit tle FILE` streams a catalog into a live daemon: first
+/// pass ADDs every record, a second pass falls back to UPDATE, and tagged
+/// / cancel round-trips work from the CLI too.
+#[test]
+fn submit_tle_streams_a_catalog_into_the_daemon() {
+    use kessler_core::ScreeningConfig;
+    use kessler_service::{request, Request, Server};
+
+    let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let addr_s = addr.to_string();
+    let handle = server.spawn().expect("spawn server thread");
+
+    let path = std::env::temp_dir().join("kessler_cli_submit_tle.txt");
+    std::fs::write(
+        &path,
+        "ISS (ZARYA)\n\
+         1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927\n\
+         2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537\n\
+         ISS (DEB)\n\
+         1 25545U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2928\n\
+         2 25545  51.6416 250.0000 0006703 130.5360 325.0288 15.72125391563533\n",
+    )
+    .unwrap();
+
+    let (ok, out, err) = run(&["submit", "tle", path.to_str().unwrap(), "--addr", &addr_s]);
+    assert!(ok, "submit tle failed: {err}");
+    assert!(
+        out.contains("ingested 2 records (2 added, 0 updated, 0 rejected)"),
+        "unexpected ingest summary:\n{out}"
+    );
+
+    // Re-ingesting the same file updates every record in place.
+    let (ok, out, err) = run(&["submit", "tle", path.to_str().unwrap(), "--addr", &addr_s]);
+    assert!(ok, "re-ingest failed: {err}");
+    assert!(
+        out.contains("ingested 2 records (0 added, 2 updated, 0 rejected)"),
+        "unexpected re-ingest summary:\n{out}"
+    );
+
+    let status = request(addr, &Request::Status)
+        .expect("STATUS")
+        .status
+        .unwrap();
+    assert_eq!(status.n_satellites, 2);
+
+    // --req-id tags the request and the daemon echoes it back.
+    let (ok, out, err) = run(&["submit", "screen", "--req-id", "job-cli", "--addr", &addr_s]);
+    assert!(ok, "tagged screen failed: {err}");
+    assert!(out.contains("\"req_id\": \"job-cli\""), "{out}");
+
+    // CANCEL of a finished job is a clean error, not a hang.
+    let (ok, _, err) = run(&["submit", "cancel", "job-cli", "--addr", &addr_s]);
+    assert!(!ok);
+    assert!(err.contains("no queued or running job"), "{err}");
+
+    request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+}

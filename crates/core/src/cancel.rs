@@ -1,0 +1,89 @@
+//! Cooperative cancellation for long-running screening jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the party
+//! that owns a job and the code executing it. Screeners check the token at
+//! phase boundaries (between grid steps, between refinement chunks) and
+//! bail out with [`Cancelled`] — they never abort mid-phase, so a screen
+//! that runs to completion with a never-tripped token is bit-identical to
+//! one run without a token at all.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag. Cloning hands out another handle to the same
+/// underlying flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the flag. Idempotent; all clones observe it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Phase-boundary check: `Err(Cancelled)` once the flag is tripped.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The job observed its tripped token at a phase boundary and stopped
+/// without producing a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("job cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// Convenience for `Option<&CancelToken>` call sites: `None` never cancels.
+pub fn check_opt(token: Option<&CancelToken>) -> Result<(), Cancelled> {
+    match token {
+        Some(t) => t.check(),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_trips_for_all_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(clone.check().is_ok());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(), Err(Cancelled));
+        // Idempotent.
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_formats_and_is_an_error() {
+        let err: Box<dyn std::error::Error> = Box::new(Cancelled);
+        assert_eq!(err.to_string(), "job cancelled");
+    }
+}

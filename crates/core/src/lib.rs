@@ -36,6 +36,7 @@
 //!   (CUDA substitution; see DESIGN.md §3).
 
 pub mod assessment;
+pub mod cancel;
 pub mod config;
 pub mod conjunction;
 pub mod cube;
@@ -46,6 +47,7 @@ pub mod refine;
 pub mod screener;
 pub mod timing;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use config::{ScreeningConfig, Variant};
 pub use conjunction::{Conjunction, ScreeningReport};
 pub use metrics::{Histogram, HistogramSummary, PhaseSeries, PhaseSummaries};

@@ -1,16 +1,22 @@
 //! The purely grid-based screening variant (§III, §IV).
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::config::{ScreeningConfig, Variant};
 use crate::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
 use crate::planner::MemoryModel;
 use crate::refine::{grid_refine_interval, refine_pair};
-use crate::screener::grid_phase::run_grid_phase;
+use crate::screener::grid_phase::run_grid_phase_cancellable;
 use crate::screener::{run_in_pool, Screener};
 use crate::timing::{PhaseTimer, PhaseTimings};
 use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::time::Instant;
+
+/// Refinement proceeds in chunks of this many candidate entries between
+/// cancellation checks: large enough that the per-chunk rayon dispatch is
+/// noise, small enough that a CANCEL lands within a few ms of work.
+const REFINE_CHUNK: usize = 8192;
 
 /// Grid-based conjunction screener.
 ///
@@ -34,6 +40,96 @@ impl GridScreener {
     pub fn config(&self) -> &ScreeningConfig {
         &self.config
     }
+
+    /// Screen `population` while checking `cancel` at phase boundaries:
+    /// between grid sampling steps and between refinement chunks of
+    /// [`REFINE_CHUNK`] candidates. A screen that completes without the
+    /// token tripping returns exactly the report [`Screener::screen`]
+    /// would have produced.
+    pub fn screen_cancellable(
+        &self,
+        population: &[KeplerElements],
+        cancel: &CancelToken,
+    ) -> Result<ScreeningReport, Cancelled> {
+        let config = self.config;
+        let solver = self.solver;
+        run_in_pool(config.threads, move || {
+            screen_body(&config, &solver, population, Some(cancel))
+        })
+    }
+}
+
+/// The full grid pipeline, shared between the infallible and the
+/// cancellable entry points.
+fn screen_body(
+    config: &ScreeningConfig,
+    solver: &ContourSolver,
+    population: &[KeplerElements],
+    cancel: Option<&CancelToken>,
+) -> Result<ScreeningReport, Cancelled> {
+    let wall = Instant::now();
+    let mut timings = PhaseTimings::default();
+    let planner = MemoryModel::new(Variant::Grid).plan(population.len(), config);
+
+    // Step 1 (§III): fixed allocations — satellite data and the
+    // precomputed Kepler solver constants.
+    let propagator = BatchPropagator::new(population);
+
+    // Steps 2: propagation, insertion, pair identification.
+    let phase = run_grid_phase_cancellable(&propagator, config, &planner, &mut timings, cancel)?;
+    let candidate_entries = phase.entries.len();
+    let candidate_pairs = phase
+        .entries
+        .iter()
+        .map(|e| (e.id_lo, e.id_hi))
+        .collect::<HashSet<_>>()
+        .len();
+
+    // Step 4: PCA/TCA determination, one Brent search per candidate
+    // occurrence, all independent (§IV-C). Chunked so a tripped token is
+    // observed between chunks; chunk outputs are appended in order, which
+    // keeps the result identical to the single par_iter pass.
+    let mut found: Vec<Conjunction> = Vec::new();
+    {
+        let _timer = PhaseTimer::start(&mut timings.refinement);
+        let constants = propagator.constants();
+        for chunk in phase.entries.chunks(REFINE_CHUNK) {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+            found.par_extend(chunk.par_iter().filter_map(|entry| {
+                let a = &constants[entry.id_lo as usize];
+                let b = &constants[entry.id_hi as usize];
+                let t = entry.step as f64 * planner.seconds_per_sample;
+                let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
+                refine_pair(
+                    a,
+                    b,
+                    solver,
+                    entry.id_lo,
+                    entry.id_hi,
+                    interval,
+                    config.threshold_km,
+                )
+            }));
+        }
+    }
+    found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+
+    timings.total = wall.elapsed();
+    Ok(ScreeningReport {
+        variant: Variant::Grid.label().to_string(),
+        n_satellites: population.len(),
+        config: *config,
+        conjunctions: found,
+        candidate_entries,
+        candidate_pairs,
+        pair_set_regrows: phase.regrows,
+        timings,
+        planner,
+        filter_stats: None,
+        device_metrics: None,
+    })
 }
 
 impl Screener for GridScreener {
@@ -41,66 +137,8 @@ impl Screener for GridScreener {
         let config = self.config;
         let solver = self.solver;
         run_in_pool(config.threads, move || {
-            let wall = Instant::now();
-            let mut timings = PhaseTimings::default();
-            let planner = MemoryModel::new(Variant::Grid).plan(population.len(), &config);
-
-            // Step 1 (§III): fixed allocations — satellite data and the
-            // precomputed Kepler solver constants.
-            let propagator = BatchPropagator::new(population);
-
-            // Steps 2: propagation, insertion, pair identification.
-            let phase = run_grid_phase(&propagator, &config, &planner, &mut timings);
-            let candidate_entries = phase.entries.len();
-            let candidate_pairs = phase
-                .entries
-                .iter()
-                .map(|e| (e.id_lo, e.id_hi))
-                .collect::<HashSet<_>>()
-                .len();
-
-            // Step 4: PCA/TCA determination, one Brent search per
-            // candidate occurrence, all independent (§IV-C).
-            let mut found: Vec<Conjunction>;
-            {
-                let _timer = PhaseTimer::start(&mut timings.refinement);
-                let constants = propagator.constants();
-                found = phase
-                    .entries
-                    .par_iter()
-                    .filter_map(|entry| {
-                        let a = &constants[entry.id_lo as usize];
-                        let b = &constants[entry.id_hi as usize];
-                        let t = entry.step as f64 * planner.seconds_per_sample;
-                        let interval = grid_refine_interval(a, b, &solver, t, planner.cell_size_km);
-                        refine_pair(
-                            a,
-                            b,
-                            &solver,
-                            entry.id_lo,
-                            entry.id_hi,
-                            interval,
-                            config.threshold_km,
-                        )
-                    })
-                    .collect();
-            }
-            found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
-
-            timings.total = wall.elapsed();
-            ScreeningReport {
-                variant: Variant::Grid.label().to_string(),
-                n_satellites: population.len(),
-                config,
-                conjunctions: found,
-                candidate_entries,
-                candidate_pairs,
-                pair_set_regrows: phase.regrows,
-                timings,
-                planner,
-                filter_stats: None,
-                device_metrics: None,
-            }
+            screen_body(&config, &solver, population, None)
+                .expect("uncancellable screen cannot be cancelled")
         })
     }
 
@@ -199,6 +237,35 @@ mod tests {
         assert!(report.timings.total.as_nanos() > 0);
         assert!(report.timings.insertion.as_nanos() > 0);
         assert!(report.timings.total >= report.timings.insertion);
+    }
+
+    #[test]
+    fn cancellable_screen_matches_plain_screen_when_never_cancelled() {
+        let pop = crossing_pair_population();
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let screener = GridScreener::new(config);
+        let plain = screener.screen(&pop);
+        let token = CancelToken::new();
+        let tokened = screener
+            .screen_cancellable(&pop, &token)
+            .expect("never tripped");
+        assert_eq!(plain.conjunction_count(), tokened.conjunction_count());
+        assert_eq!(plain.candidate_entries, tokened.candidate_entries);
+        for (a, b) in plain.conjunctions.iter().zip(&tokened.conjunctions) {
+            assert_eq!(a.pair(), b.pair());
+            assert_eq!(a.tca.to_bits(), b.tca.to_bits());
+            assert_eq!(a.pca_km.to_bits(), b.pca_km.to_bits());
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_before_any_work() {
+        let pop = crossing_pair_population();
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = GridScreener::new(config).screen_cancellable(&pop, &token);
+        assert_eq!(result.unwrap_err(), crate::cancel::Cancelled);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! cores, so the reuse trades no parallelism for a `p×` memory saving; the
 //! planner still reports `p` for the memory model).
 
+use crate::cancel::{check_opt, CancelToken, Cancelled};
 use crate::config::ScreeningConfig;
 use crate::planner::PlannerReport;
 use crate::timing::{PhaseTimer, PhaseTimings};
@@ -34,12 +35,33 @@ pub(crate) fn run_grid_phase(
     planner: &PlannerReport,
     timings: &mut PhaseTimings,
 ) -> GridPhaseOutput {
+    run_grid_phase_cancellable(propagator, config, planner, timings, None)
+        .expect("grid phase without a token cannot be cancelled")
+}
+
+/// Like [`run_grid_phase`], but checks `cancel` between sampling steps
+/// (and between rounds on the multi-grid path). A never-tripped token
+/// yields output identical to the plain path.
+pub(crate) fn run_grid_phase_cancellable(
+    propagator: &BatchPropagator,
+    config: &ScreeningConfig,
+    planner: &PlannerReport,
+    timings: &mut PhaseTimings,
+    cancel: Option<&CancelToken>,
+) -> Result<GridPhaseOutput, Cancelled> {
     let grids_in_flight = config
         .parallel_steps
         .unwrap_or(1)
         .clamp(1, planner.parallel_factor.max(1));
     if grids_in_flight > 1 {
-        return run_grid_phase_rounds(propagator, config, planner, timings, grids_in_flight);
+        return run_grid_phase_rounds(
+            propagator,
+            config,
+            planner,
+            timings,
+            grids_in_flight,
+            cancel,
+        );
     }
 
     let n = propagator.len();
@@ -51,6 +73,7 @@ pub(crate) fn run_grid_phase(
 
     let total_steps = planner.total_steps;
     for step in 0..total_steps {
+        check_opt(cancel)?;
         let t = step as f64 * planner.seconds_per_sample;
 
         // INS: parallel propagation + parallel insertion.
@@ -84,10 +107,10 @@ pub(crate) fn run_grid_phase(
         }
     }
 
-    GridPhaseOutput {
+    Ok(GridPhaseOutput {
         entries: pairs.drain_to_vec(),
         regrows,
-    }
+    })
 }
 
 /// One grid + its positions buffer, the unit the round scheduler hands to
@@ -107,7 +130,8 @@ fn run_grid_phase_rounds(
     planner: &PlannerReport,
     timings: &mut PhaseTimings,
     grids_in_flight: usize,
-) -> GridPhaseOutput {
+    cancel: Option<&CancelToken>,
+) -> Result<GridPhaseOutput, Cancelled> {
     use rayon::prelude::*;
 
     let n = propagator.len();
@@ -124,6 +148,7 @@ fn run_grid_phase_rounds(
 
     let steps: Vec<u32> = (0..total_steps).collect();
     for (round_idx, round) in steps.chunks(p_eff).enumerate() {
+        check_opt(cancel)?;
         // Phase A (INS): every in-flight step propagates its satellites
         // and fills its own grid.
         {
@@ -176,10 +201,10 @@ fn run_grid_phase_rounds(
         }
     }
 
-    GridPhaseOutput {
+    Ok(GridPhaseOutput {
         entries: pairs.drain_to_vec(),
         regrows,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 
 use kessler_orbits::KeplerElements;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Catalog mutation failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,18 +59,47 @@ pub struct Removal {
 
 /// Incremental satellite catalog: stable ids ↔ dense indices, per-satellite
 /// generation counters, monotonic epoch.
+///
+/// The element arrays live behind `Arc` so [`Catalog::snapshot`] is O(1):
+/// mutations go through `Arc::make_mut`, which clones only when a snapshot
+/// is still holding the previous version (copy-on-write).
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     epoch: u64,
     ids: Vec<u64>,
-    elements: Vec<KeplerElements>,
+    elements: Arc<Vec<KeplerElements>>,
     generations: Vec<u64>,
     index_of: HashMap<u64, u32>,
     /// Seconds the catalog has been advanced past its base epoch.
     time: f64,
     /// Epoch-0 elements per satellite; `elements[i]` is always
     /// `base_elements[i]` propagated by `time`.
-    base_elements: Vec<KeplerElements>,
+    base_elements: Arc<Vec<KeplerElements>>,
+}
+
+/// An immutable view of the catalog at one epoch, cheap to capture and to
+/// clone (two `Arc` bumps). Screening jobs run against a snapshot while
+/// the live catalog keeps mutating underneath.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    /// Catalog epoch at capture time.
+    pub epoch: u64,
+    /// Seconds the catalog had been advanced past its base epoch.
+    pub time: f64,
+    /// Dense element slice as of `epoch`.
+    pub elements: Arc<Vec<KeplerElements>>,
+    /// Epoch-0 elements as of `epoch`.
+    pub base_elements: Arc<Vec<KeplerElements>>,
+}
+
+impl CatalogSnapshot {
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
 }
 
 impl Catalog {
@@ -208,12 +238,24 @@ impl Catalog {
         Ok(Catalog {
             epoch,
             ids,
-            elements,
+            elements: Arc::new(elements),
             generations,
             index_of,
             time,
-            base_elements,
+            base_elements: Arc::new(base_elements),
         })
+    }
+
+    /// Capture an immutable view of the current state. O(1): two `Arc`
+    /// clones. Later mutations copy-on-write and leave the snapshot
+    /// untouched.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            epoch: self.epoch,
+            time: self.time,
+            elements: Arc::clone(&self.elements),
+            base_elements: Arc::clone(&self.base_elements),
+        }
     }
 
     /// Insert a new satellite; returns its dense index.
@@ -225,10 +267,11 @@ impl Catalog {
             return Err(CatalogError::Full);
         }
         let index = self.ids.len() as u32;
+        let base = self.rebase(&elements);
         self.epoch += 1;
         self.ids.push(id);
-        self.elements.push(elements);
-        self.base_elements.push(self.rebase(&elements));
+        Arc::make_mut(&mut self.elements).push(elements);
+        Arc::make_mut(&mut self.base_elements).push(base);
         self.generations.push(self.epoch);
         self.index_of.insert(id, index);
         Ok(index)
@@ -238,9 +281,10 @@ impl Catalog {
     /// index.
     pub fn update(&mut self, id: u64, elements: KeplerElements) -> Result<u32, CatalogError> {
         let index = *self.index_of.get(&id).ok_or(CatalogError::UnknownId(id))?;
+        let base = self.rebase(&elements);
         self.epoch += 1;
-        self.elements[index as usize] = elements;
-        self.base_elements[index as usize] = self.rebase(&elements);
+        Arc::make_mut(&mut self.elements)[index as usize] = elements;
+        Arc::make_mut(&mut self.base_elements)[index as usize] = base;
         self.generations[index as usize] = self.epoch;
         Ok(index)
     }
@@ -261,8 +305,8 @@ impl Catalog {
         self.epoch += 1;
         self.index_of.remove(&id);
         self.ids.swap_remove(index as usize);
-        self.elements.swap_remove(index as usize);
-        self.base_elements.swap_remove(index as usize);
+        Arc::make_mut(&mut self.elements).swap_remove(index as usize);
+        Arc::make_mut(&mut self.base_elements).swap_remove(index as usize);
         self.generations.swap_remove(index as usize);
         if index != last {
             let moved_id = self.ids[index as usize];
@@ -291,8 +335,10 @@ impl Catalog {
     pub fn advance_all(&mut self, dt: f64) {
         self.epoch += 1;
         self.time += dt;
-        for (el, base) in self.elements.iter_mut().zip(&self.base_elements) {
-            el.mean_anomaly = base.mean_anomaly_at(self.time);
+        let time = self.time;
+        let elements = Arc::make_mut(&mut self.elements);
+        for (el, base) in elements.iter_mut().zip(self.base_elements.iter()) {
+            el.mean_anomaly = base.mean_anomaly_at(time);
         }
     }
 
@@ -508,6 +554,43 @@ mod tests {
             let d = angle_diff(s.mean_anomaly, j.mean_anomaly);
             assert!(d <= 1e-9, "drift {d} rad after {steps} steps");
         }
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_mutations() {
+        let mut cat = Catalog::new();
+        cat.add(1, el(7_000.0)).unwrap();
+        cat.add(2, el(7_100.0)).unwrap();
+        let snap = cat.snapshot();
+        assert_eq!(snap.epoch, cat.epoch());
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+
+        // Every mutation class: the snapshot must keep the captured view.
+        cat.update(1, el(7_500.0)).unwrap();
+        cat.add(3, el(7_200.0)).unwrap();
+        cat.remove(2).unwrap();
+        cat.advance_all(300.0);
+
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.elements[0].semi_major_axis, 7_000.0);
+        assert_eq!(snap.elements[1].semi_major_axis, 7_100.0);
+        assert_eq!(snap.time, 0.0);
+        assert!(snap.epoch < cat.epoch());
+        // And the live catalog really did change.
+        assert_eq!(cat.elements()[0].semi_major_axis, 7_500.0);
+        assert_eq!(cat.time(), 300.0);
+    }
+
+    #[test]
+    fn snapshot_capture_shares_storage_until_a_mutation() {
+        let mut cat = Catalog::new();
+        cat.add(1, el(7_000.0)).unwrap();
+        let snap = cat.snapshot();
+        assert_eq!(snap.elements.as_ptr(), cat.elements().as_ptr());
+        cat.update(1, el(7_001.0)).unwrap();
+        assert_ne!(snap.elements.as_ptr(), cat.elements().as_ptr());
+        assert_eq!(snap.elements[0].semi_major_axis, 7_000.0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! are deterministic functions of (pair, steps, config).
 
 use crate::catalog::Removal;
+use kessler_core::cancel::{check_opt, CancelToken, Cancelled};
 use kessler_core::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
 use kessler_core::refine::{grid_refine_interval, refine_pair};
 use kessler_core::timing::{PhaseTimer, PhaseTimings};
@@ -33,10 +34,30 @@ use kessler_math::Vec3;
 use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Variant label delta reports carry.
 pub const DELTA_VARIANT: &str = "grid-delta";
+
+/// Refinement proceeds in chunks of this many candidates between
+/// cancellation checks (mirrors the grid screener's granularity).
+const REFINE_CHUNK: usize = 8192;
+
+/// Maintained conjunction set grouped by satellite pair.
+pub type PairMap = HashMap<(u32, u32), Vec<Conjunction>>;
+
+/// Which pre-screen a window advance folded in to bring a stale or cold
+/// engine current before sliding (drives the screen counters on adoption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvanceFold {
+    /// Engine was warm and current; only the window slid.
+    None,
+    /// Cold fallback: a full screen ran first.
+    Full,
+    /// Pending changes: a delta screen ran first.
+    Delta,
+}
 
 /// Result of a sliding-window advance (see [`DeltaEngine::advance_window`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,12 +69,21 @@ pub struct AdvanceOutcome {
 }
 
 /// A conjunction-screening engine that stays warm between requests.
+///
+/// The screening pipelines themselves live in the free functions
+/// [`full_screen_job`], [`delta_screen_job`] and [`advance_window_job`]:
+/// pure, cancellable computations over immutable inputs. The engine's
+/// methods capture their inputs, run the job uncancellably, and adopt the
+/// result — the same capture → run → adopt protocol the execution layer
+/// follows with worker threads, which is what keeps the concurrent path
+/// equivalent to this synchronous one.
 pub struct DeltaEngine {
     config: ScreeningConfig,
     solver: ContourSolver,
     /// Maintained conjunction set, grouped by satellite pair. TCAs are
-    /// seconds past the *current* element epoch (window-relative).
-    pairs: HashMap<(u32, u32), Vec<Conjunction>>,
+    /// seconds past the *current* element epoch (window-relative). Behind
+    /// `Arc` so jobs can hold the warm set while the engine moves on.
+    pairs: Arc<PairMap>,
     /// Population size of the last adopted screen; `None` while cold.
     screened_n: Option<usize>,
     full_screens: u64,
@@ -67,7 +97,7 @@ impl DeltaEngine {
         Ok(DeltaEngine {
             config,
             solver: ContourSolver::default(),
-            pairs: HashMap::new(),
+            pairs: Arc::new(PairMap::new()),
             screened_n: None,
             full_screens: 0,
             delta_screens: 0,
@@ -100,9 +130,7 @@ impl DeltaEngine {
                 ));
             }
         }
-        for c in conjunctions {
-            engine.pairs.entry(c.pair()).or_default().push(*c);
-        }
+        engine.pairs = Arc::new(pairs_from_conjunctions(conjunctions));
         engine.screened_n = screened_n;
         engine.full_screens = full_screens;
         engine.delta_screens = delta_screens;
@@ -150,27 +178,70 @@ impl DeltaEngine {
 
     /// The maintained conjunction set, sorted by pair then TCA.
     pub fn conjunctions(&self) -> Vec<Conjunction> {
-        let mut all: Vec<Conjunction> = self.pairs.values().flatten().copied().collect();
-        all.sort_by(|a, b| a.pair().cmp(&b.pair()).then(a.tca.total_cmp(&b.tca)));
-        all
+        sorted_conjunctions(&self.pairs)
+    }
+
+    /// A shared handle to the warm pair map, for jobs that screen against
+    /// a snapshot while the engine keeps serving.
+    pub(crate) fn warm_pairs(&self) -> Arc<PairMap> {
+        Arc::clone(&self.pairs)
+    }
+
+    pub(crate) fn solver(&self) -> ContourSolver {
+        self.solver
+    }
+
+    /// Adopt a completed full screen as the maintained set.
+    pub(crate) fn adopt_full(&mut self, pairs: PairMap, n: usize, timings: PhaseTimings) {
+        self.pairs = Arc::new(pairs);
+        self.screened_n = Some(n);
+        self.full_screens += 1;
+        self.last_timings = timings;
+    }
+
+    /// Adopt a completed delta screen as the maintained set.
+    pub(crate) fn adopt_delta(&mut self, pairs: PairMap, n: usize, timings: PhaseTimings) {
+        self.pairs = Arc::new(pairs);
+        self.screened_n = Some(n);
+        self.delta_screens += 1;
+        self.last_timings = timings;
+    }
+
+    /// Adopt a completed window advance; `fold` records which pre-screen
+    /// the advance ran to bring the engine current, so the screen counters
+    /// match the synchronous path.
+    pub(crate) fn adopt_advance(
+        &mut self,
+        pairs: PairMap,
+        n: usize,
+        timings: PhaseTimings,
+        fold: AdvanceFold,
+    ) {
+        self.pairs = Arc::new(pairs);
+        self.screened_n = Some(n);
+        match fold {
+            AdvanceFold::None => {}
+            AdvanceFold::Full => self.full_screens += 1,
+            AdvanceFold::Delta => self.delta_screens += 1,
+        }
+        self.last_timings = timings;
     }
 
     /// Cold full screen; adopts the result as the maintained set.
     pub fn full_screen(&mut self, population: &[KeplerElements]) -> ScreeningReport {
-        let report = GridScreener::new(self.config).screen(population);
-        self.pairs.clear();
-        for c in &report.conjunctions {
-            self.pairs.entry(c.pair()).or_default().push(*c);
-        }
-        self.screened_n = Some(report.n_satellites);
-        self.full_screens += 1;
-        self.last_timings = report.timings;
+        let report = full_screen_job(&self.config, population, None)
+            .expect("uncancellable screen cannot be cancelled");
+        self.adopt_full(
+            pairs_from_conjunctions(&report.conjunctions),
+            report.n_satellites,
+            report.timings,
+        );
         report
     }
 
     /// Drop every maintained conjunction involving dense index `index`.
     pub fn invalidate_index(&mut self, index: u32) {
-        self.pairs.retain(|&(lo, hi), _| lo != index && hi != index);
+        Arc::make_mut(&mut self.pairs).retain(|&(lo, hi), _| lo != index && hi != index);
     }
 
     /// Account for a catalog `swap_remove`: pairs of the removed satellite
@@ -178,12 +249,7 @@ impl DeltaEngine {
     /// caller must mark `removal.removed_index` as changed when a satellite
     /// actually moved into the hole.
     pub fn apply_removal(&mut self, removal: Removal, new_len: usize) {
-        self.invalidate_index(removal.removed_index);
-        if let Some(moved_from) = removal.moved_from {
-            self.invalidate_index(moved_from);
-        }
-        // Defensive: nothing may reference indices at or past the new end.
-        self.pairs.retain(|&(_, hi), _| (hi as usize) < new_len);
+        apply_removal_to_pairs(Arc::make_mut(&mut self.pairs), removal, new_len);
         if self.screened_n.is_some() {
             self.screened_n = Some(new_len);
         }
@@ -206,124 +272,17 @@ impl DeltaEngine {
         if self.screened_n.is_none() {
             return self.full_screen(population);
         }
-
-        let wall = Instant::now();
-        let mut timings = PhaseTimings::default();
-        let n = population.len();
-        let config = self.config;
-        let planner = MemoryModel::new(Variant::Grid).plan(n, &config);
-
-        // Stale-pair invalidation: every pair involving a changed satellite
-        // is recomputed from scratch below; pairs past the population end
-        // cannot exist.
-        let changed_set: BTreeSet<u32> = changed
-            .iter()
-            .copied()
-            .filter(|&c| (c as usize) < n)
-            .collect();
-        self.pairs.retain(|&(lo, hi), _| {
-            (hi as usize) < n && !changed_set.contains(&lo) && !changed_set.contains(&hi)
-        });
-
-        // Candidate extraction: rebuild the grid per step (same O(n)
-        // insert cost as the full screen) but query only the changed
-        // satellites' 27-cell neighbourhoods.
-        let propagator = BatchPropagator::new(population);
-        let mut entries: HashSet<CandidatePair> = HashSet::new();
-        {
-            let grid = SpatialGrid::new(n, planner.cell_size_km);
-            let mut positions: Vec<Vec3> = vec![Vec3::ZERO; n];
-            for step in 0..planner.total_steps {
-                let t = step as f64 * planner.seconds_per_sample;
-                {
-                    let _timer = PhaseTimer::start(&mut timings.insertion);
-                    propagator.positions_into(t, &mut positions);
-                    if step > 0 {
-                        grid.reset();
-                    }
-                    grid.insert_all(&positions)
-                        .expect("grid sized at 2n slots cannot fill up");
-                }
-                let _timer = PhaseTimer::start(&mut timings.pair_extraction);
-                for &c in &changed_set {
-                    let key = cell_key_of(positions[c as usize], planner.cell_size_km);
-                    if let Some(slot) = grid.lookup_cell(key) {
-                        for m in grid.cell_members(slot) {
-                            if m != c {
-                                entries.insert(CandidatePair::new(c, m, step));
-                            }
-                        }
-                    }
-                    for &(dx, dy, dz) in FULL_NEIGHBORHOOD.iter() {
-                        let Some(neighbor) = key.offset(dx, dy, dz) else {
-                            continue;
-                        };
-                        if let Some(slot) = grid.lookup_cell(neighbor) {
-                            for m in grid.cell_members(slot) {
-                                entries.insert(CandidatePair::new(c, m, step));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // Refinement: identical parameters to `GridScreener::screen`, so a
-        // changed pair refines to bit-identical conjunctions.
-        let solver = self.solver;
-        let mut found: Vec<Conjunction>;
-        {
-            let _timer = PhaseTimer::start(&mut timings.refinement);
-            let constants = propagator.constants();
-            let entry_list: Vec<CandidatePair> = entries.iter().copied().collect();
-            found = entry_list
-                .par_iter()
-                .filter_map(|entry| {
-                    let a = &constants[entry.id_lo as usize];
-                    let b = &constants[entry.id_hi as usize];
-                    let t = entry.step as f64 * planner.seconds_per_sample;
-                    let interval = grid_refine_interval(a, b, &solver, t, planner.cell_size_km);
-                    refine_pair(
-                        a,
-                        b,
-                        &solver,
-                        entry.id_lo,
-                        entry.id_hi,
-                        interval,
-                        config.threshold_km,
-                    )
-                })
-                .collect();
-        }
-        found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
-        for c in found {
-            self.pairs.entry(c.pair()).or_default().push(c);
-        }
-
-        let candidate_pairs = entries
-            .iter()
-            .map(|e| (e.id_lo, e.id_hi))
-            .collect::<HashSet<_>>()
-            .len();
-        let candidate_entries = entries.len();
-        timings.total = wall.elapsed();
-        self.last_timings = timings;
-        self.delta_screens += 1;
-        self.screened_n = Some(n);
-
-        ScreeningReport {
-            variant: DELTA_VARIANT.to_string(),
-            n_satellites: n,
-            config,
-            conjunctions: self.conjunctions(),
-            candidate_entries,
-            candidate_pairs,
-            pair_set_regrows: 0,
-            timings,
-            planner,
-            filter_stats: None,
-            device_metrics: None,
-        }
+        let (report, pairs) = delta_screen_job(
+            &self.config,
+            &self.solver,
+            population,
+            changed,
+            &self.pairs,
+            None,
+        )
+        .expect("uncancellable screen cannot be cancelled");
+        self.adopt_delta(pairs, report.n_satellites, report.timings);
+        report
     }
 
     /// Slide the window forward by `dt` seconds: retire conjunctions whose
@@ -346,66 +305,277 @@ impl DeltaEngine {
             });
         }
 
-        let span = self.config.span_seconds;
-        let overlap = self.config.seconds_per_sample;
+        let warm = Arc::try_unwrap(std::mem::take(&mut self.pairs))
+            .unwrap_or_else(|shared| (*shared).clone());
+        let (pairs, outcome, timings) =
+            advance_window_job(&self.config, population, dt, warm, None)
+                .expect("uncancellable screen cannot be cancelled");
+        self.pairs = Arc::new(pairs);
+        self.last_timings = timings;
+        Ok(outcome)
+    }
+}
 
-        // Retire + shift: TCAs are relative to the element epoch, which
-        // just moved forward by dt.
-        let mut retired = 0usize;
-        for list in self.pairs.values_mut() {
-            let before = list.len();
-            list.retain_mut(|c| {
-                c.tca -= dt;
-                c.tca >= 0.0
-            });
-            retired += before - list.len();
-        }
-        self.pairs.retain(|_, list| !list.is_empty());
+/// Regroup a flat conjunction list by pair.
+pub(crate) fn pairs_from_conjunctions(conjunctions: &[Conjunction]) -> PairMap {
+    let mut pairs = PairMap::new();
+    for c in conjunctions {
+        pairs.entry(c.pair()).or_default().push(*c);
+    }
+    pairs
+}
 
-        // Screen the newly exposed tail [span − dt − overlap, span]; the
-        // one-sample overlap re-covers the seam so a minimum straddling the
-        // old window end is not lost. Merging dedups re-found seam minima.
-        let tail_offset = (span - dt - overlap).max(0.0);
-        let tail_span = span - tail_offset;
-        let tail_elements: Vec<KeplerElements> = population
-            .iter()
-            .map(|el| {
-                let mut advanced = *el;
-                advanced.mean_anomaly = el.mean_anomaly_at(tail_offset);
-                advanced
-            })
-            .collect();
-        let mut tail_config = self.config;
-        tail_config.span_seconds = tail_span;
-        let report = GridScreener::new(tail_config).screen(&tail_elements);
+/// Flatten a pair map, sorted by pair then TCA.
+pub(crate) fn sorted_conjunctions(pairs: &PairMap) -> Vec<Conjunction> {
+    let mut all: Vec<Conjunction> = pairs.values().flatten().copied().collect();
+    all.sort_by(|a, b| a.pair().cmp(&b.pair()).then(a.tca.total_cmp(&b.tca)));
+    all
+}
 
-        let merge_tol = self.config.tca_dedup_tolerance_s.max(overlap);
-        let mut discovered = 0usize;
-        for c in &report.conjunctions {
-            let mut shifted = *c;
-            shifted.tca += tail_offset;
-            let list = self.pairs.entry(shifted.pair()).or_default();
-            match list
-                .iter_mut()
-                .find(|e| (e.tca - shifted.tca).abs() <= merge_tol)
+/// Apply a catalog `swap_remove` to a bare pair map (the engine method
+/// [`DeltaEngine::apply_removal`] and the execution layer's stale-result
+/// replay both route through this, so they invalidate identically).
+pub(crate) fn apply_removal_to_pairs(pairs: &mut PairMap, removal: Removal, new_len: usize) {
+    pairs.retain(|&(lo, hi), _| lo != removal.removed_index && hi != removal.removed_index);
+    if let Some(moved) = removal.moved_from {
+        pairs.retain(|&(lo, hi), _| lo != moved && hi != moved);
+    }
+    // Defensive: nothing may reference indices at or past the new end.
+    pairs.retain(|&(_, hi), _| (hi as usize) < new_len);
+}
+
+/// Cold full screen as a pure job. With a token, cancellation is checked
+/// at the grid screener's phase boundaries.
+pub fn full_screen_job(
+    config: &ScreeningConfig,
+    population: &[KeplerElements],
+    cancel: Option<&CancelToken>,
+) -> Result<ScreeningReport, Cancelled> {
+    let screener = GridScreener::new(*config);
+    match cancel {
+        Some(token) => screener.screen_cancellable(population, token),
+        None => Ok(screener.screen(population)),
+    }
+}
+
+/// Delta screen as a pure job: re-screen only the neighbourhoods of
+/// `changed` satellites against the `warm` maintained set and return the
+/// merged map plus a report whose `conjunctions` is the full merged set
+/// (directly comparable with a cold full re-screen) while
+/// `candidate_entries`/`candidate_pairs` count only the delta work.
+///
+/// `cancel` is checked between grid sampling steps and between refinement
+/// chunks; the inputs are never mutated, so a cancelled job leaves no
+/// trace.
+pub fn delta_screen_job(
+    config: &ScreeningConfig,
+    solver: &ContourSolver,
+    population: &[KeplerElements],
+    changed: &[u32],
+    warm: &PairMap,
+    cancel: Option<&CancelToken>,
+) -> Result<(ScreeningReport, PairMap), Cancelled> {
+    let wall = Instant::now();
+    let mut timings = PhaseTimings::default();
+    let n = population.len();
+    let planner = MemoryModel::new(Variant::Grid).plan(n, config);
+
+    // Stale-pair invalidation: every pair involving a changed satellite is
+    // recomputed from scratch below; pairs past the population end cannot
+    // exist.
+    let changed_set: BTreeSet<u32> = changed
+        .iter()
+        .copied()
+        .filter(|&c| (c as usize) < n)
+        .collect();
+    let mut pairs: PairMap = warm
+        .iter()
+        .filter(|&(&(lo, hi), _)| {
+            (hi as usize) < n && !changed_set.contains(&lo) && !changed_set.contains(&hi)
+        })
+        .map(|(&key, list)| (key, list.clone()))
+        .collect();
+
+    // Candidate extraction: rebuild the grid per step (same O(n) insert
+    // cost as the full screen) but query only the changed satellites'
+    // 27-cell neighbourhoods.
+    let propagator = BatchPropagator::new(population);
+    let mut entries: HashSet<CandidatePair> = HashSet::new();
+    {
+        let grid = SpatialGrid::new(n, planner.cell_size_km);
+        let mut positions: Vec<Vec3> = vec![Vec3::ZERO; n];
+        for step in 0..planner.total_steps {
+            check_opt(cancel)?;
+            let t = step as f64 * planner.seconds_per_sample;
             {
-                Some(existing) => {
-                    if shifted.pca_km < existing.pca_km {
-                        *existing = shifted;
+                let _timer = PhaseTimer::start(&mut timings.insertion);
+                propagator.positions_into(t, &mut positions);
+                if step > 0 {
+                    grid.reset();
+                }
+                grid.insert_all(&positions)
+                    .expect("grid sized at 2n slots cannot fill up");
+            }
+            let _timer = PhaseTimer::start(&mut timings.pair_extraction);
+            for &c in &changed_set {
+                let key = cell_key_of(positions[c as usize], planner.cell_size_km);
+                if let Some(slot) = grid.lookup_cell(key) {
+                    for m in grid.cell_members(slot) {
+                        if m != c {
+                            entries.insert(CandidatePair::new(c, m, step));
+                        }
                     }
                 }
-                None => {
-                    list.push(shifted);
-                    discovered += 1;
+                for &(dx, dy, dz) in FULL_NEIGHBORHOOD.iter() {
+                    let Some(neighbor) = key.offset(dx, dy, dz) else {
+                        continue;
+                    };
+                    if let Some(slot) = grid.lookup_cell(neighbor) {
+                        for m in grid.cell_members(slot) {
+                            entries.insert(CandidatePair::new(c, m, step));
+                        }
+                    }
                 }
             }
         }
-        self.last_timings = report.timings;
-        Ok(AdvanceOutcome {
+    }
+
+    // Refinement: identical parameters to `GridScreener::screen`, so a
+    // changed pair refines to bit-identical conjunctions. Chunked so a
+    // tripped token is observed between chunks; `dedup_conjunctions`
+    // sorts, so chunk order does not affect the result.
+    let mut found: Vec<Conjunction> = Vec::new();
+    {
+        let _timer = PhaseTimer::start(&mut timings.refinement);
+        let constants = propagator.constants();
+        let mut entry_list: Vec<CandidatePair> = entries.iter().copied().collect();
+        entry_list.sort_unstable();
+        for chunk in entry_list.chunks(REFINE_CHUNK) {
+            check_opt(cancel)?;
+            found.par_extend(chunk.par_iter().filter_map(|entry| {
+                let a = &constants[entry.id_lo as usize];
+                let b = &constants[entry.id_hi as usize];
+                let t = entry.step as f64 * planner.seconds_per_sample;
+                let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
+                refine_pair(
+                    a,
+                    b,
+                    solver,
+                    entry.id_lo,
+                    entry.id_hi,
+                    interval,
+                    config.threshold_km,
+                )
+            }));
+        }
+    }
+    let found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+    for c in found {
+        pairs.entry(c.pair()).or_default().push(c);
+    }
+
+    let candidate_pairs = entries
+        .iter()
+        .map(|e| (e.id_lo, e.id_hi))
+        .collect::<HashSet<_>>()
+        .len();
+    let candidate_entries = entries.len();
+    timings.total = wall.elapsed();
+
+    let report = ScreeningReport {
+        variant: DELTA_VARIANT.to_string(),
+        n_satellites: n,
+        config: *config,
+        conjunctions: sorted_conjunctions(&pairs),
+        candidate_entries,
+        candidate_pairs,
+        pair_set_regrows: 0,
+        timings,
+        planner,
+        filter_stats: None,
+        device_metrics: None,
+    };
+    Ok((report, pairs))
+}
+
+/// Window advance as a pure job over an owned copy of the maintained set:
+/// retire conjunctions whose TCA dropped before the new window start,
+/// shift the survivors, screen the freshly exposed tail, and merge.
+/// `population` must already be advanced to the new epoch and `dt` must be
+/// positive and finite (the callers validate).
+pub fn advance_window_job(
+    config: &ScreeningConfig,
+    population: &[KeplerElements],
+    dt: f64,
+    mut pairs: PairMap,
+    cancel: Option<&CancelToken>,
+) -> Result<(PairMap, AdvanceOutcome, PhaseTimings), Cancelled> {
+    let span = config.span_seconds;
+    let overlap = config.seconds_per_sample;
+    check_opt(cancel)?;
+
+    // Retire + shift: TCAs are relative to the element epoch, which just
+    // moved forward by dt.
+    let mut retired = 0usize;
+    for list in pairs.values_mut() {
+        let before = list.len();
+        list.retain_mut(|c| {
+            c.tca -= dt;
+            c.tca >= 0.0
+        });
+        retired += before - list.len();
+    }
+    pairs.retain(|_, list| !list.is_empty());
+
+    // Screen the newly exposed tail [span − dt − overlap, span]; the
+    // one-sample overlap re-covers the seam so a minimum straddling the
+    // old window end is not lost. Merging dedups re-found seam minima.
+    let tail_offset = (span - dt - overlap).max(0.0);
+    let tail_span = span - tail_offset;
+    let tail_elements: Vec<KeplerElements> = population
+        .iter()
+        .map(|el| {
+            let mut advanced = *el;
+            advanced.mean_anomaly = el.mean_anomaly_at(tail_offset);
+            advanced
+        })
+        .collect();
+    let mut tail_config = *config;
+    tail_config.span_seconds = tail_span;
+    let report = match cancel {
+        Some(token) => GridScreener::new(tail_config).screen_cancellable(&tail_elements, token)?,
+        None => GridScreener::new(tail_config).screen(&tail_elements),
+    };
+
+    let merge_tol = config.tca_dedup_tolerance_s.max(overlap);
+    let mut discovered = 0usize;
+    for c in &report.conjunctions {
+        let mut shifted = *c;
+        shifted.tca += tail_offset;
+        let list = pairs.entry(shifted.pair()).or_default();
+        match list
+            .iter_mut()
+            .find(|e| (e.tca - shifted.tca).abs() <= merge_tol)
+        {
+            Some(existing) => {
+                if shifted.pca_km < existing.pca_km {
+                    *existing = shifted;
+                }
+            }
+            None => {
+                list.push(shifted);
+                discovered += 1;
+            }
+        }
+    }
+    Ok((
+        pairs,
+        AdvanceOutcome {
             retired,
             discovered,
-        })
-    }
+        },
+        report.timings,
+    ))
 }
 
 #[cfg(test)]
@@ -595,6 +765,60 @@ mod tests {
 
         // Inconsistent snapshots are rejected.
         assert!(DeltaEngine::restore(config, None, 1, 0, &saved).is_err() || saved.is_empty());
+    }
+
+    #[test]
+    fn delta_job_with_live_token_matches_the_sync_engine() {
+        let pop = population(300, 23);
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        engine.full_screen(&pop);
+        let warm = engine.warm_pairs();
+        let solver = engine.solver();
+
+        let mut updated = pop.clone();
+        let changed = vec![3u32, 140, 271];
+        for &idx in &changed {
+            updated[idx as usize] = perturb(&updated[idx as usize], 1.0);
+        }
+        let token = kessler_core::CancelToken::new();
+        let (job_report, job_pairs) =
+            delta_screen_job(&config, &solver, &updated, &changed, &warm, Some(&token)).unwrap();
+        let sync_report = engine.delta_screen(&updated, &changed);
+        assert_eq!(
+            job_report.conjunction_count(),
+            sync_report.conjunction_count()
+        );
+        for (a, b) in job_report
+            .conjunctions
+            .iter()
+            .zip(&sync_report.conjunctions)
+        {
+            assert_eq!(a.pair(), b.pair());
+            assert_eq!(a.tca.to_bits(), b.tca.to_bits());
+            assert_eq!(a.pca_km.to_bits(), b.pca_km.to_bits());
+        }
+        assert_eq!(sorted_conjunctions(&job_pairs), engine.conjunctions());
+    }
+
+    #[test]
+    fn jobs_observe_a_pre_tripped_token_and_leave_inputs_alone() {
+        let pop = population(50, 3);
+        let config = ScreeningConfig::grid_defaults(5.0, 60.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        engine.full_screen(&pop);
+        let warm = engine.warm_pairs();
+        let before = engine.conjunctions();
+
+        let token = kessler_core::CancelToken::new();
+        token.cancel();
+        assert!(full_screen_job(&config, &pop, Some(&token)).is_err());
+        assert!(
+            delta_screen_job(&config, &engine.solver(), &pop, &[0], &warm, Some(&token)).is_err()
+        );
+        assert!(advance_window_job(&config, &pop, 10.0, (*warm).clone(), Some(&token)).is_err());
+        // The engine's maintained set is untouched by the aborted jobs.
+        assert_eq!(engine.conjunctions(), before);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! The execution layer: snapshot-isolated screening jobs.
+//!
+//! Screening requests are *captured* into a [`ScreenJob`] under the state
+//! lock — an immutable [`CatalogSnapshot`] plus the warm conjunction set
+//! and change list as of that epoch — then *run* lock-free on a worker
+//! thread via [`run_screen_job`], and finally *committed* back under the
+//! lock, latest-epoch-wins. The synchronous [`crate::server::ServiceState`]
+//! path runs the exact same capture → run → commit sequence inline, which
+//! is what makes a pool of concurrent workers observationally equivalent
+//! to the old single serialized worker at matching epochs.
+//!
+//! Cancellation rides along as a [`CancelToken`] checked at phase
+//! boundaries inside the job functions; the [`CancelRegistry`] maps live
+//! client-supplied request ids to tokens so a `CANCEL <id>` from any
+//! connection can trip a job that another connection enqueued.
+
+use crate::catalog::CatalogSnapshot;
+use crate::delta::{
+    advance_window_job, delta_screen_job, full_screen_job, pairs_from_conjunctions, AdvanceFold,
+    AdvanceOutcome, PairMap,
+};
+use kessler_core::cancel::{CancelToken, Cancelled};
+use kessler_core::conjunction::ScreeningReport;
+use kessler_core::timing::PhaseTimings;
+use kessler_core::ScreeningConfig;
+use kessler_orbits::{ContourSolver, KeplerElements};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What kind of screening work a job carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScreenKind {
+    /// Cold full screen of the whole snapshot.
+    Full,
+    /// Delta re-screen of the changed satellites (cold fallback: full).
+    Delta,
+    /// Slide the window forward by `dt` seconds.
+    Advance { dt: f64 },
+}
+
+/// A screening job captured at one catalog epoch. Everything a worker
+/// needs, immutable; running it never touches live state.
+pub struct ScreenJob {
+    pub kind: ScreenKind,
+    /// Catalog state as of the capture epoch.
+    pub snapshot: CatalogSnapshot,
+    /// Dense indices changed since the last adopted screen, as captured.
+    pub changed: Vec<u32>,
+    /// Warm maintained set at capture; `None` while the engine was cold.
+    pub warm: Option<Arc<PairMap>>,
+    pub config: ScreeningConfig,
+    pub solver: ContourSolver,
+}
+
+impl ScreenJob {
+    /// The catalog epoch this job's snapshot was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch
+    }
+}
+
+/// What a completed job hands back for commit.
+pub enum ScreenOutput {
+    /// A full or delta screen: the report to answer with plus the merged
+    /// pair map to adopt. The report is boxed to keep the enum small
+    /// enough to pass by value through the worker channel.
+    Screen {
+        report: Box<ScreeningReport>,
+        pairs: PairMap,
+    },
+    /// A window advance: the slid pair map, retire/discover counts, the
+    /// tail screen's timings, and which pre-screen was folded in.
+    Advance {
+        pairs: PairMap,
+        outcome: AdvanceOutcome,
+        timings: PhaseTimings,
+        dt: f64,
+        fold: AdvanceFold,
+    },
+}
+
+/// Run a captured job to completion (or to the next phase boundary after
+/// `cancel` trips). Pure: reads only the job, mutates nothing shared.
+pub fn run_screen_job(
+    job: &ScreenJob,
+    cancel: Option<&CancelToken>,
+) -> Result<ScreenOutput, Cancelled> {
+    let elements: &[KeplerElements] = &job.snapshot.elements;
+    match job.kind {
+        ScreenKind::Full => {
+            let report = full_screen_job(&job.config, elements, cancel)?;
+            let pairs = pairs_from_conjunctions(&report.conjunctions);
+            Ok(ScreenOutput::Screen {
+                report: Box::new(report),
+                pairs,
+            })
+        }
+        ScreenKind::Delta => match &job.warm {
+            // Cold fallback, same as `DeltaEngine::delta_screen`.
+            None => {
+                let report = full_screen_job(&job.config, elements, cancel)?;
+                let pairs = pairs_from_conjunctions(&report.conjunctions);
+                Ok(ScreenOutput::Screen {
+                    report: Box::new(report),
+                    pairs,
+                })
+            }
+            Some(warm) => {
+                let (report, pairs) = delta_screen_job(
+                    &job.config,
+                    &job.solver,
+                    elements,
+                    &job.changed,
+                    warm,
+                    cancel,
+                )?;
+                Ok(ScreenOutput::Screen {
+                    report: Box::new(report),
+                    pairs,
+                })
+            }
+        },
+        ScreenKind::Advance { dt } => {
+            // Bring the maintained set current at the captured epoch, the
+            // way the synchronous ADVANCE arm does before sliding.
+            let (pairs, fold) = match &job.warm {
+                None => {
+                    let report = full_screen_job(&job.config, elements, cancel)?;
+                    (
+                        pairs_from_conjunctions(&report.conjunctions),
+                        AdvanceFold::Full,
+                    )
+                }
+                Some(warm) if !job.changed.is_empty() => {
+                    let (_, pairs) = delta_screen_job(
+                        &job.config,
+                        &job.solver,
+                        elements,
+                        &job.changed,
+                        warm,
+                        cancel,
+                    )?;
+                    (pairs, AdvanceFold::Delta)
+                }
+                Some(warm) => ((**warm).clone(), AdvanceFold::None),
+            };
+
+            // Advance the snapshot's elements bit-identically to
+            // `Catalog::advance_all`: absolute propagation from the stored
+            // epoch-0 base to `time + dt`.
+            let time = job.snapshot.time + dt;
+            let advanced: Vec<KeplerElements> = elements
+                .iter()
+                .zip(job.snapshot.base_elements.iter())
+                .map(|(el, base)| {
+                    let mut advanced = *el;
+                    advanced.mean_anomaly = base.mean_anomaly_at(time);
+                    advanced
+                })
+                .collect();
+            let (pairs, outcome, timings) =
+                advance_window_job(&job.config, &advanced, dt, pairs, cancel)?;
+            Ok(ScreenOutput::Advance {
+                pairs,
+                outcome,
+                timings,
+                dt,
+                fold,
+            })
+        }
+    }
+}
+
+struct CancelEntry {
+    req_id: Option<String>,
+    token: CancelToken,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    next_seq: u64,
+    live: HashMap<u64, CancelEntry>,
+    by_req_id: HashMap<String, u64>,
+}
+
+/// Tracks every queued or running screening job's cancellation token,
+/// keyed by an internal sequence number and, when the client supplied one,
+/// by request id — so `CANCEL <id>` from any connection reaches the job.
+#[derive(Default)]
+pub struct CancelRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl CancelRegistry {
+    pub fn new() -> CancelRegistry {
+        CancelRegistry::default()
+    }
+
+    /// Register a job about to be enqueued; returns its sequence number
+    /// and a fresh token. A `req_id` that is still live is rejected —
+    /// ids must be unique among queued/running jobs so CANCEL is
+    /// unambiguous.
+    pub fn register(&self, req_id: Option<&str>) -> Result<(u64, CancelToken), String> {
+        let mut inner = self.inner.lock();
+        if let Some(id) = req_id {
+            if inner.by_req_id.contains_key(id) {
+                return Err(format!(
+                    "duplicate req_id \"{id}\": a job with this id is still queued or running"
+                ));
+            }
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let token = CancelToken::new();
+        inner.live.insert(
+            seq,
+            CancelEntry {
+                req_id: req_id.map(str::to_string),
+                token: token.clone(),
+            },
+        );
+        if let Some(id) = req_id {
+            inner.by_req_id.insert(id.to_string(), seq);
+        }
+        Ok((seq, token))
+    }
+
+    /// Drop a finished (or never-enqueued) job's entry, freeing its
+    /// req_id for reuse.
+    pub fn unregister(&self, seq: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.live.remove(&seq) {
+            if let Some(id) = entry.req_id {
+                inner.by_req_id.remove(&id);
+            }
+        }
+    }
+
+    /// Trip the token of the live job with this request id. `false` if no
+    /// such job is queued or running.
+    pub fn cancel(&self, req_id: &str) -> bool {
+        let inner = self.inner.lock();
+        match inner.by_req_id.get(req_id) {
+            Some(seq) => {
+                inner.live[seq].token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Trip every live token (server shutdown).
+    pub fn cancel_all(&self) {
+        let inner = self.inner.lock();
+        for entry in inner.live.values() {
+            entry.token.cancel();
+        }
+    }
+
+    /// Number of queued or running jobs.
+    pub fn live_jobs(&self) -> usize {
+        self.inner.lock().live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::delta::{sorted_conjunctions, DeltaEngine};
+    use kessler_population::{PopulationConfig, PopulationGenerator};
+
+    fn warm_setup(n: usize, seed: u64) -> (Catalog, DeltaEngine, ScreeningConfig) {
+        let pop = PopulationGenerator::new(PopulationConfig {
+            seed,
+            ..Default::default()
+        })
+        .generate(n);
+        let mut catalog = Catalog::new();
+        for (i, el) in pop.iter().enumerate() {
+            catalog.add(i as u64, *el).unwrap();
+        }
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let engine = DeltaEngine::new(config).unwrap();
+        (catalog, engine, config)
+    }
+
+    fn capture(kind: ScreenKind, catalog: &Catalog, engine: &DeltaEngine) -> ScreenJob {
+        ScreenJob {
+            kind,
+            snapshot: catalog.snapshot(),
+            changed: Vec::new(),
+            warm: engine.is_warm().then(|| engine.warm_pairs()),
+            config: *engine.config(),
+            solver: engine.solver(),
+        }
+    }
+
+    #[test]
+    fn full_job_matches_the_sync_engine() {
+        let (catalog, mut engine, _) = warm_setup(120, 5);
+        let job = capture(ScreenKind::Full, &catalog, &engine);
+        let ScreenOutput::Screen { report, pairs } = run_screen_job(&job, None).unwrap() else {
+            panic!("full job must yield a screen output");
+        };
+        let sync = engine.full_screen(catalog.elements());
+        assert_eq!(report.conjunction_count(), sync.conjunction_count());
+        assert_eq!(sorted_conjunctions(&pairs), engine.conjunctions());
+    }
+
+    #[test]
+    fn advance_job_matches_the_sync_path_and_reports_its_fold() {
+        let (mut catalog, mut engine, _) = warm_setup(120, 6);
+        engine.full_screen(catalog.elements());
+        let dt = 30.0;
+        let job = capture(ScreenKind::Advance { dt }, &catalog, &engine);
+        let ScreenOutput::Advance {
+            pairs,
+            outcome,
+            fold,
+            ..
+        } = run_screen_job(&job, None).unwrap()
+        else {
+            panic!("advance job must yield an advance output");
+        };
+        assert_eq!(fold, AdvanceFold::None);
+
+        catalog.advance_all(dt);
+        let sync = engine.advance_window(catalog.elements(), dt).unwrap();
+        assert_eq!(outcome, sync);
+        assert_eq!(sorted_conjunctions(&pairs), engine.conjunctions());
+    }
+
+    #[test]
+    fn cold_advance_job_folds_a_full_screen() {
+        let (catalog, engine, _) = warm_setup(60, 7);
+        let job = capture(ScreenKind::Advance { dt: 10.0 }, &catalog, &engine);
+        let ScreenOutput::Advance { fold, .. } = run_screen_job(&job, None).unwrap() else {
+            panic!("advance job must yield an advance output");
+        };
+        assert_eq!(fold, AdvanceFold::Full);
+    }
+
+    #[test]
+    fn tripped_token_cancels_a_job() {
+        let (catalog, engine, _) = warm_setup(60, 8);
+        let job = capture(ScreenKind::Full, &catalog, &engine);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(run_screen_job(&job, Some(&token)).is_err());
+    }
+
+    #[test]
+    fn registry_registers_cancels_and_unregisters() {
+        let registry = CancelRegistry::new();
+        let (seq, token) = registry.register(Some("job-1")).unwrap();
+        assert_eq!(registry.live_jobs(), 1);
+        assert!(!token.is_cancelled());
+        assert!(registry.cancel("job-1"));
+        assert!(token.is_cancelled());
+        assert!(!registry.cancel("no-such-job"));
+        registry.unregister(seq);
+        assert_eq!(registry.live_jobs(), 0);
+        // The id is free again once the job is gone.
+        registry.register(Some("job-1")).unwrap();
+    }
+
+    #[test]
+    fn duplicate_live_req_ids_are_rejected() {
+        let registry = CancelRegistry::new();
+        registry.register(Some("dup")).unwrap();
+        let err = registry.register(Some("dup")).unwrap_err();
+        assert!(err.contains("duplicate req_id"), "{err}");
+        // Anonymous jobs never collide.
+        registry.register(None).unwrap();
+        registry.register(None).unwrap();
+    }
+
+    #[test]
+    fn cancel_all_trips_every_live_token() {
+        let registry = CancelRegistry::new();
+        let (_, t1) = registry.register(Some("a")).unwrap();
+        let (_, t2) = registry.register(None).unwrap();
+        registry.cancel_all();
+        assert!(t1.is_cancelled() && t2.is_cancelled());
+    }
+}

@@ -13,14 +13,20 @@
 //! - [`delta`] — the [`DeltaEngine`]: maintains a warm conjunction set and,
 //!   when k of n satellites change, re-screens only pairs involving changed
 //!   satellites via grid neighbourhood queries — provably equal to a cold
-//!   full re-screen, at a fraction of the cost when k ≪ n.
+//!   full re-screen, at a fraction of the cost when k ≪ n. The screening
+//!   pipelines are pure, cancellable job functions the execution layer
+//!   shares with the synchronous path.
+//! - [`exec`] — the execution layer: screening work captured as
+//!   [`exec::ScreenJob`]s against immutable catalog snapshots, run by a
+//!   pool of supervised workers, cancellable via `CANCEL`, committed back
+//!   latest-epoch-wins.
 //! - [`scheduler`] — [`SlidingWindow`]: slides the screening horizon
 //!   forward, retiring expired conjunctions, carrying live ones, screening
 //!   only the freshly exposed tail.
 //! - [`proto`] / [`server`] — a JSON-lines-over-TCP protocol
-//!   (ADD/UPDATE/REMOVE/SCREEN/DELTA/ADVANCE/STATUS/SHUTDOWN) and a
-//!   thread-per-connection server with a single serialized screening
-//!   worker. Std networking only; `nc` is a valid client.
+//!   (ADD/UPDATE/REMOVE/SCREEN/DELTA/ADVANCE/CANCEL/STATUS/SHUTDOWN) and a
+//!   thread-per-connection server over a pool of supervised screening
+//!   workers. Std networking only; `nc` is a valid client.
 //! - [`wal`] / [`persist`] — crash safety: a checksummed write-ahead log
 //!   of acknowledged mutations plus periodic atomic snapshots, so a
 //!   restarted daemon recovers the exact catalog, window, and warm
@@ -35,6 +41,7 @@
 pub mod catalog;
 pub mod delta;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod metrics;
 pub mod persist;
@@ -43,13 +50,14 @@ pub mod scheduler;
 pub mod server;
 pub mod wal;
 
-pub use catalog::{Catalog, CatalogError, Removal};
-pub use delta::{AdvanceOutcome, DeltaEngine, DELTA_VARIANT};
+pub use catalog::{Catalog, CatalogError, CatalogSnapshot, Removal};
+pub use delta::{AdvanceOutcome, DeltaEngine, PairMap, DELTA_VARIANT};
 pub use error::{PersistError, ServiceError};
+pub use exec::{CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 pub use fault::FaultPlan;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, RequestCounter};
 pub use persist::{PersistOptions, Snapshot};
-pub use proto::{ElementsSpec, Request, Response};
+pub use proto::{ElementsSpec, Envelope, Request, Response};
 pub use scheduler::SlidingWindow;
 pub use server::{
     request, request_with_timeout, Client, RecoverySummary, Server, ServerHandle, ServerOptions,

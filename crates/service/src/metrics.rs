@@ -41,12 +41,18 @@ pub struct MetricsRegistry {
     snapshot_write: Histogram,
     /// Snapshot sizes on disk, bytes.
     snapshot_bytes: Histogram,
+    /// Snapshot-capture (catalog snapshot + warm-set handle) duration, µs.
+    snapshot_build: Histogram,
+    /// Per-worker screening-job wall times, µs, keyed by worker name.
+    worker_jobs: BTreeMap<String, Histogram>,
     /// Per-command ok/error counts.
     requests: BTreeMap<String, RequestCounter>,
     /// Deepest the screening queue has been.
     queue_highwater: usize,
     /// Times the supervisor respawned a dead screening worker.
     worker_respawns: u64,
+    /// Jobs cancelled via CANCEL (queued or mid-screen).
+    jobs_cancelled: u64,
 }
 
 impl MetricsRegistry {
@@ -78,6 +84,21 @@ impl MetricsRegistry {
         self.snapshot_bytes.record(bytes);
     }
 
+    /// Time spent capturing a screening job under the state lock — the
+    /// price every enqueue pays, and the cost the copy-on-write snapshot
+    /// design is supposed to keep near zero.
+    pub fn record_snapshot_build(&mut self, elapsed: Duration) {
+        self.snapshot_build.record_duration(elapsed);
+    }
+
+    /// One screening job's wall time on the named worker.
+    pub fn record_worker_job(&mut self, worker: &str, elapsed: Duration) {
+        self.worker_jobs
+            .entry(worker.to_string())
+            .or_default()
+            .record_duration(elapsed);
+    }
+
     /// Count one request by command word.
     pub fn count_request(&mut self, kind: &str, ok: bool) {
         let counter = self.requests.entry(kind.to_string()).or_default();
@@ -101,6 +122,15 @@ impl MetricsRegistry {
         self.worker_respawns
     }
 
+    /// Count one cancelled screening job (queued or mid-screen).
+    pub fn note_cancelled(&mut self) {
+        self.jobs_cancelled += 1;
+    }
+
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.jobs_cancelled
+    }
+
     /// Point-in-time JSON-ready digest (the METRICS payload).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -112,9 +142,18 @@ impl MetricsRegistry {
                 .then(|| self.snapshot_write.summary(US_TO_MS)),
             snapshot_bytes: (!self.snapshot_bytes.is_empty())
                 .then(|| self.snapshot_bytes.summary(1.0)),
+            snapshot_build_ms: (!self.snapshot_build.is_empty())
+                .then(|| self.snapshot_build.summary(US_TO_MS)),
+            worker_screen_ms: self
+                .worker_jobs
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(name, h)| (name.clone(), h.summary(US_TO_MS)))
+                .collect(),
             requests: self.requests.clone(),
             queue_highwater: self.queue_highwater,
             worker_respawns: self.worker_respawns,
+            jobs_cancelled: self.jobs_cancelled,
         }
     }
 
@@ -148,8 +187,8 @@ impl MetricsRegistry {
         }
         let errors: u64 = self.requests.values().map(|c| c.errors).sum();
         parts.push(format!(
-            "queue hw {}, respawns {}, errors {}",
-            self.queue_highwater, self.worker_respawns, errors
+            "queue hw {}, respawns {}, cancelled {}, errors {}",
+            self.queue_highwater, self.worker_respawns, self.jobs_cancelled, errors
         ));
         parts.join("; ")
     }
@@ -177,6 +216,12 @@ pub struct MetricsSnapshot {
     /// Snapshot size quantiles, bytes.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub snapshot_bytes: Option<HistogramSummary>,
+    /// Screening-job capture (snapshot build) quantiles, ms.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub snapshot_build_ms: Option<HistogramSummary>,
+    /// Per-worker screening-job wall-time quantiles, ms.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub worker_screen_ms: BTreeMap<String, HistogramSummary>,
     /// Ok/error counts per command word.
     #[serde(default)]
     pub requests: BTreeMap<String, RequestCounter>,
@@ -186,6 +231,9 @@ pub struct MetricsSnapshot {
     /// Screening workers respawned after dying.
     #[serde(default)]
     pub worker_respawns: u64,
+    /// Screening jobs cancelled via CANCEL (queued or mid-screen).
+    #[serde(default)]
+    pub jobs_cancelled: u64,
 }
 
 #[cfg(test)]
@@ -226,6 +274,8 @@ mod tests {
         m.note_queue_depth(5);
         m.note_queue_depth(2);
         m.note_respawn();
+        m.note_cancelled();
+        m.note_cancelled();
         let snap = m.snapshot();
         assert_eq!(
             snap.requests.get("ADD"),
@@ -233,6 +283,23 @@ mod tests {
         );
         assert_eq!(snap.queue_highwater, 5);
         assert_eq!(snap.worker_respawns, 1);
+        assert_eq!(snap.jobs_cancelled, 2);
+    }
+
+    #[test]
+    fn worker_and_capture_histograms_key_by_name() {
+        let mut m = MetricsRegistry::new();
+        m.record_snapshot_build(Duration::from_micros(50));
+        m.record_worker_job("worker-0", Duration::from_millis(8));
+        m.record_worker_job("worker-0", Duration::from_millis(12));
+        m.record_worker_job("worker-1", Duration::from_millis(3));
+        let snap = m.snapshot();
+        assert_eq!(snap.snapshot_build_ms.unwrap().count, 1);
+        assert_eq!(snap.worker_screen_ms.len(), 2);
+        assert_eq!(snap.worker_screen_ms["worker-0"].count, 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.worker_screen_ms["worker-1"].count, 1);
     }
 
     #[test]
@@ -262,5 +329,6 @@ mod tests {
         assert!(line.contains("full"), "{line}");
         assert!(line.contains("delta"), "{line}");
         assert!(line.contains("queue hw 0"), "{line}");
+        assert!(line.contains("cancelled 0"), "{line}");
     }
 }

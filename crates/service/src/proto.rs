@@ -12,6 +12,12 @@
 //! {"cmd":"SCREEN"}
 //! {"ok":true,"screen":{"variant":"grid","n_satellites":1,...}}
 //! ```
+//!
+//! Every request may additionally carry a client-chosen `"req_id"` string
+//! (see [`Envelope`]); the response echoes it, and `CANCEL <req_id>`
+//! aborts the matching queued or in-flight screening job. Screen
+//! responses carry the catalog `epoch` their snapshot was captured at and
+//! a `stale` flag set when a newer result was adopted first.
 
 use kessler_core::timing::PhaseTimings;
 use kessler_core::{Conjunction, ScreeningReport};
@@ -95,9 +101,24 @@ pub enum Request {
     /// request counters.
     #[serde(rename = "METRICS")]
     Metrics,
+    /// Abort the queued or in-flight screening job whose envelope carried
+    /// this `req_id`.
+    #[serde(rename = "CANCEL")]
+    Cancel { id: String },
     /// Stop the server.
     #[serde(rename = "SHUTDOWN")]
     Shutdown,
+}
+
+/// A request plus the optional client-chosen `req_id` tag, flattened on
+/// the wire: `{"cmd":"SCREEN","req_id":"job-1"}`. Responses echo the id,
+/// which is also the handle `CANCEL` takes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub req_id: Option<String>,
+    #[serde(flatten)]
+    pub request: Request,
 }
 
 impl Request {
@@ -106,7 +127,10 @@ impl Request {
     /// ADVANCE count: they move the engine's warm set and counters, which
     /// replay must reproduce.
     pub fn is_mutation(&self) -> bool {
-        !matches!(self, Request::Status | Request::Metrics | Request::Shutdown)
+        !matches!(
+            self,
+            Request::Status | Request::Metrics | Request::Cancel { .. } | Request::Shutdown
+        )
     }
 
     /// The wire command word, for per-command metrics counters.
@@ -120,6 +144,7 @@ impl Request {
             Request::Advance { .. } => "ADVANCE",
             Request::Status => "STATUS",
             Request::Metrics => "METRICS",
+            Request::Cancel { .. } => "CANCEL",
             Request::Shutdown => "SHUTDOWN",
         }
     }
@@ -129,6 +154,9 @@ impl Request {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Response {
     pub ok: bool,
+    /// Echo of the request's `req_id`, when the client supplied one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub req_id: Option<String>,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -225,6 +253,14 @@ pub struct ScreenSummary {
     pub timings: PhaseTimings,
     /// The up-to-[`TOP_CONJUNCTIONS`] smallest-PCA conjunctions.
     pub top: Vec<Conjunction>,
+    /// Catalog epoch the screen's snapshot was captured at.
+    #[serde(default)]
+    pub epoch: u64,
+    /// `true` when a result for a newer epoch was adopted before this one
+    /// committed; the payload still describes the captured epoch, but the
+    /// daemon's maintained set was not replaced by it.
+    #[serde(default)]
+    pub stale: bool,
 }
 
 impl ScreenSummary {
@@ -240,6 +276,8 @@ impl ScreenSummary {
             colliding_pairs: report.colliding_pairs().len(),
             timings: report.timings,
             top,
+            epoch: 0,
+            stale: false,
         }
     }
 }
@@ -320,6 +358,9 @@ mod tests {
             Request::Advance { dt: 60.0 },
             Request::Status,
             Request::Metrics,
+            Request::Cancel {
+                id: "job-1".to_string(),
+            },
             Request::Shutdown,
         ];
         for req in requests {
@@ -335,6 +376,66 @@ mod tests {
         assert_eq!(json, r#"{"cmd":"SCREEN"}"#);
         let req: Request = serde_json::from_str(r#"{"cmd":"ADVANCE","dt":30.0}"#).unwrap();
         assert_eq!(req, Request::Advance { dt: 30.0 });
+    }
+
+    #[test]
+    fn envelopes_flatten_over_requests_and_default_req_id() {
+        // No req_id on the wire: plain request, nothing extra serialized.
+        let env: Envelope = serde_json::from_str(r#"{"cmd":"SCREEN"}"#).unwrap();
+        assert_eq!(env.req_id, None);
+        assert_eq!(env.request, Request::Screen);
+        let json = serde_json::to_string(&env).unwrap();
+        assert_eq!(json, r#"{"cmd":"SCREEN"}"#);
+        // Tagged request round-trips with payload fields intact.
+        let env = Envelope {
+            req_id: Some("job-1".to_string()),
+            request: Request::Advance { dt: 30.0 },
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env, "json: {json}");
+        // req_id order on the wire does not matter.
+        let back: Envelope =
+            serde_json::from_str(r#"{"cmd":"CANCEL","id":"job-1","req_id":"c-9"}"#).unwrap();
+        assert_eq!(back.req_id.as_deref(), Some("c-9"));
+        assert_eq!(
+            back.request,
+            Request::Cancel {
+                id: "job-1".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn responses_echo_req_ids_only_when_present() {
+        let mut resp = Response::ack();
+        resp.req_id = Some("job-1".to_string());
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(json, r#"{"ok":true,"req_id":"job-1"}"#);
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.req_id.as_deref(), Some("job-1"));
+    }
+
+    #[test]
+    fn screen_summaries_default_epoch_and_stale_for_old_payloads() {
+        let summary = ScreenSummary {
+            variant: "grid".to_string(),
+            n_satellites: 1,
+            candidate_pairs: 0,
+            conjunctions: 0,
+            colliding_pairs: 0,
+            timings: PhaseTimings::default(),
+            top: Vec::new(),
+            epoch: 9,
+            stale: true,
+        };
+        let mut value = serde_json::to_value(&summary).unwrap();
+        let obj = value.as_object_mut().unwrap();
+        obj.remove("epoch");
+        obj.remove("stale");
+        let back: ScreenSummary = serde_json::from_value(value).unwrap();
+        assert_eq!(back.epoch, 0);
+        assert!(!back.stale);
     }
 
     #[test]
@@ -370,6 +471,8 @@ mod tests {
                 colliding_pairs: 2,
                 timings: PhaseTimings::default(),
                 top: vec![conj],
+                epoch: 5,
+                stale: false,
             }),
             Response::with_advance(AdvanceAck {
                 retired: 2,
@@ -465,6 +568,10 @@ mod tests {
         assert!(Request::Advance { dt: 1.0 }.is_mutation());
         assert!(!Request::Status.is_mutation());
         assert!(!Request::Metrics.is_mutation());
+        assert!(!Request::Cancel {
+            id: "job-1".to_string()
+        }
+        .is_mutation());
         assert!(!Request::Shutdown.is_mutation());
     }
 

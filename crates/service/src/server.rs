@@ -1,41 +1,57 @@
 //! JSON-lines-over-TCP conjunction-screening daemon.
 //!
-//! Architecture: a thread per connection parses requests; cheap catalog
-//! mutations and STATUS execute inline under the state mutex, while
-//! screening commands (SCREEN / DELTA / ADVANCE) are funnelled through a
-//! single worker thread via a *bounded* crossbeam channel, so concurrent
-//! clients cannot stampede the rayon pool — and when the queue is full,
-//! clients get an explicit "server busy" error instead of unbounded
-//! buffering. Shared state is a [`ServiceState`] behind a
-//! `parking_lot::Mutex`.
+//! Architecture, three layers:
+//!
+//! - **State** ([`ServiceState`]): catalog + warm delta engine behind a
+//!   `parking_lot::Mutex`. Cheap mutations and STATUS execute inline under
+//!   the lock. Screening is a capture → run → commit sequence: the request
+//!   is *captured* as an [`ScreenJob`] against an immutable
+//!   [`crate::catalog::CatalogSnapshot`] (O(1), copy-on-write), *run*
+//!   lock-free, and *committed* back under the lock, latest-epoch-wins —
+//!   a result captured before an already-adopted newer one answers its
+//!   client (flagged `stale`) but does not clobber the maintained set.
+//! - **Execution**: a pool of supervised screening workers (see
+//!   [`ServerOptions::workers`]) drains a *bounded* crossbeam channel, so
+//!   concurrent clients cannot stampede the rayon pool — and when the
+//!   queue is full, clients get an explicit "server busy" error instead of
+//!   unbounded buffering. Every queued job carries a
+//!   [`kessler_core::CancelToken`] registered in a [`CancelRegistry`];
+//!   `CANCEL <req_id>` trips it from any connection, aborting a queued job
+//!   outright or an in-flight one at its next phase boundary.
+//! - **Protocol**: a thread per connection parses [`Envelope`]s — a
+//!   request plus an optional client-supplied `req_id`, echoed on the
+//!   response and usable as the CANCEL handle.
 //!
 //! Crash safety: with [`ServerOptions::persist`] set, every acknowledged
 //! mutation is appended to a write-ahead log *before* the response goes
-//! out, and the full state is snapshotted every `snapshot_every`
-//! mutations (see [`crate::persist`]). Restart recovery loads the newest
-//! valid snapshot and replays the WAL tail through the same
-//! [`ServiceState::handle`] path that produced it, which the delta
-//! correctness invariant makes deterministic — a recovered daemon answers
-//! STATUS/DELTA exactly as an uninterrupted one would.
+//! out (in commit order; stale screen results are not logged), and the
+//! full state is snapshotted every `snapshot_every` mutations (see
+//! [`crate::persist`]). Restart recovery loads the newest valid snapshot
+//! and replays the WAL tail through the same [`ServiceState::handle`] path
+//! that produced it, which the delta correctness invariant makes
+//! deterministic — a recovered daemon answers STATUS/DELTA exactly as an
+//! uninterrupted one would.
 //!
 //! Panic isolation: screening runs inside `catch_unwind`, so a panic
-//! mid-screen becomes an ERROR response instead of a dead worker; if the
-//! worker thread dies anyway, a supervisor thread respawns it.
+//! mid-screen becomes an ERROR response instead of a dead worker; if a
+//! worker thread dies anyway, its supervisor respawns it.
 //!
 //! Everything is std networking plus the workspace's existing concurrency
 //! crates — no async runtime, no protocol framework.
 
-use crate::catalog::Catalog;
-use crate::delta::DeltaEngine;
+use crate::catalog::{Catalog, Removal};
+use crate::delta::{apply_removal_to_pairs, DeltaEngine, DELTA_VARIANT};
 use crate::error::ServiceError;
+use crate::exec::{run_screen_job, CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 use crate::fault::FaultPlan;
 use crate::metrics::MetricsRegistry;
 use crate::persist::{PersistOptions, Persister, Snapshot, SNAPSHOT_VERSION};
 use crate::proto::{
-    AdvanceAck, CatalogAck, ElementsSpec, LastScreen, Request, Response, ScreenSummary, StatusInfo,
+    AdvanceAck, CatalogAck, ElementsSpec, Envelope, LastScreen, Request, Response, ScreenSummary,
+    StatusInfo,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use kessler_core::ScreeningConfig;
+use kessler_core::{CancelToken, ScreeningConfig};
 use kessler_orbits::KeplerElements;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -59,6 +75,8 @@ pub struct ServerOptions {
     pub persist: Option<PersistOptions>,
     /// Screening requests queued before clients get "server busy".
     pub queue_depth: usize,
+    /// Screening worker threads; `0` picks `min(4, cores / 2)` (≥ 1).
+    pub workers: usize,
     /// Per-connection read timeout (`None` = wait forever).
     pub read_timeout: Option<Duration>,
     /// Per-connection write timeout (`None` = wait forever).
@@ -76,6 +94,7 @@ impl Default for ServerOptions {
         ServerOptions {
             persist: None,
             queue_depth: 32,
+            workers: 0,
             read_timeout: Some(Duration::from_secs(120)),
             write_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: MAX_LINE_BYTES,
@@ -83,6 +102,17 @@ impl Default for ServerOptions {
             metrics_every: None,
         }
     }
+}
+
+/// `0` means auto: half the cores, clamped to `[1, 4]` — screening is
+/// already rayon-parallel inside one job, so a few concurrent jobs saturate
+/// a machine long before one-per-core would.
+fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    (cores / 2).clamp(1, 4)
 }
 
 /// What startup recovery found in the state directory.
@@ -102,10 +132,17 @@ pub struct RecoverySummary {
 pub struct ServiceState {
     catalog: Catalog,
     engine: DeltaEngine,
-    /// Dense indices changed since the last screen.
+    /// Dense indices changed since the last adopted screen.
     changed: BTreeSet<u32>,
     /// Absolute start of the screening window (advanced by ADVANCE).
     window_start: f64,
+    /// Catalog epoch the currently adopted maintained set was captured at.
+    /// A completed job below this is stale; one at or above it wins.
+    warm_epoch: u64,
+    /// Removals since `warm_epoch` as `(epoch_after, removal, new_len)`,
+    /// replayed onto job results captured before them at commit time.
+    /// Pruned whenever `warm_epoch` advances.
+    removals: Vec<(u64, Removal, usize)>,
     requests: u64,
     started: Instant,
     /// `true` when this state came out of snapshot/WAL recovery.
@@ -119,6 +156,8 @@ impl ServiceState {
             engine: DeltaEngine::new(config)?,
             changed: BTreeSet::new(),
             window_start: 0.0,
+            warm_epoch: 0,
+            removals: Vec::new(),
             requests: 0,
             started: Instant::now(),
             recovered: false,
@@ -212,10 +251,14 @@ impl ServiceState {
             .filter(|&i| (i as usize) < catalog.len())
             .collect();
         Ok(ServiceState {
+            // The snapshotted maintained set is current as of the
+            // snapshotted epoch, with `changed` carrying the rest.
+            warm_epoch: catalog.epoch(),
             catalog,
             engine,
             changed,
             window_start: snapshot.window_start,
+            removals: Vec::new(),
             requests: snapshot.requests_served,
             started: Instant::now(),
             recovered: true,
@@ -227,7 +270,8 @@ impl ServiceState {
     }
 
     /// Execute one request against the state. Pure request→response; all
-    /// I/O lives in the connection handler.
+    /// I/O lives in the connection handler. Screening requests run the
+    /// same capture → run → commit sequence the worker pool does, inline.
     pub fn handle(&mut self, request: &Request) -> Response {
         self.note_request();
         match request {
@@ -261,6 +305,7 @@ impl ServiceState {
                 Ok(removal) => {
                     let new_len = self.catalog.len();
                     self.engine.apply_removal(removal, new_len);
+                    self.removals.push((self.catalog.epoch(), removal, new_len));
                     // The old last index no longer exists; if a satellite
                     // moved into the hole it now needs re-screening.
                     if let Some(last) = removal.moved_from {
@@ -274,53 +319,124 @@ impl ServiceState {
                 }
                 Err(e) => Response::error(e.to_string()),
             },
-            Request::Screen => {
-                let report = self.engine.full_screen(self.catalog.elements());
-                self.changed.clear();
-                Response::with_screen(ScreenSummary::from_report(&report))
-            }
-            Request::Delta => {
-                let changed: Vec<u32> = self.changed.iter().copied().collect();
-                let report = self.engine.delta_screen(self.catalog.elements(), &changed);
-                self.changed.clear();
-                Response::with_screen(ScreenSummary::from_report(&report))
-            }
+            Request::Screen => self.screen_sync(ScreenKind::Full),
+            Request::Delta => self.screen_sync(ScreenKind::Delta),
             Request::Advance { dt } => {
                 if !dt.is_finite() || *dt <= 0.0 {
                     return Response::error(format!(
                         "advance dt must be positive and finite, got {dt}"
                     ));
                 }
-                if !self.engine.is_warm() {
-                    self.engine.full_screen(self.catalog.elements());
-                    self.changed.clear();
-                } else if !self.changed.is_empty() {
-                    // Fold pending mutations in first so the carried-forward
-                    // conjunction set reflects the current catalog.
-                    let changed: Vec<u32> = self.changed.iter().copied().collect();
-                    self.engine.delta_screen(self.catalog.elements(), &changed);
-                    self.changed.clear();
-                }
-                self.catalog.advance_all(*dt);
-                match self.engine.advance_window(self.catalog.elements(), *dt) {
-                    Ok(outcome) => {
-                        self.window_start += dt;
-                        Response::with_advance(AdvanceAck {
-                            retired: outcome.retired,
-                            discovered: outcome.discovered,
-                            window: self.window(),
-                        })
-                    }
-                    Err(e) => Response::error(e),
-                }
+                self.screen_sync(ScreenKind::Advance { dt: *dt })
             }
             Request::Status => Response::with_status(self.status()),
-            // Metrics live with the daemon (`Shared`), not the state: the
-            // registry spans WAL/queue/worker concerns the state never
-            // sees, and the verb must not cost the state lock. Reaching
-            // this arm means a caller bypassed `handle_and_persist`.
+            // Metrics and cancellation live with the daemon (`Shared`),
+            // not the state: the registry/metrics span queue and worker
+            // concerns the state never sees, and neither verb may cost the
+            // state lock. Reaching these arms means a caller bypassed
+            // `handle_and_persist`/the connection layer.
             Request::Metrics => Response::error("METRICS is served by the daemon layer"),
+            Request::Cancel { .. } => Response::error("CANCEL is served by the daemon layer"),
             Request::Shutdown => Response::ack(),
+        }
+    }
+
+    /// Capture a screening job at the current epoch. Cheap: the snapshot
+    /// shares storage with the catalog until the next mutation.
+    fn capture(&self, kind: ScreenKind) -> ScreenJob {
+        ScreenJob {
+            kind,
+            snapshot: self.catalog.snapshot(),
+            changed: self.changed.iter().copied().collect(),
+            warm: self.engine.is_warm().then(|| self.engine.warm_pairs()),
+            config: *self.engine.config(),
+            solver: self.engine.solver(),
+        }
+    }
+
+    /// Capture a job for the worker pool, counting the request the way the
+    /// inline [`ServiceState::handle`] path does.
+    pub fn capture_screen_job(&mut self, kind: ScreenKind) -> ScreenJob {
+        self.note_request();
+        self.capture(kind)
+    }
+
+    /// The inline screening path: capture, run uncancellably, commit.
+    /// Byte-identical to a pool worker running the same job at the same
+    /// epoch — both go through [`run_screen_job`] and
+    /// [`ServiceState::commit_screen_job`].
+    fn screen_sync(&mut self, kind: ScreenKind) -> Response {
+        let job = self.capture(kind);
+        let output = run_screen_job(&job, None).expect("uncancellable screen cannot be cancelled");
+        self.commit_screen_job(&job, output)
+    }
+
+    /// Merge a completed job back into live state, latest-epoch-wins.
+    ///
+    /// Screens: a job older than the adopted set answers `stale` without
+    /// touching it; otherwise removals that landed after capture are
+    /// replayed onto the result, it becomes the maintained set, and only
+    /// satellites mutated *after* capture stay pending. Advances mutate the
+    /// catalog, so they refuse to commit over any concurrent mutation.
+    pub fn commit_screen_job(&mut self, job: &ScreenJob, output: ScreenOutput) -> Response {
+        let epoch = job.epoch();
+        match output {
+            ScreenOutput::Screen { report, mut pairs } => {
+                let mut summary = ScreenSummary::from_report(&report);
+                summary.epoch = epoch;
+                if epoch < self.warm_epoch {
+                    summary.stale = true;
+                    return Response::with_screen(summary);
+                }
+                for &(removed_at, removal, new_len) in &self.removals {
+                    if removed_at > epoch {
+                        apply_removal_to_pairs(&mut pairs, removal, new_len);
+                    }
+                }
+                let n = self.catalog.len();
+                if report.variant == DELTA_VARIANT {
+                    self.engine.adopt_delta(pairs, n, report.timings);
+                } else {
+                    self.engine.adopt_full(pairs, n, report.timings);
+                }
+                self.warm_epoch = epoch;
+                self.removals
+                    .retain(|&(removed_at, _, _)| removed_at > epoch);
+                // Indices mutated after capture (adds, updates, swap_remove
+                // movers) were not covered by this screen and stay pending.
+                self.changed
+                    .retain(|&i| self.catalog.generation_at(i).is_some_and(|g| g > epoch));
+                Response::with_screen(summary)
+            }
+            ScreenOutput::Advance {
+                pairs,
+                outcome,
+                timings,
+                dt,
+                fold,
+            } => {
+                if self.catalog.epoch() != epoch {
+                    return Response::error(format!(
+                        "advance raced concurrent mutations (catalog at epoch {}, captured at \
+                         {epoch}); retry",
+                        self.catalog.epoch()
+                    ));
+                }
+                // Identical propagation to the job's: absolute, from the
+                // stored epoch-0 base elements.
+                self.catalog.advance_all(dt);
+                self.engine
+                    .adopt_advance(pairs, self.catalog.len(), timings, fold);
+                self.changed.clear();
+                self.warm_epoch = self.catalog.epoch();
+                self.removals.clear();
+                self.window_start += dt;
+                Response::with_advance(AdvanceAck {
+                    retired: outcome.retired,
+                    discovered: outcome.discovered,
+                    window: self.window(),
+                })
+            }
         }
     }
 
@@ -371,12 +487,19 @@ impl ServiceState {
     }
 }
 
-/// Work the connection threads hand to the single screening worker.
+/// A screening request captured for the worker pool: the immutable job,
+/// the client's reply slot, and the cancellation bookkeeping.
+struct ScreenTask {
+    request: Request,
+    job: ScreenJob,
+    reply: Sender<Response>,
+    token: CancelToken,
+    seq: u64,
+}
+
+/// Work the connection threads hand to the screening workers.
 enum Job {
-    Heavy {
-        request: Request,
-        reply: Sender<Response>,
-    },
+    Screen(Box<ScreenTask>),
     Stop,
 }
 
@@ -386,6 +509,8 @@ struct Shared {
     /// Rolling observability counters/histograms. Lock order: always after
     /// `state` (and `persist`) — the METRICS fast path takes only this.
     metrics: Mutex<MetricsRegistry>,
+    /// Live screening jobs' cancel tokens, keyed by req_id for CANCEL.
+    registry: CancelRegistry,
     shutdown: AtomicBool,
     jobs: Sender<Job>,
     addr: SocketAddr,
@@ -395,23 +520,23 @@ struct Shared {
     max_line_bytes: usize,
 }
 
-/// Execute a request and, if it mutated state, write it to the WAL before
-/// the response escapes — the single choke point both the inline path and
-/// the screening worker go through. A WAL append failure turns the
+/// WAL + metrics tail shared by the inline path and the worker commit
+/// path: if the (already applied) request mutated state, write it to the
+/// WAL before the response escapes. A WAL append failure turns the
 /// response into an error (the mutation is applied in memory but the
 /// client must not treat it as durable); a snapshot failure only logs,
-/// since the WAL still covers every acknowledged record.
-fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
-    if matches!(request, Request::Metrics) {
-        // Served entirely at this layer: never touches the state lock,
-        // never enters the WAL.
-        let mut metrics = shared.metrics.lock();
-        metrics.count_request(request.kind(), true);
-        return Response::with_metrics(metrics.snapshot());
-    }
-    let state = &mut *shared.state.lock();
-    let mut response = state.handle(request);
-    if response.ok && request.is_mutation() {
+/// since the WAL still covers every acknowledged record. Stale screen
+/// results are *not* logged — they did not change the maintained set, and
+/// WAL order must match commit order.
+fn persist_and_record(
+    shared: &Shared,
+    request: &Request,
+    state: &mut ServiceState,
+    mut response: Response,
+) -> Response {
+    let adopted =
+        response.ok && request.is_mutation() && !response.screen.as_ref().is_some_and(|s| s.stale);
+    if adopted {
         if let Some(persist) = &shared.persist {
             let mut persister = persist.lock();
             let append_started = Instant::now();
@@ -456,6 +581,84 @@ fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
     response
 }
 
+/// Execute a non-screening request inline: state mutation under the lock,
+/// then the shared WAL/metrics tail. METRICS short-circuits without ever
+/// touching the state lock.
+fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
+    if matches!(request, Request::Metrics) {
+        // Served entirely at this layer: never touches the state lock,
+        // never enters the WAL.
+        let mut metrics = shared.metrics.lock();
+        metrics.count_request(request.kind(), true);
+        return Response::with_metrics(metrics.snapshot());
+    }
+    let state = &mut *shared.state.lock();
+    let response = state.handle(request);
+    persist_and_record(shared, request, state, response)
+}
+
+/// Register, capture, and enqueue one screening request; blocks until its
+/// worker replies. The snapshot is captured *at enqueue time*, so the job
+/// screens the catalog as the client saw it, whatever lands in between.
+fn enqueue_screen(shared: &Shared, request: Request, req_id: Option<String>) -> Response {
+    let kind = match &request {
+        Request::Screen => ScreenKind::Full,
+        Request::Delta => ScreenKind::Delta,
+        Request::Advance { dt } => {
+            if !dt.is_finite() || *dt <= 0.0 {
+                shared.metrics.lock().count_request(request.kind(), false);
+                return Response::error(format!(
+                    "advance dt must be positive and finite, got {dt}"
+                ));
+            }
+            ScreenKind::Advance { dt: *dt }
+        }
+        _ => unreachable!("only screening verbs are enqueued"),
+    };
+    let (seq, token) = match shared.registry.register(req_id.as_deref()) {
+        Ok(registered) => registered,
+        Err(err) => {
+            shared.metrics.lock().count_request(request.kind(), false);
+            return Response::error(err);
+        }
+    };
+    let capture_started = Instant::now();
+    let job = shared.state.lock().capture_screen_job(kind);
+    shared
+        .metrics
+        .lock()
+        .record_snapshot_build(capture_started.elapsed());
+    let (reply_tx, reply_rx) = bounded(1);
+    let task = ScreenTask {
+        request,
+        job,
+        reply: reply_tx,
+        token,
+        seq,
+    };
+    match shared.jobs.try_send(Job::Screen(Box::new(task))) {
+        Ok(()) => {
+            // The enqueue itself proves a depth of ≥ 1 even if a worker
+            // drains it instantly.
+            shared
+                .metrics
+                .lock()
+                .note_queue_depth(shared.jobs.len().max(1));
+            reply_rx
+                .recv()
+                .unwrap_or_else(|_| Response::error("screening worker unavailable, retry"))
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.registry.unregister(seq);
+            Response::error("server busy: screening queue is full, retry later")
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.registry.unregister(seq);
+            Response::error("server is shutting down")
+        }
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -466,27 +669,66 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The screening worker: drains jobs, isolating each screen inside
-/// `catch_unwind` so a panic answers that one request with an ERROR
-/// instead of killing the thread.
-fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
+/// One screening worker: drains jobs, runs each against its captured
+/// snapshot (lock-free), commits the result under the state lock, and
+/// isolates panics inside `catch_unwind` so a panicking screen answers
+/// that one request with an ERROR instead of killing the thread.
+fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
     while let Ok(job) = jobs.recv() {
         match job {
-            Job::Heavy { request, reply } => {
+            Job::Screen(task) => {
+                let ScreenTask {
+                    request,
+                    job,
+                    reply,
+                    token,
+                    seq,
+                } = *task;
                 if shared.faults.take_kill_worker() {
-                    // Outside the guard: the thread dies and the
-                    // supervisor must respawn it.
+                    // Outside the guard: the thread dies and the supervisor
+                    // must respawn it. Unregister first so the req_id is
+                    // not blocked forever.
+                    shared.registry.unregister(seq);
                     panic!("fault injection: kill worker");
                 }
+                if token.is_cancelled() {
+                    // Cancelled while still queued: never ran.
+                    shared.registry.unregister(seq);
+                    let mut metrics = shared.metrics.lock();
+                    metrics.note_cancelled();
+                    metrics.count_request(request.kind(), false);
+                    drop(metrics);
+                    let _ = reply.send(Response::error("cancelled while queued"));
+                    continue;
+                }
+                let started = Instant::now();
                 let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
                     if shared.faults.take_panic_screen() {
                         panic!("fault injection: screening panic");
                     }
-                    handle_and_persist(shared, &request)
+                    run_screen_job(&job, Some(&token))
                 }));
-                let response = outcome.unwrap_or_else(|payload| {
-                    Response::error(format!("screening panicked: {}", panic_message(&*payload)))
-                });
+                let response = match outcome {
+                    Ok(Ok(output)) => {
+                        let state = &mut *shared.state.lock();
+                        let response = state.commit_screen_job(&job, output);
+                        persist_and_record(shared, &request, state, response)
+                    }
+                    Ok(Err(_cancelled)) => {
+                        let mut metrics = shared.metrics.lock();
+                        metrics.note_cancelled();
+                        metrics.count_request(request.kind(), false);
+                        Response::error("cancelled mid-screen at a phase boundary")
+                    }
+                    Err(payload) => {
+                        Response::error(format!("screening panicked: {}", panic_message(&*payload)))
+                    }
+                };
+                shared
+                    .metrics
+                    .lock()
+                    .record_worker_job(worker, started.elapsed());
+                shared.registry.unregister(seq);
                 let _ = reply.send(response);
             }
             Job::Stop => break,
@@ -494,21 +736,23 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>) {
     }
 }
 
-/// Spawn the worker under a supervisor that respawns it if it ever dies
-/// from an un-caught panic (graceful `Job::Stop` exits both).
+/// Spawn worker `index` under a supervisor that respawns it if it ever
+/// dies from an un-caught panic (graceful `Job::Stop` exits both).
 fn spawn_supervised_worker(
     shared: Arc<Shared>,
     jobs: Receiver<Job>,
+    index: usize,
 ) -> Result<JoinHandle<()>, ServiceError> {
     thread::Builder::new()
-        .name("kessler-screen-supervisor".into())
+        .name(format!("kessler-screen-supervisor-{index}"))
         .spawn(move || loop {
             let worker_shared = Arc::clone(&shared);
             let worker_jobs = jobs.clone();
             let worker = match thread::Builder::new()
-                .name("kessler-screen".into())
-                .spawn(move || worker_loop(&worker_shared, &worker_jobs))
-            {
+                .name(format!("kessler-screen-{index}"))
+                .spawn(move || {
+                    worker_loop(&worker_shared, &worker_jobs, &format!("worker-{index}"))
+                }) {
                 Ok(handle) => handle,
                 Err(err) => {
                     eprintln!("kessler-service: could not respawn screening worker: {err}");
@@ -532,8 +776,9 @@ fn spawn_supervised_worker(
 
 /// Periodically log the one-line metrics digest to stderr. Sleeps in
 /// short steps so the thread notices shutdown within ~250 ms instead of
-/// lingering a full interval; failure to spawn just disables the log.
-fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) {
+/// lingering a full interval; failure to spawn just disables the log. The
+/// handle is joined at shutdown so the daemon exits with no stray threads.
+fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) -> Option<JoinHandle<()>> {
     let spawned = thread::Builder::new()
         .name("kessler-metrics".into())
         .spawn(move || {
@@ -554,8 +799,12 @@ fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) {
                 }
             }
         });
-    if let Err(err) = spawned {
-        eprintln!("kessler-service: could not spawn metrics reporter: {err}");
+    match spawned {
+        Ok(handle) => Some(handle),
+        Err(err) => {
+            eprintln!("kessler-service: could not spawn metrics reporter: {err}");
+            None
+        }
     }
 }
 
@@ -563,7 +812,9 @@ fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
-    supervisor: Option<JoinHandle<()>>,
+    supervisors: Vec<JoinHandle<()>>,
+    reporter: Option<JoinHandle<()>>,
+    workers: usize,
     recovery: Option<RecoverySummary>,
 }
 
@@ -629,11 +880,13 @@ impl Server {
             addr: addr.to_string(),
             source: e,
         })?;
+        let workers = resolve_workers(options.workers);
         let (jobs_tx, jobs_rx) = bounded::<Job>(options.queue_depth.max(1));
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             persist: persister.map(Mutex::new),
             metrics: Mutex::new(MetricsRegistry::new()),
+            registry: CancelRegistry::new(),
             shutdown: AtomicBool::new(false),
             jobs: jobs_tx,
             addr: local,
@@ -642,14 +895,23 @@ impl Server {
             write_timeout: options.write_timeout,
             max_line_bytes: options.max_line_bytes.max(1024),
         });
-        let supervisor = spawn_supervised_worker(Arc::clone(&shared), jobs_rx)?;
-        if let Some(every) = options.metrics_every {
-            spawn_metrics_reporter(Arc::clone(&shared), every);
+        let mut supervisors = Vec::with_capacity(workers);
+        for index in 0..workers {
+            supervisors.push(spawn_supervised_worker(
+                Arc::clone(&shared),
+                jobs_rx.clone(),
+                index,
+            )?);
         }
+        let reporter = options
+            .metrics_every
+            .and_then(|every| spawn_metrics_reporter(Arc::clone(&shared), every));
         Ok(Server {
             listener,
             shared,
-            supervisor: Some(supervisor),
+            supervisors,
+            reporter,
+            workers,
             recovery: recovery_summary,
         })
     }
@@ -662,6 +924,11 @@ impl Server {
     /// What startup recovery found (`None` without persistence).
     pub fn recovery(&self) -> Option<&RecoverySummary> {
         self.recovery.as_ref()
+    }
+
+    /// Screening worker threads this server runs.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Current catalog size (used by the CLI to skip preloading over a
@@ -689,7 +956,9 @@ impl Server {
         Ok(population.len())
     }
 
-    /// Accept connections until a SHUTDOWN request arrives. Blocks.
+    /// Accept connections until a SHUTDOWN request arrives. Blocks. On the
+    /// way out: trips every live job's token, stops each worker, and joins
+    /// the supervisors and the metrics reporter — no stray threads.
     pub fn run(mut self) {
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -704,9 +973,15 @@ impl Server {
                 .name("kessler-conn".into())
                 .spawn(move || handle_connection(stream, shared));
         }
-        let _ = self.shared.jobs.send(Job::Stop);
-        if let Some(supervisor) = self.supervisor.take() {
+        self.shared.registry.cancel_all();
+        for _ in 0..self.workers {
+            let _ = self.shared.jobs.send(Job::Stop);
+        }
+        for supervisor in self.supervisors.drain(..) {
             let _ = supervisor.join();
+        }
+        if let Some(reporter) = self.reporter.take() {
+            let _ = reporter.join();
         }
     }
 
@@ -802,13 +1077,9 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     };
     let mut writer = stream;
     let mut buf: Vec<u8> = Vec::new();
-    loop {
-        let outcome = match read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
-            Ok(outcome) => outcome,
-            // Covers read timeouts (idle connections get reaped) and
-            // resets; nothing to answer on a broken socket.
-            Err(_) => break,
-        };
+    // A read error covers timeouts (idle connections get reaped) and
+    // resets; nothing to answer on a broken socket, so the loop just ends.
+    while let Ok(outcome) = read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
         let mut is_shutdown = false;
         let response = match outcome {
             LineOutcome::Eof => break,
@@ -822,44 +1093,37 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 if line.is_empty() {
                     continue;
                 }
-                let parsed: Result<Request, _> = serde_json::from_str(line);
-                is_shutdown = matches!(parsed, Ok(Request::Shutdown));
-                match parsed {
+                match serde_json::from_str::<Envelope>(line) {
                     Err(e) => Response::error(format!("bad request: {e}")),
-                    Ok(req @ (Request::Screen | Request::Delta | Request::Advance { .. })) => {
-                        // Screening is serialized through the worker so
-                        // overlapping clients don't contend inside rayon;
-                        // the bounded queue sheds load explicitly.
-                        let (reply_tx, reply_rx) = bounded(1);
-                        let job = Job::Heavy {
-                            request: req,
-                            reply: reply_tx,
+                    Ok(Envelope { req_id, request }) => {
+                        is_shutdown = matches!(request, Request::Shutdown);
+                        let mut response = match request {
+                            req @ (Request::Screen | Request::Delta | Request::Advance { .. }) => {
+                                // Screening runs on the worker pool against
+                                // an enqueue-time snapshot; the bounded
+                                // queue sheds load explicitly.
+                                enqueue_screen(&shared, req, req_id.clone())
+                            }
+                            Request::Cancel { id } => {
+                                let hit = shared.registry.cancel(&id);
+                                shared.metrics.lock().count_request("CANCEL", hit);
+                                if hit {
+                                    Response::ack()
+                                } else {
+                                    Response::error(format!(
+                                        "no queued or running job with req_id \"{id}\""
+                                    ))
+                                }
+                            }
+                            req => {
+                                if is_shutdown {
+                                    shared.shutdown.store(true, Ordering::SeqCst);
+                                }
+                                handle_and_persist(&shared, &req)
+                            }
                         };
-                        match shared.jobs.try_send(job) {
-                            Ok(()) => {
-                                // The enqueue itself proves a depth of ≥ 1
-                                // even if the worker drains it instantly.
-                                shared
-                                    .metrics
-                                    .lock()
-                                    .note_queue_depth(shared.jobs.len().max(1));
-                                reply_rx.recv().unwrap_or_else(|_| {
-                                    Response::error("screening worker unavailable, retry")
-                                })
-                            }
-                            Err(TrySendError::Full(_)) => {
-                                Response::error("server busy: screening queue is full, retry later")
-                            }
-                            Err(TrySendError::Disconnected(_)) => {
-                                Response::error("server is shutting down")
-                            }
-                        }
-                    }
-                    Ok(req) => {
-                        if is_shutdown {
-                            shared.shutdown.store(true, Ordering::SeqCst);
-                        }
-                        handle_and_persist(&shared, &req)
+                        response.req_id = req_id;
+                        response
                     }
                 }
             }
@@ -936,6 +1200,18 @@ impl Client {
     /// Send a request and block for its response.
     pub fn send(&mut self, req: &Request) -> io::Result<Response> {
         let line = serde_json::to_string(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        self.send_line(&line)
+    }
+
+    /// Send a request tagged with a `req_id` (echoed on the response; the
+    /// handle `CANCEL` takes) and block for its response.
+    pub fn send_tagged(&mut self, req: &Request, req_id: &str) -> io::Result<Response> {
+        let envelope = Envelope {
+            req_id: Some(req_id.to_string()),
+            request: req.clone(),
+        };
+        let line = serde_json::to_string(&envelope)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         self.send_line(&line)
     }
@@ -1039,6 +1315,8 @@ mod tests {
         let screen = r.screen.unwrap();
         assert_eq!(screen.n_satellites, 12);
         assert_eq!(screen.variant, "grid");
+        assert!(!screen.stale);
+        assert_eq!(screen.epoch, state.catalog().epoch());
 
         let r = state.handle(&Request::Status);
         assert_eq!(r.status.unwrap().pending_changes, 0);
@@ -1060,15 +1338,19 @@ mod tests {
     }
 
     #[test]
-    fn state_refuses_metrics_requests() {
-        // METRICS is answered by the daemon layer without the state lock;
-        // the state itself treating it as an error keeps it out of the WAL
-        // (only ok mutations are appended).
+    fn state_refuses_metrics_and_cancel_requests() {
+        // METRICS and CANCEL are answered by the daemon layer without the
+        // state lock; the state itself treating them as errors keeps them
+        // out of the WAL (only ok mutations are appended).
         let config = ScreeningConfig::grid_defaults(5.0, 120.0);
         let mut state = ServiceState::new(config).unwrap();
         let r = state.handle(&Request::Metrics);
         assert!(!r.ok);
         assert!(!Request::Metrics.is_mutation());
+        let r = state.handle(&Request::Cancel {
+            id: "job-1".to_string(),
+        });
+        assert!(!r.ok);
     }
 
     #[test]
@@ -1209,6 +1491,112 @@ mod tests {
         let mut bad = snapshot.clone();
         bad.generations.pop();
         assert!(ServiceState::restore_from(config, &bad).is_err());
+    }
+
+    #[test]
+    fn stale_screen_results_answer_but_do_not_clobber_newer_adoptions() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..12u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(
+                    7_000.0 + i as f64 * 3.0,
+                    0.4 + (i % 5) as f64 * 0.3,
+                    i as f64 * 0.37,
+                ),
+            });
+        }
+        // Capture a job, then let the catalog move on and adopt a newer
+        // screen before the old job commits.
+        let old_job = state.capture_screen_job(ScreenKind::Full);
+        let old_output = run_screen_job(&old_job, None).unwrap();
+        state.handle(&Request::Update {
+            id: 3,
+            elements: spec(7_009.5, 1.6, 2.0),
+        });
+        assert!(state.handle(&Request::Screen).ok);
+        let adopted = state.engine().conjunctions();
+        let adopted_epoch = state.catalog().epoch();
+
+        let r = state.commit_screen_job(&old_job, old_output);
+        let summary = r.screen.unwrap();
+        assert!(summary.stale, "older-epoch result must be flagged stale");
+        assert_eq!(summary.epoch, old_job.epoch());
+        assert_eq!(
+            state.engine().conjunctions(),
+            adopted,
+            "stale commit must not touch the maintained set"
+        );
+        assert_eq!(state.catalog().epoch(), adopted_epoch);
+    }
+
+    #[test]
+    fn commits_replay_removals_that_landed_after_capture() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        // Near-identical orbits so the screen finds plenty of pairs.
+        for i in 0..10u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(7_000.0 + i as f64 * 0.5, 0.9, i as f64 * 0.01),
+            });
+        }
+        let job = state.capture_screen_job(ScreenKind::Full);
+        let output = run_screen_job(&job, None).unwrap();
+        assert!(state.handle(&Request::Remove { id: 4 }).ok);
+        let new_len = state.catalog().len() as u32;
+
+        let r = state.commit_screen_job(&job, output);
+        assert!(r.ok && !r.screen.unwrap().stale);
+        for c in state.engine().conjunctions() {
+            assert!(
+                c.id_lo < new_len && c.id_hi < new_len,
+                "conjunction ({}, {}) references a removed index",
+                c.id_lo,
+                c.id_hi
+            );
+        }
+    }
+
+    #[test]
+    fn advance_commits_refuse_to_race_mutations() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..6u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(7_000.0 + i as f64 * 5.0, 0.4 + i as f64 * 0.2, i as f64),
+            });
+        }
+        let job = state.capture_screen_job(ScreenKind::Advance { dt: 30.0 });
+        let output = run_screen_job(&job, None).unwrap();
+        state.handle(&Request::Update {
+            id: 2,
+            elements: spec(7_011.0, 0.7, 1.0),
+        });
+        let time_before = state.catalog().time();
+        let window_before = state.status().window;
+
+        let r = state.commit_screen_job(&job, output);
+        assert!(!r.ok);
+        assert!(
+            r.error.unwrap().contains("advance raced"),
+            "error names the race"
+        );
+        assert_eq!(
+            state.catalog().time(),
+            time_before,
+            "catalog must not advance"
+        );
+        assert_eq!(state.status().window, window_before);
+    }
+
+    #[test]
+    fn worker_auto_sizing_stays_in_bounds() {
+        assert_eq!(resolve_workers(3), 3);
+        let auto = resolve_workers(0);
+        assert!((1..=4).contains(&auto), "auto workers {auto} out of [1, 4]");
     }
 
     #[test]

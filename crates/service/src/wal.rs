@@ -237,7 +237,7 @@ mod tests {
         let path = temp_wal("roundtrip");
         let _ = std::fs::remove_file(&path);
         let mut writer = WalWriter::open_append(&path).unwrap();
-        let records = vec![
+        let records = [
             Request::Add {
                 id: 1,
                 elements: spec(),

@@ -6,6 +6,25 @@ use kessler_core::ScreeningConfig;
 use kessler_service::proto::ElementsSpec;
 use kessler_service::{request, Client, Request, Server, DELTA_VARIANT};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Names of live threads in this process whose name starts with
+/// `kessler-` — every thread the daemon spawns uses that prefix.
+fn daemon_threads() -> Vec<String> {
+    let mut names = Vec::new();
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return names; // not Linux; skip the leak check
+    };
+    for task in tasks.flatten() {
+        if let Ok(comm) = std::fs::read_to_string(task.path().join("comm")) {
+            let comm = comm.trim();
+            if comm.starts_with("kessler-") {
+                names.push(comm.to_string());
+            }
+        }
+    }
+    names
+}
 
 fn spec_for(id: u64) -> ElementsSpec {
     ElementsSpec {
@@ -118,8 +137,49 @@ fn four_concurrent_clients_drive_the_daemon() {
     assert!(response.ok, "{:?}", response.error);
     assert_eq!(response.advance.unwrap().window, (30.0, 150.0));
 
+    // A client-supplied req_id is echoed on the response — for screening
+    // verbs (where it doubles as the CANCEL handle) and cheap ones alike.
+    let response = client
+        .send_tagged(&Request::Screen, "job-e2e")
+        .expect("tagged SCREEN");
+    assert!(response.ok, "{:?}", response.error);
+    assert_eq!(response.req_id.as_deref(), Some("job-e2e"));
+    let response = client
+        .send_tagged(&Request::Status, "s-1")
+        .expect("tagged STATUS");
+    assert_eq!(response.req_id.as_deref(), Some("s-1"));
+    // CANCEL of a finished/unknown id is a clean error, echo included.
+    let response = client
+        .send_tagged(
+            &Request::Cancel {
+                id: "job-e2e".to_string(),
+            },
+            "c-1",
+        )
+        .expect("CANCEL");
+    assert!(!response.ok);
+    assert_eq!(response.req_id.as_deref(), Some("c-1"));
+    assert!(response.error.unwrap().contains("no queued or running job"));
+
     // Shutdown via the one-shot helper, then join the server thread.
+    drop(client); // let its connection thread exit
     let response = request(addr, &Request::Shutdown).expect("SHUTDOWN");
     assert!(response.ok);
     handle.shutdown();
+
+    // Every daemon thread is named `kessler-*`; after shutdown none may
+    // linger (workers, supervisors, reporter, connection handlers). Give
+    // connection threads a moment to observe EOF.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stray = daemon_threads();
+        if stray.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon threads leaked past shutdown: {stray:?}"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
 }
