@@ -25,6 +25,7 @@ SUBCOMMANDS
   tle        parse a 2LE/3LE catalog      FILE [--stats]
   compare    accuracy across variants     --n N [--threshold KM] [--span S]
   serve      run the screening daemon     [--addr HOST:PORT] [--pop FILE | --n N]
+             [--variant grid|hybrid (default grid)] screening pipeline
              [--threshold KM] [--span S] [--sps S] [--threads T]
              [--workers N (0 = auto)] screening worker pool size
              [--state-dir DIR] [--snapshot-every N] [--queue-depth N]
@@ -296,7 +297,14 @@ pub fn compare(flags: &Flags) -> Result<(), String> {
 
 pub fn serve(flags: &Flags) -> Result<(), String> {
     let addr = flags.value_of("--addr").unwrap_or("127.0.0.1:7878");
-    let config = build_config(flags, "grid")?;
+    let variant: Variant = flags.value_of("--variant").unwrap_or("grid").parse()?;
+    if !matches!(variant, Variant::Grid | Variant::Hybrid) {
+        return Err(format!(
+            "the daemon serves the grid or hybrid variant, not `{}`",
+            variant.label()
+        ));
+    }
+    let config = build_config(flags, variant.label())?;
 
     let persist = match flags.value_of("--state-dir") {
         Some(dir) => {
@@ -316,6 +324,7 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
         read_timeout: (read_timeout_s > 0).then(|| std::time::Duration::from_secs(read_timeout_s)),
         metrics_every: (metrics_every_s > 0)
             .then(|| std::time::Duration::from_secs(metrics_every_s)),
+        variant,
         ..defaults
     };
 
@@ -355,9 +364,10 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
         }
     }
     println!(
-        "kessler-service listening on {} ({} screening workers) — JSON lines: \
+        "kessler-service listening on {} ({} variant, {} screening workers) — JSON lines: \
          ADD UPDATE REMOVE SCREEN DELTA ADVANCE CANCEL STATUS METRICS SHUTDOWN",
         server.local_addr(),
+        variant.label(),
         server.workers()
     );
     server.run();
@@ -583,6 +593,18 @@ fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
         for (worker, d) in &metrics.worker_screen_ms {
             print_quantile_row(worker, d, "ms");
         }
+    }
+    if let Some(chain) = &metrics.filter_chain {
+        println!("filter chain (hybrid screens)");
+        println!(
+            "  tested {}  apsis {}  path {}  time {}  coplanar {}  kept {}",
+            chain.tested,
+            chain.excluded_apsis,
+            chain.excluded_path,
+            chain.excluded_time,
+            chain.coplanar,
+            chain.kept
+        );
     }
     if !metrics.requests.is_empty() {
         println!("requests");

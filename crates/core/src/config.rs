@@ -25,6 +25,23 @@ impl Variant {
     }
 }
 
+impl std::str::FromStr for Variant {
+    type Err = String;
+
+    /// Parse the lowercase labels CLI flags use.
+    fn from_str(s: &str) -> Result<Variant, String> {
+        match s {
+            "grid" => Ok(Variant::Grid),
+            "hybrid" => Ok(Variant::Hybrid),
+            "legacy" => Ok(Variant::Legacy),
+            "sieve" => Ok(Variant::Sieve),
+            other => Err(format!(
+                "unknown variant `{other}` (expected grid, hybrid, legacy, or sieve)"
+            )),
+        }
+    }
+}
+
 /// Full configuration of a screening run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ScreeningConfig {
@@ -177,5 +194,19 @@ mod tests {
         assert_eq!(Variant::Grid.label(), "grid");
         assert_eq!(Variant::Hybrid.label(), "hybrid");
         assert_eq!(Variant::Legacy.label(), "legacy");
+    }
+
+    #[test]
+    fn variant_parses_its_own_labels() {
+        for v in [
+            Variant::Grid,
+            Variant::Hybrid,
+            Variant::Legacy,
+            Variant::Sieve,
+        ] {
+            assert_eq!(v.label().parse::<Variant>(), Ok(v));
+        }
+        assert!("cube".parse::<Variant>().is_err());
+        assert!("Grid".parse::<Variant>().is_err(), "labels are lowercase");
     }
 }

@@ -50,11 +50,15 @@ pub mod timing;
 pub use cancel::{CancelToken, Cancelled};
 pub use config::{ScreeningConfig, Variant};
 pub use conjunction::{Conjunction, ScreeningReport};
+pub use kessler_filters::chain::FilterStatsSnapshot;
+pub use kessler_filters::{FilterChain, FilterConfig, FilterDecision};
 pub use metrics::{Histogram, HistogramSummary, PhaseSeries, PhaseSummaries};
 pub use planner::{MemoryModel, PlannerReport};
 pub use screener::gpu::{GpuGridScreener, GpuHybridScreener, MultiDeviceGridScreener};
 pub use screener::grid::GridScreener;
-pub use screener::hybrid::HybridScreener;
+pub use screener::hybrid::{
+    group_pairs, hybrid_screen_job, refine_filtered_pair, GroupedPair, HybridScreener,
+};
 pub use screener::legacy::LegacyScreener;
 pub use screener::sgp4_grid::Sgp4GridScreener;
 pub use screener::sieve::SieveScreener;

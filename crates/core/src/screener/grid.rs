@@ -29,12 +29,21 @@ pub struct GridScreener {
 }
 
 impl GridScreener {
-    pub fn new(config: ScreeningConfig) -> GridScreener {
-        config.validate().expect("invalid screening configuration");
-        GridScreener {
+    /// Fallible constructor: an invalid configuration is an `Err`, never a
+    /// panic. Long-running callers (the service daemon) use this so a bad
+    /// config becomes an error response instead of a crash.
+    pub fn try_new(config: ScreeningConfig) -> Result<GridScreener, String> {
+        config.validate()?;
+        Ok(GridScreener {
             config,
             solver: ContourSolver::default(),
-        }
+        })
+    }
+
+    /// Panicking convenience wrapper around [`GridScreener::try_new`] for
+    /// bench/CLI paths where an invalid config is a programming error.
+    pub fn new(config: ScreeningConfig) -> GridScreener {
+        GridScreener::try_new(config).expect("invalid screening configuration")
     }
 
     pub fn config(&self) -> &ScreeningConfig {
@@ -274,5 +283,12 @@ mod tests {
         let mut config = ScreeningConfig::grid_defaults(2.0, 600.0);
         config.threshold_km = -1.0;
         GridScreener::new(config);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config_without_panicking() {
+        let mut config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        config.threshold_km = -1.0;
+        assert!(GridScreener::try_new(config).is_err());
     }
 }

@@ -28,7 +28,10 @@ pub(crate) struct GridPhaseOutput {
 
 /// Run the grid phase with the (possibly planner-adjusted) configuration.
 /// Dispatches to the multi-grid round path when `config.parallel_steps`
-/// requests step-level parallelism.
+/// requests step-level parallelism. Production paths all go through
+/// `run_grid_phase_cancellable` now; this uncancellable wrapper remains
+/// for the phase tests.
+#[cfg(test)]
 pub(crate) fn run_grid_phase(
     propagator: &BatchPropagator,
     config: &ScreeningConfig,
@@ -39,7 +42,7 @@ pub(crate) fn run_grid_phase(
         .expect("grid phase without a token cannot be cancelled")
 }
 
-/// Like [`run_grid_phase`], but checks `cancel` between sampling steps
+/// Like `run_grid_phase`, but checks `cancel` between sampling steps
 /// (and between rounds on the multi-grid path). A never-tripped token
 /// yields output identical to the plain path.
 pub(crate) fn run_grid_phase_cancellable(

@@ -2,18 +2,24 @@
 //! cells and steps, classical orbital filters on the candidates, Brent
 //! refinement inside the filter-derived time windows.
 
+use crate::cancel::{check_opt, CancelToken, Cancelled};
 use crate::config::{ScreeningConfig, Variant};
 use crate::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
-use crate::planner::MemoryModel;
+use crate::planner::{MemoryModel, PlannerReport};
 use crate::refine::{grid_refine_interval, refine_pair};
-use crate::screener::grid_phase::run_grid_phase;
+use crate::screener::grid_phase::run_grid_phase_cancellable;
 use crate::screener::{run_in_pool, Screener};
 use crate::timing::{PhaseTimer, PhaseTimings};
 use kessler_filters::{FilterChain, FilterConfig, FilterDecision};
 use kessler_math::Interval;
+use kessler_orbits::propagator::PropagationConstants;
 use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Filter evaluation and refinement proceed in chunks of this many grouped
+/// pairs between cancellation checks — same granularity as the grid path.
+const REFINE_CHUNK: usize = 8192;
 
 /// Hybrid conjunction screener.
 pub struct HybridScreener {
@@ -23,20 +29,29 @@ pub struct HybridScreener {
 }
 
 /// A unique candidate pair with every sampling step the grid saw it at.
-struct GroupedPair {
-    id_lo: u32,
-    id_hi: u32,
-    steps: Vec<u32>,
+pub struct GroupedPair {
+    pub id_lo: u32,
+    pub id_hi: u32,
+    pub steps: Vec<u32>,
 }
 
 impl HybridScreener {
-    pub fn new(config: ScreeningConfig) -> HybridScreener {
-        config.validate().expect("invalid screening configuration");
-        HybridScreener {
+    /// Fallible constructor: an invalid configuration is an `Err`, never a
+    /// panic. Long-running callers (the service daemon) use this so a bad
+    /// config becomes an error response instead of a crash.
+    pub fn try_new(config: ScreeningConfig) -> Result<HybridScreener, String> {
+        config.validate()?;
+        Ok(HybridScreener {
             config,
             filter_config: FilterConfig::new(config.threshold_km),
             solver: ContourSolver::default(),
-        }
+        })
+    }
+
+    /// Panicking convenience wrapper around [`HybridScreener::try_new`]
+    /// for bench/CLI paths where an invalid config is a programming error.
+    pub fn new(config: ScreeningConfig) -> HybridScreener {
+        HybridScreener::try_new(config).expect("invalid screening configuration")
     }
 
     /// Override the filter configuration (padding, coplanarity tolerance).
@@ -48,10 +63,28 @@ impl HybridScreener {
     pub fn config(&self) -> &ScreeningConfig {
         &self.config
     }
+
+    /// Screen `population` while checking `cancel` at phase boundaries:
+    /// between grid sampling steps, between filter-evaluation chunks, and
+    /// between refinement chunks of [`REFINE_CHUNK`] grouped pairs. A
+    /// screen that completes without the token tripping returns exactly
+    /// the report [`Screener::screen`] would have produced.
+    pub fn screen_cancellable(
+        &self,
+        population: &[KeplerElements],
+        cancel: &CancelToken,
+    ) -> Result<ScreeningReport, Cancelled> {
+        let config = self.config;
+        let filter_config = self.filter_config;
+        let solver = self.solver;
+        run_in_pool(config.threads, move || {
+            hybrid_screen_job(&config, &filter_config, &solver, population, Some(cancel))
+        })
+    }
 }
 
 /// Collapse (pair, step) entries into unique pairs with their step lists.
-fn group_pairs(mut entries: Vec<kessler_grid::CandidatePair>) -> Vec<GroupedPair> {
+pub fn group_pairs(mut entries: Vec<kessler_grid::CandidatePair>) -> Vec<GroupedPair> {
     entries.sort_unstable();
     let mut out: Vec<GroupedPair> = Vec::new();
     for e in entries {
@@ -67,124 +100,147 @@ fn group_pairs(mut entries: Vec<kessler_grid::CandidatePair>) -> Vec<GroupedPair
     out
 }
 
+/// Step 4 (§IV-C) for one filtered pair: non-coplanar survivors search the
+/// filter windows; coplanar pairs fall back to the grid-style per-step
+/// intervals; excluded pairs produce nothing. Shared between the cold
+/// hybrid screen and the service's hybrid delta path.
+pub fn refine_filtered_pair(
+    a: &PropagationConstants,
+    b: &PropagationConstants,
+    solver: &ContourSolver,
+    pair: &GroupedPair,
+    decision: &FilterDecision,
+    planner: &PlannerReport,
+    threshold_km: f64,
+) -> Vec<Conjunction> {
+    let mut local: Vec<Conjunction> = Vec::new();
+    match decision {
+        FilterDecision::Windows(windows) => {
+            for w in windows {
+                // Pad a little so boundary minima are interior;
+                // refine_pair clips escapes.
+                let padded = w.padded(1.0);
+                if let Some(c) =
+                    refine_pair(a, b, solver, pair.id_lo, pair.id_hi, padded, threshold_km)
+                {
+                    local.push(c);
+                }
+            }
+        }
+        FilterDecision::Coplanar => {
+            for &step in &pair.steps {
+                let t = step as f64 * planner.seconds_per_sample;
+                let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
+                if let Some(c) =
+                    refine_pair(a, b, solver, pair.id_lo, pair.id_hi, interval, threshold_km)
+                {
+                    local.push(c);
+                }
+            }
+        }
+        FilterDecision::ExcludedApsis
+        | FilterDecision::ExcludedPath
+        | FilterDecision::ExcludedTime => {}
+    }
+    local
+}
+
+/// The full hybrid pipeline as a pure, cancellable job function, shared
+/// between [`Screener::screen`], [`HybridScreener::screen_cancellable`],
+/// and the service execution layer. Must be called from inside the rayon
+/// pool the caller wants the parallel phases to run on.
+pub fn hybrid_screen_job(
+    config: &ScreeningConfig,
+    filter_config: &FilterConfig,
+    solver: &ContourSolver,
+    population: &[KeplerElements],
+    cancel: Option<&CancelToken>,
+) -> Result<ScreeningReport, Cancelled> {
+    let wall = Instant::now();
+    let mut timings = PhaseTimings::default();
+    let planner = MemoryModel::new(Variant::Hybrid).plan(population.len(), config);
+
+    let propagator = BatchPropagator::new(population);
+
+    // Grid pre-filter at the (possibly reduced) hybrid step size.
+    let phase = run_grid_phase_cancellable(&propagator, config, &planner, &mut timings, cancel)?;
+    let candidate_entries = phase.entries.len();
+    let grouped = group_pairs(phase.entries);
+    let candidate_pairs = grouped.len();
+
+    // Step 3 (§III): orbital filters on the unique pairs. Chunked so a
+    // tripped token is observed between chunks; chunk outputs extend in
+    // order, which keeps the result identical to one par_iter pass.
+    let chain = FilterChain::new(*filter_config);
+    let span = Interval::new(0.0, config.span_seconds);
+    let mut decisions: Vec<FilterDecision> = Vec::with_capacity(grouped.len());
+    {
+        let _timer = PhaseTimer::start(&mut timings.filters);
+        for chunk in grouped.chunks(REFINE_CHUNK) {
+            check_opt(cancel)?;
+            decisions.par_extend(chunk.par_iter().map(|g| {
+                chain.evaluate(
+                    &population[g.id_lo as usize],
+                    &population[g.id_hi as usize],
+                    span,
+                )
+            }));
+        }
+    }
+
+    // Step 4: PCA/TCA determination inside the filter-derived windows.
+    let mut found: Vec<Conjunction> = Vec::new();
+    {
+        let _timer = PhaseTimer::start(&mut timings.refinement);
+        let constants = propagator.constants();
+        for (gchunk, dchunk) in grouped
+            .chunks(REFINE_CHUNK)
+            .zip(decisions.chunks(REFINE_CHUNK))
+        {
+            check_opt(cancel)?;
+            found.par_extend(gchunk.par_iter().zip(dchunk.par_iter()).flat_map_iter(
+                |(g, decision)| {
+                    refine_filtered_pair(
+                        &constants[g.id_lo as usize],
+                        &constants[g.id_hi as usize],
+                        solver,
+                        g,
+                        decision,
+                        &planner,
+                        config.threshold_km,
+                    )
+                },
+            ));
+        }
+    }
+    let mut found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+    // Conjunctions must lie inside the screened span.
+    found.retain(|c| c.tca >= span.start - 1e-9 && c.tca <= span.end + 1e-9);
+
+    timings.total = wall.elapsed();
+    Ok(ScreeningReport {
+        variant: Variant::Hybrid.label().to_string(),
+        n_satellites: population.len(),
+        config: *config,
+        conjunctions: found,
+        candidate_entries,
+        candidate_pairs,
+        pair_set_regrows: phase.regrows,
+        timings,
+        planner,
+        filter_stats: Some(chain.stats.snapshot()),
+        device_metrics: None,
+    })
+}
+
 impl Screener for HybridScreener {
     fn screen(&self, population: &[KeplerElements]) -> ScreeningReport {
         let config = self.config;
         let filter_config = self.filter_config;
         let solver = self.solver;
         run_in_pool(config.threads, move || {
-            let wall = Instant::now();
-            let mut timings = PhaseTimings::default();
-            let planner = MemoryModel::new(Variant::Hybrid).plan(population.len(), &config);
-
-            let propagator = BatchPropagator::new(population);
-
-            // Grid pre-filter at the (possibly reduced) hybrid step size.
-            let phase = run_grid_phase(&propagator, &config, &planner, &mut timings);
-            let candidate_entries = phase.entries.len();
-            let grouped = group_pairs(phase.entries);
-            let candidate_pairs = grouped.len();
-
-            // Step 3 (§III): orbital filters on the unique pairs.
-            let chain = FilterChain::new(filter_config);
-            let span = Interval::new(0.0, config.span_seconds);
-            let decisions: Vec<FilterDecision>;
-            {
-                let _timer = PhaseTimer::start(&mut timings.filters);
-                decisions = grouped
-                    .par_iter()
-                    .map(|g| {
-                        chain.evaluate(
-                            &population[g.id_lo as usize],
-                            &population[g.id_hi as usize],
-                            span,
-                        )
-                    })
-                    .collect();
-            }
-
-            // Step 4: PCA/TCA determination. Non-coplanar survivors search
-            // the filter windows; coplanar pairs fall back to the
-            // grid-style per-step intervals (§IV-C).
-            let mut found: Vec<Conjunction>;
-            {
-                let _timer = PhaseTimer::start(&mut timings.refinement);
-                let constants = propagator.constants();
-                found = grouped
-                    .par_iter()
-                    .zip(decisions.par_iter())
-                    .flat_map_iter(|(g, decision)| {
-                        let a = &constants[g.id_lo as usize];
-                        let b = &constants[g.id_hi as usize];
-                        let mut local: Vec<Conjunction> = Vec::new();
-                        match decision {
-                            FilterDecision::Windows(windows) => {
-                                for w in windows {
-                                    // Pad a little so boundary minima are
-                                    // interior; refine_pair clips escapes.
-                                    let padded = w.padded(1.0);
-                                    if let Some(c) = refine_pair(
-                                        a,
-                                        b,
-                                        &solver,
-                                        g.id_lo,
-                                        g.id_hi,
-                                        padded,
-                                        config.threshold_km,
-                                    ) {
-                                        local.push(c);
-                                    }
-                                }
-                            }
-                            FilterDecision::Coplanar => {
-                                for &step in &g.steps {
-                                    let t = step as f64 * planner.seconds_per_sample;
-                                    let interval = grid_refine_interval(
-                                        a,
-                                        b,
-                                        &solver,
-                                        t,
-                                        planner.cell_size_km,
-                                    );
-                                    if let Some(c) = refine_pair(
-                                        a,
-                                        b,
-                                        &solver,
-                                        g.id_lo,
-                                        g.id_hi,
-                                        interval,
-                                        config.threshold_km,
-                                    ) {
-                                        local.push(c);
-                                    }
-                                }
-                            }
-                            FilterDecision::ExcludedApsis
-                            | FilterDecision::ExcludedPath
-                            | FilterDecision::ExcludedTime => {}
-                        }
-                        local
-                    })
-                    .collect();
-            }
-            found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
-            // Conjunctions must lie inside the screened span.
-            found.retain(|c| c.tca >= span.start - 1e-9 && c.tca <= span.end + 1e-9);
-
-            timings.total = wall.elapsed();
-            ScreeningReport {
-                variant: Variant::Hybrid.label().to_string(),
-                n_satellites: population.len(),
-                config,
-                conjunctions: found,
-                candidate_entries,
-                candidate_pairs,
-                pair_set_regrows: phase.regrows,
-                timings,
-                planner,
-                filter_stats: Some(chain.stats.snapshot()),
-                device_metrics: None,
-            }
+            hybrid_screen_job(&config, &filter_config, &solver, population, None)
+                .expect("uncancellable screen cannot be cancelled")
         })
     }
 
@@ -301,5 +357,50 @@ mod tests {
         let config = ScreeningConfig::hybrid_defaults(2.0, 60.0);
         let report = HybridScreener::new(config).screen(&[]);
         assert_eq!(report.conjunction_count(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config_without_panicking() {
+        let mut config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        config.threshold_km = -1.0;
+        assert!(HybridScreener::try_new(config).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid screening configuration")]
+    fn new_panics_on_invalid_config() {
+        let mut config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        config.span_seconds = 0.0;
+        HybridScreener::new(config);
+    }
+
+    #[test]
+    fn cancellable_screen_matches_plain_screen_when_never_cancelled() {
+        let pop = crossing_pair_population();
+        let config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        let screener = HybridScreener::new(config);
+        let plain = screener.screen(&pop);
+        let token = CancelToken::new();
+        let tokened = screener
+            .screen_cancellable(&pop, &token)
+            .expect("never tripped");
+        assert_eq!(plain.conjunction_count(), tokened.conjunction_count());
+        assert_eq!(plain.candidate_entries, tokened.candidate_entries);
+        assert_eq!(plain.filter_stats, tokened.filter_stats);
+        for (a, b) in plain.conjunctions.iter().zip(&tokened.conjunctions) {
+            assert_eq!(a.pair(), b.pair());
+            assert_eq!(a.tca.to_bits(), b.tca.to_bits());
+            assert_eq!(a.pca_km.to_bits(), b.pca_km.to_bits());
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_before_any_work() {
+        let pop = crossing_pair_population();
+        let config = ScreeningConfig::hybrid_defaults(2.0, 600.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = HybridScreener::new(config).screen_cancellable(&pop, &token);
+        assert_eq!(result.unwrap_err(), Cancelled);
     }
 }

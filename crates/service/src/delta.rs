@@ -25,20 +25,108 @@ use kessler_core::cancel::{check_opt, CancelToken, Cancelled};
 use kessler_core::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
 use kessler_core::refine::{grid_refine_interval, refine_pair};
 use kessler_core::timing::{PhaseTimer, PhaseTimings};
-use kessler_core::{GridScreener, MemoryModel, Screener, ScreeningConfig, Variant};
+use kessler_core::{
+    group_pairs, refine_filtered_pair, FilterChain, FilterConfig, FilterDecision,
+    FilterStatsSnapshot, GridScreener, HybridScreener, MemoryModel, Screener, ScreeningConfig,
+    Variant,
+};
 use kessler_grid::cellkey::cell_key_of;
 use kessler_grid::neighbor::FULL_NEIGHBORHOOD;
 use kessler_grid::pairset::CandidatePair;
 use kessler_grid::SpatialGrid;
-use kessler_math::Vec3;
+use kessler_math::{Interval, Vec3};
 use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
 use rayon::prelude::*;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Variant label delta reports carry.
+/// Variant label grid delta reports carry.
 pub const DELTA_VARIANT: &str = "grid-delta";
+
+/// Variant label hybrid delta reports carry.
+pub const HYBRID_DELTA_VARIANT: &str = "hybrid-delta";
+
+/// The screening pipeline a service engine runs: which variant, its
+/// validated configuration, and the filter/solver setup the jobs share.
+/// Built only through the fallible [`Pipeline::new`], so a bad
+/// variant/config combination is an error response at construction time,
+/// never a panic inside a running job.
+#[derive(Clone, Copy)]
+pub struct Pipeline {
+    variant: Variant,
+    config: ScreeningConfig,
+    filter_config: FilterConfig,
+    solver: ContourSolver,
+}
+
+impl Pipeline {
+    pub fn new(config: ScreeningConfig, variant: Variant) -> Result<Pipeline, String> {
+        match variant {
+            Variant::Grid | Variant::Hybrid => {}
+            other => {
+                return Err(format!(
+                    "the service screens with the grid or hybrid variant, not `{}`",
+                    other.label()
+                ));
+            }
+        }
+        config.validate()?;
+        Ok(Pipeline {
+            variant,
+            config,
+            filter_config: FilterConfig::new(config.threshold_km),
+            solver: ContourSolver::default(),
+        })
+    }
+
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    pub fn config(&self) -> &ScreeningConfig {
+        &self.config
+    }
+
+    /// Variant label this pipeline's delta screens report.
+    pub fn delta_variant(&self) -> &'static str {
+        match self.variant {
+            Variant::Hybrid => HYBRID_DELTA_VARIANT,
+            _ => DELTA_VARIANT,
+        }
+    }
+
+    /// Run one full screen of `population` under `config` (the advance
+    /// path passes a shortened-span copy for the tail). The screeners are
+    /// built through their fallible constructors; `Pipeline::new` already
+    /// validated the config, so construction cannot fail here.
+    fn screen_full(
+        &self,
+        config: &ScreeningConfig,
+        population: &[KeplerElements],
+        cancel: Option<&CancelToken>,
+    ) -> Result<ScreeningReport, Cancelled> {
+        match self.variant {
+            Variant::Hybrid => {
+                let screener = HybridScreener::try_new(*config)
+                    .expect("pipeline config was validated at construction")
+                    .with_filter_config(self.filter_config);
+                match cancel {
+                    Some(token) => screener.screen_cancellable(population, token),
+                    None => Ok(screener.screen(population)),
+                }
+            }
+            _ => {
+                let screener = GridScreener::try_new(*config)
+                    .expect("pipeline config was validated at construction");
+                match cancel {
+                    Some(token) => screener.screen_cancellable(population, token),
+                    None => Ok(screener.screen(population)),
+                }
+            }
+        }
+    }
+}
 
 /// Refinement proceeds in chunks of this many candidates between
 /// cancellation checks (mirrors the grid screener's granularity).
@@ -78,8 +166,7 @@ pub struct AdvanceOutcome {
 /// follows with worker threads, which is what keeps the concurrent path
 /// equivalent to this synchronous one.
 pub struct DeltaEngine {
-    config: ScreeningConfig,
-    solver: ContourSolver,
+    pipeline: Pipeline,
     /// Maintained conjunction set, grouped by satellite pair. TCAs are
     /// seconds past the *current* element epoch (window-relative). Behind
     /// `Arc` so jobs can hold the warm set while the engine moves on.
@@ -89,25 +176,36 @@ pub struct DeltaEngine {
     full_screens: u64,
     delta_screens: u64,
     last_timings: PhaseTimings,
+    /// Variant label of the last *adopted* screen (full label for full
+    /// screens and advance tails, delta label for deltas); `None` until
+    /// one has been adopted or restored.
+    last_variant: Option<String>,
+    /// Filter-chain stats of the last adopted screen, when the variant
+    /// runs the chain.
+    last_filter_stats: Option<FilterStatsSnapshot>,
 }
 
 impl DeltaEngine {
+    /// Grid-variant engine (the historical default).
     pub fn new(config: ScreeningConfig) -> Result<DeltaEngine, String> {
-        config.validate()?;
+        DeltaEngine::with_variant(config, Variant::Grid)
+    }
+
+    /// Engine screening with `variant` (grid or hybrid).
+    pub fn with_variant(config: ScreeningConfig, variant: Variant) -> Result<DeltaEngine, String> {
         Ok(DeltaEngine {
-            config,
-            solver: ContourSolver::default(),
+            pipeline: Pipeline::new(config, variant)?,
             pairs: Arc::new(PairMap::new()),
             screened_n: None,
             full_screens: 0,
             delta_screens: 0,
             last_timings: PhaseTimings::default(),
+            last_variant: None,
+            last_filter_stats: None,
         })
     }
 
-    /// Rebuild a warm engine from snapshotted state (see the service's
-    /// persistence layer): screen counters plus the maintained conjunction
-    /// set, regrouped by pair.
+    /// Rebuild a warm grid-variant engine from snapshotted state.
     pub fn restore(
         config: ScreeningConfig,
         screened_n: Option<usize>,
@@ -115,7 +213,28 @@ impl DeltaEngine {
         delta_screens: u64,
         conjunctions: &[Conjunction],
     ) -> Result<DeltaEngine, String> {
-        let mut engine = DeltaEngine::new(config)?;
+        DeltaEngine::restore_with_variant(
+            config,
+            Variant::Grid,
+            screened_n,
+            full_screens,
+            delta_screens,
+            conjunctions,
+        )
+    }
+
+    /// Rebuild a warm engine from snapshotted state (see the service's
+    /// persistence layer): screen counters plus the maintained conjunction
+    /// set, regrouped by pair.
+    pub fn restore_with_variant(
+        config: ScreeningConfig,
+        variant: Variant,
+        screened_n: Option<usize>,
+        full_screens: u64,
+        delta_screens: u64,
+        conjunctions: &[Conjunction],
+    ) -> Result<DeltaEngine, String> {
+        let mut engine = DeltaEngine::with_variant(config, variant)?;
         if screened_n.is_none() && !conjunctions.is_empty() {
             return Err(format!(
                 "cold engine cannot hold {} conjunctions",
@@ -138,7 +257,17 @@ impl DeltaEngine {
     }
 
     pub fn config(&self) -> &ScreeningConfig {
-        &self.config
+        self.pipeline.config()
+    }
+
+    /// The screening variant this engine runs.
+    pub fn variant(&self) -> Variant {
+        self.pipeline.variant()
+    }
+
+    /// The full screening pipeline (for capturing jobs against).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
     }
 
     /// `true` once a full screen has populated the maintained set.
@@ -164,11 +293,30 @@ impl DeltaEngine {
         &self.last_timings
     }
 
-    /// Adopt snapshotted last-screen timings after [`DeltaEngine::restore`]
-    /// (which otherwise leaves them zeroed), so a recovered daemon's STATUS
-    /// keeps reporting the pre-crash screen cost.
-    pub fn restore_last_timings(&mut self, timings: PhaseTimings) {
+    /// Variant label of the last adopted screen (e.g. `grid`,
+    /// `hybrid-delta`); `None` until one has been adopted or restored.
+    pub fn last_variant(&self) -> Option<&str> {
+        self.last_variant.as_deref()
+    }
+
+    /// Filter-chain stats of the last adopted screen, when the variant
+    /// runs the chain (hybrid); `None` otherwise.
+    pub fn last_filter_stats(&self) -> Option<FilterStatsSnapshot> {
+        self.last_filter_stats
+    }
+
+    /// Adopt snapshotted last-screen info after [`DeltaEngine::restore`]
+    /// (which otherwise leaves it zeroed), so a recovered daemon's STATUS
+    /// keeps reporting the pre-crash screen cost and variant.
+    pub fn restore_last_screen(
+        &mut self,
+        variant: String,
+        timings: PhaseTimings,
+        filter_stats: Option<FilterStatsSnapshot>,
+    ) {
+        self.last_variant = Some(variant);
         self.last_timings = timings;
+        self.last_filter_stats = filter_stats;
     }
 
     /// Number of maintained conjunctions.
@@ -187,34 +335,48 @@ impl DeltaEngine {
         Arc::clone(&self.pairs)
     }
 
-    pub(crate) fn solver(&self) -> ContourSolver {
-        self.solver
-    }
-
     /// Adopt a completed full screen as the maintained set.
-    pub(crate) fn adopt_full(&mut self, pairs: PairMap, n: usize, timings: PhaseTimings) {
+    pub(crate) fn adopt_full(
+        &mut self,
+        pairs: PairMap,
+        n: usize,
+        timings: PhaseTimings,
+        filter_stats: Option<FilterStatsSnapshot>,
+    ) {
         self.pairs = Arc::new(pairs);
         self.screened_n = Some(n);
         self.full_screens += 1;
         self.last_timings = timings;
+        self.last_variant = Some(self.pipeline.variant().label().to_string());
+        self.last_filter_stats = filter_stats;
     }
 
     /// Adopt a completed delta screen as the maintained set.
-    pub(crate) fn adopt_delta(&mut self, pairs: PairMap, n: usize, timings: PhaseTimings) {
+    pub(crate) fn adopt_delta(
+        &mut self,
+        pairs: PairMap,
+        n: usize,
+        timings: PhaseTimings,
+        filter_stats: Option<FilterStatsSnapshot>,
+    ) {
         self.pairs = Arc::new(pairs);
         self.screened_n = Some(n);
         self.delta_screens += 1;
         self.last_timings = timings;
+        self.last_variant = Some(self.pipeline.delta_variant().to_string());
+        self.last_filter_stats = filter_stats;
     }
 
     /// Adopt a completed window advance; `fold` records which pre-screen
     /// the advance ran to bring the engine current, so the screen counters
-    /// match the synchronous path.
+    /// match the synchronous path. The last-screen info describes the tail
+    /// screen, which runs the engine's full variant.
     pub(crate) fn adopt_advance(
         &mut self,
         pairs: PairMap,
         n: usize,
         timings: PhaseTimings,
+        filter_stats: Option<FilterStatsSnapshot>,
         fold: AdvanceFold,
     ) {
         self.pairs = Arc::new(pairs);
@@ -225,16 +387,19 @@ impl DeltaEngine {
             AdvanceFold::Delta => self.delta_screens += 1,
         }
         self.last_timings = timings;
+        self.last_variant = Some(self.pipeline.variant().label().to_string());
+        self.last_filter_stats = filter_stats;
     }
 
     /// Cold full screen; adopts the result as the maintained set.
     pub fn full_screen(&mut self, population: &[KeplerElements]) -> ScreeningReport {
-        let report = full_screen_job(&self.config, population, None)
+        let report = full_screen_job(&self.pipeline, population, None)
             .expect("uncancellable screen cannot be cancelled");
         self.adopt_full(
             pairs_from_conjunctions(&report.conjunctions),
             report.n_satellites,
             report.timings,
+            report.filter_stats,
         );
         report
     }
@@ -272,16 +437,15 @@ impl DeltaEngine {
         if self.screened_n.is_none() {
             return self.full_screen(population);
         }
-        let (report, pairs) = delta_screen_job(
-            &self.config,
-            &self.solver,
-            population,
-            changed,
-            &self.pairs,
-            None,
-        )
-        .expect("uncancellable screen cannot be cancelled");
-        self.adopt_delta(pairs, report.n_satellites, report.timings);
+        let (report, pairs) =
+            delta_screen_job(&self.pipeline, population, changed, &self.pairs, None)
+                .expect("uncancellable screen cannot be cancelled");
+        self.adopt_delta(
+            pairs,
+            report.n_satellites,
+            report.timings,
+            report.filter_stats,
+        );
         report
     }
 
@@ -307,11 +471,13 @@ impl DeltaEngine {
 
         let warm = Arc::try_unwrap(std::mem::take(&mut self.pairs))
             .unwrap_or_else(|shared| (*shared).clone());
-        let (pairs, outcome, timings) =
-            advance_window_job(&self.config, population, dt, warm, None)
+        let (pairs, outcome, timings, filter_stats) =
+            advance_window_job(&self.pipeline, population, dt, warm, None)
                 .expect("uncancellable screen cannot be cancelled");
         self.pairs = Arc::new(pairs);
         self.last_timings = timings;
+        self.last_variant = Some(self.pipeline.variant().label().to_string());
+        self.last_filter_stats = filter_stats;
         Ok(outcome)
     }
 }
@@ -344,18 +510,14 @@ pub(crate) fn apply_removal_to_pairs(pairs: &mut PairMap, removal: Removal, new_
     pairs.retain(|&(_, hi), _| (hi as usize) < new_len);
 }
 
-/// Cold full screen as a pure job. With a token, cancellation is checked
-/// at the grid screener's phase boundaries.
+/// Cold full screen as a pure job, with the pipeline's variant. With a
+/// token, cancellation is checked at the screener's phase boundaries.
 pub fn full_screen_job(
-    config: &ScreeningConfig,
+    pipeline: &Pipeline,
     population: &[KeplerElements],
     cancel: Option<&CancelToken>,
 ) -> Result<ScreeningReport, Cancelled> {
-    let screener = GridScreener::new(*config);
-    match cancel {
-        Some(token) => screener.screen_cancellable(population, token),
-        None => Ok(screener.screen(population)),
-    }
+    pipeline.screen_full(pipeline.config(), population, cancel)
 }
 
 /// Delta screen as a pure job: re-screen only the neighbourhoods of
@@ -364,21 +526,24 @@ pub fn full_screen_job(
 /// (directly comparable with a cold full re-screen) while
 /// `candidate_entries`/`candidate_pairs` count only the delta work.
 ///
-/// `cancel` is checked between grid sampling steps and between refinement
-/// chunks; the inputs are never mutated, so a cancelled job leaves no
-/// trace.
+/// `cancel` is checked between grid sampling steps, between filter
+/// chunks, and between refinement chunks; the inputs are never mutated,
+/// so a cancelled job leaves no trace.
 pub fn delta_screen_job(
-    config: &ScreeningConfig,
-    solver: &ContourSolver,
+    pipeline: &Pipeline,
     population: &[KeplerElements],
     changed: &[u32],
     warm: &PairMap,
     cancel: Option<&CancelToken>,
 ) -> Result<(ScreeningReport, PairMap), Cancelled> {
+    let config = pipeline.config();
+    let solver = &pipeline.solver;
     let wall = Instant::now();
     let mut timings = PhaseTimings::default();
     let n = population.len();
-    let planner = MemoryModel::new(Variant::Grid).plan(n, config);
+    // Plan with the pipeline's variant so extraction runs at the same
+    // cell/step sizes as the cold full screen it must exactly equal.
+    let planner = MemoryModel::new(pipeline.variant()).plan(n, config);
 
     // Stale-pair invalidation: every pair involving a changed satellite is
     // recomputed from scratch below; pairs past the population end cannot
@@ -440,36 +605,90 @@ pub fn delta_screen_job(
         }
     }
 
-    // Refinement: identical parameters to `GridScreener::screen`, so a
+    // Refinement: identical parameters to the variant's cold screen, so a
     // changed pair refines to bit-identical conjunctions. Chunked so a
     // tripped token is observed between chunks; `dedup_conjunctions`
     // sorts, so chunk order does not affect the result.
     let mut found: Vec<Conjunction> = Vec::new();
-    {
-        let _timer = PhaseTimer::start(&mut timings.refinement);
-        let constants = propagator.constants();
-        let mut entry_list: Vec<CandidatePair> = entries.iter().copied().collect();
-        entry_list.sort_unstable();
-        for chunk in entry_list.chunks(REFINE_CHUNK) {
-            check_opt(cancel)?;
-            found.par_extend(chunk.par_iter().filter_map(|entry| {
-                let a = &constants[entry.id_lo as usize];
-                let b = &constants[entry.id_hi as usize];
-                let t = entry.step as f64 * planner.seconds_per_sample;
-                let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
-                refine_pair(
-                    a,
-                    b,
-                    solver,
-                    entry.id_lo,
-                    entry.id_hi,
-                    interval,
-                    config.threshold_km,
-                )
-            }));
+    let mut filter_stats: Option<FilterStatsSnapshot> = None;
+    let constants = propagator.constants();
+    let mut entry_list: Vec<CandidatePair> = entries.iter().copied().collect();
+    entry_list.sort_unstable();
+    match pipeline.variant() {
+        Variant::Hybrid => {
+            // The cold hybrid pipeline restricted to changed pairs: group
+            // the (pair, step) entries, run the orbital filter chain, then
+            // refine inside the filter-derived windows (coplanar pairs
+            // fall back to per-step intervals).
+            let grouped = group_pairs(entry_list);
+            let chain = FilterChain::new(pipeline.filter_config);
+            let span = Interval::new(0.0, config.span_seconds);
+            let mut decisions: Vec<FilterDecision> = Vec::with_capacity(grouped.len());
+            {
+                let _timer = PhaseTimer::start(&mut timings.filters);
+                for chunk in grouped.chunks(REFINE_CHUNK) {
+                    check_opt(cancel)?;
+                    decisions.par_extend(chunk.par_iter().map(|g| {
+                        chain.evaluate(
+                            &population[g.id_lo as usize],
+                            &population[g.id_hi as usize],
+                            span,
+                        )
+                    }));
+                }
+            }
+            {
+                let _timer = PhaseTimer::start(&mut timings.refinement);
+                for (gchunk, dchunk) in grouped
+                    .chunks(REFINE_CHUNK)
+                    .zip(decisions.chunks(REFINE_CHUNK))
+                {
+                    check_opt(cancel)?;
+                    found.par_extend(gchunk.par_iter().zip(dchunk.par_iter()).flat_map_iter(
+                        |(g, decision)| {
+                            refine_filtered_pair(
+                                &constants[g.id_lo as usize],
+                                &constants[g.id_hi as usize],
+                                solver,
+                                g,
+                                decision,
+                                &planner,
+                                config.threshold_km,
+                            )
+                        },
+                    ));
+                }
+            }
+            filter_stats = Some(chain.stats.snapshot());
+        }
+        _ => {
+            let _timer = PhaseTimer::start(&mut timings.refinement);
+            for chunk in entry_list.chunks(REFINE_CHUNK) {
+                check_opt(cancel)?;
+                found.par_extend(chunk.par_iter().filter_map(|entry| {
+                    let a = &constants[entry.id_lo as usize];
+                    let b = &constants[entry.id_hi as usize];
+                    let t = entry.step as f64 * planner.seconds_per_sample;
+                    let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
+                    refine_pair(
+                        a,
+                        b,
+                        solver,
+                        entry.id_lo,
+                        entry.id_hi,
+                        interval,
+                        config.threshold_km,
+                    )
+                }));
+            }
         }
     }
-    let found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+    let mut found = dedup_conjunctions(found, config.tca_dedup_tolerance_s);
+    if pipeline.variant() == Variant::Hybrid {
+        // The cold hybrid screen clips to the span after dedup; the delta
+        // must apply the identical clip for exact equality.
+        found.retain(|c| c.tca >= -1e-9 && c.tca <= config.span_seconds + 1e-9);
+    }
     for c in found {
         pairs.entry(c.pair()).or_default().push(c);
     }
@@ -483,7 +702,7 @@ pub fn delta_screen_job(
     timings.total = wall.elapsed();
 
     let report = ScreeningReport {
-        variant: DELTA_VARIANT.to_string(),
+        variant: pipeline.delta_variant().to_string(),
         n_satellites: n,
         config: *config,
         conjunctions: sorted_conjunctions(&pairs),
@@ -492,7 +711,7 @@ pub fn delta_screen_job(
         pair_set_regrows: 0,
         timings,
         planner,
-        filter_stats: None,
+        filter_stats,
         device_metrics: None,
     };
     Ok((report, pairs))
@@ -504,12 +723,21 @@ pub fn delta_screen_job(
 /// `population` must already be advanced to the new epoch and `dt` must be
 /// positive and finite (the callers validate).
 pub fn advance_window_job(
-    config: &ScreeningConfig,
+    pipeline: &Pipeline,
     population: &[KeplerElements],
     dt: f64,
     mut pairs: PairMap,
     cancel: Option<&CancelToken>,
-) -> Result<(PairMap, AdvanceOutcome, PhaseTimings), Cancelled> {
+) -> Result<
+    (
+        PairMap,
+        AdvanceOutcome,
+        PhaseTimings,
+        Option<FilterStatsSnapshot>,
+    ),
+    Cancelled,
+> {
+    let config = pipeline.config();
     let span = config.span_seconds;
     let overlap = config.seconds_per_sample;
     check_opt(cancel)?;
@@ -542,10 +770,7 @@ pub fn advance_window_job(
         .collect();
     let mut tail_config = *config;
     tail_config.span_seconds = tail_span;
-    let report = match cancel {
-        Some(token) => GridScreener::new(tail_config).screen_cancellable(&tail_elements, token)?,
-        None => GridScreener::new(tail_config).screen(&tail_elements),
-    };
+    let report = pipeline.screen_full(&tail_config, &tail_elements, cancel)?;
 
     let merge_tol = config.tca_dedup_tolerance_s.max(overlap);
     let mut discovered = 0usize;
@@ -575,6 +800,7 @@ pub fn advance_window_job(
             discovered,
         },
         report.timings,
+        report.filter_stats,
     ))
 }
 
@@ -774,7 +1000,7 @@ mod tests {
         let mut engine = DeltaEngine::new(config).unwrap();
         engine.full_screen(&pop);
         let warm = engine.warm_pairs();
-        let solver = engine.solver();
+        let pipeline = *engine.pipeline();
 
         let mut updated = pop.clone();
         let changed = vec![3u32, 140, 271];
@@ -783,7 +1009,7 @@ mod tests {
         }
         let token = kessler_core::CancelToken::new();
         let (job_report, job_pairs) =
-            delta_screen_job(&config, &solver, &updated, &changed, &warm, Some(&token)).unwrap();
+            delta_screen_job(&pipeline, &updated, &changed, &warm, Some(&token)).unwrap();
         let sync_report = engine.delta_screen(&updated, &changed);
         assert_eq!(
             job_report.conjunction_count(),
@@ -812,11 +1038,10 @@ mod tests {
 
         let token = kessler_core::CancelToken::new();
         token.cancel();
-        assert!(full_screen_job(&config, &pop, Some(&token)).is_err());
-        assert!(
-            delta_screen_job(&config, &engine.solver(), &pop, &[0], &warm, Some(&token)).is_err()
-        );
-        assert!(advance_window_job(&config, &pop, 10.0, (*warm).clone(), Some(&token)).is_err());
+        let pipeline = *engine.pipeline();
+        assert!(full_screen_job(&pipeline, &pop, Some(&token)).is_err());
+        assert!(delta_screen_job(&pipeline, &pop, &[0], &warm, Some(&token)).is_err());
+        assert!(advance_window_job(&pipeline, &pop, 10.0, (*warm).clone(), Some(&token)).is_err());
         // The engine's maintained set is untouched by the aborted jobs.
         assert_eq!(engine.conjunctions(), before);
     }
@@ -827,5 +1052,111 @@ mod tests {
         let mut engine = DeltaEngine::new(config).unwrap();
         assert!(engine.advance_window(&[], -1.0).is_err());
         assert!(engine.advance_window(&[], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pipeline_rejects_unserved_variants() {
+        let config = ScreeningConfig::grid_defaults(2.0, 600.0);
+        assert!(Pipeline::new(config, Variant::Grid).is_ok());
+        assert!(Pipeline::new(config, Variant::Hybrid).is_ok());
+        assert!(Pipeline::new(config, Variant::Legacy).is_err());
+        assert!(Pipeline::new(config, Variant::Sieve).is_err());
+        let mut bad = config;
+        bad.threshold_km = -1.0;
+        assert!(
+            Pipeline::new(bad, Variant::Hybrid).is_err(),
+            "invalid config must be an Err, not a panic"
+        );
+    }
+
+    #[test]
+    fn last_variant_tracks_the_adopted_screen_not_the_counters() {
+        // Regression: STATUS used to report `grid-delta` whenever any
+        // delta had ever run, even after a later full screen.
+        let pop = population(50, 7);
+        let config = ScreeningConfig::grid_defaults(5.0, 60.0);
+        let mut engine = DeltaEngine::new(config).unwrap();
+        assert_eq!(engine.last_variant(), None);
+        engine.full_screen(&pop);
+        assert_eq!(engine.last_variant(), Some("grid"));
+        engine.delta_screen(&pop, &[3]);
+        assert_eq!(engine.last_variant(), Some(DELTA_VARIANT));
+        engine.full_screen(&pop);
+        assert_eq!(
+            engine.last_variant(),
+            Some("grid"),
+            "a full screen after a delta must report the full variant"
+        );
+    }
+
+    #[test]
+    fn hybrid_engine_labels_and_stats() {
+        let pop = population(80, 13);
+        let config = ScreeningConfig::hybrid_defaults(5.0, 120.0);
+        let mut engine = DeltaEngine::with_variant(config, Variant::Hybrid).unwrap();
+        assert_eq!(engine.variant(), Variant::Hybrid);
+        let report = engine.full_screen(&pop);
+        assert_eq!(report.variant, "hybrid");
+        assert_eq!(engine.last_variant(), Some("hybrid"));
+        assert!(engine.last_filter_stats().is_some());
+        let report = engine.delta_screen(&pop, &[5]);
+        assert_eq!(report.variant, HYBRID_DELTA_VARIANT);
+        assert_eq!(engine.last_variant(), Some(HYBRID_DELTA_VARIANT));
+        assert!(report.filter_stats.is_some());
+    }
+
+    #[test]
+    fn hybrid_delta_after_updates_matches_cold_hybrid_screen() {
+        let pop = population(400, 42);
+        let config = ScreeningConfig::hybrid_defaults(5.0, 120.0);
+        let mut engine = DeltaEngine::with_variant(config, Variant::Hybrid).unwrap();
+        engine.full_screen(&pop);
+
+        let mut updated = pop.clone();
+        let changed: Vec<u32> = (0..8).map(|j| j * 41).collect();
+        for &idx in &changed {
+            updated[idx as usize] = perturb(&updated[idx as usize], 1.0);
+        }
+        let delta = engine.delta_screen(&updated, &changed);
+        assert_eq!(delta.variant, HYBRID_DELTA_VARIANT);
+        let cold = kessler_core::HybridScreener::new(config).screen(&updated);
+        assert_eq!(delta.pairs_missing_from(&cold), Vec::<(u32, u32)>::new());
+        assert_eq!(cold.pairs_missing_from(&delta), Vec::<(u32, u32)>::new());
+        assert_eq!(delta.conjunction_count(), cold.conjunction_count());
+        for (d, c) in delta.conjunctions.iter().zip(&cold.conjunctions) {
+            assert_eq!(d.pair(), c.pair());
+            assert_eq!(d.tca.to_bits(), c.tca.to_bits());
+            assert_eq!(d.pca_km.to_bits(), c.pca_km.to_bits());
+        }
+    }
+
+    #[test]
+    fn hybrid_advance_window_screens_the_tail_with_the_chain() {
+        let pop = vec![
+            KeplerElements::new(7_000.0, 0.0, 0.4, 0.0, 0.0, 0.0).unwrap(),
+            KeplerElements::new(7_000.0, 0.0, 1.2, 0.0, 0.0, 0.0).unwrap(),
+        ];
+        let period = pop[0].period();
+        let config = ScreeningConfig::hybrid_defaults(2.0, 0.3 * period);
+        let mut engine = DeltaEngine::with_variant(config, Variant::Hybrid).unwrap();
+        let report = engine.full_screen(&pop);
+        assert!(report.conjunction_count() >= 1, "t = 0 crossing in window");
+
+        let mut catalog = Catalog::new();
+        catalog.add(0, pop[0]).unwrap();
+        catalog.add(1, pop[1]).unwrap();
+        let dt = 0.4 * period;
+        catalog.advance_all(dt);
+        let outcome = engine.advance_window(catalog.elements(), dt).unwrap();
+        assert!(outcome.retired >= 1, "the t = 0 conjunction must retire");
+        // The tail screen ran the filter chain; the engine reports it.
+        assert_eq!(engine.last_variant(), Some("hybrid"));
+        assert!(engine.last_filter_stats().is_some());
+        let live = engine.conjunctions();
+        assert!(
+            live.iter()
+                .any(|c| { c.pair() == (0, 1) && (c.tca - (0.5 * period - dt)).abs() < 2.0 }),
+            "T/2 encounter expected in {live:?}"
+        );
     }
 }

@@ -17,13 +17,13 @@
 use crate::catalog::CatalogSnapshot;
 use crate::delta::{
     advance_window_job, delta_screen_job, full_screen_job, pairs_from_conjunctions, AdvanceFold,
-    AdvanceOutcome, PairMap,
+    AdvanceOutcome, PairMap, Pipeline,
 };
 use kessler_core::cancel::{CancelToken, Cancelled};
 use kessler_core::conjunction::ScreeningReport;
 use kessler_core::timing::PhaseTimings;
-use kessler_core::ScreeningConfig;
-use kessler_orbits::{ContourSolver, KeplerElements};
+use kessler_core::FilterStatsSnapshot;
+use kessler_orbits::KeplerElements;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,8 +49,8 @@ pub struct ScreenJob {
     pub changed: Vec<u32>,
     /// Warm maintained set at capture; `None` while the engine was cold.
     pub warm: Option<Arc<PairMap>>,
-    pub config: ScreeningConfig,
-    pub solver: ContourSolver,
+    /// The engine's screening pipeline (variant + validated config).
+    pub pipeline: Pipeline,
 }
 
 impl ScreenJob {
@@ -70,11 +70,13 @@ pub enum ScreenOutput {
         pairs: PairMap,
     },
     /// A window advance: the slid pair map, retire/discover counts, the
-    /// tail screen's timings, and which pre-screen was folded in.
+    /// tail screen's timings and filter stats (hybrid pipelines), and
+    /// which pre-screen was folded in.
     Advance {
         pairs: PairMap,
         outcome: AdvanceOutcome,
         timings: PhaseTimings,
+        filter_stats: Option<FilterStatsSnapshot>,
         dt: f64,
         fold: AdvanceFold,
     },
@@ -89,7 +91,7 @@ pub fn run_screen_job(
     let elements: &[KeplerElements] = &job.snapshot.elements;
     match job.kind {
         ScreenKind::Full => {
-            let report = full_screen_job(&job.config, elements, cancel)?;
+            let report = full_screen_job(&job.pipeline, elements, cancel)?;
             let pairs = pairs_from_conjunctions(&report.conjunctions);
             Ok(ScreenOutput::Screen {
                 report: Box::new(report),
@@ -99,7 +101,7 @@ pub fn run_screen_job(
         ScreenKind::Delta => match &job.warm {
             // Cold fallback, same as `DeltaEngine::delta_screen`.
             None => {
-                let report = full_screen_job(&job.config, elements, cancel)?;
+                let report = full_screen_job(&job.pipeline, elements, cancel)?;
                 let pairs = pairs_from_conjunctions(&report.conjunctions);
                 Ok(ScreenOutput::Screen {
                     report: Box::new(report),
@@ -107,14 +109,8 @@ pub fn run_screen_job(
                 })
             }
             Some(warm) => {
-                let (report, pairs) = delta_screen_job(
-                    &job.config,
-                    &job.solver,
-                    elements,
-                    &job.changed,
-                    warm,
-                    cancel,
-                )?;
+                let (report, pairs) =
+                    delta_screen_job(&job.pipeline, elements, &job.changed, warm, cancel)?;
                 Ok(ScreenOutput::Screen {
                     report: Box::new(report),
                     pairs,
@@ -126,21 +122,15 @@ pub fn run_screen_job(
             // way the synchronous ADVANCE arm does before sliding.
             let (pairs, fold) = match &job.warm {
                 None => {
-                    let report = full_screen_job(&job.config, elements, cancel)?;
+                    let report = full_screen_job(&job.pipeline, elements, cancel)?;
                     (
                         pairs_from_conjunctions(&report.conjunctions),
                         AdvanceFold::Full,
                     )
                 }
                 Some(warm) if !job.changed.is_empty() => {
-                    let (_, pairs) = delta_screen_job(
-                        &job.config,
-                        &job.solver,
-                        elements,
-                        &job.changed,
-                        warm,
-                        cancel,
-                    )?;
+                    let (_, pairs) =
+                        delta_screen_job(&job.pipeline, elements, &job.changed, warm, cancel)?;
                     (pairs, AdvanceFold::Delta)
                 }
                 Some(warm) => ((**warm).clone(), AdvanceFold::None),
@@ -159,12 +149,13 @@ pub fn run_screen_job(
                     advanced
                 })
                 .collect();
-            let (pairs, outcome, timings) =
-                advance_window_job(&job.config, &advanced, dt, pairs, cancel)?;
+            let (pairs, outcome, timings, filter_stats) =
+                advance_window_job(&job.pipeline, &advanced, dt, pairs, cancel)?;
             Ok(ScreenOutput::Advance {
                 pairs,
                 outcome,
                 timings,
+                filter_stats,
                 dt,
                 fold,
             })
@@ -269,6 +260,7 @@ mod tests {
     use super::*;
     use crate::catalog::Catalog;
     use crate::delta::{sorted_conjunctions, DeltaEngine};
+    use kessler_core::ScreeningConfig;
     use kessler_population::{PopulationConfig, PopulationGenerator};
 
     fn warm_setup(n: usize, seed: u64) -> (Catalog, DeltaEngine, ScreeningConfig) {
@@ -292,8 +284,7 @@ mod tests {
             snapshot: catalog.snapshot(),
             changed: Vec::new(),
             warm: engine.is_warm().then(|| engine.warm_pairs()),
-            config: *engine.config(),
-            solver: engine.solver(),
+            pipeline: *engine.pipeline(),
         }
     }
 

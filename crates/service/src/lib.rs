@@ -13,9 +13,11 @@
 //! - [`delta`] — the [`DeltaEngine`]: maintains a warm conjunction set and,
 //!   when k of n satellites change, re-screens only pairs involving changed
 //!   satellites via grid neighbourhood queries — provably equal to a cold
-//!   full re-screen, at a fraction of the cost when k ≪ n. The screening
-//!   pipelines are pure, cancellable job functions the execution layer
-//!   shares with the synchronous path.
+//!   full re-screen, at a fraction of the cost when k ≪ n. Serves both the
+//!   grid and the hybrid variant: under hybrid, delta candidates run
+//!   through the orbital filter chain before refinement, exactly as a cold
+//!   hybrid screen would. The screening pipelines are pure, cancellable
+//!   job functions the execution layer shares with the synchronous path.
 //! - [`exec`] — the execution layer: screening work captured as
 //!   [`exec::ScreenJob`]s against immutable catalog snapshots, run by a
 //!   pool of supervised workers, cancellable via `CANCEL`, committed back
@@ -51,7 +53,9 @@ pub mod server;
 pub mod wal;
 
 pub use catalog::{Catalog, CatalogError, CatalogSnapshot, Removal};
-pub use delta::{AdvanceOutcome, DeltaEngine, PairMap, DELTA_VARIANT};
+pub use delta::{
+    AdvanceOutcome, DeltaEngine, PairMap, Pipeline, DELTA_VARIANT, HYBRID_DELTA_VARIANT,
+};
 pub use error::{PersistError, ServiceError};
 pub use exec::{CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 pub use fault::FaultPlan;

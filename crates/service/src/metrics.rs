@@ -12,6 +12,7 @@
 
 use kessler_core::metrics::{Histogram, HistogramSummary, PhaseSeries, PhaseSummaries};
 use kessler_core::timing::PhaseTimings;
+use kessler_core::FilterStatsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -53,6 +54,9 @@ pub struct MetricsRegistry {
     worker_respawns: u64,
     /// Jobs cancelled via CANCEL (queued or mid-screen).
     jobs_cancelled: u64,
+    /// Running totals over every hybrid screen's filter-chain counters;
+    /// `None` until the first hybrid screen.
+    filter_chain: Option<FilterStatsSnapshot>,
 }
 
 impl MetricsRegistry {
@@ -61,13 +65,33 @@ impl MetricsRegistry {
     }
 
     /// Record one screen's phase breakdown under its report variant
-    /// (`"grid-delta"` → delta series, anything else → full series).
+    /// (`"grid-delta"`/`"hybrid-delta"` → delta series, anything else →
+    /// full series).
     pub fn record_screen(&mut self, variant: &str, timings: &PhaseTimings) {
-        if variant == crate::delta::DELTA_VARIANT {
+        if variant == crate::delta::DELTA_VARIANT || variant == crate::delta::HYBRID_DELTA_VARIANT {
             self.delta.record(timings);
         } else {
             self.full.record(timings);
         }
+    }
+
+    /// Fold one hybrid screen's filter-chain counters into the running
+    /// totals.
+    pub fn record_filter_chain(&mut self, stats: &FilterStatsSnapshot) {
+        let total = self.filter_chain.get_or_insert(FilterStatsSnapshot {
+            tested: 0,
+            excluded_apsis: 0,
+            excluded_path: 0,
+            excluded_time: 0,
+            coplanar: 0,
+            kept: 0,
+        });
+        total.tested += stats.tested;
+        total.excluded_apsis += stats.excluded_apsis;
+        total.excluded_path += stats.excluded_path;
+        total.excluded_time += stats.excluded_time;
+        total.coplanar += stats.coplanar;
+        total.kept += stats.kept;
     }
 
     /// Record the tail screen an ADVANCE ran while sliding the window.
@@ -154,6 +178,7 @@ impl MetricsRegistry {
             queue_highwater: self.queue_highwater,
             worker_respawns: self.worker_respawns,
             jobs_cancelled: self.jobs_cancelled,
+            filter_chain: self.filter_chain,
         }
     }
 
@@ -234,12 +259,15 @@ pub struct MetricsSnapshot {
     /// Screening jobs cancelled via CANCEL (queued or mid-screen).
     #[serde(default)]
     pub jobs_cancelled: u64,
+    /// Summed filter-chain counters over all hybrid screens since startup.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub filter_chain: Option<FilterStatsSnapshot>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::delta::DELTA_VARIANT;
+    use crate::delta::{DELTA_VARIANT, HYBRID_DELTA_VARIANT};
 
     fn timings(ms: u64) -> PhaseTimings {
         PhaseTimings {
@@ -257,11 +285,43 @@ mod tests {
         m.record_screen("grid", &timings(10));
         m.record_screen("grid", &timings(20));
         m.record_screen(DELTA_VARIANT, &timings(2));
+        m.record_screen("hybrid", &timings(15));
+        m.record_screen(HYBRID_DELTA_VARIANT, &timings(3));
         let snap = m.snapshot();
-        assert_eq!(snap.full_screens.unwrap().screens, 2);
-        assert_eq!(snap.delta_screens.unwrap().screens, 1);
+        assert_eq!(snap.full_screens.unwrap().screens, 3);
+        assert_eq!(
+            snap.delta_screens.unwrap().screens,
+            2,
+            "hybrid-delta lands in the delta series"
+        );
         assert!(snap.advance_tails.is_none());
         assert!(snap.wal_fsync_ms.is_none());
+    }
+
+    #[test]
+    fn filter_chain_counters_accumulate_across_screens() {
+        let mut m = MetricsRegistry::new();
+        assert!(
+            m.snapshot().filter_chain.is_none(),
+            "grid-only daemons omit it"
+        );
+        let stats = FilterStatsSnapshot {
+            tested: 10,
+            excluded_apsis: 4,
+            excluded_path: 2,
+            excluded_time: 1,
+            coplanar: 1,
+            kept: 2,
+        };
+        m.record_filter_chain(&stats);
+        m.record_filter_chain(&stats);
+        let total = m.snapshot().filter_chain.unwrap();
+        assert_eq!(total.tested, 20);
+        assert_eq!(total.excluded_apsis, 8);
+        assert_eq!(total.kept, 4);
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.filter_chain, Some(total));
     }
 
     #[test]

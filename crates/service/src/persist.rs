@@ -25,7 +25,7 @@ use crate::error::PersistError;
 use crate::fault::FaultPlan;
 use crate::proto::{ElementsSpec, LastScreen, Request};
 use crate::wal::{self, WalWriter};
-use kessler_core::Conjunction;
+use kessler_core::{Conjunction, Variant};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::Write;
@@ -99,6 +99,14 @@ pub struct Snapshot {
     /// Variant and timings of the most recent screen, if any.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub last_screen: Option<LastScreen>,
+    /// Screening variant the daemon served with when the snapshot was
+    /// taken. Snapshots from before the field existed were always grid.
+    #[serde(default = "default_snapshot_variant")]
+    pub variant: Variant,
+}
+
+fn default_snapshot_variant() -> Variant {
+    Variant::Grid
 }
 
 impl Snapshot {
@@ -422,6 +430,7 @@ mod tests {
             time: 0.0,
             base_elements: (0..n).map(spec).collect(),
             last_screen: None,
+            variant: Variant::Grid,
         }
     }
 
@@ -551,6 +560,7 @@ mod tests {
         forged.last_screen = Some(LastScreen {
             variant: "grid".to_string(),
             timings: Default::default(),
+            filter_stats: None,
         });
         let body = serde_json::to_string(&forged)
             .unwrap()
@@ -581,7 +591,27 @@ mod tests {
         assert_eq!(snapshot.time, 0.0);
         assert!(snapshot.base_elements.is_empty());
         assert!(snapshot.last_screen.is_none());
+        assert_eq!(
+            snapshot.variant,
+            Variant::Grid,
+            "pre-variant snapshots recover as grid"
+        );
         assert!(snapshot.validate().is_ok());
+    }
+
+    #[test]
+    fn snapshot_variant_roundtrips_and_rejects_garbage() {
+        let mut snapshot = snapshot_at(1, 1);
+        snapshot.variant = Variant::Hybrid;
+        let body = serde_json::to_string(&snapshot).unwrap();
+        let back: Snapshot = serde_json::from_str(&body).unwrap();
+        assert_eq!(back.variant, Variant::Hybrid);
+
+        // An unknown variant tag is a deserialization error — recovery
+        // treats the snapshot as corrupt and falls back, it does not guess.
+        let forged = body.replace("\"Hybrid\"", "\"Bogus\"");
+        assert!(forged.contains("Bogus"), "forgery target moved: {forged}");
+        assert!(serde_json::from_str::<Snapshot>(&forged).is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! a `stale` flag set when a newer result was adopted first.
 
 use kessler_core::timing::PhaseTimings;
-use kessler_core::{Conjunction, ScreeningReport};
+use kessler_core::{Conjunction, FilterStatsSnapshot, ScreeningReport};
 use kessler_orbits::KeplerElements;
 use serde::{Deserialize, Serialize};
 
@@ -261,6 +261,9 @@ pub struct ScreenSummary {
     /// daemon's maintained set was not replaced by it.
     #[serde(default)]
     pub stale: bool,
+    /// Orbital filter-chain counters, present on hybrid screens only.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub filter_stats: Option<FilterStatsSnapshot>,
 }
 
 impl ScreenSummary {
@@ -278,6 +281,7 @@ impl ScreenSummary {
             top,
             epoch: 0,
             stale: false,
+            filter_stats: report.filter_stats,
         }
     }
 }
@@ -297,6 +301,10 @@ pub struct AdvanceAck {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StatusInfo {
     pub n_satellites: usize,
+    /// Screening variant the daemon serves with ("grid" or "hybrid").
+    /// Empty on payloads from servers predating the field.
+    #[serde(default)]
+    pub variant: String,
     /// Catalog mutation epoch.
     pub epoch: u64,
     /// Satellites changed since the last screen (what DELTA would process).
@@ -327,6 +335,9 @@ pub struct StatusInfo {
 pub struct LastScreen {
     pub variant: String,
     pub timings: PhaseTimings,
+    /// Filter-chain counters of that screen (hybrid only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub filter_stats: Option<FilterStatsSnapshot>,
 }
 
 #[cfg(test)]
@@ -428,6 +439,7 @@ mod tests {
             top: Vec::new(),
             epoch: 9,
             stale: true,
+            filter_stats: None,
         };
         let mut value = serde_json::to_value(&summary).unwrap();
         let obj = value.as_object_mut().unwrap();
@@ -436,6 +448,58 @@ mod tests {
         let back: ScreenSummary = serde_json::from_value(value).unwrap();
         assert_eq!(back.epoch, 0);
         assert!(!back.stale);
+        assert!(back.filter_stats.is_none());
+    }
+
+    #[test]
+    fn filter_stats_and_variant_fields_roundtrip_and_default() {
+        let stats = FilterStatsSnapshot {
+            tested: 10,
+            excluded_apsis: 3,
+            excluded_path: 2,
+            excluded_time: 1,
+            coplanar: 1,
+            kept: 3,
+        };
+        let summary = ScreenSummary {
+            variant: "hybrid".to_string(),
+            n_satellites: 4,
+            candidate_pairs: 6,
+            conjunctions: 1,
+            colliding_pairs: 1,
+            timings: PhaseTimings::default(),
+            top: Vec::new(),
+            epoch: 2,
+            stale: false,
+            filter_stats: Some(stats),
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: ScreenSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.filter_stats, Some(stats), "json: {json}");
+
+        let last = LastScreen {
+            variant: "hybrid".to_string(),
+            timings: PhaseTimings::default(),
+            filter_stats: Some(stats),
+        };
+        let json = serde_json::to_string(&last).unwrap();
+        let back: LastScreen = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.filter_stats, Some(stats), "json: {json}");
+        // Absent on the wire (grid screens, old servers) → None/empty.
+        let grid_last = LastScreen {
+            variant: "grid".to_string(),
+            timings: PhaseTimings::default(),
+            filter_stats: None,
+        };
+        let json = serde_json::to_string(&grid_last).unwrap();
+        assert!(!json.contains("filter_stats"), "json: {json}");
+        let back: LastScreen = serde_json::from_str(&json).unwrap();
+        assert!(back.filter_stats.is_none());
+        let status_json = r#"{"n_satellites":1,"epoch":1,"pending_changes":0,
+            "live_conjunctions":0,"full_screens":0,"delta_screens":0,
+            "requests_served":0,"uptime_ms":0.0,"window":[0.0,1.0]}"#;
+        let back: StatusInfo = serde_json::from_str(status_json).unwrap();
+        assert_eq!(back.variant, "", "pre-variant payloads default to empty");
     }
 
     #[test]
@@ -473,6 +537,7 @@ mod tests {
                 top: vec![conj],
                 epoch: 5,
                 stale: false,
+                filter_stats: None,
             }),
             Response::with_advance(AdvanceAck {
                 retired: 2,
@@ -481,6 +546,7 @@ mod tests {
             }),
             Response::with_status(StatusInfo {
                 n_satellites: 100,
+                variant: "grid".to_string(),
                 epoch: 7,
                 pending_changes: 3,
                 live_conjunctions: 5,
@@ -492,6 +558,7 @@ mod tests {
                 last_screen: Some(LastScreen {
                     variant: "grid-delta".to_string(),
                     timings: PhaseTimings::default(),
+                    filter_stats: None,
                 }),
                 recovered: true,
                 metrics: Some("no screens yet; queue hw 0".to_string()),

@@ -40,7 +40,7 @@
 //! crates — no async runtime, no protocol framework.
 
 use crate::catalog::{Catalog, Removal};
-use crate::delta::{apply_removal_to_pairs, DeltaEngine, DELTA_VARIANT};
+use crate::delta::{apply_removal_to_pairs, DeltaEngine, DELTA_VARIANT, HYBRID_DELTA_VARIANT};
 use crate::error::ServiceError;
 use crate::exec::{run_screen_job, CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 use crate::fault::FaultPlan;
@@ -51,7 +51,7 @@ use crate::proto::{
     StatusInfo,
 };
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use kessler_core::{CancelToken, ScreeningConfig};
+use kessler_core::{CancelToken, ScreeningConfig, Variant};
 use kessler_orbits::KeplerElements;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -87,6 +87,8 @@ pub struct ServerOptions {
     pub faults: Arc<FaultPlan>,
     /// Log a one-line metrics digest to stderr this often (`None` = off).
     pub metrics_every: Option<Duration>,
+    /// Screening variant the daemon serves with (grid or hybrid).
+    pub variant: Variant,
 }
 
 impl Default for ServerOptions {
@@ -100,6 +102,7 @@ impl Default for ServerOptions {
             max_line_bytes: MAX_LINE_BYTES,
             faults: FaultPlan::inert(),
             metrics_every: None,
+            variant: Variant::Grid,
         }
     }
 }
@@ -151,9 +154,15 @@ pub struct ServiceState {
 
 impl ServiceState {
     pub fn new(config: ScreeningConfig) -> Result<ServiceState, String> {
+        ServiceState::with_variant(config, Variant::Grid)
+    }
+
+    /// Fresh state screening with `variant` (the service serves grid and
+    /// hybrid; anything else is rejected here, not at screen time).
+    pub fn with_variant(config: ScreeningConfig, variant: Variant) -> Result<ServiceState, String> {
         Ok(ServiceState {
             catalog: Catalog::new(),
-            engine: DeltaEngine::new(config)?,
+            engine: DeltaEngine::with_variant(config, variant)?,
             changed: BTreeSet::new(),
             window_start: 0.0,
             warm_epoch: 0,
@@ -178,6 +187,7 @@ impl ServiceState {
         Snapshot {
             version: SNAPSHOT_VERSION,
             wal_seq,
+            variant: self.engine.variant(),
             epoch: self.catalog.epoch(),
             ids: self.catalog.ids().to_vec(),
             elements: self
@@ -205,10 +215,24 @@ impl ServiceState {
         }
     }
 
-    /// Rebuild the state a [`ServiceState::snapshot`] captured.
+    /// Rebuild the state a [`ServiceState::snapshot`] captured, serving
+    /// with the variant the snapshot was taken under.
     pub fn restore_from(
         config: ScreeningConfig,
         snapshot: &Snapshot,
+    ) -> Result<ServiceState, ServiceError> {
+        ServiceState::restore_with_variant(config, snapshot, snapshot.variant)
+    }
+
+    /// Rebuild with an explicit serving variant. When it matches the
+    /// snapshot's, the warm maintained set restores as-is; otherwise the
+    /// engine comes back cold (catalog and counters intact) because warm
+    /// pairs from another variant's pipeline are not valid delta inputs —
+    /// the first DELTA after restart falls back to a full screen.
+    pub fn restore_with_variant(
+        config: ScreeningConfig,
+        snapshot: &Snapshot,
+        variant: Variant,
     ) -> Result<ServiceState, ServiceError> {
         let mut elements = Vec::with_capacity(snapshot.elements.len());
         for spec in &snapshot.elements {
@@ -233,17 +257,31 @@ impl ServiceState {
             base_elements,
         )
         .map_err(ServiceError::Recovery)?;
-        let mut engine = DeltaEngine::restore(
-            config,
-            snapshot.screened_n,
-            snapshot.full_screens,
-            snapshot.delta_screens,
-            &snapshot.conjunctions,
-        )
-        .map_err(ServiceError::Recovery)?;
-        if let Some(last) = &snapshot.last_screen {
-            engine.restore_last_timings(last.timings);
-        }
+        let engine = if variant == snapshot.variant {
+            let mut engine = DeltaEngine::restore_with_variant(
+                config,
+                variant,
+                snapshot.screened_n,
+                snapshot.full_screens,
+                snapshot.delta_screens,
+                &snapshot.conjunctions,
+            )
+            .map_err(ServiceError::Recovery)?;
+            if let Some(last) = &snapshot.last_screen {
+                engine.restore_last_screen(last.variant.clone(), last.timings, last.filter_stats);
+            }
+            engine
+        } else {
+            DeltaEngine::restore_with_variant(
+                config,
+                variant,
+                None,
+                snapshot.full_screens,
+                snapshot.delta_screens,
+                &[],
+            )
+            .map_err(ServiceError::Recovery)?
+        };
         let changed: BTreeSet<u32> = snapshot
             .changed
             .iter()
@@ -349,8 +387,7 @@ impl ServiceState {
             snapshot: self.catalog.snapshot(),
             changed: self.changed.iter().copied().collect(),
             warm: self.engine.is_warm().then(|| self.engine.warm_pairs()),
-            config: *self.engine.config(),
-            solver: self.engine.solver(),
+            pipeline: *self.engine.pipeline(),
         }
     }
 
@@ -394,10 +431,12 @@ impl ServiceState {
                     }
                 }
                 let n = self.catalog.len();
-                if report.variant == DELTA_VARIANT {
-                    self.engine.adopt_delta(pairs, n, report.timings);
+                if report.variant == DELTA_VARIANT || report.variant == HYBRID_DELTA_VARIANT {
+                    self.engine
+                        .adopt_delta(pairs, n, report.timings, report.filter_stats);
                 } else {
-                    self.engine.adopt_full(pairs, n, report.timings);
+                    self.engine
+                        .adopt_full(pairs, n, report.timings, report.filter_stats);
                 }
                 self.warm_epoch = epoch;
                 self.removals
@@ -412,6 +451,7 @@ impl ServiceState {
                 pairs,
                 outcome,
                 timings,
+                filter_stats,
                 dt,
                 fold,
             } => {
@@ -426,7 +466,7 @@ impl ServiceState {
                 // stored epoch-0 base elements.
                 self.catalog.advance_all(dt);
                 self.engine
-                    .adopt_advance(pairs, self.catalog.len(), timings, fold);
+                    .adopt_advance(pairs, self.catalog.len(), timings, filter_stats, fold);
                 self.changed.clear();
                 self.warm_epoch = self.catalog.epoch();
                 self.removals.clear();
@@ -456,15 +496,15 @@ impl ServiceState {
         )
     }
 
-    /// Variant + timings of the most recent screen (STATUS and snapshots).
+    /// Variant + timings of the most recent *adopted* screen (STATUS and
+    /// snapshots). The variant comes from the engine's record of what it
+    /// last adopted, not from the counters — `delta_screens > 0` says a
+    /// delta happened at some point, not that the last screen was one.
     fn last_screen_info(&self) -> Option<LastScreen> {
-        self.engine.is_warm().then(|| LastScreen {
-            variant: if self.engine.delta_screens() > 0 {
-                crate::delta::DELTA_VARIANT.to_string()
-            } else {
-                "grid".to_string()
-            },
+        self.engine.last_variant().map(|variant| LastScreen {
+            variant: variant.to_string(),
             timings: *self.engine.last_timings(),
+            filter_stats: self.engine.last_filter_stats(),
         })
     }
 
@@ -472,6 +512,7 @@ impl ServiceState {
         let last_screen = self.last_screen_info();
         StatusInfo {
             n_satellites: self.catalog.len(),
+            variant: self.engine.variant().label().to_string(),
             epoch: self.catalog.epoch(),
             pending_changes: self.changed.len(),
             live_conjunctions: self.engine.conjunction_count(),
@@ -568,11 +609,17 @@ fn persist_and_record(
     if response.ok {
         if let Some(screen) = &response.screen {
             metrics.record_screen(&screen.variant, &screen.timings);
+            if let Some(stats) = &screen.filter_stats {
+                metrics.record_filter_chain(stats);
+            }
         }
         if response.advance.is_some() {
             // ADVANCE's reply has no timings; the tail screen it ran left
-            // them on the engine.
+            // them (and, under hybrid, its filter stats) on the engine.
             metrics.record_advance_tail(state.engine.last_timings());
+            if let Some(stats) = state.engine.last_filter_stats() {
+                metrics.record_filter_chain(&stats);
+            }
         }
     }
     if let Some(status) = &mut response.status {
@@ -841,8 +888,11 @@ impl Server {
                 let (mut p, recovery) =
                     Persister::open(persist_options, Arc::clone(&options.faults))?;
                 let mut state = match &recovery.snapshot {
-                    Some(snapshot) => ServiceState::restore_from(config, snapshot)?,
-                    None => ServiceState::new(config).map_err(ServiceError::Config)?,
+                    Some(snapshot) => {
+                        ServiceState::restore_with_variant(config, snapshot, options.variant)?
+                    }
+                    None => ServiceState::with_variant(config, options.variant)
+                        .map_err(ServiceError::Config)?,
                 };
                 for request in &recovery.tail {
                     let response = state.handle(request);
@@ -869,7 +919,9 @@ impl Server {
                 persister = Some(p);
                 state
             }
-            None => ServiceState::new(config).map_err(ServiceError::Config)?,
+            None => {
+                ServiceState::with_variant(config, options.variant).map_err(ServiceError::Config)?
+            }
         };
 
         let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {
@@ -1590,6 +1642,107 @@ mod tests {
             "catalog must not advance"
         );
         assert_eq!(state.status().window, window_before);
+    }
+
+    #[test]
+    fn last_screen_variant_tracks_the_adopted_screen_not_the_counters() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..12u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(
+                    7_000.0 + i as f64 * 3.0,
+                    0.4 + (i % 5) as f64 * 0.3,
+                    i as f64 * 0.37,
+                ),
+            });
+        }
+        assert!(state.handle(&Request::Screen).ok);
+        assert_eq!(state.status().last_screen.unwrap().variant, "grid");
+        state.handle(&Request::Update {
+            id: 3,
+            elements: spec(7_009.5, 1.6, 2.0),
+        });
+        assert!(state.handle(&Request::Delta).ok);
+        assert_eq!(state.status().last_screen.unwrap().variant, DELTA_VARIANT);
+        // Regression: with delta_screens > 0 the old code kept reporting
+        // `grid-delta` even after a later full screen.
+        assert!(state.handle(&Request::Screen).ok);
+        assert_eq!(state.status().last_screen.unwrap().variant, "grid");
+        assert_eq!(state.status().variant, "grid");
+    }
+
+    #[test]
+    fn hybrid_state_serves_screens_with_filter_stats() {
+        let config = ScreeningConfig::hybrid_defaults(5.0, 120.0);
+        let mut state = ServiceState::with_variant(config, Variant::Hybrid).unwrap();
+        for i in 0..12u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(
+                    7_000.0 + i as f64 * 3.0,
+                    0.4 + (i % 5) as f64 * 0.3,
+                    i as f64 * 0.37,
+                ),
+            });
+        }
+        let r = state.handle(&Request::Screen);
+        let screen = r.screen.unwrap();
+        assert_eq!(screen.variant, "hybrid");
+        assert!(
+            screen.filter_stats.is_some(),
+            "hybrid screens report filter-chain stats"
+        );
+        state.handle(&Request::Update {
+            id: 3,
+            elements: spec(7_009.5, 1.6, 2.0),
+        });
+        let r = state.handle(&Request::Delta);
+        let delta = r.screen.unwrap();
+        assert_eq!(delta.variant, HYBRID_DELTA_VARIANT);
+        assert!(delta.filter_stats.is_some());
+        let status = state.status();
+        assert_eq!(status.variant, "hybrid");
+        assert_eq!(status.last_screen.unwrap().variant, HYBRID_DELTA_VARIANT);
+    }
+
+    #[test]
+    fn restore_under_a_different_variant_comes_back_cold() {
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        for i in 0..12u64 {
+            state.handle(&Request::Add {
+                id: i,
+                elements: spec(
+                    7_000.0 + i as f64 * 3.0,
+                    0.4 + (i % 5) as f64 * 0.3,
+                    i as f64 * 0.37,
+                ),
+            });
+        }
+        assert!(state.handle(&Request::Screen).ok);
+        let snapshot = state.snapshot(3);
+        assert_eq!(snapshot.variant, Variant::Grid);
+
+        let hybrid_config = ScreeningConfig::hybrid_defaults(5.0, 120.0);
+        let mut restored =
+            ServiceState::restore_with_variant(hybrid_config, &snapshot, Variant::Hybrid).unwrap();
+        assert!(
+            !restored.engine().is_warm(),
+            "a foreign-variant warm set must be dropped on restore"
+        );
+        assert_eq!(restored.engine().full_screens(), 1, "counters survive");
+        assert_eq!(restored.catalog().ids(), state.catalog().ids());
+        assert_eq!(restored.status().variant, "hybrid");
+        // A DELTA on the cold engine falls back to a full hybrid screen.
+        let r = restored.handle(&Request::Delta);
+        assert_eq!(r.screen.unwrap().variant, "hybrid");
+
+        // Same variant restores warm, exactly as before.
+        let warm = ServiceState::restore_from(config, &snapshot).unwrap();
+        assert!(warm.engine().is_warm());
+        assert_eq!(warm.engine().conjunctions(), state.engine().conjunctions());
     }
 
     #[test]

@@ -15,6 +15,12 @@ RUST_BACKTRACE=1 cargo test -p kessler-service -q
 echo "==> cargo test -p kessler-service --test metrics (observability e2e)"
 RUST_BACKTRACE=1 cargo test -p kessler-service -q --test metrics
 
+echo "==> cargo test -p kessler-service --test hybrid (hybrid-variant daemon e2e)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q --test hybrid
+
+echo "==> cargo test --test delta_correctness (delta vs cold-full, both variants)"
+RUST_BACKTRACE=1 cargo test -q --test delta_correctness
+
 echo "==> cargo test -p kessler-core metrics (histogram unit + property tests)"
 cargo test -p kessler-core -q metrics
 

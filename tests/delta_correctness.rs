@@ -1,10 +1,11 @@
 //! Delta re-screening correctness at scale: after k = 64 element updates on
 //! an n = 8000 population, a warm delta re-screen must produce *exactly* the
 //! conjunction set a cold full re-screen of the mutated population produces —
-//! same pairs in both directions, same TCAs and PCAs.
+//! same pairs in both directions, same TCAs and PCAs. The hybrid twin runs
+//! the same invariant through the orbital filter chain at n = 4000.
 
 use kessler::prelude::*;
-use kessler::service::DeltaEngine;
+use kessler::service::{DeltaEngine, HYBRID_DELTA_VARIANT};
 
 const N: usize = 8_000;
 const K: usize = 64;
@@ -44,13 +45,63 @@ fn delta_rescreen_equals_cold_rescreen_after_64_updates() {
     let delta_report = engine.delta_screen(&mutated, &changed);
     let cold_report = GridScreener::new(config).screen(&mutated);
 
+    assert_reports_identical(&delta_report, &cold_report);
+}
+
+#[test]
+fn hybrid_delta_rescreen_equals_cold_hybrid_rescreen_after_64_updates() {
+    const HYBRID_N: usize = 4_000;
+    let population = PopulationGenerator::new(PopulationConfig {
+        seed: 0xDE17A,
+        ..Default::default()
+    })
+    .generate(HYBRID_N);
+    let config = ScreeningConfig::hybrid_defaults(5.0, 120.0);
+
+    // Warm the engine on the original population.
+    let mut engine = DeltaEngine::with_variant(config, Variant::Hybrid).unwrap();
+    engine.full_screen(&population);
+
+    // Perturb 64 distinct satellites (127 is coprime with 4000, so the
+    // indices j·127 mod 4000 never repeat).
+    let mut mutated = population.clone();
+    let mut changed: Vec<u32> = Vec::with_capacity(K);
+    for j in 0..K {
+        let idx = (j * 127) % HYBRID_N;
+        let el = &mutated[idx];
+        mutated[idx] = KeplerElements::new(
+            el.semi_major_axis + 0.5,
+            el.eccentricity,
+            el.inclination,
+            el.raan + 0.01,
+            el.arg_perigee,
+            el.mean_anomaly + 0.3,
+        )
+        .unwrap();
+        changed.push(idx as u32);
+    }
+
+    let delta_report = engine.delta_screen(&mutated, &changed);
     assert_eq!(
-        delta_report.pairs_missing_from(&cold_report),
+        delta_report.variant, HYBRID_DELTA_VARIANT,
+        "a warm hybrid engine must take the hybrid delta path"
+    );
+    let cold_report = HybridScreener::new(config).screen(&mutated);
+
+    assert_reports_identical(&delta_report, &cold_report);
+}
+
+/// Exact-equality comparison of two screening reports: identical pair sets
+/// in both directions, identical multiplicities, and one-to-one TCA/PCA
+/// agreement within floating-point noise.
+fn assert_reports_identical(delta_report: &ScreeningReport, cold_report: &ScreeningReport) {
+    assert_eq!(
+        delta_report.pairs_missing_from(cold_report),
         Vec::<(u32, u32)>::new(),
         "delta found pairs the cold screen did not"
     );
     assert_eq!(
-        cold_report.pairs_missing_from(&delta_report),
+        cold_report.pairs_missing_from(delta_report),
         Vec::<(u32, u32)>::new(),
         "cold screen found pairs the delta missed"
     );
