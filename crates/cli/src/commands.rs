@@ -37,6 +37,9 @@ SUBCOMMANDS
              [--a KM --e E --incl R --raan R --argp R --m R] [--dt S]
              [--req-id ID] tag the request (the CANCEL handle)
              [--json REQUEST] [--timeout SECS (0 = none, default 10)]
+             [--retries N] retry transient failures with jittered
+             exponential backoff; mutations are retried only when the
+             daemon confirms the request was not applied
              ACTION: add | update | remove | screen | delta | advance
                      | cancel ID | tle FILE | status | metrics | shutdown
              `cancel ID` aborts the queued/in-flight job tagged ID;
@@ -427,7 +430,14 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
             other => return Err(format!("unknown submit action `{other}`")),
         }
     };
-    let response = send_request(addr, &request, flags.value_of("--req-id"), timeout_s)?;
+    let retries = flags.u64_of("--retries", 0)?;
+    let response = send_request(
+        addr,
+        &request,
+        flags.value_of("--req-id"),
+        timeout_s,
+        retries,
+    )?;
     if let Some(metrics) = &response.metrics {
         print_metrics(metrics);
     } else {
@@ -441,27 +451,142 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
     }
 }
 
+/// Client-side retry pacing: exponential from 200 ms, capped at 5 s, with
+/// equal jitter so a burst of scripted submits does not stampede a daemon
+/// the moment it recovers.
+struct Backoff {
+    delay: std::time::Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            delay: std::time::Duration::from_millis(200),
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The jittered delay to sleep before the next attempt (advances the
+    /// schedule).
+    fn next_delay(&mut self) -> std::time::Duration {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let half = self.delay.as_micros() as u64 / 2;
+        let jittered = std::time::Duration::from_micros(half + (self.rng >> 33) % (half + 1));
+        self.delay = (self.delay * 2).min(std::time::Duration::from_secs(5));
+        jittered
+    }
+}
+
+/// May this transport error be retried for this request? Connection
+/// refused means the request never reached a server, so even mutations
+/// are safe. Anything after the connection was up (timeout, reset, EOF)
+/// is ambiguous — the daemon may have applied the mutation and lost only
+/// the reply — so mutations give up and the caller must check server
+/// state, while read-only verbs retry freely.
+fn transport_retryable(kind: std::io::ErrorKind, mutation: bool) -> bool {
+    use std::io::ErrorKind;
+    match kind {
+        ErrorKind::ConnectionRefused => true,
+        ErrorKind::TimedOut
+        | ErrorKind::WouldBlock
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::UnexpectedEof => !mutation,
+        _ => false,
+    }
+}
+
 /// One request/response exchange, optionally tagged with a `req_id` so a
 /// concurrent `kessler submit cancel ID` can abort it.
-fn send_request(
+fn send_request_once(
     addr: &str,
     request: &kessler_service::Request,
     req_id: Option<&str>,
     timeout_s: f64,
-) -> Result<kessler_service::Response, String> {
+) -> std::io::Result<kessler_service::Response> {
     let timeout = (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s));
     match req_id {
         None => match timeout {
             Some(t) => kessler_service::request_with_timeout(addr, request, t),
             None => kessler_service::request(addr, request),
         },
-        Some(id) => (|| {
+        Some(id) => {
             let mut client = kessler_service::Client::connect(addr)?;
             client.set_timeouts(timeout, timeout)?;
             client.send_tagged(request, id)
-        })(),
+        }
     }
-    .map_err(|e| format!("request to {addr} failed: {e}"))
+}
+
+/// Send with up to `retries` re-attempts. A response is retried only when
+/// the daemon explicitly reports `not_applied` (degraded mode, full
+/// queue): that flag is the server's guarantee the request changed
+/// nothing, so re-sending a mutation cannot double-apply it. Transport
+/// errors follow [`transport_retryable`].
+fn send_request(
+    addr: &str,
+    request: &kessler_service::Request,
+    req_id: Option<&str>,
+    timeout_s: f64,
+    retries: u64,
+) -> Result<kessler_service::Response, String> {
+    let mutation = request.is_mutation();
+    let mut backoff = Backoff::new(u64::from(std::process::id()));
+    let mut attempt: u64 = 0;
+    loop {
+        let why = match send_request_once(addr, request, req_id, timeout_s) {
+            Ok(response) => {
+                if response.ok || !response.not_applied || attempt >= retries {
+                    return Ok(response);
+                }
+                response.error.unwrap_or_else(|| "not applied".into())
+            }
+            Err(err) => {
+                if attempt >= retries || !transport_retryable(err.kind(), mutation) {
+                    return Err(format!(
+                        "request to {addr} failed after {} attempt(s): {err}",
+                        attempt + 1
+                    ));
+                }
+                err.to_string()
+            }
+        };
+        attempt += 1;
+        let delay = backoff.next_delay();
+        eprintln!("  retry {attempt}/{retries} in {delay:?}: {why}");
+        std::thread::sleep(delay);
+    }
+}
+
+/// Send one catalog record's request over the streaming connection,
+/// re-trying (with backoff) while the daemon answers `not_applied` —
+/// e.g. mid-ingest degraded mode. `not_applied` guarantees nothing
+/// landed, so the re-send cannot double-apply.
+fn send_record(
+    client: &mut kessler_service::Client,
+    request: &kessler_service::Request,
+    retries: u64,
+    backoff: &mut Backoff,
+) -> std::io::Result<kessler_service::Response> {
+    let mut attempt: u64 = 0;
+    loop {
+        let response = client.send(request)?;
+        if response.ok || !response.not_applied || attempt >= retries {
+            return Ok(response);
+        }
+        attempt += 1;
+        let delay = backoff.next_delay();
+        eprintln!(
+            "  retry {attempt}/{retries} in {delay:?}: {}",
+            response.error.unwrap_or_else(|| "not applied".into())
+        );
+        std::thread::sleep(delay);
+    }
 }
 
 /// `kessler submit tle FILE` — stream a 2LE/3LE catalog into the daemon:
@@ -472,6 +597,7 @@ fn submit_tle(flags: &Flags, addr: &str, timeout_s: f64) -> Result<(), String> {
     let Some(path) = flags.positional_at(1) else {
         return Err("usage: kessler submit tle FILE [--addr HOST:PORT]".into());
     };
+    let retries = flags.u64_of("--retries", 0)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let (records, errors) = tle_mod::parse_catalog(&text);
     for (line, err) in errors.iter().take(5) {
@@ -483,16 +609,21 @@ fn submit_tle(flags: &Flags, addr: &str, timeout_s: f64) -> Result<(), String> {
     client
         .set_timeouts(timeout, timeout)
         .map_err(|e| e.to_string())?;
+    let mut backoff = Backoff::new(u64::from(std::process::id()));
     let (mut added, mut updated) = (0usize, 0usize);
     let mut rejected = errors.len();
     for record in &records {
         let id = u64::from(record.catalog_number);
-        let response = client
-            .send(&Request::Add {
+        let response = send_record(
+            &mut client,
+            &Request::Add {
                 id,
                 elements: kessler_service::ElementsSpec::from_elements(&record.elements),
-            })
-            .map_err(|e| format!("ADD {id} failed: {e}"))?;
+            },
+            retries,
+            &mut backoff,
+        )
+        .map_err(|e| format!("ADD {id} failed: {e}"))?;
         if response.ok {
             added += 1;
             continue;
@@ -502,12 +633,16 @@ fn submit_tle(flags: &Flags, addr: &str, timeout_s: f64) -> Result<(), String> {
             .as_deref()
             .is_some_and(|e| e.contains("already exists"));
         if duplicate {
-            let response = client
-                .send(&Request::Update {
+            let response = send_record(
+                &mut client,
+                &Request::Update {
                     id,
                     elements: kessler_service::ElementsSpec::from_elements(&record.elements),
-                })
-                .map_err(|e| format!("UPDATE {id} failed: {e}"))?;
+                },
+                retries,
+                &mut backoff,
+            )
+            .map_err(|e| format!("UPDATE {id} failed: {e}"))?;
             if response.ok {
                 updated += 1;
                 continue;
@@ -619,6 +754,22 @@ fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
         "queue high-water {}, worker respawns {}, jobs cancelled {}",
         metrics.queue_highwater, metrics.worker_respawns, metrics.jobs_cancelled
     );
+    if metrics.wal_append_failures
+        + metrics.snapshot_failures
+        + metrics.degraded_entries
+        + metrics.probe_failures
+        > 0
+    {
+        println!(
+            "resilience: wal append failures {}, snapshot failures {}, degraded entries {} \
+             (recovered {}), probe failures {}",
+            metrics.wal_append_failures,
+            metrics.snapshot_failures,
+            metrics.degraded_entries,
+            metrics.degraded_recoveries,
+            metrics.probe_failures
+        );
+    }
 }
 
 pub fn info() -> Result<(), String> {
@@ -635,4 +786,49 @@ pub fn info() -> Result<(), String> {
             .unwrap_or(1)
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_capped() {
+        let mut backoff = Backoff::new(42);
+        let mut previous_nominal = std::time::Duration::from_millis(200);
+        for _ in 0..8 {
+            let delay = backoff.next_delay();
+            // Equal jitter: between half the nominal delay and the full
+            // nominal delay.
+            assert!(delay >= previous_nominal / 2, "{delay:?} too short");
+            assert!(delay <= previous_nominal, "{delay:?} too long");
+            previous_nominal = (previous_nominal * 2).min(std::time::Duration::from_secs(5));
+        }
+        assert_eq!(backoff.delay, std::time::Duration::from_secs(5), "capped");
+        // Different seeds walk different jitter schedules.
+        let a: Vec<_> = (0..4).map(|_| Backoff::new(1).next_delay()).collect();
+        let b: Vec<_> = (0..4).map(|_| Backoff::new(2).next_delay()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn transport_retry_policy_is_conservative_for_mutations() {
+        use std::io::ErrorKind;
+        // Connection refused = the request never arrived; safe for all.
+        assert!(transport_retryable(ErrorKind::ConnectionRefused, true));
+        assert!(transport_retryable(ErrorKind::ConnectionRefused, false));
+        // Post-connect failures are ambiguous: the daemon may have applied
+        // the mutation and lost only the reply.
+        for kind in [
+            ErrorKind::TimedOut,
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(!transport_retryable(kind, true), "{kind:?} must not retry");
+            assert!(transport_retryable(kind, false), "{kind:?} should retry");
+        }
+        // Unknown errors never retry.
+        assert!(!transport_retryable(ErrorKind::PermissionDenied, false));
+    }
 }

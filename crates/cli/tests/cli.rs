@@ -143,6 +143,61 @@ fn bad_flag_values_fail_cleanly() {
     assert!(err.contains("error:"));
 }
 
+/// `--retries` re-attempts transient failures: a dead port exhausts its
+/// retry budget (visible in stderr) and still fails; a live daemon
+/// answers on the first attempt with no retry chatter.
+#[test]
+fn submit_retries_transient_failures_with_backoff() {
+    use kessler_core::ScreeningConfig;
+    use kessler_service::{request, Request, Server};
+
+    // Nothing listens here: connection refused is retryable even for
+    // mutations (the request never reached a server).
+    let dead = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().to_string()
+    };
+    let (ok, _, err) = run(&[
+        "submit",
+        "status",
+        "--addr",
+        &dead,
+        "--retries",
+        "2",
+        "--timeout",
+        "1",
+    ]);
+    assert!(!ok, "dead port must still fail after retries");
+    assert!(err.contains("retry 1/2"), "first retry not logged: {err}");
+    assert!(err.contains("retry 2/2"), "second retry not logged: {err}");
+    assert!(err.contains("after 3 attempt(s)"), "{err}");
+
+    // Against a live daemon the same flag is a no-op.
+    let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let addr_s = addr.to_string();
+    let handle = server.spawn().expect("spawn server thread");
+    let (ok, out, err) = run(&[
+        "submit",
+        "add",
+        "--id",
+        "9",
+        "--a",
+        "7000",
+        "--addr",
+        &addr_s,
+        "--retries",
+        "3",
+    ]);
+    assert!(ok, "add with retries failed: {err}");
+    assert!(out.contains("\"ok\": true"), "{out}");
+    assert!(!err.contains("retry"), "no retries expected: {err}");
+
+    request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    handle.shutdown();
+}
+
 /// `kessler submit tle FILE` streams a catalog into a live daemon: first
 /// pass ADDs every record, a second pass falls back to UPDATE, and tagged
 /// / cancel round-trips work from the CLI too.

@@ -79,6 +79,13 @@ pub enum ServiceError {
     Persist(PersistError),
     /// Recovered state failed validation or replay.
     Recovery(String),
+    /// The daemon is in degraded (read-only) mode: persistence is down,
+    /// so mutations are rejected until the disk comes back.
+    Degraded {
+        /// Human-readable cause of the degradation (the persistence
+        /// failure that triggered it).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -91,6 +98,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Persist(err) => write!(f, "persistence failure: {err}"),
             ServiceError::Recovery(msg) => write!(f, "state recovery failed: {msg}"),
+            ServiceError::Degraded { reason } => {
+                write!(f, "service degraded (read-only): {reason}")
+            }
         }
     }
 }
@@ -129,6 +139,13 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("snapshot-3"), "{text}");
         assert!(text.contains("bad checksum"), "{text}");
+
+        let err = ServiceError::Degraded {
+            reason: "wal append failed: No space left on device (os error 28)".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("degraded (read-only)"), "{text}");
+        assert!(text.contains("os error 28"), "{text}");
     }
 
     #[test]

@@ -32,13 +32,20 @@
 //! - [`wal`] / [`persist`] — crash safety: a checksummed write-ahead log
 //!   of acknowledged mutations plus periodic atomic snapshots, so a
 //!   restarted daemon recovers the exact catalog, window, and warm
-//!   conjunction set it had when it died.
+//!   conjunction set it had when it died. Mutations are logged *before*
+//!   they apply; when the disk fails mid-flight the daemon rejects the
+//!   request (`not_applied`), drops into degraded (read-only) mode, and a
+//!   background probe retries under jittered exponential backoff until an
+//!   emergency snapshot restores normal service.
 //! - [`metrics`] — rolling observability: per-phase screening histograms
 //!   (full vs delta), WAL-fsync and snapshot-write latency distributions,
 //!   request/error counters, queue high-water mark — served by the
 //!   `METRICS` verb and summarized in STATUS.
 //! - [`error`] / [`fault`] — typed startup/persistence errors and the
-//!   deterministic fault-injection hooks the crash-safety tests use.
+//!   deterministic fault-injection hooks the crash-safety and disk-chaos
+//!   tests use: screening panics, worker kills, torn WAL tails, and
+//!   injectable storage faults (append/fsync/snapshot failures, transient
+//!   or sticky).
 
 pub mod catalog;
 pub mod delta;

@@ -54,6 +54,16 @@ pub struct MetricsRegistry {
     worker_respawns: u64,
     /// Jobs cancelled via CANCEL (queued or mid-screen).
     jobs_cancelled: u64,
+    /// WAL appends that failed (each one rejects a mutation).
+    wal_append_failures: u64,
+    /// Snapshot writes that failed (retried on the next mutation).
+    snapshot_failures: u64,
+    /// Transitions into degraded (read-only) mode.
+    degraded_entries: u64,
+    /// Recoveries back to normal mode (emergency snapshot succeeded).
+    degraded_recoveries: u64,
+    /// Persistence probes that failed while degraded.
+    probe_failures: u64,
     /// Running totals over every hybrid screen's filter-chain counters;
     /// `None` until the first hybrid screen.
     filter_chain: Option<FilterStatsSnapshot>,
@@ -155,6 +165,31 @@ impl MetricsRegistry {
         self.jobs_cancelled
     }
 
+    /// Count one failed WAL append (the mutation it carried was rejected).
+    pub fn note_wal_append_failure(&mut self) {
+        self.wal_append_failures += 1;
+    }
+
+    /// Count one failed snapshot write.
+    pub fn note_snapshot_failure(&mut self) {
+        self.snapshot_failures += 1;
+    }
+
+    /// Count one transition into degraded (read-only) mode.
+    pub fn note_degraded_entry(&mut self) {
+        self.degraded_entries += 1;
+    }
+
+    /// Count one recovery back to normal mode.
+    pub fn note_degraded_recovery(&mut self) {
+        self.degraded_recoveries += 1;
+    }
+
+    /// Count one failed persistence probe while degraded.
+    pub fn note_probe_failure(&mut self) {
+        self.probe_failures += 1;
+    }
+
     /// Point-in-time JSON-ready digest (the METRICS payload).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -178,6 +213,11 @@ impl MetricsRegistry {
             queue_highwater: self.queue_highwater,
             worker_respawns: self.worker_respawns,
             jobs_cancelled: self.jobs_cancelled,
+            wal_append_failures: self.wal_append_failures,
+            snapshot_failures: self.snapshot_failures,
+            degraded_entries: self.degraded_entries,
+            degraded_recoveries: self.degraded_recoveries,
+            probe_failures: self.probe_failures,
             filter_chain: self.filter_chain,
         }
     }
@@ -215,6 +255,17 @@ impl MetricsRegistry {
             "queue hw {}, respawns {}, cancelled {}, errors {}",
             self.queue_highwater, self.worker_respawns, self.jobs_cancelled, errors
         ));
+        // Persistence trouble is rare; mention it only once it happened so
+        // the healthy digest stays short.
+        if self.wal_append_failures + self.snapshot_failures + self.degraded_entries > 0 {
+            parts.push(format!(
+                "wal fails {}, snap fails {}, degraded {}/{} recovered",
+                self.wal_append_failures,
+                self.snapshot_failures,
+                self.degraded_recoveries,
+                self.degraded_entries
+            ));
+        }
         parts.join("; ")
     }
 }
@@ -259,6 +310,21 @@ pub struct MetricsSnapshot {
     /// Screening jobs cancelled via CANCEL (queued or mid-screen).
     #[serde(default)]
     pub jobs_cancelled: u64,
+    /// WAL appends that failed (each rejected one mutation).
+    #[serde(default)]
+    pub wal_append_failures: u64,
+    /// Snapshot writes that failed (retried on the next mutation).
+    #[serde(default)]
+    pub snapshot_failures: u64,
+    /// Transitions into degraded (read-only) mode.
+    #[serde(default)]
+    pub degraded_entries: u64,
+    /// Recoveries back to normal mode.
+    #[serde(default)]
+    pub degraded_recoveries: u64,
+    /// Persistence probes that failed while degraded.
+    #[serde(default)]
+    pub probe_failures: u64,
     /// Summed filter-chain counters over all hybrid screens since startup.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub filter_chain: Option<FilterStatsSnapshot>,
@@ -390,5 +456,41 @@ mod tests {
         assert!(line.contains("delta"), "{line}");
         assert!(line.contains("queue hw 0"), "{line}");
         assert!(line.contains("cancelled 0"), "{line}");
+        assert!(
+            !line.contains("wal fails"),
+            "healthy daemons omit the resilience part: {line}"
+        );
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.note_wal_append_failure();
+        m.note_wal_append_failure();
+        m.note_snapshot_failure();
+        m.note_degraded_entry();
+        m.note_probe_failure();
+        m.note_probe_failure();
+        m.note_probe_failure();
+        m.note_degraded_recovery();
+        let snap = m.snapshot();
+        assert_eq!(snap.wal_append_failures, 2);
+        assert_eq!(snap.snapshot_failures, 1);
+        assert_eq!(snap.degraded_entries, 1);
+        assert_eq!(snap.degraded_recoveries, 1);
+        assert_eq!(snap.probe_failures, 3);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.wal_append_failures, 2);
+        assert_eq!(back.probe_failures, 3);
+        // Payloads from servers predating the counters default to zero.
+        let back: MetricsSnapshot = serde_json::from_str("{}").unwrap();
+        assert_eq!(back.wal_append_failures, 0);
+
+        let line = m.one_line();
+        assert!(line.contains("wal fails 2"), "{line}");
+        assert!(line.contains("snap fails 1"), "{line}");
+        assert!(line.contains("degraded 1/1 recovered"), "{line}");
     }
 }

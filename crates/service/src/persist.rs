@@ -166,6 +166,12 @@ pub struct Persister {
     /// Sequence numbers of snapshot files on disk, ascending.
     snapshots: Vec<u64>,
     faults: Arc<FaultPlan>,
+    /// Set when a failed append could not be rolled back off disk (the
+    /// truncate after a failed fsync also failed): the WAL tail may hold
+    /// a record for a mutation the caller was told failed. Cleared by the
+    /// next successful snapshot, whose compaction rewrites the WAL from
+    /// committed records only.
+    dirty: bool,
 }
 
 impl Persister {
@@ -208,7 +214,7 @@ impl Persister {
 
         let mut persister = Persister {
             dir,
-            wal: WalWriter::open_append(&wal_path)?,
+            wal: WalWriter::open_append_with(&wal_path, Arc::clone(&faults))?,
             seq: last_seq,
             snapshot_every: options.snapshot_every.max(1),
             keep_snapshots: options.keep_snapshots.max(2),
@@ -218,6 +224,7 @@ impl Persister {
                 listed.into_iter().map(|(seq, _)| seq).collect()
             },
             faults,
+            dirty: false,
         };
         if recovery.torn_tail.is_some() {
             // Drop the damaged tail bytes now: appending after a partial
@@ -234,16 +241,71 @@ impl Persister {
         self.seq
     }
 
-    /// Durably append one acknowledged mutation.
+    /// Durably append one mutation. The sequence number is committed only
+    /// on success: a failed append leaves `last_seq()` unchanged and rolls
+    /// any partially written bytes back off the log, so the caller can
+    /// treat `Err` as "nothing happened" and reject the request.
     pub fn append(&mut self, request: &Request) -> Result<(), PersistError> {
-        self.seq += 1;
-        if self.faults.take_torn_wal() {
-            self.wal.append_torn(self.seq, request)?;
-        } else {
-            self.wal.append(self.seq, request)?;
+        if let Some(err) = self.faults.take_wal_append_error() {
+            return Err(PersistError::io("append wal record", err));
         }
-        self.since_snapshot += 1;
-        Ok(())
+        let seq = self.seq + 1;
+        let pre_len = self.wal.len()?;
+        let written = if self.faults.take_torn_wal() {
+            self.wal.append_torn(seq, request)
+        } else {
+            self.wal.append(seq, request)
+        };
+        match written {
+            Ok(()) => {
+                self.seq = seq;
+                self.since_snapshot += 1;
+                Ok(())
+            }
+            Err(err) => {
+                // A failed fsync may still have landed the record's bytes;
+                // chop them off so an unacknowledged mutation cannot
+                // replay after a crash. If even the truncate fails, flag
+                // the log dirty — the next successful snapshot's
+                // compaction rewrites it from committed records only.
+                if self.wal.truncate_to(pre_len).is_err() {
+                    self.dirty = true;
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// `true` while a failed append's bytes may still be on disk.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Current WAL size in bytes (0 if unreadable); used when warning
+    /// that failed snapshots are starving compaction.
+    pub fn wal_size(&self) -> u64 {
+        self.wal.len().unwrap_or(0)
+    }
+
+    /// Cheap liveness check of the state directory: create, sync, and
+    /// remove a probe file. Used by the degraded-mode recovery loop to
+    /// decide whether the disk is worth an emergency snapshot attempt.
+    pub fn probe(&self) -> Result<(), PersistError> {
+        if self.faults.wal_is_broken() {
+            return Err(PersistError::io(
+                "probe state dir",
+                std::io::Error::from_raw_os_error(5),
+            ));
+        }
+        let path = self.dir.join(".probe.tmp");
+        let context = || format!("probe {}", path.display());
+        let mut file = File::create(&path).map_err(|e| PersistError::io(context(), e))?;
+        file.write_all(b"probe")
+            .map_err(|e| PersistError::io(context(), e))?;
+        file.sync_all()
+            .map_err(|e| PersistError::io(context(), e))?;
+        drop(file);
+        std::fs::remove_file(&path).map_err(|e| PersistError::io(context(), e))
     }
 
     /// `true` once enough mutations accumulated to warrant a snapshot.
@@ -265,6 +327,12 @@ impl Persister {
 
         let final_path = self.snapshot_path(seq);
         let tmp_path = self.dir.join(format!("snapshot-{seq:020}.json.tmp"));
+        if let Some(err) = self.faults.take_snapshot_write_error() {
+            return Err(PersistError::io(
+                format!("write {}", tmp_path.display()),
+                err,
+            ));
+        }
         {
             let mut file = File::create(&tmp_path)
                 .map_err(|e| PersistError::io(format!("create {}", tmp_path.display()), e))?;
@@ -272,6 +340,14 @@ impl Persister {
                 .map_err(|e| PersistError::io(format!("write {}", tmp_path.display()), e))?;
             file.sync_all()
                 .map_err(|e| PersistError::io(format!("sync {}", tmp_path.display()), e))?;
+        }
+        if let Some(err) = self.faults.take_snapshot_rename_error() {
+            // Leave the tmp file behind, as a real failed rename would;
+            // recovery ignores `.tmp` files so it is harmless debris.
+            return Err(PersistError::io(
+                format!("rename {} into place", tmp_path.display()),
+                err,
+            ));
         }
         std::fs::rename(&tmp_path, &final_path).map_err(|e| {
             PersistError::io(format!("rename {} into place", tmp_path.display()), e)
@@ -293,6 +369,9 @@ impl Persister {
         let keep_after = self.snapshots.first().copied().unwrap_or(0);
         self.compact_wal(keep_after)?;
         self.since_snapshot = 0;
+        // Compaction rewrote the WAL from committed records only, so any
+        // residue of a failed append is gone.
+        self.dirty = false;
         Ok(line.len() as u64)
     }
 
@@ -310,7 +389,10 @@ impl Persister {
             let mut file = File::create(&tmp_path)
                 .map_err(|e| PersistError::io(format!("create {}", tmp_path.display()), e))?;
             for (seq, request) in &replay.records {
-                if *seq <= keep_after {
+                // Drop records outside (keep_after, last committed seq]:
+                // below are covered by the oldest kept snapshot, above are
+                // residue of a failed append that was never acknowledged.
+                if *seq <= keep_after || *seq > self.seq {
                     continue;
                 }
                 let body = serde_json::to_string(request).map_err(|e| {
@@ -327,7 +409,7 @@ impl Persister {
         std::fs::rename(&tmp_path, &wal_path)
             .map_err(|e| PersistError::io("rename compacted wal into place".to_string(), e))?;
         sync_dir(&self.dir);
-        self.wal = WalWriter::open_append(&wal_path)?;
+        self.wal = WalWriter::open_append_with(&wal_path, Arc::clone(&self.faults))?;
         Ok(())
     }
 }
@@ -612,6 +694,101 @@ mod tests {
         let forged = body.replace("\"Hybrid\"", "\"Bogus\"");
         assert!(forged.contains("Bogus"), "forgery target moved: {forged}");
         assert!(serde_json::from_str::<Snapshot>(&forged).is_err());
+    }
+
+    #[test]
+    fn failed_append_commits_nothing_and_the_next_one_succeeds() {
+        let dir = temp_dir("appendfail");
+        let faults = Arc::new(FaultPlan::default());
+        let (mut persister, _) = Persister::open(&options(&dir), Arc::clone(&faults)).unwrap();
+        persister.append(&add(0)).unwrap();
+        assert_eq!(persister.last_seq(), 1);
+
+        faults.arm_wal_append_eio();
+        let err = persister.append(&add(1)).expect_err("injected EIO");
+        assert!(err.to_string().contains("append wal record"), "{err}");
+        assert_eq!(persister.last_seq(), 1, "seq must not advance on failure");
+        assert!(!persister.is_dirty());
+
+        // The retry gets the same sequence number the failure burned.
+        persister.append(&add(1)).unwrap();
+        assert_eq!(persister.last_seq(), 2);
+        drop(persister);
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert!(recovery.torn_tail.is_none());
+        assert_eq!(recovery.tail, vec![add(0), add(1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fsync_rolls_the_record_bytes_back_off_disk() {
+        let dir = temp_dir("fsyncroll");
+        let faults = Arc::new(FaultPlan::default());
+        let (mut persister, _) = Persister::open(&options(&dir), Arc::clone(&faults)).unwrap();
+        persister.append(&add(0)).unwrap();
+        let clean_len = persister.wal_size();
+
+        faults.arm_wal_fsync_fail();
+        persister
+            .append(&add(1))
+            .expect_err("injected fsync failure");
+        assert_eq!(persister.last_seq(), 1);
+        assert_eq!(
+            persister.wal_size(),
+            clean_len,
+            "failed record's bytes must be truncated away"
+        );
+        drop(persister);
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(
+            recovery.tail,
+            vec![add(0)],
+            "phantom record must not replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_faults_fail_cleanly_and_the_retry_lands() {
+        let dir = temp_dir("snapfault");
+        let faults = Arc::new(FaultPlan::default());
+        let (mut persister, _) = Persister::open(&options(&dir), Arc::clone(&faults)).unwrap();
+        persister.append(&add(0)).unwrap();
+
+        faults.arm_snapshot_write_fail();
+        persister
+            .write_snapshot(&snapshot_at(1, 1))
+            .expect_err("injected tmp-write failure");
+        faults.arm_snapshot_rename_fail();
+        persister
+            .write_snapshot(&snapshot_at(1, 1))
+            .expect_err("injected rename failure");
+        assert!(
+            list_snapshots(&dir).unwrap().is_empty(),
+            "no snapshot may appear from a failed write"
+        );
+
+        // Un-faulted retry succeeds, and recovery reads it.
+        persister.write_snapshot(&snapshot_at(1, 1)).unwrap();
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.snapshot.expect("snapshot").wal_seq, 1);
+        assert!(recovery.tail.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_detects_a_broken_disk_and_leaves_no_debris() {
+        let dir = temp_dir("probe");
+        let faults = Arc::new(FaultPlan::default());
+        let (persister, _) = Persister::open(&options(&dir), Arc::clone(&faults)).unwrap();
+        persister.probe().expect("healthy dir probes clean");
+        assert!(!dir.join(".probe.tmp").exists());
+
+        faults.set_wal_broken(true);
+        persister.probe().expect_err("broken disk must fail probe");
+        faults.set_wal_broken(false);
+        persister.probe().expect("probe recovers with the disk");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

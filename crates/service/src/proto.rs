@@ -159,6 +159,11 @@ pub struct Response {
     pub req_id: Option<String>,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
+    /// `true` on errors where the server guarantees the request changed
+    /// nothing (degraded-mode rejection, full queue, rolled-back append):
+    /// a client may retry such a request without risking a double-apply.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub not_applied: bool,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub catalog: Option<CatalogAck>,
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -183,6 +188,17 @@ impl Response {
         Response {
             ok: false,
             error: Some(message.into()),
+            ..Response::default()
+        }
+    }
+
+    /// An error response that additionally guarantees the request was not
+    /// applied, so the client may safely retry it.
+    pub fn rejected(message: impl Into<String>) -> Response {
+        Response {
+            ok: false,
+            error: Some(message.into()),
+            not_applied: true,
             ..Response::default()
         }
     }
@@ -264,6 +280,15 @@ pub struct ScreenSummary {
     /// Orbital filter-chain counters, present on hybrid screens only.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub filter_stats: Option<FilterStatsSnapshot>,
+    /// `true` when the screen ran in degraded mode: the result describes
+    /// the current catalog but was not adopted as the warm set and will
+    /// not survive a restart.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub ephemeral: bool,
+}
+
+fn is_false(flag: &bool) -> bool {
+    !*flag
 }
 
 impl ScreenSummary {
@@ -282,6 +307,7 @@ impl ScreenSummary {
             epoch: 0,
             stale: false,
             filter_stats: report.filter_stats,
+            ephemeral: false,
         }
     }
 }
@@ -325,6 +351,12 @@ pub struct StatusInfo {
     /// and/or WAL tail rather than starting empty.
     #[serde(default)]
     pub recovered: bool,
+    /// Operating mode: `"normal"`, or `"degraded"` while persistence is
+    /// down and mutations are being rejected. Empty on payloads from
+    /// servers predating the field, and on ephemeral (no-persistence)
+    /// daemons it is always `"normal"`.
+    #[serde(default)]
+    pub mode: String,
     /// One-line metrics digest (full METRICS payload via the METRICS verb).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<String>,
@@ -440,6 +472,7 @@ mod tests {
             epoch: 9,
             stale: true,
             filter_stats: None,
+            ephemeral: false,
         };
         let mut value = serde_json::to_value(&summary).unwrap();
         let obj = value.as_object_mut().unwrap();
@@ -472,6 +505,7 @@ mod tests {
             epoch: 2,
             stale: false,
             filter_stats: Some(stats),
+            ephemeral: false,
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: ScreenSummary = serde_json::from_str(&json).unwrap();
@@ -500,6 +534,44 @@ mod tests {
             "requests_served":0,"uptime_ms":0.0,"window":[0.0,1.0]}"#;
         let back: StatusInfo = serde_json::from_str(status_json).unwrap();
         assert_eq!(back.variant, "", "pre-variant payloads default to empty");
+        assert_eq!(back.mode, "", "pre-mode payloads default to empty");
+    }
+
+    #[test]
+    fn not_applied_and_ephemeral_are_omitted_when_false() {
+        // A plain error carries no not_applied key; a rejection does.
+        let json = serde_json::to_string(&Response::error("nope")).unwrap();
+        assert!(!json.contains("not_applied"), "json: {json}");
+        let rejected = Response::rejected("service degraded (read-only): disk gone");
+        assert!(!rejected.ok && rejected.not_applied);
+        let json = serde_json::to_string(&rejected).unwrap();
+        assert!(json.contains(r#""not_applied":true"#), "json: {json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(back.not_applied);
+        // Old servers never send the key: it defaults to false.
+        let back: Response = serde_json::from_str(r#"{"ok":false,"error":"x"}"#).unwrap();
+        assert!(!back.not_applied);
+
+        let mut summary = ScreenSummary {
+            variant: "grid".to_string(),
+            n_satellites: 1,
+            candidate_pairs: 0,
+            conjunctions: 0,
+            colliding_pairs: 0,
+            timings: PhaseTimings::default(),
+            top: Vec::new(),
+            epoch: 1,
+            stale: false,
+            filter_stats: None,
+            ephemeral: false,
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(!json.contains("ephemeral"), "json: {json}");
+        summary.ephemeral = true;
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(json.contains(r#""ephemeral":true"#), "json: {json}");
+        let back: ScreenSummary = serde_json::from_str(&json).unwrap();
+        assert!(back.ephemeral);
     }
 
     #[test]
@@ -538,6 +610,7 @@ mod tests {
                 epoch: 5,
                 stale: false,
                 filter_stats: None,
+                ephemeral: false,
             }),
             Response::with_advance(AdvanceAck {
                 retired: 2,
@@ -561,6 +634,7 @@ mod tests {
                     filter_stats: None,
                 }),
                 recovered: true,
+                mode: "normal".to_string(),
                 metrics: Some("no screens yet; queue hw 0".to_string()),
             }),
             Response::with_metrics(crate::metrics::MetricsSnapshot::default()),

@@ -22,15 +22,27 @@
 //!   request plus an optional client-supplied `req_id`, echoed on the
 //!   response and usable as the CANCEL handle.
 //!
-//! Crash safety: with [`ServerOptions::persist`] set, every acknowledged
-//! mutation is appended to a write-ahead log *before* the response goes
-//! out (in commit order; stale screen results are not logged), and the
-//! full state is snapshotted every `snapshot_every` mutations (see
+//! Crash safety: with [`ServerOptions::persist`] set, every mutation that
+//! will apply is appended to a write-ahead log *before* it is applied (in
+//! commit order; stale screen results are not logged), and the full state
+//! is snapshotted every `snapshot_every` mutations (see
 //! [`crate::persist`]). Restart recovery loads the newest valid snapshot
 //! and replays the WAL tail through the same [`ServiceState::handle`] path
 //! that produced it, which the delta correctness invariant makes
 //! deterministic — a recovered daemon answers STATUS/DELTA exactly as an
 //! uninterrupted one would.
+//!
+//! Storage-fault resilience: a failed WAL append rejects that mutation
+//! (`not_applied` on the wire — memory and log never diverge) and flips
+//! the daemon into **degraded (read-only) mode**: further mutations are
+//! rejected with [`ServiceError::Degraded`], while STATUS/METRICS and
+//! even SCREEN/DELTA keep answering (screen results are served flagged
+//! `ephemeral`, not adopted). A background probe re-checks the state
+//! directory with jittered exponential backoff and, once the disk
+//! returns, writes an emergency snapshot covering the full in-memory
+//! state before switching back to normal mode — nothing acknowledged is
+//! ever lost to the outage. STATUS reports the `mode`; METRICS counts
+//! failures, transitions, and recoveries.
 //!
 //! Panic isolation: screening runs inside `catch_unwind`, so a panic
 //! mid-screen becomes an ERROR response instead of a dead worker; if a
@@ -41,7 +53,7 @@
 
 use crate::catalog::{Catalog, Removal};
 use crate::delta::{apply_removal_to_pairs, DeltaEngine, DELTA_VARIANT, HYBRID_DELTA_VARIANT};
-use crate::error::ServiceError;
+use crate::error::{PersistError, ServiceError};
 use crate::exec::{run_screen_job, CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 use crate::fault::FaultPlan;
 use crate::metrics::MetricsRegistry;
@@ -53,7 +65,7 @@ use crate::proto::{
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use kessler_core::{CancelToken, ScreeningConfig, Variant};
 use kessler_orbits::KeplerElements;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -89,6 +101,11 @@ pub struct ServerOptions {
     pub metrics_every: Option<Duration>,
     /// Screening variant the daemon serves with (grid or hybrid).
     pub variant: Variant,
+    /// First persistence re-probe delay after entering degraded mode;
+    /// doubles (with jitter) up to [`ServerOptions::probe_max`].
+    pub probe_initial: Duration,
+    /// Backoff ceiling for the degraded-mode persistence probe.
+    pub probe_max: Duration,
 }
 
 impl Default for ServerOptions {
@@ -103,6 +120,8 @@ impl Default for ServerOptions {
             faults: FaultPlan::inert(),
             metrics_every: None,
             variant: Variant::Grid,
+            probe_initial: Duration::from_millis(100),
+            probe_max: Duration::from_secs(5),
         }
     }
 }
@@ -305,6 +324,33 @@ impl ServiceState {
 
     fn note_request(&mut self) {
         self.requests += 1;
+    }
+
+    /// Exact precheck of [`ServiceState::handle`]'s verdict for a
+    /// mutation, without applying it — the write-ahead gate uses this to
+    /// decide whether a WAL record is owed *before* touching state.
+    /// Mirrors the catalog's validation (duplicate/unknown ids, capacity,
+    /// element validity) bit for bit; drift between the two is a bug the
+    /// matrix test below pins.
+    pub fn mutation_would_apply(&self, request: &Request) -> bool {
+        match request {
+            Request::Add { id, elements } => {
+                elements.into_elements().is_ok()
+                    && !self.catalog.contains(*id)
+                    && (self.catalog.len() as u32) < kessler_grid::pairset::MAX_ID
+            }
+            Request::Update { id, elements } => {
+                elements.into_elements().is_ok() && self.catalog.contains(*id)
+            }
+            Request::Remove { id } => self.catalog.contains(*id),
+            // Screens always produce a result; an inline ADVANCE holds the
+            // lock from capture to commit, so only its dt can fail.
+            Request::Screen | Request::Delta => true,
+            Request::Advance { dt } => dt.is_finite() && *dt > 0.0,
+            Request::Status | Request::Metrics | Request::Cancel { .. } | Request::Shutdown => {
+                false
+            }
+        }
     }
 
     /// Execute one request against the state. Pure request→response; all
@@ -523,6 +569,9 @@ impl ServiceState {
             window: self.window(),
             last_screen,
             recovered: self.recovered,
+            // The daemon layer overwrites this with the live health mode;
+            // a bare state (tests, ephemeral daemons) is always normal.
+            mode: "normal".to_string(),
             metrics: None, // the daemon layer fills this in
         }
     }
@@ -544,9 +593,29 @@ enum Job {
     Stop,
 }
 
+/// Degraded-mode flag plus the condvar that wakes the persistence probe.
+/// Lock order: after `state` and `persist`, before `metrics`. Holders
+/// never acquire another lock while holding `inner` (enter/exit drop it
+/// before touching metrics), so it cannot participate in a cycle.
+struct Health {
+    inner: Mutex<HealthInner>,
+    /// Signalled on entry into degraded mode; the probe thread waits here.
+    probe_wake: Condvar,
+}
+
+#[derive(Default)]
+struct HealthInner {
+    degraded: bool,
+    /// The persistence failure that triggered degradation (for rejections
+    /// and logs).
+    reason: String,
+}
+
 struct Shared {
     state: Mutex<ServiceState>,
     persist: Option<Mutex<Persister>>,
+    /// Operating mode (normal/degraded); see [`Health`] for lock order.
+    health: Health,
     /// Rolling observability counters/histograms. Lock order: always after
     /// `state` (and `persist`) — the METRICS fast path takes only this.
     metrics: Mutex<MetricsRegistry>,
@@ -561,49 +630,162 @@ struct Shared {
     max_line_bytes: usize,
 }
 
-/// WAL + metrics tail shared by the inline path and the worker commit
-/// path: if the (already applied) request mutated state, write it to the
-/// WAL before the response escapes. A WAL append failure turns the
-/// response into an error (the mutation is applied in memory but the
-/// client must not treat it as durable); a snapshot failure only logs,
-/// since the WAL still covers every acknowledged record. Stale screen
-/// results are *not* logged — they did not change the maintained set, and
-/// WAL order must match commit order.
-fn persist_and_record(
-    shared: &Shared,
-    request: &Request,
-    state: &mut ServiceState,
-    mut response: Response,
-) -> Response {
-    let adopted =
-        response.ok && request.is_mutation() && !response.screen.as_ref().is_some_and(|s| s.stale);
-    if adopted {
-        if let Some(persist) = &shared.persist {
-            let mut persister = persist.lock();
-            let append_started = Instant::now();
-            if let Err(err) = persister.append(request) {
-                shared.metrics.lock().count_request(request.kind(), false);
-                return Response::error(format!("applied but not persisted: {err}"));
-            }
+impl Shared {
+    fn is_degraded(&self) -> bool {
+        self.health.inner.lock().degraded
+    }
+
+    fn mode_label(&self) -> &'static str {
+        if self.is_degraded() {
+            "degraded"
+        } else {
+            "normal"
+        }
+    }
+
+    fn degraded_reason(&self) -> String {
+        self.health.inner.lock().reason.clone()
+    }
+
+    /// Flip into degraded (read-only) mode and wake the probe thread.
+    /// Idempotent: re-entering while already degraded changes nothing.
+    fn enter_degraded(&self, reason: &str) {
+        let mut health = self.health.inner.lock();
+        if health.degraded {
+            return;
+        }
+        health.degraded = true;
+        health.reason = reason.to_string();
+        drop(health);
+        self.health.probe_wake.notify_all();
+        self.metrics.lock().note_degraded_entry();
+        eprintln!(
+            "kessler-service: entering degraded (read-only) mode, mutations rejected: {reason}"
+        );
+    }
+
+    /// Return to normal mode (the probe calls this after a successful
+    /// emergency snapshot).
+    fn exit_degraded(&self) {
+        let mut health = self.health.inner.lock();
+        if !health.degraded {
+            return;
+        }
+        health.degraded = false;
+        health.reason.clear();
+        drop(health);
+        self.metrics.lock().note_degraded_recovery();
+        eprintln!("kessler-service: persistence recovered; back to normal mode");
+    }
+}
+
+/// WAL-before-apply gate: log the mutation *before* it touches in-memory
+/// state. Returns `None` when the caller may proceed with the apply (the
+/// record is durable, or the daemon is ephemeral), or `Some(rejection)`
+/// when the mutation must not happen — either the daemon is already
+/// degraded, or this append just failed (which flips it into degraded
+/// mode). Because nothing was applied yet, a rejection leaves state
+/// byte-identical to never having seen the request: `not_applied` in the
+/// rejection is a hard guarantee, and the client may retry safely.
+///
+/// Callers own the metrics `count_request` for the rejection; this
+/// function only touches the failure counters, so the ephemeral-screen
+/// path can reuse it without double-counting.
+fn ensure_logged(shared: &Shared, request: &Request) -> Option<Response> {
+    let persist = shared.persist.as_ref()?;
+    if shared.is_degraded() {
+        let reason = shared.degraded_reason();
+        return Some(Response::rejected(
+            ServiceError::Degraded { reason }.to_string(),
+        ));
+    }
+    let mut persister = persist.lock();
+    let append_started = Instant::now();
+    match persister.append(request) {
+        Ok(()) => {
+            drop(persister);
             shared
                 .metrics
                 .lock()
                 .record_wal_fsync(append_started.elapsed());
+            None
+        }
+        Err(err) => {
+            drop(persister);
+            shared.metrics.lock().note_wal_append_failure();
+            shared.enter_degraded(&format!("wal append failed: {err}"));
+            Some(Response::rejected(format!(
+                "not applied: wal append failed: {err}"
+            )))
+        }
+    }
+}
+
+/// Metrics + snapshot tail shared by the inline path and the worker
+/// commit path. `logged` says whether [`ensure_logged`] wrote a WAL
+/// record for this request; `adopted` (computed here) says whether the
+/// apply actually changed the maintained set. The two disagree only when
+/// a precheck drifted from the real apply — then the logged record is a
+/// phantom and an emergency snapshot covering current state supersedes
+/// it (degrading if even that fails). Stale and ephemeral screen results
+/// are never adopted: they did not change the maintained set, and WAL
+/// order must match commit order.
+fn finish_record(
+    shared: &Shared,
+    request: &Request,
+    state: &mut ServiceState,
+    mut response: Response,
+    logged: bool,
+) -> Response {
+    let adopted = response.ok
+        && request.is_mutation()
+        && !response
+            .screen
+            .as_ref()
+            .is_some_and(|s| s.stale || s.ephemeral);
+    if let Some(persist) = &shared.persist {
+        if logged && !adopted {
+            // Precheck drift: a record is on disk for a mutation that did
+            // not stick. Replaying it on restart would diverge, so pin a
+            // snapshot at (or past) its seq — replay then starts after it.
+            let mut persister = persist.lock();
+            let snapshot = state.snapshot(persister.last_seq());
+            if let Err(err) = persister.write_snapshot(&snapshot) {
+                drop(persister);
+                shared.metrics.lock().note_snapshot_failure();
+                shared.enter_degraded(&format!(
+                    "logged-but-unapplied record could not be covered by a snapshot: {err}"
+                ));
+            }
+        } else if adopted && !shared.is_degraded() {
+            let mut persister = persist.lock();
             if persister.should_snapshot() {
                 let snapshot = state.snapshot(persister.last_seq());
                 let snapshot_started = Instant::now();
                 match persister.write_snapshot(&snapshot) {
-                    Ok(bytes) => shared
-                        .metrics
-                        .lock()
-                        .record_snapshot(snapshot_started.elapsed(), bytes),
+                    Ok(bytes) => {
+                        drop(persister);
+                        shared
+                            .metrics
+                            .lock()
+                            .record_snapshot(snapshot_started.elapsed(), bytes);
+                    }
                     Err(err) => {
-                        eprintln!("kessler-service: snapshot failed (wal still intact): {err}");
+                        let wal_bytes = persister.wal_size();
+                        drop(persister);
+                        shared.metrics.lock().note_snapshot_failure();
+                        eprintln!(
+                            "kessler-service: snapshot failed (wal still intact at {wal_bytes} \
+                             bytes, compaction starved; retrying on the next mutation): {err}"
+                        );
                     }
                 }
             }
         }
     }
+    // Mode is read before the metrics lock: health sits *before* metrics
+    // in the lock order.
+    let mode = shared.mode_label();
     let mut metrics = shared.metrics.lock();
     metrics.count_request(request.kind(), response.ok);
     if response.ok {
@@ -624,13 +806,14 @@ fn persist_and_record(
     }
     if let Some(status) = &mut response.status {
         status.metrics = Some(metrics.one_line());
+        status.mode = mode.to_string();
     }
     response
 }
 
-/// Execute a non-screening request inline: state mutation under the lock,
-/// then the shared WAL/metrics tail. METRICS short-circuits without ever
-/// touching the state lock.
+/// Execute a non-screening request inline: WAL-before-apply gate, state
+/// mutation under the lock, then the shared metrics tail. METRICS
+/// short-circuits without ever touching the state lock.
 fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
     if matches!(request, Request::Metrics) {
         // Served entirely at this layer: never touches the state lock,
@@ -640,8 +823,16 @@ fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
         return Response::with_metrics(metrics.snapshot());
     }
     let state = &mut *shared.state.lock();
+    let mut logged = false;
+    if request.is_mutation() && state.mutation_would_apply(request) {
+        if let Some(rejection) = ensure_logged(shared, request) {
+            shared.metrics.lock().count_request(request.kind(), false);
+            return rejection;
+        }
+        logged = true;
+    }
     let response = state.handle(request);
-    persist_and_record(shared, request, state, response)
+    finish_record(shared, request, state, response, logged)
 }
 
 /// Register, capture, and enqueue one screening request; blocks until its
@@ -657,6 +848,14 @@ fn enqueue_screen(shared: &Shared, request: Request, req_id: Option<String>) -> 
                 return Response::error(format!(
                     "advance dt must be positive and finite, got {dt}"
                 ));
+            }
+            if shared.is_degraded() {
+                // ADVANCE only means anything if it mutates the catalog, so
+                // there is no ephemeral fallback — reject before burning a
+                // worker on a propagation that could never commit.
+                shared.metrics.lock().count_request(request.kind(), false);
+                let reason = shared.degraded_reason();
+                return Response::rejected(ServiceError::Degraded { reason }.to_string());
             }
             ScreenKind::Advance { dt: *dt }
         }
@@ -697,13 +896,61 @@ fn enqueue_screen(shared: &Shared, request: Request, req_id: Option<String>) -> 
         }
         Err(TrySendError::Full(_)) => {
             shared.registry.unregister(seq);
-            Response::error("server busy: screening queue is full, retry later")
+            Response::rejected("server busy: screening queue is full, retry later")
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.registry.unregister(seq);
-            Response::error("server is shutting down")
+            Response::rejected("server is shutting down")
         }
     }
+}
+
+/// Commit one finished screening job with the same WAL-before-apply
+/// discipline as the inline path. The adoption decision is made under the
+/// state lock *before* logging, with exactly the test
+/// [`ServiceState::commit_screen_job`] will apply, so a logged record
+/// always corresponds to a real commit. When the record cannot be logged,
+/// full/delta screens are still answered from the completed computation —
+/// marked `ephemeral` and *not* adopted, so the served result never
+/// diverges from the replayable history — while ADVANCE (which must
+/// mutate the catalog to mean anything) is rejected outright.
+fn commit_with_wal(
+    shared: &Shared,
+    request: &Request,
+    state: &mut ServiceState,
+    job: &ScreenJob,
+    output: ScreenOutput,
+) -> Response {
+    let adopts = match &output {
+        ScreenOutput::Screen { .. } => job.epoch() >= state.warm_epoch,
+        ScreenOutput::Advance { .. } => state.catalog().epoch() == job.epoch(),
+    };
+    let mut logged = false;
+    if adopts {
+        if let Some(rejection) = ensure_logged(shared, request) {
+            return match output {
+                ScreenOutput::Screen { report, .. } => {
+                    let mut summary = ScreenSummary::from_report(&report);
+                    summary.epoch = job.epoch();
+                    summary.ephemeral = true;
+                    finish_record(
+                        shared,
+                        request,
+                        state,
+                        Response::with_screen(summary),
+                        false,
+                    )
+                }
+                ScreenOutput::Advance { .. } => {
+                    shared.metrics.lock().count_request(request.kind(), false);
+                    rejection
+                }
+            };
+        }
+        logged = true;
+    }
+    let response = state.commit_screen_job(job, output);
+    finish_record(shared, request, state, response, logged)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -758,8 +1005,7 @@ fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
                 let response = match outcome {
                     Ok(Ok(output)) => {
                         let state = &mut *shared.state.lock();
-                        let response = state.commit_screen_job(&job, output);
-                        persist_and_record(shared, &request, state, response)
+                        commit_with_wal(shared, &request, state, &job, output)
                     }
                     Ok(Err(_cancelled)) => {
                         let mut metrics = shared.metrics.lock();
@@ -855,12 +1101,123 @@ fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) -> Option<JoinHa
     }
 }
 
+/// Sleep in ~50 ms steps, bailing out early at shutdown so the probe
+/// never pins the process open through a long backoff interval.
+fn sleep_with_shutdown(shared: &Shared, total: Duration) {
+    let step = Duration::from_millis(50).min(total);
+    let mut slept = Duration::ZERO;
+    while slept < total {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        thread::sleep(step);
+        slept += step;
+    }
+}
+
+/// Equal-jitter backoff: half the nominal delay guaranteed, the other
+/// half uniformly random, so probes from daemons degraded by the same
+/// outage do not hammer the disk in lockstep.
+fn jittered(delay: Duration, rng: &mut u64) -> Duration {
+    *rng = rng
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let half = delay.as_micros() as u64 / 2;
+    Duration::from_micros(half + (*rng >> 33) % (half + 1))
+}
+
+/// One recovery attempt: prove the disk accepts writes again, then make
+/// every in-memory mutation durable at once with an emergency snapshot.
+/// The snapshot covers the full current state at the persister's last
+/// seq, so any record the WAL missed while degraded (there are none — but
+/// also any phantom logged-not-applied record) is superseded. Lock order:
+/// state before persist, matching every other path.
+fn attempt_recovery(shared: &Shared) -> Result<(), PersistError> {
+    let Some(persist) = &shared.persist else {
+        return Ok(());
+    };
+    let state = shared.state.lock();
+    let mut persister = persist.lock();
+    persister.probe()?;
+    let snapshot = state.snapshot(persister.last_seq());
+    let started = Instant::now();
+    let bytes = persister.write_snapshot(&snapshot)?;
+    drop(persister);
+    drop(state);
+    shared
+        .metrics
+        .lock()
+        .record_snapshot(started.elapsed(), bytes);
+    Ok(())
+}
+
+/// The persistence probe: parked on a condvar while the daemon is
+/// healthy, and once degraded, re-tries the disk under jittered
+/// exponential backoff until an emergency snapshot lands — at which point
+/// the daemon leaves degraded mode and the probe parks again.
+fn persist_probe_loop(shared: &Shared, initial: Duration, max: Duration) {
+    let mut rng = (shared as *const Shared as usize as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    loop {
+        {
+            let mut health = shared.health.inner.lock();
+            while !health.degraded {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared
+                    .health
+                    .probe_wake
+                    .wait_for(&mut health, Duration::from_millis(250));
+            }
+        }
+        let mut delay = initial.max(Duration::from_millis(1));
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            sleep_with_shutdown(shared, jittered(delay, &mut rng));
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match attempt_recovery(shared) {
+                Ok(()) => {
+                    shared.exit_degraded();
+                    break;
+                }
+                Err(err) => {
+                    shared.metrics.lock().note_probe_failure();
+                    eprintln!(
+                        "kessler-service: persistence probe failed (retrying in ~{:?}): {err}",
+                        (delay * 2).min(max)
+                    );
+                    delay = (delay * 2).min(max);
+                }
+            }
+        }
+    }
+}
+
+fn spawn_persist_probe(
+    shared: Arc<Shared>,
+    initial: Duration,
+    max: Duration,
+) -> Result<JoinHandle<()>, ServiceError> {
+    thread::Builder::new()
+        .name("kessler-persist-probe".into())
+        .spawn(move || persist_probe_loop(&shared, initial, max))
+        .map_err(|e| ServiceError::Spawn {
+            what: "persistence probe",
+            source: e,
+        })
+}
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     supervisors: Vec<JoinHandle<()>>,
     reporter: Option<JoinHandle<()>>,
+    probe: Option<JoinHandle<()>>,
     workers: usize,
     recovery: Option<RecoverySummary>,
 }
@@ -937,6 +1294,10 @@ impl Server {
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             persist: persister.map(Mutex::new),
+            health: Health {
+                inner: Mutex::new(HealthInner::default()),
+                probe_wake: Condvar::new(),
+            },
             metrics: Mutex::new(MetricsRegistry::new()),
             registry: CancelRegistry::new(),
             shutdown: AtomicBool::new(false),
@@ -958,11 +1319,22 @@ impl Server {
         let reporter = options
             .metrics_every
             .and_then(|every| spawn_metrics_reporter(Arc::clone(&shared), every));
+        // Ephemeral daemons cannot lose persistence, so they get no probe.
+        let probe = if shared.persist.is_some() {
+            Some(spawn_persist_probe(
+                Arc::clone(&shared),
+                options.probe_initial,
+                options.probe_max,
+            )?)
+        } else {
+            None
+        };
         Ok(Server {
             listener,
             shared,
             supervisors,
             reporter,
+            probe,
             workers,
             recovery: recovery_summary,
         })
@@ -1034,6 +1406,12 @@ impl Server {
         }
         if let Some(reporter) = self.reporter.take() {
             let _ = reporter.join();
+        }
+        if let Some(probe) = self.probe.take() {
+            // Wake it if it is parked on the healthy-mode condvar so the
+            // shutdown flag is seen immediately.
+            self.shared.health.probe_wake.notify_all();
+            let _ = probe.join();
         }
     }
 
@@ -1346,6 +1724,86 @@ mod tests {
         assert!(r.ok);
         let r = state.handle(&Request::Remove { id: 7 });
         assert!(!r.ok, "double remove must fail");
+    }
+
+    #[test]
+    fn mutation_precheck_agrees_with_the_real_apply() {
+        // WAL-before-apply leans on this: a request the precheck accepts
+        // is logged *before* `handle` runs, so any case where the precheck
+        // says yes but the apply says no (or vice versa) either writes a
+        // phantom record or silently skips durability. Walk the failure
+        // matrix and demand exact agreement.
+        let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+        let mut state = ServiceState::new(config).unwrap();
+        assert!(
+            state
+                .handle(&Request::Add {
+                    id: 1,
+                    elements: spec(7_000.0, 0.5, 0.0)
+                })
+                .ok
+        );
+        assert!(
+            state
+                .handle(&Request::Add {
+                    id: 2,
+                    elements: spec(7_010.0, 0.6, 1.0)
+                })
+                .ok
+        );
+
+        let bad = ElementsSpec {
+            a: -5.0,
+            e: 0.0,
+            incl: 0.0,
+            raan: 0.0,
+            argp: 0.0,
+            mean_anomaly: 0.0,
+        };
+        let matrix: Vec<Request> = vec![
+            Request::Add {
+                id: 3,
+                elements: spec(7_020.0, 0.7, 2.0),
+            }, // fresh
+            Request::Add {
+                id: 1,
+                elements: spec(7_020.0, 0.7, 2.0),
+            }, // duplicate
+            Request::Add {
+                id: 9,
+                elements: bad,
+            }, // invalid elements
+            Request::Update {
+                id: 2,
+                elements: spec(7_030.0, 0.8, 3.0),
+            }, // known
+            Request::Update {
+                id: 99,
+                elements: spec(7_030.0, 0.8, 3.0),
+            }, // unknown
+            Request::Update {
+                id: 2,
+                elements: bad,
+            }, // invalid elements
+            Request::Remove { id: 1 },         // known
+            Request::Remove { id: 1 },         // double remove
+            Request::Advance { dt: 30.0 },     // good dt
+            Request::Advance { dt: -1.0 },     // bad dt
+            Request::Advance { dt: f64::NAN }, // bad dt
+        ];
+        for request in &matrix {
+            let predicted = state.mutation_would_apply(request);
+            let applied = state.handle(request).ok;
+            assert_eq!(
+                predicted, applied,
+                "precheck drifted from the apply on {request:?}"
+            );
+        }
+        // Verbs the daemon layer answers without the WAL are never
+        // "would apply".
+        assert!(!state.mutation_would_apply(&Request::Status));
+        assert!(!state.mutation_would_apply(&Request::Metrics));
+        assert!(!state.mutation_would_apply(&Request::Shutdown));
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! append-only log needs (a crash mid-`write` damages only the tail).
 
 use crate::error::PersistError;
+use crate::fault::FaultPlan;
 use crate::proto::Request;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Checksum seed: any fixed value works, it only has to match on replay.
 const CHECKSUM_SEED: u32 = 0x5eed_cafe;
@@ -140,10 +142,20 @@ pub fn read_wal(path: &Path) -> Result<WalReplay, PersistError> {
 pub struct WalWriter {
     file: File,
     path: PathBuf,
+    faults: Arc<FaultPlan>,
 }
 
 impl WalWriter {
     pub fn open_append(path: &Path) -> Result<WalWriter, PersistError> {
+        WalWriter::open_append_with(path, FaultPlan::inert())
+    }
+
+    /// Like [`WalWriter::open_append`], with a fault plan the writer
+    /// consults on every fsync (an inert plan costs one atomic load).
+    pub fn open_append_with(
+        path: &Path,
+        faults: Arc<FaultPlan>,
+    ) -> Result<WalWriter, PersistError> {
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -152,11 +164,39 @@ impl WalWriter {
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
+            faults,
         })
     }
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Current byte length of the log, so a caller can capture a rollback
+    /// point before an append.
+    pub fn len(&self) -> Result<u64, PersistError> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| PersistError::io(format!("stat {}", self.path.display()), e))
+    }
+
+    /// True when the log holds no bytes.
+    pub fn is_empty(&self) -> Result<bool, PersistError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Truncate the log back to `len` bytes and sync, undoing the bytes
+    /// of a failed append so no residue of an unacknowledged record
+    /// survives a crash.
+    pub fn truncate_to(&mut self, len: u64) -> Result<(), PersistError> {
+        let context = || format!("truncate {}", self.path.display());
+        self.file
+            .set_len(len)
+            .map_err(|e| PersistError::io(context(), e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| PersistError::io(context(), e))
     }
 
     /// Append one record durably.
@@ -187,6 +227,11 @@ impl WalWriter {
         self.file
             .flush()
             .map_err(|e| PersistError::io(context(), e))?;
+        if let Some(err) = self.faults.take_wal_fsync_error() {
+            // The record's bytes already landed; failing here models the
+            // kernel refusing to make them durable.
+            return Err(PersistError::io(context(), err));
+        }
         self.file
             .sync_data()
             .map_err(|e| PersistError::io(context(), e))?;
@@ -298,6 +343,40 @@ mod tests {
         let replay = read_wal(&path).unwrap();
         assert_eq!(replay.records.len(), 1, "only the prefix before the damage");
         assert!(replay.torn.is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_to_rolls_back_a_partial_append() {
+        let path = temp_wal("rollback");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open_append(&path).unwrap();
+        writer.append(1, &Request::Screen).unwrap();
+        let pre_len = writer.len().unwrap();
+        writer.append_torn(2, &Request::Screen).unwrap();
+        assert!(writer.len().unwrap() > pre_len);
+        writer.truncate_to(pre_len).unwrap();
+        assert_eq!(writer.len().unwrap(), pre_len);
+
+        // The log is clean again: the next append lands on a valid tail.
+        writer.append(2, &Request::Delta).unwrap();
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.torn.is_none(), "{:?}", replay.torn);
+        assert_eq!(replay.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_as_an_io_error() {
+        let path = temp_wal("fsyncfault");
+        let _ = std::fs::remove_file(&path);
+        let faults = FaultPlan::inert();
+        faults.arm_wal_fsync_fail();
+        let mut writer = WalWriter::open_append_with(&path, Arc::clone(&faults)).unwrap();
+        let err = writer.append(1, &Request::Screen).expect_err("fsync fault");
+        assert!(err.to_string().contains("append to"), "{err}");
+        // One-shot: the next append succeeds.
+        writer.append(1, &Request::Screen).unwrap();
         let _ = std::fs::remove_file(&path);
     }
 

@@ -18,6 +18,9 @@ RUST_BACKTRACE=1 cargo test -p kessler-service -q --test metrics
 echo "==> cargo test -p kessler-service --test hybrid (hybrid-variant daemon e2e)"
 RUST_BACKTRACE=1 cargo test -p kessler-service -q --test hybrid
 
+echo "==> cargo test -p kessler-service --test disk_faults (disk-chaos suite)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q --test disk_faults
+
 echo "==> cargo test --test delta_correctness (delta vs cold-full, both variants)"
 RUST_BACKTRACE=1 cargo test -q --test delta_correctness
 
