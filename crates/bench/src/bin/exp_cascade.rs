@@ -1,0 +1,275 @@
+//! E-CASCADE — live fragmentation-cascade absorption.
+//!
+//! The batch experiments measure screening a *fixed* population; this one
+//! measures the operational scenario the service exists for: a daemon is
+//! holding a screened catalog mid-window when a breakup event injects a
+//! debris cloud (≥ 2000 fragments by default), streamed over the wire one
+//! ADD at a time while concurrent clients keep screening. Reported:
+//!
+//! - **absorption latency** — wall time from the first fragment ADD until
+//!   the DELTA screen that folds the whole cloud into the warm
+//!   conjunction set returns;
+//! - **queue high-water** — deepest the screening queue got while ingest
+//!   and the concurrent screens competed (from METRICS);
+//! - **delta-screen phase timings** — where the absorption time went
+//!   (propagation+insertion vs candidate extraction vs refinement);
+//! - **identity** — the delta result must match a cold full screen of the
+//!   post-cascade catalog exactly (the delta engine's contract).
+//!
+//! `--smoke` shrinks everything for CI. A JSON row goes to stdout and the
+//! full report to `results_cascade.json` (override with `--json`).
+
+use kessler_bench::{experiment_population, Args};
+use kessler_core::ScreeningConfig;
+use kessler_orbits::propagator::PropagationConstants;
+use kessler_orbits::{ContourSolver, KeplerElements};
+use kessler_population::Fragmentation;
+use kessler_service::proto::ElementsSpec;
+use kessler_service::{request, Client, Request, Server};
+use serde::Serialize;
+use std::thread;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CascadeReport {
+    n_base: usize,
+    n_fragments: usize,
+    threshold_km: f64,
+    span_seconds: f64,
+    /// Wall time streaming the fragment ADDs, seconds.
+    ingest_seconds: f64,
+    /// First fragment ADD → DELTA response, seconds.
+    absorption_seconds: f64,
+    /// Fragment ADDs acknowledged per second during ingest.
+    ingest_rate_hz: f64,
+    /// Deepest the screening queue got (METRICS high-water).
+    queue_highwater: usize,
+    /// Concurrent full screens that completed during ingest.
+    stress_screens: usize,
+    /// Phase timings of the absorbing delta screen, milliseconds.
+    delta_timings_ms: PhaseRow,
+    /// Phase timings of the post-cascade cold full screen, milliseconds.
+    full_timings_ms: PhaseRow,
+    delta_variant: String,
+    delta_conjunctions: usize,
+    delta_colliding_pairs: usize,
+    full_conjunctions: usize,
+    full_colliding_pairs: usize,
+    /// Delta result == cold full screen (counts and pair sets).
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct PhaseRow {
+    insertion: f64,
+    pair_extraction: f64,
+    filters: f64,
+    refinement: f64,
+    total: f64,
+}
+
+impl PhaseRow {
+    fn from_timings(t: &kessler_core::timing::PhaseTimings) -> PhaseRow {
+        PhaseRow {
+            insertion: t.insertion.as_secs_f64() * 1e3,
+            pair_extraction: t.pair_extraction.as_secs_f64() * 1e3,
+            filters: t.filters.as_secs_f64() * 1e3,
+            refinement: t.refinement.as_secs_f64() * 1e3,
+            total: t.total.as_secs_f64() * 1e3,
+        }
+    }
+}
+
+fn spec_of(el: &KeplerElements) -> ElementsSpec {
+    ElementsSpec {
+        a: el.semi_major_axis,
+        e: el.eccentricity,
+        incl: el.inclination,
+        raan: el.raan,
+        argp: el.arg_perigee,
+        mean_anomaly: el.mean_anomaly,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("--smoke");
+    let n_base = args.usize_of("--n", if smoke { 48 } else { 1_500 });
+    let n_fragments = args.usize_of("--fragments", if smoke { 64 } else { 2_000 });
+    let threshold = args.f64_of("--threshold", 5.0);
+    let span = args.f64_of("--span", if smoke { 60.0 } else { 120.0 });
+    let stress = args.usize_of("--stress-screens", if smoke { 1 } else { 3 });
+    let delta_v = args.f64_of("--delta-v", 0.05);
+
+    println!(
+        "E-CASCADE — fragmentation-cascade absorption ({n_base} base satellites, \
+         {n_fragments} fragments, {threshold} km / {span} s window{})",
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    // A daemon over the grid pipeline, ephemeral port, in-process.
+    let config = ScreeningConfig::grid_defaults(threshold, span);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn().expect("spawn server");
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Base catalog + warm screen, then slide mid-window so the cascade
+    // arrives into an already-advanced horizon (the operational case).
+    let population = experiment_population(n_base);
+    for (id, el) in population.iter().enumerate() {
+        let response = client
+            .send(&Request::Add {
+                id: id as u64,
+                elements: spec_of(el),
+            })
+            .expect("ADD base");
+        assert!(response.ok, "ADD {id}: {:?}", response.error);
+    }
+    let warm = client
+        .send(&Request::Screen)
+        .expect("SCREEN")
+        .screen
+        .expect("warm screen summary");
+    println!(
+        "  warm screen: {} conjunctions in {:.1} ms",
+        warm.conjunctions,
+        warm.timings.total.as_secs_f64() * 1e3
+    );
+    let advance = client
+        .send(&Request::Advance { dt: span / 3.0 })
+        .expect("ADVANCE");
+    assert!(advance.ok, "ADVANCE: {:?}", advance.error);
+
+    // The debris cloud: the first catalog satellite breaks up at its
+    // current state. Generation is all-or-nothing since the shortfall fix,
+    // so a short cloud is a hard error here, never a silent under-stress.
+    let parent = PropagationConstants::from_elements(&population[0])
+        .propagate(0.0, &ContourSolver::default());
+    let cloud = Fragmentation {
+        fragments: n_fragments,
+        delta_v_sigma: delta_v,
+        seed: 0xCA5CADE,
+    }
+    .generate_from_state(parent)
+    .expect("fragment cloud generation (parent should be deep in the viable domain)");
+
+    // Concurrent pressure: screens racing the ingest on their own
+    // connections, so the queue high-water metric reflects real contention.
+    let stress_threads: Vec<_> = (0..stress)
+        .map(|k| {
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("stress connect");
+                let r = c
+                    .send_tagged(&Request::Screen, &format!("stress-{k}"))
+                    .expect("stress SCREEN");
+                r.ok as usize
+            })
+        })
+        .collect();
+
+    // Stream the cascade, one ADD per line, timed end to end.
+    let ingest_start = Instant::now();
+    for (i, el) in cloud.iter().enumerate() {
+        let response = client
+            .send(&Request::Add {
+                id: (n_base + i) as u64,
+                elements: spec_of(el),
+            })
+            .expect("ADD fragment");
+        assert!(response.ok, "ADD fragment {i}: {:?}", response.error);
+    }
+    let ingest_seconds = ingest_start.elapsed().as_secs_f64();
+    let stress_done: usize = stress_threads
+        .into_iter()
+        .map(|t| t.join().expect("stress thread"))
+        .sum();
+
+    // The absorbing delta: fold every pending fragment into the warm set.
+    let delta = client
+        .send(&Request::Delta)
+        .expect("DELTA")
+        .screen
+        .expect("delta summary");
+    let absorption_seconds = ingest_start.elapsed().as_secs_f64();
+    assert_eq!(delta.n_satellites, n_base + n_fragments);
+
+    // Contract check: a cold full screen of the same catalog must agree.
+    let full = client
+        .send(&Request::Screen)
+        .expect("SCREEN")
+        .screen
+        .expect("full summary");
+    let identical =
+        delta.conjunctions == full.conjunctions && delta.colliding_pairs == full.colliding_pairs;
+
+    let metrics = client
+        .send(&Request::Metrics)
+        .expect("METRICS")
+        .metrics
+        .expect("metrics snapshot");
+
+    drop(client);
+    let response = request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    assert!(response.ok);
+    handle.shutdown();
+
+    let report = CascadeReport {
+        n_base,
+        n_fragments,
+        threshold_km: threshold,
+        span_seconds: span,
+        ingest_seconds,
+        absorption_seconds,
+        ingest_rate_hz: n_fragments as f64 / ingest_seconds.max(1e-9),
+        queue_highwater: metrics.queue_highwater,
+        stress_screens: stress_done,
+        delta_timings_ms: PhaseRow::from_timings(&delta.timings),
+        full_timings_ms: PhaseRow::from_timings(&full.timings),
+        delta_variant: delta.variant.clone(),
+        delta_conjunctions: delta.conjunctions,
+        delta_colliding_pairs: delta.colliding_pairs,
+        full_conjunctions: full.conjunctions,
+        full_colliding_pairs: full.colliding_pairs,
+        identical,
+    };
+
+    println!(
+        "  ingest: {} fragments in {:.1} ms ({:.0} ADD/s), queue high-water {}",
+        n_fragments,
+        ingest_seconds * 1e3,
+        report.ingest_rate_hz,
+        report.queue_highwater
+    );
+    println!(
+        "  absorption: {:.1} ms first-ADD→DELTA ({} variant: {:.1} ms, \
+         INS {:.1} ms / CD {:.1} ms / REF {:.1} ms)",
+        absorption_seconds * 1e3,
+        report.delta_variant,
+        report.delta_timings_ms.total,
+        report.delta_timings_ms.insertion,
+        report.delta_timings_ms.pair_extraction,
+        report.delta_timings_ms.refinement
+    );
+    println!(
+        "  delta vs cold full: {} vs {} conjunctions, {} vs {} pairs — {}",
+        report.delta_conjunctions,
+        report.full_conjunctions,
+        report.delta_colliding_pairs,
+        report.full_colliding_pairs,
+        if identical { "identical" } else { "MISMATCH" }
+    );
+
+    let row = serde_json::to_string(&report).expect("report serialises");
+    println!("{row}");
+    let path = args.value_of("--json").unwrap_or("results_cascade.json");
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, pretty).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("(wrote JSON report to {path})");
+
+    assert!(
+        identical,
+        "delta screen diverged from the cold full screen — the delta \
+         engine's equality contract is broken"
+    );
+}

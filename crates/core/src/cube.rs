@@ -156,7 +156,7 @@ pub fn cube_estimate(population: &[KeplerElements], config: &CubeConfig) -> Cube
 fn velocity_of(propagator: &BatchPropagator, index: usize, anomaly: f64) -> Vec3 {
     // Velocity at the randomised anomaly: rebuild the constants with the
     // overridden anomaly (cheap relative to the MC loop).
-    let mut c = propagator.constants()[index];
+    let mut c = propagator.constants_of(index);
     c.m0 = anomaly;
     c.propagate(0.0, &ContourSolver::default()).velocity
 }

@@ -29,8 +29,7 @@ use kessler_grid::grid::NeighborScan;
 use kessler_grid::pairset::{CandidatePair, PairSet};
 use kessler_grid::SpatialGrid;
 use kessler_math::Interval;
-use kessler_orbits::propagator::PropagationConstants;
-use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements};
+use kessler_orbits::{BatchPropagator, ContourSolver, KeplerElements, SoaColumns};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -41,7 +40,7 @@ use std::time::Instant;
 #[allow(clippy::too_many_arguments)]
 fn device_grid_phase(
     device: &Device,
-    constants: &DeviceBuffer<PropagationConstants>,
+    constants: &DeviceBuffer<f64>,
     n: usize,
     planner: &PlannerReport,
     scan: NeighborScan,
@@ -66,9 +65,11 @@ fn device_grid_phase(
             if step > first_step {
                 grid.reset();
             }
-            let consts = constants.as_slice();
+            // The a_k allocation is a flat structure-of-arrays buffer on
+            // the device; each thread gathers its satellite's lane.
+            let cols = SoaColumns::from_flat(constants.as_slice(), n);
             device.launch("propagate_insert", LaunchConfig::for_elements(n), |tid| {
-                let pos = consts[tid.global].position(t, solver);
+                let pos = cols.position(tid.global, t, solver);
                 grid.insert(tid.global as u32, pos)
                     .expect("grid sized at 2n slots cannot fill up");
             });
@@ -127,9 +128,10 @@ impl Screener for GpuGridScreener {
             let planner = MemoryModel::new(Variant::Grid).plan(population.len(), &planner_config);
 
             self.device.reset_metrics();
-            // H→D: satellite constants (the a_k upload).
+            // H→D: satellite constants (the a_k upload), as one flat
+            // structure-of-arrays f64 buffer.
             let host_propagator = BatchPropagator::new(population);
-            let constants = DeviceBuffer::from_host(&self.device, host_propagator.constants())
+            let constants = DeviceBuffer::from_host(&self.device, host_propagator.raw_columns())
                 .expect("device memory exhausted by satellite data");
 
             let entries = device_grid_phase(
@@ -152,7 +154,7 @@ impl Screener for GpuGridScreener {
             let mut found: Vec<Conjunction>;
             {
                 let _timer = PhaseTimer::start(&mut timings.refinement);
-                let consts = constants.as_slice();
+                let cols = SoaColumns::from_flat(constants.as_slice(), population.len());
                 let solver = self.solver;
                 let threshold = config.threshold_km;
                 let cell = planner.cell_size_km;
@@ -164,11 +166,11 @@ impl Screener for GpuGridScreener {
                         LaunchConfig::for_elements(entries.len()),
                         |tid| {
                             let e = &entries[tid.global];
-                            let a = &consts[e.id_lo as usize];
-                            let b = &consts[e.id_hi as usize];
+                            let a = cols.gather(e.id_lo as usize);
+                            let b = cols.gather(e.id_hi as usize);
                             let t = e.step as f64 * sps;
-                            let interval = grid_refine_interval(a, b, &solver, t, cell);
-                            refine_pair(a, b, &solver, e.id_lo, e.id_hi, interval, threshold)
+                            let interval = grid_refine_interval(&a, &b, &solver, t, cell);
+                            refine_pair(&a, &b, &solver, e.id_lo, e.id_hi, interval, threshold)
                         },
                     )
                     .into_iter()
@@ -236,7 +238,7 @@ impl Screener for GpuHybridScreener {
 
             self.device.reset_metrics();
             let host_propagator = BatchPropagator::new(population);
-            let constants = DeviceBuffer::from_host(&self.device, host_propagator.constants())
+            let constants = DeviceBuffer::from_host(&self.device, host_propagator.raw_columns())
                 .expect("device memory exhausted by satellite data");
 
             let mut entries = device_grid_phase(
@@ -282,7 +284,7 @@ impl Screener for GpuHybridScreener {
             let mut found: Vec<Conjunction>;
             {
                 let _timer = PhaseTimer::start(&mut timings.refinement);
-                let consts = constants.as_slice();
+                let cols = SoaColumns::from_flat(constants.as_slice(), population.len());
                 let solver = self.solver;
                 let threshold = config.threshold_km;
                 let cell = planner.cell_size_km;
@@ -294,15 +296,15 @@ impl Screener for GpuHybridScreener {
                         LaunchConfig::for_elements(unique.len()),
                         |tid| {
                             let (lo, hi, steps) = &unique[tid.global];
-                            let a = &consts[*lo as usize];
-                            let b = &consts[*hi as usize];
+                            let a = cols.gather(*lo as usize);
+                            let b = cols.gather(*hi as usize);
                             let mut local = Vec::new();
                             match &decisions[tid.global] {
                                 FilterDecision::Windows(windows) => {
                                     for w in windows {
                                         if let Some(c) = refine_pair(
-                                            a,
-                                            b,
+                                            &a,
+                                            &b,
                                             &solver,
                                             *lo,
                                             *hi,
@@ -316,9 +318,10 @@ impl Screener for GpuHybridScreener {
                                 FilterDecision::Coplanar => {
                                     for &step in steps {
                                         let t = step as f64 * sps;
-                                        let interval = grid_refine_interval(a, b, &solver, t, cell);
+                                        let interval =
+                                            grid_refine_interval(&a, &b, &solver, t, cell);
                                         if let Some(c) = refine_pair(
-                                            a, b, &solver, *lo, *hi, interval, threshold,
+                                            &a, &b, &solver, *lo, *hi, interval, threshold,
                                         ) {
                                             local.push(c);
                                         }
@@ -426,7 +429,7 @@ impl Screener for MultiDeviceGridScreener {
                 .zip(ranges.par_iter())
                 .map(|(device, range)| {
                     let mut local_timings = PhaseTimings::default();
-                    let constants = DeviceBuffer::from_host(device, host_propagator.constants())
+                    let constants = DeviceBuffer::from_host(device, host_propagator.raw_columns())
                         .expect("device memory exhausted by satellite data");
                     let entries = device_grid_phase(
                         device,
@@ -457,12 +460,12 @@ impl Screener for MultiDeviceGridScreener {
 
             // Refinement on device 0 (the merge target).
             let refine_device = &self.devices[0];
-            let constants = DeviceBuffer::from_host(refine_device, host_propagator.constants())
+            let constants = DeviceBuffer::from_host(refine_device, host_propagator.raw_columns())
                 .expect("device memory exhausted by satellite data");
             let mut found: Vec<Conjunction>;
             {
                 let _timer = PhaseTimer::start(&mut timings.refinement);
-                let consts = constants.as_slice();
+                let cols = SoaColumns::from_flat(constants.as_slice(), population.len());
                 let solver = self.solver;
                 let threshold = config.threshold_km;
                 let cell = planner.cell_size_km;
@@ -473,11 +476,11 @@ impl Screener for MultiDeviceGridScreener {
                         LaunchConfig::for_elements(entries.len()),
                         |tid| {
                             let e = &entries[tid.global];
-                            let a = &consts[e.id_lo as usize];
-                            let b = &consts[e.id_hi as usize];
+                            let a = cols.gather(e.id_lo as usize);
+                            let b = cols.gather(e.id_hi as usize);
                             let t = e.step as f64 * sps;
-                            let interval = grid_refine_interval(a, b, &solver, t, cell);
-                            refine_pair(a, b, &solver, e.id_lo, e.id_hi, interval, threshold)
+                            let interval = grid_refine_interval(&a, &b, &solver, t, cell);
+                            refine_pair(&a, &b, &solver, e.id_lo, e.id_hi, interval, threshold)
                         },
                     )
                     .into_iter()

@@ -101,19 +101,21 @@ fn screen_body(
     let mut found: Vec<Conjunction> = Vec::new();
     {
         let _timer = PhaseTimer::start(&mut timings.refinement);
-        let constants = propagator.constants();
+        let columns = propagator.columns();
         for chunk in phase.entries.chunks(REFINE_CHUNK) {
             if let Some(token) = cancel {
                 token.check()?;
             }
             found.par_extend(chunk.par_iter().filter_map(|entry| {
-                let a = &constants[entry.id_lo as usize];
-                let b = &constants[entry.id_hi as usize];
+                // Gather the two satellites' constants out of the SoA
+                // columns for the scalar Brent search.
+                let a = columns.gather(entry.id_lo as usize);
+                let b = columns.gather(entry.id_hi as usize);
                 let t = entry.step as f64 * planner.seconds_per_sample;
-                let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
+                let interval = grid_refine_interval(&a, &b, solver, t, planner.cell_size_km);
                 refine_pair(
-                    a,
-                    b,
+                    &a,
+                    &b,
                     solver,
                     entry.id_lo,
                     entry.id_hi,

@@ -166,10 +166,7 @@ fn run_grid_phase_rounds(
                     }
                     // Sequential inner propagation: the parallelism of this
                     // path lives at the step level.
-                    for (i, c) in propagator.constants().iter().enumerate() {
-                        slot.positions[i] =
-                            c.position(t, &kessler_orbits::ContourSolver::default());
-                    }
+                    propagator.positions_into_seq(t, &mut slot.positions);
                     slot.grid
                         .insert_all(&slot.positions)
                         .expect("grid sized at 2n slots cannot fill up");

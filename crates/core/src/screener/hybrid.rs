@@ -192,7 +192,7 @@ pub fn hybrid_screen_job(
     let mut found: Vec<Conjunction> = Vec::new();
     {
         let _timer = PhaseTimer::start(&mut timings.refinement);
-        let constants = propagator.constants();
+        let columns = propagator.columns();
         for (gchunk, dchunk) in grouped
             .chunks(REFINE_CHUNK)
             .zip(decisions.chunks(REFINE_CHUNK))
@@ -201,8 +201,8 @@ pub fn hybrid_screen_job(
             found.par_extend(gchunk.par_iter().zip(dchunk.par_iter()).flat_map_iter(
                 |(g, decision)| {
                     refine_filtered_pair(
-                        &constants[g.id_lo as usize],
-                        &constants[g.id_hi as usize],
+                        &columns.gather(g.id_lo as usize),
+                        &columns.gather(g.id_hi as usize),
                         solver,
                         g,
                         decision,

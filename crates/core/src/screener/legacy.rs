@@ -49,21 +49,21 @@ impl LegacyScreener {
         &self,
         chain: &FilterChain,
         population: &[KeplerElements],
-        constants: &[kessler_orbits::PropagationConstants],
+        columns: &kessler_orbits::SoaColumns<'_>,
         span: Interval,
         i: u32,
         j: u32,
     ) -> Vec<Conjunction> {
         let decision = chain.evaluate(&population[i as usize], &population[j as usize], span);
-        let a = &constants[i as usize];
-        let b = &constants[j as usize];
+        let a = columns.gather(i as usize);
+        let b = columns.gather(j as usize);
         match decision {
             FilterDecision::Windows(windows) => windows
                 .iter()
                 .filter_map(|w| {
                     refine_pair(
-                        a,
-                        b,
+                        &a,
+                        &b,
                         &self.solver,
                         i,
                         j,
@@ -73,8 +73,8 @@ impl LegacyScreener {
                 })
                 .collect(),
             FilterDecision::Coplanar => sampled_minima_search(
-                a,
-                b,
+                &a,
+                &b,
                 &self.solver,
                 i,
                 j,
@@ -99,7 +99,7 @@ impl Screener for LegacyScreener {
             let mut timings = PhaseTimings::default();
             let planner = MemoryModel::new(Variant::Legacy).plan(population.len(), &self.config);
             let propagator = BatchPropagator::new(population);
-            let constants = propagator.constants();
+            let columns = propagator.columns();
             let chain = FilterChain::new(self.filter_config);
             let span = Interval::new(0.0, self.config.span_seconds);
             let n = population.len() as u32;
@@ -113,13 +113,13 @@ impl Screener for LegacyScreener {
                 pairs
                     .par_iter()
                     .flat_map_iter(|&(i, j)| {
-                        self.screen_pair(&chain, population, constants, span, i, j)
+                        self.screen_pair(&chain, population, &columns, span, i, j)
                     })
                     .collect()
             } else {
                 pairs
                     .iter()
-                    .flat_map(|&(i, j)| self.screen_pair(&chain, population, constants, span, i, j))
+                    .flat_map(|&(i, j)| self.screen_pair(&chain, population, &columns, span, i, j))
                     .collect()
             };
             // The chain and refinement interleave per pair; attribute the

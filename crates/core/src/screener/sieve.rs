@@ -138,14 +138,14 @@ impl Screener for SieveScreener {
             let mut found: Vec<Conjunction>;
             {
                 let _timer = PhaseTimer::start(&mut timings.refinement);
-                let constants = propagator.constants();
+                let columns = propagator.columns();
                 found = candidates
                     .par_iter()
                     .filter_map(|&(i, j, step)| {
                         let t = step as f64 * sps;
                         refine_pair(
-                            &constants[i as usize],
-                            &constants[j as usize],
+                            &columns.gather(i as usize),
+                            &columns.gather(j as usize),
                             &solver,
                             i,
                             j,

@@ -51,35 +51,79 @@ impl Default for ContourSolver {
     }
 }
 
+/// One precomputed trapezoid node: `(e^{iθ_j}, e^{2iθ_j})`.
+type Node = (Complex, Complex);
+
+/// Evaluate the discretised contour ratio for mean anomaly `m ∈ (0, π)`,
+/// taking the trapezoid nodes from `nodes`. Shared between the per-call
+/// path ([`ContourSolver`], which generates nodes on the fly) and the
+/// precomputed-table path ([`ContourNodes`]): because `Complex::cis` is
+/// deterministic, both paths feed bit-identical node values through the
+/// identical arithmetic sequence, so their results are bit-for-bit equal.
+#[inline]
+fn contour_estimate_with(m: f64, e: f64, nodes: impl Iterator<Item = Node>) -> f64 {
+    // Root bracket on the reduced half period: E ∈ [M, M + e], and the
+    // root never exceeds π for M ≤ π because f(π) = π − M ≥ 0.
+    let lo = m;
+    let hi = (m + e).min(std::f64::consts::PI);
+    let c = 0.5 * (lo + hi);
+    // Slightly inflate the radius so the contour cannot pass through a
+    // root sitting exactly on the bracket edge.
+    let r = 0.5 * (hi - lo) * (1.0 + 1e-9) + 1e-12;
+
+    let mut num = Complex::ZERO;
+    let mut den = Complex::ZERO;
+    for (eit, eit2) in nodes {
+        let ecc_anom = Complex::real(c) + eit * r;
+        // f(E) = E − e·sin(E) − M evaluated on the contour.
+        let f = ecc_anom - ecc_anom.sin() * e - Complex::real(m);
+        let inv = Complex::ONE / f;
+        den = den + eit * inv;
+        num = num + eit2 * inv;
+    }
+    // For real-coefficient f and a contour symmetric about the real
+    // axis, the imaginary parts cancel; take the real part of the ratio.
+    c + r * (num / den).re
+}
+
+/// The Danby polishing loop + physical-bracket clamp applied after the
+/// contour evaluation, shared so both solver flavours finish identically.
+#[inline]
+fn polish_and_clamp(mut ecc_anom: f64, m: f64, e: f64, polish: bool) -> f64 {
+    if polish {
+        // A short Danby-style polishing loop. One plain Newton step is
+        // enough for e ≲ 0.9, but near-parabolic orbits close to perigee
+        // (e → 1, M → 0) leave the contour estimate a few 1e-8 off and
+        // f' ≈ 1 − e there, so quadratic convergence needs 2–3 steps.
+        for _ in 0..3 {
+            let (s, c) = ecc_anom.sin_cos();
+            let f = ecc_anom - e * s - m;
+            if f.abs() < 1e-14 {
+                break;
+            }
+            let f1 = 1.0 - e * c;
+            let d1 = -f / f1;
+            let d2 = -f / (f1 + 0.5 * d1 * e * s);
+            ecc_anom += d2;
+        }
+    }
+    // Clamp any last-ulp excursions back into the physical bracket.
+    ecc_anom.clamp(0.0, std::f64::consts::PI)
+}
+
+#[inline]
+fn node_at(j: u32, n: u32) -> Node {
+    let theta = std::f64::consts::TAU * j as f64 / n as f64;
+    let eit = Complex::cis(theta);
+    (eit, eit * eit)
+}
+
 impl ContourSolver {
     /// Evaluate the discretised contour ratio for mean anomaly `m ∈ (0, π)`.
     #[inline]
     fn contour_estimate(&self, m: f64, e: f64) -> f64 {
-        // Root bracket on the reduced half period: E ∈ [M, M + e], and the
-        // root never exceeds π for M ≤ π because f(π) = π − M ≥ 0.
-        let lo = m;
-        let hi = (m + e).min(std::f64::consts::PI);
-        let c = 0.5 * (lo + hi);
-        // Slightly inflate the radius so the contour cannot pass through a
-        // root sitting exactly on the bracket edge.
-        let r = 0.5 * (hi - lo) * (1.0 + 1e-9) + 1e-12;
-
         let n = self.points.max(4);
-        let mut num = Complex::ZERO;
-        let mut den = Complex::ZERO;
-        for j in 0..n {
-            let theta = std::f64::consts::TAU * j as f64 / n as f64;
-            let eit = Complex::cis(theta);
-            let ecc_anom = Complex::real(c) + eit * r;
-            // f(E) = E − e·sin(E) − M evaluated on the contour.
-            let f = ecc_anom - ecc_anom.sin() * e - Complex::real(m);
-            let inv = Complex::ONE / f;
-            den = den + eit * inv;
-            num = num + eit * eit * inv;
-        }
-        // For real-coefficient f and a contour symmetric about the real
-        // axis, the imaginary parts cancel; take the real part of the ratio.
-        c + r * (num / den).re
+        contour_estimate_with(m, e, (0..n).map(|j| node_at(j, n)))
     }
 }
 
@@ -89,34 +133,59 @@ impl KeplerSolver for ContourSolver {
             Ok(done) => return done,
             Err(pair) => pair,
         };
-
-        let mut ecc_anom = self.contour_estimate(m, e);
-
-        if self.polish {
-            // A short Danby-style polishing loop. One plain Newton step is
-            // enough for e ≲ 0.9, but near-parabolic orbits close to perigee
-            // (e → 1, M → 0) leave the contour estimate a few 1e-8 off and
-            // f' ≈ 1 − e there, so quadratic convergence needs 2–3 steps.
-            for _ in 0..3 {
-                let (s, c) = ecc_anom.sin_cos();
-                let f = ecc_anom - e * s - m;
-                if f.abs() < 1e-14 {
-                    break;
-                }
-                let f1 = 1.0 - e * c;
-                let d1 = -f / f1;
-                let d2 = -f / (f1 + 0.5 * d1 * e * s);
-                ecc_anom += d2;
-            }
-        }
-        // Clamp any last-ulp excursions back into the physical bracket.
-        ecc_anom = ecc_anom.clamp(0.0, std::f64::consts::PI);
-
-        unreduce(ecc_anom, mirrored)
+        let estimate = self.contour_estimate(m, e);
+        unreduce(polish_and_clamp(estimate, m, e, self.polish), mirrored)
     }
 
     fn name(&self) -> &'static str {
         "contour"
+    }
+}
+
+/// A [`ContourSolver`] with its trapezoid nodes `(e^{iθ_j}, e^{2iθ_j})`
+/// precomputed once instead of re-evaluated (2 × `points` libm sin/cos
+/// calls) on every solve — the batch-propagation hot path runs millions of
+/// solves against the same node set, so the table pays for itself on the
+/// first satellite.
+///
+/// Results are **bit-identical** to the originating [`ContourSolver`]: the
+/// node values are the same deterministic `cis` outputs, and the estimate,
+/// polish, and reduction steps share one code path (asserted in the tests).
+#[derive(Debug, Clone)]
+pub struct ContourNodes {
+    nodes: Vec<Node>,
+    polish: bool,
+}
+
+impl ContourNodes {
+    /// Precompute the node table for `solver`.
+    pub fn new(solver: &ContourSolver) -> ContourNodes {
+        let n = solver.points.max(4);
+        ContourNodes {
+            nodes: (0..n).map(|j| node_at(j, n)).collect(),
+            polish: solver.polish,
+        }
+    }
+}
+
+impl Default for ContourNodes {
+    fn default() -> Self {
+        ContourNodes::new(&ContourSolver::default())
+    }
+}
+
+impl KeplerSolver for ContourNodes {
+    fn ecc_anomaly(&self, mean_anomaly: f64, e: f64) -> f64 {
+        let (m, mirrored) = match reduce_to_half_period(mean_anomaly, e) {
+            Ok(done) => return done,
+            Err(pair) => pair,
+        };
+        let estimate = contour_estimate_with(m, e, self.nodes.iter().copied());
+        unreduce(polish_and_clamp(estimate, m, e, self.polish), mirrored)
+    }
+
+    fn name(&self) -> &'static str {
+        "contour-nodes"
     }
 }
 
@@ -192,6 +261,38 @@ mod tests {
             "fine {worst_fine} vs coarse {worst_coarse}"
         );
         assert!(worst_fine < 1e-9, "fine contour should be near-exact");
+    }
+
+    #[test]
+    fn precomputed_nodes_are_bit_identical_to_the_per_call_solver() {
+        // The SoA batch propagator relies on this: swapping the per-call
+        // solver for the node table must not change a single bit, or the
+        // service's delta-vs-cold exact-equality guarantee breaks.
+        for solver in [
+            ContourSolver::default(),
+            ContourSolver {
+                points: 6,
+                polish: false,
+            },
+            ContourSolver {
+                points: 32,
+                polish: true,
+            },
+        ] {
+            let nodes = ContourNodes::new(&solver);
+            for k in 0..400 {
+                let m = k as f64 * TAU / 400.0;
+                for e in [0.0, 1e-6, 0.0012, 0.05, 0.3, 0.7, 0.9, 0.97] {
+                    let a = solver.ecc_anomaly(m, e);
+                    let b = nodes.ecc_anomaly(m, e);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "M={m}, e={e}: solver {a} vs nodes {b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

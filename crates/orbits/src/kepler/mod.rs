@@ -21,7 +21,7 @@ mod danby;
 mod markley;
 mod newton;
 
-pub use contour::ContourSolver;
+pub use contour::{ContourNodes, ContourSolver};
 pub use danby::DanbySolver;
 pub use markley::MarkleySolver;
 pub use newton::NewtonSolver;

@@ -32,6 +32,8 @@ pub mod state;
 
 pub use elements::KeplerElements;
 pub use j2::J2Propagator;
-pub use kepler::{ContourSolver, DanbySolver, KeplerSolver, MarkleySolver, NewtonSolver};
-pub use propagator::{BatchPropagator, PropagationConstants};
+pub use kepler::{
+    ContourNodes, ContourSolver, DanbySolver, KeplerSolver, MarkleySolver, NewtonSolver,
+};
+pub use propagator::{BatchPropagator, PropagationConstants, SoaColumns};
 pub use state::CartesianState;

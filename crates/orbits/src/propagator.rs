@@ -10,16 +10,32 @@
 //! it: one logical thread per (satellite, time) tuple (§V-E).
 
 use crate::elements::KeplerElements;
-use crate::kepler::{ContourSolver, KeplerSolver};
+use crate::kepler::{ContourNodes, ContourSolver, KeplerSolver};
 use crate::state::CartesianState;
 use kessler_math::angles::wrap_tau;
 use kessler_math::{Mat3, Vec3};
 use rayon::prelude::*;
 
+/// Number of `f64` columns in the structure-of-arrays layout: `a`, `e`,
+/// `m0`, `n`, `√(1−e²)`, and the two rotation columns `p`/`q` (3 each).
+pub const SOA_COLUMNS: usize = 11;
+
+/// Lanes per `chunks_exact` block in the branch-free reconstruction loops —
+/// wide enough for two 4-wide f64 vectors, small enough to stay in
+/// registers.
+const LANES: usize = 8;
+
+/// Satellites per work tile: each (parallel or sequential) tile solves
+/// Kepler's equation lane by lane into stack buffers, then reconstructs
+/// Cartesian output through the vectorizable column loops.
+const TILE: usize = 1024;
+
 /// Precomputed, time-independent propagation data for one satellite.
 ///
-/// 120 bytes per satellite; computed once at screening start, reused at
-/// every sample step.
+/// Eleven `f64` values (88 bytes) per satellite; computed once at screening
+/// start, reused at every sample step. [`BatchPropagator`] stores the same
+/// values as [`SOA_COLUMNS`] structure-of-arrays columns and gathers this
+/// struct back on demand for the scalar refinement paths.
 #[derive(Debug, Clone, Copy)]
 pub struct PropagationConstants {
     /// Semi-major axis (km).
@@ -103,81 +119,406 @@ pub fn perifocal_to_eci(raan: f64, inclination: f64, arg_perigee: f64) -> Mat3 {
     Mat3::rot_z(raan) * Mat3::rot_x(inclination) * Mat3::rot_z(arg_perigee)
 }
 
+/// Borrowed structure-of-arrays view over the per-satellite constants: one
+/// contiguous `f64` column per field. This is what the propagation kernels
+/// iterate (the columns autovectorize where an array-of-structs layout
+/// defeats the compiler), and what the GPU execution simulator uploads as
+/// a single flat device buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct SoaColumns<'a> {
+    pub a: &'a [f64],
+    pub e: &'a [f64],
+    pub m0: &'a [f64],
+    pub mean_motion: &'a [f64],
+    pub sqrt_one_minus_e2: &'a [f64],
+    pub px: &'a [f64],
+    pub py: &'a [f64],
+    pub pz: &'a [f64],
+    pub qx: &'a [f64],
+    pub qy: &'a [f64],
+    pub qz: &'a [f64],
+}
+
+impl<'a> SoaColumns<'a> {
+    /// Reconstruct the view from a flat buffer of [`SOA_COLUMNS`] columns
+    /// of `n` values each, laid out column-major (the layout of
+    /// [`BatchPropagator::raw_columns`] and of the device upload).
+    pub fn from_flat(data: &'a [f64], n: usize) -> SoaColumns<'a> {
+        assert_eq!(data.len(), SOA_COLUMNS * n, "flat SoA buffer size mismatch");
+        let mut rest = data;
+        let mut col = || {
+            let (head, tail) = rest.split_at(n);
+            rest = tail;
+            head
+        };
+        SoaColumns {
+            a: col(),
+            e: col(),
+            m0: col(),
+            mean_motion: col(),
+            sqrt_one_minus_e2: col(),
+            px: col(),
+            py: col(),
+            pz: col(),
+            qx: col(),
+            qy: col(),
+            qz: col(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Gather one satellite's constants back into the struct form the
+    /// scalar refinement paths (Brent PCA/TCA search) consume.
+    #[inline]
+    pub fn gather(&self, i: usize) -> PropagationConstants {
+        PropagationConstants {
+            a: self.a[i],
+            e: self.e[i],
+            m0: self.m0[i],
+            n: self.mean_motion[i],
+            sqrt_one_minus_e2: self.sqrt_one_minus_e2[i],
+            p_axis: Vec3::new(self.px[i], self.py[i], self.pz[i]),
+            q_axis: Vec3::new(self.qx[i], self.qy[i], self.qz[i]),
+        }
+    }
+
+    /// Scalar position of satellite `i` at `dt` — the per-thread kernel
+    /// body the GPU simulator runs; identical arithmetic to
+    /// [`PropagationConstants::position`].
+    #[inline]
+    pub fn position<S: KeplerSolver + ?Sized>(&self, i: usize, dt: f64, solver: &S) -> Vec3 {
+        self.gather(i).position(dt, solver)
+    }
+}
+
+/// One lane of the branch-free position reconstruction. Operation order
+/// matches [`PropagationConstants::position`] exactly (`p·xp + q·yp`
+/// componentwise), so batch output is bit-identical to the scalar path.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn position_lane(
+    a: f64,
+    e: f64,
+    s1me2: f64,
+    sin_e: f64,
+    cos_e: f64,
+    px: f64,
+    py: f64,
+    pz: f64,
+    qx: f64,
+    qy: f64,
+    qz: f64,
+) -> Vec3 {
+    let xp = a * (cos_e - e);
+    let yp = a * s1me2 * sin_e;
+    Vec3::new(px * xp + qx * yp, py * xp + qy * yp, pz * xp + qz * yp)
+}
+
+/// One lane of the full-state reconstruction; operation order matches
+/// [`PropagationConstants::state_at_ecc_anomaly`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn state_lane(
+    a: f64,
+    e: f64,
+    n: f64,
+    s1me2: f64,
+    sin_e: f64,
+    cos_e: f64,
+    px: f64,
+    py: f64,
+    pz: f64,
+    qx: f64,
+    qy: f64,
+    qz: f64,
+) -> CartesianState {
+    let xp = a * (cos_e - e);
+    let yp = a * s1me2 * sin_e;
+    let r = a * (1.0 - e * cos_e);
+    let k = n * a * a / r;
+    let vxp = -k * sin_e;
+    let vyp = k * s1me2 * cos_e;
+    CartesianState {
+        position: Vec3::new(px * xp + qx * yp, py * xp + qy * yp, pz * xp + qz * yp),
+        velocity: Vec3::new(
+            px * vxp + qx * vyp,
+            py * vxp + qy * vyp,
+            pz * vxp + qz * vyp,
+        ),
+    }
+}
+
+/// Solve Kepler's equation for one tile into the `sin E`/`cos E` stack
+/// buffers. The solve itself is branchy (fixed points, polish early-out),
+/// but the precomputed node table removes its dominant cost — the
+/// 2 × `points` libm sin/cos calls per solve.
+fn solve_tile(
+    cols: &SoaColumns<'_>,
+    nodes: &ContourNodes,
+    dt: f64,
+    base: usize,
+    len: usize,
+    sin_e: &mut [f64; TILE],
+    cos_e: &mut [f64; TILE],
+) {
+    for k in 0..len {
+        let i = base + k;
+        let m = wrap_tau(cols.m0[i] + cols.mean_motion[i] * dt);
+        let ecc_anom = nodes.ecc_anomaly(m, cols.e[i]);
+        let (s, c) = ecc_anom.sin_cos();
+        sin_e[k] = s;
+        cos_e[k] = c;
+    }
+}
+
+/// Propagate one tile of satellites: Kepler solves into stack buffers,
+/// then a `chunks_exact`-driven, branch-free Cartesian reconstruction over
+/// the columns that rustc autovectorizes.
+fn position_tile(
+    cols: &SoaColumns<'_>,
+    nodes: &ContourNodes,
+    dt: f64,
+    base: usize,
+    out: &mut [Vec3],
+) {
+    let len = out.len();
+    debug_assert!(len <= TILE);
+    let mut sin_e = [0.0f64; TILE];
+    let mut cos_e = [0.0f64; TILE];
+    solve_tile(cols, nodes, dt, base, len, &mut sin_e, &mut cos_e);
+
+    let (a, e, s1) = (
+        &cols.a[base..base + len],
+        &cols.e[base..base + len],
+        &cols.sqrt_one_minus_e2[base..base + len],
+    );
+    let (px, py, pz) = (
+        &cols.px[base..base + len],
+        &cols.py[base..base + len],
+        &cols.pz[base..base + len],
+    );
+    let (qx, qy, qz) = (
+        &cols.qx[base..base + len],
+        &cols.qy[base..base + len],
+        &cols.qz[base..base + len],
+    );
+
+    let mut off = 0usize;
+    let mut blocks = out.chunks_exact_mut(LANES);
+    for block in &mut blocks {
+        // Fixed-length, branch-free block: every lane runs the identical
+        // instruction sequence over contiguous columns.
+        for (l, slot) in block.iter_mut().enumerate() {
+            let i = off + l;
+            *slot = position_lane(
+                a[i], e[i], s1[i], sin_e[i], cos_e[i], px[i], py[i], pz[i], qx[i], qy[i], qz[i],
+            );
+        }
+        off += LANES;
+    }
+    // Remainder lane (n % LANES trailing satellites).
+    for (l, slot) in blocks.into_remainder().iter_mut().enumerate() {
+        let i = off + l;
+        *slot = position_lane(
+            a[i], e[i], s1[i], sin_e[i], cos_e[i], px[i], py[i], pz[i], qx[i], qy[i], qz[i],
+        );
+    }
+}
+
+/// Full-state twin of [`position_tile`].
+fn state_tile(
+    cols: &SoaColumns<'_>,
+    nodes: &ContourNodes,
+    dt: f64,
+    base: usize,
+    out: &mut [CartesianState],
+) {
+    let len = out.len();
+    debug_assert!(len <= TILE);
+    let mut sin_e = [0.0f64; TILE];
+    let mut cos_e = [0.0f64; TILE];
+    solve_tile(cols, nodes, dt, base, len, &mut sin_e, &mut cos_e);
+
+    let (a, e, nn, s1) = (
+        &cols.a[base..base + len],
+        &cols.e[base..base + len],
+        &cols.mean_motion[base..base + len],
+        &cols.sqrt_one_minus_e2[base..base + len],
+    );
+    let (px, py, pz) = (
+        &cols.px[base..base + len],
+        &cols.py[base..base + len],
+        &cols.pz[base..base + len],
+    );
+    let (qx, qy, qz) = (
+        &cols.qx[base..base + len],
+        &cols.qy[base..base + len],
+        &cols.qz[base..base + len],
+    );
+
+    let mut off = 0usize;
+    let mut blocks = out.chunks_exact_mut(LANES);
+    for block in &mut blocks {
+        for (l, slot) in block.iter_mut().enumerate() {
+            let i = off + l;
+            *slot = state_lane(
+                a[i], e[i], nn[i], s1[i], sin_e[i], cos_e[i], px[i], py[i], pz[i], qx[i], qy[i],
+                qz[i],
+            );
+        }
+        off += LANES;
+    }
+    for (l, slot) in blocks.into_remainder().iter_mut().enumerate() {
+        let i = off + l;
+        *slot = state_lane(
+            a[i], e[i], nn[i], s1[i], sin_e[i], cos_e[i], px[i], py[i], pz[i], qx[i], qy[i], qz[i],
+        );
+    }
+}
+
 /// Data-parallel propagation of a whole population, one logical thread per
 /// (satellite, time) tuple — the paper's preferred data-parallelism shape
 /// (§V-E). This is the CPU realisation; the GPU execution simulator runs
 /// the same kernel body through its launch API.
+///
+/// The per-satellite constants live in a structure-of-arrays layout (one
+/// contiguous `f64` column per field, [`SOA_COLUMNS`] columns total) so the
+/// Cartesian reconstruction loops autovectorize; the contour solver's
+/// trapezoid nodes are precomputed once ([`ContourNodes`]). Both changes
+/// are bit-preserving: batch output equals the scalar
+/// [`PropagationConstants`] path bit for bit.
 pub struct BatchPropagator {
-    constants: Vec<PropagationConstants>,
+    n: usize,
+    /// [`SOA_COLUMNS`] columns of `n` values each, column-major.
+    data: Vec<f64>,
     solver: ContourSolver,
+    nodes: ContourNodes,
 }
 
 impl BatchPropagator {
     /// Precompute constants for every satellite (the `a_k` allocation).
     pub fn new(elements: &[KeplerElements]) -> BatchPropagator {
+        let n = elements.len();
+        let mut data = vec![0.0f64; SOA_COLUMNS * n];
+        for (i, el) in elements.iter().enumerate() {
+            let c = PropagationConstants::from_elements(el);
+            data[i] = c.a;
+            data[n + i] = c.e;
+            data[2 * n + i] = c.m0;
+            data[3 * n + i] = c.n;
+            data[4 * n + i] = c.sqrt_one_minus_e2;
+            data[5 * n + i] = c.p_axis.x;
+            data[6 * n + i] = c.p_axis.y;
+            data[7 * n + i] = c.p_axis.z;
+            data[8 * n + i] = c.q_axis.x;
+            data[9 * n + i] = c.q_axis.y;
+            data[10 * n + i] = c.q_axis.z;
+        }
+        let solver = ContourSolver::default();
         BatchPropagator {
-            constants: elements
-                .iter()
-                .map(PropagationConstants::from_elements)
-                .collect(),
-            solver: ContourSolver::default(),
+            n,
+            data,
+            nodes: ContourNodes::new(&solver),
+            solver,
         }
     }
 
-    /// Replace the default contour solver.
+    /// Replace the default contour solver (the node table follows).
     pub fn with_solver(mut self, solver: ContourSolver) -> BatchPropagator {
         self.solver = solver;
+        self.nodes = ContourNodes::new(&solver);
         self
     }
 
     pub fn len(&self) -> usize {
-        self.constants.len()
+        self.n
     }
 
     pub fn is_empty(&self) -> bool {
-        self.constants.is_empty()
+        self.n == 0
     }
 
-    pub fn constants(&self) -> &[PropagationConstants] {
-        &self.constants
+    /// The structure-of-arrays view the propagation kernels iterate.
+    pub fn columns(&self) -> SoaColumns<'_> {
+        SoaColumns::from_flat(&self.data, self.n)
+    }
+
+    /// The flat column buffer ([`SOA_COLUMNS`] × `len` values) — what the
+    /// GPU execution simulator uploads as the `a_k` device allocation.
+    pub fn raw_columns(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Gather one satellite's constants for the scalar refinement paths.
+    pub fn constants_of(&self, index: usize) -> PropagationConstants {
+        self.columns().gather(index)
     }
 
     /// Approximate resident size of the precomputed data in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.constants.len() * std::mem::size_of::<PropagationConstants>()
+        self.data.len() * std::mem::size_of::<f64>()
     }
 
     /// Positions of all satellites at `dt`, written into `out` (parallel).
     pub fn positions_into(&self, dt: f64, out: &mut [Vec3]) {
-        assert_eq!(out.len(), self.constants.len());
-        out.par_iter_mut()
-            .zip(self.constants.par_iter())
-            .for_each(|(slot, c)| *slot = c.position(dt, &self.solver));
+        assert_eq!(out.len(), self.n);
+        let cols = self.columns();
+        out.par_chunks_mut(TILE)
+            .enumerate()
+            .for_each(|(tile, chunk)| position_tile(&cols, &self.nodes, dt, tile * TILE, chunk));
+    }
+
+    /// Sequential variant of [`BatchPropagator::positions_into`] for
+    /// callers whose parallelism lives at an outer level (the multi-grid
+    /// round scheduler runs one whole step per rayon worker). Identical
+    /// output.
+    pub fn positions_into_seq(&self, dt: f64, out: &mut [Vec3]) {
+        assert_eq!(out.len(), self.n);
+        let cols = self.columns();
+        for (tile, chunk) in out.chunks_mut(TILE).enumerate() {
+            position_tile(&cols, &self.nodes, dt, tile * TILE, chunk);
+        }
     }
 
     /// Positions of all satellites at `dt` (parallel, allocating).
     pub fn positions(&self, dt: f64) -> Vec<Vec3> {
-        let mut out = vec![Vec3::ZERO; self.constants.len()];
+        let mut out = vec![Vec3::ZERO; self.n];
         self.positions_into(dt, &mut out);
         out
     }
 
-    /// Full states of all satellites at `dt` (parallel).
+    /// Full states of all satellites at `dt`, written into `out`
+    /// (parallel).
+    pub fn states_into(&self, dt: f64, out: &mut [CartesianState]) {
+        assert_eq!(out.len(), self.n);
+        let cols = self.columns();
+        out.par_chunks_mut(TILE)
+            .enumerate()
+            .for_each(|(tile, chunk)| state_tile(&cols, &self.nodes, dt, tile * TILE, chunk));
+    }
+
+    /// Full states of all satellites at `dt` (parallel, allocating).
     pub fn states(&self, dt: f64) -> Vec<CartesianState> {
-        self.constants
-            .par_iter()
-            .map(|c| c.propagate(dt, &self.solver))
-            .collect()
+        let mut out = vec![CartesianState::new(Vec3::ZERO, Vec3::ZERO); self.n];
+        self.states_into(dt, &mut out);
+        out
     }
 
     /// State of a single satellite at `dt`.
     pub fn state_of(&self, index: usize, dt: f64) -> CartesianState {
-        self.constants[index].propagate(dt, &self.solver)
+        self.constants_of(index).propagate(dt, &self.solver)
     }
 
     /// Position of a single satellite at `dt`.
     pub fn position_of(&self, index: usize, dt: f64) -> Vec3 {
-        self.constants[index].position(dt, &self.solver)
+        self.constants_of(index).position(dt, &self.solver)
     }
 }
 
@@ -287,7 +628,9 @@ mod tests {
 
     #[test]
     fn batch_matches_scalar_propagation() {
-        let els: Vec<KeplerElements> = (0..32)
+        // 37 satellites: covers four full LANES blocks plus a 5-wide
+        // chunks_exact remainder.
+        let els: Vec<KeplerElements> = (0..37)
             .map(|i| {
                 elements(
                     6_800.0 + 50.0 * i as f64,
@@ -302,15 +645,63 @@ mod tests {
         let batch = BatchPropagator::new(&els);
         let solver = ContourSolver::default();
         let t = 777.0;
+        // The SoA kernel replicates the scalar arithmetic sequence exactly,
+        // so batch output is bit-identical to the per-satellite path — the
+        // property the service's delta-vs-cold equality guarantee rests on.
         let positions = batch.positions(t);
+        let states = batch.states(t);
         for (i, el) in els.iter().enumerate() {
             let pc = PropagationConstants::from_elements(el);
-            assert!(positions[i].dist(pc.position(t, &solver)) < 1e-9);
+            let scalar_p = pc.position(t, &solver);
+            let scalar_s = pc.propagate(t, &solver);
+            assert_eq!(positions[i].x.to_bits(), scalar_p.x.to_bits(), "sat {i}");
+            assert_eq!(positions[i].y.to_bits(), scalar_p.y.to_bits(), "sat {i}");
+            assert_eq!(positions[i].z.to_bits(), scalar_p.z.to_bits(), "sat {i}");
+            assert_eq!(
+                states[i].position.x.to_bits(),
+                scalar_s.position.x.to_bits(),
+                "sat {i}"
+            );
+            assert_eq!(
+                states[i].velocity.x.to_bits(),
+                scalar_s.velocity.x.to_bits(),
+                "sat {i}"
+            );
+            assert_eq!(
+                states[i].velocity.z.to_bits(),
+                scalar_s.velocity.z.to_bits(),
+                "sat {i}"
+            );
         }
-        // states() agrees with positions().
-        let states = batch.states(t);
-        for (s, p) in states.iter().zip(&positions) {
-            assert!(s.position.dist(*p) < 1e-9);
+        // The sequential tile walk is the same kernel — identical output.
+        let mut seq = vec![Vec3::ZERO; els.len()];
+        batch.positions_into_seq(t, &mut seq);
+        for (a, b) in seq.iter().zip(&positions) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
+    }
+
+    #[test]
+    fn constants_round_trip_through_the_soa_layout() {
+        let els: Vec<KeplerElements> = (0..5)
+            .map(|i| elements(7_000.0 + i as f64, 0.01 * i as f64, 0.5, 1.0, 2.0, 3.0))
+            .collect();
+        let batch = BatchPropagator::new(&els);
+        for (i, el) in els.iter().enumerate() {
+            let direct = PropagationConstants::from_elements(el);
+            let gathered = batch.constants_of(i);
+            assert_eq!(direct.a.to_bits(), gathered.a.to_bits());
+            assert_eq!(direct.e.to_bits(), gathered.e.to_bits());
+            assert_eq!(direct.m0.to_bits(), gathered.m0.to_bits());
+            assert_eq!(direct.n.to_bits(), gathered.n.to_bits());
+            assert_eq!(
+                direct.sqrt_one_minus_e2.to_bits(),
+                gathered.sqrt_one_minus_e2.to_bits()
+            );
+            assert_eq!(direct.p_axis.x.to_bits(), gathered.p_axis.x.to_bits());
+            assert_eq!(direct.q_axis.z.to_bits(), gathered.q_axis.z.to_bits());
         }
     }
 
@@ -323,8 +714,9 @@ mod tests {
         assert_eq!(batch.len(), 10);
         assert_eq!(
             batch.memory_bytes(),
-            10 * std::mem::size_of::<PropagationConstants>()
+            10 * SOA_COLUMNS * std::mem::size_of::<f64>()
         );
+        assert_eq!(batch.raw_columns().len(), 10 * SOA_COLUMNS);
     }
 
     proptest! {

@@ -47,12 +47,69 @@ impl Default for Fragmentation {
     }
 }
 
+/// The generator exhausted its attempt budget before producing the
+/// requested number of fragments — the parent state is so close to (or
+/// below) the viability boundary that almost every kicked fragment is
+/// rejected as unbound, degenerate, or re-entering.
+///
+/// Callers that previously received a silently short cloud (and therefore
+/// quietly under-stressed whatever they were benchmarking) now must decide:
+/// propagate the error, or use [`FragmentationShortfall::partial`]
+/// explicitly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentationShortfall {
+    /// How many fragments were requested.
+    pub requested: usize,
+    /// How many viable fragments were generated before the budget ran out.
+    pub generated: Vec<KeplerElements>,
+    /// Total kick attempts spent (the budget: `requested × 1000`).
+    pub attempts: usize,
+}
+
+impl FragmentationShortfall {
+    /// Fraction of attempts that produced no viable fragment, in `[0, 1]`.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        1.0 - self.generated.len() as f64 / self.attempts as f64
+    }
+
+    /// Accept the short cloud anyway (explicit opt-in to partial output).
+    pub fn partial(self) -> Vec<KeplerElements> {
+        self.generated
+    }
+}
+
+impl std::fmt::Display for FragmentationShortfall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fragmentation shortfall: {} of {} fragments after {} attempts \
+             (rejection rate {:.1}%)",
+            self.generated.len(),
+            self.requested,
+            self.attempts,
+            100.0 * self.rejection_rate()
+        )
+    }
+}
+
+impl std::error::Error for FragmentationShortfall {}
+
 impl Fragmentation {
     /// Generate the debris cloud from a parent Cartesian state.
     ///
     /// Fragments whose kicked state is no longer a bound ellipse with
-    /// perigee above the surface are re-kicked (loop bounded internally).
-    pub fn generate_from_state(&self, parent: CartesianState) -> Vec<KeplerElements> {
+    /// perigee above the surface are re-kicked, up to a budget of
+    /// `fragments × 1000` attempts. If the budget is exhausted before the
+    /// cloud is complete the whole generation fails with a typed
+    /// [`FragmentationShortfall`] carrying the partial cloud and the
+    /// rejection rate — it is never silently short.
+    pub fn generate_from_state(
+        &self,
+        parent: CartesianState,
+    ) -> Result<Vec<KeplerElements>, FragmentationShortfall> {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut out = Vec::with_capacity(self.fragments);
         let mut attempts = 0usize;
@@ -69,7 +126,16 @@ impl Fragmentation {
                 }
             }
         }
-        out
+        if out.len() < self.fragments {
+            let shortfall = FragmentationShortfall {
+                requested: self.fragments,
+                generated: out,
+                attempts,
+            };
+            eprintln!("[population] {shortfall}");
+            return Err(shortfall);
+        }
+        Ok(out)
     }
 }
 
@@ -246,7 +312,7 @@ mod tests {
             seed: 1,
         };
         let parent = parent_state();
-        let cloud = f.generate_from_state(parent);
+        let cloud = f.generate_from_state(parent).unwrap();
         assert_eq!(cloud.len(), 500);
         // Small kicks → semi-major axes stay near the parent's.
         for el in &cloud {
@@ -266,7 +332,7 @@ mod tests {
             seed: 2,
         };
         let parent = parent_state();
-        let cloud = f.generate_from_state(parent);
+        let cloud = f.generate_from_state(parent).unwrap();
         let solver = ContourSolver::default();
         for el in &cloud {
             let p = PropagationConstants::from_elements(el).position(0.0, &solver);
@@ -286,7 +352,7 @@ mod tests {
             seed: 3,
         };
         let parent = parent_state();
-        let cloud = f.generate_from_state(parent);
+        let cloud = f.generate_from_state(parent).unwrap();
         let solver = ContourSolver::default();
         let spread_at = |t: f64| -> f64 {
             let positions: Vec<Vec3> = cloud
@@ -313,14 +379,47 @@ mod tests {
             delta_v_sigma: 0.05,
             seed: 9,
         }
-        .generate_from_state(parent);
+        .generate_from_state(parent)
+        .unwrap();
         let b = Fragmentation {
             fragments: 50,
             delta_v_sigma: 0.05,
             seed: 9,
         }
-        .generate_from_state(parent);
+        .generate_from_state(parent)
+        .unwrap();
         assert_eq!(a, b);
         let _ = TAU;
+    }
+
+    #[test]
+    fn exhausted_attempt_budget_is_a_typed_shortfall_not_a_short_cloud() {
+        // A huge kick sigma makes nearly every fragment unbound or
+        // re-entering, so the attempt budget runs out well before the
+        // requested count. Previously this silently returned a short Vec;
+        // now it must be a FragmentationShortfall carrying the partial
+        // cloud and an honest rejection rate.
+        let f = Fragmentation {
+            fragments: 50,
+            delta_v_sigma: 50.0, // ~5× escape velocity at LEO
+            seed: 7,
+        };
+        let err = f
+            .generate_from_state(parent_state())
+            .expect_err("an unreachable fragment count must not succeed");
+        assert_eq!(err.requested, 50);
+        assert!(err.generated.len() < 50);
+        assert_eq!(err.attempts, 50 * 1_000);
+        assert!(
+            err.rejection_rate() > 0.9,
+            "rate = {}",
+            err.rejection_rate()
+        );
+        // The partial cloud remains usable on explicit opt-in.
+        let partial = err.clone().partial();
+        assert_eq!(partial.len(), err.generated.len());
+        // And the error formats with the numbers an operator needs.
+        let msg = err.to_string();
+        assert!(msg.contains("of 50 fragments"), "msg = {msg}");
     }
 }

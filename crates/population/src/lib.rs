@@ -24,4 +24,5 @@ pub mod fragmentation;
 pub mod generator;
 pub mod tle;
 
+pub use fragmentation::{Fragmentation, FragmentationShortfall};
 pub use generator::{PopulationConfig, PopulationGenerator};

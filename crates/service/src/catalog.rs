@@ -16,6 +16,7 @@
 //! drifts measurably; `M(t) = M₀ + n·t` from the stored base is one rounding
 //! total, the same scheme the sliding-window scheduler uses.
 
+use crate::error::ServiceError;
 use kessler_orbits::KeplerElements;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -184,43 +185,44 @@ impl Catalog {
         generations: Vec<u64>,
         time: f64,
         base_elements: Vec<KeplerElements>,
-    ) -> Result<Catalog, String> {
+    ) -> Result<Catalog, ServiceError> {
+        let invalid = ServiceError::Recovery;
         if ids.len() != elements.len() || ids.len() != generations.len() {
-            return Err(format!(
+            return Err(invalid(format!(
                 "inconsistent catalog arrays: {} ids, {} element sets, {} generations",
                 ids.len(),
                 elements.len(),
                 generations.len()
-            ));
+            )));
         }
         if !time.is_finite() {
-            return Err(format!("non-finite catalog time {time}"));
+            return Err(invalid(format!("non-finite catalog time {time}")));
         }
         if !base_elements.is_empty() && base_elements.len() != ids.len() {
-            return Err(format!(
+            return Err(invalid(format!(
                 "inconsistent catalog arrays: {} ids, {} base element sets",
                 ids.len(),
                 base_elements.len()
-            ));
+            )));
         }
         if ids.len() as u64 > kessler_grid::pairset::MAX_ID as u64 {
-            return Err(format!(
+            return Err(invalid(format!(
                 "catalog of {} satellites exceeds the {}-slot dense index space",
                 ids.len(),
                 kessler_grid::pairset::MAX_ID
-            ));
+            )));
         }
         let mut index_of = HashMap::with_capacity(ids.len());
         for (index, &id) in ids.iter().enumerate() {
             if index_of.insert(id, index as u32).is_some() {
-                return Err(format!("duplicate satellite id {id}"));
+                return Err(invalid(format!("duplicate satellite id {id}")));
             }
         }
         for (&id, &generation) in ids.iter().zip(&generations) {
             if generation > epoch {
-                return Err(format!(
+                return Err(invalid(format!(
                     "satellite {id} has generation {generation} past epoch {epoch}"
-                ));
+                )));
             }
         }
         let base_elements = if base_elements.is_empty() {

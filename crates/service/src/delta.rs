@@ -21,6 +21,7 @@
 //! are deterministic functions of (pair, steps, config).
 
 use crate::catalog::Removal;
+use crate::error::ServiceError;
 use kessler_core::cancel::{check_opt, CancelToken, Cancelled};
 use kessler_core::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
 use kessler_core::refine::{grid_refine_interval, refine_pair};
@@ -61,17 +62,17 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    pub fn new(config: ScreeningConfig, variant: Variant) -> Result<Pipeline, String> {
+    pub fn new(config: ScreeningConfig, variant: Variant) -> Result<Pipeline, ServiceError> {
         match variant {
             Variant::Grid | Variant::Hybrid => {}
             other => {
-                return Err(format!(
+                return Err(ServiceError::Config(format!(
                     "the service screens with the grid or hybrid variant, not `{}`",
                     other.label()
-                ));
+                )));
             }
         }
-        config.validate()?;
+        config.validate().map_err(ServiceError::Config)?;
         Ok(Pipeline {
             variant,
             config,
@@ -187,12 +188,15 @@ pub struct DeltaEngine {
 
 impl DeltaEngine {
     /// Grid-variant engine (the historical default).
-    pub fn new(config: ScreeningConfig) -> Result<DeltaEngine, String> {
+    pub fn new(config: ScreeningConfig) -> Result<DeltaEngine, ServiceError> {
         DeltaEngine::with_variant(config, Variant::Grid)
     }
 
     /// Engine screening with `variant` (grid or hybrid).
-    pub fn with_variant(config: ScreeningConfig, variant: Variant) -> Result<DeltaEngine, String> {
+    pub fn with_variant(
+        config: ScreeningConfig,
+        variant: Variant,
+    ) -> Result<DeltaEngine, ServiceError> {
         Ok(DeltaEngine {
             pipeline: Pipeline::new(config, variant)?,
             pairs: Arc::new(PairMap::new()),
@@ -212,7 +216,7 @@ impl DeltaEngine {
         full_screens: u64,
         delta_screens: u64,
         conjunctions: &[Conjunction],
-    ) -> Result<DeltaEngine, String> {
+    ) -> Result<DeltaEngine, ServiceError> {
         DeltaEngine::restore_with_variant(
             config,
             Variant::Grid,
@@ -233,20 +237,20 @@ impl DeltaEngine {
         full_screens: u64,
         delta_screens: u64,
         conjunctions: &[Conjunction],
-    ) -> Result<DeltaEngine, String> {
+    ) -> Result<DeltaEngine, ServiceError> {
         let mut engine = DeltaEngine::with_variant(config, variant)?;
         if screened_n.is_none() && !conjunctions.is_empty() {
-            return Err(format!(
+            return Err(ServiceError::Recovery(format!(
                 "cold engine cannot hold {} conjunctions",
                 conjunctions.len()
-            ));
+            )));
         }
         if let Some(n) = screened_n {
             if let Some(c) = conjunctions.iter().find(|c| c.pair().1 as usize >= n) {
-                return Err(format!(
+                return Err(ServiceError::Recovery(format!(
                     "conjunction references index {} past population of {n}",
                     c.pair().1
-                ));
+                )));
             }
         }
         engine.pairs = Arc::new(pairs_from_conjunctions(conjunctions));
@@ -457,9 +461,11 @@ impl DeltaEngine {
         &mut self,
         population: &[KeplerElements],
         dt: f64,
-    ) -> Result<AdvanceOutcome, String> {
+    ) -> Result<AdvanceOutcome, ServiceError> {
         if !dt.is_finite() || dt <= 0.0 {
-            return Err(format!("advance dt must be positive and finite, got {dt}"));
+            return Err(ServiceError::InvalidRequest(format!(
+                "advance dt must be positive and finite, got {dt}"
+            )));
         }
         if self.screened_n.is_none() {
             self.full_screen(population);
@@ -611,7 +617,7 @@ pub fn delta_screen_job(
     // sorts, so chunk order does not affect the result.
     let mut found: Vec<Conjunction> = Vec::new();
     let mut filter_stats: Option<FilterStatsSnapshot> = None;
-    let constants = propagator.constants();
+    let columns = propagator.columns();
     let mut entry_list: Vec<CandidatePair> = entries.iter().copied().collect();
     entry_list.sort_unstable();
     match pipeline.variant() {
@@ -647,8 +653,8 @@ pub fn delta_screen_job(
                     found.par_extend(gchunk.par_iter().zip(dchunk.par_iter()).flat_map_iter(
                         |(g, decision)| {
                             refine_filtered_pair(
-                                &constants[g.id_lo as usize],
-                                &constants[g.id_hi as usize],
+                                &columns.gather(g.id_lo as usize),
+                                &columns.gather(g.id_hi as usize),
                                 solver,
                                 g,
                                 decision,
@@ -666,13 +672,13 @@ pub fn delta_screen_job(
             for chunk in entry_list.chunks(REFINE_CHUNK) {
                 check_opt(cancel)?;
                 found.par_extend(chunk.par_iter().filter_map(|entry| {
-                    let a = &constants[entry.id_lo as usize];
-                    let b = &constants[entry.id_hi as usize];
+                    let a = columns.gather(entry.id_lo as usize);
+                    let b = columns.gather(entry.id_hi as usize);
                     let t = entry.step as f64 * planner.seconds_per_sample;
-                    let interval = grid_refine_interval(a, b, solver, t, planner.cell_size_km);
+                    let interval = grid_refine_interval(&a, &b, solver, t, planner.cell_size_km);
                     refine_pair(
-                        a,
-                        b,
+                        &a,
+                        &b,
                         solver,
                         entry.id_lo,
                         entry.id_hi,

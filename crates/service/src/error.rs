@@ -79,6 +79,12 @@ pub enum ServiceError {
     Persist(PersistError),
     /// Recovered state failed validation or replay.
     Recovery(String),
+    /// Client-supplied orbital elements failed validation.
+    InvalidElements(String),
+    /// A request was rejected before touching any state (bad parameters).
+    InvalidRequest(String),
+    /// A queued or running job already carries this client-chosen req_id.
+    DuplicateRequest { req_id: String },
     /// The daemon is in degraded (read-only) mode: persistence is down,
     /// so mutations are rejected until the disk comes back.
     Degraded {
@@ -98,6 +104,12 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Persist(err) => write!(f, "persistence failure: {err}"),
             ServiceError::Recovery(msg) => write!(f, "state recovery failed: {msg}"),
+            ServiceError::InvalidElements(msg) => write!(f, "invalid elements: {msg}"),
+            ServiceError::InvalidRequest(msg) => write!(f, "{msg}"),
+            ServiceError::DuplicateRequest { req_id } => write!(
+                f,
+                "duplicate req_id \"{req_id}\": a job with this id is still queued or running"
+            ),
             ServiceError::Degraded { reason } => {
                 write!(f, "service degraded (read-only): {reason}")
             }
@@ -146,6 +158,21 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("degraded (read-only)"), "{text}");
         assert!(text.contains("os error 28"), "{text}");
+
+        let err = ServiceError::InvalidElements("semi-major axis must be strictly positive".into());
+        let text = err.to_string();
+        assert!(text.contains("invalid elements"), "{text}");
+        assert!(text.contains("semi-major axis"), "{text}");
+
+        let err = ServiceError::DuplicateRequest {
+            req_id: "job-1".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("duplicate req_id \"job-1\""), "{text}");
+        assert!(text.contains("queued or running"), "{text}");
+
+        let err = ServiceError::InvalidRequest("advance dt must be positive and finite".into());
+        assert!(err.to_string().contains("advance dt"), "{err}");
     }
 
     #[test]

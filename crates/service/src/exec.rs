@@ -19,6 +19,7 @@ use crate::delta::{
     advance_window_job, delta_screen_job, full_screen_job, pairs_from_conjunctions, AdvanceFold,
     AdvanceOutcome, PairMap, Pipeline,
 };
+use crate::error::ServiceError;
 use kessler_core::cancel::{CancelToken, Cancelled};
 use kessler_core::conjunction::ScreeningReport;
 use kessler_core::timing::PhaseTimings;
@@ -192,13 +193,13 @@ impl CancelRegistry {
     /// and a fresh token. A `req_id` that is still live is rejected —
     /// ids must be unique among queued/running jobs so CANCEL is
     /// unambiguous.
-    pub fn register(&self, req_id: Option<&str>) -> Result<(u64, CancelToken), String> {
+    pub fn register(&self, req_id: Option<&str>) -> Result<(u64, CancelToken), ServiceError> {
         let mut inner = self.inner.lock();
         if let Some(id) = req_id {
             if inner.by_req_id.contains_key(id) {
-                return Err(format!(
-                    "duplicate req_id \"{id}\": a job with this id is still queued or running"
-                ));
+                return Err(ServiceError::DuplicateRequest {
+                    req_id: id.to_string(),
+                });
             }
         }
         let seq = inner.next_seq;
@@ -362,7 +363,11 @@ mod tests {
         let registry = CancelRegistry::new();
         registry.register(Some("dup")).unwrap();
         let err = registry.register(Some("dup")).unwrap_err();
-        assert!(err.contains("duplicate req_id"), "{err}");
+        assert!(
+            matches!(&err, ServiceError::DuplicateRequest { req_id } if req_id == "dup"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("duplicate req_id"), "{err}");
         // Anonymous jobs never collide.
         registry.register(None).unwrap();
         registry.register(None).unwrap();

@@ -110,30 +110,31 @@ fn default_snapshot_variant() -> Variant {
 }
 
 impl Snapshot {
-    fn validate(&self) -> Result<(), String> {
+    fn validate(&self) -> Result<(), PersistError> {
+        let corrupt = |detail: String| PersistError::corrupt("snapshot", detail);
         if self.version != SNAPSHOT_VERSION {
-            return Err(format!(
+            return Err(corrupt(format!(
                 "snapshot version {} (this build reads {SNAPSHOT_VERSION})",
                 self.version
-            ));
+            )));
         }
         if self.ids.len() != self.elements.len() || self.ids.len() != self.generations.len() {
-            return Err(format!(
+            return Err(corrupt(format!(
                 "inconsistent catalog arrays: {} ids, {} element sets, {} generations",
                 self.ids.len(),
                 self.elements.len(),
                 self.generations.len()
-            ));
+            )));
         }
         if !self.base_elements.is_empty() && self.base_elements.len() != self.ids.len() {
-            return Err(format!(
+            return Err(corrupt(format!(
                 "inconsistent catalog arrays: {} ids, {} base element sets",
                 self.ids.len(),
                 self.base_elements.len()
-            ));
+            )));
         }
         if !self.time.is_finite() {
-            return Err(format!("non-finite catalog time {}", self.time));
+            return Err(corrupt(format!("non-finite catalog time {}", self.time)));
         }
         Ok(())
     }
@@ -316,9 +317,7 @@ impl Persister {
     /// Write a snapshot atomically, rotate old ones, compact the WAL.
     /// Returns the snapshot's size on disk in bytes (for metrics).
     pub fn write_snapshot(&mut self, snapshot: &Snapshot) -> Result<u64, PersistError> {
-        snapshot
-            .validate()
-            .map_err(|e| PersistError::corrupt("snapshot", e))?;
+        snapshot.validate()?;
         let seq = snapshot.wal_seq;
         let body = serde_json::to_string(snapshot)
             .map_err(|e| PersistError::corrupt("snapshot", format!("unserializable: {e}")))?;
@@ -453,12 +452,12 @@ fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
         .find(|l| !l.is_empty())
         .ok_or_else(|| PersistError::corrupt(path.display().to_string(), "empty file"))?;
     let (_, body) = wal::decode_frame(line)
-        .map_err(|e| PersistError::corrupt(path.display().to_string(), e))?;
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
     let snapshot: Snapshot = serde_json::from_str(&body)
         .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
     snapshot
         .validate()
-        .map_err(|e| PersistError::corrupt(path.display().to_string(), e))?;
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
     Ok(snapshot)
 }
 

@@ -19,6 +19,7 @@
 //! responses carry the catalog `epoch` their snapshot was captured at and
 //! a `stale` flag set when a newer result was adopted first.
 
+use crate::error::ServiceError;
 use kessler_core::timing::PhaseTimings;
 use kessler_core::{Conjunction, FilterStatsSnapshot, ScreeningReport};
 use kessler_orbits::KeplerElements;
@@ -48,7 +49,7 @@ pub struct ElementsSpec {
 impl ElementsSpec {
     /// Validate into proper elements (the server never stores unvalidated
     /// client input).
-    pub fn into_elements(self) -> Result<KeplerElements, String> {
+    pub fn into_elements(self) -> Result<KeplerElements, ServiceError> {
         KeplerElements::new(
             self.a,
             self.e,
@@ -57,7 +58,7 @@ impl ElementsSpec {
             self.argp,
             self.mean_anomaly,
         )
-        .map_err(|e| e.to_string())
+        .map_err(|e| ServiceError::InvalidElements(e.to_string()))
     }
 
     pub fn from_elements(el: &KeplerElements) -> ElementsSpec {

@@ -19,6 +19,7 @@
 //! daemon composes catalog + [`DeltaEngine`] directly.
 
 use crate::delta::{AdvanceOutcome, DeltaEngine};
+use crate::error::ServiceError;
 use kessler_core::{Conjunction, ScreeningConfig};
 use kessler_orbits::KeplerElements;
 
@@ -37,7 +38,7 @@ impl SlidingWindow {
     pub fn new(
         config: ScreeningConfig,
         population: &[KeplerElements],
-    ) -> Result<SlidingWindow, String> {
+    ) -> Result<SlidingWindow, ServiceError> {
         let mut engine = DeltaEngine::new(config)?;
         engine.full_screen(population);
         Ok(SlidingWindow {
@@ -67,9 +68,11 @@ impl SlidingWindow {
     }
 
     /// Slide the window forward by `dt > 0` seconds.
-    pub fn advance(&mut self, dt: f64) -> Result<AdvanceOutcome, String> {
+    pub fn advance(&mut self, dt: f64) -> Result<AdvanceOutcome, ServiceError> {
         if !dt.is_finite() || dt <= 0.0 {
-            return Err(format!("advance dt must be positive and finite, got {dt}"));
+            return Err(ServiceError::InvalidRequest(format!(
+                "advance dt must be positive and finite, got {dt}"
+            )));
         }
         let new_start = self.start + dt;
         let advanced: Vec<KeplerElements> = self

@@ -172,13 +172,16 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    pub fn new(config: ScreeningConfig) -> Result<ServiceState, String> {
+    pub fn new(config: ScreeningConfig) -> Result<ServiceState, ServiceError> {
         ServiceState::with_variant(config, Variant::Grid)
     }
 
     /// Fresh state screening with `variant` (the service serves grid and
     /// hybrid; anything else is rejected here, not at screen time).
-    pub fn with_variant(config: ScreeningConfig, variant: Variant) -> Result<ServiceState, String> {
+    pub fn with_variant(
+        config: ScreeningConfig,
+        variant: Variant,
+    ) -> Result<ServiceState, ServiceError> {
         Ok(ServiceState {
             catalog: Catalog::new(),
             engine: DeltaEngine::with_variant(config, variant)?,
@@ -274,8 +277,7 @@ impl ServiceState {
             snapshot.generations.clone(),
             snapshot.time,
             base_elements,
-        )
-        .map_err(ServiceError::Recovery)?;
+        )?;
         let engine = if variant == snapshot.variant {
             let mut engine = DeltaEngine::restore_with_variant(
                 config,
@@ -284,8 +286,7 @@ impl ServiceState {
                 snapshot.full_screens,
                 snapshot.delta_screens,
                 &snapshot.conjunctions,
-            )
-            .map_err(ServiceError::Recovery)?;
+            )?;
             if let Some(last) = &snapshot.last_screen {
                 engine.restore_last_screen(last.variant.clone(), last.timings, last.filter_stats);
             }
@@ -298,8 +299,7 @@ impl ServiceState {
                 snapshot.full_screens,
                 snapshot.delta_screens,
                 &[],
-            )
-            .map_err(ServiceError::Recovery)?
+            )?
         };
         let changed: BTreeSet<u32> = snapshot
             .changed
@@ -362,7 +362,7 @@ impl ServiceState {
             Request::Add { id, elements } => {
                 let el = match elements.into_elements() {
                     Ok(el) => el,
-                    Err(e) => return Response::error(e),
+                    Err(e) => return Response::error(e.to_string()),
                 };
                 match self.catalog.add(*id, el) {
                     Ok(index) => {
@@ -375,7 +375,7 @@ impl ServiceState {
             Request::Update { id, elements } => {
                 let el = match elements.into_elements() {
                     Ok(el) => el,
-                    Err(e) => return Response::error(e),
+                    Err(e) => return Response::error(e.to_string()),
                 };
                 match self.catalog.update(*id, el) {
                     Ok(index) => {
@@ -865,7 +865,7 @@ fn enqueue_screen(shared: &Shared, request: Request, req_id: Option<String>) -> 
         Ok(registered) => registered,
         Err(err) => {
             shared.metrics.lock().count_request(request.kind(), false);
-            return Response::error(err);
+            return Response::error(err.to_string());
         }
     };
     let capture_started = Instant::now();
@@ -1248,8 +1248,7 @@ impl Server {
                     Some(snapshot) => {
                         ServiceState::restore_with_variant(config, snapshot, options.variant)?
                     }
-                    None => ServiceState::with_variant(config, options.variant)
-                        .map_err(ServiceError::Config)?,
+                    None => ServiceState::with_variant(config, options.variant)?,
                 };
                 for request in &recovery.tail {
                     let response = state.handle(request);
@@ -1276,9 +1275,7 @@ impl Server {
                 persister = Some(p);
                 state
             }
-            None => {
-                ServiceState::with_variant(config, options.variant).map_err(ServiceError::Config)?
-            }
+            None => ServiceState::with_variant(config, options.variant)?,
         };
 
         let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {

@@ -54,20 +54,27 @@ pub fn encode_frame(seq: u64, body: &str) -> String {
 }
 
 /// Decode one frame line, validating length and checksum.
-pub fn decode_frame(line: &str) -> Result<(u64, String), String> {
-    let frame: Frame = serde_json::from_str(line).map_err(|e| format!("unparseable frame: {e}"))?;
+pub fn decode_frame(line: &str) -> Result<(u64, String), PersistError> {
+    let frame: Frame = serde_json::from_str(line)
+        .map_err(|e| PersistError::corrupt("wal frame", format!("unparseable frame: {e}")))?;
     if frame.body.len() != frame.len {
-        return Err(format!(
-            "length mismatch: frame says {} bytes, body has {}",
-            frame.len,
-            frame.body.len()
+        return Err(PersistError::corrupt(
+            "wal frame",
+            format!(
+                "length mismatch: frame says {} bytes, body has {}",
+                frame.len,
+                frame.body.len()
+            ),
         ));
     }
     let sum = checksum(frame.body.as_bytes());
     if sum != frame.sum {
-        return Err(format!(
-            "checksum mismatch: frame says {:#x}, body hashes to {sum:#x}",
-            frame.sum
+        return Err(PersistError::corrupt(
+            "wal frame",
+            format!(
+                "checksum mismatch: frame says {:#x}, body hashes to {sum:#x}",
+                frame.sum
+            ),
         ));
     }
     Ok((frame.seq, frame.body))

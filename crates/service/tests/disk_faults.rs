@@ -146,6 +146,7 @@ fn debris_cloud(fragments: usize) -> Vec<ElementsSpec> {
         seed: 0xD15C,
     }
     .generate_from_state(state)
+    .expect("fragment generation must not fall short")
     .iter()
     .map(ElementsSpec::from_elements)
     .collect()

@@ -28,7 +28,8 @@ fn main() {
         delta_v_sigma: 0.08,
         seed: 0x0B17,
     }
-    .generate_from_state(parent_state);
+    .generate_from_state(parent_state)
+    .expect("fragment generation must not fall short");
 
     // The assets: a Walker constellation in a nearby shell.
     let constellation = WalkerShell {

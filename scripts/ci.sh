@@ -27,6 +27,13 @@ RUST_BACKTRACE=1 cargo test -q --test delta_correctness
 echo "==> cargo test -p kessler-core metrics (histogram unit + property tests)"
 cargo test -p kessler-core -q metrics
 
+echo "==> cargo test -p kessler-orbits --test propagation_equality (SoA == scalar)"
+RUST_BACKTRACE=1 cargo test -p kessler-orbits -q --test propagation_equality
+
+echo "==> exp_cascade --smoke (live cascade absorption, small n)"
+RUST_BACKTRACE=1 cargo run --release -p kessler-bench --bin exp_cascade -- \
+  --smoke --json /tmp/results_cascade_smoke.json
+
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 

@@ -52,26 +52,14 @@ fn conjunction_found_with_cell_size(
     }
     // Refine every candidate exactly as the screener does.
     let solver = kessler::orbits::ContourSolver::default();
-    let constants = propagator.constants();
+    let columns = propagator.columns();
     pairs.drain_to_vec().into_iter().any(|e| {
         let t = e.step as f64 * sps;
-        let interval = kessler::core::refine::grid_refine_interval(
-            &constants[e.id_lo as usize],
-            &constants[e.id_hi as usize],
-            &solver,
-            t,
-            cell_size,
-        );
-        kessler::core::refine::refine_pair(
-            &constants[e.id_lo as usize],
-            &constants[e.id_hi as usize],
-            &solver,
-            e.id_lo,
-            e.id_hi,
-            interval,
-            threshold,
-        )
-        .is_some()
+        let lo = columns.gather(e.id_lo as usize);
+        let hi = columns.gather(e.id_hi as usize);
+        let interval = kessler::core::refine::grid_refine_interval(&lo, &hi, &solver, t, cell_size);
+        kessler::core::refine::refine_pair(&lo, &hi, &solver, e.id_lo, e.id_hi, interval, threshold)
+            .is_some()
     })
 }
 
