@@ -1,0 +1,355 @@
+//! E-SCALE — the sharded daemon at the million-satellite mark.
+//!
+//! The paper's headline claim is screening catalogs "up to the
+//! million-object scale"; this experiment drives the *service* there. A
+//! sharded daemon (catalog partitioned by orbital regime) is booted
+//! in-process and fed a synthetic mega-constellation one ADD at a time,
+//! then screened cold and re-screened warm after a spread of updates.
+//! Reported:
+//!
+//! - **ingest throughput** — ADD acknowledgements per second while the
+//!   catalog grows to `--n` satellites;
+//! - **per-shard screen/delta latency distributions** — each occupied
+//!   shard's candidate-extraction step times (from METRICS), exposing
+//!   regime imbalance;
+//! - **boundary-pair overhead** — mirrored grid inserts and cross-shard
+//!   candidate entries as a fraction of the totals;
+//! - **snapshot bytes per mutation** — measured on a second, smaller
+//!   persistent daemon (the WAL fsyncs every ADD, so the million-object
+//!   phase runs ephemeral and the durability cost is sampled separately),
+//!   sharded incremental (v2) against unsharded monolithic (v1).
+//!
+//! `--smoke` shrinks everything for CI. A JSON row goes to stdout and the
+//! full report to `results_scale.json` (override with `--json`).
+
+use kessler_bench::Args;
+use kessler_core::metrics::HistogramSummary;
+use kessler_core::ScreeningConfig;
+use kessler_orbits::KeplerElements;
+use kessler_population::synthetic_constellation;
+use kessler_service::proto::ElementsSpec;
+use kessler_service::{request, Client, PersistOptions, Request, Server, ServerOptions, ShardSpec};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ScaleReport {
+    n: usize,
+    updates: usize,
+    threshold_km: f64,
+    span_seconds: f64,
+    shard_count: u32,
+    /// Wall time streaming the ADDs, seconds.
+    ingest_seconds: f64,
+    /// ADDs acknowledged per second during ingest.
+    ingest_rate_hz: f64,
+    /// Cold sharded full screen, milliseconds.
+    full_screen_ms: f64,
+    /// Warm sharded delta re-screen after `updates` updates, milliseconds.
+    delta_screen_ms: f64,
+    full_conjunctions: usize,
+    delta_conjunctions: usize,
+    /// Occupied shards in the full screen.
+    occupied_shards: usize,
+    /// Cross-shard candidate entries / total candidate entries.
+    boundary_entry_fraction: f64,
+    /// Mirrored grid inserts / total grid inserts.
+    mirror_insert_fraction: f64,
+    /// Per-shard extraction step times over full screens, µs.
+    shard_full_step_us: BTreeMap<u32, HistogramSummary>,
+    /// Per-shard extraction step times over delta screens, µs.
+    shard_delta_step_us: BTreeMap<u32, HistogramSummary>,
+    /// Durability phase: catalog size and mutation count.
+    persist_n: usize,
+    persist_mutations: usize,
+    /// Mean snapshot bytes per acknowledged mutation, sharded incremental
+    /// (v2) vs unsharded monolithic (v1) on the identical workload.
+    sharded_bytes_per_mutation: f64,
+    monolithic_bytes_per_mutation: f64,
+    /// Dirty shards per incremental snapshot (quantiles).
+    dirty_shards_per_snapshot: Option<HistogramSummary>,
+}
+
+fn spec_of(el: &KeplerElements) -> ElementsSpec {
+    ElementsSpec {
+        a: el.semi_major_axis,
+        e: el.eccentricity,
+        incl: el.inclination,
+        raan: el.raan,
+        argp: el.arg_perigee,
+        mean_anomaly: el.mean_anomaly,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kessler-exp-scale-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Ingest, screen, mutate and delta-screen a catalog against a persistent
+/// daemon; return total snapshot bytes per acknowledged mutation.
+fn durability_bytes_per_mutation(
+    population: &[KeplerElements],
+    mutations: usize,
+    config: ScreeningConfig,
+    shards: Option<ShardSpec>,
+    snapshot_every: u64,
+    tag: &str,
+) -> (f64, Option<HistogramSummary>) {
+    let dir = temp_dir(tag);
+    let options = ServerOptions {
+        persist: Some(PersistOptions {
+            dir: dir.clone(),
+            snapshot_every,
+            keep_snapshots: 2,
+            shards: None,
+        }),
+        shards,
+        ..ServerOptions::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config, options).expect("bind persistent");
+    let addr = server.local_addr();
+    let handle = server.spawn().expect("spawn persistent server");
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut acked = 0usize;
+    for (id, el) in population.iter().enumerate() {
+        let r = client
+            .send(&Request::Add {
+                id: id as u64,
+                elements: spec_of(el),
+            })
+            .expect("ADD");
+        assert!(r.ok, "ADD {id}: {:?}", r.error);
+        acked += 1;
+    }
+    let r = client.send(&Request::Screen).expect("SCREEN");
+    assert!(r.ok);
+    acked += 1;
+    for j in 0..mutations {
+        let idx = (j * 9973) % population.len();
+        let el = &population[idx];
+        let r = client
+            .send(&Request::Update {
+                id: idx as u64,
+                elements: ElementsSpec {
+                    a: el.semi_major_axis + 0.4,
+                    mean_anomaly: el.mean_anomaly + 0.2,
+                    ..spec_of(el)
+                },
+            })
+            .expect("UPDATE");
+        assert!(r.ok, "UPDATE {idx}: {:?}", r.error);
+        acked += 1;
+        if j % 16 == 15 {
+            let r = client.send(&Request::Delta).expect("DELTA");
+            assert!(r.ok);
+            acked += 1;
+        }
+    }
+    let metrics = client
+        .send(&Request::Metrics)
+        .expect("METRICS")
+        .metrics
+        .expect("metrics snapshot");
+    drop(client);
+    let r = request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    assert!(r.ok);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total_snapshot_bytes = metrics
+        .snapshot_bytes
+        .as_ref()
+        .map(|h| h.mean * h.count as f64)
+        .unwrap_or(0.0);
+    (
+        total_snapshot_bytes / acked as f64,
+        metrics.dirty_shards_per_snapshot,
+    )
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("--smoke");
+    let n = args.usize_of("--n", if smoke { 2_000 } else { 1_000_000 });
+    let updates = args.usize_of("--updates", if smoke { 64 } else { 1_024 });
+    let threshold = args.f64_of("--threshold", 5.0);
+    let span = args.f64_of("--span", if smoke { 60.0 } else { 120.0 });
+    let persist_n = args.usize_of("--persist-n", if smoke { 400 } else { 20_000 });
+    let persist_mutations = args.usize_of("--persist-updates", if smoke { 64 } else { 512 });
+    let spec = ShardSpec::default();
+
+    println!(
+        "E-SCALE — sharded daemon at n = {n} ({} shards, {threshold} km / {span} s window{})",
+        spec.shard_count(),
+        if smoke { ", smoke mode" } else { "" }
+    );
+
+    // Phase 1: the scale run. Ephemeral daemon — every ADD is one
+    // fsync-free round-trip, so ingest throughput measures the catalog
+    // and shard bookkeeping, not the disk.
+    let config = ScreeningConfig::grid_defaults(threshold, span);
+    let options = ServerOptions {
+        shards: Some(spec),
+        ..ServerOptions::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", config, options).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.spawn().expect("spawn server");
+    let mut client = Client::connect(addr).expect("connect");
+
+    let population = synthetic_constellation(n, 0x5CA1E);
+    let ingest_start = Instant::now();
+    for (id, el) in population.iter().enumerate() {
+        let response = client
+            .send(&Request::Add {
+                id: id as u64,
+                elements: spec_of(el),
+            })
+            .expect("ADD");
+        assert!(response.ok, "ADD {id}: {:?}", response.error);
+    }
+    let ingest_seconds = ingest_start.elapsed().as_secs_f64();
+    let ingest_rate_hz = n as f64 / ingest_seconds.max(1e-9);
+    println!("  ingest: {n} satellites in {ingest_seconds:.1} s ({ingest_rate_hz:.0} ADD/s)");
+
+    // Cold sharded full screen.
+    let full = client
+        .send(&Request::Screen)
+        .expect("SCREEN")
+        .screen
+        .expect("full summary");
+    assert_eq!(full.n_satellites, n);
+    let shard_summary = full
+        .shards
+        .clone()
+        .expect("sharded daemon reports per-shard stats");
+    let full_ms = full.timings.total.as_secs_f64() * 1e3;
+    println!(
+        "  full screen: {} conjunctions in {:.1} ms across {} occupied shards",
+        full.conjunctions,
+        full_ms,
+        shard_summary.rows.len()
+    );
+    println!(
+        "  boundary overhead: {} cross-shard entries ({:.2}% of {}), {} mirrored inserts \
+         ({:.2}% of {})",
+        shard_summary.boundary_entries,
+        100.0 * shard_summary.boundary_entries as f64
+            / (shard_summary
+                .rows
+                .iter()
+                .map(|r| r.entries)
+                .sum::<u64>()
+                .max(1)) as f64,
+        shard_summary.rows.iter().map(|r| r.entries).sum::<u64>(),
+        shard_summary.mirrored_inserts,
+        100.0 * shard_summary.mirrored_inserts as f64 / shard_summary.total_inserts.max(1) as f64,
+        shard_summary.total_inserts,
+    );
+
+    // A spread of updates, then the warm delta re-screen.
+    for j in 0..updates {
+        let idx = (j * 9973) % n;
+        let el = &population[idx];
+        let response = client
+            .send(&Request::Update {
+                id: idx as u64,
+                elements: ElementsSpec {
+                    a: el.semi_major_axis + 0.4,
+                    mean_anomaly: el.mean_anomaly + 0.2,
+                    ..spec_of(el)
+                },
+            })
+            .expect("UPDATE");
+        assert!(response.ok, "UPDATE {idx}: {:?}", response.error);
+    }
+    let delta = client
+        .send(&Request::Delta)
+        .expect("DELTA")
+        .screen
+        .expect("delta summary");
+    let delta_ms = delta.timings.total.as_secs_f64() * 1e3;
+    println!(
+        "  delta after {updates} updates: {} conjunctions in {:.1} ms ({} variant)",
+        delta.conjunctions, delta_ms, delta.variant
+    );
+
+    let metrics = client
+        .send(&Request::Metrics)
+        .expect("METRICS")
+        .metrics
+        .expect("metrics snapshot");
+    drop(client);
+    let response = request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    assert!(response.ok);
+    handle.shutdown();
+
+    // Phase 2: durability cost on a smaller persistent catalog, sharded
+    // incremental (v2) vs unsharded monolithic (v1) snapshots.
+    let persist_pop = synthetic_constellation(persist_n, 0xD15C);
+    let snapshot_every = (persist_n as u64 / 8).max(8);
+    let (sharded_bpm, dirty_summary) = durability_bytes_per_mutation(
+        &persist_pop,
+        persist_mutations,
+        config,
+        Some(spec),
+        snapshot_every,
+        "v2",
+    );
+    let (monolithic_bpm, _) = durability_bytes_per_mutation(
+        &persist_pop,
+        persist_mutations,
+        config,
+        None,
+        snapshot_every,
+        "v1",
+    );
+    println!(
+        "  durability (n = {persist_n}, {persist_mutations} updates): \
+         {sharded_bpm:.0} snapshot bytes/mutation sharded vs {monolithic_bpm:.0} monolithic"
+    );
+
+    let total_entries: u64 = shard_summary.rows.iter().map(|r| r.entries).sum();
+    let report = ScaleReport {
+        n,
+        updates,
+        threshold_km: threshold,
+        span_seconds: span,
+        shard_count: shard_summary.shard_count,
+        ingest_seconds,
+        ingest_rate_hz,
+        full_screen_ms: full_ms,
+        delta_screen_ms: delta_ms,
+        full_conjunctions: full.conjunctions,
+        delta_conjunctions: delta.conjunctions,
+        occupied_shards: shard_summary.rows.len(),
+        boundary_entry_fraction: shard_summary.boundary_entries as f64
+            / total_entries.max(1) as f64,
+        mirror_insert_fraction: shard_summary.mirrored_inserts as f64
+            / shard_summary.total_inserts.max(1) as f64,
+        shard_full_step_us: metrics.shard_full_step_us,
+        shard_delta_step_us: metrics.shard_delta_step_us,
+        persist_n,
+        persist_mutations,
+        sharded_bytes_per_mutation: sharded_bpm,
+        monolithic_bytes_per_mutation: monolithic_bpm,
+        dirty_shards_per_snapshot: dirty_summary,
+    };
+
+    let row = serde_json::to_string(&report).expect("report serialises");
+    println!("{row}");
+    let path = args.value_of("--json").unwrap_or("results_scale.json");
+    let pretty = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(path, pretty).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("(wrote JSON report to {path})");
+
+    assert!(
+        report.occupied_shards > 1,
+        "the synthetic constellation must span more than one shard"
+    );
+}

@@ -29,6 +29,9 @@ SUBCOMMANDS
              [--threshold KM] [--span S] [--sps S] [--threads T]
              [--workers N (0 = auto)] screening worker pool size
              [--state-dir DIR] [--snapshot-every N] [--queue-depth N]
+             [--shards BANDSxSHELLS | --shards default] partition the
+             catalog by orbital regime (per-shard grids, incremental
+             per-shard snapshots); [--shard-range RMIN:RMAX] radii, km
              [--read-timeout SECS (0 = none)]
              [--metrics-every SECS (0 = off)] log a metrics digest to stderr
              with --state-dir, mutations are WAL-logged and state is
@@ -320,6 +323,7 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     let defaults = kessler_service::ServerOptions::default();
     let read_timeout_s = flags.u64_of("--read-timeout", 120)?;
     let metrics_every_s = flags.u64_of("--metrics-every", 0)?;
+    let shards = parse_shards(flags)?;
     let options = kessler_service::ServerOptions {
         persist,
         queue_depth: flags.usize_of("--queue-depth", defaults.queue_depth)?,
@@ -328,6 +332,7 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
         metrics_every: (metrics_every_s > 0)
             .then(|| std::time::Duration::from_secs(metrics_every_s)),
         variant,
+        shards,
         ..defaults
     };
 
@@ -366,9 +371,18 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
             println!("preloaded {n} satellites (external ids 0..{n})");
         }
     }
+    let sharding = match shards {
+        Some(spec) => format!(
+            ", {} shards ({}x{} regimes)",
+            spec.shard_count(),
+            spec.alt_bands,
+            spec.z_shells
+        ),
+        None => String::new(),
+    };
     println!(
-        "kessler-service listening on {} ({} variant, {} screening workers) — JSON lines: \
-         ADD UPDATE REMOVE SCREEN DELTA ADVANCE CANCEL STATUS METRICS SHUTDOWN",
+        "kessler-service listening on {} ({} variant, {} screening workers{sharding}) — JSON \
+         lines: ADD UPDATE REMOVE SCREEN DELTA ADVANCE CANCEL STATUS METRICS SHUTDOWN",
         server.local_addr(),
         variant.label(),
         server.workers()
@@ -376,6 +390,41 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     server.run();
     println!("kessler-service stopped");
     Ok(())
+}
+
+/// `--shards BANDSxSHELLS` (e.g. `--shards 8x4`) partitions the catalog
+/// by orbital regime; `--shards default` takes the built-in layout, and
+/// `--shard-range RMIN:RMAX` overrides the altitude-band span (radii,
+/// km). No flag means the flat, unsharded pipeline.
+fn parse_shards(flags: &Flags) -> Result<Option<kessler_service::ShardSpec>, String> {
+    let Some(value) = flags.value_of("--shards") else {
+        return Ok(None);
+    };
+    let mut spec = kessler_service::ShardSpec::default();
+    if value != "default" {
+        let (bands, shells) = value
+            .split_once('x')
+            .ok_or_else(|| format!("bad value for --shards: `{value}` (want BANDSxSHELLS)"))?;
+        spec.alt_bands = bands
+            .parse()
+            .map_err(|_| format!("bad band count in --shards: `{bands}`"))?;
+        spec.z_shells = shells
+            .parse()
+            .map_err(|_| format!("bad shell count in --shards: `{shells}`"))?;
+    }
+    if let Some(range) = flags.value_of("--shard-range") {
+        let (lo, hi) = range
+            .split_once(':')
+            .ok_or_else(|| format!("bad value for --shard-range: `{range}` (want RMIN:RMAX)"))?;
+        spec.r_min_km = lo
+            .parse()
+            .map_err(|_| format!("bad radius in --shard-range: `{lo}`"))?;
+        spec.r_max_km = hi
+            .parse()
+            .map_err(|_| format!("bad radius in --shard-range: `{hi}`"))?;
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(Some(spec))
 }
 
 fn submit_elements(flags: &Flags) -> Result<kessler_service::ElementsSpec, String> {
@@ -728,6 +777,35 @@ fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
         for (worker, d) in &metrics.worker_screen_ms {
             print_quantile_row(worker, d, "ms");
         }
+    }
+    if !metrics.shard_full_step_us.is_empty() || !metrics.shard_delta_step_us.is_empty() {
+        println!("shards (extraction step, µs per step)");
+        println!(
+            "  {:<6} {:>7} {:>9} {:>9}   {:>7} {:>9} {:>9}",
+            "shard", "full n", "full p50", "full p99", "delta n", "del p50", "del p99"
+        );
+        let ids: std::collections::BTreeSet<u32> = metrics
+            .shard_full_step_us
+            .keys()
+            .chain(metrics.shard_delta_step_us.keys())
+            .copied()
+            .collect();
+        for id in ids {
+            let cell = |h: Option<&kessler_core::HistogramSummary>| match h {
+                Some(h) => (h.count, h.p50, h.p99),
+                None => (0, 0.0, 0.0),
+            };
+            let (fc, f50, f99) = cell(metrics.shard_full_step_us.get(&id));
+            let (dc, d50, d99) = cell(metrics.shard_delta_step_us.get(&id));
+            println!("  {id:<6} {fc:>7} {f50:>9.1} {f99:>9.1}   {dc:>7} {d50:>9.1} {d99:>9.1}");
+        }
+        if let Some(d) = &metrics.dirty_shards_per_snapshot {
+            print_quantile_row("dirty shards", d, "");
+        }
+        println!(
+            "  boundary entries {}, mirrored inserts {}",
+            metrics.boundary_entries, metrics.mirrored_inserts
+        );
     }
     if let Some(chain) = &metrics.filter_chain {
         println!("filter chain (hybrid screens)");

@@ -70,6 +70,97 @@ impl WalkerShell {
     }
 }
 
+/// The fixed shell ladder behind [`synthetic_constellation`]:
+/// `(altitude km, inclination deg, weight)`. The altitudes span the LEO
+/// regimes mega-constellations actually occupy — VLEO imaging orbits up
+/// through the 1100–1400 km broadband shells and sparse upper-LEO relay
+/// layers — and the inclinations mix mid-latitude, sun-synchronous and
+/// near-polar planes so the population spreads across both the altitude
+/// bands and the |z| shells of a regime-sharded catalog.
+const SYNTHETIC_SHELLS: &[(f64, f64, usize)] = &[
+    (350.0, 40.0, 6),
+    (450.0, 97.2, 8),
+    (550.0, 53.0, 24),
+    (620.0, 97.8, 10),
+    (780.0, 86.4, 12),
+    (900.0, 45.0, 8),
+    (1_100.0, 53.2, 14),
+    (1_200.0, 87.9, 10),
+    (1_400.0, 30.0, 6),
+    (1_800.0, 63.4, 4),
+    (2_200.0, 52.0, 3),
+];
+
+/// Deterministic synthetic mega-constellation: exactly `n` satellites
+/// spread over the [`SYNTHETIC_SHELLS`] ladder in proportion to each
+/// shell's weight, Walker-style within a shell (equally-spaced planes,
+/// phased in-plane slots), with a small seeded jitter on altitude,
+/// eccentricity and the angles so no two satellites are exactly
+/// coincident and apsis ranges genuinely straddle band edges.
+///
+/// This is the population the `exp_scale` experiment ingests at the
+/// million-satellite mark; unlike [`WalkerShell::generate`] it accepts
+/// any `n` (plane counts are derived, never required to divide `n`).
+pub fn synthetic_constellation(n: usize, seed: u64) -> Vec<KeplerElements> {
+    let total_weight: usize = SYNTHETIC_SHELLS.iter().map(|(_, _, w)| w).sum();
+    // Largest-remainder apportionment: exact integer counts summing to n.
+    let mut counts: Vec<usize> = SYNTHETIC_SHELLS
+        .iter()
+        .map(|(_, _, w)| n * w / total_weight)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    let shells = counts.len();
+    let mut k = 0;
+    while assigned < n {
+        counts[k % shells] += 1;
+        assigned += 1;
+        k += 1;
+    }
+
+    // splitmix64: cheap, seedable, and good enough for jitter.
+    let mut rng_state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next_unit = move || {
+        rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let mut out = Vec::with_capacity(n);
+    for (shell, count) in SYNTHETIC_SHELLS.iter().zip(&counts) {
+        let &(altitude_km, incl_deg, _) = shell;
+        let count = *count;
+        if count == 0 {
+            continue;
+        }
+        let planes = (count as f64).sqrt().ceil() as usize;
+        let slots = count.div_ceil(planes);
+        for j in 0..count {
+            let plane = j % planes;
+            let slot = j / planes;
+            let raan = TAU * plane as f64 / planes as f64 + (next_unit() - 0.5) * 2e-3;
+            let mean_anomaly = TAU * (slot as f64 + plane as f64 / planes as f64) / slots as f64
+                + (next_unit() - 0.5) * 2e-3;
+            let a = R_EARTH + altitude_km + (next_unit() - 0.5) * 4.0;
+            let e = 1e-4 + next_unit() * 3e-3;
+            out.push(
+                KeplerElements::new(
+                    a,
+                    e,
+                    incl_deg.to_radians(),
+                    raan,
+                    next_unit() * TAU,
+                    mean_anomaly,
+                )
+                .expect("synthetic shell elements are valid"),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +210,59 @@ mod tests {
             assert!((el.semi_major_axis - (R_EARTH + 550.0)).abs() < 1e-9);
             assert!((el.inclination - 53f64.to_radians()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn synthetic_constellation_is_exact_on_count_for_awkward_sizes() {
+        for n in [0, 1, 7, 97, 1_000, 12_345] {
+            assert_eq!(synthetic_constellation(n, 42).len(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn synthetic_constellation_elements_are_valid_orbits() {
+        for el in synthetic_constellation(5_000, 7) {
+            // KeplerElements::new already enforced finiteness, e ∈ [0, 1)
+            // and i ∈ [0, π]; on top of that every perigee must clear the
+            // atmosphere and stay inside the shell ladder's span.
+            let perigee = el.semi_major_axis * (1.0 - el.eccentricity);
+            let apogee = el.semi_major_axis * (1.0 + el.eccentricity);
+            assert!(perigee > R_EARTH + 250.0, "perigee too low: {perigee}");
+            assert!(apogee < R_EARTH + 2_300.0, "apogee too high: {apogee}");
+            assert!(el.eccentricity < 0.01, "shells are near-circular");
+        }
+    }
+
+    #[test]
+    fn synthetic_constellation_covers_every_shell() {
+        let els = synthetic_constellation(2_000, 11);
+        for &(altitude_km, incl_deg, _) in SYNTHETIC_SHELLS {
+            let hit = els.iter().any(|el| {
+                (el.semi_major_axis - (R_EARTH + altitude_km)).abs() < 10.0
+                    && (el.inclination - incl_deg.to_radians()).abs() < 1e-9
+            });
+            assert!(hit, "shell at {altitude_km} km / {incl_deg}° unpopulated");
+        }
+        // Plane spread inside the dominant shell: many distinct RAAN
+        // clusters, not a single string-of-pearls plane.
+        let dominant: Vec<f64> = els
+            .iter()
+            .filter(|el| (el.semi_major_axis - (R_EARTH + 550.0)).abs() < 10.0)
+            .map(|el| el.raan)
+            .collect();
+        assert!(dominant.len() > 100);
+        let mut raans = dominant.clone();
+        raans.sort_by(f64::total_cmp);
+        raans.dedup_by(|a, b| (*a - *b).abs() < 0.05);
+        assert!(raans.len() >= 8, "only {} RAAN planes", raans.len());
+    }
+
+    #[test]
+    fn synthetic_constellation_is_deterministic_per_seed() {
+        let a = synthetic_constellation(500, 1);
+        let b = synthetic_constellation(500, 1);
+        let c = synthetic_constellation(500, 2);
+        assert_eq!(a, b, "same seed must reproduce the same catalog");
+        assert_ne!(a, c, "different seeds must jitter differently");
     }
 }

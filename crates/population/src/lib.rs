@@ -24,5 +24,6 @@ pub mod fragmentation;
 pub mod generator;
 pub mod tle;
 
+pub use constellation::{synthetic_constellation, WalkerShell};
 pub use fragmentation::{Fragmentation, FragmentationShortfall};
 pub use generator::{PopulationConfig, PopulationGenerator};

@@ -22,6 +22,7 @@
 
 use crate::catalog::Removal;
 use crate::error::ServiceError;
+use crate::shard::{extract_step_sharded, ShardMap, ShardScratch, ShardScreenStats, ShardSpec};
 use kessler_core::cancel::{check_opt, CancelToken, Cancelled};
 use kessler_core::conjunction::{dedup_conjunctions, Conjunction, ScreeningReport};
 use kessler_core::refine::{grid_refine_interval, refine_pair};
@@ -59,6 +60,10 @@ pub struct Pipeline {
     config: ScreeningConfig,
     filter_config: FilterConfig,
     solver: ContourSolver,
+    /// When set, candidate extraction runs per-shard grids (see the
+    /// [`crate::shard`] module); `None` is the unsharded baseline the
+    /// sharded path must match bit-for-bit.
+    shards: Option<ShardSpec>,
 }
 
 impl Pipeline {
@@ -78,7 +83,30 @@ impl Pipeline {
             config,
             filter_config: FilterConfig::new(config.threshold_km),
             solver: ContourSolver::default(),
+            shards: None,
         })
+    }
+
+    /// Enable (or disable, with `None`) sharded candidate extraction.
+    /// Validates the spec, so a running job never sees a bad partition.
+    pub fn with_shards(mut self, shards: Option<ShardSpec>) -> Result<Pipeline, ServiceError> {
+        if let Some(spec) = shards {
+            spec.validate()?;
+        }
+        self.shards = shards;
+        Ok(self)
+    }
+
+    /// The sharding spec, when sharded extraction is enabled.
+    pub fn shards(&self) -> Option<ShardSpec> {
+        self.shards
+    }
+
+    /// The shard partition, when sharding is enabled. The spec was
+    /// validated by [`Pipeline::with_shards`], so this cannot fail.
+    pub fn shard_map(&self) -> Option<ShardMap> {
+        self.shards
+            .map(|spec| ShardMap::new(spec).expect("shard spec was validated at construction"))
     }
 
     pub fn variant(&self) -> Variant {
@@ -101,12 +129,21 @@ impl Pipeline {
     /// path passes a shortened-span copy for the tail). The screeners are
     /// built through their fallible constructors; `Pipeline::new` already
     /// validated the config, so construction cannot fail here.
+    ///
+    /// With sharding enabled the full screen routes through the sharded
+    /// extraction path (a delta over *every* satellite against an empty
+    /// warm set — provably the same conjunction set), so full screens,
+    /// deltas and advance tails all exercise the per-shard grids.
     fn screen_full(
         &self,
         config: &ScreeningConfig,
         population: &[KeplerElements],
         cancel: Option<&CancelToken>,
     ) -> Result<ScreeningReport, Cancelled> {
+        if self.shards.is_some() {
+            let (report, _pairs, _stats) = sharded_full_screen(self, config, population, cancel)?;
+            return Ok(report);
+        }
         match self.variant {
             Variant::Hybrid => {
                 let screener = HybridScreener::try_new(*config)
@@ -274,6 +311,16 @@ impl DeltaEngine {
         &self.pipeline
     }
 
+    /// Enable (or disable, with `None`) sharded candidate extraction on
+    /// this engine's pipeline. Purely an execution-strategy switch: the
+    /// maintained conjunction set is unaffected, so it is safe to flip on
+    /// a warm engine (recovery restores the engine, then applies the
+    /// server's sharding option).
+    pub fn set_shards(&mut self, shards: Option<ShardSpec>) -> Result<(), ServiceError> {
+        self.pipeline = self.pipeline.with_shards(shards)?;
+        Ok(())
+    }
+
     /// `true` once a full screen has populated the maintained set.
     pub fn is_warm(&self) -> bool {
         self.screened_n.is_some()
@@ -397,7 +444,7 @@ impl DeltaEngine {
 
     /// Cold full screen; adopts the result as the maintained set.
     pub fn full_screen(&mut self, population: &[KeplerElements]) -> ScreeningReport {
-        let report = full_screen_job(&self.pipeline, population, None)
+        let (report, _shard_stats) = full_screen_job(&self.pipeline, population, None)
             .expect("uncancellable screen cannot be cancelled");
         self.adopt_full(
             pairs_from_conjunctions(&report.conjunctions),
@@ -441,7 +488,7 @@ impl DeltaEngine {
         if self.screened_n.is_none() {
             return self.full_screen(population);
         }
-        let (report, pairs) =
+        let (report, pairs, _shard_stats) =
             delta_screen_job(&self.pipeline, population, changed, &self.pairs, None)
                 .expect("uncancellable screen cannot be cancelled");
         self.adopt_delta(
@@ -518,12 +565,42 @@ pub(crate) fn apply_removal_to_pairs(pairs: &mut PairMap, removal: Removal, new_
 
 /// Cold full screen as a pure job, with the pipeline's variant. With a
 /// token, cancellation is checked at the screener's phase boundaries.
+/// The per-shard stats are `Some` iff the pipeline is sharded.
 pub fn full_screen_job(
     pipeline: &Pipeline,
     population: &[KeplerElements],
     cancel: Option<&CancelToken>,
-) -> Result<ScreeningReport, Cancelled> {
-    pipeline.screen_full(pipeline.config(), population, cancel)
+) -> Result<(ScreeningReport, Option<ShardScreenStats>), Cancelled> {
+    if pipeline.shards.is_some() {
+        let (report, _pairs, stats) =
+            sharded_full_screen(pipeline, pipeline.config(), population, cancel)?;
+        return Ok((report, stats));
+    }
+    Ok((
+        pipeline.screen_full(pipeline.config(), population, cancel)?,
+        None,
+    ))
+}
+
+/// Full screen via the sharded extraction path: a delta over *every*
+/// satellite against an empty warm set. The delta == cold-full invariant
+/// (every candidate neighbourhood is queried, refinement parameters are
+/// identical) makes the conjunction set equal to the unsharded full
+/// screen; the report keeps the full-screen variant label. `config` is a
+/// parameter because the advance path screens its tail under a
+/// shortened-span copy.
+fn sharded_full_screen(
+    pipeline: &Pipeline,
+    config: &ScreeningConfig,
+    population: &[KeplerElements],
+    cancel: Option<&CancelToken>,
+) -> Result<(ScreeningReport, PairMap, Option<ShardScreenStats>), Cancelled> {
+    let all: Vec<u32> = (0..population.len() as u32).collect();
+    let warm = PairMap::new();
+    let (mut report, pairs, stats) =
+        delta_screen_with_config(pipeline, config, population, &all, &warm, cancel)?;
+    report.variant = pipeline.variant().label().to_string();
+    Ok((report, pairs, stats))
 }
 
 /// Delta screen as a pure job: re-screen only the neighbourhoods of
@@ -541,8 +618,27 @@ pub fn delta_screen_job(
     changed: &[u32],
     warm: &PairMap,
     cancel: Option<&CancelToken>,
-) -> Result<(ScreeningReport, PairMap), Cancelled> {
-    let config = pipeline.config();
+) -> Result<(ScreeningReport, PairMap, Option<ShardScreenStats>), Cancelled> {
+    delta_screen_with_config(
+        pipeline,
+        pipeline.config(),
+        population,
+        changed,
+        warm,
+        cancel,
+    )
+}
+
+/// The delta pipeline proper, with the screening config as an explicit
+/// parameter so the sharded full/tail screens can pass an override.
+fn delta_screen_with_config(
+    pipeline: &Pipeline,
+    config: &ScreeningConfig,
+    population: &[KeplerElements],
+    changed: &[u32],
+    warm: &PairMap,
+    cancel: Option<&CancelToken>,
+) -> Result<(ScreeningReport, PairMap, Option<ShardScreenStats>), Cancelled> {
     let solver = &pipeline.solver;
     let wall = Instant::now();
     let mut timings = PhaseTimings::default();
@@ -567,12 +663,43 @@ pub fn delta_screen_job(
         .map(|(&key, list)| (key, list.clone()))
         .collect();
 
-    // Candidate extraction: rebuild the grid per step (same O(n) insert
-    // cost as the full screen) but query only the changed satellites'
-    // 27-cell neighbourhoods.
+    // Candidate extraction: rebuild the grid(s) per step (same O(n)
+    // insert cost as the full screen) but query only the changed
+    // satellites' 27-cell neighbourhoods. Sharded pipelines build one
+    // grid per shard and query each changed satellite in its home shard
+    // (boundary mirroring makes that exactly equal — see `crate::shard`);
+    // either way the emitted entries carry global indices, so everything
+    // downstream is identical.
     let propagator = BatchPropagator::new(population);
     let mut entries: HashSet<CandidatePair> = HashSet::new();
-    {
+    let shard_map = pipeline.shard_map();
+    let mut shard_stats = shard_map
+        .as_ref()
+        .map(|map| ShardScreenStats::new(map.shard_count()));
+    if let (Some(map), Some(stats)) = (&shard_map, shard_stats.as_mut()) {
+        let mut scratch = ShardScratch::new(map.shard_count());
+        let changed_list: Vec<u32> = changed_set.iter().copied().collect();
+        let mut positions: Vec<Vec3> = vec![Vec3::ZERO; n];
+        for step in 0..planner.total_steps {
+            check_opt(cancel)?;
+            let t = step as f64 * planner.seconds_per_sample;
+            {
+                let _timer = PhaseTimer::start(&mut timings.insertion);
+                propagator.positions_into(t, &mut positions);
+            }
+            let _timer = PhaseTimer::start(&mut timings.pair_extraction);
+            extract_step_sharded(
+                map,
+                &positions,
+                &changed_list,
+                planner.cell_size_km,
+                step,
+                &mut scratch,
+                &mut entries,
+                stats,
+            );
+        }
+    } else {
         let grid = SpatialGrid::new(n, planner.cell_size_km);
         let mut positions: Vec<Vec3> = vec![Vec3::ZERO; n];
         for step in 0..planner.total_steps {
@@ -720,7 +847,7 @@ pub fn delta_screen_job(
         filter_stats,
         device_metrics: None,
     };
-    Ok((report, pairs))
+    Ok((report, pairs, shard_stats))
 }
 
 /// Window advance as a pure job over an owned copy of the maintained set:
@@ -1014,7 +1141,7 @@ mod tests {
             updated[idx as usize] = perturb(&updated[idx as usize], 1.0);
         }
         let token = kessler_core::CancelToken::new();
-        let (job_report, job_pairs) =
+        let (job_report, job_pairs, _shards) =
             delta_screen_job(&pipeline, &updated, &changed, &warm, Some(&token)).unwrap();
         let sync_report = engine.delta_screen(&updated, &changed);
         assert_eq!(

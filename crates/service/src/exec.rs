@@ -20,6 +20,7 @@ use crate::delta::{
     AdvanceOutcome, PairMap, Pipeline,
 };
 use crate::error::ServiceError;
+use crate::shard::ShardScreenStats;
 use kessler_core::cancel::{CancelToken, Cancelled};
 use kessler_core::conjunction::ScreeningReport;
 use kessler_core::timing::PhaseTimings;
@@ -69,6 +70,8 @@ pub enum ScreenOutput {
     Screen {
         report: Box<ScreeningReport>,
         pairs: PairMap,
+        /// Per-shard extraction stats; `Some` iff the pipeline is sharded.
+        shards: Option<ShardScreenStats>,
     },
     /// A window advance: the slid pair map, retire/discover counts, the
     /// tail screen's timings and filter stats (hybrid pipelines), and
@@ -92,29 +95,32 @@ pub fn run_screen_job(
     let elements: &[KeplerElements] = &job.snapshot.elements;
     match job.kind {
         ScreenKind::Full => {
-            let report = full_screen_job(&job.pipeline, elements, cancel)?;
+            let (report, shards) = full_screen_job(&job.pipeline, elements, cancel)?;
             let pairs = pairs_from_conjunctions(&report.conjunctions);
             Ok(ScreenOutput::Screen {
                 report: Box::new(report),
                 pairs,
+                shards,
             })
         }
         ScreenKind::Delta => match &job.warm {
             // Cold fallback, same as `DeltaEngine::delta_screen`.
             None => {
-                let report = full_screen_job(&job.pipeline, elements, cancel)?;
+                let (report, shards) = full_screen_job(&job.pipeline, elements, cancel)?;
                 let pairs = pairs_from_conjunctions(&report.conjunctions);
                 Ok(ScreenOutput::Screen {
                     report: Box::new(report),
                     pairs,
+                    shards,
                 })
             }
             Some(warm) => {
-                let (report, pairs) =
+                let (report, pairs, shards) =
                     delta_screen_job(&job.pipeline, elements, &job.changed, warm, cancel)?;
                 Ok(ScreenOutput::Screen {
                     report: Box::new(report),
                     pairs,
+                    shards,
                 })
             }
         },
@@ -123,14 +129,14 @@ pub fn run_screen_job(
             // way the synchronous ADVANCE arm does before sliding.
             let (pairs, fold) = match &job.warm {
                 None => {
-                    let report = full_screen_job(&job.pipeline, elements, cancel)?;
+                    let (report, _shards) = full_screen_job(&job.pipeline, elements, cancel)?;
                     (
                         pairs_from_conjunctions(&report.conjunctions),
                         AdvanceFold::Full,
                     )
                 }
                 Some(warm) if !job.changed.is_empty() => {
-                    let (_, pairs) =
+                    let (_, pairs, _shards) =
                         delta_screen_job(&job.pipeline, elements, &job.changed, warm, cancel)?;
                     (pairs, AdvanceFold::Delta)
                 }
@@ -293,7 +299,7 @@ mod tests {
     fn full_job_matches_the_sync_engine() {
         let (catalog, mut engine, _) = warm_setup(120, 5);
         let job = capture(ScreenKind::Full, &catalog, &engine);
-        let ScreenOutput::Screen { report, pairs } = run_screen_job(&job, None).unwrap() else {
+        let ScreenOutput::Screen { report, pairs, .. } = run_screen_job(&job, None).unwrap() else {
             panic!("full job must yield a screen output");
         };
         let sync = engine.full_screen(catalog.elements());

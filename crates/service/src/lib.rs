@@ -18,6 +18,11 @@
 //!   through the orbital filter chain before refinement, exactly as a cold
 //!   hybrid screen would. The screening pipelines are pure, cancellable
 //!   job functions the execution layer shares with the synchronous path.
+//! - [`shard`] — the [`ShardMap`]: partitions the catalog by orbital
+//!   regime (altitude band × |z| shell) so candidate extraction runs one
+//!   grid per shard in parallel, with boundary mirroring so cross-shard
+//!   pairs are never lost — sharded screening is bit-identical to
+//!   unsharded, and the persistence layer chunks snapshots by shard.
 //! - [`exec`] — the execution layer: screening work captured as
 //!   [`exec::ScreenJob`]s against immutable catalog snapshots, run by a
 //!   pool of supervised workers, cancellable via `CANCEL`, committed back
@@ -57,6 +62,7 @@ pub mod persist;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
+pub mod shard;
 pub mod wal;
 
 pub use catalog::{Catalog, CatalogError, CatalogSnapshot, Removal};
@@ -74,3 +80,4 @@ pub use server::{
     request, request_with_timeout, Client, RecoverySummary, Server, ServerHandle, ServerOptions,
     ServiceState, MAX_LINE_BYTES,
 };
+pub use shard::{ShardMap, ShardScreenStats, ShardSpec};

@@ -67,6 +67,20 @@ pub struct MetricsRegistry {
     /// Running totals over every hybrid screen's filter-chain counters;
     /// `None` until the first hybrid screen.
     filter_chain: Option<FilterStatsSnapshot>,
+    /// Per-shard extraction-step latencies over sharded full screens, µs,
+    /// keyed by shard id. Only shards that held satellites appear.
+    shard_full: BTreeMap<u32, Histogram>,
+    /// Same, over sharded delta screens.
+    shard_delta: BTreeMap<u32, Histogram>,
+    /// Dirty-shard count at each successful snapshot write — how
+    /// incremental the per-shard snapshots actually are.
+    dirty_shards: Histogram,
+    /// Candidate entries whose neighbour lives in another shard (pairs
+    /// that only exist because of boundary mirroring).
+    boundary_entries: u64,
+    /// Grid inserts beyond one-per-satellite: boundary mirrors copied
+    /// into neighbouring shards' grids.
+    mirrored_inserts: u64,
 }
 
 impl MetricsRegistry {
@@ -107,6 +121,30 @@ impl MetricsRegistry {
     /// Record the tail screen an ADVANCE ran while sliding the window.
     pub fn record_advance_tail(&mut self, timings: &PhaseTimings) {
         self.advance.record(timings);
+    }
+
+    /// Fold one sharded screen's per-shard extraction stats into the
+    /// registry. Empty shards (no satellites, no steps) stay absent so the
+    /// METRICS payload lists only occupied shards.
+    pub fn record_shard_screen(&mut self, is_delta: bool, stats: &crate::shard::ShardScreenStats) {
+        let series = if is_delta {
+            &mut self.shard_delta
+        } else {
+            &mut self.shard_full
+        };
+        for (shard, hist) in stats.step_us.iter().enumerate() {
+            if hist.is_empty() {
+                continue;
+            }
+            series.entry(shard as u32).or_default().merge(hist);
+        }
+        self.boundary_entries += stats.boundary_entries;
+        self.mirrored_inserts += stats.mirrored_inserts;
+    }
+
+    /// Record how many shard chunks a snapshot write had to rewrite.
+    pub fn record_dirty_shards(&mut self, dirtied: usize) {
+        self.dirty_shards.record(dirtied as u64);
     }
 
     pub fn record_wal_fsync(&mut self, elapsed: Duration) {
@@ -219,6 +257,20 @@ impl MetricsRegistry {
             degraded_recoveries: self.degraded_recoveries,
             probe_failures: self.probe_failures,
             filter_chain: self.filter_chain,
+            shard_full_step_us: self
+                .shard_full
+                .iter()
+                .map(|(shard, h)| (*shard, h.summary(1.0)))
+                .collect(),
+            shard_delta_step_us: self
+                .shard_delta
+                .iter()
+                .map(|(shard, h)| (*shard, h.summary(1.0)))
+                .collect(),
+            dirty_shards_per_snapshot: (!self.dirty_shards.is_empty())
+                .then(|| self.dirty_shards.summary(1.0)),
+            boundary_entries: self.boundary_entries,
+            mirrored_inserts: self.mirrored_inserts,
         }
     }
 
@@ -245,6 +297,20 @@ impl MetricsRegistry {
             parts.push(format!(
                 "wal fsync p99 {:.2}ms",
                 self.wal_fsync.p99() as f64 * US_TO_MS
+            ));
+        }
+        if !self.shard_full.is_empty() || !self.shard_delta.is_empty() {
+            let occupied: std::collections::BTreeSet<u32> = self
+                .shard_full
+                .keys()
+                .chain(self.shard_delta.keys())
+                .copied()
+                .collect();
+            parts.push(format!(
+                "shards {} occupied, boundary {}, mirrored {}",
+                occupied.len(),
+                self.boundary_entries,
+                self.mirrored_inserts
             ));
         }
         if parts.is_empty() {
@@ -328,6 +394,22 @@ pub struct MetricsSnapshot {
     /// Summed filter-chain counters over all hybrid screens since startup.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub filter_chain: Option<FilterStatsSnapshot>,
+    /// Per-shard extraction-step quantiles over sharded full screens, µs.
+    /// Only shards that held satellites appear.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub shard_full_step_us: BTreeMap<u32, HistogramSummary>,
+    /// Per-shard extraction-step quantiles over sharded delta screens, µs.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub shard_delta_step_us: BTreeMap<u32, HistogramSummary>,
+    /// Dirty-shard counts across snapshot writes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dirty_shards_per_snapshot: Option<HistogramSummary>,
+    /// Cross-shard candidate entries found via boundary mirroring.
+    #[serde(default)]
+    pub boundary_entries: u64,
+    /// Satellites mirrored into neighbouring shards' grids.
+    #[serde(default)]
+    pub mirrored_inserts: u64,
 }
 
 #[cfg(test)]
@@ -426,6 +508,47 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.worker_screen_ms["worker-1"].count, 1);
+    }
+
+    #[test]
+    fn shard_stats_merge_by_shard_and_roundtrip() {
+        use crate::shard::ShardScreenStats;
+        let mut m = MetricsRegistry::new();
+        assert!(m.snapshot().shard_full_step_us.is_empty());
+
+        let mut stats = ShardScreenStats::new(4);
+        stats.step_us[0].record(100);
+        stats.step_us[2].record(300);
+        stats.boundary_entries = 5;
+        stats.mirrored_inserts = 7;
+        m.record_shard_screen(false, &stats);
+        m.record_shard_screen(true, &stats);
+        m.record_shard_screen(false, &stats);
+        m.record_dirty_shards(3);
+
+        let snap = m.snapshot();
+        // Shards 1 and 3 never recorded a step; they must stay absent.
+        assert_eq!(
+            snap.shard_full_step_us.keys().copied().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(snap.shard_full_step_us[&0].count, 2);
+        assert_eq!(snap.shard_delta_step_us[&2].count, 1);
+        assert_eq!(snap.boundary_entries, 15);
+        assert_eq!(snap.mirrored_inserts, 21);
+        assert_eq!(snap.dirty_shards_per_snapshot.unwrap().max, 3.0);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shard_full_step_us[&2].count, 2);
+        assert_eq!(back.boundary_entries, 15);
+        // Payloads from pre-sharding servers default to empty.
+        let back: MetricsSnapshot = serde_json::from_str("{}").unwrap();
+        assert!(back.shard_full_step_us.is_empty());
+        assert_eq!(back.mirrored_inserts, 0);
+
+        let line = m.one_line();
+        assert!(line.contains("shards 2 occupied"), "{line}");
     }
 
     #[test]

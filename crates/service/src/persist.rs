@@ -1,6 +1,6 @@
 //! Snapshot + WAL durability layer.
 //!
-//! State directory layout:
+//! State directory layout (flat, unsharded daemon):
 //!
 //! ```text
 //! <state-dir>/
@@ -15,18 +15,43 @@
 //! a `.tmp` file, fsynced, then atomically renamed into place, so a crash
 //! mid-snapshot leaves the previous one intact.
 //!
-//! Recovery loads the *newest valid* snapshot — a corrupt newest snapshot
-//! falls back to the one before it — then replays WAL records with
-//! `seq > snapshot.wal_seq`. To keep that fallback sound, WAL compaction
-//! after a snapshot retains every record newer than the *oldest kept*
-//! snapshot, not just the newest one.
+//! With sharding enabled ([`PersistOptions::shards`]), snapshots become
+//! *incremental*: the catalog is chunked by static shard assignment and a
+//! write rewrites only the chunks of shards dirtied since the previous
+//! snapshot, plus a small manifest tying a consistent set together:
+//!
+//! ```text
+//! <state-dir>/
+//!   wal.log
+//!   manifest-00000000000000000042.json   manifest: global state + chunk refs
+//!   shard-00000000000000000042-0003.json chunk rewritten at seq 42
+//!   shard-00000000000000000030-0001.json older chunk still referenced
+//! ```
+//!
+//! The manifest's `chunk_seqs[s]` names the sequence number of the chunk
+//! file holding shard `s`, so recovery reads the manifest plus
+//! `shard_count` chunk files directly — no chain walk. Chunks are written
+//! before the manifest (each tmp + fsync + rename), so a crash mid-write
+//! leaves the previous manifest's set fully intact. A full chunk set is
+//! forced periodically so retention can reclaim old chunks.
+//!
+//! Recovery loads the *newest materializable* recovery point — v1
+//! snapshot files and v2 manifests are merged into one seq-ordered list,
+//! and a manifest with a missing or corrupt chunk is skipped whole — then
+//! replays WAL records with `seq > point.wal_seq`. To keep fallback
+//! sound, retention keeps every recovery point at or after the
+//! `keep_snapshots`-th-newest *full* point (a v1 file, or a manifest
+//! whose chunks were all written at its own seq), deletes the rest, and
+//! WAL compaction retains every record newer than the oldest kept point.
 
 use crate::error::PersistError;
 use crate::fault::FaultPlan;
 use crate::proto::{ElementsSpec, LastScreen, Request};
+use crate::shard::{ShardMap, ShardSpec};
 use crate::wal::{self, WalWriter};
 use kessler_core::{Conjunction, Variant};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -35,8 +60,16 @@ use std::sync::Arc;
 /// Bump when the snapshot schema changes incompatibly.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
+/// Schema version of the sharded manifest format.
+pub const MANIFEST_VERSION: u32 = 2;
+
 /// WAL file name inside the state directory.
 pub const WAL_FILE: &str = "wal.log";
+
+/// Force a full chunk set after this many incremental manifests, so the
+/// chain of still-referenced old chunks stays short and retention can
+/// reclaim disk.
+const FULL_MANIFEST_EVERY: u64 = 8;
 
 /// Where and how often to persist.
 #[derive(Debug, Clone)]
@@ -46,8 +79,12 @@ pub struct PersistOptions {
     /// Mutations between snapshots (and WAL compactions).
     pub snapshot_every: u64,
     /// Snapshots retained on disk; at least 2 so a corrupt newest
-    /// snapshot has a fallback.
+    /// snapshot has a fallback. Under sharding this counts *full*
+    /// recovery points; incrementals in between ride along.
     pub keep_snapshots: usize,
+    /// Chunk snapshots by this shard layout (incremental v2 manifests).
+    /// `None` writes flat v1 snapshot files. Either mode *reads* both.
+    pub shards: Option<ShardSpec>,
 }
 
 impl PersistOptions {
@@ -56,6 +93,7 @@ impl PersistOptions {
             dir: dir.into(),
             snapshot_every: 256,
             keep_snapshots: 2,
+            shards: None,
         }
     }
 }
@@ -103,6 +141,13 @@ pub struct Snapshot {
     /// taken. Snapshots from before the field existed were always grid.
     #[serde(default = "default_snapshot_variant")]
     pub variant: Variant,
+    /// Shards dirtied since the last successful snapshot write, when the
+    /// daemon runs sharded. A transient hand-off from the state to the
+    /// persister — never serialized; the manifest encodes the same
+    /// information as chunk seqs. `None` means "not tracking" and makes a
+    /// sharded write rewrite every chunk.
+    #[serde(skip)]
+    pub dirty_shards: Option<Vec<u32>>,
 }
 
 fn default_snapshot_variant() -> Variant {
@@ -143,14 +188,78 @@ impl Snapshot {
 /// What [`Persister::open`] recovered from the state directory.
 #[derive(Debug, Default)]
 pub struct Recovery {
-    /// Newest snapshot that passed validation, if any.
+    /// Newest recovery point (v1 snapshot or v2 manifest + chunks) that
+    /// materialized and passed validation, if any.
     pub snapshot: Option<Snapshot>,
     /// WAL records newer than the snapshot, in order.
     pub tail: Vec<Request>,
     /// `Some(detail)` when the WAL ended in a damaged record (tolerated).
     pub torn_tail: Option<String>,
-    /// Snapshot files that failed validation and were skipped.
+    /// Recovery points that failed to materialize and were skipped — a
+    /// corrupt v1 file, or a manifest with a missing/corrupt chunk.
     pub corrupt_snapshots: usize,
+}
+
+/// Global (non-catalog) state of a sharded snapshot, plus the references
+/// that stitch its chunk files into one consistent catalog. Small —
+/// catalog payload lives in the chunks; the warm conjunction set rides
+/// here and is rewritten every time (it has no shard locality).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    wal_seq: u64,
+    shard_count: u32,
+    /// `chunk_seqs[s]` = wal_seq of the chunk file holding shard `s`.
+    chunk_seqs: Vec<u64>,
+    /// Total satellites across all chunks (cross-checked on load).
+    n_satellites: usize,
+    epoch: u64,
+    changed: Vec<u32>,
+    window_start: f64,
+    screened_n: Option<usize>,
+    full_screens: u64,
+    delta_screens: u64,
+    conjunctions: Vec<Conjunction>,
+    requests_served: u64,
+    time: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    last_screen: Option<LastScreen>,
+    variant: Variant,
+}
+
+impl Manifest {
+    fn is_full(&self) -> bool {
+        self.chunk_seqs.iter().all(|&s| s == self.wal_seq)
+    }
+}
+
+/// One shard's complete membership at one sequence number. Entries carry
+/// the dense index so the union of chunks reassembles the catalog's
+/// arrays exactly, and both current and epoch-0 elements, because
+/// propagation is not invertible from the current elements alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ShardChunk {
+    shard: u32,
+    entries: Vec<ChunkEntry>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ChunkEntry {
+    index: u32,
+    id: u64,
+    elements: ElementsSpec,
+    base: ElementsSpec,
+    generation: u64,
+}
+
+/// One restartable point in the state directory, for the merged
+/// newest-first recovery scan.
+#[derive(Debug)]
+enum PointFile {
+    /// Flat v1 `snapshot-<seq>.json`.
+    V1(PathBuf),
+    /// Sharded v2 `manifest-<seq>.json`.
+    V2(PathBuf),
 }
 
 /// Owns the state directory: appends WAL records, writes snapshots,
@@ -164,8 +273,11 @@ pub struct Persister {
     snapshot_every: u64,
     keep_snapshots: usize,
     since_snapshot: u64,
-    /// Sequence numbers of snapshot files on disk, ascending.
-    snapshots: Vec<u64>,
+    /// Shard layout for chunked v2 snapshots; `None` writes flat v1.
+    shards: Option<ShardMap>,
+    /// Incremental manifests written since the last full chunk set; at
+    /// [`FULL_MANIFEST_EVERY`] the next write is forced full.
+    incrementals_since_full: u64,
     faults: Arc<FaultPlan>,
     /// Set when a failed append could not be rolled back off disk (the
     /// truncate after a failed fsync also failed): the WAL tail may hold
@@ -184,11 +296,20 @@ impl Persister {
         let dir = options.dir.clone();
         std::fs::create_dir_all(&dir)
             .map_err(|e| PersistError::io(format!("create state dir {}", dir.display()), e))?;
+        let shards = match options.shards {
+            Some(spec) => Some(ShardMap::new(spec).map_err(|e| {
+                PersistError::corrupt("persist options", format!("invalid shard spec: {e}"))
+            })?),
+            None => None,
+        };
 
-        let mut listed = list_snapshots(&dir)?;
+        // Both formats are always *readable*, whatever we write: a daemon
+        // switching sharding on or off must still recover what the
+        // previous configuration persisted.
+        let points = list_points(&dir)?;
         let mut recovery = Recovery::default();
-        for (seq, path) in listed.iter().rev() {
-            match load_snapshot(path) {
+        for (seq, point) in points.iter().rev() {
+            match materialize_point(&dir, point) {
                 Ok(snapshot) => {
                     debug_assert_eq!(snapshot.wal_seq, *seq);
                     recovery.snapshot = Some(snapshot);
@@ -220,10 +341,8 @@ impl Persister {
             snapshot_every: options.snapshot_every.max(1),
             keep_snapshots: options.keep_snapshots.max(2),
             since_snapshot: recovery.tail.len() as u64,
-            snapshots: {
-                listed.sort_by_key(|(seq, _)| *seq);
-                listed.into_iter().map(|(seq, _)| seq).collect()
-            },
+            shards,
+            incrementals_since_full: 0,
             faults,
             dirty: false,
         };
@@ -231,7 +350,7 @@ impl Persister {
             // Drop the damaged tail bytes now: appending after a partial
             // record would glue new frames onto the torn line and lose
             // them too.
-            let keep_after = persister.snapshots.first().copied().unwrap_or(0);
+            let keep_after = points.first().map_or(0, |(seq, _)| *seq);
             persister.compact_wal(keep_after)?;
         }
         Ok((persister, recovery))
@@ -314,18 +433,148 @@ impl Persister {
         self.since_snapshot >= self.snapshot_every
     }
 
-    /// Write a snapshot atomically, rotate old ones, compact the WAL.
-    /// Returns the snapshot's size on disk in bytes (for metrics).
+    /// Write a snapshot atomically (flat v1, or dirty chunks + manifest
+    /// under sharding), apply retention, compact the WAL. Returns the
+    /// bytes written to disk by *this* call (for metrics — under sharding
+    /// that is the manifest plus only the rewritten chunks).
     pub fn write_snapshot(&mut self, snapshot: &Snapshot) -> Result<u64, PersistError> {
         snapshot.validate()?;
+        let bytes = match self.shards {
+            Some(map) => self.write_snapshot_v2(snapshot, &map)?,
+            None => self.write_snapshot_v1(snapshot)?,
+        };
+
+        // Keep every WAL record the *oldest kept* recovery point does not
+        // cover, so falling back past a corrupt newest point still
+        // replays to the present.
+        let keep_after = self.apply_retention();
+        self.compact_wal(keep_after)?;
+        self.since_snapshot = 0;
+        // Compaction rewrote the WAL from committed records only, so any
+        // residue of a failed append is gone.
+        self.dirty = false;
+        Ok(bytes)
+    }
+
+    /// The flat format: the whole state as one frame-encoded file.
+    fn write_snapshot_v1(&mut self, snapshot: &Snapshot) -> Result<u64, PersistError> {
         let seq = snapshot.wal_seq;
         let body = serde_json::to_string(snapshot)
             .map_err(|e| PersistError::corrupt("snapshot", format!("unserializable: {e}")))?;
-        let mut line = wal::encode_frame(seq, &body);
-        line.push('\n');
+        self.write_frame_file(seq, &body, &self.snapshot_path(seq))
+    }
 
-        let final_path = self.snapshot_path(seq);
-        let tmp_path = self.dir.join(format!("snapshot-{seq:020}.json.tmp"));
+    /// The sharded format: rewrite chunks for dirty shards, then a
+    /// manifest referencing the rest from their previous chunks. Chunks
+    /// land before the manifest, so a crash anywhere leaves the previous
+    /// manifest's set fully intact; orphaned new chunks are reclaimed by
+    /// the next retention pass.
+    fn write_snapshot_v2(
+        &mut self,
+        snapshot: &Snapshot,
+        map: &ShardMap,
+    ) -> Result<u64, PersistError> {
+        let seq = snapshot.wal_seq;
+        let shard_count = map.shard_count();
+
+        // The previous manifest tells us which chunks can be reused. No
+        // usable predecessor (fresh dir, v1 history, relaid shards) or an
+        // overdue full forces a complete chunk set.
+        let prev = newest_manifest(&self.dir);
+        let prev = prev.filter(|m| m.shard_count == shard_count && m.wal_seq <= seq);
+        let dirty: BTreeSet<u32> = match (&prev, &snapshot.dirty_shards) {
+            (Some(_), Some(dirtied)) if self.incrementals_since_full < FULL_MANIFEST_EVERY => {
+                dirtied
+                    .iter()
+                    .copied()
+                    .filter(|&s| s < shard_count)
+                    .collect()
+            }
+            _ => (0..shard_count).collect(),
+        };
+
+        // Chunk the catalog by static assignment on the stored elements
+        // (position-independent, stable under ADVANCE rebasing).
+        let mut members: Vec<Vec<ChunkEntry>> = vec![Vec::new(); shard_count as usize];
+        for (i, spec) in snapshot.elements.iter().enumerate() {
+            let shard = map.assign(spec.a, spec.incl);
+            if !dirty.contains(&shard) {
+                continue;
+            }
+            let base = snapshot
+                .base_elements
+                .get(i)
+                .copied()
+                .unwrap_or(snapshot.elements[i]);
+            members[shard as usize].push(ChunkEntry {
+                index: i as u32,
+                id: snapshot.ids[i],
+                elements: *spec,
+                base,
+                generation: snapshot.generations[i],
+            });
+        }
+
+        let mut bytes = 0u64;
+        for &shard in &dirty {
+            let chunk = ShardChunk {
+                shard,
+                entries: std::mem::take(&mut members[shard as usize]),
+            };
+            let body = serde_json::to_string(&chunk).map_err(|e| {
+                PersistError::corrupt("shard chunk", format!("unserializable: {e}"))
+            })?;
+            bytes += self.write_frame_file(seq, &body, &chunk_path(&self.dir, seq, shard))?;
+        }
+
+        let chunk_seqs: Vec<u64> = (0..shard_count)
+            .map(|s| {
+                if dirty.contains(&s) {
+                    seq
+                } else {
+                    prev.as_ref()
+                        .expect("non-dirty shard implies a predecessor")
+                        .chunk_seqs[s as usize]
+                }
+            })
+            .collect();
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            wal_seq: seq,
+            shard_count,
+            chunk_seqs,
+            n_satellites: snapshot.ids.len(),
+            epoch: snapshot.epoch,
+            changed: snapshot.changed.clone(),
+            window_start: snapshot.window_start,
+            screened_n: snapshot.screened_n,
+            full_screens: snapshot.full_screens,
+            delta_screens: snapshot.delta_screens,
+            conjunctions: snapshot.conjunctions.clone(),
+            requests_served: snapshot.requests_served,
+            time: snapshot.time,
+            last_screen: snapshot.last_screen.clone(),
+            variant: snapshot.variant,
+        };
+        let full = manifest.is_full();
+        let body = serde_json::to_string(&manifest)
+            .map_err(|e| PersistError::corrupt("manifest", format!("unserializable: {e}")))?;
+        bytes += self.write_frame_file(seq, &body, &manifest_path(&self.dir, seq))?;
+        self.incrementals_since_full = if full {
+            0
+        } else {
+            self.incrementals_since_full + 1
+        };
+        Ok(bytes)
+    }
+
+    /// Write one frame-encoded body durably: tmp file, fsync, atomic
+    /// rename, directory sync. Fault-injection hooks fire per file, so
+    /// the chaos tests exercise multi-file sharded writes too.
+    fn write_frame_file(&self, seq: u64, body: &str, path: &Path) -> Result<u64, PersistError> {
+        let mut line = wal::encode_frame(seq, body);
+        line.push('\n');
+        let tmp_path = path.with_extension("json.tmp");
         if let Some(err) = self.faults.take_snapshot_write_error() {
             return Err(PersistError::io(
                 format!("write {}", tmp_path.display()),
@@ -348,34 +597,83 @@ impl Persister {
                 err,
             ));
         }
-        std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+        std::fs::rename(&tmp_path, path).map_err(|e| {
             PersistError::io(format!("rename {} into place", tmp_path.display()), e)
         })?;
         sync_dir(&self.dir);
-
-        if !self.snapshots.contains(&seq) {
-            self.snapshots.push(seq);
-            self.snapshots.sort_unstable();
-        }
-        while self.snapshots.len() > self.keep_snapshots {
-            let old = self.snapshots.remove(0);
-            let _ = std::fs::remove_file(self.snapshot_path(old));
-        }
-
-        // Keep every WAL record the *oldest kept* snapshot does not cover,
-        // so falling back past a corrupt newest snapshot still replays to
-        // the present.
-        let keep_after = self.snapshots.first().copied().unwrap_or(0);
-        self.compact_wal(keep_after)?;
-        self.since_snapshot = 0;
-        // Compaction rewrote the WAL from committed records only, so any
-        // residue of a failed append is gone.
-        self.dirty = false;
         Ok(line.len() as u64)
     }
 
     fn snapshot_path(&self, seq: u64) -> PathBuf {
         self.dir.join(format!("snapshot-{seq:020}.json"))
+    }
+
+    /// Delete recovery points older than the `keep_snapshots`-th-newest
+    /// *full* point, plus any chunk file no kept manifest references.
+    /// Stateless by design — it re-lists the directory, so it also mops
+    /// up debris from crashed writes. Best-effort: a file that refuses to
+    /// die costs disk, not correctness. Returns the oldest kept seq (the
+    /// WAL compaction floor).
+    fn apply_retention(&self) -> u64 {
+        let Ok(points) = list_points(&self.dir) else {
+            return 0;
+        };
+        let manifests: Vec<(u64, Option<Manifest>)> = points
+            .iter()
+            .filter_map(|(seq, point)| match point {
+                PointFile::V1(_) => None,
+                PointFile::V2(path) => Some((*seq, load_manifest(path).ok())),
+            })
+            .collect();
+        // A v1 file is self-contained, hence full. An unreadable manifest
+        // is nothing (and will age out below).
+        let full_seqs: Vec<u64> = points
+            .iter()
+            .filter(|(seq, point)| match point {
+                PointFile::V1(_) => true,
+                PointFile::V2(_) => manifests
+                    .iter()
+                    .any(|(mseq, m)| mseq == seq && m.as_ref().is_some_and(Manifest::is_full)),
+            })
+            .map(|(seq, _)| *seq)
+            .collect();
+        if full_seqs.len() < self.keep_snapshots {
+            return points.first().map_or(0, |(seq, _)| *seq);
+        }
+        let cutoff = full_seqs[full_seqs.len() - self.keep_snapshots];
+
+        for (seq, point) in &points {
+            if *seq >= cutoff {
+                continue;
+            }
+            let path = match point {
+                PointFile::V1(path) => path,
+                PointFile::V2(path) => path,
+            };
+            let _ = std::fs::remove_file(path);
+        }
+        // Chunks referenced by no kept manifest — superseded, orphaned by
+        // a crash, or belonging to a deleted manifest — go too.
+        let referenced: BTreeSet<(u64, u32)> = manifests
+            .iter()
+            .filter(|(seq, _)| *seq >= cutoff)
+            .filter_map(|(_, m)| m.as_ref())
+            .flat_map(|m| {
+                m.chunk_seqs
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, &seq)| (seq, shard as u32))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if let Ok(chunks) = list_chunks(&self.dir) {
+            for (seq, shard, path) in chunks {
+                if !referenced.contains(&(seq, shard)) {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        cutoff
     }
 
     /// Rewrite the WAL keeping only valid records with `seq > keep_after`,
@@ -444,7 +742,8 @@ fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
     Ok(found)
 }
 
-fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
+/// Read the checksummed frame line a snapshot/manifest/chunk file holds.
+fn read_frame_body(path: &Path) -> Result<String, PersistError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| PersistError::io(format!("read {}", path.display()), e))?;
     let line = text
@@ -453,11 +752,192 @@ fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
         .ok_or_else(|| PersistError::corrupt(path.display().to_string(), "empty file"))?;
     let (_, body) = wal::decode_frame(line)
         .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
+    Ok(body)
+}
+
+fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
+    let body = read_frame_body(path)?;
     let snapshot: Snapshot = serde_json::from_str(&body)
         .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
     snapshot
         .validate()
         .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
+    Ok(snapshot)
+}
+
+fn load_manifest(path: &Path) -> Result<Manifest, PersistError> {
+    let body = read_frame_body(path)?;
+    let manifest: Manifest = serde_json::from_str(&body)
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))?;
+    let corrupt = |detail: String| PersistError::corrupt(path.display().to_string(), detail);
+    if manifest.version != MANIFEST_VERSION {
+        return Err(corrupt(format!(
+            "manifest version {} (this build reads {MANIFEST_VERSION})",
+            manifest.version
+        )));
+    }
+    if manifest.chunk_seqs.len() != manifest.shard_count as usize {
+        return Err(corrupt(format!(
+            "{} chunk refs for {} shards",
+            manifest.chunk_seqs.len(),
+            manifest.shard_count
+        )));
+    }
+    if manifest.chunk_seqs.iter().any(|&s| s > manifest.wal_seq) {
+        return Err(corrupt("chunk ref newer than the manifest".to_string()));
+    }
+    Ok(manifest)
+}
+
+fn load_chunk(path: &Path) -> Result<ShardChunk, PersistError> {
+    let body = read_frame_body(path)?;
+    serde_json::from_str(&body)
+        .map_err(|e| PersistError::corrupt(path.display().to_string(), e.to_string()))
+}
+
+fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("manifest-{seq:020}.json"))
+}
+
+fn chunk_path(dir: &Path, seq: u64, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{seq:020}-{shard:04}.json"))
+}
+
+/// Newest manifest in the directory that parses, if any.
+fn newest_manifest(dir: &Path) -> Option<Manifest> {
+    let points = list_points(dir).ok()?;
+    points.iter().rev().find_map(|(_, point)| match point {
+        PointFile::V2(path) => load_manifest(path).ok(),
+        PointFile::V1(_) => None,
+    })
+}
+
+/// All recovery points (v1 snapshot files and v2 manifests) in the
+/// directory, ascending by seq.
+fn list_points(dir: &Path) -> Result<Vec<(u64, PointFile)>, PersistError> {
+    let mut found: Vec<(u64, PointFile)> = list_snapshots(dir)?
+        .into_iter()
+        .map(|(seq, path)| (seq, PointFile::V1(path)))
+        .collect();
+    for entry in read_dir_entries(dir)? {
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("manifest-")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(seq) = stem.parse::<u64>() else {
+            continue;
+        };
+        found.push((seq, PointFile::V2(entry.path())));
+    }
+    found.sort_by_key(|(seq, _)| *seq);
+    Ok(found)
+}
+
+/// All shard chunk files in the directory as `(seq, shard, path)`.
+fn list_chunks(dir: &Path) -> Result<Vec<(u64, u32, PathBuf)>, PersistError> {
+    let mut found = Vec::new();
+    for entry in read_dir_entries(dir)? {
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("shard-")
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Some((seq, shard)) = stem.split_once('-') else {
+            continue;
+        };
+        let (Ok(seq), Ok(shard)) = (seq.parse::<u64>(), shard.parse::<u32>()) else {
+            continue;
+        };
+        found.push((seq, shard, entry.path()));
+    }
+    Ok(found)
+}
+
+fn read_dir_entries(dir: &Path) -> Result<Vec<std::fs::DirEntry>, PersistError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| PersistError::io(format!("list state dir {}", dir.display()), e))?;
+    entries
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| PersistError::io(format!("list state dir {}", dir.display()), e))
+}
+
+/// Load one recovery point into a full [`Snapshot`], whichever format it
+/// is. A manifest materializes by reading every referenced chunk and
+/// reassembling the catalog's dense arrays; any missing or corrupt chunk
+/// fails the whole point.
+fn materialize_point(dir: &Path, point: &PointFile) -> Result<Snapshot, PersistError> {
+    match point {
+        PointFile::V1(path) => load_snapshot(path),
+        PointFile::V2(path) => {
+            let manifest = load_manifest(path)?;
+            materialize_manifest(dir, &manifest)
+        }
+    }
+}
+
+fn materialize_manifest(dir: &Path, manifest: &Manifest) -> Result<Snapshot, PersistError> {
+    let corrupt = |detail: String| PersistError::corrupt("manifest", detail);
+    let mut entries: Vec<ChunkEntry> = Vec::with_capacity(manifest.n_satellites);
+    for (shard, &chunk_seq) in manifest.chunk_seqs.iter().enumerate() {
+        let path = chunk_path(dir, chunk_seq, shard as u32);
+        let chunk = load_chunk(&path)?;
+        if chunk.shard != shard as u32 {
+            return Err(corrupt(format!(
+                "chunk {} claims shard {}, expected {shard}",
+                path.display(),
+                chunk.shard
+            )));
+        }
+        entries.extend(chunk.entries);
+    }
+    if entries.len() != manifest.n_satellites {
+        return Err(corrupt(format!(
+            "chunk union holds {} satellites, manifest says {}",
+            entries.len(),
+            manifest.n_satellites
+        )));
+    }
+    entries.sort_by_key(|e| e.index);
+    if let Some((i, entry)) = entries
+        .iter()
+        .enumerate()
+        .find(|(i, e)| e.index as usize != *i)
+    {
+        return Err(corrupt(format!(
+            "chunk union does not cover dense indices: slot {i} holds index {}",
+            entry.index
+        )));
+    }
+    let snapshot = Snapshot {
+        version: SNAPSHOT_VERSION,
+        wal_seq: manifest.wal_seq,
+        epoch: manifest.epoch,
+        ids: entries.iter().map(|e| e.id).collect(),
+        elements: entries.iter().map(|e| e.elements).collect(),
+        generations: entries.iter().map(|e| e.generation).collect(),
+        changed: manifest.changed.clone(),
+        window_start: manifest.window_start,
+        screened_n: manifest.screened_n,
+        full_screens: manifest.full_screens,
+        delta_screens: manifest.delta_screens,
+        conjunctions: manifest.conjunctions.clone(),
+        requests_served: manifest.requests_served,
+        time: manifest.time,
+        base_elements: entries.iter().map(|e| e.base).collect(),
+        last_screen: manifest.last_screen.clone(),
+        variant: manifest.variant,
+        dirty_shards: None,
+    };
+    snapshot.validate()?;
     Ok(snapshot)
 }
 
@@ -512,6 +992,7 @@ mod tests {
             base_elements: (0..n).map(spec).collect(),
             last_screen: None,
             variant: Variant::Grid,
+            dirty_shards: None,
         }
     }
 
@@ -520,6 +1001,7 @@ mod tests {
             dir: dir.to_path_buf(),
             snapshot_every: 1_000_000, // tests snapshot explicitly
             keep_snapshots: 2,
+            shards: None,
         }
     }
 
@@ -787,6 +1269,208 @@ mod tests {
         persister.probe().expect_err("broken disk must fail probe");
         faults.set_wal_broken(false);
         persister.probe().expect("probe recovers with the disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two altitude bands (edge at 7750 km), one |z| shell: shard 0 holds
+    /// everything below the edge, shard 1 everything above.
+    fn sharded_options(dir: &Path) -> PersistOptions {
+        PersistOptions {
+            dir: dir.to_path_buf(),
+            snapshot_every: 1_000_000,
+            keep_snapshots: 2,
+            shards: Some(ShardSpec {
+                alt_bands: 2,
+                z_shells: 1,
+                r_min_km: 6_500.0,
+                r_max_km: 9_000.0,
+            }),
+        }
+    }
+
+    fn spec_a(a: f64) -> ElementsSpec {
+        ElementsSpec {
+            a,
+            e: 0.001,
+            incl: 0.9,
+            raan: 1.0,
+            argp: 0.3,
+            mean_anomaly: 0.2,
+        }
+    }
+
+    fn sharded_snapshot(wal_seq: u64, alts: &[f64], dirty: Option<Vec<u32>>) -> Snapshot {
+        let n = alts.len() as u64;
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            wal_seq,
+            epoch: n,
+            ids: (0..n).collect(),
+            elements: alts.iter().map(|&a| spec_a(a)).collect(),
+            generations: (1..=n).collect(),
+            changed: Vec::new(),
+            window_start: 0.0,
+            screened_n: None,
+            full_screens: 0,
+            delta_screens: 0,
+            conjunctions: Vec::new(),
+            requests_served: n,
+            time: 0.0,
+            base_elements: alts.iter().map(|&a| spec_a(a)).collect(),
+            last_screen: None,
+            variant: Variant::Grid,
+            dirty_shards: dirty,
+        }
+    }
+
+    #[test]
+    fn sharded_write_is_incremental_and_recovers_exactly() {
+        let dir = temp_dir("sharded");
+        let (mut persister, _) =
+            Persister::open(&sharded_options(&dir), FaultPlan::inert()).unwrap();
+        // Three satellites in shard 0, one in shard 1. First write has no
+        // predecessor, so it must produce a full chunk set.
+        let alts = [7_000.0, 7_100.0, 7_200.0, 8_000.0];
+        for id in 0..4 {
+            persister.append(&add(id)).unwrap();
+        }
+        let full_bytes = persister
+            .write_snapshot(&sharded_snapshot(4, &alts, Some(vec![0, 1])))
+            .unwrap();
+        assert!(dir.join(format!("manifest-{:020}.json", 4)).exists());
+        assert!(dir.join(format!("shard-{:020}-0000.json", 4)).exists());
+        assert!(dir.join(format!("shard-{:020}-0001.json", 4)).exists());
+
+        // One more satellite lands in shard 1; the incremental write must
+        // rewrite only that shard's chunk (plus the manifest).
+        let alts = [7_000.0, 7_100.0, 7_200.0, 8_000.0, 8_200.0];
+        persister.append(&add(4)).unwrap();
+        let incr_bytes = persister
+            .write_snapshot(&sharded_snapshot(5, &alts, Some(vec![1])))
+            .unwrap();
+        assert!(dir.join(format!("shard-{:020}-0001.json", 5)).exists());
+        assert!(
+            !dir.join(format!("shard-{:020}-0000.json", 5)).exists(),
+            "clean shard 0 must reuse its seq-4 chunk"
+        );
+        assert!(
+            incr_bytes < full_bytes,
+            "incremental ({incr_bytes} B) should undercut full ({full_bytes} B)"
+        );
+
+        let (_, recovery) = Persister::open(&sharded_options(&dir), FaultPlan::inert()).unwrap();
+        let snapshot = recovery.snapshot.expect("manifest recovers");
+        assert_eq!(snapshot.wal_seq, 5);
+        assert_eq!(snapshot.ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            snapshot.elements,
+            alts.iter().map(|&a| spec_a(a)).collect::<Vec<_>>(),
+            "dense order must survive chunking by shard"
+        );
+        assert_eq!(snapshot.generations, vec![1, 2, 3, 4, 5]);
+        assert!(recovery.tail.is_empty(), "manifest covers the whole wal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_chunk_falls_back_to_the_previous_point() {
+        let dir = temp_dir("chunkfall");
+        let (mut persister, _) =
+            Persister::open(&sharded_options(&dir), FaultPlan::inert()).unwrap();
+        persister.append(&add(0)).unwrap();
+        persister.append(&add(1)).unwrap();
+        persister
+            .write_snapshot(&sharded_snapshot(2, &[7_000.0, 8_000.0], None))
+            .unwrap();
+        persister.append(&add(2)).unwrap();
+        persister.append(&add(3)).unwrap();
+        persister
+            .write_snapshot(&sharded_snapshot(
+                4,
+                &[7_000.0, 8_000.0, 8_100.0, 8_200.0],
+                Some(vec![1]),
+            ))
+            .unwrap();
+        drop(persister);
+
+        // Vandalise the chunk the newest manifest just wrote. The whole
+        // manifest must be skipped — a half-applied manifest would serve a
+        // catalog that never existed.
+        std::fs::write(
+            dir.join(format!("shard-{:020}-0001.json", 4)),
+            "XXXX not a chunk XXXX",
+        )
+        .unwrap();
+
+        let (_, recovery) = Persister::open(&sharded_options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.corrupt_snapshots, 1);
+        let snapshot = recovery.snapshot.expect("fallback to the seq-2 manifest");
+        assert_eq!(snapshot.wal_seq, 2);
+        assert_eq!(snapshot.ids, vec![0, 1]);
+        assert_eq!(
+            recovery.tail,
+            vec![add(2), add(3)],
+            "records past the fallback must still replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_changes_read_across_the_sharding_switch() {
+        let dir = temp_dir("xformat");
+        // Unsharded daemon writes v1 history...
+        let (mut persister, _) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        persister.append(&add(0)).unwrap();
+        persister.write_snapshot(&snapshot_at(1, 1)).unwrap();
+        drop(persister);
+
+        // ...which a sharded reopen recovers, and supersedes with a full
+        // manifest (a v1 file is no chunk predecessor).
+        let (mut persister, recovery) =
+            Persister::open(&sharded_options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.snapshot.expect("v1 readable").wal_seq, 1);
+        persister.append(&add(1)).unwrap();
+        persister
+            .write_snapshot(&sharded_snapshot(2, &[7_000.0, 8_000.0], Some(vec![0])))
+            .unwrap();
+        assert!(
+            dir.join(format!("shard-{:020}-0001.json", 2)).exists(),
+            "without a manifest predecessor the write must be forced full"
+        );
+        drop(persister);
+
+        // ...and an unsharded reopen still reads the sharded manifest.
+        let (_, recovery) = Persister::open(&options(&dir), FaultPlan::inert()).unwrap();
+        assert_eq!(recovery.snapshot.expect("v2 readable").wal_seq, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_two_full_points_and_reclaims_chunks() {
+        let dir = temp_dir("chunkgc");
+        let (mut persister, _) =
+            Persister::open(&sharded_options(&dir), FaultPlan::inert()).unwrap();
+        // `None` dirty info = rewrite everything, so each write is a full
+        // recovery point and retention trims to the newest two.
+        for round in 0..4u64 {
+            persister.append(&add(round)).unwrap();
+            persister
+                .write_snapshot(&sharded_snapshot(round + 1, &[7_000.0, 8_000.0], None))
+                .unwrap();
+        }
+        let points = list_points(&dir).unwrap();
+        let seqs: Vec<u64> = points.iter().map(|(seq, _)| *seq).collect();
+        assert_eq!(seqs, vec![3, 4], "two newest full manifests survive");
+        let mut chunks = list_chunks(&dir).unwrap();
+        chunks.sort();
+        assert_eq!(
+            chunks
+                .iter()
+                .map(|(seq, shard, _)| (*seq, *shard))
+                .collect::<Vec<_>>(),
+            vec![(3, 0), (3, 1), (4, 0), (4, 1)],
+            "chunks of dropped manifests are reclaimed"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

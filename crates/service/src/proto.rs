@@ -20,6 +20,8 @@
 //! a `stale` flag set when a newer result was adopted first.
 
 use crate::error::ServiceError;
+use crate::shard::ShardScreenStats;
+use kessler_core::metrics::HistogramSummary;
 use kessler_core::timing::PhaseTimings;
 use kessler_core::{Conjunction, FilterStatsSnapshot, ScreeningReport};
 use kessler_orbits::KeplerElements;
@@ -286,6 +288,10 @@ pub struct ScreenSummary {
     /// not survive a restart.
     #[serde(default, skip_serializing_if = "is_false")]
     pub ephemeral: bool,
+    /// Per-shard extraction breakdown, present when the daemon screens
+    /// with a sharded pipeline.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shards: Option<ShardSummary>,
 }
 
 fn is_false(flag: &bool) -> bool {
@@ -309,6 +315,58 @@ impl ScreenSummary {
             stale: false,
             filter_stats: report.filter_stats,
             ephemeral: false,
+            shards: None,
+        }
+    }
+}
+
+/// Compact wire form of one screen's per-shard extraction stats: one row
+/// per *occupied* shard (empty shards carry no information), plus the
+/// boundary-mirroring counters that price the cross-shard machinery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Total shards in the partition (occupied or not).
+    pub shard_count: u32,
+    /// Candidate entries whose two satellites live in different home
+    /// shards — the pairs mirroring exists to keep.
+    pub boundary_entries: u64,
+    /// Grid inserts beyond one-per-satellite-per-step (the mirror copies).
+    pub mirrored_inserts: u64,
+    /// Total grid inserts across shards and steps.
+    pub total_inserts: u64,
+    /// Per-occupied-shard rows, ascending by shard id.
+    pub rows: Vec<ShardRow>,
+}
+
+/// One occupied shard's extraction stats for a single screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRow {
+    pub shard: u32,
+    /// Candidate entries this shard's queries emitted.
+    pub entries: u64,
+    /// Peak member count across steps (mirrors included).
+    pub peak_members: u64,
+    /// Per-step extraction wall time, µs.
+    pub step_us: HistogramSummary,
+}
+
+impl ShardSummary {
+    pub fn from_stats(stats: &ShardScreenStats) -> ShardSummary {
+        let rows = (0..stats.shard_count())
+            .filter(|&s| stats.peak_members[s] > 0)
+            .map(|s| ShardRow {
+                shard: s as u32,
+                entries: stats.entries[s],
+                peak_members: stats.peak_members[s],
+                step_us: stats.step_us[s].summary(1.0),
+            })
+            .collect();
+        ShardSummary {
+            shard_count: stats.shard_count() as u32,
+            boundary_entries: stats.boundary_entries,
+            mirrored_inserts: stats.mirrored_inserts,
+            total_inserts: stats.total_inserts,
+            rows,
         }
     }
 }
@@ -474,6 +532,7 @@ mod tests {
             stale: true,
             filter_stats: None,
             ephemeral: false,
+            shards: None,
         };
         let mut value = serde_json::to_value(&summary).unwrap();
         let obj = value.as_object_mut().unwrap();
@@ -507,6 +566,7 @@ mod tests {
             stale: false,
             filter_stats: Some(stats),
             ephemeral: false,
+            shards: None,
         };
         let json = serde_json::to_string(&summary).unwrap();
         let back: ScreenSummary = serde_json::from_str(&json).unwrap();
@@ -565,6 +625,7 @@ mod tests {
             stale: false,
             filter_stats: None,
             ephemeral: false,
+            shards: None,
         };
         let json = serde_json::to_string(&summary).unwrap();
         assert!(!json.contains("ephemeral"), "json: {json}");
@@ -612,6 +673,7 @@ mod tests {
                 stale: false,
                 filter_stats: None,
                 ephemeral: false,
+                shards: None,
             }),
             Response::with_advance(AdvanceAck {
                 retired: 2,

@@ -1,0 +1,238 @@
+//! The wire layer: bounded line reading, the per-connection request loop,
+//! and the client helpers (`request`, `request_with_timeout`, [`Client`]).
+
+use super::handlers::{enqueue_screen, handle_and_persist, Shared};
+use super::MAX_LINE_BYTES;
+use crate::proto::{Envelope, Request, Response};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) enum LineOutcome {
+    /// A complete line is in the buffer (newline included if present).
+    Line,
+    /// The line blew past the cap; the remainder was drained.
+    Oversized,
+    Eof,
+}
+
+/// Read one newline-terminated line of at most `max` bytes. An oversized
+/// line is drained to its newline so the connection can resync, and
+/// reported as [`LineOutcome::Oversized`] rather than an error — the
+/// client gets a protocol-level ERROR and keeps its connection.
+pub(crate) fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<LineOutcome> {
+    buf.clear();
+    // UFCS so `take` borrows the reader (via `impl Read for &mut R`)
+    // instead of consuming it — the caller reuses it across lines.
+    let n = Read::take(&mut *reader, max as u64 + 1).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineOutcome::Eof);
+    }
+    if buf.len() > max && !buf.ends_with(b"\n") {
+        drain_line(reader)?;
+        return Ok(LineOutcome::Oversized);
+    }
+    Ok(LineOutcome::Line)
+}
+
+/// Consume input up to and including the next newline (or EOF).
+fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+pub(crate) fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(shared.read_timeout);
+    let _ = stream.set_write_timeout(shared.write_timeout);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    // A read error covers timeouts (idle connections get reaped) and
+    // resets; nothing to answer on a broken socket, so the loop just ends.
+    while let Ok(outcome) = read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
+        let mut is_shutdown = false;
+        let response = match outcome {
+            LineOutcome::Eof => break,
+            LineOutcome::Oversized => Response::error(format!(
+                "request line exceeds the {}-byte cap",
+                shared.max_line_bytes
+            )),
+            LineOutcome::Line => {
+                let text = String::from_utf8_lossy(&buf);
+                let line = text.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<Envelope>(line) {
+                    Err(e) => Response::error(format!("bad request: {e}")),
+                    Ok(Envelope { req_id, request }) => {
+                        is_shutdown = matches!(request, Request::Shutdown);
+                        let mut response = match request {
+                            req @ (Request::Screen | Request::Delta | Request::Advance { .. }) => {
+                                // Screening runs on the worker pool against
+                                // an enqueue-time snapshot; the bounded
+                                // queue sheds load explicitly.
+                                enqueue_screen(&shared, req, req_id.clone())
+                            }
+                            Request::Cancel { id } => {
+                                let hit = shared.registry.cancel(&id);
+                                shared.metrics.lock().count_request("CANCEL", hit);
+                                if hit {
+                                    Response::ack()
+                                } else {
+                                    Response::error(format!(
+                                        "no queued or running job with req_id \"{id}\""
+                                    ))
+                                }
+                            }
+                            req => {
+                                if is_shutdown {
+                                    shared.shutdown.store(true, Ordering::SeqCst);
+                                }
+                                handle_and_persist(&shared, &req)
+                            }
+                        };
+                        response.req_id = req_id;
+                        response
+                    }
+                }
+            }
+        };
+        let mut payload = match serde_json::to_string(&response) {
+            Ok(p) => p,
+            Err(_) => r#"{"ok":false,"error":"response serialization failed"}"#.to_string(),
+        };
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if is_shutdown {
+            // Poke the accept loop so it observes the shutdown flag.
+            let _ = TcpStream::connect(shared.addr);
+            break;
+        }
+    }
+}
+
+/// One-shot request/response over a fresh connection.
+pub fn request<A: ToSocketAddrs>(addr: A, req: &Request) -> io::Result<Response> {
+    let mut client = Client::connect(addr)?;
+    client.send(req)
+}
+
+/// One-shot request/response with a deadline on connect, write, and read.
+pub fn request_with_timeout<A: ToSocketAddrs>(
+    addr: A,
+    req: &Request,
+    timeout: Duration,
+) -> io::Result<Response> {
+    let mut last_err = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                let reader = BufReader::new(stream.try_clone()?);
+                let mut client = Client {
+                    reader,
+                    writer: stream,
+                };
+                return client.send(req);
+            }
+            Err(err) => last_err = Some(err),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no addresses to connect to")))
+}
+
+/// A persistent JSON-lines client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Apply read/write deadlines to the connection (`None` = blocking).
+    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(read)?;
+        self.writer.set_write_timeout(write)
+    }
+
+    /// Send a request and block for its response.
+    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        let line = serde_json::to_string(req)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        self.send_line(&line)
+    }
+
+    /// Send a request tagged with a `req_id` (echoed on the response; the
+    /// handle `CANCEL` takes) and block for its response.
+    pub fn send_tagged(&mut self, req: &Request, req_id: &str) -> io::Result<Response> {
+        let envelope = Envelope {
+            req_id: Some(req_id.to_string()),
+            request: req.clone(),
+        };
+        let line = serde_json::to_string(&envelope)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        self.send_line(&line)
+    }
+
+    /// Send a raw line (not necessarily valid JSON) and read one response.
+    /// Lines over [`MAX_LINE_BYTES`] are refused locally — the server
+    /// would reject them anyway.
+    pub fn send_line(&mut self, line: &str) -> io::Result<Response> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte protocol cap",
+                    line.len()
+                ),
+            ));
+        }
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,140 @@
+//! Degraded (read-only) mode: the health flag, the jittered-backoff
+//! persistence probe, and the emergency-snapshot recovery attempt that
+//! brings the daemon back to normal service.
+
+use super::handlers::Shared;
+use crate::error::{PersistError, ServiceError};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Degraded-mode flag plus the condvar that wakes the persistence probe.
+/// Lock order: after `state` and `persist`, before `metrics`. Holders
+/// never acquire another lock while holding `inner` (enter/exit drop it
+/// before touching metrics), so it cannot participate in a cycle.
+pub(crate) struct Health {
+    pub(crate) inner: Mutex<HealthInner>,
+    /// Signalled on entry into degraded mode; the probe thread waits here.
+    pub(crate) probe_wake: Condvar,
+}
+
+#[derive(Default)]
+pub(crate) struct HealthInner {
+    pub(crate) degraded: bool,
+    /// The persistence failure that triggered degradation (for rejections
+    /// and logs).
+    pub(crate) reason: String,
+}
+
+/// Sleep in ~50 ms steps, bailing out early at shutdown so the probe
+/// never pins the process open through a long backoff interval.
+pub(crate) fn sleep_with_shutdown(shared: &Shared, total: Duration) {
+    let step = Duration::from_millis(50).min(total);
+    let mut slept = Duration::ZERO;
+    while slept < total {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        thread::sleep(step);
+        slept += step;
+    }
+}
+
+/// Equal-jitter backoff: half the nominal delay guaranteed, the other
+/// half uniformly random, so probes from daemons degraded by the same
+/// outage do not hammer the disk in lockstep.
+pub(crate) fn jittered(delay: Duration, rng: &mut u64) -> Duration {
+    *rng = rng
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let half = delay.as_micros() as u64 / 2;
+    Duration::from_micros(half + (*rng >> 33) % (half + 1))
+}
+
+/// One recovery attempt: prove the disk accepts writes again, then make
+/// every in-memory mutation durable at once with an emergency snapshot.
+/// The snapshot covers the full current state at the persister's last
+/// seq, so any record the WAL missed while degraded (there are none — but
+/// also any phantom logged-not-applied record) is superseded. Lock order:
+/// state before persist, matching every other path.
+pub(crate) fn attempt_recovery(shared: &Shared) -> Result<(), PersistError> {
+    let Some(persist) = &shared.persist else {
+        return Ok(());
+    };
+    let mut state = shared.state.lock();
+    let mut persister = persist.lock();
+    persister.probe()?;
+    let snapshot = state.snapshot(persister.last_seq());
+    let started = Instant::now();
+    let bytes = persister.write_snapshot(&snapshot)?;
+    drop(persister);
+    state.note_snapshot_written();
+    drop(state);
+    shared
+        .metrics
+        .lock()
+        .record_snapshot(started.elapsed(), bytes);
+    Ok(())
+}
+
+/// The persistence probe: parked on a condvar while the daemon is
+/// healthy, and once degraded, re-tries the disk under jittered
+/// exponential backoff until an emergency snapshot lands — at which point
+/// the daemon leaves degraded mode and the probe parks again.
+pub(crate) fn persist_probe_loop(shared: &Shared, initial: Duration, max: Duration) {
+    let mut rng = (shared as *const Shared as usize as u64) ^ 0x9e37_79b9_7f4a_7c15;
+    loop {
+        {
+            let mut health = shared.health.inner.lock();
+            while !health.degraded {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared
+                    .health
+                    .probe_wake
+                    .wait_for(&mut health, Duration::from_millis(250));
+            }
+        }
+        let mut delay = initial.max(Duration::from_millis(1));
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            sleep_with_shutdown(shared, jittered(delay, &mut rng));
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match attempt_recovery(shared) {
+                Ok(()) => {
+                    shared.exit_degraded();
+                    break;
+                }
+                Err(err) => {
+                    shared.metrics.lock().note_probe_failure();
+                    eprintln!(
+                        "kessler-service: persistence probe failed (retrying in ~{:?}): {err}",
+                        (delay * 2).min(max)
+                    );
+                    delay = (delay * 2).min(max);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn spawn_persist_probe(
+    shared: Arc<Shared>,
+    initial: Duration,
+    max: Duration,
+) -> Result<JoinHandle<()>, ServiceError> {
+    thread::Builder::new()
+        .name("kessler-persist-probe".into())
+        .spawn(move || persist_probe_loop(&shared, initial, max))
+        .map_err(|e| ServiceError::Spawn {
+            what: "persistence probe",
+            source: e,
+        })
+}

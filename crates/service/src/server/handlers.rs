@@ -1,0 +1,557 @@
+//! The daemon's request-handling core: the [`Shared`] hub the connection
+//! threads, workers, and probes all hang off; the WAL-before-apply gate;
+//! the inline mutation path; the screening enqueue/commit path; and the
+//! supervised worker pool.
+
+use super::degraded::Health;
+use super::ServiceState;
+use crate::error::ServiceError;
+use crate::exec::{run_screen_job, CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
+use crate::fault::FaultPlan;
+use crate::metrics::MetricsRegistry;
+use crate::persist::Persister;
+use crate::proto::{Request, Response, ScreenSummary};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use kessler_core::CancelToken;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A screening request captured for the worker pool: the immutable job,
+/// the client's reply slot, and the cancellation bookkeeping.
+pub(crate) struct ScreenTask {
+    pub(crate) request: Request,
+    pub(crate) job: ScreenJob,
+    pub(crate) reply: Sender<Response>,
+    pub(crate) token: CancelToken,
+    pub(crate) seq: u64,
+}
+
+/// Work the connection threads hand to the screening workers.
+pub(crate) enum Job {
+    Screen(Box<ScreenTask>),
+    Stop,
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<ServiceState>,
+    pub(crate) persist: Option<Mutex<Persister>>,
+    /// Operating mode (normal/degraded); see [`Health`] for lock order.
+    pub(crate) health: Health,
+    /// Rolling observability counters/histograms. Lock order: always after
+    /// `state` (and `persist`) — the METRICS fast path takes only this.
+    pub(crate) metrics: Mutex<MetricsRegistry>,
+    /// Live screening jobs' cancel tokens, keyed by req_id for CANCEL.
+    pub(crate) registry: CancelRegistry,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) jobs: Sender<Job>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) faults: Arc<FaultPlan>,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+    pub(crate) max_line_bytes: usize,
+}
+
+impl Shared {
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.health.inner.lock().degraded
+    }
+
+    pub(crate) fn mode_label(&self) -> &'static str {
+        if self.is_degraded() {
+            "degraded"
+        } else {
+            "normal"
+        }
+    }
+
+    pub(crate) fn degraded_reason(&self) -> String {
+        self.health.inner.lock().reason.clone()
+    }
+
+    /// Flip into degraded (read-only) mode and wake the probe thread.
+    /// Idempotent: re-entering while already degraded changes nothing.
+    pub(crate) fn enter_degraded(&self, reason: &str) {
+        let mut health = self.health.inner.lock();
+        if health.degraded {
+            return;
+        }
+        health.degraded = true;
+        health.reason = reason.to_string();
+        drop(health);
+        self.health.probe_wake.notify_all();
+        self.metrics.lock().note_degraded_entry();
+        eprintln!(
+            "kessler-service: entering degraded (read-only) mode, mutations rejected: {reason}"
+        );
+    }
+
+    /// Return to normal mode (the probe calls this after a successful
+    /// emergency snapshot).
+    pub(crate) fn exit_degraded(&self) {
+        let mut health = self.health.inner.lock();
+        if !health.degraded {
+            return;
+        }
+        health.degraded = false;
+        health.reason.clear();
+        drop(health);
+        self.metrics.lock().note_degraded_recovery();
+        eprintln!("kessler-service: persistence recovered; back to normal mode");
+    }
+}
+
+/// WAL-before-apply gate: log the mutation *before* it touches in-memory
+/// state. Returns `None` when the caller may proceed with the apply (the
+/// record is durable, or the daemon is ephemeral), or `Some(rejection)`
+/// when the mutation must not happen — either the daemon is already
+/// degraded, or this append just failed (which flips it into degraded
+/// mode). Because nothing was applied yet, a rejection leaves state
+/// byte-identical to never having seen the request: `not_applied` in the
+/// rejection is a hard guarantee, and the client may retry safely.
+///
+/// Callers own the metrics `count_request` for the rejection; this
+/// function only touches the failure counters, so the ephemeral-screen
+/// path can reuse it without double-counting.
+pub(crate) fn ensure_logged(shared: &Shared, request: &Request) -> Option<Response> {
+    let persist = shared.persist.as_ref()?;
+    if shared.is_degraded() {
+        let reason = shared.degraded_reason();
+        return Some(Response::rejected(
+            ServiceError::Degraded { reason }.to_string(),
+        ));
+    }
+    let mut persister = persist.lock();
+    let append_started = Instant::now();
+    match persister.append(request) {
+        Ok(()) => {
+            drop(persister);
+            shared
+                .metrics
+                .lock()
+                .record_wal_fsync(append_started.elapsed());
+            None
+        }
+        Err(err) => {
+            drop(persister);
+            shared.metrics.lock().note_wal_append_failure();
+            shared.enter_degraded(&format!("wal append failed: {err}"));
+            Some(Response::rejected(format!(
+                "not applied: wal append failed: {err}"
+            )))
+        }
+    }
+}
+
+/// Metrics + snapshot tail shared by the inline path and the worker
+/// commit path. `logged` says whether [`ensure_logged`] wrote a WAL
+/// record for this request; `adopted` (computed here) says whether the
+/// apply actually changed the maintained set. The two disagree only when
+/// a precheck drifted from the real apply — then the logged record is a
+/// phantom and an emergency snapshot covering current state supersedes
+/// it (degrading if even that fails). Stale and ephemeral screen results
+/// are never adopted: they did not change the maintained set, and WAL
+/// order must match commit order.
+pub(crate) fn finish_record(
+    shared: &Shared,
+    request: &Request,
+    state: &mut ServiceState,
+    mut response: Response,
+    logged: bool,
+) -> Response {
+    let adopted = response.ok
+        && request.is_mutation()
+        && !response
+            .screen
+            .as_ref()
+            .is_some_and(|s| s.stale || s.ephemeral);
+    if let Some(persist) = &shared.persist {
+        if logged && !adopted {
+            // Precheck drift: a record is on disk for a mutation that did
+            // not stick. Replaying it on restart would diverge, so pin a
+            // snapshot at (or past) its seq — replay then starts after it.
+            let mut persister = persist.lock();
+            let snapshot = state.snapshot(persister.last_seq());
+            match persister.write_snapshot(&snapshot) {
+                Ok(_) => {
+                    drop(persister);
+                    state.note_snapshot_written();
+                }
+                Err(err) => {
+                    drop(persister);
+                    shared.metrics.lock().note_snapshot_failure();
+                    shared.enter_degraded(&format!(
+                        "logged-but-unapplied record could not be covered by a snapshot: {err}"
+                    ));
+                }
+            }
+        } else if adopted && !shared.is_degraded() {
+            let mut persister = persist.lock();
+            if persister.should_snapshot() {
+                let snapshot = state.snapshot(persister.last_seq());
+                let snapshot_started = Instant::now();
+                match persister.write_snapshot(&snapshot) {
+                    Ok(bytes) => {
+                        drop(persister);
+                        let dirtied = snapshot.dirty_shards.as_ref().map(|d| d.len());
+                        state.note_snapshot_written();
+                        let mut metrics = shared.metrics.lock();
+                        metrics.record_snapshot(snapshot_started.elapsed(), bytes);
+                        if let Some(dirtied) = dirtied {
+                            metrics.record_dirty_shards(dirtied);
+                        }
+                    }
+                    Err(err) => {
+                        let wal_bytes = persister.wal_size();
+                        drop(persister);
+                        shared.metrics.lock().note_snapshot_failure();
+                        eprintln!(
+                            "kessler-service: snapshot failed (wal still intact at {wal_bytes} \
+                             bytes, compaction starved; retrying on the next mutation): {err}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Mode is read before the metrics lock: health sits *before* metrics
+    // in the lock order.
+    let mode = shared.mode_label();
+    let mut metrics = shared.metrics.lock();
+    metrics.count_request(request.kind(), response.ok);
+    if response.ok {
+        if let Some(screen) = &response.screen {
+            metrics.record_screen(&screen.variant, &screen.timings);
+            if let Some(stats) = &screen.filter_stats {
+                metrics.record_filter_chain(stats);
+            }
+        }
+        if response.advance.is_some() {
+            // ADVANCE's reply has no timings; the tail screen it ran left
+            // them (and, under hybrid, its filter stats) on the engine.
+            metrics.record_advance_tail(state.engine.last_timings());
+            if let Some(stats) = state.engine.last_filter_stats() {
+                metrics.record_filter_chain(&stats);
+            }
+        }
+    }
+    if let Some(status) = &mut response.status {
+        status.metrics = Some(metrics.one_line());
+        status.mode = mode.to_string();
+    }
+    response
+}
+
+/// Execute a non-screening request inline: WAL-before-apply gate, state
+/// mutation under the lock, then the shared metrics tail. METRICS
+/// short-circuits without ever touching the state lock.
+pub(crate) fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
+    if matches!(request, Request::Metrics) {
+        // Served entirely at this layer: never touches the state lock,
+        // never enters the WAL.
+        let mut metrics = shared.metrics.lock();
+        metrics.count_request(request.kind(), true);
+        return Response::with_metrics(metrics.snapshot());
+    }
+    let state = &mut *shared.state.lock();
+    let mut logged = false;
+    if request.is_mutation() && state.mutation_would_apply(request) {
+        if let Some(rejection) = ensure_logged(shared, request) {
+            shared.metrics.lock().count_request(request.kind(), false);
+            return rejection;
+        }
+        logged = true;
+    }
+    let response = state.handle(request);
+    finish_record(shared, request, state, response, logged)
+}
+
+/// Register, capture, and enqueue one screening request; blocks until its
+/// worker replies. The snapshot is captured *at enqueue time*, so the job
+/// screens the catalog as the client saw it, whatever lands in between.
+pub(crate) fn enqueue_screen(
+    shared: &Shared,
+    request: Request,
+    req_id: Option<String>,
+) -> Response {
+    let kind = match &request {
+        Request::Screen => ScreenKind::Full,
+        Request::Delta => ScreenKind::Delta,
+        Request::Advance { dt } => {
+            if !dt.is_finite() || *dt <= 0.0 {
+                shared.metrics.lock().count_request(request.kind(), false);
+                return Response::error(format!(
+                    "advance dt must be positive and finite, got {dt}"
+                ));
+            }
+            if shared.is_degraded() {
+                // ADVANCE only means anything if it mutates the catalog, so
+                // there is no ephemeral fallback — reject before burning a
+                // worker on a propagation that could never commit.
+                shared.metrics.lock().count_request(request.kind(), false);
+                let reason = shared.degraded_reason();
+                return Response::rejected(ServiceError::Degraded { reason }.to_string());
+            }
+            ScreenKind::Advance { dt: *dt }
+        }
+        _ => unreachable!("only screening verbs are enqueued"),
+    };
+    let (seq, token) = match shared.registry.register(req_id.as_deref()) {
+        Ok(registered) => registered,
+        Err(err) => {
+            shared.metrics.lock().count_request(request.kind(), false);
+            return Response::error(err.to_string());
+        }
+    };
+    let capture_started = Instant::now();
+    let job = shared.state.lock().capture_screen_job(kind);
+    shared
+        .metrics
+        .lock()
+        .record_snapshot_build(capture_started.elapsed());
+    let (reply_tx, reply_rx) = bounded(1);
+    let task = ScreenTask {
+        request,
+        job,
+        reply: reply_tx,
+        token,
+        seq,
+    };
+    match shared.jobs.try_send(Job::Screen(Box::new(task))) {
+        Ok(()) => {
+            // The enqueue itself proves a depth of ≥ 1 even if a worker
+            // drains it instantly.
+            shared
+                .metrics
+                .lock()
+                .note_queue_depth(shared.jobs.len().max(1));
+            reply_rx
+                .recv()
+                .unwrap_or_else(|_| Response::error("screening worker unavailable, retry"))
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.registry.unregister(seq);
+            Response::rejected("server busy: screening queue is full, retry later")
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.registry.unregister(seq);
+            Response::rejected("server is shutting down")
+        }
+    }
+}
+
+/// Commit one finished screening job with the same WAL-before-apply
+/// discipline as the inline path. The adoption decision is made under the
+/// state lock *before* logging, with exactly the test
+/// [`ServiceState::commit_screen_job`] will apply, so a logged record
+/// always corresponds to a real commit. When the record cannot be logged,
+/// full/delta screens are still answered from the completed computation —
+/// marked `ephemeral` and *not* adopted, so the served result never
+/// diverges from the replayable history — while ADVANCE (which must
+/// mutate the catalog to mean anything) is rejected outright.
+pub(crate) fn commit_with_wal(
+    shared: &Shared,
+    request: &Request,
+    state: &mut ServiceState,
+    job: &ScreenJob,
+    output: ScreenOutput,
+) -> Response {
+    let adopts = match &output {
+        ScreenOutput::Screen { .. } => job.epoch() >= state.warm_epoch,
+        ScreenOutput::Advance { .. } => state.catalog().epoch() == job.epoch(),
+    };
+    let mut logged = false;
+    if adopts {
+        if let Some(rejection) = ensure_logged(shared, request) {
+            return match output {
+                ScreenOutput::Screen { report, .. } => {
+                    let mut summary = ScreenSummary::from_report(&report);
+                    summary.epoch = job.epoch();
+                    summary.ephemeral = true;
+                    finish_record(
+                        shared,
+                        request,
+                        state,
+                        Response::with_screen(summary),
+                        false,
+                    )
+                }
+                ScreenOutput::Advance { .. } => {
+                    shared.metrics.lock().count_request(request.kind(), false);
+                    rejection
+                }
+            };
+        }
+        logged = true;
+    }
+    // Sharded screens carry per-shard extraction stats; fold them into the
+    // registry before the commit consumes the output. Recorded even for
+    // stale results — the extraction work happened either way.
+    if let ScreenOutput::Screen {
+        shards: Some(stats),
+        report,
+        ..
+    } = &output
+    {
+        let is_delta = report.variant == crate::delta::DELTA_VARIANT
+            || report.variant == crate::delta::HYBRID_DELTA_VARIANT;
+        shared.metrics.lock().record_shard_screen(is_delta, stats);
+    }
+    let response = state.commit_screen_job(job, output);
+    finish_record(shared, request, state, response, logged)
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// One screening worker: drains jobs, runs each against its captured
+/// snapshot (lock-free), commits the result under the state lock, and
+/// isolates panics inside `catch_unwind` so a panicking screen answers
+/// that one request with an ERROR instead of killing the thread.
+pub(crate) fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Screen(task) => {
+                let ScreenTask {
+                    request,
+                    job,
+                    reply,
+                    token,
+                    seq,
+                } = *task;
+                if shared.faults.take_kill_worker() {
+                    // Outside the guard: the thread dies and the supervisor
+                    // must respawn it. Unregister first so the req_id is
+                    // not blocked forever.
+                    shared.registry.unregister(seq);
+                    panic!("fault injection: kill worker");
+                }
+                if token.is_cancelled() {
+                    // Cancelled while still queued: never ran.
+                    shared.registry.unregister(seq);
+                    let mut metrics = shared.metrics.lock();
+                    metrics.note_cancelled();
+                    metrics.count_request(request.kind(), false);
+                    drop(metrics);
+                    let _ = reply.send(Response::error("cancelled while queued"));
+                    continue;
+                }
+                let started = Instant::now();
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                    if shared.faults.take_panic_screen() {
+                        panic!("fault injection: screening panic");
+                    }
+                    run_screen_job(&job, Some(&token))
+                }));
+                let response = match outcome {
+                    Ok(Ok(output)) => {
+                        let state = &mut *shared.state.lock();
+                        commit_with_wal(shared, &request, state, &job, output)
+                    }
+                    Ok(Err(_cancelled)) => {
+                        let mut metrics = shared.metrics.lock();
+                        metrics.note_cancelled();
+                        metrics.count_request(request.kind(), false);
+                        Response::error("cancelled mid-screen at a phase boundary")
+                    }
+                    Err(payload) => {
+                        Response::error(format!("screening panicked: {}", panic_message(&*payload)))
+                    }
+                };
+                shared
+                    .metrics
+                    .lock()
+                    .record_worker_job(worker, started.elapsed());
+                shared.registry.unregister(seq);
+                let _ = reply.send(response);
+            }
+            Job::Stop => break,
+        }
+    }
+}
+
+/// Spawn worker `index` under a supervisor that respawns it if it ever
+/// dies from an un-caught panic (graceful `Job::Stop` exits both).
+pub(crate) fn spawn_supervised_worker(
+    shared: Arc<Shared>,
+    jobs: Receiver<Job>,
+    index: usize,
+) -> Result<JoinHandle<()>, ServiceError> {
+    thread::Builder::new()
+        .name(format!("kessler-screen-supervisor-{index}"))
+        .spawn(move || loop {
+            let worker_shared = Arc::clone(&shared);
+            let worker_jobs = jobs.clone();
+            let worker = match thread::Builder::new()
+                .name(format!("kessler-screen-{index}"))
+                .spawn(move || {
+                    worker_loop(&worker_shared, &worker_jobs, &format!("worker-{index}"))
+                }) {
+                Ok(handle) => handle,
+                Err(err) => {
+                    eprintln!("kessler-service: could not respawn screening worker: {err}");
+                    return;
+                }
+            };
+            match worker.join() {
+                Ok(()) => return,
+                Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+                Err(_) => {
+                    shared.metrics.lock().note_respawn();
+                    eprintln!("kessler-service: screening worker died; respawning");
+                }
+            }
+        })
+        .map_err(|e| ServiceError::Spawn {
+            what: "screening supervisor",
+            source: e,
+        })
+}
+
+/// Periodically log the one-line metrics digest to stderr. Sleeps in
+/// short steps so the thread notices shutdown within ~250 ms instead of
+/// lingering a full interval; failure to spawn just disables the log. The
+/// handle is joined at shutdown so the daemon exits with no stray threads.
+pub(crate) fn spawn_metrics_reporter(
+    shared: Arc<Shared>,
+    every: Duration,
+) -> Option<JoinHandle<()>> {
+    let spawned = thread::Builder::new()
+        .name("kessler-metrics".into())
+        .spawn(move || {
+            let step = Duration::from_millis(250).min(every);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                thread::sleep(step);
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                elapsed += step;
+                if elapsed >= every {
+                    elapsed = Duration::ZERO;
+                    eprintln!(
+                        "kessler-service metrics: {}",
+                        shared.metrics.lock().one_line()
+                    );
+                }
+            }
+        });
+    match spawned {
+        Ok(handle) => Some(handle),
+        Err(err) => {
+            eprintln!("kessler-service: could not spawn metrics reporter: {err}");
+            None
+        }
+    }
+}

@@ -22,6 +22,13 @@
 //!   request plus an optional client-supplied `req_id`, echoed on the
 //!   response and usable as the CANCEL handle.
 //!
+//! The implementation is split across focused submodules:
+//! [`conn`](self) holds the wire layer (bounded line reads, the
+//! per-connection loop, the client helpers), `handlers` the WAL-gated
+//! request paths and the worker pool, and `degraded` the read-only mode
+//! and its recovery probe. This file owns the state machine and the
+//! server lifecycle.
+//!
 //! Crash safety: with [`ServerOptions::persist`] set, every mutation that
 //! will apply is appended to a write-ahead log *before* it is applied (in
 //! commit order; stale screen results are not logged), and the full state
@@ -51,25 +58,32 @@
 //! Everything is std networking plus the workspace's existing concurrency
 //! crates — no async runtime, no protocol framework.
 
+mod conn;
+mod degraded;
+mod handlers;
+
+pub use conn::{request, request_with_timeout, Client};
+
 use crate::catalog::{Catalog, Removal};
 use crate::delta::{apply_removal_to_pairs, DeltaEngine, DELTA_VARIANT, HYBRID_DELTA_VARIANT};
-use crate::error::{PersistError, ServiceError};
+use crate::error::ServiceError;
 use crate::exec::{run_screen_job, CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 use crate::fault::FaultPlan;
 use crate::metrics::MetricsRegistry;
 use crate::persist::{PersistOptions, Persister, Snapshot, SNAPSHOT_VERSION};
 use crate::proto::{
-    AdvanceAck, CatalogAck, ElementsSpec, Envelope, LastScreen, Request, Response, ScreenSummary,
-    StatusInfo,
+    AdvanceAck, CatalogAck, ElementsSpec, LastScreen, Request, Response, ScreenSummary,
+    ShardSummary, StatusInfo,
 };
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use kessler_core::{CancelToken, ScreeningConfig, Variant};
+use crate::shard::{ShardMap, ShardSpec};
+use crossbeam::channel::bounded;
+use degraded::{spawn_persist_probe, Health, HealthInner};
+use handlers::{handle_and_persist, spawn_metrics_reporter, spawn_supervised_worker, Job, Shared};
+use kessler_core::{ScreeningConfig, Variant};
 use kessler_orbits::KeplerElements;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{self, AssertUnwindSafe};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -101,6 +115,9 @@ pub struct ServerOptions {
     pub metrics_every: Option<Duration>,
     /// Screening variant the daemon serves with (grid or hybrid).
     pub variant: Variant,
+    /// Partition candidate extraction (and snapshots) by orbital regime.
+    /// `None` serves the flat, unsharded pipeline.
+    pub shards: Option<ShardSpec>,
     /// First persistence re-probe delay after entering degraded mode;
     /// doubles (with jitter) up to [`ServerOptions::probe_max`].
     pub probe_initial: Duration,
@@ -120,6 +137,7 @@ impl Default for ServerOptions {
             faults: FaultPlan::inert(),
             metrics_every: None,
             variant: Variant::Grid,
+            shards: None,
             probe_initial: Duration::from_millis(100),
             probe_max: Duration::from_secs(5),
         }
@@ -169,6 +187,12 @@ pub struct ServiceState {
     started: Instant,
     /// `true` when this state came out of snapshot/WAL recovery.
     recovered: bool,
+    /// Static shard assignment, when the daemon runs sharded. Used for
+    /// dirty-shard accounting; the engine holds its own copy of the spec.
+    shard_map: Option<ShardMap>,
+    /// Shards whose membership changed since the last snapshot write.
+    /// The persister only rewrites chunk files for these.
+    dirty_shards: BTreeSet<u32>,
 }
 
 impl ServiceState {
@@ -192,7 +216,48 @@ impl ServiceState {
             requests: 0,
             started: Instant::now(),
             recovered: false,
+            shard_map: None,
+            dirty_shards: BTreeSet::new(),
         })
+    }
+
+    /// Switch the execution strategy to sharded (or back). Safe on a warm
+    /// engine — sharding only changes how candidates are extracted, not
+    /// what they are — so this is applied after restore too. All shards
+    /// start dirty so the first snapshot writes a full chunk set.
+    pub fn set_shards(&mut self, shards: Option<ShardSpec>) -> Result<(), ServiceError> {
+        self.shard_map = match shards {
+            Some(spec) => Some(ShardMap::new(spec)?),
+            None => None,
+        };
+        self.engine.set_shards(shards)?;
+        self.dirty_shards.clear();
+        self.mark_all_shards_dirty();
+        Ok(())
+    }
+
+    /// The shard layout this state runs under, if sharded.
+    pub fn shards(&self) -> Option<ShardSpec> {
+        self.shard_map.map(|m| m.spec())
+    }
+
+    fn mark_shard_dirty(&mut self, el: &KeplerElements) {
+        if let Some(map) = &self.shard_map {
+            self.dirty_shards
+                .insert(map.assign(el.semi_major_axis, el.inclination));
+        }
+    }
+
+    fn mark_all_shards_dirty(&mut self) {
+        if let Some(map) = &self.shard_map {
+            self.dirty_shards.extend(0..map.shard_count());
+        }
+    }
+
+    /// Called after a successful snapshot write (under the state lock):
+    /// every dirtied shard now has a fresh chunk on disk.
+    pub fn note_snapshot_written(&mut self) {
+        self.dirty_shards.clear();
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -234,6 +299,10 @@ impl ServiceState {
                 .map(ElementsSpec::from_elements)
                 .collect(),
             last_screen: self.last_screen_info(),
+            dirty_shards: self
+                .shard_map
+                .as_ref()
+                .map(|_| self.dirty_shards.iter().copied().collect()),
         }
     }
 
@@ -319,6 +388,8 @@ impl ServiceState {
             requests: snapshot.requests_served,
             started: Instant::now(),
             recovered: true,
+            shard_map: None,
+            dirty_shards: BTreeSet::new(),
         })
     }
 
@@ -367,6 +438,7 @@ impl ServiceState {
                 match self.catalog.add(*id, el) {
                     Ok(index) => {
                         self.changed.insert(index);
+                        self.mark_shard_dirty(&el);
                         Response::with_catalog(self.catalog_ack(*id, index))
                     }
                     Err(e) => Response::error(e.to_string()),
@@ -377,32 +449,60 @@ impl ServiceState {
                     Ok(el) => el,
                     Err(e) => return Response::error(e.to_string()),
                 };
+                // An update can move the satellite between shards; both the
+                // shard it leaves and the one it enters need new chunks.
+                let old = self
+                    .catalog
+                    .index_of(*id)
+                    .and_then(|i| self.catalog.elements_at(i))
+                    .copied();
                 match self.catalog.update(*id, el) {
                     Ok(index) => {
                         self.changed.insert(index);
+                        if let Some(old) = old {
+                            self.mark_shard_dirty(&old);
+                        }
+                        self.mark_shard_dirty(&el);
                         Response::with_catalog(self.catalog_ack(*id, index))
                     }
                     Err(e) => Response::error(e.to_string()),
                 }
             }
-            Request::Remove { id } => match self.catalog.remove(*id) {
-                Ok(removal) => {
-                    let new_len = self.catalog.len();
-                    self.engine.apply_removal(removal, new_len);
-                    self.removals.push((self.catalog.epoch(), removal, new_len));
-                    // The old last index no longer exists; if a satellite
-                    // moved into the hole it now needs re-screening.
-                    if let Some(last) = removal.moved_from {
-                        self.changed.remove(&last);
-                        self.changed.insert(removal.removed_index);
-                    } else {
-                        self.changed.remove(&removal.removed_index);
+            Request::Remove { id } => {
+                let old = self
+                    .catalog
+                    .index_of(*id)
+                    .and_then(|i| self.catalog.elements_at(i))
+                    .copied();
+                match self.catalog.remove(*id) {
+                    Ok(removal) => {
+                        if let Some(old) = old {
+                            self.mark_shard_dirty(&old);
+                        }
+                        // The swap-removed mover keeps its elements but its
+                        // dense index changes, so its chunk changes too.
+                        if let Some(moved) =
+                            self.catalog.elements_at(removal.removed_index).copied()
+                        {
+                            self.mark_shard_dirty(&moved);
+                        }
+                        let new_len = self.catalog.len();
+                        self.engine.apply_removal(removal, new_len);
+                        self.removals.push((self.catalog.epoch(), removal, new_len));
+                        // The old last index no longer exists; if a satellite
+                        // moved into the hole it now needs re-screening.
+                        if let Some(last) = removal.moved_from {
+                            self.changed.remove(&last);
+                            self.changed.insert(removal.removed_index);
+                        } else {
+                            self.changed.remove(&removal.removed_index);
+                        }
+                        self.changed.retain(|&i| (i as usize) < new_len);
+                        Response::with_catalog(self.catalog_ack(*id, removal.removed_index))
                     }
-                    self.changed.retain(|&i| (i as usize) < new_len);
-                    Response::with_catalog(self.catalog_ack(*id, removal.removed_index))
+                    Err(e) => Response::error(e.to_string()),
                 }
-                Err(e) => Response::error(e.to_string()),
-            },
+            }
             Request::Screen => self.screen_sync(ScreenKind::Full),
             Request::Delta => self.screen_sync(ScreenKind::Delta),
             Request::Advance { dt } => {
@@ -464,9 +564,14 @@ impl ServiceState {
     pub fn commit_screen_job(&mut self, job: &ScreenJob, output: ScreenOutput) -> Response {
         let epoch = job.epoch();
         match output {
-            ScreenOutput::Screen { report, mut pairs } => {
+            ScreenOutput::Screen {
+                report,
+                mut pairs,
+                shards,
+            } => {
                 let mut summary = ScreenSummary::from_report(&report);
                 summary.epoch = epoch;
+                summary.shards = shards.as_ref().map(ShardSummary::from_stats);
                 if epoch < self.warm_epoch {
                     summary.stale = true;
                     return Response::with_screen(summary);
@@ -511,6 +616,8 @@ impl ServiceState {
                 // Identical propagation to the job's: absolute, from the
                 // stored epoch-0 base elements.
                 self.catalog.advance_all(dt);
+                // Every satellite's stored elements just changed.
+                self.mark_all_shards_dirty();
                 self.engine
                     .adopt_advance(pairs, self.catalog.len(), timings, filter_stats, fold);
                 self.changed.clear();
@@ -577,640 +684,6 @@ impl ServiceState {
     }
 }
 
-/// A screening request captured for the worker pool: the immutable job,
-/// the client's reply slot, and the cancellation bookkeeping.
-struct ScreenTask {
-    request: Request,
-    job: ScreenJob,
-    reply: Sender<Response>,
-    token: CancelToken,
-    seq: u64,
-}
-
-/// Work the connection threads hand to the screening workers.
-enum Job {
-    Screen(Box<ScreenTask>),
-    Stop,
-}
-
-/// Degraded-mode flag plus the condvar that wakes the persistence probe.
-/// Lock order: after `state` and `persist`, before `metrics`. Holders
-/// never acquire another lock while holding `inner` (enter/exit drop it
-/// before touching metrics), so it cannot participate in a cycle.
-struct Health {
-    inner: Mutex<HealthInner>,
-    /// Signalled on entry into degraded mode; the probe thread waits here.
-    probe_wake: Condvar,
-}
-
-#[derive(Default)]
-struct HealthInner {
-    degraded: bool,
-    /// The persistence failure that triggered degradation (for rejections
-    /// and logs).
-    reason: String,
-}
-
-struct Shared {
-    state: Mutex<ServiceState>,
-    persist: Option<Mutex<Persister>>,
-    /// Operating mode (normal/degraded); see [`Health`] for lock order.
-    health: Health,
-    /// Rolling observability counters/histograms. Lock order: always after
-    /// `state` (and `persist`) — the METRICS fast path takes only this.
-    metrics: Mutex<MetricsRegistry>,
-    /// Live screening jobs' cancel tokens, keyed by req_id for CANCEL.
-    registry: CancelRegistry,
-    shutdown: AtomicBool,
-    jobs: Sender<Job>,
-    addr: SocketAddr,
-    faults: Arc<FaultPlan>,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
-    max_line_bytes: usize,
-}
-
-impl Shared {
-    fn is_degraded(&self) -> bool {
-        self.health.inner.lock().degraded
-    }
-
-    fn mode_label(&self) -> &'static str {
-        if self.is_degraded() {
-            "degraded"
-        } else {
-            "normal"
-        }
-    }
-
-    fn degraded_reason(&self) -> String {
-        self.health.inner.lock().reason.clone()
-    }
-
-    /// Flip into degraded (read-only) mode and wake the probe thread.
-    /// Idempotent: re-entering while already degraded changes nothing.
-    fn enter_degraded(&self, reason: &str) {
-        let mut health = self.health.inner.lock();
-        if health.degraded {
-            return;
-        }
-        health.degraded = true;
-        health.reason = reason.to_string();
-        drop(health);
-        self.health.probe_wake.notify_all();
-        self.metrics.lock().note_degraded_entry();
-        eprintln!(
-            "kessler-service: entering degraded (read-only) mode, mutations rejected: {reason}"
-        );
-    }
-
-    /// Return to normal mode (the probe calls this after a successful
-    /// emergency snapshot).
-    fn exit_degraded(&self) {
-        let mut health = self.health.inner.lock();
-        if !health.degraded {
-            return;
-        }
-        health.degraded = false;
-        health.reason.clear();
-        drop(health);
-        self.metrics.lock().note_degraded_recovery();
-        eprintln!("kessler-service: persistence recovered; back to normal mode");
-    }
-}
-
-/// WAL-before-apply gate: log the mutation *before* it touches in-memory
-/// state. Returns `None` when the caller may proceed with the apply (the
-/// record is durable, or the daemon is ephemeral), or `Some(rejection)`
-/// when the mutation must not happen — either the daemon is already
-/// degraded, or this append just failed (which flips it into degraded
-/// mode). Because nothing was applied yet, a rejection leaves state
-/// byte-identical to never having seen the request: `not_applied` in the
-/// rejection is a hard guarantee, and the client may retry safely.
-///
-/// Callers own the metrics `count_request` for the rejection; this
-/// function only touches the failure counters, so the ephemeral-screen
-/// path can reuse it without double-counting.
-fn ensure_logged(shared: &Shared, request: &Request) -> Option<Response> {
-    let persist = shared.persist.as_ref()?;
-    if shared.is_degraded() {
-        let reason = shared.degraded_reason();
-        return Some(Response::rejected(
-            ServiceError::Degraded { reason }.to_string(),
-        ));
-    }
-    let mut persister = persist.lock();
-    let append_started = Instant::now();
-    match persister.append(request) {
-        Ok(()) => {
-            drop(persister);
-            shared
-                .metrics
-                .lock()
-                .record_wal_fsync(append_started.elapsed());
-            None
-        }
-        Err(err) => {
-            drop(persister);
-            shared.metrics.lock().note_wal_append_failure();
-            shared.enter_degraded(&format!("wal append failed: {err}"));
-            Some(Response::rejected(format!(
-                "not applied: wal append failed: {err}"
-            )))
-        }
-    }
-}
-
-/// Metrics + snapshot tail shared by the inline path and the worker
-/// commit path. `logged` says whether [`ensure_logged`] wrote a WAL
-/// record for this request; `adopted` (computed here) says whether the
-/// apply actually changed the maintained set. The two disagree only when
-/// a precheck drifted from the real apply — then the logged record is a
-/// phantom and an emergency snapshot covering current state supersedes
-/// it (degrading if even that fails). Stale and ephemeral screen results
-/// are never adopted: they did not change the maintained set, and WAL
-/// order must match commit order.
-fn finish_record(
-    shared: &Shared,
-    request: &Request,
-    state: &mut ServiceState,
-    mut response: Response,
-    logged: bool,
-) -> Response {
-    let adopted = response.ok
-        && request.is_mutation()
-        && !response
-            .screen
-            .as_ref()
-            .is_some_and(|s| s.stale || s.ephemeral);
-    if let Some(persist) = &shared.persist {
-        if logged && !adopted {
-            // Precheck drift: a record is on disk for a mutation that did
-            // not stick. Replaying it on restart would diverge, so pin a
-            // snapshot at (or past) its seq — replay then starts after it.
-            let mut persister = persist.lock();
-            let snapshot = state.snapshot(persister.last_seq());
-            if let Err(err) = persister.write_snapshot(&snapshot) {
-                drop(persister);
-                shared.metrics.lock().note_snapshot_failure();
-                shared.enter_degraded(&format!(
-                    "logged-but-unapplied record could not be covered by a snapshot: {err}"
-                ));
-            }
-        } else if adopted && !shared.is_degraded() {
-            let mut persister = persist.lock();
-            if persister.should_snapshot() {
-                let snapshot = state.snapshot(persister.last_seq());
-                let snapshot_started = Instant::now();
-                match persister.write_snapshot(&snapshot) {
-                    Ok(bytes) => {
-                        drop(persister);
-                        shared
-                            .metrics
-                            .lock()
-                            .record_snapshot(snapshot_started.elapsed(), bytes);
-                    }
-                    Err(err) => {
-                        let wal_bytes = persister.wal_size();
-                        drop(persister);
-                        shared.metrics.lock().note_snapshot_failure();
-                        eprintln!(
-                            "kessler-service: snapshot failed (wal still intact at {wal_bytes} \
-                             bytes, compaction starved; retrying on the next mutation): {err}"
-                        );
-                    }
-                }
-            }
-        }
-    }
-    // Mode is read before the metrics lock: health sits *before* metrics
-    // in the lock order.
-    let mode = shared.mode_label();
-    let mut metrics = shared.metrics.lock();
-    metrics.count_request(request.kind(), response.ok);
-    if response.ok {
-        if let Some(screen) = &response.screen {
-            metrics.record_screen(&screen.variant, &screen.timings);
-            if let Some(stats) = &screen.filter_stats {
-                metrics.record_filter_chain(stats);
-            }
-        }
-        if response.advance.is_some() {
-            // ADVANCE's reply has no timings; the tail screen it ran left
-            // them (and, under hybrid, its filter stats) on the engine.
-            metrics.record_advance_tail(state.engine.last_timings());
-            if let Some(stats) = state.engine.last_filter_stats() {
-                metrics.record_filter_chain(&stats);
-            }
-        }
-    }
-    if let Some(status) = &mut response.status {
-        status.metrics = Some(metrics.one_line());
-        status.mode = mode.to_string();
-    }
-    response
-}
-
-/// Execute a non-screening request inline: WAL-before-apply gate, state
-/// mutation under the lock, then the shared metrics tail. METRICS
-/// short-circuits without ever touching the state lock.
-fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
-    if matches!(request, Request::Metrics) {
-        // Served entirely at this layer: never touches the state lock,
-        // never enters the WAL.
-        let mut metrics = shared.metrics.lock();
-        metrics.count_request(request.kind(), true);
-        return Response::with_metrics(metrics.snapshot());
-    }
-    let state = &mut *shared.state.lock();
-    let mut logged = false;
-    if request.is_mutation() && state.mutation_would_apply(request) {
-        if let Some(rejection) = ensure_logged(shared, request) {
-            shared.metrics.lock().count_request(request.kind(), false);
-            return rejection;
-        }
-        logged = true;
-    }
-    let response = state.handle(request);
-    finish_record(shared, request, state, response, logged)
-}
-
-/// Register, capture, and enqueue one screening request; blocks until its
-/// worker replies. The snapshot is captured *at enqueue time*, so the job
-/// screens the catalog as the client saw it, whatever lands in between.
-fn enqueue_screen(shared: &Shared, request: Request, req_id: Option<String>) -> Response {
-    let kind = match &request {
-        Request::Screen => ScreenKind::Full,
-        Request::Delta => ScreenKind::Delta,
-        Request::Advance { dt } => {
-            if !dt.is_finite() || *dt <= 0.0 {
-                shared.metrics.lock().count_request(request.kind(), false);
-                return Response::error(format!(
-                    "advance dt must be positive and finite, got {dt}"
-                ));
-            }
-            if shared.is_degraded() {
-                // ADVANCE only means anything if it mutates the catalog, so
-                // there is no ephemeral fallback — reject before burning a
-                // worker on a propagation that could never commit.
-                shared.metrics.lock().count_request(request.kind(), false);
-                let reason = shared.degraded_reason();
-                return Response::rejected(ServiceError::Degraded { reason }.to_string());
-            }
-            ScreenKind::Advance { dt: *dt }
-        }
-        _ => unreachable!("only screening verbs are enqueued"),
-    };
-    let (seq, token) = match shared.registry.register(req_id.as_deref()) {
-        Ok(registered) => registered,
-        Err(err) => {
-            shared.metrics.lock().count_request(request.kind(), false);
-            return Response::error(err.to_string());
-        }
-    };
-    let capture_started = Instant::now();
-    let job = shared.state.lock().capture_screen_job(kind);
-    shared
-        .metrics
-        .lock()
-        .record_snapshot_build(capture_started.elapsed());
-    let (reply_tx, reply_rx) = bounded(1);
-    let task = ScreenTask {
-        request,
-        job,
-        reply: reply_tx,
-        token,
-        seq,
-    };
-    match shared.jobs.try_send(Job::Screen(Box::new(task))) {
-        Ok(()) => {
-            // The enqueue itself proves a depth of ≥ 1 even if a worker
-            // drains it instantly.
-            shared
-                .metrics
-                .lock()
-                .note_queue_depth(shared.jobs.len().max(1));
-            reply_rx
-                .recv()
-                .unwrap_or_else(|_| Response::error("screening worker unavailable, retry"))
-        }
-        Err(TrySendError::Full(_)) => {
-            shared.registry.unregister(seq);
-            Response::rejected("server busy: screening queue is full, retry later")
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.registry.unregister(seq);
-            Response::rejected("server is shutting down")
-        }
-    }
-}
-
-/// Commit one finished screening job with the same WAL-before-apply
-/// discipline as the inline path. The adoption decision is made under the
-/// state lock *before* logging, with exactly the test
-/// [`ServiceState::commit_screen_job`] will apply, so a logged record
-/// always corresponds to a real commit. When the record cannot be logged,
-/// full/delta screens are still answered from the completed computation —
-/// marked `ephemeral` and *not* adopted, so the served result never
-/// diverges from the replayable history — while ADVANCE (which must
-/// mutate the catalog to mean anything) is rejected outright.
-fn commit_with_wal(
-    shared: &Shared,
-    request: &Request,
-    state: &mut ServiceState,
-    job: &ScreenJob,
-    output: ScreenOutput,
-) -> Response {
-    let adopts = match &output {
-        ScreenOutput::Screen { .. } => job.epoch() >= state.warm_epoch,
-        ScreenOutput::Advance { .. } => state.catalog().epoch() == job.epoch(),
-    };
-    let mut logged = false;
-    if adopts {
-        if let Some(rejection) = ensure_logged(shared, request) {
-            return match output {
-                ScreenOutput::Screen { report, .. } => {
-                    let mut summary = ScreenSummary::from_report(&report);
-                    summary.epoch = job.epoch();
-                    summary.ephemeral = true;
-                    finish_record(
-                        shared,
-                        request,
-                        state,
-                        Response::with_screen(summary),
-                        false,
-                    )
-                }
-                ScreenOutput::Advance { .. } => {
-                    shared.metrics.lock().count_request(request.kind(), false);
-                    rejection
-                }
-            };
-        }
-        logged = true;
-    }
-    let response = state.commit_screen_job(job, output);
-    finish_record(shared, request, state, response, logged)
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "unknown panic payload".to_string()
-    }
-}
-
-/// One screening worker: drains jobs, runs each against its captured
-/// snapshot (lock-free), commits the result under the state lock, and
-/// isolates panics inside `catch_unwind` so a panicking screen answers
-/// that one request with an ERROR instead of killing the thread.
-fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
-    while let Ok(job) = jobs.recv() {
-        match job {
-            Job::Screen(task) => {
-                let ScreenTask {
-                    request,
-                    job,
-                    reply,
-                    token,
-                    seq,
-                } = *task;
-                if shared.faults.take_kill_worker() {
-                    // Outside the guard: the thread dies and the supervisor
-                    // must respawn it. Unregister first so the req_id is
-                    // not blocked forever.
-                    shared.registry.unregister(seq);
-                    panic!("fault injection: kill worker");
-                }
-                if token.is_cancelled() {
-                    // Cancelled while still queued: never ran.
-                    shared.registry.unregister(seq);
-                    let mut metrics = shared.metrics.lock();
-                    metrics.note_cancelled();
-                    metrics.count_request(request.kind(), false);
-                    drop(metrics);
-                    let _ = reply.send(Response::error("cancelled while queued"));
-                    continue;
-                }
-                let started = Instant::now();
-                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                    if shared.faults.take_panic_screen() {
-                        panic!("fault injection: screening panic");
-                    }
-                    run_screen_job(&job, Some(&token))
-                }));
-                let response = match outcome {
-                    Ok(Ok(output)) => {
-                        let state = &mut *shared.state.lock();
-                        commit_with_wal(shared, &request, state, &job, output)
-                    }
-                    Ok(Err(_cancelled)) => {
-                        let mut metrics = shared.metrics.lock();
-                        metrics.note_cancelled();
-                        metrics.count_request(request.kind(), false);
-                        Response::error("cancelled mid-screen at a phase boundary")
-                    }
-                    Err(payload) => {
-                        Response::error(format!("screening panicked: {}", panic_message(&*payload)))
-                    }
-                };
-                shared
-                    .metrics
-                    .lock()
-                    .record_worker_job(worker, started.elapsed());
-                shared.registry.unregister(seq);
-                let _ = reply.send(response);
-            }
-            Job::Stop => break,
-        }
-    }
-}
-
-/// Spawn worker `index` under a supervisor that respawns it if it ever
-/// dies from an un-caught panic (graceful `Job::Stop` exits both).
-fn spawn_supervised_worker(
-    shared: Arc<Shared>,
-    jobs: Receiver<Job>,
-    index: usize,
-) -> Result<JoinHandle<()>, ServiceError> {
-    thread::Builder::new()
-        .name(format!("kessler-screen-supervisor-{index}"))
-        .spawn(move || loop {
-            let worker_shared = Arc::clone(&shared);
-            let worker_jobs = jobs.clone();
-            let worker = match thread::Builder::new()
-                .name(format!("kessler-screen-{index}"))
-                .spawn(move || {
-                    worker_loop(&worker_shared, &worker_jobs, &format!("worker-{index}"))
-                }) {
-                Ok(handle) => handle,
-                Err(err) => {
-                    eprintln!("kessler-service: could not respawn screening worker: {err}");
-                    return;
-                }
-            };
-            match worker.join() {
-                Ok(()) => return,
-                Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
-                Err(_) => {
-                    shared.metrics.lock().note_respawn();
-                    eprintln!("kessler-service: screening worker died; respawning");
-                }
-            }
-        })
-        .map_err(|e| ServiceError::Spawn {
-            what: "screening supervisor",
-            source: e,
-        })
-}
-
-/// Periodically log the one-line metrics digest to stderr. Sleeps in
-/// short steps so the thread notices shutdown within ~250 ms instead of
-/// lingering a full interval; failure to spawn just disables the log. The
-/// handle is joined at shutdown so the daemon exits with no stray threads.
-fn spawn_metrics_reporter(shared: Arc<Shared>, every: Duration) -> Option<JoinHandle<()>> {
-    let spawned = thread::Builder::new()
-        .name("kessler-metrics".into())
-        .spawn(move || {
-            let step = Duration::from_millis(250).min(every);
-            let mut elapsed = Duration::ZERO;
-            loop {
-                thread::sleep(step);
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                elapsed += step;
-                if elapsed >= every {
-                    elapsed = Duration::ZERO;
-                    eprintln!(
-                        "kessler-service metrics: {}",
-                        shared.metrics.lock().one_line()
-                    );
-                }
-            }
-        });
-    match spawned {
-        Ok(handle) => Some(handle),
-        Err(err) => {
-            eprintln!("kessler-service: could not spawn metrics reporter: {err}");
-            None
-        }
-    }
-}
-
-/// Sleep in ~50 ms steps, bailing out early at shutdown so the probe
-/// never pins the process open through a long backoff interval.
-fn sleep_with_shutdown(shared: &Shared, total: Duration) {
-    let step = Duration::from_millis(50).min(total);
-    let mut slept = Duration::ZERO;
-    while slept < total {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        thread::sleep(step);
-        slept += step;
-    }
-}
-
-/// Equal-jitter backoff: half the nominal delay guaranteed, the other
-/// half uniformly random, so probes from daemons degraded by the same
-/// outage do not hammer the disk in lockstep.
-fn jittered(delay: Duration, rng: &mut u64) -> Duration {
-    *rng = rng
-        .wrapping_mul(6364136223846793005)
-        .wrapping_add(1442695040888963407);
-    let half = delay.as_micros() as u64 / 2;
-    Duration::from_micros(half + (*rng >> 33) % (half + 1))
-}
-
-/// One recovery attempt: prove the disk accepts writes again, then make
-/// every in-memory mutation durable at once with an emergency snapshot.
-/// The snapshot covers the full current state at the persister's last
-/// seq, so any record the WAL missed while degraded (there are none — but
-/// also any phantom logged-not-applied record) is superseded. Lock order:
-/// state before persist, matching every other path.
-fn attempt_recovery(shared: &Shared) -> Result<(), PersistError> {
-    let Some(persist) = &shared.persist else {
-        return Ok(());
-    };
-    let state = shared.state.lock();
-    let mut persister = persist.lock();
-    persister.probe()?;
-    let snapshot = state.snapshot(persister.last_seq());
-    let started = Instant::now();
-    let bytes = persister.write_snapshot(&snapshot)?;
-    drop(persister);
-    drop(state);
-    shared
-        .metrics
-        .lock()
-        .record_snapshot(started.elapsed(), bytes);
-    Ok(())
-}
-
-/// The persistence probe: parked on a condvar while the daemon is
-/// healthy, and once degraded, re-tries the disk under jittered
-/// exponential backoff until an emergency snapshot lands — at which point
-/// the daemon leaves degraded mode and the probe parks again.
-fn persist_probe_loop(shared: &Shared, initial: Duration, max: Duration) {
-    let mut rng = (shared as *const Shared as usize as u64) ^ 0x9e37_79b9_7f4a_7c15;
-    loop {
-        {
-            let mut health = shared.health.inner.lock();
-            while !health.degraded {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                shared
-                    .health
-                    .probe_wake
-                    .wait_for(&mut health, Duration::from_millis(250));
-            }
-        }
-        let mut delay = initial.max(Duration::from_millis(1));
-        loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            sleep_with_shutdown(shared, jittered(delay, &mut rng));
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return;
-            }
-            match attempt_recovery(shared) {
-                Ok(()) => {
-                    shared.exit_degraded();
-                    break;
-                }
-                Err(err) => {
-                    shared.metrics.lock().note_probe_failure();
-                    eprintln!(
-                        "kessler-service: persistence probe failed (retrying in ~{:?}): {err}",
-                        (delay * 2).min(max)
-                    );
-                    delay = (delay * 2).min(max);
-                }
-            }
-        }
-    }
-}
-
-fn spawn_persist_probe(
-    shared: Arc<Shared>,
-    initial: Duration,
-    max: Duration,
-) -> Result<JoinHandle<()>, ServiceError> {
-    thread::Builder::new()
-        .name("kessler-persist-probe".into())
-        .spawn(move || persist_probe_loop(&shared, initial, max))
-        .map_err(|e| ServiceError::Spawn {
-            what: "persistence probe",
-            source: e,
-        })
-}
-
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
@@ -1242,14 +715,19 @@ impl Server {
         let mut recovery_summary = None;
         let state = match &options.persist {
             Some(persist_options) => {
+                // The shard layout is a server-level choice; the persister
+                // inherits it so snapshots chunk the same way.
+                let mut persist_options = persist_options.clone();
+                persist_options.shards = options.shards;
                 let (mut p, recovery) =
-                    Persister::open(persist_options, Arc::clone(&options.faults))?;
+                    Persister::open(&persist_options, Arc::clone(&options.faults))?;
                 let mut state = match &recovery.snapshot {
                     Some(snapshot) => {
                         ServiceState::restore_with_variant(config, snapshot, options.variant)?
                     }
                     None => ServiceState::with_variant(config, options.variant)?,
                 };
+                state.set_shards(options.shards)?;
                 for request in &recovery.tail {
                     let response = state.handle(request);
                     if !response.ok {
@@ -1265,6 +743,7 @@ impl Server {
                     // restart starts from here.
                     let snapshot = state.snapshot(p.last_seq());
                     p.write_snapshot(&snapshot)?;
+                    state.note_snapshot_written();
                 }
                 recovery_summary = Some(RecoverySummary {
                     snapshot_seq: recovery.snapshot.as_ref().map(|s| s.wal_seq),
@@ -1275,7 +754,11 @@ impl Server {
                 persister = Some(p);
                 state
             }
-            None => ServiceState::with_variant(config, options.variant)?,
+            None => {
+                let mut state = ServiceState::with_variant(config, options.variant)?;
+                state.set_shards(options.shards)?;
+                state
+            }
         };
 
         let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {
@@ -1392,7 +875,7 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             let _ = thread::Builder::new()
                 .name("kessler-conn".into())
-                .spawn(move || handle_connection(stream, shared));
+                .spawn(move || conn::handle_connection(stream, shared));
         }
         self.shared.registry.cancel_all();
         for _ in 0..self.workers {
@@ -1444,235 +927,9 @@ impl ServerHandle {
     }
 }
 
-enum LineOutcome {
-    /// A complete line is in the buffer (newline included if present).
-    Line,
-    /// The line blew past the cap; the remainder was drained.
-    Oversized,
-    Eof,
-}
-
-/// Read one newline-terminated line of at most `max` bytes. An oversized
-/// line is drained to its newline so the connection can resync, and
-/// reported as [`LineOutcome::Oversized`] rather than an error — the
-/// client gets a protocol-level ERROR and keeps its connection.
-fn read_bounded_line<R: BufRead>(
-    reader: &mut R,
-    buf: &mut Vec<u8>,
-    max: usize,
-) -> io::Result<LineOutcome> {
-    buf.clear();
-    // UFCS so `take` borrows the reader (via `impl Read for &mut R`)
-    // instead of consuming it — the caller reuses it across lines.
-    let n = Read::take(&mut *reader, max as u64 + 1).read_until(b'\n', buf)?;
-    if n == 0 {
-        return Ok(LineOutcome::Eof);
-    }
-    if buf.len() > max && !buf.ends_with(b"\n") {
-        drain_line(reader)?;
-        return Ok(LineOutcome::Oversized);
-    }
-    Ok(LineOutcome::Line)
-}
-
-/// Consume input up to and including the next newline (or EOF).
-fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<()> {
-    loop {
-        let available = reader.fill_buf()?;
-        if available.is_empty() {
-            return Ok(());
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                reader.consume(pos + 1);
-                return Ok(());
-            }
-            None => {
-                let len = available.len();
-                reader.consume(len);
-            }
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_read_timeout(shared.read_timeout);
-    let _ = stream.set_write_timeout(shared.write_timeout);
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    // A read error covers timeouts (idle connections get reaped) and
-    // resets; nothing to answer on a broken socket, so the loop just ends.
-    while let Ok(outcome) = read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
-        let mut is_shutdown = false;
-        let response = match outcome {
-            LineOutcome::Eof => break,
-            LineOutcome::Oversized => Response::error(format!(
-                "request line exceeds the {}-byte cap",
-                shared.max_line_bytes
-            )),
-            LineOutcome::Line => {
-                let text = String::from_utf8_lossy(&buf);
-                let line = text.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<Envelope>(line) {
-                    Err(e) => Response::error(format!("bad request: {e}")),
-                    Ok(Envelope { req_id, request }) => {
-                        is_shutdown = matches!(request, Request::Shutdown);
-                        let mut response = match request {
-                            req @ (Request::Screen | Request::Delta | Request::Advance { .. }) => {
-                                // Screening runs on the worker pool against
-                                // an enqueue-time snapshot; the bounded
-                                // queue sheds load explicitly.
-                                enqueue_screen(&shared, req, req_id.clone())
-                            }
-                            Request::Cancel { id } => {
-                                let hit = shared.registry.cancel(&id);
-                                shared.metrics.lock().count_request("CANCEL", hit);
-                                if hit {
-                                    Response::ack()
-                                } else {
-                                    Response::error(format!(
-                                        "no queued or running job with req_id \"{id}\""
-                                    ))
-                                }
-                            }
-                            req => {
-                                if is_shutdown {
-                                    shared.shutdown.store(true, Ordering::SeqCst);
-                                }
-                                handle_and_persist(&shared, &req)
-                            }
-                        };
-                        response.req_id = req_id;
-                        response
-                    }
-                }
-            }
-        };
-        let mut payload = match serde_json::to_string(&response) {
-            Ok(p) => p,
-            Err(_) => r#"{"ok":false,"error":"response serialization failed"}"#.to_string(),
-        };
-        payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if is_shutdown {
-            // Poke the accept loop so it observes the shutdown flag.
-            let _ = TcpStream::connect(shared.addr);
-            break;
-        }
-    }
-}
-
-/// One-shot request/response over a fresh connection.
-pub fn request<A: ToSocketAddrs>(addr: A, req: &Request) -> io::Result<Response> {
-    let mut client = Client::connect(addr)?;
-    client.send(req)
-}
-
-/// One-shot request/response with a deadline on connect, write, and read.
-pub fn request_with_timeout<A: ToSocketAddrs>(
-    addr: A,
-    req: &Request,
-    timeout: Duration,
-) -> io::Result<Response> {
-    let mut last_err = None;
-    for candidate in addr.to_socket_addrs()? {
-        match TcpStream::connect_timeout(&candidate, timeout) {
-            Ok(stream) => {
-                stream.set_read_timeout(Some(timeout))?;
-                stream.set_write_timeout(Some(timeout))?;
-                let reader = BufReader::new(stream.try_clone()?);
-                let mut client = Client {
-                    reader,
-                    writer: stream,
-                };
-                return client.send(req);
-            }
-            Err(err) => last_err = Some(err),
-        }
-    }
-    Err(last_err.unwrap_or_else(|| io::Error::other("no addresses to connect to")))
-}
-
-/// A persistent JSON-lines client connection.
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: stream,
-        })
-    }
-
-    /// Apply read/write deadlines to the connection (`None` = blocking).
-    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
-        self.writer.set_read_timeout(read)?;
-        self.writer.set_write_timeout(write)
-    }
-
-    /// Send a request and block for its response.
-    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
-        let line = serde_json::to_string(req)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-        self.send_line(&line)
-    }
-
-    /// Send a request tagged with a `req_id` (echoed on the response; the
-    /// handle `CANCEL` takes) and block for its response.
-    pub fn send_tagged(&mut self, req: &Request, req_id: &str) -> io::Result<Response> {
-        let envelope = Envelope {
-            req_id: Some(req_id.to_string()),
-            request: req.clone(),
-        };
-        let line = serde_json::to_string(&envelope)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-        self.send_line(&line)
-    }
-
-    /// Send a raw line (not necessarily valid JSON) and read one response.
-    /// Lines over [`MAX_LINE_BYTES`] are refused locally — the server
-    /// would reject them anyway.
-    pub fn send_line(&mut self, line: &str) -> io::Result<Response> {
-        if line.len() > MAX_LINE_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "request line of {} bytes exceeds the {MAX_LINE_BYTES}-byte protocol cap",
-                    line.len()
-                ),
-            ));
-        }
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
-    }
-}
-
 #[cfg(test)]
 mod tests {
+    use super::conn::{read_bounded_line, LineOutcome};
     use super::*;
     use crate::proto::ElementsSpec;
 

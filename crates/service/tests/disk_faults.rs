@@ -59,6 +59,7 @@ fn serve_chaos(dir: &Path, snapshot_every: u64, faults: Arc<FaultPlan>) -> Serve
             dir: dir.to_path_buf(),
             snapshot_every,
             keep_snapshots: 2,
+            shards: None,
         }),
         faults,
         probe_initial: Duration::from_millis(20),

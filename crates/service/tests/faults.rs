@@ -150,6 +150,7 @@ fn corrupt_newest_snapshot_falls_back_to_the_previous_one() {
             dir: dir.clone(),
             snapshot_every: 1,
             keep_snapshots: 2,
+            shards: None,
         }),
         ..ServerOptions::default()
     };
@@ -188,6 +189,7 @@ fn torn_wal_append_loses_only_the_unsynced_record() {
             dir: dir.clone(),
             snapshot_every: 1_000_000,
             keep_snapshots: 2,
+            shards: None,
         }),
         faults,
         ..ServerOptions::default()

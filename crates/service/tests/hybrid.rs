@@ -72,6 +72,7 @@ fn persist_options(dir: &Path) -> PersistOptions {
         dir: dir.to_path_buf(),
         snapshot_every: 1,
         keep_snapshots: 2,
+        shards: None,
     }
 }
 

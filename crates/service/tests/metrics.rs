@@ -70,6 +70,7 @@ fn metrics_distinguish_full_and_delta_and_time_durability() {
             dir: dir.clone(),
             snapshot_every: 4,
             keep_snapshots: 2,
+            shards: None,
         }),
         ..ServerOptions::default()
     });

@@ -43,6 +43,7 @@ fn serve_persistent(dir: &Path, snapshot_every: u64) -> ServerHandle {
             dir: dir.to_path_buf(),
             snapshot_every,
             keep_snapshots: 2,
+            shards: None,
         }),
         ..ServerOptions::default()
     };

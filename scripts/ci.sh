@@ -21,8 +21,17 @@ RUST_BACKTRACE=1 cargo test -p kessler-service -q --test hybrid
 echo "==> cargo test -p kessler-service --test disk_faults (disk-chaos suite)"
 RUST_BACKTRACE=1 cargo test -p kessler-service -q --test disk_faults
 
-echo "==> cargo test --test delta_correctness (delta vs cold-full, both variants)"
+echo "==> cargo test --test delta_correctness (delta vs cold-full, both variants + sharded)"
 RUST_BACKTRACE=1 cargo test -q --test delta_correctness
+
+echo "==> cargo test -p kessler-service --test sharded_recovery (incremental snapshots)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q --test sharded_recovery
+
+echo "==> cargo test --test sharding_props (shard assignment/mirroring proptests)"
+RUST_BACKTRACE=1 cargo test -q --test sharding_props
+
+echo "==> cargo test -p kessler-population constellation (synthetic shells)"
+RUST_BACKTRACE=1 cargo test -p kessler-population -q constellation
 
 echo "==> cargo test -p kessler-core metrics (histogram unit + property tests)"
 cargo test -p kessler-core -q metrics
@@ -33,6 +42,10 @@ RUST_BACKTRACE=1 cargo test -p kessler-orbits -q --test propagation_equality
 echo "==> exp_cascade --smoke (live cascade absorption, small n)"
 RUST_BACKTRACE=1 cargo run --release -p kessler-bench --bin exp_cascade -- \
   --smoke --json /tmp/results_cascade_smoke.json
+
+echo "==> exp_scale --smoke (sharded daemon scale run, small n)"
+RUST_BACKTRACE=1 cargo run --release -p kessler-bench --bin exp_scale -- \
+  --smoke --json /tmp/results_scale_smoke.json
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check

@@ -5,7 +5,7 @@
 //! the same invariant through the orbital filter chain at n = 4000.
 
 use kessler::prelude::*;
-use kessler::service::{DeltaEngine, HYBRID_DELTA_VARIANT};
+use kessler::service::{DeltaEngine, ShardSpec, HYBRID_DELTA_VARIANT};
 
 const N: usize = 8_000;
 const K: usize = 64;
@@ -45,6 +45,75 @@ fn delta_rescreen_equals_cold_rescreen_after_64_updates() {
     let delta_report = engine.delta_screen(&mutated, &changed);
     let cold_report = GridScreener::new(config).screen(&mutated);
 
+    assert_reports_identical(&delta_report, &cold_report);
+}
+
+/// The ISSUE 9 acceptance invariant: with the catalog sharded by orbital
+/// regime, both the sharded full screen and a warm sharded delta re-screen
+/// must equal the flat, unsharded result *exactly* — same pairs, same TCAs
+/// and PCAs to 1e-9 — including satellites parked right on a shard band
+/// edge (whose grid cells straddle two shards) and eccentric satellites
+/// whose apsis range spans several altitude bands.
+#[test]
+fn sharded_screens_equal_unsharded_exactly_including_boundary_straddlers() {
+    let mut population = PopulationGenerator::new(PopulationConfig {
+        seed: 0xDE17A,
+        ..Default::default()
+    })
+    .generate(N);
+
+    // Park satellites on and around an interior altitude-band edge of the
+    // default shard layout (8 bands over [6500, 9000] km put edges at
+    // 6812.5, 7125, …), plus a few eccentric ones whose perigee and apogee
+    // fall in different bands. Their candidate cells are mirrored across
+    // the shard boundary, which is exactly the machinery under test.
+    let spec = ShardSpec::default();
+    let band_edge = spec.r_min_km + (spec.r_max_km - spec.r_min_km) * 2.0 / spec.alt_bands as f64;
+    for j in 0..48 {
+        let idx = N - 1 - j * 31;
+        let el = &population[idx];
+        let ecc = if j % 5 == 0 { 0.04 } else { el.eccentricity };
+        population[idx] = KeplerElements::new(
+            band_edge + (j as f64 - 24.0) * 0.05,
+            ecc,
+            el.inclination,
+            el.raan,
+            el.arg_perigee,
+            el.mean_anomaly,
+        )
+        .unwrap();
+    }
+    let config = ScreeningConfig::grid_defaults(5.0, 120.0);
+
+    // Cold: the sharded full screen must already match the flat screener.
+    let mut engine = DeltaEngine::new(config).unwrap();
+    engine.set_shards(Some(spec)).unwrap();
+    let sharded_full = engine.full_screen(&population);
+    let cold_full = GridScreener::new(config).screen(&population);
+    assert_reports_identical(&sharded_full, &cold_full);
+
+    // Warm: perturb 64 satellites — the usual stride plus a handful of the
+    // boundary straddlers — and compare the sharded delta re-screen against
+    // a cold unsharded screen of the mutated population.
+    let mut mutated = population.clone();
+    let mut changed: Vec<u32> = Vec::with_capacity(K);
+    for j in 0..K {
+        let idx = if j < 8 { N - 1 - j * 31 } else { (j * 127) % N };
+        let el = &mutated[idx];
+        mutated[idx] = KeplerElements::new(
+            el.semi_major_axis + 0.5,
+            el.eccentricity,
+            el.inclination,
+            el.raan + 0.01,
+            el.arg_perigee,
+            el.mean_anomaly + 0.3,
+        )
+        .unwrap();
+        changed.push(idx as u32);
+    }
+
+    let delta_report = engine.delta_screen(&mutated, &changed);
+    let cold_report = GridScreener::new(config).screen(&mutated);
     assert_reports_identical(&delta_report, &cold_report);
 }
 

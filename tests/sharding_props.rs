@@ -1,0 +1,158 @@
+//! Property-based tests of the orbital-regime shard layer: assignment is
+//! total and deterministic over arbitrary layouts, eccentric satellites
+//! overlap every altitude band their apsis range touches, and candidate
+//! extraction under an arbitrary multi-shard partition equals the
+//! single-shard (global) extraction — every cross-boundary pair found,
+//! each pair exactly once, mirroring symmetric in the pair's order.
+
+use kessler::math::Vec3;
+use kessler::service::shard::{extract_step_sharded, ShardScratch};
+use kessler::service::{ShardMap, ShardScreenStats, ShardSpec};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::f64::consts::PI;
+
+/// An arbitrary valid shard layout: 1–12 altitude bands, 1–6 |z| shells,
+/// a radius span somewhere in LEO/MEO.
+fn arb_spec() -> impl Strategy<Value = ShardSpec> {
+    (1u32..12, 1u32..6, 6_400.0..7_500.0f64, 500.0..8_000.0f64).prop_map(
+        |(alt_bands, z_shells, r_min_km, span)| ShardSpec {
+            alt_bands,
+            z_shells,
+            r_min_km,
+            r_max_km: r_min_km + span,
+        },
+    )
+}
+
+fn arb_position() -> impl Strategy<Value = Vec3> {
+    // Radii deliberately overflow the shard span on both sides: the map
+    // must clamp, never panic or drop.
+    (5_000.0..18_000.0f64, 0.0..PI, -1.0..1.0f64).prop_map(|(r, theta, zfrac)| {
+        let z = r * zfrac;
+        let rho = (r * r - z * z).max(0.0).sqrt();
+        Vec3::new(rho * theta.cos(), rho * theta.sin(), z)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Assignment is total (every valid orbit gets a shard inside the
+    /// partition) and deterministic (a freshly built map with the same
+    /// spec agrees).
+    #[test]
+    fn assignment_is_total_and_deterministic(
+        spec in arb_spec(),
+        a in 5_000.0..18_000.0f64,
+        incl in 0.0..PI,
+    ) {
+        let map = ShardMap::new(spec).unwrap();
+        let shard = map.assign(a, incl);
+        prop_assert!(shard < map.shard_count());
+        let again = ShardMap::new(spec).unwrap().assign(a, incl);
+        prop_assert_eq!(shard, again);
+    }
+
+    /// An eccentric satellite's apsis range covers a contiguous band run
+    /// containing the perigee band, the apogee band, and the band its
+    /// semi-major axis (the static assignment) falls in.
+    #[test]
+    fn apsis_span_overlaps_every_band_between_perigee_and_apogee(
+        spec in arb_spec(),
+        a in 6_600.0..12_000.0f64,
+        e in 0.0..0.3f64,
+    ) {
+        let map = ShardMap::new(spec).unwrap();
+        let perigee = a * (1.0 - e);
+        let apogee = a * (1.0 + e);
+        let (lo, hi) = map.bands_overlapping(perigee, apogee);
+        prop_assert!(lo <= hi && hi < spec.alt_bands);
+        prop_assert!((lo..=hi).contains(&map.band_of(perigee)));
+        prop_assert!((lo..=hi).contains(&map.band_of(apogee)));
+        prop_assert!((lo..=hi).contains(&map.band_of(a)));
+        // Contiguity: every radius strictly inside the apsis range maps
+        // into the run — no band the satellite can visit is skipped.
+        for k in 0..8 {
+            let r = perigee + (apogee - perigee) * k as f64 / 7.0;
+            prop_assert!((lo..=hi).contains(&map.band_of(r)));
+        }
+    }
+
+    /// Candidate extraction under an arbitrary partition is exactly the
+    /// single-shard (global) extraction: same pair set, and since pair
+    /// sets deduplicate structurally, every boundary pair exactly once.
+    /// Real satellites are inserted exactly once into their home shard;
+    /// everything beyond that is a mirror copy.
+    #[test]
+    fn sharded_extraction_equals_global_extraction(
+        spec in arb_spec(),
+        positions in proptest::collection::vec(arb_position(), 2..40),
+        cell in 20.0..200.0f64,
+    ) {
+        let changed: Vec<u32> = (0..positions.len() as u32).collect();
+
+        let global_map = ShardMap::new(ShardSpec {
+            alt_bands: 1,
+            z_shells: 1,
+            ..spec
+        })
+        .unwrap();
+        let mut scratch = ShardScratch::new(1);
+        let mut stats = ShardScreenStats::new(1);
+        let mut expected = HashSet::new();
+        extract_step_sharded(
+            &global_map, &positions, &changed, cell, 3, &mut scratch, &mut expected, &mut stats,
+        );
+        prop_assert_eq!(stats.mirrored_inserts, 0, "one shard mirrors nothing");
+
+        let map = ShardMap::new(spec).unwrap();
+        let mut scratch = ShardScratch::new(map.shard_count());
+        let mut stats = ShardScreenStats::new(map.shard_count());
+        let mut got = HashSet::new();
+        extract_step_sharded(
+            &map, &positions, &changed, cell, 3, &mut scratch, &mut got, &mut stats,
+        );
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(
+            stats.total_inserts - stats.mirrored_inserts,
+            positions.len() as u64
+        );
+    }
+
+    /// Boundary mirroring is symmetric: when two satellites share a grid
+    /// cell but live in different home shards, the pair is found whether
+    /// the query runs from A's home or from B's.
+    #[test]
+    fn boundary_mirroring_is_symmetric(
+        spec in arb_spec(),
+        base in arb_position(),
+        dx in -30.0..30.0f64,
+        dz in -30.0..30.0f64,
+    ) {
+        let other = Vec3::new(base.x + dx, base.y, base.z + dz);
+        let positions = vec![base, other];
+        let map = ShardMap::new(spec).unwrap();
+        let cell = 50.0;
+
+        let extract_from = |who: u32| {
+            let mut scratch = ShardScratch::new(map.shard_count());
+            let mut stats = ShardScreenStats::new(map.shard_count());
+            let mut got = HashSet::new();
+            extract_step_sharded(
+                &map, &positions, &[who], cell, 0, &mut scratch, &mut got, &mut stats,
+            );
+            got
+        };
+        let from_a = extract_from(0);
+        let from_b = extract_from(1);
+        prop_assert_eq!(
+            from_a.is_empty(),
+            from_b.is_empty(),
+            "pair visibility must not depend on which side queries \
+             (homes {} and {})",
+            map.home_of(base),
+            map.home_of(other)
+        );
+    }
+}
