@@ -60,7 +60,7 @@ impl Flags {
             }
             if let Some(stripped) = a.strip_prefix("--") {
                 // Boolean switches take no value; everything else does.
-                skip_next = !matches!(stripped, "csv" | "stats" | "parallel");
+                skip_next = !matches!(stripped, "csv" | "stats" | "parallel" | "all" | "smoke");
                 continue;
             }
             out.push(a.as_str());
@@ -118,5 +118,13 @@ mod tests {
         assert_eq!(f.positional_at(0), Some("tle"));
         assert_eq!(f.positional_at(1), Some("catalog.txt"));
         assert_eq!(f.positional_at(2), None);
+    }
+
+    #[test]
+    fn subscribe_switches_take_no_value() {
+        let f = flags(&["subscribe", "--all", "--smoke", "--addr", "127.0.0.1:7878"]);
+        assert_eq!(f.positionals(), vec!["subscribe"]);
+        assert!(f.has("--all"));
+        assert!(f.has("--smoke"));
     }
 }

@@ -44,9 +44,14 @@ SUBCOMMANDS
              exponential backoff; mutations are retried only when the
              daemon confirms the request was not applied
              ACTION: add | update | remove | screen | delta | advance
-                     | cancel ID | tle FILE | status | metrics | shutdown
+                     | cancel ID | tle FILE | subscribe
+                     | status | metrics | shutdown
              `cancel ID` aborts the queued/in-flight job tagged ID;
              `tle FILE` streams a 2LE/3LE catalog into the daemon
+             `subscribe (--all | --ids A,B,C) [--count N (0 = forever)]
+             [--smoke]` streams conjunction push events (new / updated /
+             retired) as screens commit; --smoke only proves the
+             SUBSCRIBE/UNSUBSCRIBE handshake and exits
   info       version and build info
 
 VARIANTS
@@ -382,7 +387,8 @@ pub fn serve(flags: &Flags) -> Result<(), String> {
     };
     println!(
         "kessler-service listening on {} ({} variant, {} screening workers{sharding}) — JSON \
-         lines: ADD UPDATE REMOVE SCREEN DELTA ADVANCE CANCEL STATUS METRICS SHUTDOWN",
+         lines: ADD UPDATE REMOVE SCREEN DELTA ADVANCE CANCEL STATUS METRICS SUBSCRIBE \
+         UNSUBSCRIBE SHUTDOWN",
         server.local_addr(),
         variant.label(),
         server.workers()
@@ -473,6 +479,7 @@ pub fn submit(flags: &Flags) -> Result<(), String> {
                     .to_string(),
             },
             "tle" => return submit_tle(flags, addr, timeout_s),
+            "subscribe" => return submit_subscribe(flags, addr, timeout_s),
             "status" => Request::Status,
             "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
@@ -710,6 +717,109 @@ fn submit_tle(flags: &Flags, addr: &str, timeout_s: f64) -> Result<(), String> {
     Ok(())
 }
 
+/// `kessler submit subscribe` — register for conjunction delta events and
+/// stream them to stdout as screens commit. The ack goes to stderr so a
+/// piped stdout carries only events, one per line.
+fn submit_subscribe(flags: &Flags, addr: &str, timeout_s: f64) -> Result<(), String> {
+    use kessler_service::{EventKind, Request};
+    let all = flags.has("--all");
+    let assets: Vec<u64> = match flags.value_of("--ids") {
+        Some(csv) => csv
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("bad asset id in --ids: `{s}`"))
+            })
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    if !all && assets.is_empty() {
+        return Err(
+            "usage: kessler submit subscribe (--all | --ids A,B,C) [--count N] [--smoke]".into(),
+        );
+    }
+    let count = flags.u64_of("--count", 0)?;
+    let smoke = flags.has("--smoke");
+    let mut client = kessler_service::Client::connect(addr)
+        .map_err(|e| format!("connect to {addr} failed: {e}"))?;
+    let timeout = (timeout_s > 0.0).then(|| std::time::Duration::from_secs_f64(timeout_s));
+    client
+        .set_timeouts(timeout, timeout)
+        .map_err(|e| e.to_string())?;
+    let request = Request::Subscribe { assets, all };
+    let response = match flags.value_of("--req-id") {
+        Some(id) => client.send_tagged(&request, id),
+        None => client.send(&request),
+    }
+    .map_err(|e| format!("SUBSCRIBE failed: {e}"))?;
+    if !response.ok {
+        return Err(response
+            .error
+            .unwrap_or_else(|| "SUBSCRIBE rejected".into()));
+    }
+    let ack = response
+        .subscription
+        .ok_or("SUBSCRIBE response carried no subscription ack")?;
+    let scope = if ack.all {
+        "all assets".to_string()
+    } else {
+        format!("{} asset(s)", ack.assets)
+    };
+    eprintln!(
+        "subscribed as {} to {scope} ({} subscription(s) on this connection)",
+        ack.sub_id, ack.active
+    );
+    if smoke {
+        // CI handshake: prove SUBSCRIBE and UNSUBSCRIBE round-trip over
+        // the evented layer, then leave without waiting for a screen.
+        let response = client
+            .send(&Request::Unsubscribe {
+                sub_id: Some(ack.sub_id.clone()),
+            })
+            .map_err(|e| format!("UNSUBSCRIBE failed: {e}"))?;
+        if !response.ok {
+            return Err(response
+                .error
+                .unwrap_or_else(|| "UNSUBSCRIBE rejected".into()));
+        }
+        println!(
+            "subscribe smoke ok: {} registered and torn down",
+            ack.sub_id
+        );
+        return Ok(());
+    }
+    // Events arrive whenever a screen commits; the handshake timeout must
+    // not cut the stream between them.
+    client
+        .set_timeouts(None, timeout)
+        .map_err(|e| e.to_string())?;
+    let mut seen: u64 = 0;
+    loop {
+        let event = client
+            .next_event()
+            .map_err(|e| format!("push stream ended: {e}"))?;
+        let kind = match event.kind {
+            EventKind::New => "new",
+            EventKind::Updated => "updated",
+            EventKind::Retired => "retired",
+        };
+        println!(
+            "{kind:<8} {:>6} vs {:>6}  TCA {:>10.2} s  PCA {:>8.3} km  epoch {}{}",
+            event.id_lo,
+            event.id_hi,
+            event.tca,
+            event.pca_km,
+            event.epoch,
+            if event.ephemeral { "  [ephemeral]" } else { "" }
+        );
+        seen += 1;
+        if count > 0 && seen >= count {
+            return Ok(());
+        }
+    }
+}
+
 fn print_quantile_row(label: &str, digest: &kessler_core::HistogramSummary, unit: &str) {
     println!(
         "  {label:<16} {:>7}  {:>9.3} {:>9.3} {:>9.3} {:>9.3} {unit}",
@@ -832,6 +942,21 @@ fn print_metrics(metrics: &kessler_service::MetricsSnapshot) {
         "queue high-water {}, worker respawns {}, jobs cancelled {}",
         metrics.queue_highwater, metrics.worker_respawns, metrics.jobs_cancelled
     );
+    if metrics.subscribers > 0
+        || metrics.events_pushed + metrics.events_dropped + metrics.slow_consumer_disconnects > 0
+        || metrics.write_buffer_peak_bytes.is_some()
+    {
+        println!(
+            "subscriptions: {} active, events pushed {}, shed {}, slow-consumer disconnects {}",
+            metrics.subscribers,
+            metrics.events_pushed,
+            metrics.events_dropped,
+            metrics.slow_consumer_disconnects
+        );
+        if let Some(d) = &metrics.write_buffer_peak_bytes {
+            print_quantile_row("write-buf peak", d, "B");
+        }
+    }
     if metrics.wal_append_failures
         + metrics.snapshot_failures
         + metrics.degraded_entries

@@ -7,7 +7,11 @@
 //! lock, latest-epoch-wins. The synchronous [`crate::server::ServiceState`]
 //! path runs the exact same capture → run → commit sequence inline, which
 //! is what makes a pool of concurrent workers observationally equivalent
-//! to the old single serialized worker at matching epochs.
+//! to the old single serialized worker at matching epochs. Adopted
+//! commits are also the publication point for `SUBSCRIBE` push streams:
+//! the daemon layer diffs the warm pair set against its last published
+//! baseline right where a screen or advance lands, so subscribers see
+//! exactly the committed transitions, in commit order.
 //!
 //! Cancellation rides along as a [`CancelToken`] checked at phase
 //! boundaries inside the job functions; the [`CancelRegistry`] maps live

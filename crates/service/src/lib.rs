@@ -31,9 +31,13 @@
 //!   forward, retiring expired conjunctions, carrying live ones, screening
 //!   only the freshly exposed tail.
 //! - [`proto`] / [`server`] — a JSON-lines-over-TCP protocol
-//!   (ADD/UPDATE/REMOVE/SCREEN/DELTA/ADVANCE/CANCEL/STATUS/SHUTDOWN) and a
-//!   thread-per-connection server over a pool of supervised screening
-//!   workers. Std networking only; `nc` is a valid client.
+//!   (ADD/UPDATE/REMOVE/SCREEN/DELTA/ADVANCE/CANCEL/STATUS/SUBSCRIBE/
+//!   SHUTDOWN) and an evented front end: one poll(2)-driven I/O thread
+//!   owns every socket (pipelined requests, bounded write buffers with
+//!   slow-consumer shedding) and hands screening work to the pool of
+//!   supervised workers. `SUBSCRIBE` turns a connection into a push
+//!   stream of conjunction deltas (`new`/`updated`/`retired`) emitted as
+//!   screens commit. Std networking only; `nc` is a valid client.
 //! - [`wal`] / [`persist`] — crash safety: a checksummed write-ahead log
 //!   of acknowledged mutations plus periodic atomic snapshots, so a
 //!   restarted daemon recovers the exact catalog, window, and warm
@@ -74,7 +78,10 @@ pub use exec::{CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
 pub use fault::FaultPlan;
 pub use metrics::{MetricsRegistry, MetricsSnapshot, RequestCounter};
 pub use persist::{PersistOptions, Snapshot};
-pub use proto::{ElementsSpec, Envelope, Request, Response};
+pub use proto::{
+    ElementsSpec, Envelope, EventKind, PushEvent, Request, Response, SubscriptionAck,
+    PUSH_CONJUNCTION,
+};
 pub use scheduler::SlidingWindow;
 pub use server::{
     request, request_with_timeout, Client, RecoverySummary, Server, ServerHandle, ServerOptions,

@@ -81,6 +81,16 @@ pub struct MetricsRegistry {
     /// Grid inserts beyond one-per-satellite: boundary mirrors copied
     /// into neighbouring shards' grids.
     mirrored_inserts: u64,
+    /// Conjunction push events queued to subscriber connections.
+    events_pushed: u64,
+    /// Push events shed because a subscriber's write buffer sat at the
+    /// high-water mark (or the connection vanished mid-publish).
+    events_dropped: u64,
+    /// Connections dropped for letting responses pile past the hard cap.
+    slow_consumer_disconnects: u64,
+    /// Per-connection write-buffer high-water marks, bytes, recorded as
+    /// each connection closes.
+    write_buffer_peak: Histogram,
 }
 
 impl MetricsRegistry {
@@ -228,6 +238,26 @@ impl MetricsRegistry {
         self.probe_failures += 1;
     }
 
+    /// Count push events queued to subscriber connections.
+    pub fn note_events_pushed(&mut self, n: u64) {
+        self.events_pushed += n;
+    }
+
+    /// Count push events shed under backpressure.
+    pub fn note_events_dropped(&mut self, n: u64) {
+        self.events_dropped += n;
+    }
+
+    /// Count one connection dropped for consuming responses too slowly.
+    pub fn note_slow_consumer_disconnect(&mut self) {
+        self.slow_consumer_disconnects += 1;
+    }
+
+    /// Record a closing connection's write-buffer high-water mark.
+    pub fn record_write_buffer_peak(&mut self, bytes: u64) {
+        self.write_buffer_peak.record(bytes);
+    }
+
     /// Point-in-time JSON-ready digest (the METRICS payload).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -271,6 +301,14 @@ impl MetricsRegistry {
                 .then(|| self.dirty_shards.summary(1.0)),
             boundary_entries: self.boundary_entries,
             mirrored_inserts: self.mirrored_inserts,
+            // A registry only counts; the daemon layer overwrites this
+            // with the live subscription count when serving METRICS.
+            subscribers: 0,
+            events_pushed: self.events_pushed,
+            events_dropped: self.events_dropped,
+            slow_consumer_disconnects: self.slow_consumer_disconnects,
+            write_buffer_peak_bytes: (!self.write_buffer_peak.is_empty())
+                .then(|| self.write_buffer_peak.summary(1.0)),
         }
     }
 
@@ -321,6 +359,14 @@ impl MetricsRegistry {
             "queue hw {}, respawns {}, cancelled {}, errors {}",
             self.queue_highwater, self.worker_respawns, self.jobs_cancelled, errors
         ));
+        // Push traffic only shows up once someone subscribed, keeping the
+        // request/response-only digest unchanged.
+        if self.events_pushed + self.events_dropped + self.slow_consumer_disconnects > 0 {
+            parts.push(format!(
+                "pushed {}, shed {}, slow-consumer drops {}",
+                self.events_pushed, self.events_dropped, self.slow_consumer_disconnects
+            ));
+        }
         // Persistence trouble is rare; mention it only once it happened so
         // the healthy digest stays short.
         if self.wal_append_failures + self.snapshot_failures + self.degraded_entries > 0 {
@@ -410,6 +456,21 @@ pub struct MetricsSnapshot {
     /// Satellites mirrored into neighbouring shards' grids.
     #[serde(default)]
     pub mirrored_inserts: u64,
+    /// Live subscriptions at snapshot time (filled by the daemon layer).
+    #[serde(default)]
+    pub subscribers: usize,
+    /// Conjunction push events queued to subscribers since startup.
+    #[serde(default)]
+    pub events_pushed: u64,
+    /// Push events shed under backpressure.
+    #[serde(default)]
+    pub events_dropped: u64,
+    /// Connections dropped for consuming responses too slowly.
+    #[serde(default)]
+    pub slow_consumer_disconnects: u64,
+    /// Write-buffer high-water marks across closed connections, bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub write_buffer_peak_bytes: Option<HistogramSummary>,
 }
 
 #[cfg(test)]
@@ -582,6 +643,44 @@ mod tests {
         assert!(
             !line.contains("wal fails"),
             "healthy daemons omit the resilience part: {line}"
+        );
+    }
+
+    #[test]
+    fn push_counters_accumulate_and_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        assert!(
+            !m.one_line().contains("pushed"),
+            "request/response-only daemons omit the push part"
+        );
+        m.note_events_pushed(5);
+        m.note_events_pushed(2);
+        m.note_events_dropped(1);
+        m.note_slow_consumer_disconnect();
+        m.record_write_buffer_peak(4096);
+        m.record_write_buffer_peak(128);
+        let snap = m.snapshot();
+        assert_eq!(snap.events_pushed, 7);
+        assert_eq!(snap.events_dropped, 1);
+        assert_eq!(snap.slow_consumer_disconnects, 1);
+        assert_eq!(snap.subscribers, 0, "gauge belongs to the daemon layer");
+        let peaks = snap.write_buffer_peak_bytes.unwrap();
+        assert_eq!(peaks.count, 2);
+        assert_eq!(peaks.max, 4096.0);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events_pushed, 7);
+        assert_eq!(back.write_buffer_peak_bytes.unwrap().count, 2);
+        // Payloads from servers predating SUBSCRIBE default to zero.
+        let back: MetricsSnapshot = serde_json::from_str("{}").unwrap();
+        assert_eq!(back.events_pushed, 0);
+        assert!(back.write_buffer_peak_bytes.is_none());
+
+        let line = m.one_line();
+        assert!(
+            line.contains("pushed 7, shed 1, slow-consumer drops 1"),
+            "{line}"
         );
     }
 

@@ -108,6 +108,23 @@ pub enum Request {
     /// this `req_id`.
     #[serde(rename = "CANCEL")]
     Cancel { id: String },
+    /// Register this connection for conjunction push events: either an
+    /// explicit asset-id set (events involving any listed id) or `all`.
+    /// The subscription lives as long as the connection does.
+    #[serde(rename = "SUBSCRIBE")]
+    Subscribe {
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        assets: Vec<u64>,
+        #[serde(default, skip_serializing_if = "is_false")]
+        all: bool,
+    },
+    /// Tear down one subscription by id, or every subscription on this
+    /// connection when `sub_id` is omitted.
+    #[serde(rename = "UNSUBSCRIBE")]
+    Unsubscribe {
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        sub_id: Option<String>,
+    },
     /// Stop the server.
     #[serde(rename = "SHUTDOWN")]
     Shutdown,
@@ -132,7 +149,12 @@ impl Request {
     pub fn is_mutation(&self) -> bool {
         !matches!(
             self,
-            Request::Status | Request::Metrics | Request::Cancel { .. } | Request::Shutdown
+            Request::Status
+                | Request::Metrics
+                | Request::Cancel { .. }
+                | Request::Subscribe { .. }
+                | Request::Unsubscribe { .. }
+                | Request::Shutdown
         )
     }
 
@@ -148,6 +170,8 @@ impl Request {
             Request::Status => "STATUS",
             Request::Metrics => "METRICS",
             Request::Cancel { .. } => "CANCEL",
+            Request::Subscribe { .. } => "SUBSCRIBE",
+            Request::Unsubscribe { .. } => "UNSUBSCRIBE",
             Request::Shutdown => "SHUTDOWN",
         }
     }
@@ -177,6 +201,8 @@ pub struct Response {
     pub status: Option<StatusInfo>,
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<crate::metrics::MetricsSnapshot>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub subscription: Option<SubscriptionAck>,
 }
 
 impl Response {
@@ -245,6 +271,77 @@ impl Response {
             ..Response::default()
         }
     }
+
+    pub fn with_subscription(ack: SubscriptionAck) -> Response {
+        Response {
+            ok: true,
+            subscription: Some(ack),
+            ..Response::default()
+        }
+    }
+}
+
+/// Acknowledgement of a SUBSCRIBE or UNSUBSCRIBE.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubscriptionAck {
+    /// The subscription this request created or removed. On an
+    /// UNSUBSCRIBE with no `sub_id` (drop everything) this is `"all"`.
+    pub sub_id: String,
+    /// `true` when the subscription matches every asset.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub all: bool,
+    /// Number of asset ids the subscription filters on (0 for `all`).
+    pub assets: usize,
+    /// Subscriptions active on this connection after the request.
+    pub active: usize,
+}
+
+/// The wire discriminator carried by every pushed event line. Responses
+/// never carry a `"push"` key, so its presence alone classifies a line.
+pub const PUSH_CONJUNCTION: &str = "conjunction";
+
+/// What happened to a conjunction pair across one committed screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum EventKind {
+    /// The pair entered the maintained set.
+    New,
+    /// The pair stayed but its conjunction geometry changed.
+    Updated,
+    /// The pair left the maintained set.
+    Retired,
+}
+
+/// Server → subscriber push: one conjunction-pair delta event, emitted
+/// when a screen commit changes the maintained pair set. Rides the same
+/// JSON-lines stream as responses, distinguished by the `"push"` key
+/// (see [`PUSH_CONJUNCTION`]); `id_lo`/`id_hi` are *external* asset ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PushEvent {
+    /// Always [`PUSH_CONJUNCTION`] for conjunction delta events.
+    pub push: String,
+    /// The subscription this event matched.
+    pub sub_id: String,
+    pub kind: EventKind,
+    /// Smaller external asset id of the pair.
+    pub id_lo: u64,
+    /// Larger external asset id of the pair.
+    pub id_hi: u64,
+    /// Time of closest approach of the pair's representative (smallest
+    /// PCA) conjunction, s. For `retired`, the last known value.
+    pub tca: f64,
+    /// Point of closest approach of the representative conjunction, km.
+    pub pca_km: f64,
+    /// Conjunction events the pair has in the new maintained set
+    /// (0 for `retired`).
+    pub conjunctions: usize,
+    /// Catalog epoch of the screen that produced the event.
+    pub epoch: u64,
+    /// `true` when the event came from a degraded-mode (ephemeral)
+    /// screen: it describes the current catalog but was not adopted as
+    /// the warm set and will not survive a restart.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub ephemeral: bool,
 }
 
 /// Acknowledgement of a catalog mutation.
@@ -463,6 +560,18 @@ mod tests {
             Request::Cancel {
                 id: "job-1".to_string(),
             },
+            Request::Subscribe {
+                assets: vec![42, 99],
+                all: false,
+            },
+            Request::Subscribe {
+                assets: Vec::new(),
+                all: true,
+            },
+            Request::Unsubscribe {
+                sub_id: Some("sub-1".to_string()),
+            },
+            Request::Unsubscribe { sub_id: None },
             Request::Shutdown,
         ];
         for req in requests {
@@ -776,7 +885,99 @@ mod tests {
             id: "job-1".to_string()
         }
         .is_mutation());
+        assert!(!Request::Subscribe {
+            assets: vec![1],
+            all: false
+        }
+        .is_mutation());
+        assert!(!Request::Unsubscribe { sub_id: None }.is_mutation());
         assert!(!Request::Shutdown.is_mutation());
+    }
+
+    #[test]
+    fn subscribe_requests_default_their_optional_fields() {
+        // Bare SUBSCRIBE parses (the server rejects it semantically).
+        let req: Request = serde_json::from_str(r#"{"cmd":"SUBSCRIBE"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Subscribe {
+                assets: Vec::new(),
+                all: false
+            }
+        );
+        // `all` subscriptions serialize without an empty assets array.
+        let json = serde_json::to_string(&Request::Subscribe {
+            assets: Vec::new(),
+            all: true,
+        })
+        .unwrap();
+        assert_eq!(json, r#"{"cmd":"SUBSCRIBE","all":true}"#);
+        // UNSUBSCRIBE without sub_id drops everything on the connection.
+        let req: Request = serde_json::from_str(r#"{"cmd":"UNSUBSCRIBE"}"#).unwrap();
+        assert_eq!(req, Request::Unsubscribe { sub_id: None });
+        assert_eq!(req.kind(), "UNSUBSCRIBE");
+        assert_eq!(
+            Request::Subscribe {
+                assets: Vec::new(),
+                all: true
+            }
+            .kind(),
+            "SUBSCRIBE"
+        );
+    }
+
+    #[test]
+    fn subscription_acks_ride_responses() {
+        let resp = Response::with_subscription(SubscriptionAck {
+            sub_id: "sub-1".to_string(),
+            all: false,
+            assets: 2,
+            active: 1,
+        });
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.subscription, resp.subscription, "json: {json}");
+        // Plain responses carry no subscription key (old-client safe).
+        let json = serde_json::to_string(&Response::ack()).unwrap();
+        assert!(!json.contains("subscription"), "json: {json}");
+    }
+
+    #[test]
+    fn push_events_roundtrip_and_are_distinguishable_from_responses() {
+        let event = PushEvent {
+            push: PUSH_CONJUNCTION.to_string(),
+            sub_id: "sub-1".to_string(),
+            kind: EventKind::New,
+            id_lo: 42,
+            id_hi: 99,
+            tca: 120.5,
+            pca_km: 3.25,
+            conjunctions: 2,
+            epoch: 7,
+            ephemeral: false,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        assert!(json.contains(r#""push":"conjunction""#), "json: {json}");
+        assert!(json.contains(r#""kind":"new""#), "json: {json}");
+        assert!(!json.contains("ephemeral"), "json: {json}");
+        let back: PushEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+        // Push lines carry no "ok" field, so they never parse as a
+        // Response — a client reading the stream cannot confuse the two.
+        assert!(serde_json::from_str::<Response>(&json).is_err());
+        // And responses never parse as pushes.
+        let resp_json = serde_json::to_string(&Response::ack()).unwrap();
+        assert!(serde_json::from_str::<PushEvent>(&resp_json).is_err());
+
+        let mut tagged = event.clone();
+        tagged.kind = EventKind::Retired;
+        tagged.conjunctions = 0;
+        tagged.ephemeral = true;
+        let json = serde_json::to_string(&tagged).unwrap();
+        assert!(json.contains(r#""kind":"retired""#), "json: {json}");
+        assert!(json.contains(r#""ephemeral":true"#), "json: {json}");
+        let back: PushEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tagged);
     }
 
     #[test]

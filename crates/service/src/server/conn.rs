@@ -1,14 +1,35 @@
-//! The wire layer: bounded line reading, the per-connection request loop,
-//! and the client helpers (`request`, `request_with_timeout`, [`Client`]).
+//! The wire layer: bounded line framing, the poll(2)-driven event loop
+//! that fronts every connection, and the client helpers (`request`,
+//! `request_with_timeout`, [`Client`]).
+//!
+//! One I/O thread owns every socket. Requests are framed by
+//! [`LineFramer`] (1 MiB cap with drain-to-newline resync), screening
+//! verbs are handed to the worker pool tagged with the connection id,
+//! and completions plus subscription pushes come back through the
+//! [`IoHub`](super::handlers::IoHub) queue, woken via a pipe. Responses
+//! may complete out of order across pipelined worker-pool verbs — the
+//! `req_id` echo is the correlation key.
+//!
+//! Backpressure is a bounded write buffer: push events are shed once a
+//! connection's buffer crosses the high-water mark, and a consumer so
+//! slow that even responses would exceed the mark plus two max-size
+//! lines is disconnected outright.
 
-use super::handlers::{enqueue_screen, handle_and_persist, Shared};
+use super::handlers::{enqueue_screen, handle_and_persist, Enqueued, IoMsg, Shared};
+use super::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
 use super::MAX_LINE_BYTES;
-use crate::proto::{Envelope, Request, Response};
+use crate::proto::{Envelope, PushEvent, Request, Response};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long a shutdown drains in-flight jobs and unflushed buffers
+/// before the loop exits regardless.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(2);
 
 pub(crate) enum LineOutcome {
     /// A complete line is in the buffer (newline included if present).
@@ -61,79 +82,500 @@ fn drain_line<R: BufRead>(reader: &mut R) -> io::Result<()> {
     }
 }
 
-pub(crate) fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_read_timeout(shared.read_timeout);
-    let _ = stream.set_write_timeout(shared.write_timeout);
-    let mut reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return,
-    };
-    let mut writer = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    // A read error covers timeouts (idle connections get reaped) and
-    // resets; nothing to answer on a broken socket, so the loop just ends.
-    while let Ok(outcome) = read_bounded_line(&mut reader, &mut buf, shared.max_line_bytes) {
-        let mut is_shutdown = false;
-        let response = match outcome {
-            LineOutcome::Eof => break,
-            LineOutcome::Oversized => Response::error(format!(
-                "request line exceeds the {}-byte cap",
-                shared.max_line_bytes
-            )),
-            LineOutcome::Line => {
-                let text = String::from_utf8_lossy(&buf);
-                let line = text.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<Envelope>(line) {
-                    Err(e) => Response::error(format!("bad request: {e}")),
-                    Ok(Envelope { req_id, request }) => {
-                        is_shutdown = matches!(request, Request::Shutdown);
-                        let mut response = match request {
-                            req @ (Request::Screen | Request::Delta | Request::Advance { .. }) => {
-                                // Screening runs on the worker pool against
-                                // an enqueue-time snapshot; the bounded
-                                // queue sheds load explicitly.
-                                enqueue_screen(&shared, req, req_id.clone())
-                            }
-                            Request::Cancel { id } => {
-                                let hit = shared.registry.cancel(&id);
-                                shared.metrics.lock().count_request("CANCEL", hit);
-                                if hit {
-                                    Response::ack()
-                                } else {
-                                    Response::error(format!(
-                                        "no queued or running job with req_id \"{id}\""
-                                    ))
-                                }
-                            }
-                            req => {
-                                if is_shutdown {
-                                    shared.shutdown.store(true, Ordering::SeqCst);
-                                }
-                                handle_and_persist(&shared, &req)
-                            }
-                        };
-                        response.req_id = req_id;
-                        response
+/// A framed unit from the inbound byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Frame {
+    Line(Vec<u8>),
+    /// A line crossed the cap; one error is owed and the stream resyncs
+    /// at the next newline.
+    Oversized,
+}
+
+/// Incremental newline framer with the same cap-and-resync semantics as
+/// [`read_bounded_line`], but fed from nonblocking reads: an oversized
+/// line is reported once, immediately, and everything up to its newline
+/// is discarded.
+pub(crate) struct LineFramer {
+    buf: Vec<u8>,
+    max: usize,
+    resync: bool,
+}
+
+impl LineFramer {
+    pub(crate) fn new(max: usize) -> LineFramer {
+        LineFramer {
+            buf: Vec::new(),
+            max,
+            resync: false,
+        }
+    }
+
+    /// Feed freshly read bytes; complete frames append to `frames`.
+    pub(crate) fn feed(&mut self, mut data: &[u8], frames: &mut Vec<Frame>) {
+        while !data.is_empty() {
+            match data.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if self.resync {
+                        self.resync = false;
+                    } else {
+                        self.buf.extend_from_slice(&data[..pos]);
+                        if self.buf.len() > self.max {
+                            frames.push(Frame::Oversized);
+                            self.buf.clear();
+                        } else {
+                            frames.push(Frame::Line(std::mem::take(&mut self.buf)));
+                        }
                     }
+                    data = &data[pos + 1..];
+                }
+                None => {
+                    if !self.resync {
+                        self.buf.extend_from_slice(data);
+                        if self.buf.len() > self.max {
+                            frames.push(Frame::Oversized);
+                            self.buf.clear();
+                            self.resync = true;
+                        }
+                    }
+                    data = &[];
                 }
             }
+        }
+    }
+}
+
+/// Outbound byte queue for one connection: appended lines, a cursor for
+/// partial nonblocking writes, and a high-water peak for the metrics
+/// histogram.
+pub(crate) struct WriteQueue {
+    buf: Vec<u8>,
+    start: usize,
+    peak: usize,
+}
+
+impl WriteQueue {
+    pub(crate) fn new() -> WriteQueue {
+        WriteQueue {
+            buf: Vec::new(),
+            start: 0,
+            peak: 0,
+        }
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Largest backlog this queue ever held, in bytes.
+    pub(crate) fn peak(&self) -> usize {
+        self.peak
+    }
+
+    pub(crate) fn push_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        self.peak = self.peak.max(self.pending());
+    }
+
+    /// Write as much as the sink takes right now. `Ok(true)` means the
+    /// queue drained; `Ok(false)` means the sink would block.
+    pub(crate) fn flush<W: Write>(&mut self, sink: &mut W) -> io::Result<bool> {
+        while self.start < self.buf.len() {
+            match sink.write(&self.buf[self.start..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Reclaim the consumed prefix once it dominates.
+                    if self.start >= 4096 && self.start * 2 >= self.buf.len() {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.start = 0;
+        Ok(true)
+    }
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    framer: LineFramer,
+    out: WriteQueue,
+    /// Worker-pool jobs whose responses are still owed to this client.
+    inflight: usize,
+    /// Client half-closed its write side; finish flushing, then close.
+    eof: bool,
+    /// Fatal: drop the connection without further flushing.
+    dead: bool,
+    last_read: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_line_bytes: usize) -> Conn {
+        Conn {
+            stream,
+            framer: LineFramer::new(max_line_bytes),
+            out: WriteQueue::new(),
+            inflight: 0,
+            eof: false,
+            dead: false,
+            last_read: Instant::now(),
+        }
+    }
+}
+
+/// The single-threaded event loop behind [`Server::run`](super::Server::run):
+/// nonblocking accept, per-connection framing and dispatch, worker
+/// completions and subscription pushes via the wake pipe, and a bounded
+/// drain once the shutdown flag is raised.
+pub(crate) fn event_loop(listener: &TcpListener, wake_rx: &UnixStream, shared: &Shared) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let _ = wake_rx.set_nonblocking(true);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut next_id: u64 = 1;
+    let mut drain_until: Option<Instant> = None;
+
+    loop {
+        let accepting = drain_until.is_none();
+        fds.clear();
+        order.clear();
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+        if accepting {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+        }
+        let base = fds.len();
+        for (&id, conn) in &conns {
+            let mut events = 0i16;
+            if accepting && !conn.eof && !conn.dead {
+                events |= POLLIN;
+            }
+            if !conn.dead && conn.out.pending() > 0 {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            order.push(id);
+        }
+
+        // Ticks are only needed for idle reaping and the drain deadline;
+        // everything else arrives through the wake pipe or a socket.
+        let timeout_ms = if drain_until.is_some() {
+            50
+        } else if shared.read_timeout.is_some() {
+            250
+        } else {
+            60_000
         };
-        let mut payload = match serde_json::to_string(&response) {
-            Ok(p) => p,
-            Err(_) => r#"{"ok":false,"error":"response serialization failed"}"#.to_string(),
-        };
-        payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+        if let Err(err) = poll_fds(&mut fds, timeout_ms) {
+            eprintln!("kessler-service: poll failed: {err}");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        if fds[0].readable() {
+            drain_wake(wake_rx);
+        }
+        if accepting && fds[1].readable() {
+            accept_new(listener, shared, &mut conns, &mut next_id);
+        }
+        for (i, &id) in order.iter().enumerate() {
+            if !fds[base + i].readable() {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            if accepting && !conn.eof && !conn.dead {
+                service_reads(shared, id, conn, &mut scratch);
+            }
+        }
+
+        route_io(shared, &mut conns);
+
+        // Opportunistic flush: nonblocking writes usually complete
+        // immediately; POLLOUT above only gates the wakeup.
+        for conn in conns.values_mut() {
+            if !conn.dead && conn.out.pending() > 0 && conn.out.flush(&mut conn.stream).is_err() {
+                conn.dead = true;
+            }
+        }
+
+        if drain_until.is_none() && shared.shutdown.load(Ordering::SeqCst) {
+            drain_until = Some(Instant::now() + SHUTDOWN_DRAIN);
+        }
+
+        let now = Instant::now();
+        let mut doomed: Vec<u64> = Vec::new();
+        for (&id, conn) in &conns {
+            let drained = conn.out.pending() == 0 && conn.inflight == 0;
+            if conn.dead || (conn.eof && drained) {
+                doomed.push(id);
+            } else if let Some(idle) = shared.read_timeout {
+                // Subscribers legitimately sit idle waiting for pushes;
+                // everyone else gets reaped like the blocking server did.
+                if drain_until.is_none()
+                    && drained
+                    && now.duration_since(conn.last_read) > idle
+                    && !shared.subs.has_subs(id)
+                {
+                    doomed.push(id);
+                }
+            }
+        }
+        for id in doomed {
+            close_conn(shared, &mut conns, id);
+        }
+
+        if let Some(deadline) = drain_until {
+            let busy = conns
+                .values()
+                .any(|c| !c.dead && (c.out.pending() > 0 || c.inflight > 0));
+            if !busy || now >= deadline {
+                break;
+            }
+        }
+    }
+
+    let remaining: Vec<u64> = conns.keys().copied().collect();
+    for id in remaining {
+        close_conn(shared, &mut conns, id);
+    }
+}
+
+fn drain_wake(wake_rx: &UnixStream) {
+    let mut sink = [0u8; 256];
+    let mut reader: &UnixStream = wake_rx;
+    while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn accept_new(
+    listener: &TcpListener,
+    shared: &Shared,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let id = *next_id;
+                *next_id += 1;
+                conns.insert(id, Conn::new(stream, shared.max_line_bytes));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Read everything the socket has, frame it, and dispatch the frames.
+fn service_reads(shared: &Shared, id: u64, conn: &mut Conn, scratch: &mut [u8]) {
+    let mut frames: Vec<Frame> = Vec::new();
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_read = Instant::now();
+                conn.framer.feed(&scratch[..n], &mut frames);
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    for frame in frames {
+        // Once shutdown is requested, later-pipelined requests are not
+        // started; their connection closes after the drain.
+        if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        if is_shutdown {
-            // Poke the accept loop so it observes the shutdown flag.
-            let _ = TcpStream::connect(shared.addr);
+        handle_frame(shared, id, conn, frame);
+        if conn.dead {
             break;
         }
+    }
+}
+
+fn handle_frame(shared: &Shared, id: u64, conn: &mut Conn, frame: Frame) {
+    let response = match frame {
+        Frame::Oversized => Response::error(format!(
+            "request line exceeds the {}-byte cap",
+            shared.max_line_bytes
+        )),
+        Frame::Line(bytes) => {
+            // Strict UTF-8: lossy U+FFFD replacement could silently turn a
+            // string field (satellite name, req_id) into a different value
+            // that still parses and gets applied.
+            let Ok(text) = std::str::from_utf8(&bytes) else {
+                queue_response(
+                    shared,
+                    conn,
+                    &Response::error("bad request: request line is not valid UTF-8"),
+                );
+                return;
+            };
+            let line = text.trim();
+            if line.is_empty() {
+                return;
+            }
+            match serde_json::from_str::<Envelope>(line) {
+                Err(e) => Response::error(format!("bad request: {e}")),
+                Ok(Envelope { req_id, request }) => {
+                    let mut response = match request {
+                        req @ (Request::Screen | Request::Delta | Request::Advance { .. }) => {
+                            // Screening runs on the worker pool against an
+                            // enqueue-time snapshot; the response comes back
+                            // through the io queue, possibly out of order.
+                            match enqueue_screen(shared, req, req_id.clone(), id) {
+                                Enqueued::Queued => {
+                                    conn.inflight += 1;
+                                    return;
+                                }
+                                Enqueued::Done(resp) => *resp,
+                            }
+                        }
+                        Request::Cancel { id: job } => {
+                            let hit = shared.registry.cancel(&job);
+                            shared.metrics.lock().count_request("CANCEL", hit);
+                            if hit {
+                                Response::ack()
+                            } else {
+                                Response::error(format!(
+                                    "no queued or running job with req_id \"{job}\""
+                                ))
+                            }
+                        }
+                        Request::Subscribe { assets, all } => {
+                            let outcome =
+                                shared.subs.subscribe(id, req_id.as_deref(), &assets, all);
+                            shared
+                                .metrics
+                                .lock()
+                                .count_request("SUBSCRIBE", outcome.is_ok());
+                            match outcome {
+                                Ok(ack) => Response::with_subscription(ack),
+                                Err(e) => Response::error(e),
+                            }
+                        }
+                        Request::Unsubscribe { sub_id } => {
+                            let outcome = shared.subs.unsubscribe(id, sub_id.as_deref());
+                            shared
+                                .metrics
+                                .lock()
+                                .count_request("UNSUBSCRIBE", outcome.is_ok());
+                            match outcome {
+                                Ok(ack) => Response::with_subscription(ack),
+                                Err(e) => Response::error(e),
+                            }
+                        }
+                        req => {
+                            if matches!(req, Request::Shutdown) {
+                                shared.shutdown.store(true, Ordering::SeqCst);
+                            }
+                            handle_and_persist(shared, &req)
+                        }
+                    };
+                    response.req_id = req_id;
+                    response
+                }
+            }
+        }
+    };
+    queue_response(shared, conn, &response);
+}
+
+fn queue_response(shared: &Shared, conn: &mut Conn, response: &Response) {
+    let line = serde_json::to_string(response)
+        .unwrap_or_else(|_| r#"{"ok":false,"error":"response serialization failed"}"#.to_string());
+    queue_response_line(shared, conn, &line);
+}
+
+/// Responses always queue — unless the consumer is so far behind that the
+/// buffer would cross the high-water mark plus two max-size lines, at
+/// which point it is disconnected as unrecoverable.
+fn queue_response_line(shared: &Shared, conn: &mut Conn, line: &str) {
+    let hard_cap = shared.write_highwater + 2 * shared.max_line_bytes;
+    if conn.out.pending() + line.len() + 1 > hard_cap {
+        shared.metrics.lock().note_slow_consumer_disconnect();
+        conn.dead = true;
+        return;
+    }
+    conn.out.push_line(line);
+}
+
+/// Deliver worker completions and subscription pushes queued by other
+/// threads. Push events are best-effort: past the high-water mark (or to
+/// a vanished connection) they are shed and counted, never buffered
+/// without bound.
+fn route_io(shared: &Shared, conns: &mut HashMap<u64, Conn>) {
+    let msgs = shared.io.drain();
+    if msgs.is_empty() {
+        return;
+    }
+    let mut pushed = 0u64;
+    let mut dropped = 0u64;
+    for msg in msgs {
+        match msg {
+            IoMsg::Respond { conn: id, line } => {
+                let Some(conn) = conns.get_mut(&id) else {
+                    continue;
+                };
+                conn.inflight = conn.inflight.saturating_sub(1);
+                if !conn.dead {
+                    queue_response_line(shared, conn, &line);
+                }
+            }
+            IoMsg::Push { conn: id, line } => {
+                match conns.get_mut(&id) {
+                    Some(conn)
+                        if !conn.dead
+                            // +1 for the newline the push line will carry.
+                            && conn.out.pending() + line.len() < shared.write_highwater =>
+                    {
+                        conn.out.push_line(&line);
+                        pushed += 1;
+                    }
+                    _ => dropped += 1,
+                }
+            }
+        }
+    }
+    if pushed > 0 || dropped > 0 {
+        let mut metrics = shared.metrics.lock();
+        metrics.note_events_pushed(pushed);
+        metrics.note_events_dropped(dropped);
+    }
+}
+
+fn close_conn(shared: &Shared, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if let Some(conn) = conns.remove(&id) {
+        shared.subs.drop_conn(id);
+        shared
+            .metrics
+            .lock()
+            .record_write_buffer_peak(conn.out.peak() as u64);
     }
 }
 
@@ -143,35 +585,77 @@ pub fn request<A: ToSocketAddrs>(addr: A, req: &Request) -> io::Result<Response>
     client.send(req)
 }
 
-/// One-shot request/response with a deadline on connect, write, and read.
+/// One-shot request/response with a single overall deadline covering
+/// address resolution fan-out, connect, write, and read.
 pub fn request_with_timeout<A: ToSocketAddrs>(
     addr: A,
     req: &Request,
     timeout: Duration,
 ) -> io::Result<Response> {
-    let mut last_err = None;
-    for candidate in addr.to_socket_addrs()? {
-        match TcpStream::connect_timeout(&candidate, timeout) {
-            Ok(stream) => {
-                stream.set_read_timeout(Some(timeout))?;
-                stream.set_write_timeout(Some(timeout))?;
-                let reader = BufReader::new(stream.try_clone()?);
-                let mut client = Client {
-                    reader,
-                    writer: stream,
-                };
-                return client.send(req);
-            }
+    let deadline = Instant::now() + timeout;
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let stream = connect_by_deadline(&addrs, deadline)?;
+    let budget = deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(1));
+    stream.set_read_timeout(Some(budget))?;
+    stream.set_write_timeout(Some(budget))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut client = Client {
+        reader,
+        writer: stream,
+        events: VecDeque::new(),
+    };
+    client.send(req)
+}
+
+/// Try each candidate address under one shared deadline. The budget
+/// shrinks as candidates fail, so a multi-A-record hostname cannot block
+/// for candidate-count × timeout.
+pub(crate) fn connect_by_deadline(
+    addrs: &[SocketAddr],
+    deadline: Instant,
+) -> io::Result<TcpStream> {
+    connect_with(addrs, deadline, TcpStream::connect_timeout)
+}
+
+/// The deadline loop behind [`connect_by_deadline`], with the dial
+/// injectable so the budget arithmetic is testable without a network
+/// that honors timeouts.
+fn connect_with<T>(
+    addrs: &[SocketAddr],
+    deadline: Instant,
+    mut dial: impl FnMut(&SocketAddr, Duration) -> io::Result<T>,
+) -> io::Result<T> {
+    let mut last_err: Option<io::Error> = None;
+    for candidate in addrs {
+        let Some(budget) = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                match last_err {
+                    Some(err) => format!("connect deadline exhausted; last error: {err}"),
+                    None => "connect deadline exhausted".to_string(),
+                },
+            ));
+        };
+        match dial(candidate, budget) {
+            Ok(stream) => return Ok(stream),
             Err(err) => last_err = Some(err),
         }
     }
     Err(last_err.unwrap_or_else(|| io::Error::other("no addresses to connect to")))
 }
 
-/// A persistent JSON-lines client connection.
+/// A persistent JSON-lines client connection. Push events that arrive
+/// interleaved with responses (on subscribed connections) are queued and
+/// handed out via [`Client::next_event`].
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    events: VecDeque<PushEvent>,
 }
 
 impl Client {
@@ -181,6 +665,7 @@ impl Client {
         Ok(Client {
             reader,
             writer: stream,
+            events: VecDeque::new(),
         })
     }
 
@@ -211,7 +696,7 @@ impl Client {
 
     /// Send a raw line (not necessarily valid JSON) and read one response.
     /// Lines over [`MAX_LINE_BYTES`] are refused locally — the server
-    /// would reject them anyway.
+    /// would reject them anyway. Push events arriving first are queued.
     pub fn send_line(&mut self, line: &str) -> io::Result<Response> {
         if line.len() > MAX_LINE_BYTES {
             return Err(io::Error::new(
@@ -225,14 +710,200 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(io::Error::new(
+        loop {
+            let reply = self.read_wire_line()?;
+            match serde_json::from_str::<Response>(&reply) {
+                Ok(response) => return Ok(response),
+                Err(_) => match serde_json::from_str::<PushEvent>(&reply) {
+                    Ok(event) => self.events.push_back(event),
+                    Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+                },
+            }
+        }
+    }
+
+    /// Next push event: queued ones first, otherwise block on the socket
+    /// (honouring any read deadline from [`Client::set_timeouts`]).
+    pub fn next_event(&mut self) -> io::Result<PushEvent> {
+        if let Some(event) = self.events.pop_front() {
+            return Ok(event);
+        }
+        let line = self.read_wire_line()?;
+        serde_json::from_str::<PushEvent>(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Push events already received and waiting in the local queue.
+    pub fn queued_events(&self) -> usize {
+        self.events.len()
+    }
+
+    fn read_wire_line(&mut self) -> io::Result<String> {
+        let mut buf = Vec::new();
+        match read_bounded_line(&mut self.reader, &mut buf, MAX_LINE_BYTES)? {
+            LineOutcome::Eof => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
+            )),
+            LineOutcome::Oversized => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "server line exceeds the protocol cap",
+            )),
+            LineOutcome::Line => {
+                String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
         }
-        serde_json::from_str(&reply).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn lines(frames: &[Frame]) -> Vec<String> {
+        frames
+            .iter()
+            .map(|f| match f {
+                Frame::Line(bytes) => String::from_utf8(bytes.clone()).unwrap(),
+                Frame::Oversized => "<oversized>".to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn framer_splits_pipelined_lines_across_reads() {
+        let mut framer = LineFramer::new(64);
+        let mut frames = Vec::new();
+        framer.feed(b"one\ntw", &mut frames);
+        framer.feed(b"o\nthree\n", &mut frames);
+        assert_eq!(lines(&frames), ["one", "two", "three"]);
+    }
+
+    #[test]
+    fn framer_reports_oversized_once_and_resyncs() {
+        let mut framer = LineFramer::new(8);
+        let mut frames = Vec::new();
+        // Crosses the cap mid-read: reported immediately, once.
+        framer.feed(b"0123456789", &mut frames);
+        assert_eq!(frames, [Frame::Oversized]);
+        // The rest of the doomed line is discarded silently...
+        framer.feed(b"garbage-without-newline", &mut frames);
+        assert_eq!(frames.len(), 1);
+        // ...up to its newline, after which framing resumes.
+        framer.feed(b"tail\nok\n", &mut frames);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1], Frame::Line(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn framer_cap_is_exclusive_of_the_newline() {
+        let mut framer = LineFramer::new(8);
+        let mut frames = Vec::new();
+        framer.feed(b"12345678\n123456789\n12\n", &mut frames);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], Frame::Line(b"12345678".to_vec()));
+        assert_eq!(frames[1], Frame::Oversized);
+        assert_eq!(frames[2], Frame::Line(b"12".to_vec()));
+    }
+
+    /// A sink that accepts a fixed number of bytes, then would block.
+    struct Throttled {
+        accepted: Vec<u8>,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.budget);
+            self.accepted.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_tracks_partial_writes_and_peak() {
+        let mut queue = WriteQueue::new();
+        queue.push_line("hello");
+        queue.push_line("world");
+        assert_eq!(queue.pending(), 12);
+        assert_eq!(queue.peak(), 12);
+
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            budget: 7,
+        };
+        assert!(!queue.flush(&mut sink).unwrap());
+        assert_eq!(queue.pending(), 5);
+        // Peak reflects the high-water mark, not the current backlog.
+        assert_eq!(queue.peak(), 12);
+
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            budget: 100,
+        };
+        assert!(queue.flush(&mut sink).unwrap());
+        assert_eq!(sink.accepted, b"orld\n");
+        assert_eq!(queue.pending(), 0);
+        assert_eq!(queue.peak(), 12);
+    }
+
+    #[test]
+    fn connect_deadline_is_shared_across_candidates() {
+        // A dial that burns 40ms per attempt and never connects stands in
+        // for a black-holed address (real unrouted targets are unreliable
+        // behind NATs and transparent proxies). The shared deadline must
+        // cut the loop off after ~one budget, where the old per-candidate
+        // logic allowed candidate-count × budget.
+        let addrs: Vec<SocketAddr> = (1..=16)
+            .map(|i| format!("192.0.2.{i}:9").parse().unwrap())
+            .collect();
+        let budget = Duration::from_millis(100);
+        let deadline = Instant::now() + budget;
+        let mut budgets: Vec<Duration> = Vec::new();
+        let err = connect_with(&addrs, deadline, |_, remaining| -> io::Result<TcpStream> {
+            budgets.push(remaining);
+            std::thread::sleep(Duration::from_millis(40).min(remaining));
+            Err(io::ErrorKind::TimedOut.into())
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            budgets.len() < addrs.len(),
+            "deadline should stop the loop long before all {} candidates; dialed {}",
+            addrs.len(),
+            budgets.len()
+        );
+        // Every attempt sees only what is left of the one shared budget,
+        // strictly shrinking as earlier candidates consume it.
+        assert!(budgets.iter().all(|b| *b <= budget), "budgets {budgets:?}");
+        assert!(
+            budgets.windows(2).all(|w| w[1] < w[0]),
+            "budgets {budgets:?}"
+        );
+    }
+
+    #[test]
+    fn connect_succeeds_within_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_by_deadline(&[addr], Instant::now() + Duration::from_secs(5)).unwrap();
+        assert_eq!(stream.peer_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn connect_refuses_an_exhausted_deadline_without_dialing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let err =
+            connect_by_deadline(&[addr], Instant::now() - Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 }

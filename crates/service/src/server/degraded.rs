@@ -11,7 +11,8 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Degraded-mode flag plus the condvar that wakes the persistence probe.
-/// Lock order: after `state` and `persist`, before `metrics`. Holders
+/// Lock order: after `state` and `persist`, before `subs`, `io.queue`,
+/// and `metrics`. Holders
 /// never acquire another lock while holding `inner` (enter/exit drop it
 /// before touching metrics), so it cannot participate in a cycle.
 pub(crate) struct Health {

@@ -1,9 +1,11 @@
-//! The daemon's request-handling core: the [`Shared`] hub the connection
-//! threads, workers, and probes all hang off; the WAL-before-apply gate;
-//! the inline mutation path; the screening enqueue/commit path; and the
-//! supervised worker pool.
+//! The daemon's request-handling core: the [`Shared`] hub the I/O event
+//! loop, workers, and probes all hang off; the WAL-before-apply gate;
+//! the inline mutation path; the screening enqueue/commit path; the
+//! [`IoHub`] queue that carries worker completions and subscription
+//! pushes back to the event loop; and the supervised worker pool.
 
 use super::degraded::Health;
+use super::subs::SubHub;
 use super::ServiceState;
 use crate::error::ServiceError;
 use crate::exec::{run_screen_job, CancelRegistry, ScreenJob, ScreenKind, ScreenOutput};
@@ -11,10 +13,12 @@ use crate::fault::FaultPlan;
 use crate::metrics::MetricsRegistry;
 use crate::persist::Persister;
 use crate::proto::{Request, Response, ScreenSummary};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use kessler_core::CancelToken;
 use parking_lot::Mutex;
+use std::io::Write;
 use std::net::SocketAddr;
+use std::os::unix::net::UnixStream;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -22,19 +26,76 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// A screening request captured for the worker pool: the immutable job,
-/// the client's reply slot, and the cancellation bookkeeping.
+/// the connection owed the response, and the cancellation bookkeeping.
 pub(crate) struct ScreenTask {
     pub(crate) request: Request,
     pub(crate) job: ScreenJob,
-    pub(crate) reply: Sender<Response>,
+    /// Event-loop connection id the response is owed to.
+    pub(crate) conn: u64,
+    pub(crate) req_id: Option<String>,
     pub(crate) token: CancelToken,
     pub(crate) seq: u64,
 }
 
-/// Work the connection threads hand to the screening workers.
+/// Work the event loop hands to the screening workers.
 pub(crate) enum Job {
     Screen(Box<ScreenTask>),
     Stop,
+}
+
+/// Messages other threads hand to the I/O event loop.
+pub(crate) enum IoMsg {
+    /// A serialized response owed to connection `conn`; always delivered
+    /// unless the consumer is hopelessly behind (then it's disconnected).
+    Respond { conn: u64, line: String },
+    /// A serialized push event for `conn`; shed past the write-buffer
+    /// high-water mark rather than buffered without bound.
+    Push { conn: u64, line: String },
+}
+
+/// The queue into the event loop plus the pipe that wakes its poll.
+/// Lock order: after `subs`, before `metrics`.
+pub(crate) struct IoHub {
+    queue: Mutex<Vec<IoMsg>>,
+    wake: UnixStream,
+}
+
+impl IoHub {
+    pub(crate) fn new(wake: UnixStream) -> IoHub {
+        IoHub {
+            queue: Mutex::new(Vec::new()),
+            wake,
+        }
+    }
+
+    /// Serialize and enqueue a worker's response for `conn`.
+    pub(crate) fn respond(&self, conn: u64, response: &Response) {
+        let line = serde_json::to_string(response).unwrap_or_else(|_| {
+            r#"{"ok":false,"error":"response serialization failed"}"#.to_string()
+        });
+        self.queue.lock().push(IoMsg::Respond { conn, line });
+        self.wake();
+    }
+
+    /// Enqueue a batch of push events (no-op when empty).
+    pub(crate) fn push_events(&self, msgs: Vec<IoMsg>) {
+        if msgs.is_empty() {
+            return;
+        }
+        self.queue.lock().extend(msgs);
+        self.wake();
+    }
+
+    /// Take everything queued — the event loop's side.
+    pub(crate) fn drain(&self) -> Vec<IoMsg> {
+        std::mem::take(&mut *self.queue.lock())
+    }
+
+    /// Nudge the poll loop. A full (would-block) pipe is fine: a wake is
+    /// already pending, which is all a wake byte means.
+    fn wake(&self) {
+        let _ = (&self.wake).write(&[1]);
+    }
 }
 
 pub(crate) struct Shared {
@@ -42,18 +103,26 @@ pub(crate) struct Shared {
     pub(crate) persist: Option<Mutex<Persister>>,
     /// Operating mode (normal/degraded); see [`Health`] for lock order.
     pub(crate) health: Health,
-    /// Rolling observability counters/histograms. Lock order: always after
-    /// `state` (and `persist`) — the METRICS fast path takes only this.
+    /// Rolling observability counters/histograms. Lock order: always last
+    /// (after `state`, `persist`, `health`, `subs`, and the io queue) —
+    /// the METRICS fast path takes only this.
     pub(crate) metrics: Mutex<MetricsRegistry>,
     /// Live screening jobs' cancel tokens, keyed by req_id for CANCEL.
     pub(crate) registry: CancelRegistry,
+    /// Subscription registry + published-pair baseline for push fan-out.
+    pub(crate) subs: SubHub,
+    /// Worker completions and pushes bound for the event loop.
+    pub(crate) io: IoHub,
     pub(crate) shutdown: AtomicBool,
     pub(crate) jobs: Sender<Job>,
     pub(crate) addr: SocketAddr,
     pub(crate) faults: Arc<FaultPlan>,
     pub(crate) read_timeout: Option<Duration>,
-    pub(crate) write_timeout: Option<Duration>,
     pub(crate) max_line_bytes: usize,
+    /// Per-connection write-buffer high-water mark (bytes): pushes are
+    /// shed above it, and responses disconnect the consumer at the mark
+    /// plus two max-size lines.
+    pub(crate) write_highwater: usize,
 }
 
 impl Shared {
@@ -218,6 +287,22 @@ pub(crate) fn finish_record(
             }
         }
     }
+    if adopted && (response.screen.is_some() || response.advance.is_some()) {
+        // An adopted commit changed the maintained pair set: fan delta
+        // events out to subscribers now, while the state lock still
+        // guarantees the dense→external id translation matches the set.
+        // (subs and the io queue sit before metrics in the lock order.)
+        let epoch = response
+            .screen
+            .as_ref()
+            .map(|s| s.epoch)
+            .unwrap_or_else(|| state.catalog().epoch());
+        let pairs = state.engine.warm_pairs();
+        let msgs = shared
+            .subs
+            .publish(&pairs, state.catalog().ids(), epoch, false);
+        shared.io.push_events(msgs);
+    }
     // Mode is read before the metrics lock: health sits *before* metrics
     // in the lock order.
     let mode = shared.mode_label();
@@ -252,10 +337,14 @@ pub(crate) fn finish_record(
 pub(crate) fn handle_and_persist(shared: &Shared, request: &Request) -> Response {
     if matches!(request, Request::Metrics) {
         // Served entirely at this layer: never touches the state lock,
-        // never enters the WAL.
+        // never enters the WAL. The subscriber gauge is read before the
+        // metrics lock (subs sits earlier in the lock order).
+        let subscribers = shared.subs.active();
         let mut metrics = shared.metrics.lock();
         metrics.count_request(request.kind(), true);
-        return Response::with_metrics(metrics.snapshot());
+        let mut snapshot = metrics.snapshot();
+        snapshot.subscribers = subscribers;
+        return Response::with_metrics(snapshot);
     }
     let state = &mut *shared.state.lock();
     let mut logged = false;
@@ -270,23 +359,42 @@ pub(crate) fn handle_and_persist(shared: &Shared, request: &Request) -> Response
     finish_record(shared, request, state, response, logged)
 }
 
-/// Register, capture, and enqueue one screening request; blocks until its
-/// worker replies. The snapshot is captured *at enqueue time*, so the job
-/// screens the catalog as the client saw it, whatever lands in between.
+/// Outcome of handing a screening verb to the worker pool.
+pub(crate) enum Enqueued {
+    /// Queued: the response reaches the connection later through the io
+    /// queue, tagged with the task's `req_id`.
+    Queued,
+    /// Settled immediately (validation error, degraded, busy, shutdown).
+    /// Boxed: a [`Response`] is two orders of magnitude bigger than the
+    /// empty `Queued` arm this enum usually is.
+    Done(Box<Response>),
+}
+
+impl Enqueued {
+    fn done(response: Response) -> Enqueued {
+        Enqueued::Done(Box::new(response))
+    }
+}
+
+/// Register, capture, and enqueue one screening request without blocking:
+/// the worker answers through the io queue. The snapshot is captured *at
+/// enqueue time*, so the job screens the catalog as the client saw it,
+/// whatever lands in between.
 pub(crate) fn enqueue_screen(
     shared: &Shared,
     request: Request,
     req_id: Option<String>,
-) -> Response {
+    conn: u64,
+) -> Enqueued {
     let kind = match &request {
         Request::Screen => ScreenKind::Full,
         Request::Delta => ScreenKind::Delta,
         Request::Advance { dt } => {
             if !dt.is_finite() || *dt <= 0.0 {
                 shared.metrics.lock().count_request(request.kind(), false);
-                return Response::error(format!(
+                return Enqueued::done(Response::error(format!(
                     "advance dt must be positive and finite, got {dt}"
-                ));
+                )));
             }
             if shared.is_degraded() {
                 // ADVANCE only means anything if it mutates the catalog, so
@@ -294,7 +402,9 @@ pub(crate) fn enqueue_screen(
                 // worker on a propagation that could never commit.
                 shared.metrics.lock().count_request(request.kind(), false);
                 let reason = shared.degraded_reason();
-                return Response::rejected(ServiceError::Degraded { reason }.to_string());
+                return Enqueued::done(Response::rejected(
+                    ServiceError::Degraded { reason }.to_string(),
+                ));
             }
             ScreenKind::Advance { dt: *dt }
         }
@@ -304,7 +414,7 @@ pub(crate) fn enqueue_screen(
         Ok(registered) => registered,
         Err(err) => {
             shared.metrics.lock().count_request(request.kind(), false);
-            return Response::error(err.to_string());
+            return Enqueued::done(Response::error(err.to_string()));
         }
     };
     let capture_started = Instant::now();
@@ -313,11 +423,11 @@ pub(crate) fn enqueue_screen(
         .metrics
         .lock()
         .record_snapshot_build(capture_started.elapsed());
-    let (reply_tx, reply_rx) = bounded(1);
     let task = ScreenTask {
         request,
         job,
-        reply: reply_tx,
+        conn,
+        req_id,
         token,
         seq,
     };
@@ -329,17 +439,17 @@ pub(crate) fn enqueue_screen(
                 .metrics
                 .lock()
                 .note_queue_depth(shared.jobs.len().max(1));
-            reply_rx
-                .recv()
-                .unwrap_or_else(|_| Response::error("screening worker unavailable, retry"))
+            Enqueued::Queued
         }
         Err(TrySendError::Full(_)) => {
             shared.registry.unregister(seq);
-            Response::rejected("server busy: screening queue is full, retry later")
+            Enqueued::done(Response::rejected(
+                "server busy: screening queue is full, retry later",
+            ))
         }
         Err(TrySendError::Disconnected(_)) => {
             shared.registry.unregister(seq);
-            Response::rejected("server is shutting down")
+            Enqueued::done(Response::rejected("server is shutting down"))
         }
     }
 }
@@ -368,10 +478,21 @@ pub(crate) fn commit_with_wal(
     if adopts {
         if let Some(rejection) = ensure_logged(shared, request) {
             return match output {
-                ScreenOutput::Screen { report, .. } => {
+                ScreenOutput::Screen { report, pairs, .. } => {
                     let mut summary = ScreenSummary::from_report(&report);
                     summary.epoch = job.epoch();
                     summary.ephemeral = true;
+                    // Ephemeral results are served but never adopted; push
+                    // them to subscribers too, tagged, as long as the
+                    // dense→external translation is still exact (degraded
+                    // mode rejects mutations, so the epoch normally holds).
+                    if state.catalog().epoch() == job.epoch() {
+                        let msgs =
+                            shared
+                                .subs
+                                .publish(&pairs, state.catalog().ids(), job.epoch(), true);
+                        shared.io.push_events(msgs);
+                    }
                     finish_record(
                         shared,
                         request,
@@ -415,6 +536,36 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Owed-response guard: exactly one response reaches the client's
+/// connection per dequeued task, even if the worker thread dies mid-job
+/// (fault injection, un-caught panic) — the drop handler then answers
+/// with the same "worker unavailable" error the old blocking reply
+/// channel produced when its sender was dropped.
+struct Reply<'a> {
+    shared: &'a Shared,
+    conn: u64,
+    req_id: Option<String>,
+    sent: bool,
+}
+
+impl Reply<'_> {
+    fn send(mut self, mut response: Response) {
+        response.req_id = self.req_id.take();
+        self.shared.io.respond(self.conn, &response);
+        self.sent = true;
+    }
+}
+
+impl Drop for Reply<'_> {
+    fn drop(&mut self) {
+        if !self.sent {
+            let mut response = Response::error("screening worker unavailable, retry");
+            response.req_id = self.req_id.take();
+            self.shared.io.respond(self.conn, &response);
+        }
+    }
+}
+
 /// One screening worker: drains jobs, runs each against its captured
 /// snapshot (lock-free), commits the result under the state lock, and
 /// isolates panics inside `catch_unwind` so a panicking screen answers
@@ -426,14 +577,22 @@ pub(crate) fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
                 let ScreenTask {
                     request,
                     job,
-                    reply,
+                    conn,
+                    req_id,
                     token,
                     seq,
                 } = *task;
+                let reply = Reply {
+                    shared,
+                    conn,
+                    req_id,
+                    sent: false,
+                };
                 if shared.faults.take_kill_worker() {
                     // Outside the guard: the thread dies and the supervisor
                     // must respawn it. Unregister first so the req_id is
-                    // not blocked forever.
+                    // not blocked forever; `reply` unwinds into the
+                    // "unavailable" answer.
                     shared.registry.unregister(seq);
                     panic!("fault injection: kill worker");
                 }
@@ -444,7 +603,7 @@ pub(crate) fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
                     metrics.note_cancelled();
                     metrics.count_request(request.kind(), false);
                     drop(metrics);
-                    let _ = reply.send(Response::error("cancelled while queued"));
+                    reply.send(Response::error("cancelled while queued"));
                     continue;
                 }
                 let started = Instant::now();
@@ -474,7 +633,7 @@ pub(crate) fn worker_loop(shared: &Shared, jobs: &Receiver<Job>, worker: &str) {
                     .lock()
                     .record_worker_job(worker, started.elapsed());
                 shared.registry.unregister(seq);
-                let _ = reply.send(response);
+                reply.send(response);
             }
             Job::Stop => break,
         }

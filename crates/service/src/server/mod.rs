@@ -18,13 +18,21 @@
 //!   [`kessler_core::CancelToken`] registered in a [`CancelRegistry`];
 //!   `CANCEL <req_id>` trips it from any connection, aborting a queued job
 //!   outright or an in-flight one at its next phase boundary.
-//! - **Protocol**: a thread per connection parses [`Envelope`]s — a
-//!   request plus an optional client-supplied `req_id`, echoed on the
-//!   response and usable as the CANCEL handle.
+//! - **Protocol**: a single poll(2)-driven I/O thread owns every
+//!   connection — nonblocking accept, per-connection read/write buffers
+//!   with the line cap and resync semantics, pipelined requests whose
+//!   responses (tagged with the echoed `req_id`) may complete out of
+//!   order for worker-pool verbs, and bounded write buffers that shed
+//!   push events (and ultimately slow consumers) at a high-water mark.
+//!   `SUBSCRIBE` registers a per-connection asset filter; every adopted
+//!   screen commit diffs the maintained pair set and pushes
+//!   `new`/`updated`/`retired` conjunction events to matching
+//!   subscribers (tagged `ephemeral` while degraded).
 //!
 //! The implementation is split across focused submodules:
-//! [`conn`](self) holds the wire layer (bounded line reads, the
-//! per-connection loop, the client helpers), `handlers` the WAL-gated
+//! [`conn`](self) holds the wire layer (line framing, the poll event
+//! loop, the client helpers), `poll` the raw poll(2) binding, `subs` the
+//! subscription hub and pair-diff fan-out, `handlers` the WAL-gated
 //! request paths and the worker pool, and `degraded` the read-only mode
 //! and its recovery probe. This file owns the state machine and the
 //! server lifecycle.
@@ -61,6 +69,8 @@
 mod conn;
 mod degraded;
 mod handlers;
+mod poll;
+mod subs;
 
 pub use conn::{request, request_with_timeout, Client};
 
@@ -78,16 +88,20 @@ use crate::proto::{
 use crate::shard::{ShardMap, ShardSpec};
 use crossbeam::channel::bounded;
 use degraded::{spawn_persist_probe, Health, HealthInner};
-use handlers::{handle_and_persist, spawn_metrics_reporter, spawn_supervised_worker, Job, Shared};
+use handlers::{
+    handle_and_persist, spawn_metrics_reporter, spawn_supervised_worker, IoHub, Job, Shared,
+};
 use kessler_core::{ScreeningConfig, Variant};
 use kessler_orbits::KeplerElements;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeSet;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use subs::SubHub;
 
 /// Hard cap on one request/response line, server- and client-side. A JSON
 /// request is a few hundred bytes; anything near this is garbage or abuse.
@@ -103,12 +117,20 @@ pub struct ServerOptions {
     pub queue_depth: usize,
     /// Screening worker threads; `0` picks `min(4, cores / 2)` (≥ 1).
     pub workers: usize,
-    /// Per-connection read timeout (`None` = wait forever).
+    /// Per-connection idle timeout (`None` = wait forever): connections
+    /// with no inbound bytes, no job in flight, and no subscription for
+    /// this long are reaped.
     pub read_timeout: Option<Duration>,
-    /// Per-connection write timeout (`None` = wait forever).
+    /// Retained for configuration compatibility; the evented front end
+    /// replaced per-write socket timeouts with the bounded write buffer
+    /// governed by [`ServerOptions::write_highwater`].
     pub write_timeout: Option<Duration>,
     /// Per-line byte cap; oversized lines get an error response.
     pub max_line_bytes: usize,
+    /// Per-connection write-buffer high-water mark in bytes: push events
+    /// are shed above it, and a consumer whose buffered responses exceed
+    /// it by two max-size lines is disconnected.
+    pub write_highwater: usize,
     /// Fault-injection hooks; inert outside the crash-safety tests.
     pub faults: Arc<FaultPlan>,
     /// Log a one-line metrics digest to stderr this often (`None` = off).
@@ -134,6 +156,7 @@ impl Default for ServerOptions {
             read_timeout: Some(Duration::from_secs(120)),
             write_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: MAX_LINE_BYTES,
+            write_highwater: MAX_LINE_BYTES,
             faults: FaultPlan::inert(),
             metrics_every: None,
             variant: Variant::Grid,
@@ -418,9 +441,12 @@ impl ServiceState {
             // lock from capture to commit, so only its dt can fail.
             Request::Screen | Request::Delta => true,
             Request::Advance { dt } => dt.is_finite() && *dt > 0.0,
-            Request::Status | Request::Metrics | Request::Cancel { .. } | Request::Shutdown => {
-                false
-            }
+            Request::Status
+            | Request::Metrics
+            | Request::Cancel { .. }
+            | Request::Subscribe { .. }
+            | Request::Unsubscribe { .. }
+            | Request::Shutdown => false,
         }
     }
 
@@ -521,6 +547,14 @@ impl ServiceState {
             // `handle_and_persist`/the connection layer.
             Request::Metrics => Response::error("METRICS is served by the daemon layer"),
             Request::Cancel { .. } => Response::error("CANCEL is served by the daemon layer"),
+            // Subscriptions are per-connection constructs; only the event
+            // loop knows which connection is asking.
+            Request::Subscribe { .. } => {
+                Response::error("SUBSCRIBE is served by the connection layer")
+            }
+            Request::Unsubscribe { .. } => {
+                Response::error("UNSUBSCRIBE is served by the connection layer")
+            }
             Request::Shutdown => Response::ack(),
         }
     }
@@ -687,6 +721,7 @@ impl ServiceState {
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
+    wake_rx: UnixStream,
     shared: Arc<Shared>,
     supervisors: Vec<JoinHandle<()>>,
     reporter: Option<JoinHandle<()>>,
@@ -771,6 +806,25 @@ impl Server {
         })?;
         let workers = resolve_workers(options.workers);
         let (jobs_tx, jobs_rx) = bounded::<Job>(options.queue_depth.max(1));
+        // The wake pipe: workers and publishers write a byte to nudge the
+        // event loop's poll; the loop drains the read end.
+        let (wake_tx, wake_rx) = UnixStream::pair().map_err(|e| ServiceError::Spawn {
+            what: "event-loop wake pipe",
+            source: e,
+        })?;
+        wake_tx
+            .set_nonblocking(true)
+            .map_err(|e| ServiceError::Spawn {
+                what: "event-loop wake pipe",
+                source: e,
+            })?;
+        let subs = SubHub::new();
+        if state.engine.is_warm() {
+            // Prime the published baseline from the recovered warm set so
+            // a restarted daemon's first screen doesn't replay every
+            // pre-existing pair to subscribers as `new`.
+            subs.prime(&state.engine.warm_pairs(), state.catalog.ids());
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             persist: persister.map(Mutex::new),
@@ -780,13 +834,15 @@ impl Server {
             },
             metrics: Mutex::new(MetricsRegistry::new()),
             registry: CancelRegistry::new(),
+            subs,
+            io: IoHub::new(wake_tx),
             shutdown: AtomicBool::new(false),
             jobs: jobs_tx,
             addr: local,
             faults: options.faults,
             read_timeout: options.read_timeout,
-            write_timeout: options.write_timeout,
             max_line_bytes: options.max_line_bytes.max(1024),
+            write_highwater: options.write_highwater.max(1),
         });
         let mut supervisors = Vec::with_capacity(workers);
         for index in 0..workers {
@@ -811,6 +867,7 @@ impl Server {
         };
         Ok(Server {
             listener,
+            wake_rx,
             shared,
             supervisors,
             reporter,
@@ -860,23 +917,12 @@ impl Server {
         Ok(population.len())
     }
 
-    /// Accept connections until a SHUTDOWN request arrives. Blocks. On the
-    /// way out: trips every live job's token, stops each worker, and joins
-    /// the supervisors and the metrics reporter — no stray threads.
+    /// Serve connections on the evented I/O loop until a SHUTDOWN request
+    /// arrives and in-flight work drains. Blocks. On the way out: trips
+    /// every live job's token, stops each worker, and joins the
+    /// supervisors and the metrics reporter — no stray threads.
     pub fn run(mut self) {
-        for stream in self.listener.incoming() {
-            if self.shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let shared = Arc::clone(&self.shared);
-            let _ = thread::Builder::new()
-                .name("kessler-conn".into())
-                .spawn(move || conn::handle_connection(stream, shared));
-        }
+        conn::event_loop(&self.listener, &self.wake_rx, &self.shared);
         self.shared.registry.cancel_all();
         for _ in 0..self.workers {
             let _ = self.shared.jobs.send(Job::Stop);
@@ -1058,6 +1104,11 @@ mod tests {
         assert!(!state.mutation_would_apply(&Request::Status));
         assert!(!state.mutation_would_apply(&Request::Metrics));
         assert!(!state.mutation_would_apply(&Request::Shutdown));
+        assert!(!state.mutation_would_apply(&Request::Subscribe {
+            assets: vec![],
+            all: true,
+        }));
+        assert!(!state.mutation_would_apply(&Request::Unsubscribe { sub_id: None }));
     }
 
     #[test]

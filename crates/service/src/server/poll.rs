@@ -1,0 +1,104 @@
+//! Minimal poll(2) binding for the evented connection front end.
+//!
+//! The workspace deliberately carries no async runtime and no `libc`
+//! crate; on every unix target the C library is linked anyway, so a
+//! one-line `extern "C"` declaration is all the event loop needs. The
+//! struct layout and constants are fixed by POSIX.
+
+use std::ffi::{c_int, c_ulong};
+use std::io;
+use std::os::fd::RawFd;
+
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+pub(crate) const POLLERR: i16 = 0x008;
+pub(crate) const POLLHUP: i16 = 0x010;
+pub(crate) const POLLNVAL: i16 = 0x020;
+
+/// `struct pollfd` from poll(2).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    pub(crate) fd: RawFd,
+    pub(crate) events: i16,
+    pub(crate) revents: i16,
+}
+
+impl PollFd {
+    pub(crate) fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Something to read — or a hangup/error, which a read will surface
+    /// as EOF or an io error, so the read path handles all of them.
+    pub(crate) fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+}
+
+// POSIX leaves nfds_t's width to the platform: unsigned long on Linux,
+// unsigned int on the BSDs and macOS.
+#[cfg(target_os = "linux")]
+type NfdsT = c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+}
+
+/// Block until an fd in `fds` is ready or `timeout_ms` elapses (`-1` =
+/// forever). EINTR is retried; the return value is how many fds have
+/// nonzero `revents`.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_reports_readiness_and_timeouts() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        // Nothing written yet: a zero-timeout poll reports nothing ready.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert!(!fds[0].readable());
+
+        (&b).write_all(&[1]).unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+
+        // A socket with buffer space is immediately writable.
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLOUT, 0, "revents {:#x}", fds[0].revents);
+    }
+
+    #[test]
+    fn hangup_counts_as_readable() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable(), "revents {:#x}", fds[0].revents);
+    }
+}

@@ -167,9 +167,32 @@ fn four_concurrent_clients_drive_the_daemon() {
     assert!(response.ok);
     handle.shutdown();
 
-    // Every daemon thread is named `kessler-*`; after shutdown none may
-    // linger (workers, supervisors, reporter, connection handlers). Give
-    // connection threads a moment to observe EOF.
+    wait_for_no_daemon_threads("after the driven shutdown");
+
+    // Regression: an *idle* client must not keep daemon threads alive
+    // past SHUTDOWN. The old thread-per-connection front end parked a
+    // detached `kessler-conn` thread in a blocking read here, leaking it
+    // until the client went away; the evented loop owns all connections
+    // and tears them down itself. The idle client stays connected the
+    // whole time.
+    let server = Server::bind("127.0.0.1:0", ScreeningConfig::grid_defaults(5.0, 120.0))
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn().expect("spawn server thread");
+    let mut idle = Client::connect(addr).expect("connect idle client");
+    assert!(idle.send(&Request::Status).expect("STATUS").ok);
+
+    let response = request(addr, &Request::Shutdown).expect("SHUTDOWN");
+    assert!(response.ok);
+    handle.shutdown();
+    wait_for_no_daemon_threads("with an idle client still connected");
+    drop(idle);
+}
+
+/// Every daemon thread is named `kessler-*`; after shutdown none may
+/// linger (workers, supervisors, reporter, the event loop). Give them a
+/// moment to observe the shutdown.
+fn wait_for_no_daemon_threads(when: &str) {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
         let stray = daemon_threads();
@@ -178,7 +201,7 @@ fn four_concurrent_clients_drive_the_daemon() {
         }
         assert!(
             Instant::now() < deadline,
-            "daemon threads leaked past shutdown: {stray:?}"
+            "daemon threads leaked past shutdown {when}: {stray:?}"
         );
         thread::sleep(Duration::from_millis(50));
     }

@@ -21,6 +21,12 @@ RUST_BACKTRACE=1 cargo test -p kessler-service -q --test hybrid
 echo "==> cargo test -p kessler-service --test disk_faults (disk-chaos suite)"
 RUST_BACKTRACE=1 cargo test -p kessler-service -q --test disk_faults
 
+echo "==> cargo test -p kessler-service --test evented (evented front-end wire behaviors)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q --test evented
+
+echo "==> cargo test -p kessler-service --test subscribe (SUBSCRIBE push-stream equivalence)"
+RUST_BACKTRACE=1 cargo test -p kessler-service -q --test subscribe
+
 echo "==> cargo test --test delta_correctness (delta vs cold-full, both variants + sharded)"
 RUST_BACKTRACE=1 cargo test -q --test delta_correctness
 
@@ -46,6 +52,16 @@ RUST_BACKTRACE=1 cargo run --release -p kessler-bench --bin exp_cascade -- \
 echo "==> exp_scale --smoke (sharded daemon scale run, small n)"
 RUST_BACKTRACE=1 cargo run --release -p kessler-bench --bin exp_scale -- \
   --smoke --json /tmp/results_scale_smoke.json
+
+echo "==> kessler submit subscribe --smoke (push registration over a live daemon)"
+cargo build --release -p kessler-cli
+./target/release/kessler serve --addr 127.0.0.1:7912 --n 32 &
+KESSLER_SERVE_PID=$!
+trap 'kill "$KESSLER_SERVE_PID" 2>/dev/null || true' EXIT
+RUST_BACKTRACE=1 ./target/release/kessler submit status --addr 127.0.0.1:7912 --retries 8
+RUST_BACKTRACE=1 ./target/release/kessler submit subscribe --all --smoke --addr 127.0.0.1:7912
+RUST_BACKTRACE=1 ./target/release/kessler submit shutdown --addr 127.0.0.1:7912
+wait "$KESSLER_SERVE_PID"
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
